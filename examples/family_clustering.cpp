@@ -1,0 +1,55 @@
+// family_clustering: from all-vs-all TM-scores to fold families.
+//
+// The full pipeline a structural biologist would run on the paper's
+// system: all-vs-all rckAlign on the simulated SCC -> TM-score matrix ->
+// average-linkage clustering at the TM > 0.5 same-fold threshold ->
+// family report. On the synthetic CK34 stand-in the recovered clusters
+// should match the generator's five families.
+#include <cstdio>
+#include <map>
+
+#include "rck/bio/dataset.hpp"
+#include "rck/bio/stats.hpp"
+#include "rck/rckalign/app.hpp"
+#include "rck/rckalign/clustering.hpp"
+
+int main() {
+  using namespace rck;
+
+  const std::vector<bio::Protein> dataset = bio::build_dataset(bio::ck34_spec());
+  std::fputs(bio::format_dataset_report("ck34", dataset).c_str(), stdout);
+
+  std::printf("\nrunning all-vs-all on the simulated SCC (47 slaves)...\n");
+  const rckalign::PairCache cache = rckalign::PairCache::build(dataset);
+  rckalign::RckAlignOptions opts;
+  opts.slave_count = 47;
+  opts.cache = &cache;
+  const rckalign::RckAlignRun run = rckalign::run_rckalign(dataset, opts);
+  std::printf("simulated makespan: %.1f s; %zu pairwise scores collected\n\n",
+              noc::to_seconds(run.makespan), run.results.size());
+
+  const rckalign::ClusterResult clusters =
+      rckalign::cluster_rows(dataset.size(), run.results, /*tm_threshold=*/0.5);
+
+  std::printf("clustering at TM > 0.5 (average linkage): %d clusters\n",
+              clusters.cluster_count);
+  int mismatches = 0;
+  for (const std::vector<int>& members : clusters.clusters()) {
+    std::printf("  cluster:");
+    // True family = name prefix before the trailing "_<member>".
+    std::map<std::string, int> family_counts;
+    for (int m : members) {
+      const std::string& name = dataset[static_cast<std::size_t>(m)].name();
+      std::printf(" %s", name.c_str());
+      family_counts[name.substr(0, name.rfind('_'))]++;
+    }
+    std::printf("\n");
+    if (family_counts.size() > 1) ++mismatches;
+  }
+
+  std::printf("\nclusters mixing more than one true family: %d\n", mismatches);
+  std::printf("%s\n", mismatches == 0 && clusters.cluster_count == 5
+                          ? "verdict: all five generator families recovered exactly"
+                          : "verdict: imperfect recovery (inspect above)");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// pdb_compare: TM-align two real PDB files from disk.
+//
+// Usage:
+//   pdb_compare a.pdb b.pdb        # align chain 1 of a onto chain 1 of b
+//   pdb_compare --demo             # generate two demo PDB files and align them
+//
+// Output mirrors the original TM-align program's summary: both TM-score
+// normalizations, aligned length, RMSD, sequence identity and the rotation
+// matrix mapping structure 1 onto structure 2.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "rck/bio/pdb_io.hpp"
+#include "rck/bio/synthetic.hpp"
+#include "rck/core/sec_struct.hpp"
+#include "rck/core/tmalign.hpp"
+
+namespace {
+
+using namespace rck;
+
+void print_result(const bio::Protein& a, const bio::Protein& b,
+                  const core::TmAlignResult& r) {
+  std::printf("Structure 1: %-20s length %zu\n", a.name().c_str(), a.size());
+  std::printf("Structure 2: %-20s length %zu\n", b.name().c_str(), b.size());
+  std::printf("Aligned length= %d, RMSD= %.2f, Seq_ID= %.3f\n", r.aligned_length,
+              r.rmsd, r.seq_identity);
+  std::printf("TM-score= %.5f (normalized by length of Structure 1)\n", r.tm_norm_a);
+  std::printf("TM-score= %.5f (normalized by length of Structure 2)\n", r.tm_norm_b);
+  std::printf("(TM-score > 0.5 generally indicates the same fold)\n\n");
+
+  std::printf("Rotation matrix (structure 1 -> structure 2 frame):\n");
+  for (int row = 0; row < 3; ++row)
+    std::printf("  %9.5f %9.5f %9.5f   t=%9.3f\n", r.transform.rot(row, 0),
+                r.transform.rot(row, 1), r.transform.rot(row, 2),
+                row == 0   ? r.transform.trans.x
+                : row == 1 ? r.transform.trans.y
+                           : r.transform.trans.z);
+
+  // Secondary structure strings with the alignment midline, TM-align style.
+  const std::string ss1 = core::secondary_structure_string(a.ca_coords());
+  const std::string ss2 = core::secondary_structure_string(b.ca_coords());
+  std::printf("\nSecondary structure (1): %.60s%s\n", ss1.c_str(),
+              ss1.size() > 60 ? "..." : "");
+  std::printf("Secondary structure (2): %.60s%s\n", ss2.c_str(),
+              ss2.size() > 60 ? "..." : "");
+
+  std::size_t work = r.stats.total_ops();
+  std::printf("\nwork: %zu ops (%llu DP cells, %llu Kabsch solves, %llu iterations)\n",
+              work, static_cast<unsigned long long>(r.stats.dp_cells),
+              static_cast<unsigned long long>(r.stats.kabsch_calls),
+              static_cast<unsigned long long>(r.stats.iterations));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 2 && std::strcmp(argv[1], "--demo") == 0) {
+    // Write two related demo structures as proper PDB files, then reload
+    // them through the parser — exercising the same path as user files.
+    bio::Rng rng(7);
+    const bio::Protein parent = bio::make_protein("demo1", 120, rng);
+    const bio::Protein variant = bio::perturb(parent, "demo2", rng);
+    const auto dir = std::filesystem::temp_directory_path() / "rck_pdb_demo";
+    bio::write_pdb_file(parent, dir / "demo1.pdb");
+    bio::write_pdb_file(variant, dir / "demo2.pdb");
+    std::printf("demo PDB files written under %s\n\n", dir.c_str());
+    const bio::Protein a = bio::parse_pdb_file(dir / "demo1.pdb");
+    const bio::Protein b = bio::parse_pdb_file(dir / "demo2.pdb");
+    print_result(a, b, core::tmalign(a, b));
+    return 0;
+  }
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: pdb_compare <a.pdb> <b.pdb>   (or --demo)\n");
+    return 2;
+  }
+  try {
+    const bio::Protein a = bio::parse_pdb_file(argv[1]);
+    const bio::Protein b = bio::parse_pdb_file(argv[2]);
+    print_result(a, b, core::tmalign(a, b));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

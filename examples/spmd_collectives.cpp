@@ -1,0 +1,104 @@
+// spmd_collectives: writing a raw SPMD program against the simulated SCC,
+// without the rckskel farm — the style RCCE's own sample codes use.
+//
+// The program contrasts the paper's dynamic master-slaves farm with the
+// obvious alternative: a *static* SPMD decomposition where every core takes
+// a fixed slice of the pair list. Data distribution uses a binomial-tree
+// broadcast, result aggregation uses allreduce/gather collectives. The
+// punchline (printed at the end) is why the paper chose the farm: static
+// slicing is simpler but loses to dynamic dispatch on heterogeneous
+// pair costs.
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "rck/bio/dataset.hpp"
+#include "rck/rcce/collectives.hpp"
+#include "rck/rckalign/app.hpp"
+#include "rck/rckalign/cost_cache.hpp"
+
+int main() {
+  using namespace rck;
+  constexpr int kCores = 24;
+
+  const std::vector<bio::Protein> dataset = bio::build_dataset(bio::ck34_spec());
+  const rckalign::PairCache cache = rckalign::PairCache::build(dataset);
+  const auto pairs = rckalign::all_pairs(dataset.size());
+
+  std::printf("static SPMD all-vs-all: %zu pairs over %d cores\n", pairs.size(),
+              kCores);
+
+  double mean_tm = 0, max_tm = 0;
+  scc::SpmdRuntime rt{scc::RuntimeConfig{}};
+  const noc::SimTime makespan = rt.run(kCores, [&](scc::CoreCtx& ctx) {
+    rcce::Comm comm(ctx);
+
+    // Rank 0 "loads" the database and broadcasts it (tree) to everyone —
+    // static SPMD needs the data everywhere, unlike the farm.
+    std::uint64_t bytes = 0;
+    for (const bio::Protein& p : dataset) bytes += p.wire_size();
+    if (comm.ue() == 0) {
+      comm.charge_dram_read(bytes);
+      (void)rcce::bcast(comm, bio::Bytes(bytes));
+    } else {
+      (void)rcce::bcast(comm, {});
+    }
+
+    // Fixed slice: pair k belongs to core k % P.
+    const scc::CoreTimingModel& model = ctx.timing();
+    double local_sum = 0.0, local_max = 0.0;
+    std::uint32_t local_n = 0;
+    for (std::size_t k = static_cast<std::size_t>(comm.ue()); k < pairs.size();
+         k += kCores) {
+      const auto [i, j] = pairs[k];
+      const rckalign::PairEntry& e = cache.at(i, j);
+      comm.charge_cycles(model.cycles(e.stats, e.footprint_bytes));
+      const double tm = std::max(e.tm_norm_a, e.tm_norm_b);
+      local_sum += tm;
+      local_max = std::max(local_max, tm);
+      ++local_n;
+    }
+
+    // Aggregate with collectives.
+    const double total = rcce::allreduce_sum(comm, local_sum);
+    const double best = rcce::allreduce_max(comm, local_max);
+    const double count = rcce::allreduce_sum(comm, static_cast<double>(local_n));
+    if (comm.ue() == 0) {
+      mean_tm = total / count;
+      max_tm = best;
+    }
+    comm.barrier();
+  });
+
+  std::printf("  mean TM over all pairs: %.3f, best off-diagonal TM: %.3f\n", mean_tm,
+              max_tm);
+  // Imbalance of the static decomposition: busiest vs average core.
+  double busiest = 0, total_busy = 0;
+  for (const scc::CoreReport& r : rt.core_reports()) {
+    busiest = std::max(busiest, noc::to_seconds(r.busy));
+    total_busy += noc::to_seconds(r.busy);
+  }
+  std::printf("  static-slicing makespan: %.1f simulated s on %d cores "
+              "(imbalance %.2fx)\n",
+              noc::to_seconds(makespan), kCores,
+              busiest / (total_busy / kCores));
+
+  // Compare with the paper's dynamic farm on the same resources
+  // (23 slaves + 1 master = 24 cores).
+  rckalign::RckAlignOptions opts;
+  opts.slave_count = kCores - 1;
+  opts.cache = &cache;
+  const rckalign::RckAlignRun farm = rckalign::run_rckalign(dataset, opts);
+  std::printf("  dynamic farm makespan:   %.1f simulated s on %d cores\n",
+              noc::to_seconds(farm.makespan), kCores);
+  std::printf(
+      "Trade-off: static slicing computes on all %d cores (no dedicated\n"
+      "master) and happens to balance well when strided slices mix cheap and\n"
+      "expensive pairs — but it broadcasts the whole database to every core\n"
+      "and its balance is luck, not a guarantee. The paper's farm spends one\n"
+      "core on the master in exchange for guaranteed balance under any cost\n"
+      "distribution, single-loader data distribution, and out-of-core\n"
+      "operation (see bench_ablation_blocked).\n",
+      kCores);
+  return 0;
+}

@@ -1,0 +1,116 @@
+#include "rck/bio/dataset.hpp"
+
+#include <cassert>
+
+namespace rck::bio {
+
+int DatasetSpec::total_chains() const noexcept {
+  int n = 0;
+  for (const FamilySpec& f : families) n += f.members;
+  return n;
+}
+
+DatasetSpec ck34_spec() {
+  // Family sizes/lengths chosen to match the published dataset's character:
+  // a large globin-like family near 150 residues, mid-size alpha/beta
+  // domains, and a few large chains. 12+8+6+5+3 = 34 chains.
+  DatasetSpec spec;
+  spec.name = "ck34";
+  spec.seed = 0x34c4'34c4'0001ULL;
+  spec.families = {
+      {"globin", 16, 148, 8, 1.0},
+      {"ab-barrel", 6, 170, 10, 1.1},
+      {"all-beta", 6, 200, 10, 1.0},
+      {"ab-mixed", 4, 260, 12, 1.2},
+      {"large", 2, 340, 16, 1.3},
+  };
+  assert(spec.total_chains() == 34);
+  return spec;
+}
+
+DatasetSpec rs119_spec() {
+  // 119 chains: a mix of families (2-8 members) across a broad length range,
+  // echoing the Rost-Sander non-redundant chain selection. Sum of members:
+  // 8+7+6+6+5+5+5+4+4+4+4+3+3+3+3+3+2+2+2+2 = 81 family members
+  // + 38 singletons = 119.
+  DatasetSpec spec;
+  spec.name = "rs119";
+  spec.seed = 0x119'0119'0002ULL;
+  spec.families = {
+      {"f00", 8, 145, 8, 1.0},  {"f01", 7, 95, 6, 1.0},   {"f02", 6, 210, 10, 1.1},
+      {"f03", 6, 120, 8, 1.0},  {"f04", 5, 260, 12, 1.1}, {"f05", 5, 75, 5, 0.9},
+      {"f06", 5, 180, 10, 1.0}, {"f07", 4, 310, 14, 1.2}, {"f08", 4, 135, 8, 1.0},
+      {"f09", 4, 225, 10, 1.1}, {"f10", 4, 60, 4, 0.9},   {"f11", 3, 390, 16, 1.2},
+      {"f12", 3, 105, 6, 1.0},  {"f13", 3, 165, 8, 1.0},  {"f14", 3, 285, 12, 1.1},
+      {"f15", 3, 85, 5, 0.9},   {"f16", 2, 420, 18, 1.3}, {"f17", 2, 150, 8, 1.0},
+      {"f18", 2, 240, 10, 1.1}, {"f19", 2, 195, 10, 1.0},
+  };
+  // Singletons with a spread of lengths (members == 1 -> founder only).
+  const int singleton_lengths[] = {52,  58,  64,  70,  78,  86,  92,  100, 108, 116,
+                                   124, 132, 142, 152, 162, 172, 184, 196, 208, 220,
+                                   234, 248, 262, 276, 292, 308, 324, 340, 358, 376,
+                                   394, 412, 430, 450, 470, 490, 505, 440};
+  int idx = 0;
+  for (int len : singleton_lengths) {
+    spec.families.push_back({"s" + std::to_string(idx++), 1, len, 0, 1.0});
+  }
+  assert(spec.total_chains() == 119);
+  return spec;
+}
+
+DatasetSpec tiny_spec() {
+  DatasetSpec spec;
+  spec.name = "tiny";
+  spec.seed = 0x7117'0003ULL;
+  spec.families = {
+      {"a", 3, 90, 5, 1.0},
+      {"b", 3, 120, 5, 1.0},
+      {"c", 2, 70, 4, 1.0},
+  };
+  assert(spec.total_chains() == 8);
+  return spec;
+}
+
+DatasetSpec scaled_spec(std::string name, int chains, std::uint64_t seed,
+                        int min_length, int max_length) {
+  if (chains < 1) throw std::invalid_argument("scaled_spec: chains >= 1");
+  if (min_length < 20 || max_length < min_length)
+    throw std::invalid_argument("scaled_spec: bad length range");
+  DatasetSpec spec;
+  spec.name = std::move(name);
+  spec.seed = seed;
+  Rng rng(seed ^ 0x5ca1ab1eULL);
+  std::uniform_int_distribution<int> len(min_length, max_length);
+  std::uniform_int_distribution<int> members(2, 6);
+  int remaining = chains;
+  int fam = 0;
+  while (remaining > 0) {
+    const int m = std::min(remaining, members(rng));
+    spec.families.push_back(
+        {"g" + std::to_string(fam++), m, len(rng), 8, 1.0});
+    remaining -= m;
+  }
+  return spec;
+}
+
+std::vector<Protein> build_dataset(const DatasetSpec& spec) {
+  std::vector<Protein> out;
+  out.reserve(static_cast<std::size_t>(spec.total_chains()));
+  Rng rng(spec.seed);
+  for (const FamilySpec& fam : spec.families) {
+    const Protein founder =
+        make_protein(spec.name + "/" + fam.id + "_0", fam.base_length, rng);
+    out.push_back(founder);
+    for (int m = 1; m < fam.members; ++m) {
+      PerturbOptions perturb_opts;
+      perturb_opts.coordinate_noise *= fam.divergence;
+      perturb_opts.max_terminal_indel =
+          std::min(perturb_opts.max_terminal_indel, std::max(0, fam.length_jitter));
+      out.push_back(perturb(founder, spec.name + "/" + fam.id + "_" + std::to_string(m),
+                            rng, perturb_opts));
+    }
+  }
+  return out;
+}
+
+}  // namespace rck::bio

@@ -1,0 +1,99 @@
+#include "rck/bio/fasta.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rck::bio {
+
+std::vector<FastaRecord> parse_fasta(std::string_view text) {
+  std::vector<FastaRecord> records;
+  FastaRecord current;
+  bool in_record = false;
+
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    std::string_view line =
+        text.substr(pos, nl == std::string_view::npos ? text.size() - pos : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) line.remove_suffix(1);
+    if (line.empty()) continue;
+
+    if (line.front() == '>') {
+      if (in_record && !current.sequence.empty()) records.push_back(std::move(current));
+      current = FastaRecord{};
+      in_record = true;
+      line.remove_prefix(1);
+      const std::size_t sp = line.find_first_of(" \t");
+      if (sp == std::string_view::npos) {
+        current.id = std::string(line);
+      } else {
+        current.id = std::string(line.substr(0, sp));
+        std::string_view rest = line.substr(sp);
+        while (!rest.empty() && (rest.front() == ' ' || rest.front() == '\t'))
+          rest.remove_prefix(1);
+        current.description = std::string(rest);
+      }
+    } else {
+      if (!in_record)
+        throw std::runtime_error("parse_fasta: sequence data before any '>' header");
+      for (char c : line) {
+        if (std::isspace(static_cast<unsigned char>(c))) continue;
+        current.sequence.push_back(
+            static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+      }
+    }
+  }
+  if (in_record && !current.sequence.empty()) records.push_back(std::move(current));
+  return records;
+}
+
+std::vector<FastaRecord> parse_fasta_file(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("parse_fasta_file: cannot open " + path.string());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_fasta(ss.str());
+}
+
+std::string to_fasta(const std::vector<FastaRecord>& records, std::size_t width) {
+  if (width == 0) width = 60;
+  std::string out;
+  for (const FastaRecord& r : records) {
+    out.push_back('>');
+    out += r.id;
+    if (!r.description.empty()) {
+      out.push_back(' ');
+      out += r.description;
+    }
+    out.push_back('\n');
+    for (std::size_t p = 0; p < r.sequence.size(); p += width) {
+      out += r.sequence.substr(p, width);
+      out.push_back('\n');
+    }
+  }
+  return out;
+}
+
+FastaRecord to_fasta_record(const Protein& p) {
+  FastaRecord r;
+  r.id = p.name();
+  r.description = std::to_string(p.size()) + " residues";
+  r.sequence = p.sequence();
+  return r;
+}
+
+void write_fasta_file(const std::vector<Protein>& chains,
+                      const std::filesystem::path& path, std::size_t width) {
+  std::vector<FastaRecord> records;
+  records.reserve(chains.size());
+  for (const Protein& p : chains) records.push_back(to_fasta_record(p));
+  if (path.has_parent_path()) std::filesystem::create_directories(path.parent_path());
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_fasta_file: cannot write " + path.string());
+  out << to_fasta(records, width);
+}
+
+}  // namespace rck::bio

@@ -1,0 +1,67 @@
+// Builders for the two evaluation datasets used in the paper.
+//
+// - CK34  (Chew & Kedem, SoCG 2002): 34 protein domains organized in a small
+//   number of structural families (globins, TIM-barrel-like, all-beta, ...).
+// - RS119 (Rost & Sander, JMB 1993): 119 chains with a broad length range.
+//
+// The original PDB entries are not shipped; structures are synthesized with
+// the same chain counts and comparable length distributions (see
+// synthetic.hpp and DESIGN.md for the substitution argument). Family
+// structure is preserved so that all-vs-all TM-score matrices show the block
+// structure a practitioner would expect.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rck/bio/protein.hpp"
+#include "rck/bio/synthetic.hpp"
+
+namespace rck::bio {
+
+/// One structural family in a dataset specification.
+struct FamilySpec {
+  std::string id;           ///< short family label, e.g. "globin"
+  int members = 1;          ///< number of chains generated from one founder
+  int base_length = 150;    ///< founder chain length (residues)
+  int length_jitter = 10;   ///< member lengths vary by +- this many residues
+  double divergence = 1.0;  ///< scales PerturbOptions noise for members
+};
+
+/// A whole dataset: named families plus the master seed.
+struct DatasetSpec {
+  std::string name;
+  std::uint64_t seed = 0;
+  std::vector<FamilySpec> families;
+
+  /// Total number of chains described by this spec.
+  int total_chains() const noexcept;
+};
+
+/// Specification approximating the Chew-Kedem dataset: 34 chains,
+/// 5 families, mean length ~220.
+DatasetSpec ck34_spec();
+
+/// Specification approximating the Rost-Sander dataset: 119 chains,
+/// mixture of families and singletons, lengths ~50-420.
+DatasetSpec rs119_spec();
+
+/// A small 8-chain dataset for fast tests and the quickstart example.
+DatasetSpec tiny_spec();
+
+/// A parameterized database: `chains` chains in families of ~4 with lengths
+/// spread over [min_length, max_length], deterministic in `seed`. Used by
+/// the database-size scaling studies ("structural proteomics databases
+/// getting larger at a very fast pace").
+DatasetSpec scaled_spec(std::string name, int chains, std::uint64_t seed,
+                        int min_length = 60, int max_length = 400);
+
+/// Materialize the dataset: deterministic in spec.seed.
+/// Chain names are "<dataset>/<family>_<member>".
+std::vector<Protein> build_dataset(const DatasetSpec& spec);
+
+/// Number of unordered pairs (i < j) in an all-vs-all task over n chains.
+constexpr std::size_t all_vs_all_pairs(std::size_t n) noexcept { return n * (n - 1) / 2; }
+
+}  // namespace rck::bio

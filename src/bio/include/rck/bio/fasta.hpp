@@ -1,0 +1,42 @@
+// FASTA sequence I/O.
+//
+// Structure comparison pipelines constantly exchange sequences alongside
+// structures (the paper's datasets are published as PDB id lists plus
+// sequences). This module reads and writes standard FASTA; sequences attach
+// to Protein only as the per-residue aa codes, so a FASTA record can also
+// be used to sanity-check a parsed structure.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rck/bio/protein.hpp"
+
+namespace rck::bio {
+
+struct FastaRecord {
+  std::string id;           ///< text after '>' up to first whitespace
+  std::string description;  ///< remainder of the header line (may be empty)
+  std::string sequence;     ///< concatenated sequence lines, upper-cased
+};
+
+/// Parse FASTA text. Throws PdbError-style std::runtime_error on input that
+/// has sequence data before any header. Empty records are dropped.
+std::vector<FastaRecord> parse_fasta(std::string_view text);
+
+/// Read and parse a FASTA file.
+std::vector<FastaRecord> parse_fasta_file(const std::filesystem::path& path);
+
+/// Render records as FASTA with lines wrapped at `width` characters.
+std::string to_fasta(const std::vector<FastaRecord>& records, std::size_t width = 60);
+
+/// One protein's sequence as a FASTA record (id = protein name).
+FastaRecord to_fasta_record(const Protein& p);
+
+/// Write every chain's sequence to a FASTA file.
+void write_fasta_file(const std::vector<Protein>& chains,
+                      const std::filesystem::path& path, std::size_t width = 60);
+
+}  // namespace rck::bio

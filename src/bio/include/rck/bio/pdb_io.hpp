@@ -1,0 +1,52 @@
+// Minimal PDB reader/writer for CA traces.
+//
+// The paper's datasets (CK34, RS119) were built by taking "the first chain of
+// the first model" of each PDB entry; parse_pdb_first_chain implements exactly
+// that selection rule. The writer emits well-formed ATOM records so structures
+// round-trip and can be inspected with standard tools.
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rck/bio/protein.hpp"
+
+namespace rck::bio {
+
+/// Error raised on malformed PDB input.
+class PdbError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct PdbParseOptions {
+  /// Keep only this chain id; '\0' means "first chain encountered".
+  char chain_id = '\0';
+  /// Stop at the first ENDMDL (i.e. use only the first model).
+  bool first_model_only = true;
+  /// Accept HETATM CA records (e.g. MSE selenomethionine).
+  bool include_hetatm_mse = true;
+};
+
+/// Parse the CA trace of one chain from PDB-format text.
+/// Default options reproduce the paper's dataset construction rule:
+/// first chain of the first model.
+Protein parse_pdb(std::string_view text, std::string name, const PdbParseOptions& opts = {});
+
+/// Convenience wrapper: read a file and parse it.
+Protein parse_pdb_file(const std::filesystem::path& path, const PdbParseOptions& opts = {});
+
+/// Parse every chain of the first model. Chain order follows file order.
+std::vector<Protein> parse_pdb_all_chains(std::string_view text, std::string name_prefix);
+
+/// Serialize a CA trace as PDB ATOM records (one CA atom per residue).
+std::string to_pdb(const Protein& p, char chain_id = 'A');
+
+/// Write `to_pdb(p)` to a file, creating parent directories as needed.
+void write_pdb_file(const Protein& p, const std::filesystem::path& path, char chain_id = 'A');
+
+}  // namespace rck::bio

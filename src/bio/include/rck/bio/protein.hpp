@@ -1,0 +1,83 @@
+// Protein model used by the reproduction.
+//
+// TM-align (Zhang & Skolnick, NAR 2005) operates on C-alpha traces only, so
+// a residue carries its amino-acid type, author-assigned sequence number and
+// a single CA coordinate. Secondary structure is *derived* (see
+// core/sec_struct.hpp), never stored as ground truth, mirroring the original
+// program which assigns SS from CA geometry.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rck/bio/vec3.hpp"
+
+namespace rck::bio {
+
+/// One residue of a protein chain (CA-only representation).
+struct Residue {
+  char aa = 'A';        ///< one-letter amino-acid code ('X' if unknown)
+  std::int32_t seq = 0; ///< author residue sequence number (PDB resSeq)
+  Vec3 ca{};            ///< C-alpha coordinate, Angstroms
+
+  friend bool operator==(const Residue&, const Residue&) = default;
+};
+
+/// A single protein chain: a named, ordered list of residues.
+class Protein {
+ public:
+  Protein() = default;
+  Protein(std::string name, std::vector<Residue> residues)
+      : name_(std::move(name)), residues_(std::move(residues)) {}
+
+  const std::string& name() const noexcept { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  std::size_t size() const noexcept { return residues_.size(); }
+  bool empty() const noexcept { return residues_.empty(); }
+
+  const Residue& operator[](std::size_t i) const noexcept { return residues_[i]; }
+  Residue& operator[](std::size_t i) noexcept { return residues_[i]; }
+
+  const std::vector<Residue>& residues() const noexcept { return residues_; }
+  std::vector<Residue>& residues() noexcept { return residues_; }
+
+  /// All CA coordinates, in chain order.
+  std::vector<Vec3> ca_coords() const;
+
+  /// One-letter sequence string.
+  std::string sequence() const;
+
+  /// Centroid of the CA trace. Precondition: !empty().
+  Vec3 centroid() const noexcept;
+
+  /// Returns a copy with every CA transformed by `t`.
+  Protein transformed(const Transform& t) const;
+
+  /// In-place rigid transform of all CA coordinates.
+  void apply(const Transform& t) noexcept;
+
+  /// Size in bytes of the serialized wire representation (see serialize.hpp).
+  /// Used by the simulator to charge network transfer time.
+  std::size_t wire_size() const noexcept;
+
+  friend bool operator==(const Protein&, const Protein&) = default;
+
+ private:
+  std::string name_;
+  std::vector<Residue> residues_;
+};
+
+/// Three-letter PDB residue name -> one-letter code ('X' if unknown).
+char three_to_one(std::string_view three) noexcept;
+
+/// One-letter code -> canonical three-letter PDB residue name ("UNK" if unknown).
+std::string_view one_to_three(char one) noexcept;
+
+/// Root-mean-square CA-CA distance between two equal-length traces
+/// (no superposition applied). Precondition: a.size() == b.size(), non-empty.
+double rmsd_no_superposition(const std::vector<Vec3>& a, const std::vector<Vec3>& b);
+
+}  // namespace rck::bio

@@ -1,0 +1,64 @@
+// Protein sequence alignment (Needleman-Wunsch / Smith-Waterman with affine
+// gaps, BLOSUM62).
+//
+// Two reasons this lives in the reproduction: (a) the paper's related work
+// leans on NoC-accelerated Needleman-Wunsch sequence alignment (Sarkar et
+// al., IEEE TC 2010) as the precedent for on-chip bioinformatics, and (b) a
+// sequence pass is the standard cheap pre-filter in front of structure
+// comparison pipelines — detectable sequence identity implies structural
+// similarity, so an MC-PSC scheduler can skip expensive structural methods
+// for such pairs.
+//
+// Implementation: Gotoh's three-matrix affine-gap DP, global (NW) and local
+// (SW) variants, with traceback.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace rck::bio {
+
+/// Substitution matrix interface: score for an (aa, aa) pair.
+class SubstitutionMatrix {
+ public:
+  /// The standard BLOSUM62 matrix over the 20 amino acids ('X' scores as
+  /// the minimum entry against everything).
+  static const SubstitutionMatrix& blosum62();
+
+  int score(char a, char b) const noexcept;
+
+ private:
+  SubstitutionMatrix() = default;
+  std::array<std::array<std::int8_t, 26>, 26> table_{};
+};
+
+struct SeqAlignOptions {
+  int gap_open = -11;    ///< first residue of a gap (BLAST defaults)
+  int gap_extend = -1;   ///< each further gap residue
+  bool local = false;    ///< Smith-Waterman instead of Needleman-Wunsch
+};
+
+struct SeqAlignResult {
+  int score = 0;
+  std::string aligned_a;  ///< with '-' gaps
+  std::string aligned_b;
+  int aligned_length = 0;  ///< columns with residues on both sides
+  int identities = 0;      ///< identical residue pairs
+  /// identities / aligned_length (0 when nothing aligned).
+  double identity() const noexcept {
+    return aligned_length > 0 ? static_cast<double>(identities) / aligned_length : 0.0;
+  }
+  /// DP cells filled (for cost accounting).
+  std::uint64_t dp_cells = 0;
+};
+
+/// Align two sequences. Empty input is allowed for global alignment (the
+/// other sequence aligns against gaps); local alignment of empty input
+/// returns an empty result.
+SeqAlignResult seq_align(std::string_view a, std::string_view b,
+                         const SeqAlignOptions& opts = {},
+                         const SubstitutionMatrix& matrix = SubstitutionMatrix::blosum62());
+
+}  // namespace rck::bio

@@ -1,0 +1,39 @@
+// Dataset statistics used by the harness and examples to characterize
+// workloads: length distribution, pair-cost proxy, secondary structure
+// composition of a chain set.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rck/bio/protein.hpp"
+
+namespace rck::bio {
+
+struct DatasetStats {
+  std::size_t chains = 0;
+  std::size_t pairs = 0;        ///< unordered all-vs-all pairs
+  std::size_t min_length = 0;
+  std::size_t max_length = 0;
+  double mean_length = 0.0;
+  double median_length = 0.0;
+  std::uint64_t total_residues = 0;
+  /// Sum over pairs of L_i * L_j — the O(L^2) pair-cost proxy that
+  /// dominates all-vs-all compute.
+  std::uint64_t pair_cost_proxy = 0;
+};
+
+/// Compute summary statistics for a chain set. Empty input gives zeros.
+DatasetStats dataset_stats(const std::vector<Protein>& chains);
+
+/// Histogram of chain lengths with `bins` equal-width bins over
+/// [min_length, max_length]; returns counts per bin. Empty input or a
+/// single distinct length yields one bin holding everything.
+std::vector<std::size_t> length_histogram(const std::vector<Protein>& chains,
+                                          std::size_t bins = 10);
+
+/// Multi-line human-readable report (lengths, pairs, cost proxy, histogram).
+std::string format_dataset_report(const std::string& name,
+                                  const std::vector<Protein>& chains);
+
+}  // namespace rck::bio

@@ -1,0 +1,162 @@
+// Minimal dense 3-D linear algebra used throughout the reproduction.
+//
+// Protein structure comparison only ever needs 3-vectors, 3x3 rotation
+// matrices and rigid transforms, so we keep a small, fully-inlined,
+// dependency-free implementation instead of pulling in a large linear
+// algebra library.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <ostream>
+
+namespace rck::bio {
+
+/// A 3-D point / vector of doubles. Aggregate; value semantics.
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3& operator+=(const Vec3& o) noexcept {
+    x += o.x; y += o.y; z += o.z; return *this;
+  }
+  constexpr Vec3& operator-=(const Vec3& o) noexcept {
+    x -= o.x; y -= o.y; z -= o.z; return *this;
+  }
+  constexpr Vec3& operator*=(double s) noexcept {
+    x *= s; y *= s; z *= s; return *this;
+  }
+  constexpr Vec3& operator/=(double s) noexcept {
+    x /= s; y /= s; z /= s; return *this;
+  }
+
+  friend constexpr Vec3 operator+(Vec3 a, const Vec3& b) noexcept { return a += b; }
+  friend constexpr Vec3 operator-(Vec3 a, const Vec3& b) noexcept { return a -= b; }
+  friend constexpr Vec3 operator*(Vec3 a, double s) noexcept { return a *= s; }
+  friend constexpr Vec3 operator*(double s, Vec3 a) noexcept { return a *= s; }
+  friend constexpr Vec3 operator/(Vec3 a, double s) noexcept { return a /= s; }
+  friend constexpr Vec3 operator-(const Vec3& a) noexcept { return {-a.x, -a.y, -a.z}; }
+  friend constexpr bool operator==(const Vec3&, const Vec3&) = default;
+};
+
+constexpr double dot(const Vec3& a, const Vec3& b) noexcept {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+constexpr Vec3 cross(const Vec3& a, const Vec3& b) noexcept {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z, a.x * b.y - a.y * b.x};
+}
+
+constexpr double norm2(const Vec3& a) noexcept { return dot(a, a); }
+
+inline double norm(const Vec3& a) noexcept { return std::sqrt(norm2(a)); }
+
+inline double distance(const Vec3& a, const Vec3& b) noexcept { return norm(a - b); }
+
+constexpr double distance2(const Vec3& a, const Vec3& b) noexcept { return norm2(a - b); }
+
+/// Returns a unit-length copy of `a`. Precondition: |a| > 0.
+inline Vec3 normalized(const Vec3& a) noexcept { return a / norm(a); }
+
+inline std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+  return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+}
+
+/// Row-major 3x3 matrix. Used for rotations; no assumption of orthogonality
+/// is baked in, so it also serves for covariance matrices in Kabsch.
+struct Mat3 {
+  // m[r][c]
+  std::array<std::array<double, 3>, 3> m{{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}};
+
+  static constexpr Mat3 identity() noexcept { return Mat3{}; }
+
+  static constexpr Mat3 zero() noexcept {
+    Mat3 z;
+    z.m = {{{0, 0, 0}, {0, 0, 0}, {0, 0, 0}}};
+    return z;
+  }
+
+  constexpr double& operator()(std::size_t r, std::size_t c) noexcept { return m[r][c]; }
+  constexpr double operator()(std::size_t r, std::size_t c) const noexcept { return m[r][c]; }
+
+  friend constexpr bool operator==(const Mat3&, const Mat3&) = default;
+};
+
+constexpr Vec3 operator*(const Mat3& a, const Vec3& v) noexcept {
+  return {a(0, 0) * v.x + a(0, 1) * v.y + a(0, 2) * v.z,
+          a(1, 0) * v.x + a(1, 1) * v.y + a(1, 2) * v.z,
+          a(2, 0) * v.x + a(2, 1) * v.y + a(2, 2) * v.z};
+}
+
+constexpr Mat3 operator*(const Mat3& a, const Mat3& b) noexcept {
+  Mat3 r = Mat3::zero();
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t k = 0; k < 3; ++k)
+      for (std::size_t j = 0; j < 3; ++j) r(i, j) += a(i, k) * b(k, j);
+  return r;
+}
+
+constexpr Mat3 transpose(const Mat3& a) noexcept {
+  Mat3 t;
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j) t(i, j) = a(j, i);
+  return t;
+}
+
+constexpr double determinant(const Mat3& a) noexcept {
+  return a(0, 0) * (a(1, 1) * a(2, 2) - a(1, 2) * a(2, 1)) -
+         a(0, 1) * (a(1, 0) * a(2, 2) - a(1, 2) * a(2, 0)) +
+         a(0, 2) * (a(1, 0) * a(2, 1) - a(1, 1) * a(2, 0));
+}
+
+/// Rotation of `angle` radians about unit axis `u` (Rodrigues' formula).
+inline Mat3 rotation_about_axis(const Vec3& u, double angle) noexcept {
+  const double c = std::cos(angle);
+  const double s = std::sin(angle);
+  const double t = 1.0 - c;
+  Mat3 r;
+  r(0, 0) = c + u.x * u.x * t;
+  r(0, 1) = u.x * u.y * t - u.z * s;
+  r(0, 2) = u.x * u.z * t + u.y * s;
+  r(1, 0) = u.y * u.x * t + u.z * s;
+  r(1, 1) = c + u.y * u.y * t;
+  r(1, 2) = u.y * u.z * t - u.x * s;
+  r(2, 0) = u.z * u.x * t - u.y * s;
+  r(2, 1) = u.z * u.y * t + u.x * s;
+  r(2, 2) = c + u.z * u.z * t;
+  return r;
+}
+
+/// Rigid-body transform: y = rot * x + trans.
+struct Transform {
+  Mat3 rot = Mat3::identity();
+  Vec3 trans{};
+
+  Vec3 apply(const Vec3& p) const noexcept { return rot * p + trans; }
+
+  /// Compose: (a * b).apply(p) == a.apply(b.apply(p)).
+  friend Transform operator*(const Transform& a, const Transform& b) noexcept {
+    return {a.rot * b.rot, a.rot * b.trans + a.trans};
+  }
+};
+
+/// Inverse of a rigid transform (rotation assumed orthonormal).
+inline Transform inverse(const Transform& t) noexcept {
+  const Mat3 rt = transpose(t.rot);
+  return {rt, -(rt * t.trans)};
+}
+
+/// True if `m` is (numerically) a proper rotation: orthonormal, det = +1.
+inline bool is_rotation(const Mat3& m, double tol = 1e-9) noexcept {
+  const Mat3 shouldBeI = m * transpose(m);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j) {
+      const double want = (i == j) ? 1.0 : 0.0;
+      if (std::abs(shouldBeI(i, j) - want) > tol) return false;
+    }
+  return std::abs(determinant(m) - 1.0) <= tol;
+}
+
+}  // namespace rck::bio

@@ -1,0 +1,174 @@
+#include "rck/bio/pdb_io.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace rck::bio {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) s.remove_suffix(1);
+  return s;
+}
+
+// Fixed-column field extraction, tolerant of short lines.
+std::string_view field(std::string_view line, std::size_t begin, std::size_t len) {
+  if (line.size() <= begin) return {};
+  return trim(line.substr(begin, len));
+}
+
+double parse_double(std::string_view s, std::string_view what) {
+  double v = 0.0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size())
+    throw PdbError("bad " + std::string(what) + " field: '" + std::string(s) + "'");
+  return v;
+}
+
+std::int32_t parse_int(std::string_view s, std::string_view what) {
+  std::int32_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size())
+    throw PdbError("bad " + std::string(what) + " field: '" + std::string(s) + "'");
+  return v;
+}
+
+struct LineReader {
+  std::string_view text;
+  bool next(std::string_view& line) {
+    if (text.empty()) return false;
+    const std::size_t nl = text.find('\n');
+    if (nl == std::string_view::npos) {
+      line = text;
+      text = {};
+    } else {
+      line = text.substr(0, nl);
+      text.remove_prefix(nl + 1);
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+Protein parse_pdb(std::string_view text, std::string name, const PdbParseOptions& opts) {
+  std::vector<Residue> residues;
+  char selected_chain = opts.chain_id;
+  std::int32_t last_seq = 0;
+  bool have_last_seq = false;
+  char last_icode = '\0';
+
+  LineReader reader{text};
+  std::string_view line;
+  while (reader.next(line)) {
+    const std::string_view rec = field(line, 0, 6);
+    if (rec == "ENDMDL" && opts.first_model_only) break;
+    if (rec == "TER" && selected_chain != '\0' && opts.chain_id == '\0') {
+      // First-chain mode: a TER after we started collecting ends the chain.
+      if (!residues.empty()) break;
+    }
+    const bool is_atom = rec == "ATOM";
+    const bool is_het = rec == "HETATM";
+    if (!is_atom && !is_het) continue;
+
+    const std::string_view atom_name = field(line, 12, 4);
+    if (atom_name != "CA") continue;
+
+    const std::string_view res_name = field(line, 17, 3);
+    if (is_het && !(opts.include_hetatm_mse && res_name == "MSE")) continue;
+
+    // Alternate location: accept blank or 'A' only (standard convention).
+    const char alt_loc = line.size() > 16 ? line[16] : ' ';
+    if (alt_loc != ' ' && alt_loc != 'A') continue;
+
+    const char chain = line.size() > 21 ? line[21] : ' ';
+    if (selected_chain == '\0')
+      selected_chain = chain;  // lock onto the first chain encountered
+    else if (chain != selected_chain)
+      continue;
+
+    const std::int32_t seq = parse_int(field(line, 22, 4), "resSeq");
+    const char icode = line.size() > 26 ? line[26] : ' ';
+    // Skip duplicate CA records for the same residue (e.g. altloc spillover).
+    if (have_last_seq && seq == last_seq && icode == last_icode) continue;
+    last_seq = seq;
+    last_icode = icode;
+    have_last_seq = true;
+
+    Residue r;
+    r.aa = three_to_one(res_name);
+    r.seq = seq;
+    r.ca = {parse_double(field(line, 30, 8), "x"),
+            parse_double(field(line, 38, 8), "y"),
+            parse_double(field(line, 46, 8), "z")};
+    residues.push_back(r);
+  }
+
+  if (residues.empty()) throw PdbError("no CA atoms found for requested chain in " + name);
+  return Protein(std::move(name), std::move(residues));
+}
+
+Protein parse_pdb_file(const std::filesystem::path& path, const PdbParseOptions& opts) {
+  std::ifstream in(path);
+  if (!in) throw PdbError("cannot open " + path.string());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_pdb(ss.str(), path.stem().string(), opts);
+}
+
+std::vector<Protein> parse_pdb_all_chains(std::string_view text, std::string name_prefix) {
+  std::vector<Protein> out;
+  // Discover chain ids in file order, then parse each.
+  std::vector<char> chains;
+  LineReader reader{text};
+  std::string_view line;
+  while (reader.next(line)) {
+    const std::string_view rec = field(line, 0, 6);
+    if (rec == "ENDMDL") break;
+    if (rec != "ATOM") continue;
+    if (field(line, 12, 4) != "CA") continue;
+    const char chain = line.size() > 21 ? line[21] : ' ';
+    bool seen = false;
+    for (char c : chains) seen = seen || (c == chain);
+    if (!seen) chains.push_back(chain);
+  }
+  for (char c : chains) {
+    PdbParseOptions opts;
+    opts.chain_id = c;
+    out.push_back(parse_pdb(text, name_prefix + "_" + std::string(1, c == ' ' ? '_' : c), opts));
+  }
+  return out;
+}
+
+std::string to_pdb(const Protein& p, char chain_id) {
+  std::string out;
+  out.reserve(p.size() * 81 + 64);
+  char buf[96];
+  int serial = 1;
+  for (const Residue& r : p.residues()) {
+    const std::string_view res3 = one_to_three(r.aa);
+    std::snprintf(buf, sizeof buf,
+                  "ATOM  %5d  CA  %3.3s %c%4d    %8.3f%8.3f%8.3f  1.00  0.00           C\n",
+                  serial++, res3.data(), chain_id, r.seq, r.ca.x, r.ca.y, r.ca.z);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof buf, "TER   %5d      %3.3s %c%4d\n", serial,
+                one_to_three(p.residues().back().aa).data(), chain_id,
+                p.residues().back().seq);
+  out += buf;
+  out += "END\n";
+  return out;
+}
+
+void write_pdb_file(const Protein& p, const std::filesystem::path& path, char chain_id) {
+  if (path.has_parent_path()) std::filesystem::create_directories(path.parent_path());
+  std::ofstream out(path);
+  if (!out) throw PdbError("cannot write " + path.string());
+  out << to_pdb(p, chain_id);
+}
+
+}  // namespace rck::bio

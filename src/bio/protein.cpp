@@ -1,0 +1,91 @@
+#include "rck/bio/protein.hpp"
+
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace rck::bio {
+
+std::vector<Vec3> Protein::ca_coords() const {
+  std::vector<Vec3> out;
+  out.reserve(residues_.size());
+  for (const Residue& r : residues_) out.push_back(r.ca);
+  return out;
+}
+
+std::string Protein::sequence() const {
+  std::string s;
+  s.reserve(residues_.size());
+  for (const Residue& r : residues_) s.push_back(r.aa);
+  return s;
+}
+
+Vec3 Protein::centroid() const noexcept {
+  assert(!residues_.empty());
+  Vec3 c{};
+  for (const Residue& r : residues_) c += r.ca;
+  return c / static_cast<double>(residues_.size());
+}
+
+Protein Protein::transformed(const Transform& t) const {
+  Protein copy = *this;
+  copy.apply(t);
+  return copy;
+}
+
+void Protein::apply(const Transform& t) noexcept {
+  for (Residue& r : residues_) r.ca = t.apply(r.ca);
+}
+
+std::size_t Protein::wire_size() const noexcept {
+  // Header (name length + residue count) + name + per-residue payload.
+  // Must be kept in sync with serialize.cpp; a unit test enforces this.
+  return 2 * sizeof(std::uint32_t) + name_.size() +
+         residues_.size() * (sizeof(char) + sizeof(std::int32_t) + 3 * sizeof(double));
+}
+
+namespace {
+
+struct AaPair {
+  std::string_view three;
+  char one;
+};
+
+// The 20 standard amino acids plus common variants seen in PDB files.
+constexpr std::array<AaPair, 26> kAaTable{{
+    {"ALA", 'A'}, {"ARG", 'R'}, {"ASN", 'N'}, {"ASP", 'D'}, {"CYS", 'C'},
+    {"GLN", 'Q'}, {"GLU", 'E'}, {"GLY", 'G'}, {"HIS", 'H'}, {"ILE", 'I'},
+    {"LEU", 'L'}, {"LYS", 'K'}, {"MET", 'M'}, {"PHE", 'F'}, {"PRO", 'P'},
+    {"SER", 'S'}, {"THR", 'T'}, {"TRP", 'W'}, {"TYR", 'Y'}, {"VAL", 'V'},
+    // Common non-standard residues mapped to their parents, as TM-align does.
+    {"MSE", 'M'}, {"SEC", 'C'}, {"PYL", 'K'}, {"ASX", 'B'}, {"GLX", 'Z'},
+    {"UNK", 'X'},
+}};
+
+}  // namespace
+
+char three_to_one(std::string_view three) noexcept {
+  for (const AaPair& p : kAaTable)
+    if (p.three == three) return p.one;
+  return 'X';
+}
+
+std::string_view one_to_three(char one) noexcept {
+  // Return the *canonical* name: scan only the 20 standard entries first so
+  // that e.g. 'M' maps to MET, not MSE.
+  for (std::size_t i = 0; i < 20; ++i)
+    if (kAaTable[i].one == one) return kAaTable[i].three;
+  return "UNK";
+}
+
+double rmsd_no_superposition(const std::vector<Vec3>& a, const std::vector<Vec3>& b) {
+  if (a.size() != b.size() || a.empty())
+    throw std::invalid_argument("rmsd_no_superposition: size mismatch or empty");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += distance2(a[i], b[i]);
+  return std::sqrt(s / static_cast<double>(a.size()));
+}
+
+}  // namespace rck::bio

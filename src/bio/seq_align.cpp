@@ -1,0 +1,209 @@
+#include "rck/bio/seq_align.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace rck::bio {
+
+namespace {
+
+// BLOSUM62 over the standard ordering ARNDCQEGHILKMFPSTWYV.
+constexpr const char* kOrder = "ARNDCQEGHILKMFPSTWYV";
+constexpr std::int8_t kBlosum62[20][20] = {
+    // A   R   N   D   C   Q   E   G   H   I   L   K   M   F   P   S   T   W   Y   V
+    {4, -1, -2, -2, 0, -1, -1, 0, -2, -1, -1, -1, -1, -2, -1, 1, 0, -3, -2, 0},
+    {-1, 5, 0, -2, -3, 1, 0, -2, 0, -3, -2, 2, -1, -3, -2, -1, -1, -3, -2, -3},
+    {-2, 0, 6, 1, -3, 0, 0, 0, 1, -3, -3, 0, -2, -3, -2, 1, 0, -4, -2, -3},
+    {-2, -2, 1, 6, -3, 0, 2, -1, -1, -3, -4, -1, -3, -3, -1, 0, -1, -4, -3, -3},
+    {0, -3, -3, -3, 9, -3, -4, -3, -3, -1, -1, -3, -1, -2, -3, -1, -1, -2, -2, -1},
+    {-1, 1, 0, 0, -3, 5, 2, -2, 0, -3, -2, 1, 0, -3, -1, 0, -1, -2, -1, -2},
+    {-1, 0, 0, 2, -4, 2, 5, -2, 0, -3, -3, 1, -2, -3, -1, 0, -1, -3, -2, -2},
+    {0, -2, 0, -1, -3, -2, -2, 6, -2, -4, -4, -2, -3, -3, -2, 0, -2, -2, -3, -3},
+    {-2, 0, 1, -1, -3, 0, 0, -2, 8, -3, -3, -1, -2, -1, -2, -1, -2, -2, 2, -3},
+    {-1, -3, -3, -3, -1, -3, -3, -4, -3, 4, 2, -3, 1, 0, -3, -2, -1, -3, -1, 3},
+    {-1, -2, -3, -4, -1, -2, -3, -4, -3, 2, 4, -2, 2, 0, -3, -2, -1, -2, -1, 1},
+    {-1, 2, 0, -1, -3, 1, 1, -2, -1, -3, -2, 5, -1, -3, -1, 0, -1, -3, -2, -2},
+    {-1, -1, -2, -3, -1, 0, -2, -3, -2, 1, 2, -1, 5, 0, -2, -1, -1, -1, -1, 1},
+    {-2, -3, -3, -3, -2, -3, -3, -3, -1, 0, 0, -3, 0, 6, -4, -2, -2, 1, 3, -1},
+    {-1, -2, -2, -1, -3, -1, -1, -2, -2, -3, -3, -1, -2, -4, 7, -1, -1, -4, -3, -2},
+    {1, -1, 1, 0, -1, 0, 0, 0, -1, -2, -2, 0, -1, -2, -1, 4, 1, -3, -2, -2},
+    {0, -1, 0, -1, -1, -1, -1, -2, -2, -1, -1, -1, -1, -2, -1, 1, 5, -2, -2, 0},
+    {-3, -3, -4, -4, -2, -2, -3, -2, -2, -3, -2, -3, -1, 1, -4, -3, -2, 11, 2, -3},
+    {-2, -2, -2, -3, -2, -1, -2, -3, 2, -1, -1, -2, -1, 3, -3, -2, -2, 2, 7, -2},
+    {0, -3, -3, -3, -1, -2, -2, -3, -3, 3, 1, -2, 1, -1, -2, -2, 0, -3, -2, 4},
+};
+
+constexpr int kNegInf = std::numeric_limits<int>::min() / 4;
+
+}  // namespace
+
+const SubstitutionMatrix& SubstitutionMatrix::blosum62() {
+  static const SubstitutionMatrix instance = [] {
+    SubstitutionMatrix m;
+    for (auto& row : m.table_)
+      row.fill(-4);  // minimum BLOSUM62 entry for unknowns
+    for (int i = 0; i < 20; ++i)
+      for (int j = 0; j < 20; ++j)
+        m.table_[static_cast<std::size_t>(kOrder[i] - 'A')]
+                [static_cast<std::size_t>(kOrder[j] - 'A')] = kBlosum62[i][j];
+    return m;
+  }();
+  return instance;
+}
+
+int SubstitutionMatrix::score(char a, char b) const noexcept {
+  const auto idx = [](char c) {
+    if (c >= 'a' && c <= 'z') c = static_cast<char>(c - 'a' + 'A');
+    return c >= 'A' && c <= 'Z' ? static_cast<std::size_t>(c - 'A') : std::size_t{23};
+  };
+  const std::size_t ia = idx(a);
+  const std::size_t ib = idx(b);
+  if (ia > 25 || ib > 25) return -4;
+  return table_[ia][ib];
+}
+
+SeqAlignResult seq_align(std::string_view a, std::string_view b,
+                         const SeqAlignOptions& opts, const SubstitutionMatrix& matrix) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  SeqAlignResult out;
+  out.dp_cells = static_cast<std::uint64_t>(n) * m;
+
+  // Gotoh: M = match-ending, X = gap-in-b (consume a), Y = gap-in-a.
+  const std::size_t w = m + 1;
+  std::vector<int> M((n + 1) * w, kNegInf), X((n + 1) * w, kNegInf),
+      Y((n + 1) * w, kNegInf);
+  auto at = [&](std::vector<int>& v, std::size_t i, std::size_t j) -> int& {
+    return v[i * w + j];
+  };
+
+  const bool local = opts.local;
+  at(M, 0, 0) = 0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    at(X, i, 0) = local ? 0
+                        : opts.gap_open + static_cast<int>(i - 1) * opts.gap_extend;
+    if (local) at(M, i, 0) = 0;
+  }
+  for (std::size_t j = 1; j <= m; ++j) {
+    at(Y, 0, j) = local ? 0
+                        : opts.gap_open + static_cast<int>(j - 1) * opts.gap_extend;
+    if (local) at(M, 0, j) = 0;
+  }
+
+  int best_score = 0;
+  std::size_t best_i = n, best_j = m;
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = 1; j <= m; ++j) {
+      const int s = matrix.score(a[i - 1], b[j - 1]);
+      const int diag = std::max({at(M, i - 1, j - 1), at(X, i - 1, j - 1),
+                                 at(Y, i - 1, j - 1)});
+      int mval = (diag == kNegInf ? kNegInf : diag + s);
+      if (local) mval = std::max(mval, s);
+      at(M, i, j) = mval;
+
+      at(X, i, j) = std::max(
+          {at(M, i - 1, j) == kNegInf ? kNegInf : at(M, i - 1, j) + opts.gap_open,
+           at(X, i - 1, j) == kNegInf ? kNegInf : at(X, i - 1, j) + opts.gap_extend,
+           at(Y, i - 1, j) == kNegInf ? kNegInf : at(Y, i - 1, j) + opts.gap_open});
+      at(Y, i, j) = std::max(
+          {at(M, i, j - 1) == kNegInf ? kNegInf : at(M, i, j - 1) + opts.gap_open,
+           at(Y, i, j - 1) == kNegInf ? kNegInf : at(Y, i, j - 1) + opts.gap_extend,
+           at(X, i, j - 1) == kNegInf ? kNegInf : at(X, i, j - 1) + opts.gap_open});
+
+      if (local) {
+        at(M, i, j) = std::max(at(M, i, j), 0);
+        if (at(M, i, j) > best_score) {
+          best_score = at(M, i, j);
+          best_i = i;
+          best_j = j;
+        }
+      }
+    }
+  }
+
+  if (!local) {
+    best_score = std::max({at(M, n, m), at(X, n, m), at(Y, n, m)});
+    best_i = n;
+    best_j = m;
+  }
+  out.score = best_score;
+
+  // Traceback by recomputation (cheap and avoids storing three direction
+  // tables): walk back choosing any predecessor consistent with the scores.
+  std::string ra, rb;
+  std::size_t i = best_i, j = best_j;
+  // Current matrix: pick the one achieving best at (i, j).
+  enum { kM, kX, kY } cur = kM;
+  if (!local) {
+    if (at(X, i, j) == best_score) cur = kX;
+    if (at(Y, i, j) == best_score) cur = kY;
+    if (at(M, i, j) == best_score) cur = kM;
+  }
+  while (i > 0 || j > 0) {
+    if (local && cur == kM && at(M, i, j) <= 0) break;
+    if (cur == kM && i > 0 && j > 0) {
+      const int s = matrix.score(a[i - 1], b[j - 1]);
+      const int need = at(M, i, j) - s;
+      ra.push_back(a[i - 1]);
+      rb.push_back(b[j - 1]);
+      --i;
+      --j;
+      if (at(M, i, j) == need) cur = kM;
+      else if (at(X, i, j) == need) cur = kX;
+      else if (at(Y, i, j) == need) cur = kY;
+      else break;  // local alignment started at the consumed pair
+    } else if (cur == kX && i > 0) {
+      ra.push_back(a[i - 1]);
+      rb.push_back('-');
+      const int open_m = at(M, i - 1, j) == kNegInf ? kNegInf : at(M, i - 1, j) + opts.gap_open;
+      const int ext = at(X, i - 1, j) == kNegInf ? kNegInf : at(X, i - 1, j) + opts.gap_extend;
+      const int open_y = at(Y, i - 1, j) == kNegInf ? kNegInf : at(Y, i - 1, j) + opts.gap_open;
+      const int val = at(X, i, j);
+      --i;
+      if (val == open_m) cur = kM;
+      else if (val == ext) cur = kX;
+      else if (val == open_y) cur = kY;
+      else break;
+    } else if (cur == kY && j > 0) {
+      ra.push_back('-');
+      rb.push_back(b[j - 1]);
+      const int open_m = at(M, i, j - 1) == kNegInf ? kNegInf : at(M, i, j - 1) + opts.gap_open;
+      const int ext = at(Y, i, j - 1) == kNegInf ? kNegInf : at(Y, i, j - 1) + opts.gap_extend;
+      const int open_x = at(X, i, j - 1) == kNegInf ? kNegInf : at(X, i, j - 1) + opts.gap_open;
+      const int val = at(Y, i, j);
+      --j;
+      if (val == open_m) cur = kM;
+      else if (val == ext) cur = kY;
+      else if (val == open_x) cur = kX;
+      else break;
+    } else if (!local) {
+      // Boundary: consume the rest as end gaps.
+      if (i > 0) {
+        ra.push_back(a[i - 1]);
+        rb.push_back('-');
+        --i;
+      } else {
+        ra.push_back('-');
+        rb.push_back(b[j - 1]);
+        --j;
+      }
+    } else {
+      break;
+    }
+  }
+  std::reverse(ra.begin(), ra.end());
+  std::reverse(rb.begin(), rb.end());
+  out.aligned_a = std::move(ra);
+  out.aligned_b = std::move(rb);
+  for (std::size_t k = 0; k < out.aligned_a.size(); ++k) {
+    if (out.aligned_a[k] != '-' && out.aligned_b[k] != '-') {
+      ++out.aligned_length;
+      if (out.aligned_a[k] == out.aligned_b[k]) ++out.identities;
+    }
+  }
+  return out;
+}
+
+}  // namespace rck::bio

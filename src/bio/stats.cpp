@@ -1,0 +1,84 @@
+#include "rck/bio/stats.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace rck::bio {
+
+DatasetStats dataset_stats(const std::vector<Protein>& chains) {
+  DatasetStats s;
+  s.chains = chains.size();
+  if (chains.empty()) return s;
+  s.pairs = chains.size() * (chains.size() - 1) / 2;
+
+  std::vector<std::size_t> lengths;
+  lengths.reserve(chains.size());
+  for (const Protein& p : chains) {
+    lengths.push_back(p.size());
+    s.total_residues += p.size();
+  }
+  std::sort(lengths.begin(), lengths.end());
+  s.min_length = lengths.front();
+  s.max_length = lengths.back();
+  s.mean_length = static_cast<double>(s.total_residues) / static_cast<double>(s.chains);
+  s.median_length =
+      lengths.size() % 2 == 1
+          ? static_cast<double>(lengths[lengths.size() / 2])
+          : (static_cast<double>(lengths[lengths.size() / 2 - 1]) +
+             static_cast<double>(lengths[lengths.size() / 2])) /
+                2.0;
+
+  for (std::size_t i = 0; i + 1 < chains.size(); ++i)
+    for (std::size_t j = i + 1; j < chains.size(); ++j)
+      s.pair_cost_proxy +=
+          static_cast<std::uint64_t>(chains[i].size()) * chains[j].size();
+  return s;
+}
+
+std::vector<std::size_t> length_histogram(const std::vector<Protein>& chains,
+                                          std::size_t bins) {
+  if (chains.empty() || bins == 0) return {};
+  const DatasetStats s = dataset_stats(chains);
+  if (s.min_length == s.max_length) return {chains.size()};
+  std::vector<std::size_t> hist(bins, 0);
+  const double lo = static_cast<double>(s.min_length);
+  const double hi = static_cast<double>(s.max_length);
+  for (const Protein& p : chains) {
+    const double x = (static_cast<double>(p.size()) - lo) / (hi - lo);
+    const std::size_t bin =
+        std::min(bins - 1, static_cast<std::size_t>(x * static_cast<double>(bins)));
+    ++hist[bin];
+  }
+  return hist;
+}
+
+std::string format_dataset_report(const std::string& name,
+                                  const std::vector<Protein>& chains) {
+  const DatasetStats s = dataset_stats(chains);
+  std::ostringstream os;
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "dataset %s: %zu chains, %zu all-vs-all pairs\n"
+                "  length min/median/mean/max: %zu / %.0f / %.1f / %zu\n"
+                "  total residues: %llu, pair-cost proxy sum(Li*Lj): %.3g\n",
+                name.c_str(), s.chains, s.pairs, s.min_length, s.median_length,
+                s.mean_length, s.max_length,
+                static_cast<unsigned long long>(s.total_residues),
+                static_cast<double>(s.pair_cost_proxy));
+  os << buf;
+  const std::vector<std::size_t> hist = length_histogram(chains, 10);
+  if (!hist.empty()) {
+    const std::size_t peak = *std::max_element(hist.begin(), hist.end());
+    os << "  length histogram:";
+    for (std::size_t b : hist) {
+      const int stars = peak == 0 ? 0 : static_cast<int>(8 * b / peak);
+      os << ' ' << std::string(static_cast<std::size_t>(std::max(stars, b > 0 ? 1 : 0)), '*');
+      if (b == 0) os << '.';
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace rck::bio

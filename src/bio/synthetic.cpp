@@ -1,0 +1,262 @@
+#include "rck/bio/synthetic.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace rck::bio {
+
+namespace {
+
+constexpr double kCaCa = 3.8;  // consecutive CA-CA distance, Angstroms
+
+// Ideal alpha-helix CA parameters (radius / twist / rise chosen so the
+// consecutive CA-CA distance is ~3.8 A and TM-align's geometric secondary
+// structure assignment recognizes the segment as helix).
+constexpr double kHelixRadius = 2.27;
+constexpr double kHelixTwist = 99.1 * std::numbers::pi / 180.0;
+constexpr double kHelixRise = 1.50;
+
+// Beta-strand zig-zag: rise per residue and lateral amplitude giving a
+// 3.8 A CA-CA distance and d(i,i+2) ~= 6.6 A (within make_sec's window).
+constexpr double kStrandRise = 3.30;
+const double kStrandAmp = 0.5 * std::sqrt(kCaCa * kCaCa - kStrandRise * kStrandRise);
+
+const char kAminoAcids[] = "ACDEFGHIKLMNPQRSTVWY";
+
+double uniform(Rng& rng, double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(rng);
+}
+
+/// Uniformly random unit vector.
+Vec3 random_unit(Rng& rng) {
+  std::normal_distribution<double> n(0.0, 1.0);
+  Vec3 v;
+  do {
+    v = {n(rng), n(rng), n(rng)};
+  } while (norm2(v) < 1e-12);
+  return normalized(v);
+}
+
+/// Random unit vector within a cone of half-angle `half_angle` around `axis`.
+Vec3 random_cone(Rng& rng, const Vec3& axis, double half_angle) {
+  const double cos_min = std::cos(half_angle);
+  const double c = uniform(rng, cos_min, 1.0);
+  const double s = std::sqrt(std::max(0.0, 1.0 - c * c));
+  const double phi = uniform(rng, 0.0, 2.0 * std::numbers::pi);
+  // Build an orthonormal basis around `axis`.
+  const Vec3 a = normalized(axis);
+  const Vec3 helper = std::abs(a.x) < 0.9 ? Vec3{1, 0, 0} : Vec3{0, 1, 0};
+  const Vec3 u = normalized(cross(a, helper));
+  const Vec3 v = cross(a, u);
+  return c * a + s * (std::cos(phi) * u + std::sin(phi) * v);
+}
+
+/// Points of one ideal secondary-structure segment in a local frame,
+/// starting at the origin and extending along roughly +z.
+std::vector<Vec3> segment_local_points(SsType type, int length, Rng& rng) {
+  std::vector<Vec3> pts;
+  pts.reserve(static_cast<std::size_t>(length));
+  switch (type) {
+    case SsType::Helix: {
+      for (int k = 0; k < length; ++k) {
+        const double a = kHelixTwist * k;
+        pts.push_back({kHelixRadius * std::cos(a) - kHelixRadius,
+                       kHelixRadius * std::sin(a), kHelixRise * k});
+      }
+      break;
+    }
+    case SsType::Strand: {
+      for (int k = 0; k < length; ++k)
+        pts.push_back({(k % 2 == 0) ? -kStrandAmp : kStrandAmp, 0.0, kStrandRise * k});
+      break;
+    }
+    case SsType::Coil:
+    case SsType::Turn: {
+      // Local-frame random walk; global clash handling happens in the caller.
+      Vec3 pos{};
+      Vec3 dir{0, 0, 1};
+      pts.push_back(pos);
+      for (int k = 1; k < length; ++k) {
+        dir = random_cone(rng, dir, 75.0 * std::numbers::pi / 180.0);
+        pos += kCaCa * dir;
+        pts.push_back(pos);
+      }
+      break;
+    }
+  }
+  return pts;
+}
+
+bool clashes(const std::vector<Vec3>& placed, const std::vector<Vec3>& candidate,
+             double clash_distance) {
+  // Skip comparisons against the 2 most recent placed residues: near-chain
+  // neighbours are legitimately close.
+  const std::size_t limit = placed.size() >= 2 ? placed.size() - 2 : 0;
+  const double d2 = clash_distance * clash_distance;
+  for (const Vec3& q : candidate)
+    for (std::size_t i = 0; i < limit; ++i)
+      if (distance2(placed[i], q) < d2) return true;
+  return false;
+}
+
+int draw_segment_length(Rng& rng, double mean, int min_len) {
+  std::poisson_distribution<int> d(mean - min_len);
+  return min_len + d(rng);
+}
+
+}  // namespace
+
+StructurePlan make_plan(int length, Rng& rng, const GeneratorOptions& opts) {
+  if (length < 3) throw std::invalid_argument("make_plan: length must be >= 3");
+  StructurePlan plan;
+  int remaining = length;
+  bool structured_next = true;  // alternate structured / coil segments
+  while (remaining > 0) {
+    SsSegment seg;
+    if (structured_next) {
+      const bool helix = uniform(rng, 0.0, 1.0) < opts.helix_fraction;
+      seg.type = helix ? SsType::Helix : SsType::Strand;
+      seg.length = draw_segment_length(rng, helix ? opts.mean_helix_len : opts.mean_strand_len,
+                                       helix ? 6 : 4);
+    } else {
+      seg.type = SsType::Coil;
+      seg.length = draw_segment_length(rng, opts.mean_coil_len, 2);
+    }
+    seg.length = std::min(seg.length, remaining);
+    remaining -= seg.length;
+    plan.push_back(seg);
+    structured_next = !structured_next;
+  }
+  return plan;
+}
+
+std::vector<Vec3> build_backbone(const StructurePlan& plan, Rng& rng,
+                                 const GeneratorOptions& opts) {
+  std::vector<Vec3> pts;
+  Vec3 last_dir{0, 0, 1};
+  for (const SsSegment& seg : plan) {
+    const std::vector<Vec3> local = segment_local_points(seg.type, seg.length, rng);
+    std::vector<Vec3> placed_seg;
+    bool accepted = false;
+    for (int attempt = 0; attempt <= opts.max_step_retries && !accepted; ++attempt) {
+      // Random orientation for the whole segment; the join direction stays
+      // within a cone of the previous chain direction so the trace keeps a
+      // protein-like persistence length.
+      const Mat3 rot = rotation_about_axis(random_unit(rng), uniform(rng, 0.0, std::numbers::pi));
+      Vec3 start;
+      if (pts.empty()) {
+        start = {0, 0, 0};
+      } else {
+        const Vec3 join = random_cone(rng, last_dir, 70.0 * std::numbers::pi / 180.0);
+        start = pts.back() + kCaCa * join;
+      }
+      placed_seg.clear();
+      placed_seg.reserve(local.size());
+      for (const Vec3& p : local) placed_seg.push_back(rot * (p - local.front()) + start);
+      accepted = !clashes(pts, placed_seg, opts.clash_distance);
+    }
+    // After exhausting retries accept the last candidate: a rare soft clash
+    // is preferable to non-termination, and real structures have contacts.
+    pts.insert(pts.end(), placed_seg.begin(), placed_seg.end());
+    if (pts.size() >= 2) last_dir = normalized(pts[pts.size() - 1] - pts[pts.size() - 2]);
+  }
+  return pts;
+}
+
+std::string random_sequence(int length, Rng& rng) {
+  std::uniform_int_distribution<std::size_t> d(0, sizeof(kAminoAcids) - 2);
+  std::string s;
+  s.reserve(static_cast<std::size_t>(length));
+  for (int i = 0; i < length; ++i) s.push_back(kAminoAcids[d(rng)]);
+  return s;
+}
+
+Protein make_protein(std::string name, int length, Rng& rng, const GeneratorOptions& opts) {
+  const StructurePlan plan = make_plan(length, rng, opts);
+  const std::vector<Vec3> coords = build_backbone(plan, rng, opts);
+  const std::string seq = random_sequence(length, rng);
+  std::vector<Residue> residues(static_cast<std::size_t>(length));
+  for (int i = 0; i < length; ++i) {
+    residues[static_cast<std::size_t>(i)] =
+        Residue{seq[static_cast<std::size_t>(i)], i + 1, coords[static_cast<std::size_t>(i)]};
+  }
+  return Protein(std::move(name), std::move(residues));
+}
+
+Transform random_transform(Rng& rng, double max_translation) {
+  Transform t;
+  t.rot = rotation_about_axis(random_unit(rng), uniform(rng, 0.0, std::numbers::pi));
+  t.trans = {uniform(rng, -max_translation, max_translation),
+             uniform(rng, -max_translation, max_translation),
+             uniform(rng, -max_translation, max_translation)};
+  return t;
+}
+
+Protein perturb(const Protein& parent, std::string name, Rng& rng, const PerturbOptions& opts) {
+  std::vector<Residue> res = parent.residues();
+
+  // 1. Terminal indels: truncate a few residues from either end.
+  if (opts.max_terminal_indel > 0 && static_cast<int>(res.size()) > 2 * opts.max_terminal_indel + 10) {
+    std::uniform_int_distribution<int> d(0, opts.max_terminal_indel);
+    const int cut_front = d(rng);
+    const int cut_back = d(rng);
+    res.erase(res.begin(), res.begin() + cut_front);
+    res.erase(res.end() - cut_back, res.end());
+  }
+
+  // 2. Hinge motions: rotate everything downstream of a random pivot by a
+  // small angle about an axis through the pivot CA. This models loop/domain
+  // flexibility while preserving chain connectivity exactly.
+  const int n_hinges = std::uniform_int_distribution<int>(1, 3)(rng);
+  for (int h = 0; h < n_hinges; ++h) {
+    if (res.size() < 20) break;
+    const std::size_t pivot =
+        std::uniform_int_distribution<std::size_t>(5, res.size() - 6)(rng);
+    for (int attempt = 0; attempt < 10; ++attempt) {
+      const double angle = uniform(rng, 0.03, 0.18);  // ~2..10 degrees
+      const Mat3 rot = rotation_about_axis(random_unit(rng), angle);
+      const Vec3 c = res[pivot].ca;
+      std::vector<Residue> trial = res;
+      for (std::size_t i = pivot + 1; i < trial.size(); ++i)
+        trial[i].ca = rot * (trial[i].ca - c) + c;
+      // Reject the hinge if it slams the two halves into each other.
+      bool clash = false;
+      for (std::size_t i = 0; i < pivot && !clash; ++i)
+        for (std::size_t j = pivot + 2; j < trial.size() && !clash; ++j)
+          if (distance2(trial[i].ca, trial[j].ca) < 3.0 * 3.0) clash = true;
+      if (!clash) {
+        res = std::move(trial);
+        break;
+      }
+    }
+  }
+
+  // 3. Per-atom coordinate noise (thermal / crystallographic variation).
+  if (opts.coordinate_noise > 0) {
+    std::normal_distribution<double> noise(0.0, opts.coordinate_noise);
+    for (Residue& r : res) r.ca += Vec3{noise(rng), noise(rng), noise(rng)};
+  }
+
+  // 4. Sequence mutations.
+  if (opts.mutation_rate > 0) {
+    std::uniform_int_distribution<std::size_t> aa(0, sizeof(kAminoAcids) - 2);
+    for (Residue& r : res)
+      if (uniform(rng, 0.0, 1.0) < opts.mutation_rate) r.aa = kAminoAcids[aa(rng)];
+  }
+
+  // 5. Random rigid-body motion: alignment must recover it.
+  if (opts.random_rigid_motion) {
+    const Transform t = random_transform(rng);
+    for (Residue& r : res) r.ca = t.apply(r.ca);
+  }
+
+  // Renumber 1..n (the indel shifted author numbering anyway).
+  for (std::size_t i = 0; i < res.size(); ++i) res[i].seq = static_cast<std::int32_t>(i + 1);
+
+  return Protein(std::move(name), std::move(res));
+}
+
+}  // namespace rck::bio

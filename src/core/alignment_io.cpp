@@ -1,0 +1,62 @@
+#include "rck/core/alignment_io.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace rck::core {
+
+AlignmentStrings render_alignment(const bio::Protein& a, const bio::Protein& b,
+                                  const TmAlignResult& r) {
+  AlignmentStrings out;
+  std::size_t i = 0;  // cursor in a
+  auto emit_a_gap = [&] {
+    out.seq_a.push_back(a[i].aa);
+    out.markers.push_back(' ');
+    out.seq_b.push_back('-');
+    ++i;
+  };
+  for (std::size_t j = 0; j < r.y2x.size(); ++j) {
+    const int ai = r.y2x[j];
+    if (ai < 0) {
+      out.seq_a.push_back('-');
+      out.markers.push_back(' ');
+      out.seq_b.push_back(b[j].aa);
+      continue;
+    }
+    while (i < static_cast<std::size_t>(ai)) emit_a_gap();
+    const double d = distance(r.transform.apply(a[i].ca), b[j].ca);
+    out.seq_a.push_back(a[i].aa);
+    out.markers.push_back(d < 5.0 ? ':' : '.');
+    out.seq_b.push_back(b[j].aa);
+    ++i;
+  }
+  while (i < a.size()) emit_a_gap();
+  return out;
+}
+
+std::string format_alignment_report(const bio::Protein& a, const bio::Protein& b,
+                                    const TmAlignResult& r, std::size_t width) {
+  std::ostringstream os;
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "Aligned length=%d, RMSD=%.2f, Seq_ID=%.3f\n"
+                "TM-score=%.5f (normalized by chain 1, L=%zu)\n"
+                "TM-score=%.5f (normalized by chain 2, L=%zu)\n"
+                "(':' denotes pairs with d < 5.0 A, '.' other aligned pairs)\n\n",
+                r.aligned_length, r.rmsd, r.seq_identity, r.tm_norm_a, a.size(),
+                r.tm_norm_b, b.size());
+  os << buf;
+
+  const AlignmentStrings s = render_alignment(a, b, r);
+  if (width == 0) width = s.seq_a.size();
+  for (std::size_t pos = 0; pos < s.seq_a.size(); pos += width) {
+    const std::size_t n = std::min(width, s.seq_a.size() - pos);
+    os << s.seq_a.substr(pos, n) << '\n'
+       << s.markers.substr(pos, n) << '\n'
+       << s.seq_b.substr(pos, n) << "\n\n";
+  }
+  return os.str();
+}
+
+}  // namespace rck::core

@@ -1,0 +1,36 @@
+// Human-readable alignment rendering, in the original TM-align style:
+//
+//   NDPNLKRNVLVTG...    (chain 1 sequence, gaps as '-')
+//   ::::.::  ::::       (':' pair within 5 A, '.' more distant pair)
+//   NDPHLQRNVIVTG...    (chain 2 sequence)
+//
+// plus a compact per-pair summary block. Used by pdb_compare and anything
+// presenting results to a biologist.
+#pragma once
+
+#include <string>
+
+#include "rck/bio/protein.hpp"
+#include "rck/core/tmalign.hpp"
+
+namespace rck::core {
+
+/// The three alignment strings (equal lengths): chain-1 residues, the
+/// marker midline, chain-2 residues.
+struct AlignmentStrings {
+  std::string seq_a;
+  std::string markers;
+  std::string seq_b;
+};
+
+/// Render the alignment of `r` (from tmalign(a, b)) as three strings.
+/// The marker line uses ':' for aligned pairs with CA distance < 5 A under
+/// r.transform and '.' for the rest, as in the original program's output.
+AlignmentStrings render_alignment(const bio::Protein& a, const bio::Protein& b,
+                                  const TmAlignResult& r);
+
+/// Full text block: summary line + wrapped alignment (width columns).
+std::string format_alignment_report(const bio::Protein& a, const bio::Protein& b,
+                                    const TmAlignResult& r, std::size_t width = 60);
+
+}  // namespace rck::core

@@ -1,0 +1,43 @@
+// Circular-permutation-aware alignment.
+//
+// Some homologous proteins are circular permutants: the same fold entered
+// at a different point of the chain (the C-terminal part of one protein
+// matches the N-terminal part of the other). Sequential alignment — plain
+// TM-align included — scores such pairs poorly because the residue order
+// disagrees. The standard remedy (used by CP-enabled TM-align variants) is
+// the doubling trick: duplicate one chain head-to-tail, align, and read off
+// the best rotation point. We implement the equivalent explicit search:
+// TM-align the pair at every candidate rotation of chain a and keep the
+// best, reporting the winning cut position.
+#pragma once
+
+#include "rck/bio/protein.hpp"
+#include "rck/core/tmalign.hpp"
+
+namespace rck::core {
+
+struct CpAlignOptions {
+  /// Candidate rotation stride (residues). Smaller = more thorough/slower;
+  /// the default probes ~16 rotations of typical chains.
+  int rotation_stride = 0;  ///< 0: max(4, len/16)
+  TmAlignOptions tm{};
+};
+
+struct CpAlignResult {
+  TmAlignResult best;  ///< alignment of rotate(a, cut) onto b
+  int cut = 0;         ///< winning rotation: residue index of a that becomes first
+  double tm_sequential = 0.0;  ///< plain TM-align score, for comparison
+  /// True when some rotation beats the sequential alignment by a margin
+  /// that suggests a genuine circular permutation.
+  bool is_circular_permutation = false;
+};
+
+/// Rotate a chain: residues [cut, n) followed by [0, cut); author numbers
+/// are renumbered 1..n. cut is taken modulo the length.
+bio::Protein rotate_chain(const bio::Protein& p, int cut);
+
+/// Alignment search over circular permutations of `a` against `b`.
+CpAlignResult cp_align(const bio::Protein& a, const bio::Protein& b,
+                       const CpAlignOptions& opts = {});
+
+}  // namespace rck::core

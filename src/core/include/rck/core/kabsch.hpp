@@ -1,0 +1,36 @@
+// Optimal rigid superposition of point sets (the "Kabsch problem").
+//
+// Given paired point sets {from_i} and {to_i}, find the proper rotation R
+// and translation t minimizing sum_i |R*from_i + t - to_i|^2. We use Horn's
+// closed-form quaternion method (J. Opt. Soc. Am. A, 1987): build the 4x4
+// symmetric key matrix from the cross-covariance, take the eigenvector of
+// its largest eigenvalue (Jacobi iteration), convert to a rotation. Unlike
+// naive SVD-free Kabsch, the quaternion method never returns a reflection.
+#pragma once
+
+#include <span>
+
+#include "rck/bio/vec3.hpp"
+#include "rck/core/stats.hpp"
+
+namespace rck::core {
+
+/// Result of a superposition solve.
+struct Superposition {
+  bio::Transform transform;  ///< maps `from` onto `to`
+  double rmsd = 0.0;         ///< RMSD of the superposed pairs
+};
+
+/// Solve the superposition problem for paired points.
+/// Preconditions: from.size() == to.size(), size >= 3, points not all
+/// collinear (degenerate input still returns a valid rigid transform but the
+/// rotation about the degenerate axis is arbitrary).
+/// If `stats` is non-null, kabsch_calls / kabsch_points are accumulated.
+Superposition superpose(std::span<const bio::Vec3> from, std::span<const bio::Vec3> to,
+                        AlignStats* stats = nullptr);
+
+/// RMSD after optimal superposition (convenience wrapper).
+double superposed_rmsd(std::span<const bio::Vec3> from, std::span<const bio::Vec3> to,
+                       AlignStats* stats = nullptr);
+
+}  // namespace rck::core

@@ -1,0 +1,55 @@
+// Needleman-Wunsch dynamic programming, TM-align variant.
+//
+// TM-align uses a non-standard NW: the gap penalty is charged only when a
+// gap *opens* after a match (path[][] tracks whether the predecessor cell was
+// reached diagonally), there is no gap-extension penalty, and boundary rows/
+// columns cost nothing (end gaps free). We reproduce that exactly, including
+// the traceback tie-breaking, because the alignment path — and therefore the
+// amount of downstream work — depends on it.
+//
+// The workspace owns all DP storage and is reused across the ~60 NW solves
+// of one TM-align run to avoid re-allocation (the paper's P54C cores had
+// 16 KB L1 caches; the original C port reused static arrays the same way).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "rck/core/stats.hpp"
+
+namespace rck::core {
+
+/// An alignment of chain y onto chain x: for each residue j of y,
+/// y2x[j] is the aligned residue index in x, or -1 for a gap.
+using Alignment = std::vector<int>;
+
+/// Number of aligned (non-gap) positions.
+std::size_t aligned_count(const Alignment& a) noexcept;
+
+/// Reusable NW solver. Fill the score matrix via score(i, j), then solve().
+class NwWorkspace {
+ public:
+  NwWorkspace() = default;
+
+  /// Prepare for a problem of len_x by len_y residues. Keeps capacity.
+  void resize(std::size_t len_x, std::size_t len_y);
+
+  std::size_t len_x() const noexcept { return lx_; }
+  std::size_t len_y() const noexcept { return ly_; }
+
+  /// Mutable access to the match score of (x_i, y_j); 0-based.
+  double& score(std::size_t i, std::size_t j) noexcept { return score_[i * ly_ + j]; }
+  double score(std::size_t i, std::size_t j) const noexcept { return score_[i * ly_ + j]; }
+
+  /// Run the DP with the given gap-open penalty (gap_open <= 0) and return
+  /// the y->x mapping. Accumulates dp_cells into `stats` if non-null.
+  Alignment solve(double gap_open, AlignStats* stats = nullptr);
+
+ private:
+  std::size_t lx_ = 0, ly_ = 0;
+  std::vector<double> score_;  // lx * ly
+  std::vector<double> val_;    // (lx+1) * (ly+1)
+  std::vector<char> path_;     // (lx+1) * (ly+1), 1 = reached diagonally
+};
+
+}  // namespace rck::core

@@ -1,0 +1,47 @@
+// Fixed-correspondence structure quality metrics (the "TM-score program"
+// companion to TM-align).
+//
+// TM-align *finds* an alignment; its sibling program TM-score *evaluates* a
+// given correspondence (e.g. a predicted model vs the native structure,
+// matched by residue number). That evaluation — TM-score under the optimal
+// superposition of the fixed pairing, plus the CASP GDT family — is used by
+// every structure-prediction pipeline that would consume this library, so
+// the reproduction ships it too.
+#pragma once
+
+#include <optional>
+
+#include "rck/bio/protein.hpp"
+#include "rck/core/stats.hpp"
+#include "rck/core/tmscore.hpp"
+
+namespace rck::core {
+
+/// Quality metrics of a fixed residue correspondence.
+struct QualityResult {
+  int paired = 0;       ///< residue pairs evaluated
+  double tm = 0.0;      ///< TM-score (normalized by reference length)
+  double rmsd = 0.0;    ///< RMSD of all pairs under the TM-optimal superposition
+  double gdt_ts = 0.0;  ///< mean fraction within 1, 2, 4, 8 A
+  double gdt_ha = 0.0;  ///< mean fraction within 0.5, 1, 2, 4 A
+  double maxsub = 0.0;  ///< MaxSub score (d = 3.5 A), normalized by reference
+  bio::Transform transform;  ///< model -> reference superposition used
+  AlignStats stats;
+};
+
+/// Evaluate `model` against `reference`, pairing residues by author residue
+/// number (PDB resSeq), as the TM-score program does. Residues present in
+/// only one structure are ignored (but count in the normalization, which
+/// uses the reference length). Returns nullopt if fewer than 3 residues
+/// pair up.
+std::optional<QualityResult> score_model(const bio::Protein& model,
+                                         const bio::Protein& reference,
+                                         const TmSearchOptions& opts = {});
+
+/// Same, but pairing position-by-position (requires equal lengths).
+/// Throws std::invalid_argument on length mismatch.
+QualityResult score_model_by_index(const bio::Protein& model,
+                                   const bio::Protein& reference,
+                                   const TmSearchOptions& opts = {});
+
+}  // namespace rck::core

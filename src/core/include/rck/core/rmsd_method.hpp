@@ -1,0 +1,27 @@
+// A second, cheaper PSC method: best-offset gapless rigid-body RMSD.
+//
+// The paper's discussion section proposes extending rckAlign to
+// multi-criteria PSC (MC-PSC), where different slave cores run *different*
+// comparison methods on the same dispatched pair. This module provides the
+// second method for that extension: slide the shorter chain along the longer
+// one, superpose each full overlap with Kabsch, and report the best RMSD.
+// It shares AlignStats so the simulator can time it consistently.
+#pragma once
+
+#include "rck/bio/protein.hpp"
+#include "rck/core/stats.hpp"
+
+namespace rck::core {
+
+struct RmsdResult {
+  double rmsd = 0.0;       ///< best superposed RMSD over all offsets
+  int aligned_length = 0;  ///< overlap length at the best offset
+  int offset = 0;          ///< winning diagonal offset (x[i] ~ y[i+offset])
+  AlignStats stats;
+};
+
+/// Best gapless superposition of `a` against `b`.
+/// Throws std::invalid_argument if either chain has fewer than 5 residues.
+RmsdResult best_gapless_rmsd(const bio::Protein& a, const bio::Protein& b);
+
+}  // namespace rck::core

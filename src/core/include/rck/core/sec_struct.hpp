@@ -1,0 +1,34 @@
+// Geometric secondary-structure assignment, following TM-align's make_sec.
+//
+// TM-align never reads SS annotations from the input file; it derives a
+// 4-state assignment (helix / strand / turn / coil) for each residue purely
+// from CA-CA distances in a 5-residue window. The first initial alignment of
+// the algorithm (SSE dynamic programming) is built on this assignment.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "rck/bio/protein.hpp"
+#include "rck/bio/synthetic.hpp"  // SsType
+
+namespace rck::core {
+
+/// Assignment for one residue given the five window distances, exactly as in
+/// TM-align's sec_str(): helix and strand are matched against ideal distance
+/// templates; a compressed window (d(i-2,i+2) < 8 A) that is neither is a
+/// turn; everything else is coil.
+bio::SsType sec_str(double d13, double d14, double d15, double d24, double d25,
+                    double d35) noexcept;
+
+/// Per-residue assignment for a CA trace. Residues closer than 2 positions
+/// to either terminus are coil (the window does not fit).
+std::vector<bio::SsType> assign_secondary_structure(std::span<const bio::Vec3> ca);
+
+/// Same, as a compact string: H (helix), E (strand), T (turn), C (coil).
+std::string secondary_structure_string(std::span<const bio::Vec3> ca);
+
+/// Character code for an SsType (H/E/T/C).
+char ss_char(bio::SsType t) noexcept;
+
+}  // namespace rck::core

@@ -1,0 +1,51 @@
+// Work counters for structure comparison.
+//
+// The reproduction replaces wall-clock measurements on real silicon with a
+// deterministic timing model (scc::CoreTimingModel). That model needs a
+// machine-independent measure of the work a comparison performed; AlignStats
+// counts the algorithm's dominant operations as it runs. The counters are
+// exact and deterministic, so simulated times are reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+
+namespace rck::core {
+
+/// Operation counts accumulated while aligning one pair of structures.
+struct AlignStats {
+  /// Needleman-Wunsch matrix cells filled (dominant O(L1*L2) term).
+  std::uint64_t dp_cells = 0;
+  /// Kabsch superposition solves (each O(points) + fixed 4x4 eigen cost).
+  std::uint64_t kabsch_calls = 0;
+  /// Total points summed over all Kabsch calls.
+  std::uint64_t kabsch_points = 0;
+  /// Pairwise distance/score evaluations in TM-score scans.
+  std::uint64_t scored_pairs = 0;
+  /// Score-matrix cells computed when building NW inputs.
+  std::uint64_t matrix_cells = 0;
+  /// Outer refinement iterations executed.
+  std::uint64_t iterations = 0;
+
+  constexpr AlignStats& operator+=(const AlignStats& o) noexcept {
+    dp_cells += o.dp_cells;
+    kabsch_calls += o.kabsch_calls;
+    kabsch_points += o.kabsch_points;
+    scored_pairs += o.scored_pairs;
+    matrix_cells += o.matrix_cells;
+    iterations += o.iterations;
+    return *this;
+  }
+
+  friend constexpr AlignStats operator+(AlignStats a, const AlignStats& b) noexcept {
+    return a += b;
+  }
+  friend constexpr bool operator==(const AlignStats&, const AlignStats&) = default;
+
+  /// A single scalar "work units" summary (unweighted op count). The timing
+  /// model applies per-op cycle weights; this is only for quick reporting.
+  constexpr std::uint64_t total_ops() const noexcept {
+    return dp_cells + kabsch_points + scored_pairs + matrix_cells;
+  }
+};
+
+}  // namespace rck::core

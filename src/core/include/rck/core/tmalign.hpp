@@ -1,0 +1,71 @@
+// TM-align: pairwise protein structure alignment (Zhang & Skolnick, NAR 2005).
+//
+// This is the unit operation of the paper's all-vs-all workload. The
+// algorithm, as summarized in the paper's Section II and implemented here:
+//
+//   1. Three kinds of initial alignments:
+//      (a) dynamic programming over the secondary-structure assignment,
+//      (b) gapless structure matching (threading at every offset),
+//      (c) dynamic programming over a scoring matrix derived from the best
+//          superposition found by (a)/(b) plus the SS signal.
+//   2. A heuristic iterative refinement: alternate between (i) finding the
+//      TM-score-optimal superposition of the current alignment and (ii)
+//      re-aligning with NW on the superposition's distance-derived scores.
+//   3. A final full-depth TM-score search on the winning alignment; scores
+//      are reported normalized by both chain lengths.
+//
+// All dominant operations are counted in AlignStats (see stats.hpp) so the
+// SCC simulator can charge cycle-accurate-ish compute time per pair.
+#pragma once
+
+#include "rck/bio/protein.hpp"
+#include "rck/core/nw.hpp"
+#include "rck/core/stats.hpp"
+#include "rck/core/tmscore.hpp"
+
+namespace rck::core {
+
+struct TmAlignOptions {
+  /// Maximum NW refinement iterations per gap-open value.
+  int dp_iterations = 30;
+  /// Gap-open penalties tried in the refinement loop (TM-align uses two).
+  double gap_open_primary = -0.6;
+  double gap_open_secondary = 0.0;
+  /// Search depth for the final superposition.
+  TmSearchOptions final_search{};
+  /// Reduced search used to rank candidate alignments inside the loop.
+  TmSearchOptions fast_search{.max_outer_iters = 4, .max_seeds_per_level = 3, .fast = true};
+  /// Override the TM-score distance scale d0 (the original's -d flag);
+  /// <= 0 uses the length-dependent formula. Affects search and both
+  /// reported normalizations.
+  double d0_override = 0.0;
+  /// Normalize both reported TM-scores by this length instead of each
+  /// chain's own (the original's -L flag); <= 0 keeps per-chain lengths.
+  int lnorm_override = 0;
+};
+
+/// Preset trading ~2-5% TM accuracy for several-fold speed: fewer DP
+/// iterations and a shallower final search (like the original's -fast).
+TmAlignOptions fast_tmalign_options();
+
+/// Result of one pairwise alignment of `a` onto `b`.
+struct TmAlignResult {
+  double tm_norm_a = 0.0;  ///< TM-score normalized by len(a)
+  double tm_norm_b = 0.0;  ///< TM-score normalized by len(b)
+  double rmsd = 0.0;       ///< RMSD over aligned pairs under `transform`
+  int aligned_length = 0;  ///< number of aligned residue pairs
+  double seq_identity = 0.0;  ///< identical residues / aligned_length
+  bio::Transform transform;   ///< rigid transform mapping a into b's frame
+  Alignment y2x;              ///< per-residue of b: aligned index in a or -1
+  AlignStats stats;           ///< work performed (drives the timing model)
+
+  /// The conventional single score: max of the two normalizations.
+  double tm() const noexcept { return tm_norm_a > tm_norm_b ? tm_norm_a : tm_norm_b; }
+};
+
+/// Align chain `a` onto chain `b`.
+/// Throws std::invalid_argument if either chain has fewer than 5 residues.
+TmAlignResult tmalign(const bio::Protein& a, const bio::Protein& b,
+                      const TmAlignOptions& opts = {});
+
+}  // namespace rck::core

@@ -1,0 +1,59 @@
+// TM-score computation and superposition search.
+//
+// TM-score (Zhang & Skolnick 2004) of an alignment under a rigid transform T:
+//
+//   TM = (1 / L_norm) * sum_k 1 / (1 + (d_k / d0)^2),   d_k = |T x_k - y_k|
+//
+// where the sum runs over aligned residue pairs and d0 depends only on the
+// normalization length. The hard part is the *search*: finding the transform
+// maximizing TM for a fixed alignment. Following the original TMscore8
+// heuristic, we seed Kabsch superpositions from sliding windows of the
+// alignment at several scales (L, L/2, L/4, ... >= 4) and iteratively
+// re-superpose on the subset of pairs closer than a distance cutoff,
+// growing the cutoff when the subset collapses. This converges to the
+// global optimum in practice and is exactly the cost profile the paper's
+// timing depends on.
+#pragma once
+
+#include <span>
+
+#include "rck/bio/vec3.hpp"
+#include "rck/core/stats.hpp"
+
+namespace rck::core {
+
+/// The TM-score distance scale d0(L) = 1.24 (L-15)^(1/3) - 1.8, clamped to
+/// 0.5 below (small-chain regime), as in TM-align.
+double d0_of_length(int lnorm) noexcept;
+
+/// Knobs for the superposition search. Defaults follow the original code;
+/// `fast` mirrors TM-align's reduced search used to rank initial alignments.
+struct TmSearchOptions {
+  int max_outer_iters = 20;      ///< refinement iterations per seed
+  int min_seed_len = 4;          ///< smallest seed window
+  int max_seeds_per_level = 12;  ///< cap on window starts per scale
+  double d_search_min = 4.5;     ///< clamp of the selection cutoff base
+  double d_search_max = 8.0;
+  bool fast = false;  ///< 3 seeds per level, 4 iterations (initial ranking)
+};
+
+/// Result of a superposition search.
+struct TmSearchResult {
+  double tm = 0.0;           ///< best TM-score found (for the given lnorm/d0)
+  bio::Transform transform;  ///< transform of x achieving it
+};
+
+/// TM-score of a fixed transform over aligned pairs (xa[k], ya[k]).
+double tm_of_transform(std::span<const bio::Vec3> xa, std::span<const bio::Vec3> ya,
+                       const bio::Transform& t, int lnorm, double d0,
+                       AlignStats* stats = nullptr);
+
+/// Find the transform of x maximizing TM-score over the aligned pairs.
+/// Preconditions: xa.size() == ya.size(). Fewer than 3 pairs returns tm = 0
+/// with the identity transform.
+TmSearchResult tmscore_search(std::span<const bio::Vec3> xa,
+                              std::span<const bio::Vec3> ya, int lnorm, double d0,
+                              const TmSearchOptions& opts = {},
+                              AlignStats* stats = nullptr);
+
+}  // namespace rck::core

@@ -1,0 +1,154 @@
+#include "rck/core/kabsch.hpp"
+
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace rck::core {
+
+using bio::Mat3;
+using bio::Transform;
+using bio::Vec3;
+
+namespace {
+
+/// Jacobi eigen-decomposition of a symmetric 4x4 matrix.
+/// Returns eigenvalues (unsorted) and the corresponding eigenvectors as
+/// columns of `vecs`. Converges quadratically; 50 sweeps is far more than
+/// ever needed for well-conditioned Horn matrices.
+void jacobi4(std::array<std::array<double, 4>, 4>& a,
+             std::array<double, 4>& vals,
+             std::array<std::array<double, 4>, 4>& vecs) {
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j) vecs[i][j] = (i == j) ? 1.0 : 0.0;
+
+  for (int sweep = 0; sweep < 50; ++sweep) {
+    double off = 0.0;
+    for (int p = 0; p < 4; ++p)
+      for (int q = p + 1; q < 4; ++q) off += a[p][q] * a[p][q];
+    if (off < 1e-24) break;
+
+    for (int p = 0; p < 4; ++p) {
+      for (int q = p + 1; q < 4; ++q) {
+        if (std::abs(a[p][q]) < 1e-18) continue;
+        const double theta = (a[q][q] - a[p][p]) / (2.0 * a[p][q]);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        const double tau = s / (1.0 + c);
+        const double apq = a[p][q];
+        a[p][p] -= t * apq;
+        a[q][q] += t * apq;
+        a[p][q] = 0.0;
+        a[q][p] = 0.0;
+        for (int k = 0; k < 4; ++k) {
+          if (k != p && k != q) {
+            const double akp = a[k][p];
+            const double akq = a[k][q];
+            a[k][p] = akp - s * (akq + tau * akp);
+            a[p][k] = a[k][p];
+            a[k][q] = akq + s * (akp - tau * akq);
+            a[q][k] = a[k][q];
+          }
+          const double vkp = vecs[k][p];
+          const double vkq = vecs[k][q];
+          vecs[k][p] = vkp - s * (vkq + tau * vkp);
+          vecs[k][q] = vkq + s * (vkp - tau * vkq);
+        }
+      }
+    }
+  }
+  for (int i = 0; i < 4; ++i) vals[i] = a[i][i];
+}
+
+Mat3 quaternion_to_rotation(double w, double x, double y, double z) noexcept {
+  Mat3 r;
+  r(0, 0) = w * w + x * x - y * y - z * z;
+  r(0, 1) = 2.0 * (x * y - w * z);
+  r(0, 2) = 2.0 * (x * z + w * y);
+  r(1, 0) = 2.0 * (x * y + w * z);
+  r(1, 1) = w * w - x * x + y * y - z * z;
+  r(1, 2) = 2.0 * (y * z - w * x);
+  r(2, 0) = 2.0 * (x * z - w * y);
+  r(2, 1) = 2.0 * (y * z + w * x);
+  r(2, 2) = w * w - x * x - y * y + z * z;
+  return r;
+}
+
+}  // namespace
+
+Superposition superpose(std::span<const Vec3> from, std::span<const Vec3> to,
+                        AlignStats* stats) {
+  if (from.size() != to.size())
+    throw std::invalid_argument("superpose: size mismatch");
+  if (from.size() < 3)
+    throw std::invalid_argument("superpose: need at least 3 points");
+  const std::size_t n = from.size();
+  if (stats != nullptr) {
+    stats->kabsch_calls += 1;
+    stats->kabsch_points += n;
+  }
+
+  Vec3 cf{}, ct{};
+  for (std::size_t i = 0; i < n; ++i) {
+    cf += from[i];
+    ct += to[i];
+  }
+  cf /= static_cast<double>(n);
+  ct /= static_cast<double>(n);
+
+  // Cross-covariance M = sum (from - cf)(to - ct)^T.
+  Mat3 m = Mat3::zero();
+  double from_sq = 0.0, to_sq = 0.0;  // for the RMSD via the eigenvalue
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3 f = from[i] - cf;
+    const Vec3 t = to[i] - ct;
+    m(0, 0) += f.x * t.x; m(0, 1) += f.x * t.y; m(0, 2) += f.x * t.z;
+    m(1, 0) += f.y * t.x; m(1, 1) += f.y * t.y; m(1, 2) += f.y * t.z;
+    m(2, 0) += f.z * t.x; m(2, 1) += f.z * t.y; m(2, 2) += f.z * t.z;
+    from_sq += norm2(f);
+    to_sq += norm2(t);
+  }
+
+  // Horn's symmetric 4x4 key matrix.
+  const double sxx = m(0, 0), sxy = m(0, 1), sxz = m(0, 2);
+  const double syx = m(1, 0), syy = m(1, 1), syz = m(1, 2);
+  const double szx = m(2, 0), szy = m(2, 1), szz = m(2, 2);
+  std::array<std::array<double, 4>, 4> nmat{{
+      {sxx + syy + szz, syz - szy, szx - sxz, sxy - syx},
+      {syz - szy, sxx - syy - szz, sxy + syx, szx + sxz},
+      {szx - sxz, sxy + syx, -sxx + syy - szz, syz + szy},
+      {sxy - syx, szx + sxz, syz + szy, -sxx - syy + szz},
+  }};
+
+  std::array<double, 4> vals{};
+  std::array<std::array<double, 4>, 4> vecs{};
+  jacobi4(nmat, vals, vecs);
+
+  int best = 0;
+  for (int i = 1; i < 4; ++i)
+    if (vals[i] > vals[best]) best = i;
+
+  double qw = vecs[0][best], qx = vecs[1][best], qy = vecs[2][best], qz = vecs[3][best];
+  const double qn = std::sqrt(qw * qw + qx * qx + qy * qy + qz * qz);
+  qw /= qn; qx /= qn; qy /= qn; qz /= qn;
+
+  Superposition out;
+  out.transform.rot = quaternion_to_rotation(qw, qx, qy, qz);
+  out.transform.trans = ct - out.transform.rot * cf;
+
+  // RMSD from the largest eigenvalue: e^2 = (|f|^2 + |t|^2 - 2*lambda_max)/n.
+  const double e2 = std::max(0.0, (from_sq + to_sq - 2.0 * vals[best]) /
+                                      static_cast<double>(n));
+  out.rmsd = std::sqrt(e2);
+  return out;
+}
+
+double superposed_rmsd(std::span<const Vec3> from, std::span<const Vec3> to,
+                       AlignStats* stats) {
+  return superpose(from, to, stats).rmsd;
+}
+
+}  // namespace rck::core

@@ -1,0 +1,73 @@
+#include "rck/core/nw.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace rck::core {
+
+std::size_t aligned_count(const Alignment& a) noexcept {
+  std::size_t n = 0;
+  for (int v : a) n += (v >= 0) ? 1u : 0u;
+  return n;
+}
+
+void NwWorkspace::resize(std::size_t len_x, std::size_t len_y) {
+  lx_ = len_x;
+  ly_ = len_y;
+  score_.assign(lx_ * ly_, 0.0);
+  val_.assign((lx_ + 1) * (ly_ + 1), 0.0);
+  path_.assign((lx_ + 1) * (ly_ + 1), 0);
+}
+
+Alignment NwWorkspace::solve(double gap_open, AlignStats* stats) {
+  if (lx_ == 0 || ly_ == 0) throw std::logic_error("NwWorkspace::solve before resize");
+  const std::size_t w = ly_ + 1;  // row stride of val_/path_
+  auto val = [&](std::size_t i, std::size_t j) -> double& { return val_[i * w + j]; };
+  auto path = [&](std::size_t i, std::size_t j) -> char& { return path_[i * w + j]; };
+
+  // Boundary: end gaps free (val already zeroed by resize, but the workspace
+  // is reused, so reset explicitly).
+  for (std::size_t i = 0; i <= lx_; ++i) { val(i, 0) = 0.0; path(i, 0) = 0; }
+  for (std::size_t j = 0; j <= ly_; ++j) { val(0, j) = 0.0; path(0, j) = 0; }
+
+  for (std::size_t i = 1; i <= lx_; ++i) {
+    for (std::size_t j = 1; j <= ly_; ++j) {
+      const double d = val(i - 1, j - 1) + score_[(i - 1) * ly_ + (j - 1)];
+      double h = val(i - 1, j);
+      if (path(i - 1, j) != 0) h += gap_open;  // gap opens after a match
+      double v = val(i, j - 1);
+      if (path(i, j - 1) != 0) v += gap_open;
+      if (d >= h && d >= v) {
+        path(i, j) = 1;
+        val(i, j) = d;
+      } else {
+        path(i, j) = 0;
+        val(i, j) = (v >= h) ? v : h;
+      }
+    }
+  }
+  if (stats != nullptr) stats->dp_cells += static_cast<std::uint64_t>(lx_) * ly_;
+
+  // Traceback (TM-align's tie-breaking: prefer vertical moves on ties).
+  Alignment y2x(ly_, -1);
+  std::size_t i = lx_, j = ly_;
+  while (i > 0 && j > 0) {
+    if (path(i, j) != 0) {
+      y2x[j - 1] = static_cast<int>(i - 1);
+      --i;
+      --j;
+    } else {
+      double h = val(i - 1, j);
+      if (path(i - 1, j) != 0) h += gap_open;
+      double v = val(i, j - 1);
+      if (path(i, j - 1) != 0) v += gap_open;
+      if (v >= h)
+        --j;
+      else
+        --i;
+    }
+  }
+  return y2x;
+}
+
+}  // namespace rck::core

@@ -1,0 +1,89 @@
+#include "rck/core/quality.hpp"
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "rck/core/kabsch.hpp"
+
+namespace rck::core {
+
+using bio::Vec3;
+
+namespace {
+
+QualityResult evaluate_pairs(const std::vector<Vec3>& xa, const std::vector<Vec3>& ya,
+                             int reference_length, const TmSearchOptions& opts) {
+  QualityResult out;
+  out.paired = static_cast<int>(xa.size());
+
+  const double d0 = d0_of_length(reference_length);
+  const TmSearchResult search =
+      tmscore_search(xa, ya, reference_length, d0, opts, &out.stats);
+  out.tm = search.tm;
+  out.transform = search.transform;
+
+  // Distances under the TM-optimal superposition drive every other metric.
+  std::vector<double> d(xa.size());
+  double ss = 0.0;
+  for (std::size_t k = 0; k < xa.size(); ++k) {
+    d[k] = distance(search.transform.apply(xa[k]), ya[k]);
+    ss += d[k] * d[k];
+  }
+  out.rmsd = std::sqrt(ss / static_cast<double>(xa.size()));
+  out.stats.scored_pairs += xa.size();
+
+  const auto fraction_within = [&](double cut) {
+    int n = 0;
+    for (double dist : d) n += dist <= cut;
+    return static_cast<double>(n) / static_cast<double>(reference_length);
+  };
+  out.gdt_ts = (fraction_within(1.0) + fraction_within(2.0) + fraction_within(4.0) +
+                fraction_within(8.0)) /
+               4.0;
+  out.gdt_ha = (fraction_within(0.5) + fraction_within(1.0) + fraction_within(2.0) +
+                fraction_within(4.0)) /
+               4.0;
+
+  // MaxSub: the TM-style sum with d = 3.5 A over pairs within 3.5 A.
+  const double dm = 3.5;
+  double maxsub = 0.0;
+  for (double dist : d)
+    if (dist <= dm) maxsub += 1.0 / (1.0 + (dist / dm) * (dist / dm));
+  out.maxsub = maxsub / static_cast<double>(reference_length);
+  return out;
+}
+
+}  // namespace
+
+std::optional<QualityResult> score_model(const bio::Protein& model,
+                                         const bio::Protein& reference,
+                                         const TmSearchOptions& opts) {
+  // Pair by author residue number; first occurrence wins on duplicates.
+  std::map<std::int32_t, Vec3> by_seq;
+  for (const bio::Residue& r : model.residues()) by_seq.emplace(r.seq, r.ca);
+
+  std::vector<Vec3> xa, ya;
+  for (const bio::Residue& r : reference.residues()) {
+    const auto it = by_seq.find(r.seq);
+    if (it == by_seq.end()) continue;
+    xa.push_back(it->second);
+    ya.push_back(r.ca);
+  }
+  if (xa.size() < 3) return std::nullopt;
+  return evaluate_pairs(xa, ya, static_cast<int>(reference.size()), opts);
+}
+
+QualityResult score_model_by_index(const bio::Protein& model,
+                                   const bio::Protein& reference,
+                                   const TmSearchOptions& opts) {
+  if (model.size() != reference.size())
+    throw std::invalid_argument("score_model_by_index: length mismatch");
+  if (model.size() < 3)
+    throw std::invalid_argument("score_model_by_index: need >= 3 residues");
+  return evaluate_pairs(model.ca_coords(), reference.ca_coords(),
+                        static_cast<int>(reference.size()), opts);
+}
+
+}  // namespace rck::core

@@ -1,0 +1,48 @@
+#include "rck/core/rmsd_method.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "rck/core/kabsch.hpp"
+
+namespace rck::core {
+
+using bio::Vec3;
+
+RmsdResult best_gapless_rmsd(const bio::Protein& a, const bio::Protein& b) {
+  if (a.size() < 5 || b.size() < 5)
+    throw std::invalid_argument("best_gapless_rmsd: chains must have >= 5 residues");
+
+  const std::vector<Vec3> x = a.ca_coords();
+  const std::vector<Vec3> y = b.ca_coords();
+  const int n1 = static_cast<int>(x.size());
+  const int n2 = static_cast<int>(y.size());
+  const int min_ali = std::max(5, std::min(n1, n2) / 2);
+
+  RmsdResult out;
+  out.rmsd = std::numeric_limits<double>::infinity();
+
+  std::vector<Vec3> xa, ya;
+  for (int k = -(n1 - min_ali); k <= n2 - min_ali; ++k) {
+    const int i_lo = std::max(0, -k);
+    const int i_hi = std::min(n1, n2 - k);
+    if (i_hi - i_lo < min_ali) continue;
+    xa.clear();
+    ya.clear();
+    for (int i = i_lo; i < i_hi; ++i) {
+      xa.push_back(x[static_cast<std::size_t>(i)]);
+      ya.push_back(y[static_cast<std::size_t>(i + k)]);
+    }
+    const double r = superposed_rmsd(xa, ya, &out.stats);
+    if (r < out.rmsd) {
+      out.rmsd = r;
+      out.aligned_length = i_hi - i_lo;
+      out.offset = k;
+    }
+  }
+  return out;
+}
+
+}  // namespace rck::core

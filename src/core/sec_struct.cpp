@@ -1,0 +1,66 @@
+#include "rck/core/sec_struct.hpp"
+
+#include <cmath>
+
+namespace rck::core {
+
+using bio::SsType;
+using bio::Vec3;
+
+SsType sec_str(double d13, double d14, double d15, double d24, double d25,
+               double d35) noexcept {
+  // Helix template (distances of an ideal alpha-helix), tolerance 2.1 A.
+  {
+    const double delta = 2.1;
+    if (std::abs(d15 - 6.37) < delta && std::abs(d14 - 5.18) < delta &&
+        std::abs(d25 - 5.18) < delta && std::abs(d13 - 5.45) < delta &&
+        std::abs(d24 - 5.45) < delta && std::abs(d35 - 5.45) < delta)
+      return SsType::Helix;
+  }
+  // Strand template (extended chain), tolerance 1.42 A.
+  {
+    const double delta = 1.42;
+    if (std::abs(d15 - 13.0) < delta && std::abs(d14 - 10.4) < delta &&
+        std::abs(d25 - 10.4) < delta && std::abs(d13 - 6.1) < delta &&
+        std::abs(d24 - 6.1) < delta && std::abs(d35 - 6.1) < delta)
+      return SsType::Strand;
+  }
+  if (d15 < 8.0) return SsType::Turn;
+  return SsType::Coil;
+}
+
+std::vector<SsType> assign_secondary_structure(std::span<const Vec3> ca) {
+  const std::size_t n = ca.size();
+  std::vector<SsType> sec(n, SsType::Coil);
+  if (n < 5) return sec;
+  for (std::size_t i = 2; i + 2 < n; ++i) {
+    const double d13 = distance(ca[i - 2], ca[i]);
+    const double d14 = distance(ca[i - 2], ca[i + 1]);
+    const double d15 = distance(ca[i - 2], ca[i + 2]);
+    const double d24 = distance(ca[i - 1], ca[i + 1]);
+    const double d25 = distance(ca[i - 1], ca[i + 2]);
+    const double d35 = distance(ca[i], ca[i + 2]);
+    sec[i] = sec_str(d13, d14, d15, d24, d25, d35);
+  }
+  return sec;
+}
+
+char ss_char(SsType t) noexcept {
+  switch (t) {
+    case SsType::Helix: return 'H';
+    case SsType::Strand: return 'E';
+    case SsType::Turn: return 'T';
+    case SsType::Coil: return 'C';
+  }
+  return 'C';
+}
+
+std::string secondary_structure_string(std::span<const Vec3> ca) {
+  const std::vector<SsType> sec = assign_secondary_structure(ca);
+  std::string s;
+  s.reserve(sec.size());
+  for (SsType t : sec) s.push_back(ss_char(t));
+  return s;
+}
+
+}  // namespace rck::core

@@ -1,0 +1,120 @@
+#include "rck/core/tmscore.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "rck/core/kabsch.hpp"
+
+namespace rck::core {
+
+using bio::Transform;
+using bio::Vec3;
+
+double d0_of_length(int lnorm) noexcept {
+  if (lnorm <= 21) return 0.5;
+  const double d0 = 1.24 * std::cbrt(static_cast<double>(lnorm) - 15.0) - 1.8;
+  return std::max(d0, 0.5);
+}
+
+double tm_of_transform(std::span<const Vec3> xa, std::span<const Vec3> ya,
+                       const Transform& t, int lnorm, double d0, AlignStats* stats) {
+  const double d0sq = d0 * d0;
+  double sum = 0.0;
+  for (std::size_t k = 0; k < xa.size(); ++k) {
+    const double d2 = distance2(t.apply(xa[k]), ya[k]);
+    sum += 1.0 / (1.0 + d2 / d0sq);
+  }
+  if (stats != nullptr) stats->scored_pairs += xa.size();
+  return sum / static_cast<double>(lnorm);
+}
+
+namespace {
+
+/// One refinement pass: score all pairs under `t`, returning the TM-score
+/// and the subset of pair indices with distance below `d_cut`.
+double score_and_select(std::span<const Vec3> xa, std::span<const Vec3> ya,
+                        const Transform& t, double d0sq, int lnorm, double d_cut,
+                        std::vector<int>& selected, AlignStats* stats) {
+  const double cut2 = d_cut * d_cut;
+  selected.clear();
+  double sum = 0.0;
+  for (std::size_t k = 0; k < xa.size(); ++k) {
+    const double d2 = distance2(t.apply(xa[k]), ya[k]);
+    sum += 1.0 / (1.0 + d2 / d0sq);
+    if (d2 < cut2) selected.push_back(static_cast<int>(k));
+  }
+  if (stats != nullptr) stats->scored_pairs += xa.size();
+  return sum / static_cast<double>(lnorm);
+}
+
+}  // namespace
+
+TmSearchResult tmscore_search(std::span<const Vec3> xa, std::span<const Vec3> ya,
+                              int lnorm, double d0, const TmSearchOptions& opts,
+                              AlignStats* stats) {
+  TmSearchResult best;
+  const int n = static_cast<int>(xa.size());
+  if (n < 3) return best;
+
+  const double d0sq = d0 * d0;
+  const double d_base =
+      std::clamp(d0, opts.d_search_min, opts.d_search_max);
+
+  const int max_iters = opts.fast ? 4 : opts.max_outer_iters;
+  const int seeds_per_level = opts.fast ? 3 : opts.max_seeds_per_level;
+
+  std::vector<Vec3> sel_x, sel_y;
+  std::vector<int> selected, prev_selected;
+
+  for (int seed_len = n; seed_len >= opts.min_seed_len; seed_len /= 2) {
+    const int n_starts = n - seed_len + 1;
+    int step = std::max(1, seed_len / 2);
+    // Cap the number of starts per level.
+    if ((n_starts + step - 1) / step > seeds_per_level)
+      step = std::max(1, n_starts / seeds_per_level);
+
+    for (int start = 0; start < n_starts; start += step) {
+      // Seed superposition on the window [start, start + seed_len).
+      sel_x.assign(xa.begin() + start, xa.begin() + start + seed_len);
+      sel_y.assign(ya.begin() + start, ya.begin() + start + seed_len);
+      Transform t = superpose(sel_x, sel_y, stats).transform;
+
+      double d_cut = d_base - 1.0;
+      prev_selected.clear();
+      for (int iter = 0; iter < max_iters; ++iter) {
+        const double tm =
+            score_and_select(xa, ya, t, d0sq, lnorm, d_cut, selected, stats);
+        if (tm > best.tm) {
+          best.tm = tm;
+          best.transform = t;
+        }
+        // Grow the cutoff until at least 3 pairs survive (TM-align does the
+        // same; guarantees progress on poor seeds).
+        while (static_cast<int>(selected.size()) < 3 && d_cut < d_base + 8.0) {
+          d_cut += 0.5;
+          score_and_select(xa, ya, t, d0sq, lnorm, d_cut, selected, stats);
+        }
+        if (static_cast<int>(selected.size()) < 3) break;
+        if (selected == prev_selected) break;  // converged
+        prev_selected = selected;
+
+        sel_x.clear();
+        sel_y.clear();
+        for (int k : selected) {
+          sel_x.push_back(xa[static_cast<std::size_t>(k)]);
+          sel_y.push_back(ya[static_cast<std::size_t>(k)]);
+        }
+        t = superpose(sel_x, sel_y, stats).transform;
+      }
+    }
+    if (seed_len == opts.min_seed_len) break;
+    // Mirror TM-align's scale schedule: L, L/2, L/4, ..., but always finish
+    // with the minimum window so short motifs get a chance.
+    if (seed_len / 2 < opts.min_seed_len && seed_len > opts.min_seed_len)
+      seed_len = opts.min_seed_len * 2;
+  }
+  return best;
+}
+
+}  // namespace rck::core

@@ -1,0 +1,58 @@
+// Published numbers from the paper's evaluation section, embedded so every
+// bench can print paper-vs-measured side by side.
+//
+// Sources: Table II (rckAlign vs distributed TM-align, CK34), Table III
+// (serial baselines), Table IV (rckAlign speedup, CK34 + RS119), Table V
+// (summary). Figures 5 and 6 plot Table II and Table IV respectively.
+#pragma once
+
+#include <array>
+#include <span>
+
+namespace rck::harness {
+
+/// The slave-core counts the paper sweeps (1, 3, 5, ..., 47).
+std::span<const int> paper_core_counts();
+
+/// Table II: all-vs-all CK34 times in seconds per slave-core count.
+struct Table2Row {
+  int slave_cores;
+  double rckalign_s;
+  double distributed_s;
+};
+std::span<const Table2Row> paper_table2();
+
+/// Table III: serial all-vs-all baseline times (seconds).
+struct Table3 {
+  double amd_ck34 = 406.0;
+  double amd_rs119 = 7298.0;
+  double p54c_ck34 = 2029.0;
+  double p54c_rs119 = 28597.0;
+};
+constexpr Table3 kPaperTable3{};
+
+/// Table IV: rckAlign time and speedup per slave-core count, both datasets.
+struct Table4Row {
+  int slave_cores;
+  double ck34_speedup;
+  double ck34_time_s;
+  double rs119_speedup;
+  double rs119_time_s;
+};
+std::span<const Table4Row> paper_table4();
+
+/// Table V: summary times (seconds).
+struct Table5Row {
+  const char* dataset;
+  double tmalign_amd_s;
+  double tmalign_p54c_s;
+  double rckalign_scc_s;  // all 47 slave cores
+};
+std::span<const Table5Row> paper_table5();
+
+/// Headline claims: 11x over the AMD core and ~44x over one SCC core on
+/// RS119 (Section V-D / Table V).
+constexpr double kPaperSpeedupVsAmd = 11.0;
+constexpr double kPaperSpeedupVsP54c = 44.78;
+
+}  // namespace rck::harness

@@ -1,0 +1,46 @@
+// Plain-text table / CSV output helpers shared by the bench binaries.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rck::harness {
+
+/// Fixed-width text table with a title, column headers and string cells.
+class TextTable {
+ public:
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  void set_columns(std::vector<std::string> headers);
+
+  /// Append a row; must match the column count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with aligned columns. Numeric-looking cells are right-aligned.
+  void print(std::ostream& os) const;
+
+  /// Comma-separated dump (headers + rows), for plotting scripts.
+  std::string to_csv() const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format seconds with sensible precision (e.g. "2029", "56.3", "0.0012").
+std::string fmt_seconds(double s);
+
+/// Format a ratio like "36.2x".
+std::string fmt_speedup(double x);
+
+/// Format a relative deviation like "+4.1%" / "-12%".
+std::string fmt_rel_err(double measured, double reference);
+
+/// Write `csv` to `path`, creating parent directories.
+void write_file(const std::string& path, const std::string& contents);
+
+}  // namespace rck::harness

@@ -1,0 +1,115 @@
+#include "rck/harness/tables.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rck::harness {
+
+void TextTable::set_columns(std::vector<std::string> headers) {
+  headers_ = std::move(headers);
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size())
+    throw std::invalid_argument("TextTable: row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s)
+    if (std::isalpha(static_cast<unsigned char>(c)) && c != 'x' && c != 'e' &&
+        c != 'E' && c != '%')
+      return false;
+  return std::isdigit(static_cast<unsigned char>(s.front())) || s.front() == '-' ||
+         s.front() == '+' || s.front() == '.';
+}
+
+}  // namespace
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  os << "== " << title_ << " ==\n";
+  auto emit = [&](const std::vector<std::string>& row, bool header) {
+    os << "  ";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const std::size_t pad = width[c] - row[c].size();
+      const bool right = !header && looks_numeric(row[c]);
+      if (right) os << std::string(pad, ' ');
+      os << row[c];
+      if (!right) os << std::string(pad, ' ');
+      os << (c + 1 == row.size() ? "" : "  ");
+    }
+    os << "\n";
+  };
+  emit(headers_, true);
+  os << "  " << std::string(
+      std::accumulate(width.begin(), width.end(), std::size_t{0}) + 2 * (width.size() - 1),
+      '-')
+     << "\n";
+  for (const auto& row : rows_) emit(row, false);
+  os << "\n";
+}
+
+std::string TextTable::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << row[c] << (c + 1 == row.size() ? "\n" : ",");
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string fmt_seconds(double s) {
+  char buf[32];
+  if (s >= 1000)
+    std::snprintf(buf, sizeof buf, "%.0f", s);
+  else if (s >= 10)
+    std::snprintf(buf, sizeof buf, "%.1f", s);
+  else if (s >= 0.1)
+    std::snprintf(buf, sizeof buf, "%.3f", s);
+  else
+    std::snprintf(buf, sizeof buf, "%.5f", s);
+  return buf;
+}
+
+std::string fmt_speedup(double x) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2fx", x);
+  return buf;
+}
+
+std::string fmt_rel_err(double measured, double reference) {
+  if (reference == 0.0) return "n/a";
+  const double pct = 100.0 * (measured - reference) / reference;
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%+.1f%%", pct);
+  return buf;
+}
+
+void write_file(const std::string& path, const std::string& contents) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+  std::ofstream out(p);
+  if (!out) throw std::runtime_error("write_file: cannot open " + path);
+  out << contents;
+}
+
+}  // namespace rck::harness

@@ -1,0 +1,35 @@
+#include "rck/noc/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace rck::noc {
+
+std::uint64_t EventQueue::schedule_at(SimTime t, Callback fn) {
+  if (t < now_) throw std::logic_error("EventQueue: scheduling into the past");
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Event{t, seq, std::move(fn)});
+  return seq;
+}
+
+void EventQueue::run_one() {
+  if (heap_.empty()) throw std::logic_error("EventQueue: run_one on empty queue");
+  // priority_queue::top returns const&; move out via const_cast is UB-adjacent,
+  // so copy the callback handle (std::function copy) — events are small.
+  Event ev = heap_.top();
+  heap_.pop();
+  now_ = ev.t;
+  ++fired_;
+  ev.fn();
+}
+
+std::size_t EventQueue::run(SimTime until) {
+  std::size_t n = 0;
+  while (!heap_.empty() && heap_.top().t <= until) {
+    run_one();
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace rck::noc

@@ -1,0 +1,56 @@
+#include "rck/noc/heatmap.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace rck::noc {
+
+char utilization_digit(double fraction) noexcept {
+  if (fraction >= 0.95) return '*';
+  if (fraction < 0.0) fraction = 0.0;
+  const int tenth = std::min(9, static_cast<int>(fraction * 10.0));
+  return static_cast<char>('0' + tenth);
+}
+
+std::string render_link_heatmap(const Network& net, SimTime makespan) {
+  if (makespan == 0) throw std::invalid_argument("render_link_heatmap: zero makespan");
+  const Mesh& mesh = net.mesh();
+  const double span = static_cast<double>(makespan);
+
+  const auto pair_util = [&](int a, int b) {
+    // Busier direction of the {a->b, b->a} pair.
+    const double fwd = static_cast<double>(net.link_stats({a, b}).busy) / span;
+    const double rev = static_cast<double>(net.link_stats({b, a}).busy) / span;
+    return std::max(fwd, rev);
+  };
+
+  std::ostringstream os;
+  char buf[16];
+  for (int y = 0; y < mesh.rows(); ++y) {
+    // Router row with eastward links.
+    for (int x = 0; x < mesh.cols(); ++x) {
+      const int n = mesh.node({x, y});
+      std::snprintf(buf, sizeof buf, "[%02d]", n);
+      os << buf;
+      if (x + 1 < mesh.cols())
+        os << ' ' << utilization_digit(pair_util(n, mesh.node({x + 1, y}))) << '>';
+    }
+    os << '\n';
+    // Vertical links to the next row.
+    if (y + 1 < mesh.rows()) {
+      for (int x = 0; x < mesh.cols(); ++x) {
+        const int n = mesh.node({x, y});
+        os << " v" << utilization_digit(pair_util(n, mesh.node({x, y + 1})));
+        if (x + 1 < mesh.cols()) os << "    ";
+      }
+      os << '\n';
+    }
+  }
+  os << "link utilization in tenths of the run ('*' >= 95%); busier direction "
+        "of each pair shown\n";
+  return os.str();
+}
+
+}  // namespace rck::noc

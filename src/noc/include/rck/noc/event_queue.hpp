@@ -1,0 +1,67 @@
+// Deterministic discrete-event queue.
+//
+// Events are ordered by (time, insertion sequence): two events at the same
+// simulated instant always fire in the order they were scheduled, so a run
+// is bit-for-bit reproducible regardless of heap internals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "rck/noc/sim_time.hpp"
+
+namespace rck::noc {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `fn` at absolute time `t`. Returns the event's sequence id.
+  /// Precondition: t >= now() (no scheduling into the past).
+  std::uint64_t schedule_at(SimTime t, Callback fn);
+
+  /// Schedule `fn` `delay` after the current time.
+  std::uint64_t schedule_after(SimTime delay, Callback fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Time of the most recently fired event (0 before any event).
+  SimTime now() const noexcept { return now_; }
+
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t pending() const noexcept { return heap_.size(); }
+
+  /// Time of the earliest pending event. Precondition: !empty().
+  SimTime next_time() const noexcept { return heap_.top().t; }
+
+  /// Fire the earliest pending event (advances now()). Precondition: !empty().
+  void run_one();
+
+  /// Fire events until the queue is empty or `until` is exceeded.
+  /// Returns the number of events fired.
+  std::size_t run(SimTime until = ~SimTime{0});
+
+  /// Total events fired since construction.
+  std::uint64_t fired() const noexcept { return fired_; }
+
+ private:
+  struct Event {
+    SimTime t;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t fired_ = 0;
+};
+
+}  // namespace rck::noc

@@ -1,0 +1,27 @@
+// ASCII utilization heatmap of the mesh links.
+//
+// Renders the network's per-link busy fractions onto the chip floorplan:
+//
+//   [00] 4>[01] 2>[02] ...
+//    v1     v0     v3
+//   [06] 1>[07] ...
+//
+// Each directed link pair is summarized by one digit 0-9 (the busier
+// direction's utilization in tenths, '*' for >= 95%). Makes hot rows /
+// columns around the master visible at a glance.
+#pragma once
+
+#include <string>
+
+#include "rck/noc/network.hpp"
+
+namespace rck::noc {
+
+/// Render the utilization of every adjacent link pair over [0, makespan].
+/// Throws std::invalid_argument when makespan is 0.
+std::string render_link_heatmap(const Network& net, SimTime makespan);
+
+/// Digit for a utilization fraction: '0'..'9', '*' for >= 0.95, clamped.
+char utilization_digit(double fraction) noexcept;
+
+}  // namespace rck::noc

@@ -1,0 +1,70 @@
+// 2-D mesh topology with dimension-ordered (XY) routing.
+//
+// The SCC's 24 routers form a 6x4 mesh; each router serves one tile. XY
+// routing (travel along X to the destination column, then along Y) is what
+// the SCC's mesh interface units implement; it is deadlock-free and
+// deterministic, which we rely on for reproducible link contention.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace rck::noc {
+
+/// A router/tile position in the mesh.
+struct MeshCoord {
+  int x = 0;
+  int y = 0;
+  friend bool operator==(const MeshCoord&, const MeshCoord&) = default;
+};
+
+/// A directed link between adjacent routers, identified by its endpoints.
+struct Link {
+  int from = 0;  ///< source router id
+  int to = 0;    ///< destination router id
+  friend bool operator==(const Link&, const Link&) = default;
+};
+
+class Mesh {
+ public:
+  /// Construct a cols x rows mesh (defaults: the SCC's 6x4). With
+  /// `torus = true` rows and columns wrap around (each dimension must then
+  /// be >= 3 so the two directions around a ring are distinct); XY routing
+  /// takes the shorter way around each dimension.
+  explicit Mesh(int cols = 6, int rows = 4, bool torus = false);
+
+  int cols() const noexcept { return cols_; }
+  int rows() const noexcept { return rows_; }
+  bool is_torus() const noexcept { return torus_; }
+  int node_count() const noexcept { return cols_ * rows_; }
+
+  /// Number of directed links (mesh: 4*cols*rows - 2*cols - 2*rows;
+  /// torus: 4*cols*rows).
+  int link_count() const noexcept;
+
+  MeshCoord coord(int node) const;
+  int node(MeshCoord c) const;
+
+  /// Manhattan distance between two routers.
+  int hops(int from, int to) const;
+
+  /// The sequence of directed links a packet traverses under XY routing.
+  /// Empty when from == to.
+  std::vector<Link> xy_route(int from, int to) const;
+
+  /// Stable index of a directed link in [0, 4 * node_count()), for stats
+  /// arrays (4 outgoing directions per router; edge routers leave gaps).
+  int link_index(const Link& l) const;
+
+  /// Upper bound (exclusive) of link_index values.
+  int link_index_bound() const noexcept { return 4 * node_count(); }
+
+ private:
+  void check_node(int node) const;
+  int cols_;
+  int rows_;
+  bool torus_;
+};
+
+}  // namespace rck::noc

@@ -1,0 +1,121 @@
+#include "rck/noc/mesh.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace rck::noc {
+
+Mesh::Mesh(int cols, int rows, bool torus) : cols_(cols), rows_(rows), torus_(torus) {
+  if (cols < 1 || rows < 1) throw std::invalid_argument("Mesh: bad dimensions");
+  if (torus && (cols < 3 || rows < 3))
+    throw std::invalid_argument("Mesh: torus requires both dimensions >= 3");
+}
+
+int Mesh::link_count() const noexcept {
+  if (torus_) return 4 * cols_ * rows_;  // every node has all four out-links
+  // Each of the (cols-1)*rows horizontal and cols*(rows-1) vertical adjacent
+  // pairs contributes two directed links.
+  return 2 * ((cols_ - 1) * rows_ + cols_ * (rows_ - 1));
+}
+
+void Mesh::check_node(int n) const {
+  if (n < 0 || n >= node_count()) throw std::out_of_range("Mesh: bad node id");
+}
+
+MeshCoord Mesh::coord(int n) const {
+  check_node(n);
+  return {n % cols_, n / cols_};
+}
+
+int Mesh::node(MeshCoord c) const {
+  if (c.x < 0 || c.x >= cols_ || c.y < 0 || c.y >= rows_)
+    throw std::out_of_range("Mesh: bad coordinate");
+  return c.y * cols_ + c.x;
+}
+
+namespace {
+
+/// Signed step count along one wrapped dimension: the shorter way around.
+/// Ties (exactly half way) go in the positive direction.
+int ring_delta(int from, int to, int size) {
+  int d = (to - from) % size;
+  if (d < 0) d += size;  // forward distance in [0, size)
+  return 2 * d <= size ? d : d - size;
+}
+
+}  // namespace
+
+int Mesh::hops(int from, int to) const {
+  const MeshCoord a = coord(from);
+  const MeshCoord b = coord(to);
+  if (!torus_) return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+  const int dx = std::abs(b.x - a.x);
+  const int dy = std::abs(b.y - a.y);
+  return std::min(dx, cols_ - dx) + std::min(dy, rows_ - dy);
+}
+
+std::vector<Link> Mesh::xy_route(int from, int to) const {
+  check_node(from);
+  check_node(to);
+  std::vector<Link> route;
+  MeshCoord cur = coord(from);
+  const MeshCoord dst = coord(to);
+
+  if (!torus_) {
+    while (cur.x != dst.x) {
+      MeshCoord next = cur;
+      next.x += (dst.x > cur.x) ? 1 : -1;
+      route.push_back({node(cur), node(next)});
+      cur = next;
+    }
+    while (cur.y != dst.y) {
+      MeshCoord next = cur;
+      next.y += (dst.y > cur.y) ? 1 : -1;
+      route.push_back({node(cur), node(next)});
+      cur = next;
+    }
+    return route;
+  }
+
+  int dx = ring_delta(cur.x, dst.x, cols_);
+  while (dx != 0) {
+    MeshCoord next = cur;
+    next.x = ((cur.x + (dx > 0 ? 1 : -1)) % cols_ + cols_) % cols_;
+    route.push_back({node(cur), node(next)});
+    cur = next;
+    dx += dx > 0 ? -1 : 1;
+  }
+  int dy = ring_delta(cur.y, dst.y, rows_);
+  while (dy != 0) {
+    MeshCoord next = cur;
+    next.y = ((cur.y + (dy > 0 ? 1 : -1)) % rows_ + rows_) % rows_;
+    route.push_back({node(cur), node(next)});
+    cur = next;
+    dy += dy > 0 ? -1 : 1;
+  }
+  return route;
+}
+
+int Mesh::link_index(const Link& l) const {
+  const MeshCoord a = coord(l.from);
+  const MeshCoord b = coord(l.to);
+  int dx = b.x - a.x;
+  int dy = b.y - a.y;
+  if (torus_) {
+    // Wraparound steps look like +-(size-1); normalize to unit steps.
+    if (dx == cols_ - 1) dx = -1;
+    else if (dx == -(cols_ - 1)) dx = 1;
+    if (dy == rows_ - 1) dy = -1;
+    else if (dy == -(rows_ - 1)) dy = 1;
+  }
+  // Directions: 0=east, 1=west, 2=north(+y), 3=south(-y).
+  int dir;
+  if (dx == 1 && dy == 0) dir = 0;
+  else if (dx == -1 && dy == 0) dir = 1;
+  else if (dx == 0 && dy == 1) dir = 2;
+  else if (dx == 0 && dy == -1) dir = 3;
+  else throw std::invalid_argument("Mesh: link endpoints not adjacent");
+  return l.from * 4 + dir;
+}
+
+}  // namespace rck::noc

@@ -1,0 +1,63 @@
+#include "rck/noc/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rck::noc {
+
+Network::Network(EventQueue& queue, Mesh mesh, NetworkParams params)
+    : queue_(queue), mesh_(std::move(mesh)), params_(params) {
+  link_free_.assign(static_cast<std::size_t>(mesh_.link_index_bound()), 0);
+  links_.assign(static_cast<std::size_t>(mesh_.link_index_bound()), LinkStats{});
+}
+
+SimTime Network::transfer_time(std::uint64_t bytes) const {
+  const double ns = static_cast<double>(bytes) / params_.bytes_per_ns;
+  const std::uint64_t chunks =
+      bytes == 0 ? 0 : (bytes + params_.mpb_chunk_bytes - 1) / params_.mpb_chunk_bytes;
+  return static_cast<SimTime>(ns * static_cast<double>(kPsPerNs) + 0.5) +
+         chunks * params_.per_chunk_overhead;
+}
+
+SimTime Network::uncontended_latency(int src, int dst, std::uint64_t bytes) const {
+  const int hops = mesh_.hops(src, dst);
+  return params_.sw_overhead + static_cast<SimTime>(hops) * params_.hop_latency +
+         transfer_time(bytes);
+}
+
+SimTime Network::send(int src, int dst, std::uint64_t bytes, SimTime depart,
+                      std::function<void(SimTime)> on_delivered) {
+  // Wormhole-style pipelining: the message head advances one hop_latency per
+  // router while the body streams behind it, so the uncontended end-to-end
+  // latency is sw + hops * hop_latency + one transfer time. Each traversed
+  // link stays occupied for (hop_latency + transfer) from the head's entry,
+  // which is what serializes concurrent messages sharing a link.
+  const SimTime xfer = transfer_time(bytes);
+  SimTime head = depart + params_.sw_overhead;
+  SimTime queueing = 0;
+
+  const std::vector<Link> route = mesh_.xy_route(src, dst);
+  for (const Link& l : route) {
+    const std::size_t idx = static_cast<std::size_t>(mesh_.link_index(l));
+    const SimTime start = std::max(head, link_free_[idx]);
+    queueing += start - head;
+    link_free_[idx] = start + params_.hop_latency + xfer;
+    LinkStats& ls = links_[idx];
+    ls.messages += 1;
+    ls.bytes += bytes;
+    ls.busy += params_.hop_latency + xfer;
+    head = start + params_.hop_latency;
+  }
+  const SimTime t = head + xfer;  // tail arrival (same-tile MPB copy included)
+
+  stats_.messages += 1;
+  stats_.total_bytes += bytes;
+  stats_.total_hops += static_cast<std::uint64_t>(route.size());
+  stats_.total_queueing += queueing;
+
+  const SimTime arrival = t;
+  queue_.schedule_at(arrival, [cb = std::move(on_delivered), arrival] { cb(arrival); });
+  return arrival;
+}
+
+}  // namespace rck::noc

@@ -1,0 +1,74 @@
+// RCCE-style communication environment over the simulated SCC.
+//
+// RCCE ("rocky") is Intel's compact message-passing library for the SCC; the
+// paper's rckskel library is built directly on RCCE_send / RCCE_recv plus
+// the init/finalize/core-count helpers. This module reproduces that API
+// surface (C++-ified: payloads are byte vectors, errors are exceptions) on
+// top of the scc::SpmdRuntime, so the skeleton layer above is a faithful
+// port rather than a shortcut onto simulator internals.
+//
+// RCCE terminology: a running program instance is a "UE" (unit of
+// execution), one per core, identified by its rank.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "rck/bio/serialize.hpp"
+#include "rck/scc/runtime.hpp"
+
+namespace rck::rcce {
+
+/// Per-UE communication handle, analogous to an initialized RCCE
+/// environment. Construct one at the top of the SPMD program (the paper's
+/// RCCE_APP entry point) from the core context.
+class Comm {
+ public:
+  explicit Comm(scc::CoreCtx& ctx) : ctx_(&ctx) {}
+
+  /// RCCE_ue(): this UE's id.
+  int ue() const noexcept { return ctx_->rank(); }
+  /// RCCE_num_ues(): number of participating UEs.
+  int num_ues() const noexcept { return ctx_->nranks(); }
+  /// SCC host name of this core ("rck00" ... "rck47").
+  std::string ue_name() const { return ctx_->chip().core_name(ctx_->rank()); }
+
+  /// RCCE_wtime(): simulated wall-clock seconds on this core.
+  double wtime() const noexcept { return noc::to_seconds(ctx_->now()); }
+
+  /// RCCE_send(): blocking send of a byte payload to `dest`.
+  void send(int dest, bio::Bytes payload) { ctx_->send(dest, std::move(payload)); }
+
+  /// RCCE_recv(): blocking receive from `source`.
+  bio::Bytes recv(int source) { return ctx_->recv(source); }
+
+  /// RCCE flag test: true if a message from `source` is pending.
+  bool test(int source) { return ctx_->probe(source); }
+
+  /// Poll the given UEs round-robin until one has a pending message;
+  /// returns that UE. (rckskel's COLLECT busy-loop, fast-forwarded.)
+  int wait_any(std::span<const int> sources) { return ctx_->wait_any(sources); }
+
+  /// RCCE_barrier() across all UEs.
+  void barrier() { ctx_->barrier(); }
+
+  /// Charge compute performed by application code between communications.
+  void charge_cycles(std::uint64_t cycles) { ctx_->charge_cycles(cycles); }
+  void charge_time(noc::SimTime dt) { ctx_->charge(dt); }
+  /// Charge a bulk read from this core's DRAM (e.g. loading structures).
+  void charge_dram_read(std::uint64_t bytes) { ctx_->dram_read(bytes); }
+
+  /// RCCE power-management API: re-clock this core (multiplier of the
+  /// nominal frequency). Charges the voltage/frequency transition stall.
+  void set_power(double freq_scale) { ctx_->set_freq_scale(freq_scale); }
+  double power() const noexcept { return ctx_->freq_scale(); }
+
+  /// Access the underlying core context (timing model, chip geometry).
+  scc::CoreCtx& ctx() noexcept { return *ctx_; }
+  const scc::CoreCtx& ctx() const noexcept { return *ctx_; }
+
+ private:
+  scc::CoreCtx* ctx_;
+};
+
+}  // namespace rck::rcce

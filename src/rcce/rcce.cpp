@@ -1,0 +1,5 @@
+// Comm is header-only today; this translation unit anchors the library and
+// will host connection setup / debug plumbing as it grows.
+#include "rck/rcce/rcce.hpp"
+
+namespace rck::rcce {}

@@ -1,0 +1,111 @@
+#include "rck/rckalign/app.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "rck/noc/heatmap.hpp"
+#include "rck/rcce/rcce.hpp"
+#include "rck/rckskel/skeletons.hpp"
+
+#include "pair_exec.hpp"
+
+namespace rck::rckalign {
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>> all_pairs(std::size_t n) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  pairs.reserve(n * (n - 1) / 2);
+  for (std::uint32_t i = 0; i + 1 < n; ++i)
+    for (std::uint32_t j = i + 1; j < n; ++j) pairs.emplace_back(i, j);
+  return pairs;
+}
+
+
+RckAlignRun run_rckalign(const std::vector<bio::Protein>& dataset,
+                         const RckAlignOptions& opts) {
+  if (dataset.size() < 2)
+    throw std::invalid_argument("run_rckalign: need at least two chains");
+  if (opts.slave_count < 1 ||
+      opts.slave_count + 1 > opts.runtime.chip.core_count())
+    throw std::invalid_argument("run_rckalign: slave_count out of range for chip");
+  if (opts.cache != nullptr && opts.cache->chain_count() != dataset.size())
+    throw std::invalid_argument("run_rckalign: cache built for a different dataset");
+
+  const PairCache* cache = opts.cache;
+  RckAlignRun run;
+  scc::SpmdRuntime rt(opts.runtime);
+
+  const auto program = [&](scc::CoreCtx& ctx) {
+    rcce::Comm comm(ctx);
+    constexpr int kMaster = 0;
+    if (comm.ue() == kMaster) {
+      // Master loads every structure once from its DRAM (the paper's single
+      // loader process; no shared-disk contention by construction).
+      std::uint64_t dataset_bytes = 0;
+      for (const bio::Protein& p : dataset) dataset_bytes += p.wire_size();
+      comm.charge_dram_read(dataset_bytes);
+
+      // One job per unordered pair, FIFO in (i, j) order as in the paper.
+      const auto pairs = all_pairs(dataset.size());
+      std::vector<rckskel::Job> jobs;
+      jobs.reserve(pairs.size());
+      const scc::CoreTimingModel& model = ctx.timing();
+      for (std::size_t k = 0; k < pairs.size(); ++k) {
+        const auto [i, j] = pairs[k];
+        rckskel::Job job;
+        job.id = k;
+        job.payload = encode_pair_job(i, j, opts.method, dataset[i], dataset[j]);
+        // Cost hint for LPT: exact when cached, else the O(L1*L2) proxy.
+        job.cost_hint = cache != nullptr
+                            ? cache->pair_cycles(i, j, model)
+                            : static_cast<std::uint64_t>(dataset[i].size()) *
+                                  dataset[j].size();
+        jobs.push_back(std::move(job));
+      }
+
+      std::vector<int> slaves(static_cast<std::size_t>(opts.slave_count));
+      std::iota(slaves.begin(), slaves.end(), 1);
+      rckskel::FarmOptions fopts;
+      fopts.lpt_order = opts.lpt;
+      const rckskel::Task task = rckskel::Task::make_par(slaves, std::move(jobs));
+      std::vector<rckskel::JobResult> collected = rckskel::farm(comm, task, fopts);
+
+      run.results.reserve(collected.size());
+      for (rckskel::JobResult& jr : collected) {
+        const PairOutcome o = decode_outcome(std::move(jr.payload));
+        run.results.push_back(PairRow{o.i, o.j, o.tm_norm_a, o.tm_norm_b, o.rmsd,
+                                      o.seq_identity, o.aligned_length, jr.worker});
+      }
+    } else {
+      rckskel::farm_slave(comm, kMaster,
+                          [cache](rcce::Comm& c, const bio::Bytes& payload) {
+                            return detail::execute_pair_job(c, payload, cache);
+                          });
+    }
+  };
+
+  run.makespan = rt.run(opts.slave_count + 1, program);
+  run.core_reports = rt.core_reports();
+  run.network = rt.network_stats();
+  run.events = rt.events_fired();
+  if (opts.runtime.enable_trace) {
+    run.trace = rt.trace();
+    run.link_heatmap = noc::render_link_heatmap(rt.network(), run.makespan);
+  }
+  return run;
+}
+
+noc::SimTime run_serial(const std::vector<bio::Protein>& dataset, const PairCache& cache,
+                        const scc::CoreTimingModel& model, const scc::SccConfig& chip,
+                        const noc::NetworkParams& net) {
+  if (cache.chain_count() != dataset.size())
+    throw std::invalid_argument("run_serial: cache/dataset mismatch");
+  std::uint64_t dataset_bytes = 0;
+  for (const bio::Protein& p : dataset) dataset_bytes += p.wire_size();
+  // Same structure as the paper's modified serial program: load everything
+  // once, then compare all pairs back to back on one core.
+  noc::SimTime t = chip.dram_read_time(/*core=*/0, dataset_bytes, net.hop_latency);
+  t += model.cycles_to_time(cache.total_cycles(model));
+  return t;
+}
+
+}  // namespace rck::rckalign

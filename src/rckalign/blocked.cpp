@@ -1,0 +1,136 @@
+#include "rck/rckalign/blocked.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "rck/rcce/rcce.hpp"
+#include "rck/rckskel/skeletons.hpp"
+
+#include "pair_exec.hpp"
+
+namespace rck::rckalign {
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>> plan_blocks(
+    const std::vector<bio::Protein>& dataset, std::uint64_t master_memory_bytes) {
+  const std::uint32_t n = static_cast<std::uint32_t>(dataset.size());
+  if (master_memory_bytes == 0) return {{0, n}};
+
+  // Two blocks must be resident at once, so each block gets half the budget.
+  const std::uint64_t per_block = master_memory_bytes / 2;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> blocks;
+  std::uint32_t begin = 0;
+  std::uint64_t used = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint64_t sz = dataset[i].wire_size();
+    if (sz > per_block)
+      throw std::invalid_argument(
+          "plan_blocks: a single chain exceeds half the memory budget");
+    if (used + sz > per_block && i > begin) {
+      blocks.push_back({begin, i});
+      begin = i;
+      used = 0;
+    }
+    used += sz;
+  }
+  blocks.push_back({begin, n});
+  return blocks;
+}
+
+BlockedRun run_rckalign_blocked(const std::vector<bio::Protein>& dataset,
+                                const BlockedOptions& opts) {
+  if (dataset.size() < 2)
+    throw std::invalid_argument("run_rckalign_blocked: need at least two chains");
+  if (opts.slave_count < 1 ||
+      opts.slave_count + 1 > opts.runtime.chip.core_count())
+    throw std::invalid_argument("run_rckalign_blocked: slave_count out of range");
+  if (opts.cache != nullptr && opts.cache->chain_count() != dataset.size())
+    throw std::invalid_argument("run_rckalign_blocked: cache/dataset mismatch");
+
+  const auto blocks = plan_blocks(dataset, opts.master_memory_bytes);
+  std::vector<std::uint64_t> block_bytes(blocks.size(), 0);
+  for (std::size_t b = 0; b < blocks.size(); ++b)
+    for (std::uint32_t i = blocks[b].first; i < blocks[b].second; ++i)
+      block_bytes[b] += dataset[i].wire_size();
+
+  const PairCache* cache = opts.cache;
+  BlockedRun run;
+  run.blocks = static_cast<int>(blocks.size());
+  scc::SpmdRuntime rt(opts.runtime);
+
+  const auto program = [&](scc::CoreCtx& ctx) {
+    rcce::Comm comm(ctx);
+    constexpr int kMaster = 0;
+    if (comm.ue() == kMaster) {
+      std::vector<int> slaves(static_cast<std::size_t>(opts.slave_count));
+      std::iota(slaves.begin(), slaves.end(), 1);
+      const scc::CoreTimingModel& model = ctx.timing();
+
+      // Resident block set (at most two).
+      int res_a = -1, res_b = -1;
+      auto ensure_loaded = [&](int blk) {
+        if (blk == res_a || blk == res_b) return;
+        comm.charge_dram_read(block_bytes[static_cast<std::size_t>(blk)]);
+        run.block_loads += 1;
+        run.bytes_loaded += block_bytes[static_cast<std::size_t>(blk)];
+        // Evict the block not needed (simple: replace the older slot).
+        if (res_a < 0) res_a = blk;
+        else if (res_b < 0) res_b = blk;
+        else {  // evict res_a, shift
+          res_a = res_b;
+          res_b = blk;
+        }
+      };
+
+      bool first_round = true;
+      std::uint64_t next_job_id = 0;
+      for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
+        for (std::size_t bj = bi; bj < blocks.size(); ++bj) {
+          ensure_loaded(static_cast<int>(bi));
+          if (bj != bi) ensure_loaded(static_cast<int>(bj));
+
+          std::vector<rckskel::Job> jobs;
+          for (std::uint32_t i = blocks[bi].first; i < blocks[bi].second; ++i) {
+            const std::uint32_t j_begin = bi == bj ? i + 1 : blocks[bj].first;
+            for (std::uint32_t j = j_begin; j < blocks[bj].second; ++j) {
+              rckskel::Job job;
+              job.id = next_job_id++;
+              job.payload =
+                  encode_pair_job(i, j, Method::TmAlign, dataset[i], dataset[j]);
+              job.cost_hint = cache != nullptr
+                                  ? cache->pair_cycles(i, j, model)
+                                  : static_cast<std::uint64_t>(dataset[i].size()) *
+                                        dataset[j].size();
+              jobs.push_back(std::move(job));
+            }
+          }
+          if (jobs.empty()) continue;
+
+          rckskel::FarmOptions fopts;
+          fopts.lpt_order = opts.lpt;
+          fopts.wait_ready = first_round;
+          fopts.send_terminate = false;
+          first_round = false;
+          const rckskel::Task task = rckskel::Task::make_par(slaves, std::move(jobs));
+          for (rckskel::JobResult& jr : rckskel::farm(comm, task, fopts)) {
+            const PairOutcome o = decode_outcome(std::move(jr.payload));
+            run.results.push_back(PairRow{o.i, o.j, o.tm_norm_a, o.tm_norm_b, o.rmsd,
+                                          o.seq_identity, o.aligned_length,
+                                          jr.worker});
+          }
+        }
+      }
+      rckskel::terminate(comm, slaves);
+    } else {
+      rckskel::farm_slave(comm, kMaster,
+                          [cache](rcce::Comm& c, const bio::Bytes& payload) {
+                            return detail::execute_pair_job(c, payload, cache);
+                          });
+    }
+  };
+
+  run.makespan = rt.run(opts.slave_count + 1, program);
+  run.core_reports = rt.core_reports();
+  return run;
+}
+
+}  // namespace rck::rckalign

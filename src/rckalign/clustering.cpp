@@ -1,0 +1,111 @@
+#include "rck/rckalign/clustering.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace rck::rckalign {
+
+namespace {
+
+/// UPGMA over a dense symmetric distance matrix.
+ClusterResult upgma(std::size_t n, std::vector<double> dist, double cut_height) {
+  ClusterResult out;
+  if (n == 0) return out;
+
+  auto d = [&](std::size_t i, std::size_t j) -> double& { return dist[i * n + j]; };
+
+  // Active clusters: representative index -> member list.
+  std::vector<std::vector<int>> members(n);
+  std::vector<bool> active(n, true);
+  for (std::size_t i = 0; i < n; ++i) members[i] = {static_cast<int>(i)};
+
+  std::size_t active_count = n;
+  while (active_count > 1) {
+    // Find the closest active pair (lowest indices win ties).
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t bi = 0, bj = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!active[i]) continue;
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (!active[j]) continue;
+        if (d(i, j) < best) {
+          best = d(i, j);
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    if (best > cut_height) break;  // dendrogram cut
+
+    out.merges.push_back({static_cast<int>(bi), static_cast<int>(bj), best});
+
+    // Average linkage: weighted by cluster sizes.
+    const double wi = static_cast<double>(members[bi].size());
+    const double wj = static_cast<double>(members[bj].size());
+    for (std::size_t k = 0; k < n; ++k) {
+      if (!active[k] || k == bi || k == bj) continue;
+      const double merged = (wi * d(bi, k) + wj * d(bj, k)) / (wi + wj);
+      d(bi, k) = merged;
+      d(k, bi) = merged;
+    }
+    members[bi].insert(members[bi].end(), members[bj].begin(), members[bj].end());
+    members[bj].clear();
+    active[bj] = false;
+    --active_count;
+  }
+
+  // Assign cluster ids by smallest member index.
+  std::vector<std::pair<int, std::size_t>> reps;  // (smallest member, rep idx)
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!active[i]) continue;
+    reps.push_back({*std::min_element(members[i].begin(), members[i].end()), i});
+  }
+  std::sort(reps.begin(), reps.end());
+
+  out.assignment.assign(n, -1);
+  out.cluster_count = static_cast<int>(reps.size());
+  for (std::size_t c = 0; c < reps.size(); ++c)
+    for (int m : members[reps[c].second])
+      out.assignment[static_cast<std::size_t>(m)] = static_cast<int>(c);
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::vector<int>> ClusterResult::clusters() const {
+  std::vector<std::vector<int>> out(static_cast<std::size_t>(cluster_count));
+  for (std::size_t i = 0; i < assignment.size(); ++i)
+    out[static_cast<std::size_t>(assignment[i])].push_back(static_cast<int>(i));
+  return out;
+}
+
+ClusterResult cluster_by_tm(const PairCache& cache, double tm_threshold) {
+  const std::size_t n = cache.chain_count();
+  std::vector<double> dist(n * n, 0.0);
+  for (std::size_t j = 1; j < n; ++j) {
+    for (std::size_t i = 0; i < j; ++i) {
+      const PairEntry& e = cache.at(static_cast<std::uint32_t>(i),
+                                    static_cast<std::uint32_t>(j));
+      const double tm = std::max(e.tm_norm_a, e.tm_norm_b);
+      dist[i * n + j] = 1.0 - tm;
+      dist[j * n + i] = 1.0 - tm;
+    }
+  }
+  return upgma(n, std::move(dist), 1.0 - tm_threshold);
+}
+
+ClusterResult cluster_rows(std::size_t n, const std::vector<PairRow>& rows,
+                           double tm_threshold) {
+  std::vector<double> dist(n * n, 1.0);
+  for (std::size_t i = 0; i < n; ++i) dist[i * n + i] = 0.0;
+  for (const PairRow& r : rows) {
+    if (r.i >= n || r.j >= n) throw std::out_of_range("cluster_rows: bad pair index");
+    const double tm = std::max(r.tm_norm_a, r.tm_norm_b);
+    dist[r.i * n + r.j] = 1.0 - tm;
+    dist[r.j * n + r.i] = 1.0 - tm;
+  }
+  return upgma(n, std::move(dist), 1.0 - tm_threshold);
+}
+
+}  // namespace rck::rckalign

@@ -1,0 +1,73 @@
+#include "rck/rckalign/codec.hpp"
+
+namespace rck::rckalign {
+
+namespace {
+
+void encode_protein_into(bio::WireWriter& w, const bio::Protein& p) {
+  const bio::Bytes raw = bio::serialize(p);
+  w.u32(static_cast<std::uint32_t>(raw.size()));
+  w.raw(raw);
+}
+
+bio::Protein decode_protein_from(bio::WireReader& r) {
+  const std::uint32_t len = r.u32();
+  return bio::deserialize_protein(r.raw(len));
+}
+
+}  // namespace
+
+bio::Bytes encode_pair_job(std::uint32_t i, std::uint32_t j, Method method,
+                           const bio::Protein& a, const bio::Protein& b) {
+  bio::WireWriter w;
+  w.u32(i);
+  w.u32(j);
+  w.u8(static_cast<std::uint8_t>(method));
+  encode_protein_into(w, a);
+  encode_protein_into(w, b);
+  return w.take();
+}
+
+PairJobData decode_pair_job(bio::Bytes payload) {
+  bio::WireReader r(std::move(payload));
+  PairJobData d;
+  d.i = r.u32();
+  d.j = r.u32();
+  d.method = static_cast<Method>(r.u8());
+  d.a = decode_protein_from(r);
+  d.b = decode_protein_from(r);
+  if (!r.done()) throw bio::WireError("decode_pair_job: trailing bytes");
+  return d;
+}
+
+bio::Bytes encode_outcome(const PairOutcome& o) {
+  bio::WireWriter w;
+  w.u32(o.i);
+  w.u32(o.j);
+  w.u8(static_cast<std::uint8_t>(o.method));
+  w.f64(o.tm_norm_a);
+  w.f64(o.tm_norm_b);
+  w.f64(o.rmsd);
+  w.f64(o.seq_identity);
+  w.u32(o.aligned_length);
+  w.u64(o.work_cycles);
+  return w.take();
+}
+
+PairOutcome decode_outcome(bio::Bytes payload) {
+  bio::WireReader r(std::move(payload));
+  PairOutcome o;
+  o.i = r.u32();
+  o.j = r.u32();
+  o.method = static_cast<Method>(r.u8());
+  o.tm_norm_a = r.f64();
+  o.tm_norm_b = r.f64();
+  o.rmsd = r.f64();
+  o.seq_identity = r.f64();
+  o.aligned_length = r.u32();
+  o.work_cycles = r.u64();
+  if (!r.done()) throw bio::WireError("decode_outcome: trailing bytes");
+  return o;
+}
+
+}  // namespace rck::rckalign

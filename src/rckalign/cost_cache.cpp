@@ -1,0 +1,87 @@
+#include "rck/rckalign/cost_cache.hpp"
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+
+namespace rck::rckalign {
+
+std::size_t PairCache::tri_index(std::uint32_t i, std::uint32_t j, std::size_t n) {
+  if (i == j || i >= n || j >= n)
+    throw std::out_of_range("PairCache: bad pair indices");
+  if (i > j) std::swap(i, j);
+  // Index of (i, j), i < j, in row-major upper-triangle enumeration.
+  return static_cast<std::size_t>(j) * (j - 1) / 2 + i;
+}
+
+PairCache PairCache::build(const std::vector<bio::Protein>& dataset, int host_threads,
+                           const core::TmAlignOptions& opts) {
+  PairCache cache;
+  cache.n_ = dataset.size();
+  const std::size_t pairs = cache.n_ * (cache.n_ - 1) / 2;
+  cache.entries_.resize(pairs);
+
+  // Flatten the (i < j) enumeration so threads can grab work by index.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> index(pairs);
+  {
+    std::size_t k = 0;
+    for (std::uint32_t j = 1; j < cache.n_; ++j)
+      for (std::uint32_t i = 0; i < j; ++i) index[k++] = {i, j};
+  }
+
+  unsigned nthreads = host_threads > 0 ? static_cast<unsigned>(host_threads)
+                                       : std::thread::hardware_concurrency();
+  if (nthreads == 0) nthreads = 1;
+  nthreads = std::min<unsigned>(nthreads, pairs == 0 ? 1 : static_cast<unsigned>(pairs));
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr error;
+  std::mutex error_m;
+  auto work = [&] {
+    try {
+      for (;;) {
+        const std::size_t k = next.fetch_add(1, std::memory_order_relaxed);
+        if (k >= pairs) return;
+        const auto [i, j] = index[k];
+        const core::TmAlignResult r = core::tmalign(dataset[i], dataset[j], opts);
+        PairEntry& e = cache.entries_[k];
+        e.tm_norm_a = r.tm_norm_a;
+        e.tm_norm_b = r.tm_norm_b;
+        e.rmsd = r.rmsd;
+        e.seq_identity = r.seq_identity;
+        e.aligned_length = static_cast<std::uint32_t>(r.aligned_length);
+        e.stats = r.stats;
+        e.footprint_bytes = scc::CoreTimingModel::alignment_footprint(
+            dataset[i].size(), dataset[j].size());
+      }
+    } catch (...) {
+      std::lock_guard lock(error_m);
+      if (!error) error = std::current_exception();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(nthreads);
+  for (unsigned t = 0; t < nthreads; ++t) threads.emplace_back(work);
+  for (std::thread& t : threads) t.join();
+  if (error) std::rethrow_exception(error);
+  return cache;
+}
+
+const PairEntry& PairCache::at(std::uint32_t i, std::uint32_t j) const {
+  return entries_[tri_index(i, j, n_)];
+}
+
+std::uint64_t PairCache::total_cycles(const scc::CoreTimingModel& model) const {
+  std::uint64_t sum = 0;
+  for (const PairEntry& e : entries_) sum += model.cycles(e.stats, e.footprint_bytes);
+  return sum;
+}
+
+std::uint64_t PairCache::pair_cycles(std::uint32_t i, std::uint32_t j,
+                                     const scc::CoreTimingModel& model) const {
+  const PairEntry& e = at(i, j);
+  return model.cycles(e.stats, e.footprint_bytes);
+}
+
+}  // namespace rck::rckalign

@@ -1,0 +1,354 @@
+#include "rck/rckalign/extensions.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "rck/rcce/rcce.hpp"
+#include "rck/rckskel/skeletons.hpp"
+
+#include "pair_exec.hpp"
+
+namespace rck::rckalign {
+
+namespace {
+
+
+PairRow to_row(const PairOutcome& o, int worker) {
+  return PairRow{o.i,  o.j,           o.tm_norm_a,      o.tm_norm_b,
+                 o.rmsd, o.seq_identity, o.aligned_length, worker};
+}
+
+std::vector<rckskel::Job> make_jobs(const std::vector<bio::Protein>& dataset,
+                                    Method method, const PairCache* cache,
+                                    const scc::CoreTimingModel& model,
+                                    std::uint64_t id_base) {
+  const auto pairs = all_pairs(dataset.size());
+  std::vector<rckskel::Job> jobs;
+  jobs.reserve(pairs.size());
+  for (std::size_t k = 0; k < pairs.size(); ++k) {
+    const auto [i, j] = pairs[k];
+    rckskel::Job job;
+    job.id = id_base + k;
+    job.payload = encode_pair_job(i, j, method, dataset[i], dataset[j]);
+    job.cost_hint = (method == Method::TmAlign && cache != nullptr)
+                        ? cache->pair_cycles(i, j, model)
+                        : static_cast<std::uint64_t>(dataset[i].size()) * dataset[j].size();
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+}  // namespace
+
+McPscRun run_mcpsc(const std::vector<bio::Protein>& dataset, const McPscOptions& opts) {
+  if (dataset.size() < 2) throw std::invalid_argument("run_mcpsc: need >= 2 chains");
+  const int total_slaves = opts.tmalign_slaves + opts.rmsd_slaves;
+  if (opts.tmalign_slaves < 1 || opts.rmsd_slaves < 1 ||
+      total_slaves + 1 > opts.runtime.chip.core_count())
+    throw std::invalid_argument("run_mcpsc: bad slave partition");
+  if (opts.cache != nullptr && opts.cache->chain_count() != dataset.size())
+    throw std::invalid_argument("run_mcpsc: cache/dataset mismatch");
+
+  McPscRun run;
+  scc::SpmdRuntime rt(opts.runtime);
+  const PairCache* cache = opts.cache;
+
+  const auto program = [&](scc::CoreCtx& ctx) {
+    rcce::Comm comm(ctx);
+    constexpr int kMaster = 0;
+    if (comm.ue() == kMaster) {
+      std::uint64_t dataset_bytes = 0;
+      for (const bio::Protein& p : dataset) dataset_bytes += p.wire_size();
+      comm.charge_dram_read(dataset_bytes);
+
+      std::vector<int> tm_ues(static_cast<std::size_t>(opts.tmalign_slaves));
+      std::iota(tm_ues.begin(), tm_ues.end(), 1);
+      std::vector<int> rmsd_ues(static_cast<std::size_t>(opts.rmsd_slaves));
+      std::iota(rmsd_ues.begin(), rmsd_ues.end(), 1 + opts.tmalign_slaves);
+
+      const std::size_t npairs = all_pairs(dataset.size()).size();
+      std::vector<rckskel::Task> children;
+      children.push_back(rckskel::Task::make_par(
+          tm_ues, make_jobs(dataset, Method::TmAlign, cache, ctx.timing(), 0)));
+      children.push_back(rckskel::Task::make_par(
+          rmsd_ues, make_jobs(dataset, Method::GaplessRmsd, cache, ctx.timing(), npairs)));
+      const rckskel::Task task =
+          rckskel::Task::make_group(rckskel::Task::Mode::Par, {}, std::move(children));
+
+      rckskel::FarmOptions fopts;
+      fopts.lpt_order = opts.lpt;
+      std::vector<rckskel::JobResult> collected = rckskel::farm(comm, task, fopts);
+      for (rckskel::JobResult& jr : collected) {
+        const PairOutcome o = decode_outcome(std::move(jr.payload));
+        if (o.method == Method::TmAlign)
+          run.tmalign_results.push_back(to_row(o, jr.worker));
+        else
+          run.rmsd_results.push_back(to_row(o, jr.worker));
+      }
+    } else {
+      rckskel::farm_slave(comm, kMaster,
+                          [cache](rcce::Comm& c, const bio::Bytes& payload) {
+                            return detail::execute_pair_job(c, payload, cache);
+                          });
+    }
+  };
+
+  run.makespan = rt.run(total_slaves + 1, program);
+  run.core_reports = rt.core_reports();
+  return run;
+}
+
+MultiMethodRun run_multi_method(const std::vector<bio::Protein>& dataset,
+                                const MultiMethodOptions& opts) {
+  if (dataset.size() < 2)
+    throw std::invalid_argument("run_multi_method: need >= 2 chains");
+  if (opts.groups.empty())
+    throw std::invalid_argument("run_multi_method: no method groups");
+  int total_slaves = 0;
+  for (const MethodGroup& g : opts.groups) {
+    if (g.slaves < 1) throw std::invalid_argument("run_multi_method: empty group");
+    total_slaves += g.slaves;
+  }
+  if (total_slaves + 1 > opts.runtime.chip.core_count())
+    throw std::invalid_argument("run_multi_method: does not fit on chip");
+  if (opts.cache != nullptr && opts.cache->chain_count() != dataset.size())
+    throw std::invalid_argument("run_multi_method: cache/dataset mismatch");
+
+  MultiMethodRun run;
+  run.results.resize(opts.groups.size());
+  scc::SpmdRuntime rt(opts.runtime);
+  const PairCache* cache = opts.cache;
+
+  const std::size_t npairs = all_pairs(dataset.size()).size();
+
+  const auto program = [&](scc::CoreCtx& ctx) {
+    rcce::Comm comm(ctx);
+    constexpr int kMaster = 0;
+    if (comm.ue() == kMaster) {
+      std::uint64_t dataset_bytes = 0;
+      for (const bio::Protein& p : dataset) dataset_bytes += p.wire_size();
+      comm.charge_dram_read(dataset_bytes);
+
+      std::vector<rckskel::Task> children;
+      int next_ue = 1;
+      for (std::size_t g = 0; g < opts.groups.size(); ++g) {
+        std::vector<int> ues(static_cast<std::size_t>(opts.groups[g].slaves));
+        std::iota(ues.begin(), ues.end(), next_ue);
+        next_ue += opts.groups[g].slaves;
+        children.push_back(rckskel::Task::make_par(
+            std::move(ues), make_jobs(dataset, opts.groups[g].method, cache,
+                                      ctx.timing(), g * npairs)));
+      }
+      const rckskel::Task task =
+          rckskel::Task::make_group(rckskel::Task::Mode::Par, {}, std::move(children));
+
+      rckskel::FarmOptions fopts;
+      fopts.lpt_order = opts.lpt;
+      for (rckskel::JobResult& jr : rckskel::farm(comm, task, fopts)) {
+        const std::size_t g = jr.id / npairs;
+        const PairOutcome o = decode_outcome(std::move(jr.payload));
+        run.results[g].push_back(to_row(o, jr.worker));
+      }
+    } else {
+      rckskel::farm_slave(comm, kMaster,
+                          [cache](rcce::Comm& c, const bio::Bytes& payload) {
+                            return detail::execute_pair_job(c, payload, cache);
+                          });
+    }
+  };
+
+  run.makespan = rt.run(total_slaves + 1, program);
+  run.core_reports = rt.core_reports();
+  return run;
+}
+
+// ---------------------------------------------------------------------------
+// Hierarchical masters.
+//
+// Rank layout: 0 = root master; 1..G = group masters; the remaining ranks
+// are leaf slaves, split evenly across groups. The root farms *batches*
+// (several jobs packed into one payload) to group masters; a group master
+// unpacks each batch and farms its jobs to its own slaves, returning the
+// packed results. Leaf slaves never talk to the root.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bio::Bytes pack_batch(std::span<const rckskel::Job* const> jobs) {
+  bio::WireWriter w;
+  w.u32(static_cast<std::uint32_t>(jobs.size()));
+  for (const rckskel::Job* j : jobs) {
+    w.u64(j->id);
+    w.u64(j->cost_hint);
+    w.u32(static_cast<std::uint32_t>(j->payload.size()));
+    w.raw(j->payload);
+  }
+  return w.take();
+}
+
+std::vector<rckskel::Job> unpack_batch(const bio::Bytes& raw) {
+  bio::WireReader r(raw);
+  const std::uint32_t n = r.u32();
+  std::vector<rckskel::Job> jobs;
+  jobs.reserve(n);
+  for (std::uint32_t k = 0; k < n; ++k) {
+    rckskel::Job j;
+    j.id = r.u64();
+    j.cost_hint = r.u64();
+    const std::uint32_t len = r.u32();
+    j.payload = r.raw(len);
+    jobs.push_back(std::move(j));
+  }
+  return jobs;
+}
+
+bio::Bytes pack_results(std::span<const rckskel::JobResult> results) {
+  bio::WireWriter w;
+  w.u32(static_cast<std::uint32_t>(results.size()));
+  for (const rckskel::JobResult& res : results) {
+    w.u64(res.id);
+    w.i32(res.worker);
+    w.u32(static_cast<std::uint32_t>(res.payload.size()));
+    w.raw(res.payload);
+  }
+  return w.take();
+}
+
+std::vector<rckskel::JobResult> unpack_results(const bio::Bytes& raw) {
+  bio::WireReader r(raw);
+  const std::uint32_t n = r.u32();
+  std::vector<rckskel::JobResult> out;
+  out.reserve(n);
+  for (std::uint32_t k = 0; k < n; ++k) {
+    rckskel::JobResult res;
+    res.id = r.u64();
+    res.worker = r.i32();
+    const std::uint32_t len = r.u32();
+    res.payload = r.raw(len);
+    out.push_back(std::move(res));
+  }
+  return out;
+}
+
+}  // namespace
+
+HierarchyRun run_hierarchical(const std::vector<bio::Protein>& dataset,
+                              const HierarchyOptions& opts) {
+  if (dataset.size() < 2) throw std::invalid_argument("run_hierarchical: need >= 2 chains");
+  const int g = opts.group_count;
+  if (g < 1 || opts.slave_count < g)
+    throw std::invalid_argument("run_hierarchical: need at least one slave per group");
+  const int nranks = 1 + g + opts.slave_count;
+  if (nranks > opts.runtime.chip.core_count())
+    throw std::invalid_argument("run_hierarchical: does not fit on chip");
+  if (opts.cache != nullptr && opts.cache->chain_count() != dataset.size())
+    throw std::invalid_argument("run_hierarchical: cache/dataset mismatch");
+
+  // Split leaf slaves across groups as evenly as possible.
+  std::vector<std::vector<int>> group_slaves(static_cast<std::size_t>(g));
+  for (int s = 0; s < opts.slave_count; ++s)
+    group_slaves[static_cast<std::size_t>(s % g)].push_back(1 + g + s);
+
+  HierarchyRun run;
+  scc::SpmdRuntime rt(opts.runtime);
+  const PairCache* cache = opts.cache;
+
+  const auto program = [&](scc::CoreCtx& ctx) {
+    rcce::Comm comm(ctx);
+    constexpr int kRoot = 0;
+    const int ue = comm.ue();
+    if (ue == kRoot) {
+      std::uint64_t dataset_bytes = 0;
+      for (const bio::Protein& p : dataset) dataset_bytes += p.wire_size();
+      comm.charge_dram_read(dataset_bytes);
+
+      const std::vector<rckskel::Job> jobs =
+          make_jobs(dataset, Method::TmAlign, cache, ctx.timing(), 0);
+
+      // Batching strategy. A group master serves one batch at a time and
+      // returns only when the whole batch finished, so small batches create
+      // per-batch barriers that idle the group's slaves on stragglers.
+      // Default (batch_size == 0): one strided batch per group — each group
+      // gets every G-th job (a cost-mixed static partition), farms it
+      // dynamically on its own slaves, and synchronizes exactly once.
+      // batch_size > 0 selects pipelined fixed-size batches instead (useful
+      // for studying the tradeoff).
+      std::vector<rckskel::Job> batches;
+      std::size_t next_batch_id = 0;
+      if (opts.batch_size <= 0) {
+        for (std::size_t grp = 0; grp < static_cast<std::size_t>(g); ++grp) {
+          std::vector<const rckskel::Job*> slice;
+          std::uint64_t hint = 0;
+          for (std::size_t k = grp; k < jobs.size(); k += static_cast<std::size_t>(g)) {
+            slice.push_back(&jobs[k]);
+            hint += jobs[k].cost_hint;
+          }
+          if (slice.empty()) continue;
+          rckskel::Job batch;
+          batch.id = next_batch_id++;
+          batch.payload = pack_batch(slice);
+          batch.cost_hint = hint;
+          batches.push_back(std::move(batch));
+        }
+      } else {
+        std::size_t k = 0;
+        while (k < jobs.size()) {
+          const std::size_t bsz = static_cast<std::size_t>(opts.batch_size);
+          std::vector<const rckskel::Job*> slice;
+          std::uint64_t hint = 0;
+          for (std::size_t t = 0; t < bsz && k < jobs.size(); ++t, ++k) {
+            slice.push_back(&jobs[k]);
+            hint += jobs[k].cost_hint;
+          }
+          rckskel::Job batch;
+          batch.id = next_batch_id++;
+          batch.payload = pack_batch(slice);
+          batch.cost_hint = hint;
+          batches.push_back(std::move(batch));
+        }
+      }
+
+      std::vector<int> masters(static_cast<std::size_t>(g));
+      std::iota(masters.begin(), masters.end(), 1);
+      const rckskel::Task task = rckskel::Task::make_par(masters, std::move(batches));
+      std::vector<rckskel::JobResult> collected = rckskel::farm(comm, task, {});
+      for (rckskel::JobResult& batch_res : collected) {
+        for (rckskel::JobResult& jr : unpack_results(batch_res.payload)) {
+          const PairOutcome o = decode_outcome(std::move(jr.payload));
+          run.results.push_back(to_row(o, jr.worker));
+        }
+      }
+    } else if (ue <= g) {
+      // Group master: serve batches from the root; farm each batch to the
+      // group's slaves, keeping the slaves alive across batches.
+      const std::vector<int>& my_slaves = group_slaves[static_cast<std::size_t>(ue - 1)];
+      bool first_batch = true;
+      rckskel::farm_slave(
+          comm, kRoot,
+          [&](rcce::Comm& c, const bio::Bytes& payload) {
+            std::vector<rckskel::Job> jobs = unpack_batch(payload);
+            rckskel::FarmOptions fopts;
+            fopts.wait_ready = first_batch;
+            fopts.send_terminate = false;
+            first_batch = false;
+            const rckskel::Task task = rckskel::Task::make_par(my_slaves, std::move(jobs));
+            const std::vector<rckskel::JobResult> results = rckskel::farm(c, task, fopts);
+            return pack_results(results);
+          });
+      rckskel::terminate(comm, my_slaves);
+    } else {
+      // Leaf slave: find my group master.
+      const int my_master = 1 + (ue - 1 - g) % g;
+      rckskel::farm_slave(comm, my_master,
+                          [cache](rcce::Comm& c, const bio::Bytes& payload) {
+                            return detail::execute_pair_job(c, payload, cache);
+                          });
+    }
+  };
+
+  run.makespan = rt.run(nranks, program);
+  run.core_reports = rt.core_reports();
+  return run;
+}
+
+}  // namespace rck::rckalign

@@ -1,0 +1,77 @@
+// rckAlign: the paper's application.
+//
+// A master-slaves all-vs-all protein structure comparison on the simulated
+// SCC, built with the rckskel FARM construct exactly as in the paper's
+// Figures 3-4: the master (first core given to the program) loads every
+// structure, creates one job per unordered pair, and dispatches jobs to
+// slave cores, collecting results by round-robin polling; slaves loop
+// (receive pair -> compare -> return scores) until TERMINATE.
+//
+// Also here: the serial baseline runner (one core, structures pre-loaded,
+// matching the paper's modified single-core TM-align).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rck/bio/protein.hpp"
+#include "rck/noc/network.hpp"
+#include "rck/rckalign/codec.hpp"
+#include "rck/rckalign/cost_cache.hpp"
+#include "rck/scc/runtime.hpp"
+
+namespace rck::rckalign {
+
+struct RckAlignOptions {
+  /// Number of slave cores (the paper sweeps 1..47); rank 0 is the master.
+  int slave_count = 47;
+  /// Chip / network / core-model configuration for the simulation.
+  scc::RuntimeConfig runtime{};
+  /// Pairwise results + costs computed up front; if null, slaves execute
+  /// real TM-align inline (identical simulated times, more host CPU).
+  const PairCache* cache = nullptr;
+  /// Comparison method for all jobs.
+  Method method = Method::TmAlign;
+  /// LPT (longest-first) job ordering; the paper used FIFO.
+  bool lpt = false;
+};
+
+/// One collected pairwise result.
+struct PairRow {
+  std::uint32_t i = 0;
+  std::uint32_t j = 0;
+  double tm_norm_a = 0.0;
+  double tm_norm_b = 0.0;
+  double rmsd = 0.0;
+  double seq_identity = 0.0;
+  std::uint32_t aligned_length = 0;
+  int worker = -1;  ///< slave rank that produced it
+};
+
+/// Outcome of one simulated rckAlign execution.
+struct RckAlignRun {
+  noc::SimTime makespan = 0;  ///< simulated wall-clock of the whole task
+  std::vector<PairRow> results;
+  std::vector<scc::CoreReport> core_reports;
+  noc::NetworkStats network;
+  std::uint64_t events = 0;
+  /// Activity trace (only populated when opts.runtime.enable_trace is set).
+  std::vector<scc::TraceEvent> trace;
+  /// Link-utilization heatmap (populated when opts.runtime.enable_trace).
+  std::string link_heatmap;
+};
+
+/// Run the all-vs-all task over `dataset` on the simulated SCC.
+RckAlignRun run_rckalign(const std::vector<bio::Protein>& dataset,
+                         const RckAlignOptions& opts);
+
+/// Serial baseline: one core loads all structures then compares all pairs
+/// back to back. Pure timing-model computation (no simulation needed).
+noc::SimTime run_serial(const std::vector<bio::Protein>& dataset, const PairCache& cache,
+                        const scc::CoreTimingModel& model, const scc::SccConfig& chip,
+                        const noc::NetworkParams& net = {});
+
+/// The unordered all-vs-all pair list (i < j), in the master's FIFO order.
+std::vector<std::pair<std::uint32_t, std::uint32_t>> all_pairs(std::size_t n);
+
+}  // namespace rck::rckalign

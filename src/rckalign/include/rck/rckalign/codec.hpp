@@ -1,0 +1,56 @@
+// Wire codec for rckAlign jobs and results.
+//
+// The paper's key design point: the master process loads every structure
+// once and ships the *structure data itself* to slaves over the mesh
+// (avoiding the NFS bottleneck of the distributed baseline). A job payload
+// therefore carries both chains in full, plus the pair indices and the
+// comparison method to run (the method tag enables the MC-PSC extension,
+// where different slaves run different PSC algorithms on the same data).
+#pragma once
+
+#include <cstdint>
+
+#include "rck/bio/protein.hpp"
+#include "rck/bio/serialize.hpp"
+
+namespace rck::rckalign {
+
+/// Comparison method selector carried in each job.
+enum class Method : std::uint8_t {
+  TmAlign = 1,     ///< the paper's primary algorithm
+  GaplessRmsd = 2, ///< cheap second criterion for the MC-PSC extension
+  CeAlign = 3,     ///< CE-style distance-matrix alignment (core/ce_align.hpp)
+  SeqNw = 4,       ///< BLOSUM62 sequence alignment (bio/seq_align.hpp) —
+                   ///< the ultra-cheap pre-filter; fills seq_identity only
+};
+
+/// Decoded job payload.
+struct PairJobData {
+  std::uint32_t i = 0;  ///< dataset index of chain a
+  std::uint32_t j = 0;  ///< dataset index of chain b
+  Method method = Method::TmAlign;
+  bio::Protein a;
+  bio::Protein b;
+};
+
+bio::Bytes encode_pair_job(std::uint32_t i, std::uint32_t j, Method method,
+                           const bio::Protein& a, const bio::Protein& b);
+PairJobData decode_pair_job(bio::Bytes payload);
+
+/// Decoded result payload (what a slave returns to the master).
+struct PairOutcome {
+  std::uint32_t i = 0;
+  std::uint32_t j = 0;
+  Method method = Method::TmAlign;
+  double tm_norm_a = 0.0;   ///< TM-align only
+  double tm_norm_b = 0.0;   ///< TM-align only
+  double rmsd = 0.0;
+  double seq_identity = 0.0;
+  std::uint32_t aligned_length = 0;
+  std::uint64_t work_cycles = 0;  ///< compute cycles the slave charged
+};
+
+bio::Bytes encode_outcome(const PairOutcome& o);
+PairOutcome decode_outcome(bio::Bytes payload);
+
+}  // namespace rck::rckalign

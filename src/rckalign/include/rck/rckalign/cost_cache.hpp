@@ -1,0 +1,60 @@
+// All-vs-all alignment cache.
+//
+// The paper sweeps the slave-core count from 1 to 47 over the *same* job
+// set: every sweep point redistributes identical pairwise comparisons. The
+// comparisons themselves are deterministic, so we compute each pair once —
+// real TM-align runs, producing real TM-scores and exact work counters —
+// and let the simulator replay the recorded cost at every sweep point.
+// Building the cache may use host threads (results are stored by pair
+// index, so host scheduling cannot affect any simulated outcome).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rck/bio/protein.hpp"
+#include "rck/core/stats.hpp"
+#include "rck/core/tmalign.hpp"
+#include "rck/scc/timing.hpp"
+
+namespace rck::rckalign {
+
+/// Cached outcome + cost of one unordered pair (i < j).
+struct PairEntry {
+  double tm_norm_a = 0.0;
+  double tm_norm_b = 0.0;
+  double rmsd = 0.0;
+  double seq_identity = 0.0;
+  std::uint32_t aligned_length = 0;
+  core::AlignStats stats;          ///< exact work counters of the alignment
+  std::uint64_t footprint_bytes = 0;  ///< working-set estimate for the cache model
+};
+
+class PairCache {
+ public:
+  /// Run TM-align on every unordered pair of `dataset`.
+  /// `host_threads` <= 0 means hardware_concurrency().
+  static PairCache build(const std::vector<bio::Protein>& dataset, int host_threads = 0,
+                         const core::TmAlignOptions& opts = {});
+
+  std::size_t chain_count() const noexcept { return n_; }
+  std::size_t pair_count() const noexcept { return entries_.size(); }
+
+  /// Entry for the unordered pair {i, j}, i != j (order-insensitive).
+  const PairEntry& at(std::uint32_t i, std::uint32_t j) const;
+
+  /// Sum of compute cycles over all pairs under a timing model — the serial
+  /// all-vs-all compute cost on that processor.
+  std::uint64_t total_cycles(const scc::CoreTimingModel& model) const;
+
+  /// Cycles for one pair under a timing model.
+  std::uint64_t pair_cycles(std::uint32_t i, std::uint32_t j,
+                            const scc::CoreTimingModel& model) const;
+
+ private:
+  static std::size_t tri_index(std::uint32_t i, std::uint32_t j, std::size_t n);
+  std::size_t n_ = 0;
+  std::vector<PairEntry> entries_;
+};
+
+}  // namespace rck::rckalign

@@ -1,0 +1,61 @@
+// Distributed TM-align baseline (the paper's Experiment I comparator).
+//
+// In the paper's baseline, the master runs on the SCC's host PC (MCPC) and
+// issues each pairwise comparison to an SCC core with `pssh`; each job runs
+// as a *fresh process* that loads its two PDB files over NFS from the MCPC
+// disk. The paper attributes the baseline's slowness to exactly two causes
+// (Section V-C): (a) the MCPC disk controller serializes concurrent NFS
+// reads, and (b) every job pays a remote process-creation/environment
+// setup cost. This model contains precisely those two mechanisms plus the
+// same per-pair compute costs used everywhere else:
+//
+//   per job on a slave:  spawn  ->  NFS read file i  ->  NFS read file j
+//                        -> compute -> report (negligible)
+//
+// where NFS reads contend for one shared disk-server resource (FIFO).
+// Jobs are handed to the earliest-free slave in FIFO order, as with the
+// paper's job list.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rck/bio/protein.hpp"
+#include "rck/noc/sim_time.hpp"
+#include "rck/rckalign/cost_cache.hpp"
+#include "rck/scc/timing.hpp"
+
+namespace rck::rckalign {
+
+struct DistributedParams {
+  /// pssh launch + remote process creation + environment setup, per job.
+  double spawn_overhead_s = 5.45;
+  /// Fixed NFS cost per file: RPC round-trips, open, disk seek.
+  double nfs_request_overhead_s = 0.075;
+  /// Shared MCPC disk / NFS throughput, bytes per second.
+  double nfs_bytes_per_s = 12e6;
+  /// Approximate full-atom PDB file size per residue (ATOM records for the
+  /// whole backbone + side chains, ~8 atoms x 80 chars).
+  double pdb_bytes_per_residue = 640.0;
+  /// Master-side dispatch serialization per job (building the pssh command,
+  /// fork/exec on the MCPC).
+  double master_dispatch_s = 0.02;
+};
+
+struct DistributedRun {
+  noc::SimTime makespan = 0;
+  noc::SimTime disk_busy = 0;     ///< total time the shared disk served reads
+  noc::SimTime spawn_total = 0;   ///< total process-setup time across jobs
+  std::uint64_t jobs = 0;
+};
+
+/// Simulate the distributed all-vs-all task on `nslaves` SCC cores with the
+/// MCPC-hosted master. Per-pair compute costs come from `cache` under
+/// `core_model` (the same P54C model as rckAlign, so the comparison isolates
+/// the orchestration strategy exactly as the paper's Experiment I does).
+DistributedRun run_distributed(const std::vector<bio::Protein>& dataset,
+                               const PairCache& cache, int nslaves,
+                               const scc::CoreTimingModel& core_model,
+                               const DistributedParams& params = {});
+
+}  // namespace rck::rckalign

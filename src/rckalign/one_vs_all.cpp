@@ -1,0 +1,152 @@
+#include "rck/rckalign/one_vs_all.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "rck/bio/seq_align.hpp"
+#include "rck/core/ce_align.hpp"
+#include "rck/core/rmsd_method.hpp"
+#include "rck/core/tmalign.hpp"
+#include "rck/rcce/rcce.hpp"
+#include "rck/rckskel/skeletons.hpp"
+
+namespace rck::rckalign {
+
+namespace {
+
+/// Slave-side execution: the job's `a` is always the query, `b` the entry;
+/// `i` carries the database index.
+bio::Bytes execute_query_job(rcce::Comm& comm, const bio::Bytes& payload) {
+  PairJobData job = decode_pair_job(payload);
+  const scc::CoreTimingModel& model = comm.ctx().timing();
+  PairOutcome out;
+  out.i = job.i;
+  out.j = 0;
+  out.method = job.method;
+  std::uint64_t cycles = 0;
+  const std::uint64_t footprint =
+      scc::CoreTimingModel::alignment_footprint(job.a.size(), job.b.size());
+  if (job.method == Method::TmAlign) {
+    const core::TmAlignResult r = core::tmalign(job.a, job.b);
+    out.tm_norm_a = r.tm_norm_a;  // normalized by query: the ranking key
+    out.tm_norm_b = r.tm_norm_b;
+    out.rmsd = r.rmsd;
+    out.seq_identity = r.seq_identity;
+    out.aligned_length = static_cast<std::uint32_t>(r.aligned_length);
+    cycles = model.cycles(r.stats, footprint);
+  } else if (job.method == Method::CeAlign) {
+    const core::CeResult r = core::ce_align(job.a, job.b);
+    out.tm_norm_a = r.tm;
+    out.tm_norm_b = r.tm;
+    out.rmsd = r.rmsd;
+    out.aligned_length = static_cast<std::uint32_t>(r.aligned_length);
+    cycles = model.cycles(r.stats, footprint);
+  } else if (job.method == Method::SeqNw) {
+    const bio::SeqAlignResult r = bio::seq_align(job.a.sequence(), job.b.sequence());
+    out.seq_identity = r.identity();
+    out.aligned_length = static_cast<std::uint32_t>(r.aligned_length);
+    core::AlignStats stats;
+    stats.dp_cells = 3 * r.dp_cells;
+    cycles = model.cycles(stats, footprint);
+  } else {
+    const core::RmsdResult r = core::best_gapless_rmsd(job.a, job.b);
+    out.rmsd = r.rmsd;
+    out.aligned_length = static_cast<std::uint32_t>(r.aligned_length);
+    cycles = model.cycles(r.stats, footprint);
+  }
+  out.work_cycles = cycles;
+  comm.charge_cycles(cycles);
+  return encode_outcome(out);
+}
+
+}  // namespace
+
+OneVsAllRun run_one_vs_all(const bio::Protein& query,
+                           const std::vector<bio::Protein>& database,
+                           const OneVsAllOptions& opts) {
+  if (database.empty()) throw std::invalid_argument("run_one_vs_all: empty database");
+  if (opts.methods.empty()) throw std::invalid_argument("run_one_vs_all: no methods");
+  if (opts.slave_count < 1 ||
+      opts.slave_count + 1 > opts.runtime.chip.core_count())
+    throw std::invalid_argument("run_one_vs_all: slave_count out of range");
+
+  OneVsAllRun run;
+  run.ranked.resize(opts.methods.size());
+  scc::SpmdRuntime rt(opts.runtime);
+
+  const auto program = [&](scc::CoreCtx& ctx) {
+    rcce::Comm comm(ctx);
+    constexpr int kMaster = 0;
+    if (comm.ue() == kMaster) {
+      // Master loads the query plus the whole database once.
+      std::uint64_t bytes = query.wire_size();
+      for (const bio::Protein& p : database) bytes += p.wire_size();
+      comm.charge_dram_read(bytes);
+
+      // Algorithm 1: for k in M, for i in D -> job (i, query, k).
+      std::vector<rckskel::Job> jobs;
+      jobs.reserve(opts.methods.size() * database.size());
+      std::uint64_t id = 0;
+      for (const Method method : opts.methods) {
+        for (std::uint32_t e = 0; e < database.size(); ++e) {
+          rckskel::Job job;
+          job.id = id++;
+          job.payload = encode_pair_job(e, 0, method, query, database[e]);
+          job.cost_hint = query.size() * database[e].size();
+          jobs.push_back(std::move(job));
+        }
+      }
+
+      std::vector<int> slaves(static_cast<std::size_t>(opts.slave_count));
+      std::iota(slaves.begin(), slaves.end(), 1);
+      rckskel::FarmOptions fopts;
+      fopts.lpt_order = opts.lpt;
+      const rckskel::Task task = rckskel::Task::make_par(slaves, std::move(jobs));
+      for (rckskel::JobResult& jr : rckskel::farm(comm, task, fopts)) {
+        const PairOutcome o = decode_outcome(std::move(jr.payload));
+        // Locate the method's slot (methods may repeat; take the first).
+        for (std::size_t m = 0; m < opts.methods.size(); ++m) {
+          if (opts.methods[m] != o.method) continue;
+          run.ranked[m].push_back(Hit{o.i, o.method, o.tm_norm_a, o.tm_norm_b,
+                                      o.rmsd, o.seq_identity, o.aligned_length,
+                                      jr.worker});
+          break;
+        }
+      }
+    } else {
+      rckskel::farm_slave(comm, kMaster, [](rcce::Comm& c, const bio::Bytes& p) {
+        return execute_query_job(c, p);
+      });
+    }
+  };
+
+  run.makespan = rt.run(opts.slave_count + 1, program);
+  run.core_reports = rt.core_reports();
+  run.network = rt.network_stats();
+
+  // Rank: TM-align hits by descending query-normalized TM-score; the RMSD
+  // method by ascending RMSD. Ties break by database index for determinism.
+  for (std::size_t m = 0; m < opts.methods.size(); ++m) {
+    auto& hits = run.ranked[m];
+    if (opts.methods[m] == Method::TmAlign || opts.methods[m] == Method::CeAlign) {
+      std::sort(hits.begin(), hits.end(), [](const Hit& a, const Hit& b) {
+        if (a.tm_query != b.tm_query) return a.tm_query > b.tm_query;
+        return a.entry < b.entry;
+      });
+    } else if (opts.methods[m] == Method::SeqNw) {
+      std::sort(hits.begin(), hits.end(), [](const Hit& a, const Hit& b) {
+        if (a.seq_identity != b.seq_identity) return a.seq_identity > b.seq_identity;
+        return a.entry < b.entry;
+      });
+    } else {
+      std::sort(hits.begin(), hits.end(), [](const Hit& a, const Hit& b) {
+        if (a.rmsd != b.rmsd) return a.rmsd < b.rmsd;
+        return a.entry < b.entry;
+      });
+    }
+  }
+  return run;
+}
+
+}  // namespace rck::rckalign

@@ -1,0 +1,87 @@
+// Internal: slave-side execution of one pair-comparison job.
+//
+// Shared by the flat farm (app.cpp), the MC-PSC / hierarchy extensions
+// (extensions.cpp) and the one-vs-all driver (one_vs_all.cpp). Not part of
+// the public API (lives next to the sources, not under include/).
+#pragma once
+
+#include "rck/bio/seq_align.hpp"
+#include "rck/core/ce_align.hpp"
+#include "rck/core/rmsd_method.hpp"
+#include "rck/core/tmalign.hpp"
+#include "rck/rcce/rcce.hpp"
+#include "rck/rckalign/codec.hpp"
+#include "rck/rckalign/cost_cache.hpp"
+
+namespace rck::rckalign::detail {
+
+/// Run `job`'s comparison (replaying from `cache` when possible), charge
+/// the simulated compute, and return the encoded outcome.
+inline bio::Bytes execute_pair_job(rcce::Comm& comm, const bio::Bytes& payload,
+                                   const PairCache* cache) {
+  PairJobData job = decode_pair_job(payload);
+  const scc::CoreTimingModel& model = comm.ctx().timing();
+
+  PairOutcome out;
+  out.i = job.i;
+  out.j = job.j;
+  out.method = job.method;
+
+  std::uint64_t cycles = 0;
+  const std::uint64_t footprint =
+      scc::CoreTimingModel::alignment_footprint(job.a.size(), job.b.size());
+  switch (job.method) {
+    case Method::TmAlign: {
+      if (cache != nullptr) {
+        const PairEntry& e = cache->at(job.i, job.j);
+        out.tm_norm_a = e.tm_norm_a;
+        out.tm_norm_b = e.tm_norm_b;
+        out.rmsd = e.rmsd;
+        out.seq_identity = e.seq_identity;
+        out.aligned_length = e.aligned_length;
+        cycles = model.cycles(e.stats, e.footprint_bytes);
+      } else {
+        const core::TmAlignResult r = core::tmalign(job.a, job.b);
+        out.tm_norm_a = r.tm_norm_a;
+        out.tm_norm_b = r.tm_norm_b;
+        out.rmsd = r.rmsd;
+        out.seq_identity = r.seq_identity;
+        out.aligned_length = static_cast<std::uint32_t>(r.aligned_length);
+        cycles = model.cycles(r.stats, footprint);
+      }
+      break;
+    }
+    case Method::GaplessRmsd: {
+      const core::RmsdResult r = core::best_gapless_rmsd(job.a, job.b);
+      out.rmsd = r.rmsd;
+      out.aligned_length = static_cast<std::uint32_t>(r.aligned_length);
+      cycles = model.cycles(r.stats, footprint);
+      break;
+    }
+    case Method::CeAlign: {
+      const core::CeResult r = core::ce_align(job.a, job.b);
+      // CE reports a TM-score of its path (normalized by min length) for
+      // comparability; both normalizations carry the same value.
+      out.tm_norm_a = r.tm;
+      out.tm_norm_b = r.tm;
+      out.rmsd = r.rmsd;
+      out.aligned_length = static_cast<std::uint32_t>(r.aligned_length);
+      cycles = model.cycles(r.stats, footprint);
+      break;
+    }
+    case Method::SeqNw: {
+      const bio::SeqAlignResult r = bio::seq_align(job.a.sequence(), job.b.sequence());
+      out.seq_identity = r.identity();
+      out.aligned_length = static_cast<std::uint32_t>(r.aligned_length);
+      core::AlignStats stats;
+      stats.dp_cells = 3 * r.dp_cells;  // Gotoh fills three matrices
+      cycles = model.cycles(stats, footprint);
+      break;
+    }
+  }
+  out.work_cycles = cycles;
+  comm.charge_cycles(cycles);
+  return encode_outcome(out);
+}
+
+}  // namespace rck::rckalign::detail

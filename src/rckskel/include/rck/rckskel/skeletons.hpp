@@ -1,0 +1,135 @@
+// rckskel: algorithmic skeletons for the (simulated) SCC.
+//
+// C++ port of the paper's C library (Section IV). The original exposes four
+// varargs constructs — SEQ, PAR, COLLECT and FARM — over UE id arrays and a
+// check_ready callback. Here:
+//
+//   * Task     — the paper's task tree: jobs or sub-tasks, each with the UE
+//                set allowed to process them and a Seq/Par mode.
+//   * seq()    — dispatch jobs to UEs strictly one-at-a-time, in order.
+//   * par()    — dispatch jobs to UEs round-robin without waiting.
+//   * collect()— round-robin poll UEs until the expected number of results
+//                has been gathered.
+//   * Farm     — the master-slaves construct: ensures slaves are ready
+//                (check_ready handshake), keeps every allowed UE busy with
+//                dynamic greedy dispatch, honours Seq ordering constraints
+//                and per-subtask UE restrictions, and collects everything.
+//
+// Slaves run farm_slave(): a blocking receive loop executing a user Worker
+// on each job until TERMINATE — the paper's client_receive_job template
+// (Figure 4).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "rck/rcce/rcce.hpp"
+#include "rck/rckskel/job.hpp"
+
+namespace rck::rckskel {
+
+/// Environment wrapper: the "convenient wrappers for common operations"
+/// (init, core count, debug levels) the paper lists as part of rckskel.
+class Env {
+ public:
+  explicit Env(rcce::Comm& comm) : comm_(&comm) {}
+
+  int available_cores() const noexcept { return comm_->num_ues(); }
+  bool is_master(int master_ue = 0) const noexcept { return comm_->ue() == master_ue; }
+
+  void set_debug_level(int level) noexcept { debug_level_ = level; }
+  int debug_level() const noexcept { return debug_level_; }
+  /// Print a debug line (prefixed with UE name and simulated time) when
+  /// `level` <= the configured debug level.
+  void log(int level, const std::string& msg) const;
+
+ private:
+  rcce::Comm* comm_;
+  int debug_level_ = 0;
+};
+
+/// The paper's task tree. A leaf holds jobs; an inner node holds sub-tasks.
+/// `ue_ids` are the processing elements allowed to execute this subtree's
+/// jobs (inner nodes may leave it empty to inherit the parent's set).
+struct Task {
+  enum class Mode { Seq, Par };
+
+  Mode mode = Mode::Par;
+  std::vector<int> ue_ids;
+  std::vector<Job> jobs;
+  std::vector<Task> children;
+
+  static Task make_par(std::vector<int> ues, std::vector<Job> jobs);
+  static Task make_seq(std::vector<int> ues, std::vector<Job> jobs);
+  static Task make_group(Mode mode, std::vector<int> ues, std::vector<Task> children);
+
+  /// Total number of jobs in the subtree.
+  std::size_t job_count() const noexcept;
+};
+
+struct FarmOptions {
+  /// Wait for a READY handshake from every slave before dispatching
+  /// (the check_ready mechanism of the paper's constructs).
+  bool wait_ready = true;
+  /// Order jobs longest-first by cost_hint before dispatch (LPT balancing;
+  /// the paper used FIFO and discusses LPT as an improvement).
+  bool lpt_order = false;
+  /// Send TERMINATE to every slave when the task completes. Disable when
+  /// the same slaves will serve further farm() rounds (e.g. the
+  /// hierarchical-masters extension); the caller then terminates them
+  /// explicitly with terminate().
+  bool send_terminate = true;
+};
+
+/// Send TERMINATE to the given UEs (for callers using send_terminate=false).
+void terminate(rcce::Comm& comm, std::span<const int> ues);
+
+/// SEQ: run `jobs` on `ues` strictly in order: job k+1 is dispatched only
+/// after job k's result returned. Returns results in job order.
+std::vector<JobResult> seq(rcce::Comm& comm, std::span<const int> ues,
+                           std::span<const Job> jobs);
+
+/// PAR: dispatch all jobs round-robin across `ues` without waiting.
+/// Pair with collect() to gather the results.
+void par(rcce::Comm& comm, std::span<const int> ues, std::span<const Job> jobs);
+
+/// COLLECT: round-robin poll `ues` until `expected` results arrived.
+std::vector<JobResult> collect(rcce::Comm& comm, std::span<const int> ues,
+                               std::size_t expected);
+
+/// FARM (master side): execute a task tree with dynamic greedy dispatch.
+/// Jobs are only ever sent to UEs allowed by their subtree; Seq subtrees
+/// release jobs one at a time; when all jobs are done every participating
+/// UE receives TERMINATE. Returns all results (ordered by completion).
+std::vector<JobResult> farm(rcce::Comm& comm, const Task& task,
+                            const FarmOptions& opts = {});
+
+/// Worker callback run by slaves: payload in, result payload out. Use the
+/// Comm reference to charge the compute cost of the work performed.
+using Worker = std::function<bio::Bytes(rcce::Comm&, const bio::Bytes&)>;
+
+/// FARM (slave side): READY handshake, then serve jobs until TERMINATE.
+void farm_slave(rcce::Comm& comm, int master_ue, const Worker& worker,
+                const FarmOptions& opts = {});
+
+// ---- PIPE ------------------------------------------------------------------
+// The paper motivates rckskel with "combining processes running on different
+// cores to form a pipeline or to perform parallel execution". PIPE chains
+// stage UEs: the master streams items into the first stage, each stage
+// transforms and forwards, and the last stage returns to the master. With S
+// stages of equal cost T and N items, the simulated makespan follows the
+// classic fill-drain law (N + S - 1) * T — asserted by the tests.
+
+/// PIPE (master side): stream `items` through `stage_ues` (in order) and
+/// collect the final payloads. Results return in submission order (the
+/// chain is FIFO end to end).
+std::vector<JobResult> pipe(rcce::Comm& comm, std::span<const int> stage_ues,
+                            std::span<const Job> items);
+
+/// PIPE (stage side): receive items from `upstream_ue`, apply `worker`,
+/// forward to `downstream_ue`; TERMINATE propagates down the chain.
+void pipe_stage(rcce::Comm& comm, int upstream_ue, int downstream_ue,
+                const Worker& worker);
+
+}  // namespace rck::rckskel

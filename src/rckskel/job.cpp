@@ -1,0 +1,46 @@
+#include "rck/rckskel/job.hpp"
+
+namespace rck::rckskel {
+
+bio::Bytes encode_ready() {
+  bio::WireWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::Ready));
+  return w.take();
+}
+
+bio::Bytes encode_job(const Job& job) {
+  bio::WireWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::Job));
+  w.u64(job.id);
+  w.raw(job.payload);
+  return w.take();
+}
+
+bio::Bytes encode_result(std::uint64_t job_id, const bio::Bytes& payload) {
+  bio::WireWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::Result));
+  w.u64(job_id);
+  w.raw(payload);
+  return w.take();
+}
+
+bio::Bytes encode_terminate() {
+  bio::WireWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::Terminate));
+  return w.take();
+}
+
+Message decode_message(bio::Bytes raw) {
+  bio::WireReader r(std::move(raw));
+  Message m;
+  const std::uint8_t t = r.u8();
+  if (t < 1 || t > 4) throw bio::WireError("decode_message: unknown type");
+  m.type = static_cast<MsgType>(t);
+  if (m.type == MsgType::Job || m.type == MsgType::Result) {
+    m.job_id = r.u64();
+    m.payload = r.rest();
+  }
+  return m;
+}
+
+}  // namespace rck::rckskel

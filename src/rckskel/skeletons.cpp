@@ -1,0 +1,301 @@
+#include "rck/rckskel/skeletons.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace rck::rckskel {
+
+void Env::log(int level, const std::string& msg) const {
+  if (level > debug_level_) return;
+  std::fprintf(stderr, "[%s t=%.6fs] %s\n", comm_->ue_name().c_str(), comm_->wtime(),
+               msg.c_str());
+}
+
+Task Task::make_par(std::vector<int> ues, std::vector<Job> jobs) {
+  Task t;
+  t.mode = Mode::Par;
+  t.ue_ids = std::move(ues);
+  t.jobs = std::move(jobs);
+  return t;
+}
+
+Task Task::make_seq(std::vector<int> ues, std::vector<Job> jobs) {
+  Task t;
+  t.mode = Mode::Seq;
+  t.ue_ids = std::move(ues);
+  t.jobs = std::move(jobs);
+  return t;
+}
+
+Task Task::make_group(Mode mode, std::vector<int> ues, std::vector<Task> children) {
+  Task t;
+  t.mode = mode;
+  t.ue_ids = std::move(ues);
+  t.children = std::move(children);
+  return t;
+}
+
+std::size_t Task::job_count() const noexcept {
+  std::size_t n = jobs.size();
+  for (const Task& c : children) n += c.job_count();
+  return n;
+}
+
+namespace {
+
+void send_terminate(rcce::Comm& comm, std::span<const int> ues) {
+  for (int ue : ues) comm.send(ue, encode_terminate());
+}
+
+JobResult recv_result(rcce::Comm& comm, int ue) {
+  Message msg = decode_message(comm.recv(ue));
+  if (msg.type != MsgType::Result)
+    throw std::runtime_error("rckskel: expected RESULT from UE " + std::to_string(ue));
+  return JobResult{msg.job_id, ue, std::move(msg.payload)};
+}
+
+/// Flattened view of a task tree used by farm(): every leaf becomes a group
+/// of jobs with its UE set, Seq mode flag and an optional predecessor group
+/// that must fully complete first (Seq ordering between siblings).
+struct FlatGroup {
+  std::vector<int> ues;
+  bool seq = false;
+  std::vector<const Job*> jobs;  // dispatch order (post cost sorting)
+  int after = -1;                // group index that must complete first
+  std::size_t next = 0;          // next job to release
+  std::size_t completed = 0;
+  bool inflight = false;         // a Seq group has at most one job in flight
+};
+
+int flatten(const Task& task, std::span<const int> inherited_ues,
+            std::vector<FlatGroup>& out, int after) {
+  const std::span<const int> ues =
+      task.ue_ids.empty() ? inherited_ues : std::span<const int>(task.ue_ids);
+  int last = after;
+  if (!task.jobs.empty()) {
+    if (ues.empty())
+      throw std::invalid_argument("rckskel: task with jobs has no UEs");
+    FlatGroup g;
+    g.ues.assign(ues.begin(), ues.end());
+    g.seq = task.mode == Task::Mode::Seq;
+    g.after = after;
+    for (const Job& j : task.jobs) g.jobs.push_back(&j);
+    out.push_back(std::move(g));
+    last = static_cast<int>(out.size()) - 1;
+  }
+  for (const Task& child : task.children) {
+    const int child_after = task.mode == Task::Mode::Seq ? last : after;
+    const int child_last = flatten(child, ues, out, child_after);
+    if (task.mode == Task::Mode::Seq) last = child_last;
+  }
+  return last;
+}
+
+bool group_complete(const std::vector<FlatGroup>& groups, int idx) {
+  if (idx < 0) return true;
+  const FlatGroup& g = groups[static_cast<std::size_t>(idx)];
+  return g.completed == g.jobs.size() &&
+         group_complete(groups, g.after);  // chains are short; recursion fine
+}
+
+}  // namespace
+
+std::vector<JobResult> seq(rcce::Comm& comm, std::span<const int> ues,
+                           std::span<const Job> jobs) {
+  if (ues.empty()) throw std::invalid_argument("seq: no UEs");
+  std::vector<JobResult> results;
+  results.reserve(jobs.size());
+  for (std::size_t k = 0; k < jobs.size(); ++k) {
+    const int ue = ues[k % ues.size()];
+    comm.send(ue, encode_job(jobs[k]));
+    results.push_back(recv_result(comm, ue));
+  }
+  return results;
+}
+
+void par(rcce::Comm& comm, std::span<const int> ues, std::span<const Job> jobs) {
+  if (ues.empty()) throw std::invalid_argument("par: no UEs");
+  for (std::size_t k = 0; k < jobs.size(); ++k)
+    comm.send(ues[k % ues.size()], encode_job(jobs[k]));
+}
+
+std::vector<JobResult> collect(rcce::Comm& comm, std::span<const int> ues,
+                               std::size_t expected) {
+  std::vector<JobResult> results;
+  results.reserve(expected);
+  while (results.size() < expected) {
+    const int ue = comm.wait_any(ues);
+    results.push_back(recv_result(comm, ue));
+  }
+  return results;
+}
+
+std::vector<JobResult> farm(rcce::Comm& comm, const Task& task, const FarmOptions& opts) {
+  std::vector<FlatGroup> groups;
+  flatten(task, {}, groups, -1);
+
+  std::size_t total = 0;
+  std::vector<int> slaves;  // union of all UE sets, ascending, deduplicated
+  for (FlatGroup& g : groups) {
+    total += g.jobs.size();
+    for (int ue : g.ues) {
+      if (ue == comm.ue())
+        throw std::invalid_argument("farm: master UE cannot be a slave");
+      slaves.push_back(ue);
+    }
+    if (opts.lpt_order)
+      std::stable_sort(g.jobs.begin(), g.jobs.end(),
+                       [](const Job* a, const Job* b) { return a->cost_hint > b->cost_hint; });
+  }
+  std::sort(slaves.begin(), slaves.end());
+  slaves.erase(std::unique(slaves.begin(), slaves.end()), slaves.end());
+  if (slaves.empty()) throw std::invalid_argument("farm: no slave UEs");
+
+  // check_ready: wait for every slave's READY handshake.
+  if (opts.wait_ready) {
+    std::size_t ready = 0;
+    std::vector<char> seen(slaves.size(), 0);
+    while (ready < slaves.size()) {
+      const int ue = comm.wait_any(slaves);
+      const auto it = std::lower_bound(slaves.begin(), slaves.end(), ue);
+      const std::size_t idx = static_cast<std::size_t>(it - slaves.begin());
+      if (seen[idx]) {
+        // A RESULT can't arrive before any job was sent; this must be a
+        // protocol violation.
+        throw std::runtime_error("farm: duplicate READY from UE " + std::to_string(ue));
+      }
+      const Message msg = decode_message(comm.recv(ue));
+      if (msg.type != MsgType::Ready)
+        throw std::runtime_error("farm: expected READY from UE " + std::to_string(ue));
+      seen[idx] = 1;
+      ++ready;
+    }
+  }
+
+  std::vector<JobResult> results;
+  results.reserve(total);
+  // inflight[i]: group index the i-th slave is working for, or -1 when free.
+  std::vector<int> inflight(slaves.size(), -1);
+
+  auto try_dispatch = [&]() {
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (std::size_t si = 0; si < slaves.size(); ++si) {
+        if (inflight[si] != -1) continue;
+        for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+          FlatGroup& g = groups[gi];
+          if (g.next >= g.jobs.size()) continue;
+          if (g.seq && g.inflight) continue;
+          if (!group_complete(groups, g.after)) continue;
+          if (std::find(g.ues.begin(), g.ues.end(), slaves[si]) == g.ues.end()) continue;
+          comm.send(slaves[si], encode_job(*g.jobs[g.next]));
+          ++g.next;
+          g.inflight = g.seq ? true : g.inflight;
+          inflight[si] = static_cast<int>(gi);
+          progress = true;
+          break;
+        }
+      }
+    }
+  };
+
+  std::vector<int> busy;
+  while (results.size() < total) {
+    try_dispatch();
+    busy.clear();
+    for (std::size_t si = 0; si < slaves.size(); ++si)
+      if (inflight[si] != -1) busy.push_back(slaves[si]);
+    if (busy.empty())
+      throw std::logic_error("farm: jobs remain but nothing dispatchable");
+    const int ue = comm.wait_any(busy);
+    JobResult res = recv_result(comm, ue);
+    const auto it = std::lower_bound(slaves.begin(), slaves.end(), ue);
+    const std::size_t si = static_cast<std::size_t>(it - slaves.begin());
+    FlatGroup& g = groups[static_cast<std::size_t>(inflight[si])];
+    ++g.completed;
+    g.inflight = false;
+    inflight[si] = -1;
+    results.push_back(std::move(res));
+  }
+
+  if (opts.send_terminate) send_terminate(comm, slaves);
+  return results;
+}
+
+void terminate(rcce::Comm& comm, std::span<const int> ues) {
+  send_terminate(comm, ues);
+}
+
+std::vector<JobResult> pipe(rcce::Comm& comm, std::span<const int> stage_ues,
+                            std::span<const Job> items) {
+  if (stage_ues.empty()) throw std::invalid_argument("pipe: no stages");
+  for (int ue : stage_ues)
+    if (ue == comm.ue())
+      throw std::invalid_argument("pipe: master UE cannot be a stage");
+
+  const int first = stage_ues.front();
+  const int last = stage_ues.back();
+
+  // Stream everything into the first stage; the chain's per-link FIFO
+  // ordering guarantees results come back in submission order.
+  for (const Job& item : items) comm.send(first, encode_job(item));
+  comm.send(first, encode_terminate());
+
+  std::vector<JobResult> results;
+  results.reserve(items.size());
+  for (std::size_t k = 0; k < items.size(); ++k) {
+    Message msg = decode_message(comm.recv(last));
+    if (msg.type != MsgType::Job)
+      throw std::runtime_error("pipe: expected item from last stage");
+    results.push_back(JobResult{msg.job_id, last, std::move(msg.payload)});
+  }
+  // Drain the propagated TERMINATE so the master's inbox ends clean.
+  const Message fin = decode_message(comm.recv(last));
+  if (fin.type != MsgType::Terminate)
+    throw std::runtime_error("pipe: expected trailing TERMINATE");
+  return results;
+}
+
+void pipe_stage(rcce::Comm& comm, int upstream_ue, int downstream_ue,
+                const Worker& worker) {
+  for (;;) {
+    Message msg = decode_message(comm.recv(upstream_ue));
+    switch (msg.type) {
+      case MsgType::Job: {
+        Job out;
+        out.id = msg.job_id;
+        out.payload = worker(comm, msg.payload);
+        comm.send(downstream_ue, encode_job(out));
+        break;
+      }
+      case MsgType::Terminate:
+        comm.send(downstream_ue, encode_terminate());
+        return;
+      default:
+        throw std::runtime_error("pipe_stage: unexpected message type");
+    }
+  }
+}
+
+void farm_slave(rcce::Comm& comm, int master_ue, const Worker& worker,
+                const FarmOptions& opts) {
+  if (opts.wait_ready) comm.send(master_ue, encode_ready());
+  for (;;) {
+    Message msg = decode_message(comm.recv(master_ue));
+    switch (msg.type) {
+      case MsgType::Job: {
+        bio::Bytes out = worker(comm, msg.payload);
+        comm.send(master_ue, encode_result(msg.job_id, out));
+        break;
+      }
+      case MsgType::Terminate:
+        return;
+      default:
+        throw std::runtime_error("farm_slave: unexpected message type");
+    }
+  }
+}
+
+}  // namespace rck::rckskel

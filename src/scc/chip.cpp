@@ -1,0 +1,54 @@
+#include "rck/scc/chip.hpp"
+
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+namespace rck::scc {
+
+int SccConfig::tile_of_core(int core) const {
+  if (core < 0 || core >= core_count()) throw std::out_of_range("SccConfig: bad core id");
+  return core / cores_per_tile;
+}
+
+std::string SccConfig::core_name(int core) const {
+  if (core < 0 || core >= core_count()) throw std::out_of_range("SccConfig: bad core id");
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "rck%02d", core);
+  return buf;
+}
+
+std::vector<int> SccConfig::memory_controller_routers() const {
+  const noc::Mesh mesh(mesh_cols, mesh_rows);
+  return {mesh.node({0, 0}), mesh.node({mesh_cols - 1, 0}),
+          mesh.node({0, mesh_rows - 1}), mesh.node({mesh_cols - 1, mesh_rows - 1})};
+}
+
+int SccConfig::nearest_memory_controller(int core) const {
+  const noc::Mesh mesh(mesh_cols, mesh_rows);
+  const int router = router_of_core(core);
+  int best = -1;
+  int best_hops = std::numeric_limits<int>::max();
+  for (int mc : memory_controller_routers()) {
+    const int h = mesh.hops(router, mc);
+    if (h < best_hops || (h == best_hops && mc < best)) {
+      best_hops = h;
+      best = mc;
+    }
+  }
+  return best;
+}
+
+noc::SimTime SccConfig::dram_read_time(int core, std::uint64_t bytes,
+                                       noc::SimTime hop_latency) const {
+  const noc::Mesh mesh(mesh_cols, mesh_rows);
+  const int hops = mesh.hops(router_of_core(core), nearest_memory_controller(core));
+  const double data_ns = static_cast<double>(bytes) / dram.bytes_per_ns;
+  return dram.access_latency +
+         static_cast<noc::SimTime>(data_ns * static_cast<double>(noc::kPsPerNs) + 0.5) +
+         2u * static_cast<noc::SimTime>(hops) * hop_latency;
+}
+
+SccConfig default_scc() { return SccConfig{}; }
+
+}  // namespace rck::scc

@@ -1,0 +1,29 @@
+#include "rck/scc/energy.hpp"
+
+namespace rck::scc {
+
+EnergyReport estimate_energy(std::span<const CoreReport> reports,
+                             noc::SimTime makespan,
+                             std::span<const double> freq_scale,
+                             const EnergyParams& params) {
+  EnergyReport out;
+  const double wall_s = noc::to_seconds(makespan);
+  out.uncore_j = params.uncore_w * wall_s;
+  out.per_core_j.reserve(reports.size());
+
+  for (std::size_t rank = 0; rank < reports.size(); ++rank) {
+    double scale = 1.0;
+    if (rank < freq_scale.size() && freq_scale[rank] > 0.0) scale = freq_scale[rank];
+    const double busy_s = noc::to_seconds(reports[rank].busy);
+    const double stat = params.static_w_per_core * wall_s;
+    // Dynamic: power scales as s^3 while active.
+    const double dyn = params.dynamic_w_per_core * scale * scale * scale * busy_s;
+    out.static_j += stat;
+    out.dynamic_j += dyn;
+    out.per_core_j.push_back(stat + dyn);
+  }
+  out.total_j = out.static_j + out.dynamic_j + out.uncore_j;
+  return out;
+}
+
+}  // namespace rck::scc

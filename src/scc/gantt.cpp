@@ -1,0 +1,81 @@
+#include "rck/scc/gantt.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace rck::scc {
+
+char gantt_char(TraceEvent::Kind kind) noexcept {
+  switch (kind) {
+    case TraceEvent::Kind::Compute: return 'C';
+    case TraceEvent::Kind::Send: return 'S';
+    case TraceEvent::Kind::Recv: return 'R';
+    case TraceEvent::Kind::Poll: return 'P';
+    case TraceEvent::Kind::Dram: return 'D';
+    case TraceEvent::Kind::Blocked: return 'b';
+  }
+  return '?';
+}
+
+std::string render_gantt(const std::vector<TraceEvent>& trace, int nranks,
+                         noc::SimTime makespan, const GanttOptions& opts) {
+  if (nranks < 1 || opts.width < 1)
+    throw std::invalid_argument("render_gantt: bad dimensions");
+  const std::size_t width = static_cast<std::size_t>(opts.width);
+  const double span = makespan > 0 ? static_cast<double>(makespan) : 1.0;
+
+  constexpr std::size_t kKinds = 6;
+  // occupancy[rank][column][kind] = accumulated time
+  std::vector<double> occupancy(static_cast<std::size_t>(nranks) * width * kKinds, 0.0);
+  auto cell = [&](int rank, std::size_t col, std::size_t kind) -> double& {
+    return occupancy[(static_cast<std::size_t>(rank) * width + col) * kKinds + kind];
+  };
+
+  for (const TraceEvent& ev : trace) {
+    if (ev.rank < 0 || ev.rank >= nranks) continue;
+    const double t0 = static_cast<double>(ev.start) / span * static_cast<double>(width);
+    const double t1 = static_cast<double>(ev.end) / span * static_cast<double>(width);
+    const std::size_t c0 = std::min(width - 1, static_cast<std::size_t>(std::max(0.0, t0)));
+    const std::size_t c1 = std::min(width - 1, static_cast<std::size_t>(std::max(0.0, t1)));
+    for (std::size_t c = c0; c <= c1; ++c) {
+      const double lo = std::max(t0, static_cast<double>(c));
+      const double hi = std::min(t1, static_cast<double>(c + 1));
+      if (hi > lo) cell(ev.rank, c, static_cast<std::size_t>(ev.kind)) += hi - lo;
+    }
+  }
+
+  static constexpr std::array<TraceEvent::Kind, kKinds> kKindOrder{
+      TraceEvent::Kind::Compute, TraceEvent::Kind::Send, TraceEvent::Kind::Recv,
+      TraceEvent::Kind::Poll, TraceEvent::Kind::Dram, TraceEvent::Kind::Blocked};
+
+  std::ostringstream os;
+  char label[16];
+  for (int rank = 0; rank < nranks; ++rank) {
+    std::snprintf(label, sizeof label, "rck%02d |", rank);
+    os << label;
+    for (std::size_t c = 0; c < width; ++c) {
+      double best = 0.0;
+      char ch = '.';
+      for (TraceEvent::Kind k : kKindOrder) {
+        const double v = cell(rank, c, static_cast<std::size_t>(k));
+        if (v > best) {
+          best = v;
+          ch = gantt_char(k);
+        }
+      }
+      os << ch;
+    }
+    os << '|' << (rank == 0 ? " master" : "") << '\n';
+  }
+  if (opts.show_legend) {
+    os << "       0s" << std::string(width > 16 ? width - 16 : 0, ' ')
+       << noc::to_seconds(makespan) << "s\n"
+       << "       C compute  S send  R recv  P poll  D dram  b blocked  . idle\n";
+  }
+  return os.str();
+}
+
+}  // namespace rck::scc

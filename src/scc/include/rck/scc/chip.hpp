@@ -1,0 +1,67 @@
+// Static description of the simulated Single-chip Cloud Computer.
+//
+// Geometry per the paper's Table I and Figures 1-2: 24 tiles in a 6x4 mesh,
+// two P54C cores per tile, a 16 KB message-passing buffer per tile (8 KB
+// per core under RCCE's default split), four on-die memory controllers at
+// the mesh edges. Core naming follows the SCC convention rck00 ... rck47.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rck/noc/mesh.hpp"
+#include "rck/noc/sim_time.hpp"
+
+namespace rck::scc {
+
+struct DramParams {
+  noc::SimTime access_latency = 120 * noc::kPsPerNs;  ///< per request
+  double bytes_per_ns = 4.0;                          ///< controller bandwidth
+};
+
+struct SccConfig {
+  int mesh_cols = 6;
+  int mesh_rows = 4;
+  /// The SCC fabric is a plain mesh; enable for what-if studies of a
+  /// wraparound (torus) interconnect on the same tile layout.
+  bool torus_mesh = false;
+  int cores_per_tile = 2;
+  double core_freq_hz = 800e6;          ///< P54C cores at 800 MHz
+  std::uint32_t mpb_bytes_per_core = 8192;
+  DramParams dram{};
+
+  int tile_count() const noexcept { return mesh_cols * mesh_rows; }
+  int core_count() const noexcept { return tile_count() * cores_per_tile; }
+
+  /// Tile hosting a core: cores are numbered across tiles in pairs,
+  /// matching the SCC's rck numbering.
+  int tile_of_core(int core) const;
+
+  /// Mesh router serving a core (one router per tile).
+  int router_of_core(int core) const { return tile_of_core(core); }
+
+  /// SCC-style core name: "rck00" ... "rck47".
+  std::string core_name(int core) const;
+
+  /// Routers hosting the four memory controllers (mesh corners, as on the
+  /// SCC where iMCs sit on the left/right edges).
+  std::vector<int> memory_controller_routers() const;
+
+  /// The memory controller a core's address range maps to: nearest by hop
+  /// count, lowest router id on ties.
+  int nearest_memory_controller(int core) const;
+
+  /// Build the mesh object for this chip.
+  noc::Mesh make_mesh() const { return noc::Mesh(mesh_cols, mesh_rows, torus_mesh); }
+
+  /// Time for a core to read `bytes` from DRAM through its memory
+  /// controller: request latency + data time + round-trip mesh hops.
+  noc::SimTime dram_read_time(int core, std::uint64_t bytes,
+                              noc::SimTime hop_latency) const;
+};
+
+/// The default chip used throughout the reproduction (exactly the paper's).
+SccConfig default_scc();
+
+}  // namespace rck::scc

@@ -1,0 +1,45 @@
+// Chip energy estimation.
+//
+// The SCC was built for power research: per-tile voltage/frequency islands
+// let software trade speed for energy (the chip spans ~25-125 W). The paper
+// does not evaluate power, but any SCC deployment decision would; this
+// model turns a run's per-core reports into joules so the DVFS ablation can
+// report the energy side of its scenarios.
+//
+// Model: a core draws static (leakage) power for the whole run, and dynamic
+// power while busy. Dynamic power scales with the DVFS multiplier s as
+// s^3 (frequency times the square of the roughly-proportional voltage),
+// which is the standard first-order CMOS law and matches the SCC's
+// published operating points to ~15%.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "rck/noc/sim_time.hpp"
+#include "rck/scc/runtime.hpp"
+
+namespace rck::scc {
+
+struct EnergyParams {
+  double static_w_per_core = 0.35;   ///< leakage at nominal voltage
+  double dynamic_w_per_core = 1.25;  ///< active power at nominal (800 MHz)
+  double uncore_w = 15.0;            ///< mesh, MPBs, iMCs (always on)
+};
+
+struct EnergyReport {
+  double total_j = 0.0;
+  double static_j = 0.0;
+  double dynamic_j = 0.0;
+  double uncore_j = 0.0;
+  std::vector<double> per_core_j;  ///< static + dynamic per core
+};
+
+/// Estimate energy for a completed run. `freq_scale` follows
+/// RuntimeConfig::core_freq_scale semantics (empty / short = 1.0).
+EnergyReport estimate_energy(std::span<const CoreReport> reports,
+                             noc::SimTime makespan,
+                             std::span<const double> freq_scale = {},
+                             const EnergyParams& params = {});
+
+}  // namespace rck::scc

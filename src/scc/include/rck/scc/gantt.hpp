@@ -1,0 +1,35 @@
+// ASCII Gantt rendering of an execution trace.
+//
+// Turns the per-core activity intervals recorded by the SPMD runtime
+// (RuntimeConfig::enable_trace) into the classic one-row-per-core timeline:
+//
+//   rck00 |DSSSSPPPPPPPPPPPPPPPRSPPRS...| master
+//   rck01 |bbCCCCCCCCCCCCCCCCCCSbbbCC...|
+//
+// with one character per time column: C compute, S send, R recv, P poll,
+// D dram, b blocked, '.' idle/untraced. When several kinds fall into one
+// column the busiest kind wins. Useful for eyeballing master bottlenecks
+// and straggler tails without leaving the terminal.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rck/scc/runtime.hpp"
+
+namespace rck::scc {
+
+struct GanttOptions {
+  int width = 100;          ///< timeline columns
+  bool show_legend = true;  ///< append the kind legend
+};
+
+/// Render `trace` (from SpmdRuntime::trace()) over [0, makespan] for
+/// `nranks` cores. Returns a multi-line string.
+std::string render_gantt(const std::vector<TraceEvent>& trace, int nranks,
+                         noc::SimTime makespan, const GanttOptions& opts = {});
+
+/// Character code of a trace kind (the one used in the chart).
+char gantt_char(TraceEvent::Kind kind) noexcept;
+
+}  // namespace rck::scc

@@ -1,0 +1,192 @@
+// SPMD runtime for the simulated SCC.
+//
+// RCCE programs are SPMD: the same program runs on every core, branching on
+// its rank (the paper's Figure 3 template). We reproduce that programming
+// model exactly: user code is an ordinary C++ callable invoked once per
+// simulated core, written with *blocking* message-passing calls, and the
+// runtime interleaves the per-core executions deterministically.
+//
+// Mechanics: each core's program runs on its own OS thread, but the
+// scheduler admits exactly one thread at a time. Every CoreCtx operation
+// that advances the core's virtual clock is a yield point; the scheduler
+// always resumes the entity with the smallest next timestamp — either the
+// earliest pending network event or the ready core with the smallest
+// virtual time (ties: events first, then lowest rank). This conservative
+// order makes simulated executions sequentially consistent and bit-for-bit
+// reproducible: wall-clock thread scheduling cannot change any simulated
+// outcome.
+//
+// Compute cost enters via charge_cycles(), typically fed from the
+// core::AlignStats counters of a real alignment executed inline by the
+// program, converted through the chip's CoreTimingModel.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "rck/bio/serialize.hpp"
+#include "rck/noc/event_queue.hpp"
+#include "rck/noc/network.hpp"
+#include "rck/scc/chip.hpp"
+#include "rck/scc/timing.hpp"
+
+namespace rck::scc {
+
+class SpmdRuntime;
+struct CoreState;  // internal
+
+/// Raised for simulation-level failures (bad rank, misuse).
+class SimError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Raised when every live core is blocked and no network event is pending.
+/// The message includes a per-core state dump.
+class DeadlockError : public SimError {
+ public:
+  using SimError::SimError;
+};
+
+struct RuntimeConfig {
+  SccConfig chip = default_scc();
+  noc::NetworkParams net{};
+  CoreTimingModel core_model = CoreTimingModel::p54c_800();
+  /// Cost of one inbox poll (an MPB flag read across the mesh).
+  noc::SimTime poll_cost = 500 * noc::kPsPerNs;
+  /// Cost of a full-chip barrier beyond the wait itself.
+  noc::SimTime barrier_cost = 2 * noc::kPsPerUs;
+  /// Per-rank clock multipliers modelling the SCC's voltage/frequency
+  /// islands (per-tile DVFS). Empty = every core at the profile's nominal
+  /// frequency; otherwise freq(rank) = nominal * core_freq_scale[rank]
+  /// (ranks beyond the vector get 1.0). Affects charge_cycles only;
+  /// mesh and MPB timing are on their own clock domain, as on the SCC.
+  std::vector<double> core_freq_scale{};
+  /// Record a per-core activity trace (see SpmdRuntime::trace). Adds a few
+  /// hundred bytes per simulated operation; off by default.
+  bool enable_trace = false;
+};
+
+/// One recorded activity interval of a core (when tracing is enabled).
+struct TraceEvent {
+  enum class Kind : std::uint8_t {
+    Compute,  ///< charge_cycles / charge
+    Send,     ///< endpoint occupancy of a send
+    Recv,     ///< endpoint occupancy of a receive
+    Poll,     ///< probe / wait_any sweep
+    Dram,     ///< dram_read
+    Blocked,  ///< waiting for a message or barrier
+  };
+  int rank = 0;
+  Kind kind = Kind::Compute;
+  noc::SimTime start = 0;
+  noc::SimTime end = 0;
+};
+
+/// Per-core execution statistics, available after run().
+struct CoreReport {
+  noc::SimTime finish = 0;   ///< virtual time when the program returned
+  noc::SimTime busy = 0;     ///< time spent computing / moving data
+  noc::SimTime blocked = 0;  ///< time spent waiting for messages/barriers
+  std::uint64_t compute_cycles = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+};
+
+/// Per-core interface handed to the SPMD program. All methods must be called
+/// from the program invocation that received the context.
+class CoreCtx {
+ public:
+  int rank() const noexcept;
+  int nranks() const noexcept;
+  noc::SimTime now() const noexcept;
+  const SccConfig& chip() const noexcept;
+  const CoreTimingModel& timing() const noexcept;
+
+  /// Advance this core's clock by `cycles` of compute (scaled by this
+  /// core's DVFS multiplier, see RuntimeConfig::core_freq_scale).
+  void charge_cycles(std::uint64_t cycles);
+
+  /// This core's DVFS clock multiplier (1.0 when not configured).
+  double freq_scale() const noexcept;
+
+  /// Change this core's DVFS multiplier at runtime (RCCE's power-management
+  /// API lets software re-clock its own tile mid-run). Takes effect for
+  /// subsequent charge_cycles calls; charges the SCC's voltage/frequency
+  /// transition latency. Throws SimError on scale <= 0.
+  void set_freq_scale(double scale);
+  /// Advance this core's clock by an absolute duration.
+  void charge(noc::SimTime dt);
+  /// Charge the cost of reading `bytes` from DRAM via the nearest iMC.
+  void dram_read(std::uint64_t bytes);
+
+  /// Enqueue `payload` for `dst`. The sender is occupied for the local copy
+  /// and library overhead; delivery time is computed by the network model
+  /// (XY route, link contention, MPB chunking). FIFO per (src, dst) pair.
+  void send(int dst, bio::Bytes payload);
+
+  /// Block until a message from `src` is available, then return it.
+  bio::Bytes recv(int src);
+
+  /// Non-blocking test for a pending message from `src` (one poll charged).
+  bool probe(int src);
+
+  /// Block until a message from any rank in `srcs` is pending and return
+  /// that rank (the message stays queued for a subsequent recv()). When
+  /// several are pending, selection is round-robin over `srcs` starting
+  /// after the last pick — exactly the master's polling loop in the paper.
+  int wait_any(std::span<const int> srcs);
+
+  /// Full-program barrier across all nranks.
+  void barrier();
+
+ private:
+  friend class SpmdRuntime;
+  CoreCtx(SpmdRuntime& rt, CoreState& st) : rt_(&rt), st_(&st) {}
+  SpmdRuntime* rt_;
+  CoreState* st_;
+};
+
+using Program = std::function<void(CoreCtx&)>;
+
+class SpmdRuntime {
+ public:
+  explicit SpmdRuntime(RuntimeConfig cfg);
+  ~SpmdRuntime();
+
+  SpmdRuntime(const SpmdRuntime&) = delete;
+  SpmdRuntime& operator=(const SpmdRuntime&) = delete;
+
+  /// Execute `program` on ranks 0..nranks-1 to completion.
+  /// Returns the simulated makespan (max core finish time).
+  /// Throws DeadlockError on deadlock; rethrows the first (lowest-rank)
+  /// exception if a program throws.
+  noc::SimTime run(int nranks, const Program& program);
+
+  const RuntimeConfig& config() const noexcept { return cfg_; }
+  const noc::NetworkStats& network_stats() const noexcept;
+  /// The simulated fabric (per-link stats for heatmaps and analysis).
+  const noc::Network& network() const noexcept;
+  const std::vector<CoreReport>& core_reports() const noexcept { return reports_; }
+  std::uint64_t events_fired() const noexcept;
+
+  /// Recorded activity intervals, in simulated-time order (empty unless
+  /// RuntimeConfig::enable_trace was set).
+  const std::vector<TraceEvent>& trace() const noexcept;
+
+ private:
+  friend class CoreCtx;
+  struct Impl;
+  RuntimeConfig cfg_;
+  std::vector<CoreReport> reports_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace rck::scc

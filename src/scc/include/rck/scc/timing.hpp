@@ -1,0 +1,87 @@
+// Core compute-timing model.
+//
+// The paper reports wall-clock seconds on three processors: the SCC's P54C
+// cores at 800 MHz, and (as baselines) an AMD Athlon II X2 250 at 2.4 GHz.
+// We replace silicon with a per-operation cycle model applied to the exact
+// work counters the TM-align engine records (core::AlignStats):
+//
+//   cycles = scale * sum_op( weight_op * count_op ) * mem_factor + fixed
+//
+// The per-op weights are shared across processors (the instruction mix is
+// the same program); profiles differ in clock frequency, an IPC/code-quality
+// scale (the paper ran a 32-bit f2c-converted Fortran port, which we absorb
+// into the P54C scale), and a last-level-cache model that inflates cycles
+// when the working set of a pair exceeds the cache (DP matrices of large
+// chains). Calibration notes live in EXPERIMENTS.md; the *ratios* between
+// profiles, which drive every speedup figure, depend only on frequency,
+// scale and cache size — not on the absolute weight choices.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "rck/core/stats.hpp"
+#include "rck/noc/sim_time.hpp"
+
+namespace rck::scc {
+
+/// Cycle weights per counted operation (see core::AlignStats).
+struct OpWeights {
+  double dp_cell = 14.0;       ///< one NW cell: 2 adds, 3 compares, loads
+  double matrix_cell = 12.0;   ///< one score-matrix cell: distance + divide
+  double scored_pair = 10.0;   ///< one TM-score term
+  double kabsch_point = 11.0;  ///< covariance accumulation per point
+  double kabsch_call = 900.0;  ///< fixed 4x4 Jacobi eigen solve
+  double iteration = 2500.0;   ///< refinement-loop bookkeeping
+};
+
+class CoreTimingModel {
+ public:
+  CoreTimingModel() = default;
+  CoreTimingModel(std::string name, double freq_hz, double scale, OpWeights weights,
+                  std::uint64_t cache_bytes, double cache_miss_factor,
+                  std::uint64_t per_job_fixed_cycles);
+
+  const std::string& name() const noexcept { return name_; }
+  double freq_hz() const noexcept { return freq_hz_; }
+
+  /// Cycles charged for the given work, with `footprint_bytes` the dominant
+  /// working-set size of the computation (DP matrices), used by the cache
+  /// term.
+  std::uint64_t cycles(const core::AlignStats& stats,
+                       std::uint64_t footprint_bytes = 0) const noexcept;
+
+  /// Simulated duration of `cycles` on this core.
+  noc::SimTime cycles_to_time(std::uint64_t cycles) const noexcept;
+
+  /// Convenience: duration of the given work.
+  noc::SimTime time(const core::AlignStats& stats,
+                    std::uint64_t footprint_bytes = 0) const noexcept;
+
+  /// Working-set estimate for aligning chains of the given lengths: the NW
+  /// value/path/score matrices plus coordinates.
+  static std::uint64_t alignment_footprint(std::size_t len1, std::size_t len2) noexcept;
+
+  // --- Calibrated profiles -------------------------------------------------
+
+  /// SCC P54C Pentium core, 800 MHz, 256 KB L2, running the f2c C port.
+  static CoreTimingModel p54c_800();
+
+  /// AMD Athlon II X2 250 at 2.4 GHz, 1 MB L2/core (desktop baseline).
+  static CoreTimingModel amd_athlon_2400();
+
+  /// A copy of this profile clocked at a different frequency (same weights,
+  /// scale and cache) — the paper's "faster cores" future-work scenario.
+  CoreTimingModel with_frequency(double freq_hz, std::string new_name) const;
+
+ private:
+  std::string name_ = "unnamed";
+  double freq_hz_ = 800e6;
+  double scale_ = 1.0;
+  OpWeights weights_{};
+  std::uint64_t cache_bytes_ = 256 * 1024;
+  double cache_miss_factor_ = 1.25;
+  std::uint64_t per_job_fixed_cycles_ = 0;
+};
+
+}  // namespace rck::scc

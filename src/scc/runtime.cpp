@@ -1,0 +1,481 @@
+#include "rck/scc/runtime.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+namespace rck::scc {
+
+namespace {
+
+/// Thrown into program threads to unwind them when the simulation aborts.
+/// Not derived from std::exception on purpose: program code that catches
+/// (std::exception&) will not swallow it.
+struct AbortSim {};
+
+constexpr noc::SimTime kInf = ~noc::SimTime{0};
+
+/// Framing bytes added to every payload for timing purposes (source rank,
+/// length, tag words RCCE puts in the MPB).
+constexpr std::uint64_t kMsgHeaderBytes = 16;
+
+}  // namespace
+
+struct Message {
+  int src = -1;
+  bio::Bytes payload;
+  noc::SimTime arrival = 0;
+};
+
+struct CoreState {
+  enum class Status { Ready, Running, Blocked, Done };
+
+  int rank = -1;
+  noc::SimTime vtime = 0;
+  Status status = Status::Ready;
+
+  // Wake condition while Blocked: wait_src >= 0 waits for that rank;
+  // kWaitAny waits for any rank in wait_set; kWaitNone means blocked in a
+  // barrier (woken explicitly by the releaser).
+  static constexpr int kWaitNone = -2;
+  static constexpr int kWaitAny = -1;
+  int wait_src = kWaitNone;
+  std::vector<int> wait_set;
+  bool in_barrier = false;
+  noc::SimTime blocked_since = 0;
+
+  std::map<int, std::deque<Message>> inbox;  // by source rank
+  std::size_t rr_cursor = 0;                 // wait_any fairness state
+  double freq_scale_dynamic = 0.0;           // runtime DVFS override; 0 = config
+
+  CoreReport report;
+  std::exception_ptr error;
+  std::condition_variable cv;
+  std::thread thread;
+};
+
+struct SpmdRuntime::Impl {
+  explicit Impl(const RuntimeConfig& c)
+      : cfg(c), network(queue, c.chip.make_mesh(), c.net) {}
+
+  RuntimeConfig cfg;
+  noc::EventQueue queue;
+  noc::Network network;
+
+  std::mutex m;
+  std::condition_variable sched_cv;
+  std::vector<std::unique_ptr<CoreState>> cores;
+  int nranks = 0;
+  bool shutdown = false;
+  bool used = false;
+
+  int barrier_count = 0;
+  std::uint64_t barrier_epoch = 0;
+  noc::SimTime barrier_time = 0;
+
+  std::vector<TraceEvent> trace;
+
+  void record(int rank, TraceEvent::Kind kind, noc::SimTime start, noc::SimTime end) {
+    if (cfg.enable_trace && end > start) trace.push_back({rank, kind, start, end});
+  }
+
+  int router_of(int rank) const { return cfg.chip.router_of_core(rank); }
+
+  void check_rank(int r, const char* what) const {
+    if (r < 0 || r >= nranks)
+      throw SimError(std::string(what) + ": rank out of range");
+  }
+
+  /// Park the calling core's thread with the given status and wait until the
+  /// scheduler resumes it. Lock must be held; rethrows AbortSim on shutdown.
+  void yield(CoreState& st, std::unique_lock<std::mutex>& lock,
+             CoreState::Status status) {
+    st.status = status;
+    if (status == CoreState::Status::Blocked) st.blocked_since = st.vtime;
+    sched_cv.notify_all();
+    st.cv.wait(lock, [&] { return st.status == CoreState::Status::Running || shutdown; });
+    if (shutdown) throw AbortSim{};
+  }
+
+  /// Advance the core's clock (busy) and give the scheduler a chance to
+  /// reorder. Lock must be held.
+  void advance(CoreState& st, std::unique_lock<std::mutex>& lock, noc::SimTime dt,
+               TraceEvent::Kind kind = TraceEvent::Kind::Compute) {
+    record(st.rank, kind, st.vtime, st.vtime + dt);
+    st.vtime += dt;
+    st.report.busy += dt;
+    yield(st, lock, CoreState::Status::Ready);
+  }
+
+  bool wants_message_from(const CoreState& st, int src) const {
+    if (st.wait_src == src) return true;
+    if (st.wait_src == CoreState::kWaitAny)
+      return std::find(st.wait_set.begin(), st.wait_set.end(), src) != st.wait_set.end();
+    return false;
+  }
+
+  /// Wake a blocked core at time `t` (>= its blocking time). Lock held.
+  void wake(CoreState& st, noc::SimTime t) {
+    const noc::SimTime resume = std::max(st.vtime, t);
+    record(st.rank, TraceEvent::Kind::Blocked, st.blocked_since, resume);
+    st.report.blocked += resume - st.blocked_since;
+    st.vtime = resume;
+    st.wait_src = CoreState::kWaitNone;
+    st.wait_set.clear();
+    st.status = CoreState::Status::Ready;
+  }
+
+  // ---- CoreCtx operations (called from program threads) -------------------
+
+  void op_charge(CoreState& st, noc::SimTime dt) {
+    std::unique_lock lock(m);
+    advance(st, lock, dt);
+  }
+
+  double freq_scale_of(int rank) const {
+    const CoreState& st = *cores[static_cast<std::size_t>(rank)];
+    if (st.freq_scale_dynamic > 0.0) return st.freq_scale_dynamic;
+    const auto& scales = cfg.core_freq_scale;
+    if (static_cast<std::size_t>(rank) < scales.size() && scales[static_cast<std::size_t>(rank)] > 0.0)
+      return scales[static_cast<std::size_t>(rank)];
+    return 1.0;
+  }
+
+  void op_set_freq(CoreState& st, double scale) {
+    if (scale <= 0.0) throw SimError("set_freq_scale: scale must be positive");
+    std::unique_lock lock(m);
+    // SCC voltage/frequency transition: frequency switches are fast but a
+    // voltage step stalls the tile for on the order of 100 us.
+    advance(st, lock, 100 * noc::kPsPerUs);
+    st.freq_scale_dynamic = scale;
+  }
+
+  void op_charge_cycles(CoreState& st, std::uint64_t cycles) {
+    std::unique_lock lock(m);
+    st.report.compute_cycles += cycles;
+    const noc::SimTime base = cfg.core_model.cycles_to_time(cycles);
+    advance(st, lock,
+            static_cast<noc::SimTime>(static_cast<double>(base) /
+                                          freq_scale_of(st.rank) +
+                                      0.5));
+  }
+
+  void op_dram_read(CoreState& st, std::uint64_t bytes) {
+    std::unique_lock lock(m);
+    advance(st, lock, cfg.chip.dram_read_time(st.rank, bytes, cfg.net.hop_latency),
+            TraceEvent::Kind::Dram);
+  }
+
+  void op_send(CoreState& st, int dst, bio::Bytes payload) {
+    check_rank(dst, "send");
+    std::unique_lock lock(m);
+    const std::uint64_t bytes = payload.size() + kMsgHeaderBytes;
+    CoreState* d = cores[static_cast<std::size_t>(dst)].get();
+    network.send(
+        router_of(st.rank), router_of(dst), bytes, st.vtime,
+        [this, d, src = st.rank, p = std::move(payload)](noc::SimTime arrival) mutable {
+          d->inbox[src].push_back(Message{src, std::move(p), arrival});
+          if (d->status == CoreState::Status::Blocked && wants_message_from(*d, src))
+            wake(*d, arrival);
+        });
+    st.report.messages_sent += 1;
+    st.report.bytes_sent += bytes;
+    advance(st, lock, network.endpoint_occupancy(bytes), TraceEvent::Kind::Send);
+  }
+
+  bio::Bytes op_recv(CoreState& st, int src) {
+    check_rank(src, "recv");
+    std::unique_lock lock(m);
+    for (;;) {
+      std::deque<Message>& q = st.inbox[src];
+      if (!q.empty()) {
+        Message msg = std::move(q.front());
+        q.pop_front();
+        // Delivery order guarantees arrival <= vtime here; keep the max as a
+        // belt-and-braces invariant.
+        st.vtime = std::max(st.vtime, msg.arrival);
+        const std::uint64_t bytes = msg.payload.size() + kMsgHeaderBytes;
+        st.report.messages_received += 1;
+        st.report.bytes_received += bytes;
+        advance(st, lock, network.endpoint_occupancy(bytes), TraceEvent::Kind::Recv);
+        return std::move(msg.payload);
+      }
+      st.wait_src = src;
+      yield(st, lock, CoreState::Status::Blocked);
+    }
+  }
+
+  bool op_probe(CoreState& st, int src) {
+    check_rank(src, "probe");
+    std::unique_lock lock(m);
+    advance(st, lock, cfg.poll_cost, TraceEvent::Kind::Poll);
+    const auto it = st.inbox.find(src);
+    return it != st.inbox.end() && !it->second.empty();
+  }
+
+  int op_wait_any(CoreState& st, std::span<const int> srcs) {
+    if (srcs.empty()) throw SimError("wait_any: empty source set");
+    for (int s : srcs) check_rank(s, "wait_any");
+    std::unique_lock lock(m);
+    for (;;) {
+      advance(st, lock, cfg.poll_cost, TraceEvent::Kind::Poll);  // one polling sweep
+      for (std::size_t k = 0; k < srcs.size(); ++k) {
+        const std::size_t idx = (st.rr_cursor + k) % srcs.size();
+        const int s = srcs[idx];
+        const auto it = st.inbox.find(s);
+        if (it != st.inbox.end() && !it->second.empty()) {
+          st.rr_cursor = (idx + 1) % srcs.size();
+          return s;
+        }
+      }
+      st.wait_src = CoreState::kWaitAny;
+      st.wait_set.assign(srcs.begin(), srcs.end());
+      yield(st, lock, CoreState::Status::Blocked);
+    }
+  }
+
+  void op_barrier(CoreState& st) {
+    std::unique_lock lock(m);
+    barrier_time = std::max(barrier_time, st.vtime);
+    if (barrier_count + 1 < nranks) {
+      ++barrier_count;
+      const std::uint64_t epoch = barrier_epoch;
+      st.in_barrier = true;
+      while (barrier_epoch == epoch) yield(st, lock, CoreState::Status::Blocked);
+    } else {
+      // Last arriver releases everyone at the max arrival time + cost.
+      barrier_count = 0;
+      ++barrier_epoch;
+      const noc::SimTime release = barrier_time + cfg.barrier_cost;
+      barrier_time = 0;
+      for (auto& c : cores) {
+        if (c->in_barrier) {
+          c->in_barrier = false;
+          record(c->rank, TraceEvent::Kind::Blocked, c->blocked_since, release);
+          c->report.blocked += release - c->blocked_since;
+          c->vtime = release;
+          c->wait_src = CoreState::kWaitNone;
+          c->status = CoreState::Status::Ready;
+        }
+      }
+      st.vtime = release;
+      yield(st, lock, CoreState::Status::Ready);
+    }
+  }
+
+  // ---- Scheduler -----------------------------------------------------------
+
+  /// Hand the (single) execution token to `st` and wait until it yields,
+  /// blocks or finishes. Lock must be held.
+  void dispatch(CoreState& st, std::unique_lock<std::mutex>& lock) {
+    st.status = CoreState::Status::Running;
+    st.cv.notify_all();
+    sched_cv.wait(lock, [&] { return st.status != CoreState::Status::Running; });
+  }
+
+  std::string state_dump() const {
+    std::ostringstream os;
+    for (const auto& c : cores) {
+      os << "  rank " << c->rank << ": ";
+      switch (c->status) {
+        case CoreState::Status::Ready: os << "ready"; break;
+        case CoreState::Status::Running: os << "running"; break;
+        case CoreState::Status::Blocked: os << "blocked"; break;
+        case CoreState::Status::Done: os << "done"; break;
+      }
+      os << " t=" << noc::to_seconds(c->vtime) << "s";
+      if (c->status == CoreState::Status::Blocked) {
+        if (c->in_barrier) os << " in-barrier";
+        else if (c->wait_src == CoreState::kWaitAny) os << " wait-any";
+        else os << " wait-src=" << c->wait_src;
+      }
+      std::size_t pending = 0;
+      for (const auto& [src, q] : c->inbox) pending += q.size();
+      os << " inbox=" << pending << "\n";
+    }
+    return os.str();
+  }
+
+  /// Wake every parked thread with the shutdown flag and wait for them to
+  /// acknowledge by reaching Done. Lock must be held.
+  void shutdown_all(std::unique_lock<std::mutex>& lock) {
+    shutdown = true;
+    for (auto& c : cores) c->cv.notify_all();
+    sched_cv.wait(lock, [&] {
+      return std::all_of(cores.begin(), cores.end(), [](const auto& c) {
+        return c->status == CoreState::Status::Done;
+      });
+    });
+  }
+
+  void join_all() {
+    for (auto& c : cores)
+      if (c->thread.joinable()) c->thread.join();
+  }
+};
+
+// ---- CoreCtx forwarding ----------------------------------------------------
+
+int CoreCtx::rank() const noexcept { return st_->rank; }
+int CoreCtx::nranks() const noexcept { return rt_->impl_->nranks; }
+noc::SimTime CoreCtx::now() const noexcept { return st_->vtime; }
+const SccConfig& CoreCtx::chip() const noexcept { return rt_->impl_->cfg.chip; }
+const CoreTimingModel& CoreCtx::timing() const noexcept {
+  return rt_->impl_->cfg.core_model;
+}
+void CoreCtx::charge_cycles(std::uint64_t cycles) { rt_->impl_->op_charge_cycles(*st_, cycles); }
+double CoreCtx::freq_scale() const noexcept { return rt_->impl_->freq_scale_of(st_->rank); }
+void CoreCtx::set_freq_scale(double scale) { rt_->impl_->op_set_freq(*st_, scale); }
+void CoreCtx::charge(noc::SimTime dt) { rt_->impl_->op_charge(*st_, dt); }
+void CoreCtx::dram_read(std::uint64_t bytes) { rt_->impl_->op_dram_read(*st_, bytes); }
+void CoreCtx::send(int dst, bio::Bytes payload) {
+  rt_->impl_->op_send(*st_, dst, std::move(payload));
+}
+bio::Bytes CoreCtx::recv(int src) { return rt_->impl_->op_recv(*st_, src); }
+bool CoreCtx::probe(int src) { return rt_->impl_->op_probe(*st_, src); }
+int CoreCtx::wait_any(std::span<const int> srcs) { return rt_->impl_->op_wait_any(*st_, srcs); }
+void CoreCtx::barrier() { rt_->impl_->op_barrier(*st_); }
+
+// ---- SpmdRuntime -----------------------------------------------------------
+
+SpmdRuntime::SpmdRuntime(RuntimeConfig cfg)
+    : cfg_(cfg), impl_(std::make_unique<Impl>(cfg_)) {}
+
+SpmdRuntime::~SpmdRuntime() {
+  if (impl_) {
+    {
+      std::unique_lock lock(impl_->m);
+      if (!impl_->cores.empty() && !impl_->shutdown) {
+        // run() always joins before returning; reaching here means run()
+        // never completed (exception during setup). Best effort cleanup.
+        impl_->shutdown = true;
+        for (auto& c : impl_->cores) c->cv.notify_all();
+      }
+    }
+    impl_->join_all();
+  }
+}
+
+const noc::NetworkStats& SpmdRuntime::network_stats() const noexcept {
+  return impl_->network.stats();
+}
+
+const noc::Network& SpmdRuntime::network() const noexcept { return impl_->network; }
+
+std::uint64_t SpmdRuntime::events_fired() const noexcept { return impl_->queue.fired(); }
+
+const std::vector<TraceEvent>& SpmdRuntime::trace() const noexcept {
+  return impl_->trace;
+}
+
+noc::SimTime SpmdRuntime::run(int nranks, const Program& program) {
+  Impl& im = *impl_;
+  if (nranks < 1 || nranks > im.cfg.chip.core_count())
+    throw SimError("run: nranks must be in [1, core_count]");
+  if (im.used) throw SimError("run: SpmdRuntime is single-use; create a new instance");
+  im.used = true;
+  im.nranks = nranks;
+
+  im.cores.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    auto st = std::make_unique<CoreState>();
+    st->rank = r;
+    im.cores.push_back(std::move(st));
+  }
+  // Spawn program threads; each parks until the scheduler admits it.
+  for (int r = 0; r < nranks; ++r) {
+    CoreState& st = *im.cores[static_cast<std::size_t>(r)];
+    CoreCtx ctx(*this, st);
+    st.thread = std::thread([this, &st, &program, ctx]() mutable {
+      Impl& impl = *this->impl_;
+      {
+        std::unique_lock lock(impl.m);
+        st.cv.wait(lock, [&] {
+          return st.status == CoreState::Status::Running || impl.shutdown;
+        });
+        if (impl.shutdown) {
+          st.status = CoreState::Status::Done;
+          impl.sched_cv.notify_all();
+          return;
+        }
+      }
+      try {
+        program(ctx);
+      } catch (const AbortSim&) {
+        // unwound by shutdown; nothing to record
+      } catch (...) {
+        std::unique_lock lock(impl.m);
+        st.error = std::current_exception();
+      }
+      std::unique_lock lock(impl.m);
+      st.status = CoreState::Status::Done;
+      st.report.finish = st.vtime;
+      impl.sched_cv.notify_all();
+    });
+  }
+
+  std::exception_ptr failure;
+  {
+    std::unique_lock lock(im.m);
+    for (;;) {
+      bool all_done = true;
+      CoreState* pick = nullptr;
+      for (auto& c : im.cores) {
+        if (c->status == CoreState::Status::Done) continue;
+        all_done = false;
+        if (c->status == CoreState::Status::Ready &&
+            (pick == nullptr || c->vtime < pick->vtime))
+          pick = c.get();
+      }
+      if (all_done) break;
+
+      const noc::SimTime t_evt = im.queue.empty() ? kInf : im.queue.next_time();
+      const noc::SimTime t_core = pick != nullptr ? pick->vtime : kInf;
+
+      if (!im.queue.empty() && t_evt <= t_core) {
+        im.queue.run_one();  // deliveries may wake blocked cores
+        continue;
+      }
+      if (pick == nullptr) {
+        // No runnable core and no pending event: a genuine deadlock, unless
+        // some core already failed and left its peers waiting.
+        for (auto& c : im.cores)
+          if (c->error) failure = c->error;
+        const std::string dump = im.state_dump();
+        im.shutdown_all(lock);
+        if (failure) break;
+        lock.unlock();
+        im.join_all();
+        throw DeadlockError("simulation deadlock: all cores blocked\n" + dump);
+      }
+
+      im.dispatch(*pick, lock);
+      if (pick->status == CoreState::Status::Done && pick->error) {
+        failure = pick->error;
+        im.shutdown_all(lock);
+        break;
+      }
+    }
+  }
+  im.join_all();
+
+  if (!failure) {
+    for (auto& c : im.cores)
+      if (c->error && !failure) failure = c->error;
+  }
+  if (failure) std::rethrow_exception(failure);
+
+  reports_.clear();
+  noc::SimTime makespan = 0;
+  for (auto& c : im.cores) {
+    reports_.push_back(c->report);
+    makespan = std::max(makespan, c->report.finish);
+  }
+  return makespan;
+}
+
+}  // namespace rck::scc

@@ -1,0 +1,119 @@
+#include "rck/scc/timing.hpp"
+
+#include <cmath>
+
+namespace rck::scc {
+
+CoreTimingModel::CoreTimingModel(std::string name, double freq_hz, double scale,
+                                 OpWeights weights, std::uint64_t cache_bytes,
+                                 double cache_miss_factor,
+                                 std::uint64_t per_job_fixed_cycles)
+    : name_(std::move(name)),
+      freq_hz_(freq_hz),
+      scale_(scale),
+      weights_(weights),
+      cache_bytes_(cache_bytes),
+      cache_miss_factor_(cache_miss_factor),
+      per_job_fixed_cycles_(per_job_fixed_cycles) {}
+
+std::uint64_t CoreTimingModel::cycles(const core::AlignStats& s,
+                                      std::uint64_t footprint_bytes) const noexcept {
+  const double base =
+      weights_.dp_cell * static_cast<double>(s.dp_cells) +
+      weights_.matrix_cell * static_cast<double>(s.matrix_cells) +
+      weights_.scored_pair * static_cast<double>(s.scored_pairs) +
+      weights_.kabsch_point * static_cast<double>(s.kabsch_points) +
+      weights_.kabsch_call * static_cast<double>(s.kabsch_calls) +
+      weights_.iteration * static_cast<double>(s.iterations);
+  // Cache term: once the working set spills past the last-level cache, every
+  // pass over the DP matrices streams from DRAM. Ramp linearly from 1x at
+  // the cache size to the full miss factor at 4x the cache size.
+  double mem = 1.0;
+  if (footprint_bytes > cache_bytes_) {
+    const double over = static_cast<double>(footprint_bytes) /
+                        static_cast<double>(cache_bytes_);
+    const double ramp = std::min(1.0, (over - 1.0) / 3.0);
+    mem = 1.0 + (cache_miss_factor_ - 1.0) * ramp;
+  }
+  return static_cast<std::uint64_t>(base * scale_ * mem) + per_job_fixed_cycles_;
+}
+
+noc::SimTime CoreTimingModel::cycles_to_time(std::uint64_t c) const noexcept {
+  return static_cast<noc::SimTime>(static_cast<double>(c) *
+                                       (1e12 / freq_hz_) +
+                                   0.5);
+}
+
+noc::SimTime CoreTimingModel::time(const core::AlignStats& stats,
+                                   std::uint64_t footprint_bytes) const noexcept {
+  return cycles_to_time(cycles(stats, footprint_bytes));
+}
+
+std::uint64_t CoreTimingModel::alignment_footprint(std::size_t len1,
+                                                   std::size_t len2) noexcept {
+  // NW value (double) + path (char) + score (double) matrices, plus both
+  // coordinate sets.
+  const std::uint64_t cells = static_cast<std::uint64_t>(len1 + 1) * (len2 + 1);
+  return cells * (8 + 1) + static_cast<std::uint64_t>(len1) * len2 * 8 +
+         (len1 + len2) * 24;
+}
+
+CoreTimingModel CoreTimingModel::with_frequency(double freq_hz,
+                                                std::string new_name) const {
+  CoreTimingModel copy = *this;
+  copy.freq_hz_ = freq_hz;
+  copy.name_ = std::move(new_name);
+  return copy;
+}
+
+// ---------------------------------------------------------------------------
+// Calibrated profiles.
+//
+// The P54C ran a 32-bit f2c-converted Fortran program compiled with gcc 4.7:
+// in-order dual-issue pipeline (~0.5 IPC on FP-heavy code), 39-cycle FP
+// divides, frequent spills. The per-op weights below are set for that world;
+// `scale` then absorbs residual code-quality differences between our C++ and
+// the original f2c port so that the serial CK34/RS119 baselines land near
+// Table III (see EXPERIMENTS.md for the calibration record). The AMD profile
+// shares the weights (same instruction mix) with a better IPC scale and a
+// larger, faster cache.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+OpWeights paper_era_weights() {
+  OpWeights w;
+  w.dp_cell = 190.0;       // loads + 3 FP compares + branches, in-order stalls
+  w.matrix_cell = 260.0;   // rigid transform (9 mul/6 add) + div, FP-stall bound
+  w.scored_pair = 170.0;   // distance + divide per TM term
+  w.kabsch_point = 75.0;   // 9 multiply-accumulates into the covariance
+  w.kabsch_call = 9000.0;  // 4x4 Jacobi eigen + quaternion conversion
+  w.iteration = 30000.0;   // alignment copies, convergence checks
+  return w;
+}
+
+}  // namespace
+
+// Calibration (see EXPERIMENTS.md): scales and miss factors were fitted so
+// the serial all-vs-all baselines reproduce Table III on both datasets:
+// P54C {CK34 2029s, RS119 28597s}, AMD {406s, 7298s}. The P54C lands at
+// miss = 1.0 — its in-order pipeline stalls dominate regardless of where
+// data lives, so the base scale absorbs memory costs — while the fast
+// out-of-order AMD pays a large relative penalty (2.88x) once the DP
+// matrices stream from DRAM, which is exactly why the paper's AMD advantage
+// shrinks from 5.0x (CK34) to 3.9x (RS119).
+
+CoreTimingModel CoreTimingModel::p54c_800() {
+  return CoreTimingModel("P54C@800MHz", 800e6, /*scale=*/17.50, paper_era_weights(),
+                         /*cache=*/256 * 1024, /*miss factor=*/1.0,
+                         /*per-job fixed=*/4'000'000);
+}
+
+CoreTimingModel CoreTimingModel::amd_athlon_2400() {
+  return CoreTimingModel("AMD-AthlonIIX2@2.4GHz", 2.4e9, /*scale=*/10.32,
+                         paper_era_weights(),
+                         /*cache=*/1024 * 1024, /*miss factor=*/2.88,
+                         /*per-job fixed=*/2'000'000);
+}
+
+}  // namespace rck::scc

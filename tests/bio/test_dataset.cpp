@@ -1,0 +1,123 @@
+#include "rck/bio/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace rck::bio {
+namespace {
+
+TEST(DatasetSpec, PaperChainCounts) {
+  EXPECT_EQ(ck34_spec().total_chains(), 34);
+  EXPECT_EQ(rs119_spec().total_chains(), 119);
+  EXPECT_EQ(tiny_spec().total_chains(), 8);
+}
+
+TEST(DatasetSpec, PairCounts) {
+  EXPECT_EQ(all_vs_all_pairs(34), 561u);
+  EXPECT_EQ(all_vs_all_pairs(119), 7021u);
+  EXPECT_EQ(all_vs_all_pairs(2), 1u);
+  EXPECT_EQ(all_vs_all_pairs(1), 0u);
+  EXPECT_EQ(all_vs_all_pairs(0), 0u);
+}
+
+TEST(BuildDataset, ProducesDeclaredChains) {
+  const auto tiny = build_dataset(tiny_spec());
+  EXPECT_EQ(tiny.size(), 8u);
+  for (const Protein& p : tiny) {
+    EXPECT_GE(p.size(), 50u);
+    EXPECT_FALSE(p.name().empty());
+  }
+}
+
+TEST(BuildDataset, NamesAreUnique) {
+  const auto tiny = build_dataset(tiny_spec());
+  std::set<std::string> names;
+  for (const Protein& p : tiny) names.insert(p.name());
+  EXPECT_EQ(names.size(), tiny.size());
+}
+
+TEST(BuildDataset, Deterministic) {
+  const auto a = build_dataset(tiny_spec());
+  const auto b = build_dataset(tiny_spec());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(BuildDataset, Ck34LengthDistribution) {
+  const auto ck = build_dataset(ck34_spec());
+  ASSERT_EQ(ck.size(), 34u);
+  std::size_t min_len = 100000, max_len = 0, total = 0;
+  for (const Protein& p : ck) {
+    min_len = std::min(min_len, p.size());
+    max_len = std::max(max_len, p.size());
+    total += p.size();
+  }
+  // Chew-Kedem-like: globin-dominated, mean length in the high 100s.
+  EXPECT_GE(min_len, 120u);
+  EXPECT_LE(max_len, 360u);
+  const double mean = static_cast<double>(total) / 34.0;
+  EXPECT_GT(mean, 150.0);
+  EXPECT_LT(mean, 220.0);
+}
+
+TEST(BuildDataset, Rs119LengthDistribution) {
+  const auto rs = build_dataset(rs119_spec());
+  ASSERT_EQ(rs.size(), 119u);
+  std::size_t min_len = 100000, max_len = 0;
+  for (const Protein& p : rs) {
+    min_len = std::min(min_len, p.size());
+    max_len = std::max(max_len, p.size());
+  }
+  // Rost-Sander-like: broad range from tiny domains to ~500 residues.
+  EXPECT_LE(min_len, 60u);
+  EXPECT_GE(max_len, 450u);
+}
+
+TEST(BuildDataset, FamilyMembersShareFamilyPrefix) {
+  const auto tiny = build_dataset(tiny_spec());
+  int family_a = 0;
+  for (const Protein& p : tiny)
+    if (p.name().rfind("tiny/a_", 0) == 0) ++family_a;
+  EXPECT_EQ(family_a, 3);
+}
+
+TEST(ScaledSpec, ExactChainCountAnyN) {
+  for (int n : {1, 2, 7, 34, 100}) {
+    const DatasetSpec spec = scaled_spec("s", n, 1);
+    EXPECT_EQ(spec.total_chains(), n) << n;
+  }
+}
+
+TEST(ScaledSpec, DeterministicInSeed) {
+  const auto a = build_dataset(scaled_spec("s", 20, 7));
+  const auto b = build_dataset(scaled_spec("s", 20, 7));
+  const auto c = build_dataset(scaled_spec("s", 20, 8));
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  EXPECT_NE(a[0], c[0]);
+}
+
+TEST(ScaledSpec, LengthsWithinRange) {
+  const auto ds = build_dataset(scaled_spec("s", 30, 3, 80, 120));
+  for (const Protein& p : ds) {
+    EXPECT_GE(p.size(), 80u - 8u);   // members can lose terminal residues
+    EXPECT_LE(p.size(), 120u);
+  }
+}
+
+TEST(ScaledSpec, RejectsBadParameters) {
+  EXPECT_THROW(scaled_spec("s", 0, 1), std::invalid_argument);
+  EXPECT_THROW(scaled_spec("s", 5, 1, 10, 400), std::invalid_argument);
+  EXPECT_THROW(scaled_spec("s", 5, 1, 200, 100), std::invalid_argument);
+}
+
+TEST(BuildDataset, MembersDifferFromFounder) {
+  const auto tiny = build_dataset(tiny_spec());
+  // tiny/a_0 is the founder; a_1, a_2 are perturbed copies.
+  EXPECT_NE(tiny[0], tiny[1]);
+  EXPECT_NE(tiny[1], tiny[2]);
+}
+
+}  // namespace
+}  // namespace rck::bio

@@ -1,0 +1,80 @@
+#include "rck/bio/fasta.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "rck/bio/synthetic.hpp"
+
+namespace rck::bio {
+namespace {
+
+TEST(Fasta, ParseBasic) {
+  const auto records = parse_fasta(">p1 first protein\nACDEF\nGHIKL\n>p2\nMNPQR\n");
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].id, "p1");
+  EXPECT_EQ(records[0].description, "first protein");
+  EXPECT_EQ(records[0].sequence, "ACDEFGHIKL");
+  EXPECT_EQ(records[1].id, "p2");
+  EXPECT_TRUE(records[1].description.empty());
+  EXPECT_EQ(records[1].sequence, "MNPQR");
+}
+
+TEST(Fasta, UppercasesAndIgnoresWhitespace) {
+  const auto records = parse_fasta(">x\nac df\n  ghi\r\n");
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].sequence, "ACDFGHI");
+}
+
+TEST(Fasta, SequenceBeforeHeaderThrows) {
+  EXPECT_THROW(parse_fasta("ACDEF\n>p1\nGHI\n"), std::runtime_error);
+}
+
+TEST(Fasta, EmptyInputAndEmptyRecords) {
+  EXPECT_TRUE(parse_fasta("").empty());
+  // A header with no sequence lines is dropped.
+  EXPECT_TRUE(parse_fasta(">lonely header\n").empty());
+}
+
+TEST(Fasta, RoundTripWithWrapping) {
+  std::vector<FastaRecord> records{{"id1", "desc", std::string(150, 'A')},
+                                   {"id2", "", "MKV"}};
+  const std::string text = to_fasta(records, 60);
+  const auto parsed = parse_fasta(text);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].sequence, records[0].sequence);
+  EXPECT_EQ(parsed[0].description, "desc");
+  EXPECT_EQ(parsed[1].sequence, "MKV");
+  // Wrapping: the 150-residue record spans 3 lines of <= 60.
+  EXPECT_NE(text.find("\nAAAA"), std::string::npos);
+}
+
+TEST(Fasta, ProteinRecordMatchesSequence) {
+  Rng rng(1);
+  const Protein p = make_protein("prot/x", 42, rng);
+  const FastaRecord r = to_fasta_record(p);
+  EXPECT_EQ(r.id, "prot/x");
+  EXPECT_EQ(r.sequence, p.sequence());
+  EXPECT_NE(r.description.find("42"), std::string::npos);
+}
+
+TEST(Fasta, FileRoundTrip) {
+  Rng rng(2);
+  std::vector<Protein> chains;
+  chains.push_back(make_protein("a", 30, rng));
+  chains.push_back(make_protein("b", 50, rng));
+  const auto path = std::filesystem::temp_directory_path() / "rck_fasta" / "x.fasta";
+  write_fasta_file(chains, path);
+  const auto records = parse_fasta_file(path);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].sequence, chains[0].sequence());
+  EXPECT_EQ(records[1].sequence, chains[1].sequence());
+  std::filesystem::remove_all(path.parent_path());
+}
+
+TEST(Fasta, MissingFileThrows) {
+  EXPECT_THROW(parse_fasta_file("/definitely/not/here.fasta"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rck::bio

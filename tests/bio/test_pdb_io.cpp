@@ -1,0 +1,134 @@
+#include "rck/bio/pdb_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "rck/bio/synthetic.hpp"
+
+namespace rck::bio {
+namespace {
+
+constexpr const char* kTwoChainPdb =
+    "HEADER    TEST\n"
+    "ATOM      1  N   ALA A   1      11.104   6.134  -6.504  1.00  0.00           N\n"
+    "ATOM      2  CA  ALA A   1      11.639   6.071  -5.147  1.00  0.00           C\n"
+    "ATOM      3  CA  GLY A   2      12.000   9.500  -4.000  1.00  0.00           C\n"
+    "ATOM      4  CA  TRP A   3      15.100  10.000  -2.500  1.00  0.00           C\n"
+    "TER       5      TRP A   3\n"
+    "ATOM      6  CA  LYS B   1       1.000   2.000   3.000  1.00  0.00           C\n"
+    "ATOM      7  CA  SER B   2       4.500   2.200   3.100  1.00  0.00           C\n"
+    "END\n";
+
+TEST(PdbParse, FirstChainOnly) {
+  const Protein p = parse_pdb(kTwoChainPdb, "test");
+  EXPECT_EQ(p.size(), 3u);
+  EXPECT_EQ(p.sequence(), "AGW");
+  EXPECT_DOUBLE_EQ(p[0].ca.x, 11.639);
+  EXPECT_DOUBLE_EQ(p[2].ca.z, -2.5);
+  EXPECT_EQ(p[1].seq, 2);
+}
+
+TEST(PdbParse, SpecificChain) {
+  PdbParseOptions opts;
+  opts.chain_id = 'B';
+  const Protein p = parse_pdb(kTwoChainPdb, "test", opts);
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_EQ(p.sequence(), "KS");
+}
+
+TEST(PdbParse, AllChains) {
+  const auto chains = parse_pdb_all_chains(kTwoChainPdb, "test");
+  ASSERT_EQ(chains.size(), 2u);
+  EXPECT_EQ(chains[0].size(), 3u);
+  EXPECT_EQ(chains[1].size(), 2u);
+  EXPECT_EQ(chains[0].name(), "test_A");
+  EXPECT_EQ(chains[1].name(), "test_B");
+}
+
+TEST(PdbParse, FirstModelOnly) {
+  const std::string two_models =
+      "MODEL        1\n"
+      "ATOM      1  CA  ALA A   1       0.000   0.000   0.000  1.00  0.00           C\n"
+      "ENDMDL\n"
+      "MODEL        2\n"
+      "ATOM      2  CA  ALA A   1       9.000   9.000   9.000  1.00  0.00           C\n"
+      "ATOM      3  CA  GLY A   2      12.000   9.000   9.000  1.00  0.00           C\n"
+      "ENDMDL\n";
+  const Protein p = parse_pdb(two_models, "m");
+  EXPECT_EQ(p.size(), 1u);
+  EXPECT_DOUBLE_EQ(p[0].ca.x, 0.0);
+}
+
+TEST(PdbParse, SkipsAltLocB) {
+  const std::string altloc =
+      "ATOM      1  CA AALA A   1       1.000   0.000   0.000  1.00  0.00           C\n"
+      "ATOM      2  CA BALA A   1       9.000   0.000   0.000  1.00  0.00           C\n"
+      "ATOM      3  CA  GLY A   2       4.000   0.000   0.000  1.00  0.00           C\n";
+  const Protein p = parse_pdb(altloc, "alt");
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_DOUBLE_EQ(p[0].ca.x, 1.0);  // altloc A kept, B skipped
+}
+
+TEST(PdbParse, AcceptsHetatmMse) {
+  const std::string mse =
+      "ATOM      1  CA  ALA A   1       0.000   0.000   0.000  1.00  0.00           C\n"
+      "HETATM    2  CA  MSE A   2       3.800   0.000   0.000  1.00  0.00           C\n";
+  const Protein p = parse_pdb(mse, "mse");
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_EQ(p[1].aa, 'M');
+
+  PdbParseOptions opts;
+  opts.include_hetatm_mse = false;
+  EXPECT_EQ(parse_pdb(mse, "mse", opts).size(), 1u);
+}
+
+TEST(PdbParse, ThrowsOnEmptyInput) {
+  EXPECT_THROW(parse_pdb("", "empty"), PdbError);
+  EXPECT_THROW(parse_pdb("HEADER only\n", "hdr"), PdbError);
+}
+
+TEST(PdbParse, ThrowsOnMalformedCoordinates) {
+  const std::string bad =
+      "ATOM      1  CA  ALA A   1      xx.xxx   0.000   0.000  1.00  0.00           C\n";
+  EXPECT_THROW(parse_pdb(bad, "bad"), PdbError);
+}
+
+TEST(PdbParse, UnknownResidueBecomesX) {
+  const std::string odd =
+      "ATOM      1  CA  ZZZ A   1       0.000   0.000   0.000  1.00  0.00           C\n";
+  EXPECT_EQ(parse_pdb(odd, "odd")[0].aa, 'X');
+}
+
+TEST(PdbRoundTrip, WriteThenParsePreservesStructure) {
+  Rng rng(21);
+  const Protein p = make_protein("round", 60, rng);
+  const std::string text = to_pdb(p);
+  const Protein q = parse_pdb(text, "round");
+  ASSERT_EQ(q.size(), p.size());
+  EXPECT_EQ(q.sequence(), p.sequence());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_NEAR(p[i].ca.x, q[i].ca.x, 1e-3);  // PDB stores 3 decimals
+    EXPECT_NEAR(p[i].ca.y, q[i].ca.y, 1e-3);
+    EXPECT_NEAR(p[i].ca.z, q[i].ca.z, 1e-3);
+    EXPECT_EQ(p[i].seq, q[i].seq);
+  }
+}
+
+TEST(PdbRoundTrip, FileIo) {
+  Rng rng(22);
+  const Protein p = make_protein("fileio", 30, rng);
+  const auto path = std::filesystem::temp_directory_path() / "rck_test_pdb" / "x.pdb";
+  write_pdb_file(p, path);
+  const Protein q = parse_pdb_file(path);
+  EXPECT_EQ(q.size(), p.size());
+  EXPECT_EQ(q.name(), "x");  // stem of the file
+  std::filesystem::remove_all(path.parent_path());
+}
+
+TEST(PdbParse, FileNotFound) {
+  EXPECT_THROW(parse_pdb_file("/nonexistent/definitely/missing.pdb"), PdbError);
+}
+
+}  // namespace
+}  // namespace rck::bio

@@ -1,0 +1,107 @@
+#include "rck/bio/protein.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rck/bio/serialize.hpp"
+#include "rck/bio/synthetic.hpp"
+
+namespace rck::bio {
+namespace {
+
+Protein make_toy() {
+  return Protein("toy", {{'A', 1, {0, 0, 0}},
+                         {'G', 2, {3.8, 0, 0}},
+                         {'W', 3, {3.8, 3.8, 0}},
+                         {'K', 4, {0, 3.8, 0}}});
+}
+
+TEST(Protein, BasicAccessors) {
+  const Protein p = make_toy();
+  EXPECT_EQ(p.name(), "toy");
+  EXPECT_EQ(p.size(), 4u);
+  EXPECT_FALSE(p.empty());
+  EXPECT_EQ(p[2].aa, 'W');
+  EXPECT_EQ(p[2].seq, 3);
+  EXPECT_EQ(p.sequence(), "AGWK");
+}
+
+TEST(Protein, CaCoordsMatchResidues) {
+  const Protein p = make_toy();
+  const std::vector<Vec3> c = p.ca_coords();
+  ASSERT_EQ(c.size(), 4u);
+  EXPECT_EQ(c[1], (Vec3{3.8, 0, 0}));
+}
+
+TEST(Protein, Centroid) {
+  const Protein p = make_toy();
+  const Vec3 c = p.centroid();
+  EXPECT_DOUBLE_EQ(c.x, 1.9);
+  EXPECT_DOUBLE_EQ(c.y, 1.9);
+  EXPECT_DOUBLE_EQ(c.z, 0.0);
+}
+
+TEST(Protein, TransformedAppliesRigidMotion) {
+  const Protein p = make_toy();
+  Transform t;
+  t.trans = {1, 2, 3};
+  const Protein q = p.transformed(t);
+  EXPECT_EQ(q[0].ca, (Vec3{1, 2, 3}));
+  // original untouched
+  EXPECT_EQ(p[0].ca, (Vec3{0, 0, 0}));
+  // sequence and numbering preserved
+  EXPECT_EQ(q.sequence(), p.sequence());
+  EXPECT_EQ(q[3].seq, 4);
+}
+
+TEST(Protein, ApplyPreservesInternalDistances) {
+  Protein p = make_toy();
+  const double d01 = distance(p[0].ca, p[1].ca);
+  Rng rng(11);
+  p.apply(random_transform(rng));
+  EXPECT_NEAR(distance(p[0].ca, p[1].ca), d01, 1e-9);
+}
+
+TEST(Protein, WireSizeMatchesSerializedSize) {
+  const Protein p = make_toy();
+  EXPECT_EQ(p.wire_size(), serialize(p).size());
+  Rng rng(3);
+  const Protein big = make_protein("big", 211, rng);
+  EXPECT_EQ(big.wire_size(), serialize(big).size());
+}
+
+TEST(ThreeToOne, StandardResidues) {
+  EXPECT_EQ(three_to_one("ALA"), 'A');
+  EXPECT_EQ(three_to_one("TRP"), 'W');
+  EXPECT_EQ(three_to_one("GLY"), 'G');
+  EXPECT_EQ(three_to_one("MSE"), 'M');  // selenomethionine maps to M
+  EXPECT_EQ(three_to_one("FOO"), 'X');
+}
+
+TEST(OneToThree, RoundTripsCanonical) {
+  for (char c : std::string("ACDEFGHIKLMNPQRSTVWY"))
+    EXPECT_EQ(three_to_one(std::string(one_to_three(c))), c) << c;
+  EXPECT_EQ(one_to_three('X'), "UNK");
+  // 'M' must map to MET, not MSE, despite both appearing in the table.
+  EXPECT_EQ(one_to_three('M'), "MET");
+}
+
+TEST(RmsdNoSuperposition, ZeroForIdentical) {
+  const Protein p = make_toy();
+  EXPECT_DOUBLE_EQ(rmsd_no_superposition(p.ca_coords(), p.ca_coords()), 0.0);
+}
+
+TEST(RmsdNoSuperposition, KnownOffset) {
+  const std::vector<Vec3> a{{0, 0, 0}, {1, 0, 0}};
+  const std::vector<Vec3> b{{0, 0, 3}, {1, 0, 3}};
+  EXPECT_DOUBLE_EQ(rmsd_no_superposition(a, b), 3.0);
+}
+
+TEST(RmsdNoSuperposition, RejectsMismatch) {
+  const std::vector<Vec3> a{{0, 0, 0}};
+  const std::vector<Vec3> b{{0, 0, 0}, {1, 1, 1}};
+  EXPECT_THROW(rmsd_no_superposition(a, b), std::invalid_argument);
+  EXPECT_THROW(rmsd_no_superposition({}, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rck::bio

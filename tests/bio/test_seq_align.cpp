@@ -1,0 +1,142 @@
+#include "rck/bio/seq_align.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rck/bio/synthetic.hpp"
+
+namespace rck::bio {
+namespace {
+
+TEST(Blosum62, KnownEntries) {
+  const auto& m = SubstitutionMatrix::blosum62();
+  EXPECT_EQ(m.score('A', 'A'), 4);
+  EXPECT_EQ(m.score('W', 'W'), 11);
+  EXPECT_EQ(m.score('A', 'R'), -1);
+  EXPECT_EQ(m.score('W', 'P'), -4);
+  EXPECT_EQ(m.score('I', 'V'), 3);
+}
+
+TEST(Blosum62, Symmetric) {
+  const auto& m = SubstitutionMatrix::blosum62();
+  const std::string aas = "ACDEFGHIKLMNPQRSTVWY";
+  for (char a : aas)
+    for (char b : aas) EXPECT_EQ(m.score(a, b), m.score(b, a)) << a << b;
+}
+
+TEST(Blosum62, CaseInsensitiveAndUnknown) {
+  const auto& m = SubstitutionMatrix::blosum62();
+  EXPECT_EQ(m.score('a', 'A'), 4);
+  EXPECT_EQ(m.score('X', 'A'), -4);
+  EXPECT_EQ(m.score('*', 'A'), -4);
+}
+
+TEST(SeqAlign, IdenticalSequences) {
+  const SeqAlignResult r = seq_align("MKVLAT", "MKVLAT");
+  EXPECT_EQ(r.aligned_a, "MKVLAT");
+  EXPECT_EQ(r.aligned_b, "MKVLAT");
+  EXPECT_EQ(r.aligned_length, 6);
+  EXPECT_EQ(r.identities, 6);
+  EXPECT_DOUBLE_EQ(r.identity(), 1.0);
+  // Score = sum of diagonal entries.
+  const auto& m = SubstitutionMatrix::blosum62();
+  int expect = 0;
+  for (char c : std::string("MKVLAT")) expect += m.score(c, c);
+  EXPECT_EQ(r.score, expect);
+}
+
+TEST(SeqAlign, SingleInternalGap) {
+  // ACDEFG vs ACEFG: one D deleted; affine gap = open(-11).
+  const SeqAlignResult r = seq_align("ACDEFG", "ACEFG");
+  EXPECT_EQ(r.aligned_a, "ACDEFG");
+  EXPECT_EQ(r.aligned_b, "AC-EFG");
+  EXPECT_EQ(r.identities, 5);
+}
+
+TEST(SeqAlign, AffineGapPrefersOneLongGap) {
+  // Deleting 3 residues: one gap of 3 (open + 2*extend = -13) must beat
+  // three isolated gaps (3*open = -33).
+  const SeqAlignResult r = seq_align("AAACDEFWAAA", "AAAWAAA");
+  int gap_openings = 0;
+  bool in_gap = false;
+  for (char c : r.aligned_b) {
+    if (c == '-' && !in_gap) {
+      ++gap_openings;
+      in_gap = true;
+    } else if (c != '-') {
+      in_gap = false;
+    }
+  }
+  EXPECT_EQ(gap_openings, 1);
+}
+
+TEST(SeqAlign, ScoreSymmetry) {
+  const SeqAlignResult ab = seq_align("MKVLATWPDE", "MKVIASWPE");
+  const SeqAlignResult ba = seq_align("MKVIASWPE", "MKVLATWPDE");
+  EXPECT_EQ(ab.score, ba.score);
+  EXPECT_EQ(ab.identities, ba.identities);
+}
+
+TEST(SeqAlign, AlignedStringsReconstructInputs) {
+  Rng rng(1);
+  const std::string a = random_sequence(60, rng);
+  const std::string b = random_sequence(45, rng);
+  const SeqAlignResult r = seq_align(a, b);
+  std::string ra, rb;
+  for (char c : r.aligned_a)
+    if (c != '-') ra.push_back(c);
+  for (char c : r.aligned_b)
+    if (c != '-') rb.push_back(c);
+  EXPECT_EQ(ra, a);
+  EXPECT_EQ(rb, b);
+  EXPECT_EQ(r.aligned_a.size(), r.aligned_b.size());
+}
+
+TEST(SeqAlign, EmptyInputsGlobal) {
+  const SeqAlignResult r = seq_align("", "MKV");
+  EXPECT_EQ(r.aligned_a, "---");
+  EXPECT_EQ(r.aligned_b, "MKV");
+  EXPECT_EQ(r.aligned_length, 0);
+  const SeqAlignResult both = seq_align("", "");
+  EXPECT_EQ(both.score, 0);
+}
+
+TEST(SeqAlign, LocalModeFindsIsland) {
+  // A strong common core flanked by unrelated tails: local alignment must
+  // return just the core.
+  SeqAlignOptions opts;
+  opts.local = true;
+  const SeqAlignResult r =
+      seq_align("PPPPPWWMKVLATWWPPPPP", "GGGGGWWMKVLATWWGGGGG", opts);
+  EXPECT_EQ(r.aligned_a, "WWMKVLATWW");
+  EXPECT_EQ(r.aligned_b, "WWMKVLATWW");
+  EXPECT_DOUBLE_EQ(r.identity(), 1.0);
+}
+
+TEST(SeqAlign, LocalNeverNegative) {
+  SeqAlignOptions opts;
+  opts.local = true;
+  const SeqAlignResult r = seq_align("WWWW", "PPPP", opts);
+  EXPECT_GE(r.score, 0);
+}
+
+TEST(SeqAlign, FamilyMembersShowHighIdentity) {
+  // perturb() mutates ~8% of residues: sequence identity of family members
+  // stays high while unrelated random sequences sit near the ~5% baseline.
+  Rng rng(2);
+  const Protein p = make_protein("p", 150, rng);
+  const Protein q = perturb(p, "q", rng);
+  const Protein r = make_protein("r", 150, rng);
+  const double fam = seq_align(p.sequence(), q.sequence()).identity();
+  const double unrel = seq_align(p.sequence(), r.sequence()).identity();
+  EXPECT_GT(fam, 0.75);
+  EXPECT_LT(unrel, 0.35);
+  EXPECT_GT(fam, unrel + 0.3);
+}
+
+TEST(SeqAlign, DpCellCountReported) {
+  const SeqAlignResult r = seq_align("MKVLAT", "MKV");
+  EXPECT_EQ(r.dp_cells, 18u);
+}
+
+}  // namespace
+}  // namespace rck::bio

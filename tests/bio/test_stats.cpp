@@ -1,0 +1,87 @@
+#include "rck/bio/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rck/bio/dataset.hpp"
+#include "rck/bio/synthetic.hpp"
+
+namespace rck::bio {
+namespace {
+
+std::vector<Protein> chains_of_lengths(std::initializer_list<int> lengths) {
+  std::vector<Protein> out;
+  Rng rng(1);
+  int k = 0;
+  for (int len : lengths) out.push_back(make_protein("c" + std::to_string(k++), len, rng));
+  return out;
+}
+
+TEST(DatasetStats, EmptyInput) {
+  const DatasetStats s = dataset_stats({});
+  EXPECT_EQ(s.chains, 0u);
+  EXPECT_EQ(s.pairs, 0u);
+  EXPECT_EQ(s.total_residues, 0u);
+}
+
+TEST(DatasetStats, KnownValues) {
+  const auto chains = chains_of_lengths({10, 20, 30});
+  const DatasetStats s = dataset_stats(chains);
+  EXPECT_EQ(s.chains, 3u);
+  EXPECT_EQ(s.pairs, 3u);
+  EXPECT_EQ(s.min_length, 10u);
+  EXPECT_EQ(s.max_length, 30u);
+  EXPECT_DOUBLE_EQ(s.mean_length, 20.0);
+  EXPECT_DOUBLE_EQ(s.median_length, 20.0);
+  EXPECT_EQ(s.total_residues, 60u);
+  // 10*20 + 10*30 + 20*30 = 1100
+  EXPECT_EQ(s.pair_cost_proxy, 1100u);
+}
+
+TEST(DatasetStats, EvenCountMedian) {
+  const auto chains = chains_of_lengths({10, 20, 30, 100});
+  EXPECT_DOUBLE_EQ(dataset_stats(chains).median_length, 25.0);
+}
+
+TEST(LengthHistogram, PartitionsAllChains) {
+  const auto chains = build_dataset(ck34_spec());
+  const auto hist = length_histogram(chains, 10);
+  ASSERT_EQ(hist.size(), 10u);
+  std::size_t total = 0;
+  for (std::size_t b : hist) total += b;
+  EXPECT_EQ(total, chains.size());
+}
+
+TEST(LengthHistogram, SingleLengthCollapses) {
+  const auto chains = chains_of_lengths({50, 50, 50});
+  const auto hist = length_histogram(chains, 10);
+  ASSERT_EQ(hist.size(), 1u);
+  EXPECT_EQ(hist[0], 3u);
+}
+
+TEST(LengthHistogram, EdgeCases) {
+  EXPECT_TRUE(length_histogram({}, 10).empty());
+  const auto chains = chains_of_lengths({10, 20});
+  EXPECT_TRUE(length_histogram(chains, 0).empty());
+}
+
+TEST(FormatReport, ContainsKeyNumbers) {
+  const auto chains = build_dataset(tiny_spec());
+  const std::string report = format_dataset_report("tiny", chains);
+  EXPECT_NE(report.find("8 chains"), std::string::npos);
+  EXPECT_NE(report.find("28 all-vs-all pairs"), std::string::npos);
+  EXPECT_NE(report.find("histogram"), std::string::npos);
+}
+
+TEST(DatasetStats, Ck34VsRs119Workload) {
+  // The calibration hinges on the RS119:CK34 pair-cost ratio; pin it here
+  // so dataset edits that would silently break Table III get caught.
+  const auto ck = build_dataset(ck34_spec());
+  const auto rs = build_dataset(rs119_spec());
+  const double ratio = static_cast<double>(dataset_stats(rs).pair_cost_proxy) /
+                       static_cast<double>(dataset_stats(ck).pair_cost_proxy);
+  EXPECT_GT(ratio, 10.0);
+  EXPECT_LT(ratio, 16.0);
+}
+
+}  // namespace
+}  // namespace rck::bio

@@ -1,0 +1,171 @@
+#include "rck/bio/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "rck/core/sec_struct.hpp"
+
+namespace rck::bio {
+namespace {
+
+TEST(MakePlan, CoversExactLength) {
+  Rng rng(1);
+  for (int len : {3, 10, 57, 150, 500}) {
+    const StructurePlan plan = make_plan(len, rng);
+    int total = 0;
+    for (const SsSegment& s : plan) {
+      EXPECT_GT(s.length, 0);
+      total += s.length;
+    }
+    EXPECT_EQ(total, len);
+  }
+}
+
+TEST(MakePlan, RejectsTinyChains) {
+  Rng rng(2);
+  EXPECT_THROW(make_plan(2, rng), std::invalid_argument);
+}
+
+TEST(MakePlan, AlternatesStructuredAndCoil) {
+  Rng rng(3);
+  const StructurePlan plan = make_plan(200, rng);
+  for (std::size_t k = 0; k + 1 < plan.size(); ++k) {
+    const bool a_coil = plan[k].type == SsType::Coil;
+    const bool b_coil = plan[k + 1].type == SsType::Coil;
+    EXPECT_NE(a_coil, b_coil) << "segments " << k << "," << k + 1;
+  }
+}
+
+TEST(BuildBackbone, ChainConnectivity) {
+  Rng rng(4);
+  const StructurePlan plan = make_plan(120, rng);
+  const std::vector<Vec3> pts = build_backbone(plan, rng);
+  ASSERT_EQ(pts.size(), 120u);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    const double d = distance(pts[i - 1], pts[i]);
+    EXPECT_GT(d, 3.0) << "residue " << i;
+    EXPECT_LT(d, 4.5) << "residue " << i;
+  }
+}
+
+TEST(BuildBackbone, MostlySelfAvoiding) {
+  Rng rng(5);
+  const StructurePlan plan = make_plan(200, rng);
+  const std::vector<Vec3> pts = build_backbone(plan, rng);
+  // Count hard clashes (< 3 A between residues >= 3 apart). The generator
+  // uses a soft constraint, so allow a small number.
+  int clashes = 0;
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    for (std::size_t j = i + 3; j < pts.size(); ++j)
+      if (distance(pts[i], pts[j]) < 3.0) ++clashes;
+  EXPECT_LE(clashes, 4);
+}
+
+TEST(BuildBackbone, HelixSegmentsDetectedAsHelix) {
+  Rng rng(6);
+  const StructurePlan plan{{SsType::Helix, 30}};
+  const std::vector<Vec3> pts = build_backbone(plan, rng);
+  const auto sec = core::assign_secondary_structure(pts);
+  int helix = 0;
+  for (std::size_t i = 2; i + 2 < sec.size(); ++i) helix += sec[i] == SsType::Helix;
+  // interior residues should essentially all read back as helix
+  EXPECT_GE(helix, 24);
+}
+
+TEST(BuildBackbone, StrandSegmentsDetectedAsStrand) {
+  Rng rng(7);
+  const StructurePlan plan{{SsType::Strand, 20}};
+  const std::vector<Vec3> pts = build_backbone(plan, rng);
+  const auto sec = core::assign_secondary_structure(pts);
+  int strand = 0;
+  for (std::size_t i = 2; i + 2 < sec.size(); ++i) strand += sec[i] == SsType::Strand;
+  EXPECT_GE(strand, 14);
+}
+
+TEST(MakeProtein, DeterministicForSeed) {
+  Rng rng1(42), rng2(42);
+  const Protein a = make_protein("a", 80, rng1);
+  const Protein b = make_protein("a", 80, rng2);
+  EXPECT_EQ(a, b);
+}
+
+TEST(MakeProtein, DifferentSeedsDiffer) {
+  Rng rng1(42), rng2(43);
+  const Protein a = make_protein("a", 80, rng1);
+  const Protein b = make_protein("a", 80, rng2);
+  EXPECT_NE(a, b);
+}
+
+TEST(MakeProtein, SequenceUsesStandardAlphabet) {
+  Rng rng(8);
+  const Protein p = make_protein("seq", 300, rng);
+  const std::string alphabet = "ACDEFGHIKLMNPQRSTVWY";
+  for (const Residue& r : p.residues())
+    EXPECT_NE(alphabet.find(r.aa), std::string::npos) << r.aa;
+}
+
+TEST(Perturb, PreservesApproximateLength) {
+  Rng rng(9);
+  const Protein parent = make_protein("p", 150, rng);
+  const Protein child = perturb(parent, "c", rng);
+  EXPECT_GE(child.size(), 150u - 8u);
+  EXPECT_LE(child.size(), 150u);
+  EXPECT_EQ(child.name(), "c");
+}
+
+TEST(Perturb, RenumbersSequentially) {
+  Rng rng(10);
+  const Protein parent = make_protein("p", 100, rng);
+  const Protein child = perturb(parent, "c", rng);
+  for (std::size_t i = 0; i < child.size(); ++i)
+    EXPECT_EQ(child[i].seq, static_cast<std::int32_t>(i + 1));
+}
+
+TEST(Perturb, KeepsChainConnectivity) {
+  Rng rng(11);
+  const Protein parent = make_protein("p", 200, rng);
+  const Protein child = perturb(parent, "c", rng);
+  const auto pts = child.ca_coords();
+  // Per-atom Gaussian noise (sigma 0.35 per coordinate on both endpoints)
+  // widens the 3.8 A bond distribution; bounds cover ~4 sigma.
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    const double d = distance(pts[i - 1], pts[i]);
+    EXPECT_GT(d, 1.8) << i;
+    EXPECT_LT(d, 5.8) << i;
+  }
+}
+
+TEST(Perturb, NoRigidMotionKeepsCoordinatesClose) {
+  Rng rng(12);
+  const Protein parent = make_protein("p", 120, rng);
+  PerturbOptions opts;
+  opts.random_rigid_motion = false;
+  opts.max_terminal_indel = 0;
+  const Protein child = perturb(parent, "c", rng, opts);
+  ASSERT_EQ(child.size(), parent.size());
+  // hinge motions move the tail, but the body should stay within a few A
+  double max_d = 0;
+  for (std::size_t i = 0; i < 5; ++i)
+    max_d = std::max(max_d, distance(parent[i].ca, child[i].ca));
+  EXPECT_LT(max_d, 3.0);
+}
+
+TEST(RandomTransform, IsRigid) {
+  Rng rng(13);
+  for (int k = 0; k < 20; ++k) {
+    const Transform t = random_transform(rng);
+    EXPECT_TRUE(is_rotation(t.rot, 1e-9));
+    EXPECT_LE(std::abs(t.trans.x), 30.0);
+  }
+}
+
+TEST(RandomSequence, DeterministicAndCorrectLength) {
+  Rng a(99), b(99);
+  EXPECT_EQ(random_sequence(50, a), random_sequence(50, b));
+  Rng c(1);
+  EXPECT_EQ(random_sequence(7, c).size(), 7u);
+}
+
+}  // namespace
+}  // namespace rck::bio

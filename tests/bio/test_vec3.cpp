@@ -1,0 +1,155 @@
+#include "rck/bio/vec3.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <random>
+
+namespace rck::bio {
+namespace {
+
+TEST(Vec3, ArithmeticBasics) {
+  const Vec3 a{1, 2, 3};
+  const Vec3 b{4, -5, 6};
+  EXPECT_EQ(a + b, (Vec3{5, -3, 9}));
+  EXPECT_EQ(a - b, (Vec3{-3, 7, -3}));
+  EXPECT_EQ(a * 2.0, (Vec3{2, 4, 6}));
+  EXPECT_EQ(2.0 * a, (Vec3{2, 4, 6}));
+  EXPECT_EQ(a / 2.0, (Vec3{0.5, 1, 1.5}));
+  EXPECT_EQ(-a, (Vec3{-1, -2, -3}));
+}
+
+TEST(Vec3, CompoundAssignment) {
+  Vec3 v{1, 1, 1};
+  v += {1, 2, 3};
+  EXPECT_EQ(v, (Vec3{2, 3, 4}));
+  v -= {1, 1, 1};
+  EXPECT_EQ(v, (Vec3{1, 2, 3}));
+  v *= 3.0;
+  EXPECT_EQ(v, (Vec3{3, 6, 9}));
+  v /= 3.0;
+  EXPECT_EQ(v, (Vec3{1, 2, 3}));
+}
+
+TEST(Vec3, DotAndCross) {
+  EXPECT_DOUBLE_EQ(dot({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_EQ(cross({1, 0, 0}, {0, 1, 0}), (Vec3{0, 0, 1}));
+  EXPECT_EQ(cross({0, 1, 0}, {1, 0, 0}), (Vec3{0, 0, -1}));
+  // Cross product is orthogonal to both inputs.
+  const Vec3 a{1.5, -2.0, 0.7};
+  const Vec3 b{-0.3, 4.0, 2.2};
+  const Vec3 c = cross(a, b);
+  EXPECT_NEAR(dot(c, a), 0.0, 1e-12);
+  EXPECT_NEAR(dot(c, b), 0.0, 1e-12);
+}
+
+TEST(Vec3, NormsAndDistances) {
+  EXPECT_DOUBLE_EQ(norm({3, 4, 0}), 5.0);
+  EXPECT_DOUBLE_EQ(norm2({3, 4, 0}), 25.0);
+  EXPECT_DOUBLE_EQ(distance({1, 1, 1}, {1, 1, 4}), 3.0);
+  EXPECT_DOUBLE_EQ(distance2({0, 0, 0}, {1, 2, 2}), 9.0);
+  const Vec3 u = normalized({10, 0, 0});
+  EXPECT_DOUBLE_EQ(norm(u), 1.0);
+}
+
+TEST(Mat3, IdentityAndZero) {
+  const Mat3 i = Mat3::identity();
+  EXPECT_DOUBLE_EQ(i(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(i(0, 1), 0.0);
+  const Vec3 v{3, -2, 5};
+  EXPECT_EQ(i * v, v);
+  EXPECT_EQ(Mat3::zero() * v, (Vec3{0, 0, 0}));
+}
+
+TEST(Mat3, MultiplicationMatchesComposition) {
+  const Mat3 rx = rotation_about_axis({1, 0, 0}, 0.3);
+  const Mat3 ry = rotation_about_axis({0, 1, 0}, -0.8);
+  const Vec3 v{1, 2, 3};
+  const Vec3 once = rx * (ry * v);
+  const Vec3 composed = (rx * ry) * v;
+  EXPECT_NEAR(once.x, composed.x, 1e-12);
+  EXPECT_NEAR(once.y, composed.y, 1e-12);
+  EXPECT_NEAR(once.z, composed.z, 1e-12);
+}
+
+TEST(Mat3, TransposeAndDeterminant) {
+  Mat3 m;
+  m.m = {{{1, 2, 3}, {4, 5, 6}, {7, 8, 10}}};
+  const Mat3 t = transpose(m);
+  EXPECT_DOUBLE_EQ(t(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(t(2, 0), 3.0);
+  EXPECT_DOUBLE_EQ(determinant(m), -3.0);
+  EXPECT_DOUBLE_EQ(determinant(Mat3::identity()), 1.0);
+}
+
+TEST(Mat3, RotationIsProper) {
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> u(-1, 1);
+  for (int k = 0; k < 50; ++k) {
+    Vec3 axis{u(rng), u(rng), u(rng)};
+    if (norm(axis) < 1e-3) continue;
+    axis = normalized(axis);
+    const Mat3 r = rotation_about_axis(axis, u(rng) * std::numbers::pi);
+    EXPECT_TRUE(is_rotation(r, 1e-9));
+  }
+}
+
+TEST(Mat3, RotationPreservesAxis) {
+  const Vec3 axis = normalized(Vec3{1, 2, 3});
+  const Mat3 r = rotation_about_axis(axis, 1.1);
+  const Vec3 rotated = r * axis;
+  EXPECT_NEAR(rotated.x, axis.x, 1e-12);
+  EXPECT_NEAR(rotated.y, axis.y, 1e-12);
+  EXPECT_NEAR(rotated.z, axis.z, 1e-12);
+}
+
+TEST(Mat3, RotationByKnownAngle) {
+  const Mat3 r = rotation_about_axis({0, 0, 1}, std::numbers::pi / 2.0);
+  const Vec3 v = r * Vec3{1, 0, 0};
+  EXPECT_NEAR(v.x, 0.0, 1e-12);
+  EXPECT_NEAR(v.y, 1.0, 1e-12);
+  EXPECT_NEAR(v.z, 0.0, 1e-12);
+}
+
+TEST(Transform, ApplyAndCompose) {
+  Transform t1;
+  t1.rot = rotation_about_axis({0, 0, 1}, std::numbers::pi / 2.0);
+  t1.trans = {1, 0, 0};
+  Transform t2;
+  t2.rot = rotation_about_axis({1, 0, 0}, std::numbers::pi);
+  t2.trans = {0, 2, 0};
+  const Vec3 p{1, 1, 1};
+  const Vec3 nested = t1.apply(t2.apply(p));
+  const Vec3 composed = (t1 * t2).apply(p);
+  EXPECT_NEAR(nested.x, composed.x, 1e-12);
+  EXPECT_NEAR(nested.y, composed.y, 1e-12);
+  EXPECT_NEAR(nested.z, composed.z, 1e-12);
+}
+
+TEST(Transform, InverseRoundTrips) {
+  Transform t;
+  t.rot = rotation_about_axis(normalized(Vec3{2, -1, 0.5}), 0.77);
+  t.trans = {4, -3, 9};
+  const Transform inv = inverse(t);
+  const Vec3 p{0.3, -1.2, 8.0};
+  const Vec3 round = inv.apply(t.apply(p));
+  EXPECT_NEAR(round.x, p.x, 1e-12);
+  EXPECT_NEAR(round.y, p.y, 1e-12);
+  EXPECT_NEAR(round.z, p.z, 1e-12);
+}
+
+TEST(Mat3, IsRotationRejectsScaling) {
+  Mat3 m = Mat3::identity();
+  m(0, 0) = 2.0;
+  EXPECT_FALSE(is_rotation(m));
+}
+
+TEST(Mat3, IsRotationRejectsReflection) {
+  Mat3 m = Mat3::identity();
+  m(2, 2) = -1.0;  // orthonormal but det = -1
+  EXPECT_FALSE(is_rotation(m));
+}
+
+}  // namespace
+}  // namespace rck::bio

@@ -1,0 +1,105 @@
+#include "rck/core/alignment_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rck/bio/synthetic.hpp"
+
+namespace rck::core {
+namespace {
+
+using bio::Protein;
+using bio::Rng;
+
+TEST(AlignmentIo, IdenticalChainsAllColons) {
+  Rng rng(1);
+  const Protein p = bio::make_protein("p", 40, rng);
+  const TmAlignResult r = tmalign(p, p);
+  const AlignmentStrings s = render_alignment(p, p, r);
+  EXPECT_EQ(s.seq_a, p.sequence());
+  EXPECT_EQ(s.seq_b, p.sequence());
+  for (char c : s.markers) EXPECT_EQ(c, ':');
+}
+
+TEST(AlignmentIo, StringsHaveEqualLength) {
+  Rng rng(2);
+  const Protein a = bio::make_protein("a", 60, rng);
+  const Protein b = bio::make_protein("b", 45, rng);
+  const TmAlignResult r = tmalign(a, b);
+  const AlignmentStrings s = render_alignment(a, b, r);
+  EXPECT_EQ(s.seq_a.size(), s.markers.size());
+  EXPECT_EQ(s.seq_b.size(), s.markers.size());
+}
+
+TEST(AlignmentIo, EveryResidueAppearsExactlyOnce) {
+  Rng rng(3);
+  const Protein a = bio::make_protein("a", 70, rng);
+  const Protein b = bio::make_protein("b", 55, rng);
+  const TmAlignResult r = tmalign(a, b);
+  const AlignmentStrings s = render_alignment(a, b, r);
+  std::string a_only, b_only;
+  for (char c : s.seq_a)
+    if (c != '-') a_only.push_back(c);
+  for (char c : s.seq_b)
+    if (c != '-') b_only.push_back(c);
+  EXPECT_EQ(a_only, a.sequence());
+  EXPECT_EQ(b_only, b.sequence());
+}
+
+TEST(AlignmentIo, GapsNeverPairWithMarkers) {
+  Rng rng(4);
+  const Protein a = bio::make_protein("a", 50, rng);
+  const Protein b = bio::make_protein("b", 80, rng);
+  const TmAlignResult r = tmalign(a, b);
+  const AlignmentStrings s = render_alignment(a, b, r);
+  for (std::size_t k = 0; k < s.markers.size(); ++k) {
+    if (s.seq_a[k] == '-' || s.seq_b[k] == '-')
+      EXPECT_EQ(s.markers[k], ' ') << k;
+    else
+      EXPECT_NE(s.markers[k], ' ') << k;
+  }
+}
+
+TEST(AlignmentIo, MarkerCountMatchesAlignedLength) {
+  Rng rng(5);
+  const Protein a = bio::make_protein("a", 65, rng);
+  const Protein b = bio::make_protein("b", 65, rng);
+  const TmAlignResult r = tmalign(a, b);
+  const AlignmentStrings s = render_alignment(a, b, r);
+  int aligned = 0;
+  for (char c : s.markers) aligned += (c == ':' || c == '.');
+  EXPECT_EQ(aligned, r.aligned_length);
+}
+
+TEST(AlignmentIo, ReportContainsSummaryAndWrappedBlocks) {
+  Rng rng(6);
+  const Protein a = bio::make_protein("a", 150, rng);
+  const Protein b = bio::perturb(a, "b", rng);
+  const TmAlignResult r = tmalign(a, b);
+  const std::string report = format_alignment_report(a, b, r, 50);
+  EXPECT_NE(report.find("Aligned length="), std::string::npos);
+  EXPECT_NE(report.find("TM-score="), std::string::npos);
+  // Wrapping: more than one block of three lines.
+  std::size_t blocks = 0, pos = 0;
+  while ((pos = report.find("\n\n", pos)) != std::string::npos) {
+    ++blocks;
+    pos += 2;
+  }
+  EXPECT_GE(blocks, 3u);
+}
+
+TEST(AlignmentIo, CloseFamilyPairIsMostlyColons) {
+  Rng rng(7);
+  const Protein a = bio::make_protein("a", 100, rng);
+  const Protein b = bio::perturb(a, "b", rng);
+  const TmAlignResult r = tmalign(a, b);
+  const AlignmentStrings s = render_alignment(a, b, r);
+  int colons = 0, total = 0;
+  for (char c : s.markers) {
+    colons += c == ':';
+    total += c != ' ';
+  }
+  EXPECT_GT(colons, total * 8 / 10);
+}
+
+}  // namespace
+}  // namespace rck::core

@@ -1,0 +1,153 @@
+#include "rck/core/ce_align.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rck/bio/synthetic.hpp"
+#include "rck/core/tmalign.hpp"
+
+namespace rck::core {
+namespace {
+
+using bio::Protein;
+using bio::Rng;
+
+TEST(CeAlign, SelfAlignmentCoversEverything) {
+  Rng rng(1);
+  const Protein p = bio::make_protein("p", 96, rng);
+  const CeResult r = ce_align(p, p);
+  // 96 residues, m = 8: the path can cover all 12 fragments on the diagonal.
+  EXPECT_GE(r.aligned_length, 88);
+  EXPECT_NEAR(r.rmsd, 0.0, 1e-6);
+  EXPECT_GT(r.tm, 0.9);
+  // Diagonal path: i == j for every fragment.
+  for (const CeFragment& f : r.path) EXPECT_EQ(f.i, f.j);
+}
+
+TEST(CeAlign, RigidMotionInvariant) {
+  // CE never superposes during the search (distance matrices are invariant),
+  // so a rigid motion must change nothing about the path.
+  Rng rng(2);
+  const Protein p = bio::make_protein("p", 80, rng);
+  const Protein q = p.transformed(bio::random_transform(rng));
+  const CeResult same = ce_align(p, p);
+  const CeResult moved = ce_align(p, q);
+  // Distance matrices are exactly rotation-invariant up to floating-point
+  // rounding; rounding can flip marginal tie-breaks, so compare outcomes,
+  // not the exact fragment list.
+  EXPECT_NEAR(moved.rmsd, 0.0, 1e-5);
+  EXPECT_NEAR(static_cast<double>(moved.aligned_length),
+              static_cast<double>(same.aligned_length), 8.0);
+  EXPECT_GT(moved.tm, 0.9);
+}
+
+TEST(CeAlign, FamilyMemberWithoutHingesAlignsWell) {
+  // CE is a rigid-core method: give it a rigid family member (noise +
+  // rigid motion, no hinge bending) and it should cover most of the chain.
+  Rng rng(3);
+  const Protein p = bio::make_protein("p", 120, rng);
+  Protein q = p;
+  std::normal_distribution<double> noise(0.0, 0.4);
+  for (bio::Residue& res : q.residues()) res.ca += {noise(rng), noise(rng), noise(rng)};
+  q.apply(bio::random_transform(rng));
+  const CeResult r = ce_align(p, q);
+  EXPECT_GT(r.aligned_length, 80);
+  EXPECT_LT(r.rmsd, 2.5);
+  EXPECT_GT(r.tm, 0.6);
+}
+
+TEST(CeAlign, HingeMotionShrinksRigidCore) {
+  // The flip side (and the reason multi-criteria PSC is useful): a hinged
+  // family member still scores well with TM-align's flexible-ish search,
+  // while CE, comparing global internal distances, keeps only the largest
+  // rigid fragment chain.
+  Rng rng(3);
+  const Protein p = bio::make_protein("p", 120, rng);
+  const Protein q = bio::perturb(p, "q", rng);  // includes hinge motions
+  const CeResult ce = ce_align(p, q);
+  const TmAlignResult tm = tmalign(p, q);
+  EXPECT_GT(tm.tm(), 0.5);
+  EXPECT_LT(ce.aligned_length, tm.aligned_length);
+  EXPECT_GT(ce.aligned_length, 16);  // at least a couple of fragments
+}
+
+TEST(CeAlign, UnrelatedChainsFindLittle) {
+  Rng rng(4);
+  const Protein p = bio::make_protein("p", 100, rng);
+  const Protein q = bio::make_protein("q", 100, rng);
+  const CeResult r = ce_align(p, q);
+  EXPECT_LT(r.tm, 0.45);
+}
+
+TEST(CeAlign, PathIsMonotoneAndDisjoint) {
+  Rng rng(5);
+  const Protein p = bio::make_protein("p", 110, rng);
+  const Protein q = bio::perturb(p, "q", rng);
+  const CeResult r = ce_align(p, q);
+  for (std::size_t k = 1; k < r.path.size(); ++k) {
+    EXPECT_GE(r.path[k].i, r.path[k - 1].i + r.path[k - 1].len);
+    EXPECT_GE(r.path[k].j, r.path[k - 1].j + r.path[k - 1].len);
+  }
+}
+
+TEST(CeAlign, AgreesWithTmAlignOnFoldDiscrimination) {
+  // The MC-PSC premise: different methods should agree on same-fold vs
+  // different-fold even when their scores differ.
+  Rng rng(6);
+  const Protein p = bio::make_protein("p", 100, rng);
+  const Protein same = bio::perturb(p, "same", rng);
+  const Protein diff = bio::make_protein("diff", 100, rng);
+
+  const double tm_same = tmalign(p, same).tm();
+  const double tm_diff = tmalign(p, diff).tm();
+  const CeResult ce_same = ce_align(p, same);
+  const CeResult ce_diff = ce_align(p, diff);
+
+  EXPECT_GT(tm_same, 0.5);
+  EXPECT_LT(tm_diff, 0.5);
+  EXPECT_GT(ce_same.tm, ce_diff.tm);
+  EXPECT_GT(ce_same.aligned_length, ce_diff.aligned_length);
+}
+
+TEST(CeAlign, RejectsShortChains) {
+  Rng rng(7);
+  const Protein ok = bio::make_protein("ok", 40, rng);
+  const Protein tiny = bio::make_protein("tiny", 12, rng);  // < 2*8
+  EXPECT_THROW(ce_align(tiny, ok), std::invalid_argument);
+  EXPECT_THROW(ce_align(ok, tiny), std::invalid_argument);
+}
+
+TEST(CeAlign, Deterministic) {
+  Rng rng(8);
+  const Protein p = bio::make_protein("p", 90, rng);
+  const Protein q = bio::make_protein("q", 85, rng);
+  const CeResult a = ce_align(p, q);
+  const CeResult b = ce_align(p, q);
+  EXPECT_EQ(a.aligned_length, b.aligned_length);
+  EXPECT_DOUBLE_EQ(a.rmsd, b.rmsd);
+  EXPECT_EQ(a.stats, b.stats);
+}
+
+TEST(CeAlign, StatsPopulated) {
+  Rng rng(9);
+  const Protein p = bio::make_protein("p", 70, rng);
+  const Protein q = bio::make_protein("q", 70, rng);
+  const CeResult r = ce_align(p, q);
+  EXPECT_GT(r.stats.matrix_cells, 0u);
+  EXPECT_GT(r.stats.kabsch_calls, 0u);
+}
+
+TEST(CeAlign, GapBoundRespected) {
+  Rng rng(10);
+  const Protein p = bio::make_protein("p", 130, rng);
+  const Protein q = bio::perturb(p, "q", rng);
+  CeOptions opts;
+  opts.max_gap = 5;
+  const CeResult r = ce_align(p, q, opts);
+  for (std::size_t k = 1; k < r.path.size(); ++k) {
+    EXPECT_LE(r.path[k].i - (r.path[k - 1].i + r.path[k - 1].len), 5);
+    EXPECT_LE(r.path[k].j - (r.path[k - 1].j + r.path[k - 1].len), 5);
+  }
+}
+
+}  // namespace
+}  // namespace rck::core

@@ -1,0 +1,154 @@
+#include "rck/core/kabsch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "rck/bio/synthetic.hpp"
+
+namespace rck::core {
+namespace {
+
+using bio::Rng;
+using bio::Transform;
+using bio::Vec3;
+
+std::vector<Vec3> random_cloud(Rng& rng, std::size_t n, double extent = 20.0) {
+  std::uniform_real_distribution<double> u(-extent, extent);
+  std::vector<Vec3> pts(n);
+  for (Vec3& p : pts) p = {u(rng), u(rng), u(rng)};
+  return pts;
+}
+
+std::vector<Vec3> apply_all(const Transform& t, const std::vector<Vec3>& pts) {
+  std::vector<Vec3> out(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) out[i] = t.apply(pts[i]);
+  return out;
+}
+
+TEST(Kabsch, IdentityForIdenticalSets) {
+  Rng rng(1);
+  const auto pts = random_cloud(rng, 25);
+  const Superposition s = superpose(pts, pts);
+  EXPECT_NEAR(s.rmsd, 0.0, 1e-9);
+  EXPECT_TRUE(bio::is_rotation(s.transform.rot, 1e-9));
+  for (const Vec3& p : pts) {
+    const Vec3 q = s.transform.apply(p);
+    EXPECT_NEAR(distance(p, q), 0.0, 1e-8);
+  }
+}
+
+TEST(Kabsch, RecoversKnownRigidMotion) {
+  Rng rng(2);
+  const auto from = random_cloud(rng, 40);
+  const Transform truth = bio::random_transform(rng);
+  const auto to = apply_all(truth, from);
+  const Superposition s = superpose(from, to);
+  EXPECT_NEAR(s.rmsd, 0.0, 1e-8);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c)
+      EXPECT_NEAR(s.transform.rot(r, c), truth.rot(r, c), 1e-8);
+  EXPECT_NEAR(s.transform.trans.x, truth.trans.x, 1e-7);
+}
+
+TEST(Kabsch, AlwaysProperRotation) {
+  // Quaternion method must never return a reflection, even for inputs where
+  // naive Kabsch would (mirror-image clouds).
+  Rng rng(3);
+  auto from = random_cloud(rng, 15);
+  auto to = from;
+  for (Vec3& p : to) p.x = -p.x;  // mirrored
+  const Superposition s = superpose(from, to);
+  EXPECT_TRUE(bio::is_rotation(s.transform.rot, 1e-8));
+  EXPECT_GT(determinant(s.transform.rot), 0.0);
+  EXPECT_GT(s.rmsd, 0.1);  // a mirror cannot be superposed exactly
+}
+
+TEST(Kabsch, RmsdMatchesExplicitComputation) {
+  Rng rng(4);
+  const auto from = random_cloud(rng, 30);
+  auto to = apply_all(bio::random_transform(rng), from);
+  // add noise so the optimum is nonzero
+  std::normal_distribution<double> noise(0.0, 0.7);
+  for (Vec3& p : to) p += {noise(rng), noise(rng), noise(rng)};
+  const Superposition s = superpose(from, to);
+  double ss = 0.0;
+  for (std::size_t i = 0; i < from.size(); ++i)
+    ss += distance2(s.transform.apply(from[i]), to[i]);
+  const double explicit_rmsd = std::sqrt(ss / static_cast<double>(from.size()));
+  EXPECT_NEAR(s.rmsd, explicit_rmsd, 1e-6);
+}
+
+TEST(Kabsch, OptimalityAgainstJitteredTransforms) {
+  // No nearby rigid transform should beat the solver's RMSD.
+  Rng rng(5);
+  const auto from = random_cloud(rng, 20);
+  auto to = apply_all(bio::random_transform(rng), from);
+  std::normal_distribution<double> noise(0.0, 1.0);
+  for (Vec3& p : to) p += {noise(rng), noise(rng), noise(rng)};
+  const Superposition s = superpose(from, to);
+
+  auto rmsd_of = [&](const Transform& t) {
+    double ss = 0.0;
+    for (std::size_t i = 0; i < from.size(); ++i)
+      ss += distance2(t.apply(from[i]), to[i]);
+    return std::sqrt(ss / static_cast<double>(from.size()));
+  };
+  std::uniform_real_distribution<double> u(-0.05, 0.05);
+  for (int k = 0; k < 200; ++k) {
+    Transform jittered = s.transform;
+    jittered.rot =
+        bio::rotation_about_axis(bio::normalized(Vec3{u(rng), u(rng), 1.0}), u(rng)) *
+        jittered.rot;
+    jittered.trans += {u(rng), u(rng), u(rng)};
+    EXPECT_GE(rmsd_of(jittered) + 1e-9, s.rmsd);
+  }
+}
+
+TEST(Kabsch, StatsAccumulation) {
+  Rng rng(6);
+  const auto pts = random_cloud(rng, 12);
+  AlignStats stats;
+  superpose(pts, pts, &stats);
+  superpose(pts, pts, &stats);
+  EXPECT_EQ(stats.kabsch_calls, 2u);
+  EXPECT_EQ(stats.kabsch_points, 24u);
+}
+
+TEST(Kabsch, RejectsBadInput) {
+  const std::vector<Vec3> two{{0, 0, 0}, {1, 0, 0}};
+  const std::vector<Vec3> three{{0, 0, 0}, {1, 0, 0}, {0, 1, 0}};
+  EXPECT_THROW(superpose(two, two), std::invalid_argument);
+  EXPECT_THROW(superpose(three, two), std::invalid_argument);
+}
+
+TEST(Kabsch, TranslationOnly) {
+  Rng rng(7);
+  const auto from = random_cloud(rng, 10);
+  auto to = from;
+  for (Vec3& p : to) p += {5, -3, 2};
+  const Superposition s = superpose(from, to);
+  EXPECT_NEAR(s.rmsd, 0.0, 1e-9);
+  EXPECT_NEAR(s.transform.trans.x, 5.0, 1e-8);
+  EXPECT_NEAR(s.transform.trans.y, -3.0, 1e-8);
+}
+
+TEST(Kabsch, DegenerateCollinearInputStillValid) {
+  // Collinear points leave a free rotation about the line; the result must
+  // still be a proper rigid transform achieving zero RMSD.
+  std::vector<Vec3> line;
+  for (int i = 0; i < 10; ++i) line.push_back({static_cast<double>(i), 0, 0});
+  const Superposition s = superpose(line, line);
+  EXPECT_TRUE(bio::is_rotation(s.transform.rot, 1e-7));
+  EXPECT_NEAR(s.rmsd, 0.0, 1e-7);
+}
+
+TEST(SuperposedRmsd, MatchesFullSolve) {
+  Rng rng(8);
+  const auto a = random_cloud(rng, 18);
+  const auto b = random_cloud(rng, 18);
+  EXPECT_DOUBLE_EQ(superposed_rmsd(a, b), superpose(a, b).rmsd);
+}
+
+}  // namespace
+}  // namespace rck::core

@@ -1,0 +1,117 @@
+#include "rck/core/quality.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rck/bio/synthetic.hpp"
+
+namespace rck::core {
+namespace {
+
+using bio::Protein;
+using bio::Residue;
+using bio::Rng;
+
+TEST(Quality, PerfectModelScoresPerfectly) {
+  Rng rng(1);
+  const Protein native = bio::make_protein("native", 100, rng);
+  const QualityResult q = score_model_by_index(native, native);
+  EXPECT_NEAR(q.tm, 1.0, 1e-6);
+  EXPECT_NEAR(q.rmsd, 0.0, 1e-6);
+  EXPECT_NEAR(q.gdt_ts, 1.0, 1e-12);
+  EXPECT_NEAR(q.gdt_ha, 1.0, 1e-12);
+  EXPECT_GT(q.maxsub, 0.99);
+  EXPECT_EQ(q.paired, 100);
+}
+
+TEST(Quality, RigidlyMovedModelStillPerfect) {
+  Rng rng(2);
+  const Protein native = bio::make_protein("native", 80, rng);
+  const Protein model = native.transformed(bio::random_transform(rng));
+  const QualityResult q = score_model_by_index(model, native);
+  EXPECT_GT(q.tm, 0.999);
+  EXPECT_GT(q.gdt_ha, 0.99);
+}
+
+TEST(Quality, NoisyModelDegradesMonotonically) {
+  Rng rng(3);
+  const Protein native = bio::make_protein("native", 120, rng);
+  double last_tm = 1.1, last_gdt = 1.1;
+  for (double noise : {0.2, 0.8, 2.0, 5.0}) {
+    Protein model = native;
+    std::normal_distribution<double> n(0.0, noise);
+    for (Residue& r : model.residues()) r.ca += {n(rng), n(rng), n(rng)};
+    const QualityResult q = score_model_by_index(model, native);
+    EXPECT_LT(q.tm, last_tm) << noise;
+    EXPECT_LT(q.gdt_ts, last_gdt + 1e-9) << noise;
+    last_tm = q.tm;
+    last_gdt = q.gdt_ts;
+  }
+  EXPECT_LT(last_tm, 0.6);  // 5 A noise is a bad model
+}
+
+TEST(Quality, GdtHaIsStricterThanGdtTs) {
+  Rng rng(4);
+  const Protein native = bio::make_protein("native", 90, rng);
+  Protein model = native;
+  std::normal_distribution<double> n(0.0, 1.0);
+  for (Residue& r : model.residues()) r.ca += {n(rng), n(rng), n(rng)};
+  const QualityResult q = score_model_by_index(model, native);
+  EXPECT_LE(q.gdt_ha, q.gdt_ts);
+  EXPECT_GT(q.gdt_ha, 0.0);
+}
+
+TEST(Quality, ByResidueNumberHandlesPartialModels) {
+  Rng rng(5);
+  const Protein native = bio::make_protein("native", 100, rng);
+  // Model covers residues 21..80 only (seq numbers 21..80).
+  std::vector<Residue> sub(native.residues().begin() + 20,
+                           native.residues().begin() + 80);
+  const Protein model("partial", sub);
+  const auto q = score_model(model, native);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->paired, 60);
+  // Coverage caps every score at 60/100.
+  EXPECT_LE(q->tm, 0.6 + 1e-9);
+  EXPECT_LE(q->gdt_ts, 0.6 + 1e-9);
+  EXPECT_GT(q->tm, 0.55);  // but the covered part matches perfectly
+  EXPECT_NEAR(q->rmsd, 0.0, 1e-6);
+}
+
+TEST(Quality, DisjointNumberingReturnsNullopt) {
+  Rng rng(6);
+  const Protein a = bio::make_protein("a", 30, rng);  // seq 1..30
+  Protein b = bio::make_protein("b", 30, rng);
+  for (std::size_t i = 0; i < b.size(); ++i)
+    b[i].seq = static_cast<std::int32_t>(1000 + i);
+  EXPECT_FALSE(score_model(a, b).has_value());
+}
+
+TEST(Quality, IndexPairingRejectsLengthMismatch) {
+  Rng rng(7);
+  const Protein a = bio::make_protein("a", 30, rng);
+  const Protein b = bio::make_protein("b", 31, rng);
+  EXPECT_THROW(score_model_by_index(a, b), std::invalid_argument);
+}
+
+TEST(Quality, StatsPopulated) {
+  Rng rng(8);
+  const Protein native = bio::make_protein("native", 60, rng);
+  const QualityResult q = score_model_by_index(native, native);
+  EXPECT_GT(q.stats.kabsch_calls, 0u);
+  EXPECT_GT(q.stats.scored_pairs, 0u);
+}
+
+TEST(Quality, TransformReportedMatchesScores) {
+  Rng rng(9);
+  const Protein native = bio::make_protein("native", 70, rng);
+  Protein model = native.transformed(bio::random_transform(rng));
+  const QualityResult q = score_model_by_index(model, native);
+  // Applying the reported transform must superpose the model onto native.
+  double worst = 0.0;
+  for (std::size_t i = 0; i < native.size(); ++i)
+    worst = std::max(worst, distance(q.transform.apply(model[i].ca), native[i].ca));
+  EXPECT_LT(worst, 0.01);
+}
+
+}  // namespace
+}  // namespace rck::core

@@ -1,0 +1,99 @@
+#include "rck/core/sec_struct.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rck/bio/synthetic.hpp"
+
+namespace rck::core {
+namespace {
+
+using bio::SsType;
+using bio::Vec3;
+
+TEST(SecStr, IdealHelixDistances) {
+  // Ideal alpha-helix template distances -> helix.
+  EXPECT_EQ(sec_str(5.45, 5.18, 6.37, 5.45, 5.18, 5.45), SsType::Helix);
+}
+
+TEST(SecStr, IdealStrandDistances) {
+  EXPECT_EQ(sec_str(6.1, 10.4, 13.0, 6.1, 10.4, 6.1), SsType::Strand);
+}
+
+TEST(SecStr, TurnWhenCompact) {
+  // Not helix, not strand, but d15 < 8 -> turn.
+  EXPECT_EQ(sec_str(9.0, 9.0, 7.5, 9.0, 9.0, 9.0), SsType::Turn);
+}
+
+TEST(SecStr, CoilOtherwise) {
+  EXPECT_EQ(sec_str(9.0, 9.0, 12.0, 9.0, 9.0, 9.0), SsType::Coil);
+}
+
+TEST(SecStr, HelixToleranceBoundary) {
+  // Just inside the 2.1 A window on d13.
+  EXPECT_EQ(sec_str(5.45 + 2.0, 5.18, 6.37, 5.45, 5.18, 5.45), SsType::Helix);
+  // Just outside (and d15 = 6.37 < 8, so it degrades to turn).
+  EXPECT_EQ(sec_str(5.45 + 2.2, 5.18, 6.37, 5.45, 5.18, 5.45), SsType::Turn);
+}
+
+TEST(AssignSS, ShortChainsAllCoil) {
+  const std::vector<Vec3> four{{0, 0, 0}, {3.8, 0, 0}, {7.6, 0, 0}, {11.4, 0, 0}};
+  const auto sec = assign_secondary_structure(four);
+  ASSERT_EQ(sec.size(), 4u);
+  for (SsType t : sec) EXPECT_EQ(t, SsType::Coil);
+}
+
+TEST(AssignSS, TerminiAreCoil) {
+  bio::Rng rng(1);
+  const bio::StructurePlan plan{{SsType::Helix, 20}};
+  const auto pts = bio::build_backbone(plan, rng);
+  const auto sec = assign_secondary_structure(pts);
+  EXPECT_EQ(sec.front(), SsType::Coil);
+  EXPECT_EQ(sec[1], SsType::Coil);
+  EXPECT_EQ(sec[sec.size() - 2], SsType::Coil);
+  EXPECT_EQ(sec.back(), SsType::Coil);
+}
+
+TEST(AssignSS, RecoversGeneratorPlanMajority) {
+  // Generate a protein from a known plan; interior residues of structured
+  // segments should be recovered with high accuracy.
+  bio::Rng rng(2);
+  const bio::StructurePlan plan{{SsType::Helix, 15},
+                                {SsType::Coil, 5},
+                                {SsType::Strand, 10},
+                                {SsType::Coil, 4},
+                                {SsType::Helix, 12}};
+  const auto pts = bio::build_backbone(plan, rng);
+  const auto sec = assign_secondary_structure(pts);
+
+  auto count_in = [&](std::size_t lo, std::size_t hi, SsType want) {
+    int n = 0;
+    for (std::size_t i = lo; i < hi; ++i) n += sec[i] == want;
+    return n;
+  };
+  // Helix 1 spans [0,15): check interior [3,12).
+  EXPECT_GE(count_in(3, 12, SsType::Helix), 8);
+  // Strand spans [20,30): interior [22,28).
+  EXPECT_GE(count_in(22, 28, SsType::Strand), 5);
+  // Helix 2 spans [34,46): interior [37,43).
+  EXPECT_GE(count_in(37, 43, SsType::Helix), 5);
+}
+
+TEST(SsString, MatchesAssignment) {
+  bio::Rng rng(3);
+  const auto p = bio::make_protein("x", 60, rng);
+  const auto pts = p.ca_coords();
+  const std::string s = secondary_structure_string(pts);
+  const auto sec = assign_secondary_structure(pts);
+  ASSERT_EQ(s.size(), sec.size());
+  for (std::size_t i = 0; i < s.size(); ++i) EXPECT_EQ(s[i], ss_char(sec[i]));
+}
+
+TEST(SsChar, AllCodes) {
+  EXPECT_EQ(ss_char(SsType::Helix), 'H');
+  EXPECT_EQ(ss_char(SsType::Strand), 'E');
+  EXPECT_EQ(ss_char(SsType::Turn), 'T');
+  EXPECT_EQ(ss_char(SsType::Coil), 'C');
+}
+
+}  // namespace
+}  // namespace rck::core

@@ -1,0 +1,224 @@
+#include "rck/core/tmalign.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rck/bio/dataset.hpp"
+#include "rck/bio/synthetic.hpp"
+
+namespace rck::core {
+namespace {
+
+using bio::Protein;
+using bio::Rng;
+
+TEST(TmAlign, SelfAlignmentIsPerfect) {
+  Rng rng(1);
+  const Protein p = bio::make_protein("p", 120, rng);
+  const TmAlignResult r = tmalign(p, p);
+  EXPECT_NEAR(r.tm_norm_a, 1.0, 1e-6);
+  EXPECT_NEAR(r.tm_norm_b, 1.0, 1e-6);
+  EXPECT_NEAR(r.rmsd, 0.0, 1e-6);
+  EXPECT_EQ(r.aligned_length, 120);
+  EXPECT_NEAR(r.seq_identity, 1.0, 1e-12);
+}
+
+TEST(TmAlign, RigidMotionInvariance) {
+  // TM-align must undo an arbitrary rigid motion exactly.
+  Rng rng(2);
+  const Protein p = bio::make_protein("p", 90, rng);
+  const Protein q = p.transformed(bio::random_transform(rng));
+  const TmAlignResult r = tmalign(p, q);
+  EXPECT_GT(r.tm(), 0.999);
+  EXPECT_LT(r.rmsd, 0.01);
+  EXPECT_EQ(r.aligned_length, 90);
+}
+
+TEST(TmAlign, FamilyMembersScoreHigh) {
+  Rng rng(3);
+  const Protein p = bio::make_protein("p", 150, rng);
+  const Protein q = bio::perturb(p, "q", rng);
+  const TmAlignResult r = tmalign(p, q);
+  EXPECT_GT(r.tm(), 0.5) << "same-fold pair must clear the fold threshold";
+  EXPECT_LT(r.rmsd, 4.0);
+}
+
+TEST(TmAlign, UnrelatedChainsScoreLow) {
+  Rng rng(4);
+  const Protein p = bio::make_protein("p", 150, rng);
+  const Protein q = bio::make_protein("q", 150, rng);
+  const TmAlignResult r = tmalign(p, q);
+  EXPECT_LT(r.tm(), 0.4) << "random folds must stay below the threshold";
+}
+
+TEST(TmAlign, TransformMapsAOntoB) {
+  Rng rng(5);
+  const Protein p = bio::make_protein("p", 100, rng);
+  const Protein q = p.transformed(bio::random_transform(rng));
+  const TmAlignResult r = tmalign(p, q);
+  // Applying the reported transform to a must land on b.
+  for (std::size_t j = 0; j < r.y2x.size(); ++j) {
+    if (r.y2x[j] < 0) continue;
+    const auto& ca_a = p[static_cast<std::size_t>(r.y2x[j])].ca;
+    const auto& ca_b = q[j].ca;
+    EXPECT_LT(distance(r.transform.apply(ca_a), ca_b), 0.5);
+  }
+}
+
+TEST(TmAlign, NormalizationAsymmetry) {
+  // A short chain aligned to a long one: TM normalized by the long chain
+  // is necessarily smaller.
+  Rng rng(6);
+  const Protein long_p = bio::make_protein("long", 200, rng);
+  // Make the short chain a fragment of the long one (a perfect subchain).
+  std::vector<bio::Residue> sub(long_p.residues().begin(),
+                                long_p.residues().begin() + 80);
+  const Protein short_p("short", sub);
+
+  const TmAlignResult r = tmalign(short_p, long_p);
+  EXPECT_GT(r.tm_norm_a, 0.9);  // normalized by 80: nearly perfect
+  EXPECT_LT(r.tm_norm_b, 0.6);  // normalized by 200: at most 80/200 + slack
+  EXPECT_GT(r.aligned_length, 70);
+}
+
+TEST(TmAlign, SymmetryOfScores) {
+  // tmalign(a,b) and tmalign(b,a) must give (approximately) mirrored
+  // normalizations; the heuristic search may differ slightly.
+  Rng rng(7);
+  const Protein p = bio::make_protein("p", 110, rng);
+  const Protein q = bio::perturb(p, "q", rng);
+  const TmAlignResult ab = tmalign(p, q);
+  const TmAlignResult ba = tmalign(q, p);
+  EXPECT_NEAR(ab.tm_norm_a, ba.tm_norm_b, 0.08);
+  EXPECT_NEAR(ab.tm_norm_b, ba.tm_norm_a, 0.08);
+}
+
+TEST(TmAlign, RejectsTinyChains) {
+  Rng rng(8);
+  const Protein ok = bio::make_protein("ok", 30, rng);
+  const Protein tiny("tiny", {{'A', 1, {0, 0, 0}},
+                              {'G', 2, {3.8, 0, 0}},
+                              {'L', 3, {7.6, 0, 0}},
+                              {'K', 4, {11.4, 0, 0}}});
+  EXPECT_THROW(tmalign(tiny, ok), std::invalid_argument);
+  EXPECT_THROW(tmalign(ok, tiny), std::invalid_argument);
+}
+
+TEST(TmAlign, Deterministic) {
+  Rng rng(9);
+  const Protein p = bio::make_protein("p", 130, rng);
+  const Protein q = bio::make_protein("q", 100, rng);
+  const TmAlignResult a = tmalign(p, q);
+  const TmAlignResult b = tmalign(p, q);
+  EXPECT_DOUBLE_EQ(a.tm_norm_a, b.tm_norm_a);
+  EXPECT_DOUBLE_EQ(a.rmsd, b.rmsd);
+  EXPECT_EQ(a.y2x, b.y2x);
+  EXPECT_EQ(a.stats, b.stats);
+}
+
+TEST(TmAlign, StatsArePopulated) {
+  Rng rng(10);
+  const Protein p = bio::make_protein("p", 80, rng);
+  const Protein q = bio::make_protein("q", 80, rng);
+  const TmAlignResult r = tmalign(p, q);
+  EXPECT_GT(r.stats.dp_cells, 80u * 80u);  // at least a few NW solves
+  EXPECT_GT(r.stats.kabsch_calls, 10u);
+  EXPECT_GT(r.stats.scored_pairs, 0u);
+  EXPECT_GT(r.stats.matrix_cells, 0u);
+  EXPECT_GT(r.stats.iterations, 0u);
+}
+
+TEST(TmAlign, AlignmentMappingIsValid) {
+  Rng rng(11);
+  const Protein p = bio::make_protein("p", 95, rng);
+  const Protein q = bio::make_protein("q", 120, rng);
+  const TmAlignResult r = tmalign(p, q);
+  ASSERT_EQ(r.y2x.size(), q.size());
+  int last = -1;
+  int count = 0;
+  for (int v : r.y2x) {
+    if (v < 0) continue;
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, static_cast<int>(p.size()));
+    EXPECT_GT(v, last);  // strictly increasing (sequential alignment)
+    last = v;
+    ++count;
+  }
+  EXPECT_EQ(count, r.aligned_length);
+}
+
+TEST(TmAlign, FoldDiscriminationOnFamilies) {
+  // Within-family TM must exceed cross-family TM for the tiny dataset.
+  const auto ds = bio::build_dataset(bio::tiny_spec());
+  // tiny: a_0,a_1,a_2, b_0,b_1,b_2, c_0,c_1
+  const double within = tmalign(ds[0], ds[1]).tm();
+  const double cross = tmalign(ds[0], ds[3]).tm();
+  EXPECT_GT(within, cross);
+  EXPECT_GT(within, 0.5);
+  EXPECT_LT(cross, 0.45);
+}
+
+TEST(TmAlignOptions, D0OverrideChangesScores) {
+  Rng rng(20);
+  const Protein p = bio::make_protein("p", 100, rng);
+  const Protein q = bio::perturb(p, "q", rng);
+  TmAlignOptions loose;
+  loose.d0_override = 10.0;  // generous distance scale: higher TM
+  TmAlignOptions tight;
+  tight.d0_override = 1.0;  // strict: lower TM
+  const double base = tmalign(p, q).tm();
+  const double hi = tmalign(p, q, loose).tm();
+  const double lo = tmalign(p, q, tight).tm();
+  EXPECT_GT(hi, base);
+  EXPECT_LT(lo, base);
+}
+
+TEST(TmAlignOptions, LnormOverrideUnifiesNormalizations) {
+  Rng rng(21);
+  const Protein p = bio::make_protein("p", 80, rng);
+  const Protein q = bio::make_protein("q", 140, rng);
+  TmAlignOptions opts;
+  opts.lnorm_override = 100;
+  const TmAlignResult r = tmalign(p, q, opts);
+  // Both scores use the same normalization, so they are equal.
+  EXPECT_DOUBLE_EQ(r.tm_norm_a, r.tm_norm_b);
+}
+
+TEST(TmAlignOptions, FastPresetCheaperAndClose) {
+  Rng rng(22);
+  const Protein p = bio::make_protein("p", 150, rng);
+  const Protein q = bio::perturb(p, "q", rng);
+  const TmAlignResult full = tmalign(p, q);
+  const TmAlignResult fast = tmalign(p, q, fast_tmalign_options());
+  EXPECT_LT(fast.stats.total_ops(), full.stats.total_ops());
+  EXPECT_GT(fast.tm(), 0.9 * full.tm());
+}
+
+/// Property sweep over length combinations: scores bounded, RMSD
+/// non-negative, aligned length bounded by min length.
+class TmAlignProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(TmAlignProperty, Invariants) {
+  const auto [la, lb] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(la * 997 + lb));
+  const Protein a = bio::make_protein("a", la, rng);
+  const Protein b = bio::make_protein("b", lb, rng);
+  const TmAlignResult r = tmalign(a, b);
+  EXPECT_GE(r.tm_norm_a, 0.0);
+  EXPECT_LE(r.tm_norm_a, 1.0 + 1e-9);
+  EXPECT_GE(r.tm_norm_b, 0.0);
+  EXPECT_LE(r.tm_norm_b, 1.0 + 1e-9);
+  EXPECT_GE(r.rmsd, 0.0);
+  EXPECT_GE(r.aligned_length, 3);
+  EXPECT_LE(r.aligned_length, std::min(la, lb));
+  EXPECT_GE(r.seq_identity, 0.0);
+  EXPECT_LE(r.seq_identity, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(LengthGrid, TmAlignProperty,
+                         ::testing::Values(std::tuple{20, 20}, std::tuple{20, 100},
+                                           std::tuple{100, 20}, std::tuple{60, 61},
+                                           std::tuple{150, 150}, std::tuple{40, 200}));
+
+}  // namespace
+}  // namespace rck::core

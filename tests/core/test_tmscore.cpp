@@ -1,0 +1,180 @@
+#include "rck/core/tmscore.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rck/bio/synthetic.hpp"
+
+namespace rck::core {
+namespace {
+
+using bio::Rng;
+using bio::Transform;
+using bio::Vec3;
+
+TEST(D0, PaperFormula) {
+  // d0 = 1.24 (L-15)^(1/3) - 1.8
+  EXPECT_NEAR(d0_of_length(100), 1.24 * std::cbrt(85.0) - 1.8, 1e-12);
+  EXPECT_NEAR(d0_of_length(300), 1.24 * std::cbrt(285.0) - 1.8, 1e-12);
+}
+
+TEST(D0, SmallLengthClamp) {
+  EXPECT_DOUBLE_EQ(d0_of_length(21), 0.5);
+  EXPECT_DOUBLE_EQ(d0_of_length(5), 0.5);
+  // Just above the clamp boundary the formula may still be < 0.5.
+  EXPECT_GE(d0_of_length(22), 0.5);
+}
+
+TEST(D0, MonotoneInLength) {
+  for (int l = 22; l < 600; l += 7)
+    EXPECT_LT(d0_of_length(l), d0_of_length(l + 7));
+}
+
+TEST(TmOfTransform, PerfectMatchScoresOne) {
+  Rng rng(1);
+  const auto p = bio::make_protein("p", 60, rng);
+  const auto x = p.ca_coords();
+  const double tm =
+      tm_of_transform(x, x, Transform{}, static_cast<int>(x.size()),
+                      d0_of_length(static_cast<int>(x.size())));
+  EXPECT_NEAR(tm, 1.0, 1e-12);
+}
+
+TEST(TmOfTransform, BoundedByAlignedFraction) {
+  // Normalizing by lnorm > aligned pairs bounds TM by n_ali / lnorm.
+  Rng rng(2);
+  const auto p = bio::make_protein("p", 40, rng);
+  const auto x = p.ca_coords();
+  const double tm = tm_of_transform(x, x, Transform{}, 80, d0_of_length(80));
+  EXPECT_NEAR(tm, 0.5, 1e-12);
+}
+
+TEST(TmOfTransform, FarApartScoresNearZero) {
+  Rng rng(3);
+  const auto p = bio::make_protein("p", 50, rng);
+  const auto x = p.ca_coords();
+  auto y = x;
+  for (Vec3& v : y) v += {1000, 0, 0};
+  const double tm = tm_of_transform(x, y, Transform{}, 50, d0_of_length(50));
+  EXPECT_LT(tm, 1e-4);
+}
+
+TEST(TmSearch, RecoversRigidMotion) {
+  Rng rng(4);
+  const auto p = bio::make_protein("p", 80, rng);
+  const auto x = p.ca_coords();
+  const Transform truth = bio::random_transform(rng);
+  std::vector<Vec3> y(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = truth.apply(x[i]);
+
+  const int lnorm = static_cast<int>(x.size());
+  const TmSearchResult r = tmscore_search(x, y, lnorm, d0_of_length(lnorm));
+  EXPECT_GT(r.tm, 0.999);
+}
+
+TEST(TmSearch, PartialMatchFindsCommonCore) {
+  // First half matches rigidly, second half is garbage: the search must
+  // lock onto the matching half rather than compromise across everything.
+  Rng rng(5);
+  const auto p = bio::make_protein("p", 100, rng);
+  const auto x = p.ca_coords();
+  auto y = x;
+  const Transform t = bio::random_transform(rng);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    y[i] = t.apply(y[i]);
+    if (i >= 50) y[i] += {200.0 + static_cast<double>(i), 50, -30};
+  }
+  const int lnorm = 100;
+  const double d0 = d0_of_length(lnorm);
+  const TmSearchResult r = tmscore_search(x, y, lnorm, d0);
+  // Half the residues can align perfectly: TM ~ 0.5.
+  EXPECT_GT(r.tm, 0.45);
+  // And the found transform must superpose the first half tightly.
+  int close = 0;
+  for (std::size_t i = 0; i < 50; ++i)
+    close += distance(r.transform.apply(x[i]), y[i]) < 1.0;
+  EXPECT_GE(close, 45);
+}
+
+TEST(TmSearch, DegenerateInputs) {
+  const std::vector<Vec3> none;
+  const TmSearchResult r0 = tmscore_search(none, none, 10, 2.0);
+  EXPECT_DOUBLE_EQ(r0.tm, 0.0);
+
+  const std::vector<Vec3> two{{0, 0, 0}, {3.8, 0, 0}};
+  const TmSearchResult r2 = tmscore_search(two, two, 10, 2.0);
+  EXPECT_DOUBLE_EQ(r2.tm, 0.0);  // < 3 pairs: no search
+}
+
+TEST(TmSearch, FastModeCloseToFull) {
+  Rng rng(6);
+  const auto p = bio::make_protein("p", 120, rng);
+  const auto x = p.ca_coords();
+  Rng rng2(7);
+  const auto q = bio::perturb(p, "q", rng2);
+  // Use the common prefix as an "alignment".
+  const std::size_t n = std::min(x.size(), q.size());
+  std::vector<Vec3> xa(x.begin(), x.begin() + static_cast<std::ptrdiff_t>(n));
+  const auto qc = q.ca_coords();
+  std::vector<Vec3> ya(qc.begin(), qc.begin() + static_cast<std::ptrdiff_t>(n));
+
+  const int lnorm = static_cast<int>(n);
+  const double d0 = d0_of_length(lnorm);
+  TmSearchOptions fast;
+  fast.fast = true;
+  const double tm_fast = tmscore_search(xa, ya, lnorm, d0, fast).tm;
+  const double tm_full = tmscore_search(xa, ya, lnorm, d0).tm;
+  EXPECT_GE(tm_full + 1e-12, tm_fast);       // full search can only be better
+  EXPECT_GT(tm_fast, 0.6 * tm_full);         // but fast is not useless
+}
+
+TEST(TmSearch, StatsAccumulate) {
+  Rng rng(8);
+  const auto p = bio::make_protein("p", 50, rng);
+  const auto x = p.ca_coords();
+  AlignStats stats;
+  tmscore_search(x, x, 50, d0_of_length(50), {}, &stats);
+  EXPECT_GT(stats.kabsch_calls, 0u);
+  EXPECT_GT(stats.scored_pairs, 0u);
+}
+
+TEST(TmSearch, DeterministicAcrossCalls) {
+  Rng rng(9);
+  const auto p = bio::make_protein("p", 70, rng);
+  const auto q = bio::make_protein("q", 70, rng);
+  const auto x = p.ca_coords();
+  const auto y = q.ca_coords();
+  const TmSearchResult a = tmscore_search(x, y, 70, d0_of_length(70));
+  const TmSearchResult b = tmscore_search(x, y, 70, d0_of_length(70));
+  EXPECT_DOUBLE_EQ(a.tm, b.tm);
+  EXPECT_EQ(a.transform.rot, b.transform.rot);
+}
+
+/// TM of the returned transform must equal the returned tm (the search's
+/// bookkeeping can't drift from the actual score), across sizes.
+class TmSearchConsistency : public ::testing::TestWithParam<int> {};
+
+TEST_P(TmSearchConsistency, ReturnedTransformAchievesReturnedScore) {
+  const int len = GetParam();
+  Rng rng(static_cast<std::uint64_t>(len));
+  const auto p = bio::make_protein("p", len, rng);
+  const auto child = bio::perturb(p, "c", rng);
+  const std::size_t n = std::min(p.size(), child.size());
+  const auto xc = p.ca_coords();
+  const auto yc = child.ca_coords();
+  std::vector<Vec3> xa(xc.begin(), xc.begin() + static_cast<std::ptrdiff_t>(n));
+  std::vector<Vec3> ya(yc.begin(), yc.begin() + static_cast<std::ptrdiff_t>(n));
+
+  const int lnorm = static_cast<int>(n);
+  const double d0 = d0_of_length(lnorm);
+  const TmSearchResult r = tmscore_search(xa, ya, lnorm, d0);
+  const double recomputed = tm_of_transform(xa, ya, r.transform, lnorm, d0);
+  EXPECT_NEAR(recomputed, r.tm, 1e-9);
+  EXPECT_GE(r.tm, 0.0);
+  EXPECT_LE(r.tm, 1.0 + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, TmSearchConsistency,
+                         ::testing::Values(20, 45, 90, 150, 240));
+
+}  // namespace
+}  // namespace rck::core

@@ -1,0 +1,87 @@
+#include "rck/harness/paper_data.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rck::harness {
+namespace {
+
+TEST(PaperData, CoreCountsAreOddSweep) {
+  const auto counts = paper_core_counts();
+  ASSERT_EQ(counts.size(), 24u);
+  EXPECT_EQ(counts.front(), 1);
+  EXPECT_EQ(counts.back(), 47);
+  for (std::size_t k = 1; k < counts.size(); ++k)
+    EXPECT_EQ(counts[k] - counts[k - 1], 2);
+}
+
+TEST(PaperData, Table2Monotone) {
+  // Published times decrease (weakly) with core count for rckAlign; the
+  // distributed column has two published non-monotone points (33, 35).
+  const auto t2 = paper_table2();
+  ASSERT_EQ(t2.size(), 24u);
+  for (std::size_t k = 1; k < t2.size(); ++k)
+    EXPECT_LE(t2[k].rckalign_s, t2[k - 1].rckalign_s);
+  EXPECT_DOUBLE_EQ(t2.front().rckalign_s, 2027.0);
+  EXPECT_DOUBLE_EQ(t2.back().distributed_s, 120.0);
+}
+
+TEST(PaperData, Table2RckAlignAlwaysWins) {
+  for (const Table2Row& r : paper_table2())
+    EXPECT_LT(r.rckalign_s, r.distributed_s) << r.slave_cores;
+}
+
+TEST(PaperData, Table3Ratios) {
+  // AMD vs P54C per-core advantage reported by the paper.
+  EXPECT_NEAR(kPaperTable3.p54c_ck34 / kPaperTable3.amd_ck34, 5.0, 0.01);
+  EXPECT_NEAR(kPaperTable3.p54c_rs119 / kPaperTable3.amd_rs119, 3.92, 0.01);
+}
+
+TEST(PaperData, Table4SpeedupConsistentWithTimes) {
+  // speedup = time(1) / time(n) must hold within rounding for both datasets.
+  const auto t4 = paper_table4();
+  const double ck_base = t4.front().ck34_time_s;
+  const double rs_base = t4.front().rs119_time_s;
+  for (const Table4Row& r : t4) {
+    EXPECT_NEAR(r.ck34_speedup, ck_base / r.ck34_time_s, 0.35) << r.slave_cores;
+    EXPECT_NEAR(r.rs119_speedup, rs_base / r.rs119_time_s, 0.35) << r.slave_cores;
+  }
+}
+
+TEST(PaperData, Table4NearLinear) {
+  // The headline: speedup grows almost linearly; at 47 slaves CK34 reaches
+  // ~36x and RS119 ~45x.
+  const auto t4 = paper_table4();
+  EXPECT_NEAR(t4.back().ck34_speedup, 36.17, 1e-9);
+  EXPECT_NEAR(t4.back().rs119_speedup, 44.78, 1e-9);
+  // Larger dataset scales better at every point past 1 core.
+  for (const Table4Row& r : t4) {
+    if (r.slave_cores > 1) {
+      EXPECT_GE(r.rs119_speedup, r.ck34_speedup);
+    }
+  }
+}
+
+TEST(PaperData, Table5MatchesHeadlines) {
+  const auto t5 = paper_table5();
+  ASSERT_EQ(t5.size(), 2u);
+  // 11x over AMD and ~44x over P54C on RS119.
+  EXPECT_NEAR(t5[1].tmalign_amd_s / t5[1].rckalign_scc_s, kPaperSpeedupVsAmd, 0.5);
+  EXPECT_NEAR(t5[1].tmalign_p54c_s / t5[1].rckalign_scc_s, kPaperSpeedupVsP54c, 0.5);
+}
+
+TEST(PaperData, CrossTableConsistency) {
+  // Table II's rckAlign column equals Table IV's CK34 times; Table V's
+  // rckAlign values equal the 47-core entries.
+  const auto t2 = paper_table2();
+  const auto t4 = paper_table4();
+  for (std::size_t k = 0; k < t2.size(); ++k) {
+    EXPECT_EQ(t2[k].slave_cores, t4[k].slave_cores);
+    // Table II row 1 is 2027 vs Table IV 2029 (paper rounding); allow 2 s.
+    EXPECT_NEAR(t2[k].rckalign_s, t4[k].ck34_time_s, 2.0);
+  }
+  EXPECT_DOUBLE_EQ(paper_table5()[0].rckalign_scc_s, t2.back().rckalign_s);
+  EXPECT_DOUBLE_EQ(paper_table5()[1].rckalign_scc_s, t4.back().rs119_time_s);
+}
+
+}  // namespace
+}  // namespace rck::harness

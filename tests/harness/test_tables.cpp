@@ -1,0 +1,67 @@
+#include "rck/harness/tables.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace rck::harness {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t("demo");
+  t.set_columns({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22.5"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22.5"), std::string::npos);
+}
+
+TEST(TextTable, RejectsWidthMismatch) {
+  TextTable t("x");
+  t.set_columns({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(TextTable, CsvOutput) {
+  TextTable t("csv");
+  t.set_columns({"a", "b"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n3,4\n");
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Format, Seconds) {
+  EXPECT_EQ(fmt_seconds(2029.4), "2029");
+  EXPECT_EQ(fmt_seconds(56.34), "56.3");
+  EXPECT_EQ(fmt_seconds(0.5), "0.500");
+  EXPECT_EQ(fmt_seconds(0.00123), "0.00123");
+}
+
+TEST(Format, Speedup) { EXPECT_EQ(fmt_speedup(36.171), "36.17x"); }
+
+TEST(Format, RelErr) {
+  EXPECT_EQ(fmt_rel_err(110, 100), "+10.0%");
+  EXPECT_EQ(fmt_rel_err(95, 100), "-5.0%");
+  EXPECT_EQ(fmt_rel_err(5, 0), "n/a");
+}
+
+TEST(WriteFile, CreatesDirectoriesAndWrites) {
+  const auto dir = std::filesystem::temp_directory_path() / "rck_tables_test";
+  const auto path = dir / "sub" / "x.csv";
+  write_file(path.string(), "hello\n");
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "hello");
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace rck::harness

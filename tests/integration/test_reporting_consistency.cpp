@@ -1,0 +1,81 @@
+// Reporting-path consistency: every number a TmAlignResult carries must be
+// recomputable from its own transform and mapping. Swept over all pairs of
+// the tiny dataset (28 structurally diverse pairs).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rck/bio/dataset.hpp"
+#include "rck/core/tmalign.hpp"
+#include "rck/core/tmscore.hpp"
+
+namespace rck {
+namespace {
+
+class ReportingConsistency
+    : public ::testing::TestWithParam<std::pair<std::uint32_t, std::uint32_t>> {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new std::vector<bio::Protein>(bio::build_dataset(bio::tiny_spec()));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+  static std::vector<bio::Protein>* dataset_;
+};
+
+std::vector<bio::Protein>* ReportingConsistency::dataset_ = nullptr;
+
+TEST_P(ReportingConsistency, EveryReportedNumberRecomputes) {
+  const auto [i, j] = GetParam();
+  const bio::Protein& a = (*dataset_)[i];
+  const bio::Protein& b = (*dataset_)[j];
+  const core::TmAlignResult r = core::tmalign(a, b);
+
+  // Gather aligned pairs from the mapping.
+  std::vector<bio::Vec3> xa, ya;
+  int identical = 0;
+  for (std::size_t y = 0; y < r.y2x.size(); ++y) {
+    if (r.y2x[y] < 0) continue;
+    const std::size_t x = static_cast<std::size_t>(r.y2x[y]);
+    xa.push_back(a[x].ca);
+    ya.push_back(b[y].ca);
+    identical += a[x].aa == b[y].aa;
+  }
+  ASSERT_EQ(static_cast<int>(xa.size()), r.aligned_length);
+
+  // RMSD recomputes from the transform.
+  double ss = 0.0;
+  for (std::size_t k = 0; k < xa.size(); ++k)
+    ss += distance2(r.transform.apply(xa[k]), ya[k]);
+  EXPECT_NEAR(std::sqrt(ss / static_cast<double>(xa.size())), r.rmsd, 1e-9);
+
+  // Both TM normalizations recompute from the transform.
+  const int la = static_cast<int>(a.size());
+  const int lb = static_cast<int>(b.size());
+  EXPECT_NEAR(core::tm_of_transform(xa, ya, r.transform, la, core::d0_of_length(la)),
+              r.tm_norm_a, 1e-9);
+  EXPECT_NEAR(core::tm_of_transform(xa, ya, r.transform, lb, core::d0_of_length(lb)),
+              r.tm_norm_b, 1e-9);
+
+  // Sequence identity recomputes from the mapping.
+  EXPECT_NEAR(static_cast<double>(identical) / static_cast<double>(xa.size()),
+              r.seq_identity, 1e-12);
+
+  // The transform is a proper rigid motion.
+  EXPECT_TRUE(bio::is_rotation(r.transform.rot, 1e-8));
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>> all_tiny_pairs() {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  for (std::uint32_t i = 0; i < 8; ++i)
+    for (std::uint32_t j = i + 1; j < 8; ++j) pairs.push_back({i, j});
+  return pairs;
+}
+
+INSTANTIATE_TEST_SUITE_P(TinyAllPairs, ReportingConsistency,
+                         ::testing::ValuesIn(all_tiny_pairs()));
+
+}  // namespace
+}  // namespace rck

@@ -1,0 +1,71 @@
+#include "rck/noc/heatmap.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rck::noc {
+namespace {
+
+TEST(UtilizationDigit, Buckets) {
+  EXPECT_EQ(utilization_digit(0.0), '0');
+  EXPECT_EQ(utilization_digit(0.05), '0');
+  EXPECT_EQ(utilization_digit(0.10), '1');
+  EXPECT_EQ(utilization_digit(0.55), '5');
+  EXPECT_EQ(utilization_digit(0.94), '9');
+  EXPECT_EQ(utilization_digit(0.95), '*');
+  EXPECT_EQ(utilization_digit(2.0), '*');
+  EXPECT_EQ(utilization_digit(-1.0), '0');
+}
+
+TEST(Heatmap, RendersAllRouters) {
+  EventQueue q;
+  Network net(q, Mesh(6, 4));
+  const std::string map = render_link_heatmap(net, kPsPerSec);
+  for (int n = 0; n < 24; ++n) {
+    char label[8];
+    std::snprintf(label, sizeof label, "[%02d]", n);
+    EXPECT_NE(map.find(label), std::string::npos) << n;
+  }
+}
+
+TEST(Heatmap, IdleNetworkAllZero) {
+  EventQueue q;
+  Network net(q, Mesh(3, 3));
+  std::string map = render_link_heatmap(net, kPsPerSec);
+  map.resize(map.find("link utilization"));  // drop the legend line
+  // Utilization digits appear right after 'v' (vertical links) and right
+  // before '>' (horizontal links); router ids in [NN] labels don't count.
+  for (std::size_t k = 0; k + 1 < map.size(); ++k) {
+    if (map[k] == 'v') {
+      EXPECT_EQ(map[k + 1], '0') << "vertical link at " << k;
+    }
+    if (map[k + 1] == '>') {
+      EXPECT_EQ(map[k], '0') << "horizontal link at " << k;
+    }
+  }
+}
+
+TEST(Heatmap, BusyLinkShowsUp) {
+  EventQueue q;
+  NetworkParams params;
+  params.bytes_per_ns = 1.0;
+  Network net(q, Mesh(3, 3), params);
+  // Saturate link 0->1 for ~the whole window.
+  const SimTime window = 10 * kPsPerUs;
+  for (int k = 0; k < 12; ++k) net.send(0, 1, 800, 0, [](SimTime) {});
+  q.run();
+  const std::string map = render_link_heatmap(net, window);
+  // The first east-link digit (between [00] and [01]) must be high.
+  const std::size_t pos = map.find("[00] ");
+  ASSERT_NE(pos, std::string::npos);
+  const char digit = map[pos + 5];
+  EXPECT_TRUE(digit == '*' || digit >= '8') << digit;
+}
+
+TEST(Heatmap, ZeroMakespanRejected) {
+  EventQueue q;
+  Network net(q, Mesh(3, 3));
+  EXPECT_THROW(render_link_heatmap(net, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rck::noc

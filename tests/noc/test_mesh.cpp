@@ -1,0 +1,124 @@
+#include "rck/noc/mesh.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace rck::noc {
+namespace {
+
+TEST(Mesh, SccGeometry) {
+  const Mesh m(6, 4);
+  EXPECT_EQ(m.node_count(), 24);
+  EXPECT_EQ(m.cols(), 6);
+  EXPECT_EQ(m.rows(), 4);
+  // 2 * ((6-1)*4 + 6*(4-1)) = 2 * (20 + 18) = 76 directed links
+  EXPECT_EQ(m.link_count(), 76);
+}
+
+TEST(Mesh, CoordRoundTrip) {
+  const Mesh m(6, 4);
+  for (int n = 0; n < m.node_count(); ++n) EXPECT_EQ(m.node(m.coord(n)), n);
+  EXPECT_EQ(m.coord(0), (MeshCoord{0, 0}));
+  EXPECT_EQ(m.coord(5), (MeshCoord{5, 0}));
+  EXPECT_EQ(m.coord(6), (MeshCoord{0, 1}));
+  EXPECT_EQ(m.coord(23), (MeshCoord{5, 3}));
+}
+
+TEST(Mesh, HopsIsManhattan) {
+  const Mesh m(6, 4);
+  EXPECT_EQ(m.hops(0, 0), 0);
+  EXPECT_EQ(m.hops(0, 5), 5);
+  EXPECT_EQ(m.hops(0, 23), 5 + 3);
+  EXPECT_EQ(m.hops(7, 14), m.hops(14, 7));
+}
+
+TEST(Mesh, XyRouteGoesXThenY) {
+  const Mesh m(6, 4);
+  const auto route = m.xy_route(m.node({1, 1}), m.node({4, 3}));
+  ASSERT_EQ(route.size(), 5u);  // 3 east + 2 north
+  // First three links move along x at y=1.
+  EXPECT_EQ(route[0].from, m.node({1, 1}));
+  EXPECT_EQ(route[0].to, m.node({2, 1}));
+  EXPECT_EQ(route[2].to, m.node({4, 1}));
+  // Then y.
+  EXPECT_EQ(route[3].to, m.node({4, 2}));
+  EXPECT_EQ(route[4].to, m.node({4, 3}));
+}
+
+TEST(Mesh, RouteLengthEqualsHops) {
+  const Mesh m(6, 4);
+  for (int a = 0; a < m.node_count(); a += 3)
+    for (int b = 0; b < m.node_count(); b += 2)
+      EXPECT_EQ(static_cast<int>(m.xy_route(a, b).size()), m.hops(a, b));
+}
+
+TEST(Mesh, RouteLinksAreAdjacent) {
+  const Mesh m(6, 4);
+  const auto route = m.xy_route(0, 23);
+  for (const Link& l : route) EXPECT_EQ(m.hops(l.from, l.to), 1);
+  // Contiguity: each link starts where the previous ended.
+  for (std::size_t k = 1; k < route.size(); ++k)
+    EXPECT_EQ(route[k].from, route[k - 1].to);
+}
+
+TEST(Mesh, SelfRouteIsEmpty) {
+  const Mesh m(6, 4);
+  EXPECT_TRUE(m.xy_route(9, 9).empty());
+}
+
+TEST(Mesh, XyRoutingIsDeterministicAndAsymmetric) {
+  // XY forward and YX-equivalent reverse use different intermediate links.
+  const Mesh m(6, 4);
+  const auto fwd = m.xy_route(m.node({0, 0}), m.node({2, 2}));
+  const auto rev = m.xy_route(m.node({2, 2}), m.node({0, 0}));
+  EXPECT_EQ(fwd.size(), rev.size());
+  // fwd goes through (2,0); rev goes through (0,2).
+  EXPECT_EQ(fwd[1].to, m.node({2, 0}));
+  EXPECT_EQ(rev[1].to, m.node({0, 2}));
+}
+
+TEST(Mesh, LinkIndexUniqueAndBounded) {
+  const Mesh m(6, 4);
+  std::set<int> seen;
+  for (int n = 0; n < m.node_count(); ++n) {
+    const MeshCoord c = m.coord(n);
+    const MeshCoord neighbours[] = {
+        {c.x + 1, c.y}, {c.x - 1, c.y}, {c.x, c.y + 1}, {c.x, c.y - 1}};
+    for (const MeshCoord& nb : neighbours) {
+      if (nb.x < 0 || nb.x >= m.cols() || nb.y < 0 || nb.y >= m.rows()) continue;
+      const int idx = m.link_index({n, m.node(nb)});
+      EXPECT_GE(idx, 0);
+      EXPECT_LT(idx, m.link_index_bound());
+      EXPECT_TRUE(seen.insert(idx).second) << "duplicate index " << idx;
+    }
+  }
+  EXPECT_EQ(static_cast<int>(seen.size()), m.link_count());
+}
+
+TEST(Mesh, LinkIndexRejectsNonAdjacent) {
+  const Mesh m(6, 4);
+  EXPECT_THROW(m.link_index({0, 2}), std::invalid_argument);
+  EXPECT_THROW(m.link_index({0, 0}), std::invalid_argument);
+}
+
+TEST(Mesh, BoundsChecking) {
+  const Mesh m(6, 4);
+  EXPECT_THROW(m.coord(-1), std::out_of_range);
+  EXPECT_THROW(m.coord(24), std::out_of_range);
+  EXPECT_THROW(m.node({6, 0}), std::out_of_range);
+  EXPECT_THROW(m.hops(0, 99), std::out_of_range);
+  EXPECT_THROW(Mesh(0, 4), std::invalid_argument);
+}
+
+TEST(Mesh, NonSccShapes) {
+  const Mesh line(8, 1);
+  EXPECT_EQ(line.link_count(), 14);
+  EXPECT_EQ(line.hops(0, 7), 7);
+  const Mesh single(1, 1);
+  EXPECT_EQ(single.link_count(), 0);
+  EXPECT_TRUE(single.xy_route(0, 0).empty());
+}
+
+}  // namespace
+}  // namespace rck::noc

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "rck/noc/mesh.hpp"
+#include "rck/noc/network.hpp"
+
+namespace rck::noc {
+namespace {
+
+TEST(Torus, LinkCount) {
+  const Mesh t(6, 4, true);
+  EXPECT_EQ(t.link_count(), 4 * 24);
+  EXPECT_TRUE(t.is_torus());
+  EXPECT_FALSE(Mesh(6, 4).is_torus());
+}
+
+TEST(Torus, RequiresMinimumSize) {
+  EXPECT_THROW(Mesh(2, 4, true), std::invalid_argument);
+  EXPECT_THROW(Mesh(4, 2, true), std::invalid_argument);
+  EXPECT_NO_THROW(Mesh(3, 3, true));
+}
+
+TEST(Torus, WraparoundShortensHops) {
+  const Mesh mesh(6, 4, false);
+  const Mesh torus(6, 4, true);
+  // Opposite corners: mesh 5+3=8 hops, torus 1+1=2 (wrap both dims).
+  const int a = mesh.node({0, 0});
+  const int b = mesh.node({5, 3});
+  EXPECT_EQ(mesh.hops(a, b), 8);
+  EXPECT_EQ(torus.hops(a, b), 2);
+}
+
+TEST(Torus, HopsSymmetric) {
+  const Mesh t(6, 4, true);
+  for (int a = 0; a < t.node_count(); a += 5)
+    for (int b = 0; b < t.node_count(); b += 3)
+      EXPECT_EQ(t.hops(a, b), t.hops(b, a));
+}
+
+TEST(Torus, HopsNeverExceedMesh) {
+  const Mesh mesh(6, 4, false);
+  const Mesh torus(6, 4, true);
+  for (int a = 0; a < 24; ++a)
+    for (int b = 0; b < 24; ++b) EXPECT_LE(torus.hops(a, b), mesh.hops(a, b));
+}
+
+TEST(Torus, RouteLengthEqualsHops) {
+  const Mesh t(6, 4, true);
+  for (int a = 0; a < t.node_count(); ++a)
+    for (int b = 0; b < t.node_count(); ++b)
+      EXPECT_EQ(static_cast<int>(t.xy_route(a, b).size()), t.hops(a, b))
+          << a << "->" << b;
+}
+
+TEST(Torus, RouteLinksAreAdjacentUnderWrap) {
+  const Mesh t(6, 4, true);
+  const auto route = t.xy_route(t.node({0, 0}), t.node({5, 3}));
+  ASSERT_EQ(route.size(), 2u);
+  // First link wraps west: (0,0) -> (5,0).
+  EXPECT_EQ(route[0].from, t.node({0, 0}));
+  EXPECT_EQ(route[0].to, t.node({5, 0}));
+  // Then wraps south: (5,0) -> (5,3).
+  EXPECT_EQ(route[1].to, t.node({5, 3}));
+  // Contiguity holds.
+  EXPECT_EQ(route[1].from, route[0].to);
+}
+
+TEST(Torus, LinkIndexUniqueIncludingWrapLinks) {
+  const Mesh t(5, 4, true);
+  std::set<int> seen;
+  for (int n = 0; n < t.node_count(); ++n) {
+    const MeshCoord c = t.coord(n);
+    const MeshCoord neighbours[] = {{(c.x + 1) % 5, c.y},
+                                    {(c.x + 4) % 5, c.y},
+                                    {c.x, (c.y + 1) % 4},
+                                    {c.x, (c.y + 3) % 4}};
+    for (const MeshCoord& nb : neighbours) {
+      const int idx = t.link_index({n, t.node(nb)});
+      EXPECT_GE(idx, 0);
+      EXPECT_LT(idx, t.link_index_bound());
+      EXPECT_TRUE(seen.insert(idx).second);
+    }
+  }
+  EXPECT_EQ(static_cast<int>(seen.size()), t.link_count());
+}
+
+TEST(Torus, TieBreakDeterministic) {
+  // Even ring: exactly-halfway distances must pick a consistent direction.
+  const Mesh t(6, 4, true);
+  const auto r1 = t.xy_route(t.node({0, 0}), t.node({3, 0}));
+  const auto r2 = t.xy_route(t.node({0, 0}), t.node({3, 0}));
+  ASSERT_EQ(r1.size(), 3u);
+  for (std::size_t k = 0; k < r1.size(); ++k) EXPECT_EQ(r1[k], r2[k]);
+  // Documented tie-break: positive (eastward) direction.
+  EXPECT_EQ(r1[0].to, t.node({1, 0}));
+}
+
+TEST(Torus, NetworkDeliversOverWrapLinks) {
+  EventQueue q;
+  Network net(q, Mesh(6, 4, true));
+  SimTime corner = 0, same = 0;
+  net.send(0, 23, 256, 0, [&](SimTime t) { corner = t; });
+  q.run();
+  EventQueue q2;
+  Network mesh_net(q2, Mesh(6, 4, false));
+  mesh_net.send(0, 23, 256, 0, [&](SimTime t) { same = t; });
+  q2.run();
+  EXPECT_LT(corner, same);  // 2 hops beats 8 hops
+}
+
+TEST(Torus, MeshBehaviourUnchangedByDefault) {
+  const Mesh m(6, 4);
+  EXPECT_EQ(m.hops(0, 5), 5);  // no wrap by default
+  EXPECT_EQ(m.link_count(), 76);
+}
+
+}  // namespace
+}  // namespace rck::noc

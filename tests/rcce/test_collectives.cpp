@@ -1,0 +1,193 @@
+#include "rck/rcce/collectives.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace rck::rcce {
+namespace {
+
+using bio::Bytes;
+using bio::WireReader;
+using bio::WireWriter;
+
+Bytes text_payload(const std::string& s) {
+  WireWriter w;
+  w.str(s);
+  return w.take();
+}
+
+std::string text_of(const Bytes& b) {
+  WireReader r(b);
+  return r.str();
+}
+
+class Collectives : public ::testing::TestWithParam<std::tuple<int, CollectiveAlgo>> {};
+
+TEST_P(Collectives, BcastDeliversToEveryone) {
+  const auto [p, algo] = GetParam();
+  scc::SpmdRuntime rt{scc::RuntimeConfig{}};
+  rt.run(p, [algo = algo](scc::CoreCtx& ctx) {
+    Comm comm(ctx);
+    Bytes data = comm.ue() == 0 ? text_payload("the broadcast") : Bytes{};
+    const Bytes got = bcast(comm, std::move(data), 0, algo);
+    EXPECT_EQ(text_of(got), "the broadcast");
+  });
+}
+
+TEST_P(Collectives, BcastNonZeroRoot) {
+  const auto [p, algo] = GetParam();
+  if (p < 2) return;
+  scc::SpmdRuntime rt{scc::RuntimeConfig{}};
+  rt.run(p, [algo = algo, p = p](scc::CoreCtx& ctx) {
+    Comm comm(ctx);
+    const int root = p - 1;
+    Bytes data = comm.ue() == root ? text_payload("from the back") : Bytes{};
+    EXPECT_EQ(text_of(bcast(comm, std::move(data), root, algo)), "from the back");
+  });
+}
+
+TEST_P(Collectives, ReduceSumsRankContributions) {
+  const auto [p, algo] = GetParam();
+  scc::SpmdRuntime rt{scc::RuntimeConfig{}};
+  rt.run(p, [algo = algo, p = p](scc::CoreCtx& ctx) {
+    Comm comm(ctx);
+    // Each rank contributes {rank, 1}.
+    std::vector<double> mine{static_cast<double>(comm.ue()), 1.0};
+    const auto result =
+        reduce(comm, mine, [](double a, double b) { return a + b; }, 0, algo);
+    if (comm.ue() == 0) {
+      ASSERT_EQ(result.size(), 2u);
+      EXPECT_DOUBLE_EQ(result[0], p * (p - 1) / 2.0);
+      EXPECT_DOUBLE_EQ(result[1], p);
+    } else {
+      EXPECT_TRUE(result.empty());
+    }
+  });
+}
+
+TEST_P(Collectives, AllreduceEveryoneAgrees) {
+  const auto [p, algo] = GetParam();
+  scc::SpmdRuntime rt{scc::RuntimeConfig{}};
+  rt.run(p, [algo = algo, p = p](scc::CoreCtx& ctx) {
+    Comm comm(ctx);
+    const auto result = allreduce(
+        comm, {static_cast<double>(comm.ue() + 1)},
+        [](double a, double b) { return a > b ? a : b; }, algo);
+    ASSERT_EQ(result.size(), 1u);
+    EXPECT_DOUBLE_EQ(result[0], p);  // max over ranks+1
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndAlgos, Collectives,
+    ::testing::Combine(::testing::Values(1, 2, 3, 7, 8, 16, 48),
+                       ::testing::Values(CollectiveAlgo::Linear,
+                                         CollectiveAlgo::BinomialTree)));
+
+TEST(CollectivesExtra, GatherCollectsByRank) {
+  scc::SpmdRuntime rt{scc::RuntimeConfig{}};
+  rt.run(6, [](scc::CoreCtx& ctx) {
+    Comm comm(ctx);
+    const auto all = gather(comm, text_payload("ue" + std::to_string(comm.ue())));
+    if (comm.ue() == 0) {
+      ASSERT_EQ(all.size(), 6u);
+      for (int r = 0; r < 6; ++r)
+        EXPECT_EQ(text_of(all[static_cast<std::size_t>(r)]), "ue" + std::to_string(r));
+    } else {
+      EXPECT_TRUE(all.empty());
+    }
+  });
+}
+
+TEST(CollectivesExtra, ScatterDeliversPerRankChunks) {
+  scc::SpmdRuntime rt{scc::RuntimeConfig{}};
+  rt.run(5, [](scc::CoreCtx& ctx) {
+    Comm comm(ctx);
+    std::vector<Bytes> chunks;
+    if (comm.ue() == 0)
+      for (int r = 0; r < 5; ++r) chunks.push_back(text_payload("chunk" + std::to_string(r)));
+    const Bytes mine = scatter(comm, std::move(chunks));
+    EXPECT_EQ(text_of(mine), "chunk" + std::to_string(comm.ue()));
+  });
+}
+
+TEST(CollectivesExtra, ScatterGatherRoundTrip) {
+  scc::SpmdRuntime rt{scc::RuntimeConfig{}};
+  rt.run(4, [](scc::CoreCtx& ctx) {
+    Comm comm(ctx);
+    std::vector<Bytes> chunks;
+    if (comm.ue() == 0)
+      for (int r = 0; r < 4; ++r) chunks.push_back(text_payload(std::to_string(r * r)));
+    const Bytes mine = scatter(comm, std::move(chunks));
+    const auto back = gather(comm, mine);
+    if (comm.ue() == 0) {
+      for (int r = 0; r < 4; ++r)
+        EXPECT_EQ(text_of(back[static_cast<std::size_t>(r)]), std::to_string(r * r));
+    }
+  });
+}
+
+TEST(CollectivesExtra, ScatterWrongChunkCountThrows) {
+  scc::SpmdRuntime rt{scc::RuntimeConfig{}};
+  EXPECT_THROW(rt.run(3,
+                      [](scc::CoreCtx& ctx) {
+                        Comm comm(ctx);
+                        std::vector<Bytes> chunks(2);  // need 3
+                        if (comm.ue() == 0) (void)scatter(comm, std::move(chunks));
+                        else (void)scatter(comm, {});
+                      }),
+               std::invalid_argument);
+}
+
+TEST(CollectivesExtra, ConvenienceReductions) {
+  scc::SpmdRuntime rt{scc::RuntimeConfig{}};
+  rt.run(5, [](scc::CoreCtx& ctx) {
+    Comm comm(ctx);
+    EXPECT_DOUBLE_EQ(allreduce_sum(comm, 2.0), 10.0);
+    EXPECT_DOUBLE_EQ(allreduce_max(comm, static_cast<double>(comm.ue())), 4.0);
+  });
+}
+
+TEST(CollectivesExtra, TreeBroadcastBeatsLinearAtScale) {
+  // The point of the tree algorithm: 47 serialized root sends vs ~6 rounds.
+  // Use a large payload so per-message time dominates.
+  auto run_with = [](CollectiveAlgo algo) {
+    scc::SpmdRuntime rt{scc::RuntimeConfig{}};
+    const noc::SimTime t = rt.run(48, [algo](scc::CoreCtx& ctx) {
+      Comm comm(ctx);
+      Bytes data = comm.ue() == 0 ? Bytes(64 * 1024) : Bytes{};
+      (void)bcast(comm, std::move(data), 0, algo);
+      comm.barrier();
+    });
+    return t;
+  };
+  const noc::SimTime linear = run_with(CollectiveAlgo::Linear);
+  const noc::SimTime tree = run_with(CollectiveAlgo::BinomialTree);
+  EXPECT_LT(static_cast<double>(tree), 0.5 * static_cast<double>(linear));
+}
+
+TEST(CollectivesExtra, ReduceLengthMismatchThrows) {
+  scc::SpmdRuntime rt{scc::RuntimeConfig{}};
+  EXPECT_THROW(
+      rt.run(2,
+             [](scc::CoreCtx& ctx) {
+               Comm comm(ctx);
+               std::vector<double> mine(comm.ue() == 0 ? 2 : 3, 1.0);
+               (void)reduce(comm, mine, [](double a, double b) { return a + b; });
+             }),
+      std::invalid_argument);
+}
+
+TEST(CollectivesExtra, BadRootThrows) {
+  scc::SpmdRuntime rt{scc::RuntimeConfig{}};
+  EXPECT_THROW(rt.run(2,
+                      [](scc::CoreCtx& ctx) {
+                        Comm comm(ctx);
+                        (void)bcast(comm, {}, 5);
+                      }),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rck::rcce

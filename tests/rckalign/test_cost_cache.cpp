@@ -1,0 +1,101 @@
+#include "rck/rckalign/cost_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rck/bio/dataset.hpp"
+#include "rck/core/tmalign.hpp"
+
+namespace rck::rckalign {
+namespace {
+
+class CostCacheTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new std::vector<bio::Protein>(bio::build_dataset(bio::tiny_spec()));
+    cache_ = new PairCache(PairCache::build(*dataset_));
+  }
+  static void TearDownTestSuite() {
+    delete cache_;
+    delete dataset_;
+    cache_ = nullptr;
+    dataset_ = nullptr;
+  }
+  static std::vector<bio::Protein>* dataset_;
+  static PairCache* cache_;
+};
+
+std::vector<bio::Protein>* CostCacheTest::dataset_ = nullptr;
+PairCache* CostCacheTest::cache_ = nullptr;
+
+TEST_F(CostCacheTest, Dimensions) {
+  EXPECT_EQ(cache_->chain_count(), 8u);
+  EXPECT_EQ(cache_->pair_count(), 28u);
+}
+
+TEST_F(CostCacheTest, EntriesMatchDirectAlignment) {
+  const core::TmAlignResult direct = core::tmalign((*dataset_)[0], (*dataset_)[3]);
+  const PairEntry& e = cache_->at(0, 3);
+  EXPECT_DOUBLE_EQ(e.tm_norm_a, direct.tm_norm_a);
+  EXPECT_DOUBLE_EQ(e.tm_norm_b, direct.tm_norm_b);
+  EXPECT_DOUBLE_EQ(e.rmsd, direct.rmsd);
+  EXPECT_EQ(e.aligned_length, static_cast<std::uint32_t>(direct.aligned_length));
+  EXPECT_EQ(e.stats, direct.stats);
+}
+
+TEST_F(CostCacheTest, OrderInsensitiveLookup) {
+  EXPECT_EQ(&cache_->at(2, 5), &cache_->at(5, 2));
+}
+
+TEST_F(CostCacheTest, InvalidPairsThrow) {
+  EXPECT_THROW(cache_->at(3, 3), std::out_of_range);
+  EXPECT_THROW(cache_->at(0, 8), std::out_of_range);
+}
+
+TEST_F(CostCacheTest, FootprintsPopulated) {
+  const PairEntry& e = cache_->at(0, 1);
+  EXPECT_EQ(e.footprint_bytes,
+            scc::CoreTimingModel::alignment_footprint((*dataset_)[0].size(),
+                                                      (*dataset_)[1].size()));
+}
+
+TEST_F(CostCacheTest, TotalCyclesIsSumOfPairs) {
+  const scc::CoreTimingModel model = scc::CoreTimingModel::p54c_800();
+  std::uint64_t sum = 0;
+  for (std::uint32_t j = 1; j < 8; ++j)
+    for (std::uint32_t i = 0; i < j; ++i) sum += cache_->pair_cycles(i, j, model);
+  EXPECT_EQ(sum, cache_->total_cycles(model));
+}
+
+TEST_F(CostCacheTest, SingleThreadBuildIdentical) {
+  // Host threading must not change anything (determinism of the cache).
+  const PairCache serial = PairCache::build(*dataset_, 1);
+  const scc::CoreTimingModel model = scc::CoreTimingModel::p54c_800();
+  EXPECT_EQ(serial.total_cycles(model), cache_->total_cycles(model));
+  for (std::uint32_t j = 1; j < 8; ++j)
+    for (std::uint32_t i = 0; i < j; ++i) {
+      EXPECT_DOUBLE_EQ(serial.at(i, j).tm_norm_a, cache_->at(i, j).tm_norm_a);
+      EXPECT_EQ(serial.at(i, j).stats, cache_->at(i, j).stats);
+    }
+}
+
+TEST_F(CostCacheTest, FamilyStructureVisibleInScores) {
+  // tiny: chains 0-2 family a, 3-5 family b, 6-7 family c.
+  const double within_a = cache_->at(0, 1).tm_norm_a;
+  const double cross_ab = cache_->at(0, 3).tm_norm_a;
+  EXPECT_GT(within_a, cross_ab);
+}
+
+TEST(CostCache, PropagatesAlignmentErrors) {
+  // A chain below TM-align's minimum length must surface as an exception
+  // from build(), not a hang or a corrupt cache.
+  std::vector<bio::Protein> bad;
+  bio::Rng rng(1);
+  bad.push_back(bio::make_protein("ok", 30, rng));
+  bad.push_back(bio::Protein("tiny", {{'A', 1, {0, 0, 0}},
+                                      {'G', 2, {3.8, 0, 0}},
+                                      {'L', 3, {7.6, 0, 0}}}));
+  EXPECT_THROW(PairCache::build(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rck::rckalign

@@ -1,0 +1,111 @@
+#include "rck/rckalign/distributed.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rck/bio/dataset.hpp"
+#include "rck/rckalign/app.hpp"
+
+namespace rck::rckalign {
+namespace {
+
+class DistributedTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new std::vector<bio::Protein>(bio::build_dataset(bio::tiny_spec()));
+    cache_ = new PairCache(PairCache::build(*dataset_));
+  }
+  static void TearDownTestSuite() {
+    delete cache_;
+    delete dataset_;
+    cache_ = nullptr;
+    dataset_ = nullptr;
+  }
+  static std::vector<bio::Protein>* dataset_;
+  static PairCache* cache_;
+  static scc::CoreTimingModel p54c() { return scc::CoreTimingModel::p54c_800(); }
+};
+
+std::vector<bio::Protein>* DistributedTest::dataset_ = nullptr;
+PairCache* DistributedTest::cache_ = nullptr;
+
+TEST_F(DistributedTest, BasicRunCountsJobs) {
+  const DistributedRun run = run_distributed(*dataset_, *cache_, 4, p54c());
+  EXPECT_EQ(run.jobs, 28u);
+  EXPECT_GT(run.makespan, 0u);
+  EXPECT_GT(run.disk_busy, 0u);
+  EXPECT_GT(run.spawn_total, 0u);
+}
+
+TEST_F(DistributedTest, SlowerThanRckAlign) {
+  // The paper's Experiment I claim at every core count.
+  for (int n : {1, 2, 4, 8}) {
+    RckAlignOptions opts;
+    opts.slave_count = n;
+    opts.cache = cache_;
+    const noc::SimTime rck = run_rckalign(*dataset_, opts).makespan;
+    const noc::SimTime dist = run_distributed(*dataset_, *cache_, n, p54c()).makespan;
+    EXPECT_GT(dist, rck) << n << " slaves";
+  }
+}
+
+TEST_F(DistributedTest, MoreSlavesFaster) {
+  const noc::SimTime t1 = run_distributed(*dataset_, *cache_, 1, p54c()).makespan;
+  const noc::SimTime t4 = run_distributed(*dataset_, *cache_, 4, p54c()).makespan;
+  EXPECT_GT(t1, t4);
+}
+
+TEST_F(DistributedTest, NfsBottleneckCapsScaling) {
+  // With enough slaves, makespan is bounded below by the serialized disk
+  // time — adding slaves stops helping (the paper's stated cause (a)).
+  DistributedParams params;
+  const DistributedRun many = run_distributed(*dataset_, *cache_, 24, p54c(), params);
+  const DistributedRun more = run_distributed(*dataset_, *cache_, 28, p54c(), params);
+  EXPECT_GE(many.makespan + noc::from_seconds(1.0), more.makespan);
+  // And the floor is at least the total disk service time.
+  EXPECT_GE(more.makespan, more.disk_busy / 2);
+}
+
+TEST_F(DistributedTest, SpawnOverheadScalesWithJobs) {
+  DistributedParams params;
+  const DistributedRun run = run_distributed(*dataset_, *cache_, 2, p54c(), params);
+  EXPECT_EQ(run.spawn_total, 28u * noc::from_seconds(params.spawn_overhead_s));
+}
+
+TEST_F(DistributedTest, ZeroOverheadApproachesComputeBound) {
+  DistributedParams free_io;
+  free_io.spawn_overhead_s = 0.0;
+  free_io.nfs_request_overhead_s = 0.0;
+  free_io.pdb_bytes_per_residue = 0.0;  // zero-size files: exactly no IO time
+  free_io.master_dispatch_s = 0.0;
+  const DistributedRun run = run_distributed(*dataset_, *cache_, 1, p54c(), free_io);
+  const std::uint64_t compute = cache_->total_cycles(p54c());
+  EXPECT_EQ(run.makespan, p54c().cycles_to_time(compute));
+}
+
+TEST_F(DistributedTest, Deterministic) {
+  const DistributedRun a = run_distributed(*dataset_, *cache_, 5, p54c());
+  const DistributedRun b = run_distributed(*dataset_, *cache_, 5, p54c());
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.disk_busy, b.disk_busy);
+}
+
+TEST_F(DistributedTest, Validation) {
+  EXPECT_THROW(run_distributed(*dataset_, *cache_, 0, p54c()), std::invalid_argument);
+  const auto other = bio::build_dataset(bio::ck34_spec());
+  EXPECT_THROW(run_distributed(other, *cache_, 2, p54c()), std::invalid_argument);
+}
+
+TEST_F(DistributedTest, LargerFilesSlowTheDisk) {
+  DistributedParams slow_disk;
+  slow_disk.nfs_bytes_per_s = 1e6;
+  DistributedParams fast_disk;
+  fast_disk.nfs_bytes_per_s = 1e9;
+  const noc::SimTime t_slow =
+      run_distributed(*dataset_, *cache_, 4, p54c(), slow_disk).makespan;
+  const noc::SimTime t_fast =
+      run_distributed(*dataset_, *cache_, 4, p54c(), fast_disk).makespan;
+  EXPECT_GT(t_slow, t_fast);
+}
+
+}  // namespace
+}  // namespace rck::rckalign

@@ -1,0 +1,117 @@
+#include "rck/rckalign/one_vs_all.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "rck/bio/dataset.hpp"
+#include "rck/core/tmalign.hpp"
+
+namespace rck::rckalign {
+namespace {
+
+class OneVsAllTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    database_ = new std::vector<bio::Protein>(bio::build_dataset(bio::tiny_spec()));
+    bio::Rng rng(0xD1CE);
+    // The query is an unseen variant of family b's founder (index 3).
+    query_ = new bio::Protein(bio::perturb((*database_)[3], "query", rng));
+  }
+  static void TearDownTestSuite() {
+    delete query_;
+    delete database_;
+    query_ = nullptr;
+    database_ = nullptr;
+  }
+  static OneVsAllOptions options(int slaves) {
+    OneVsAllOptions o;
+    o.slave_count = slaves;
+    return o;
+  }
+  static std::vector<bio::Protein>* database_;
+  static bio::Protein* query_;
+};
+
+std::vector<bio::Protein>* OneVsAllTest::database_ = nullptr;
+bio::Protein* OneVsAllTest::query_ = nullptr;
+
+TEST_F(OneVsAllTest, EveryEntryScoredOnce) {
+  const OneVsAllRun run = run_one_vs_all(*query_, *database_, options(3));
+  ASSERT_EQ(run.ranked.size(), 1u);
+  EXPECT_EQ(run.ranked[0].size(), database_->size());
+  std::set<std::uint32_t> entries;
+  for (const Hit& h : run.ranked[0]) entries.insert(h.entry);
+  EXPECT_EQ(entries.size(), database_->size());
+}
+
+TEST_F(OneVsAllTest, RankingIsDescendingTm) {
+  const OneVsAllRun run = run_one_vs_all(*query_, *database_, options(4));
+  const auto& hits = run.ranked[0];
+  for (std::size_t k = 1; k < hits.size(); ++k)
+    EXPECT_GE(hits[k - 1].tm_query, hits[k].tm_query);
+}
+
+TEST_F(OneVsAllTest, FamilyMembersRankedFirst) {
+  // tiny family b = indices 3,4,5; the query derives from index 3.
+  const OneVsAllRun run = run_one_vs_all(*query_, *database_, options(4));
+  const auto& hits = run.ranked[0];
+  std::set<std::uint32_t> top3{hits[0].entry, hits[1].entry, hits[2].entry};
+  EXPECT_TRUE(top3.count(3));
+  EXPECT_TRUE(top3.count(4));
+  EXPECT_TRUE(top3.count(5));
+  EXPECT_GT(hits[0].tm_query, 0.5);   // same fold on top
+  EXPECT_LT(hits.back().tm_query, 0.5);  // unrelated folds at the bottom
+}
+
+TEST_F(OneVsAllTest, ScoresMatchDirectAlignment) {
+  const OneVsAllRun run = run_one_vs_all(*query_, *database_, options(2));
+  for (const Hit& h : run.ranked[0]) {
+    const core::TmAlignResult direct = core::tmalign(*query_, (*database_)[h.entry]);
+    EXPECT_DOUBLE_EQ(h.tm_query, direct.tm_norm_a) << h.entry;
+    EXPECT_DOUBLE_EQ(h.rmsd, direct.rmsd) << h.entry;
+  }
+}
+
+TEST_F(OneVsAllTest, MultiMethodAlgorithm1) {
+  OneVsAllOptions opts = options(4);
+  opts.methods = {Method::TmAlign, Method::GaplessRmsd};
+  const OneVsAllRun run = run_one_vs_all(*query_, *database_, opts);
+  ASSERT_EQ(run.ranked.size(), 2u);
+  EXPECT_EQ(run.ranked[0].size(), database_->size());
+  EXPECT_EQ(run.ranked[1].size(), database_->size());
+  // The RMSD method's ranking is ascending rmsd.
+  const auto& hits = run.ranked[1];
+  for (std::size_t k = 1; k < hits.size(); ++k)
+    EXPECT_LE(hits[k - 1].rmsd, hits[k].rmsd);
+  // Both criteria should put a family-b member first.
+  EXPECT_GE(run.ranked[1][0].entry, 3u);
+  EXPECT_LE(run.ranked[1][0].entry, 5u);
+}
+
+TEST_F(OneVsAllTest, MoreSlavesFaster) {
+  const noc::SimTime t1 = run_one_vs_all(*query_, *database_, options(1)).makespan;
+  const noc::SimTime t4 = run_one_vs_all(*query_, *database_, options(4)).makespan;
+  EXPECT_GT(static_cast<double>(t1) / static_cast<double>(t4), 2.0);
+}
+
+TEST_F(OneVsAllTest, Deterministic) {
+  const OneVsAllRun a = run_one_vs_all(*query_, *database_, options(3));
+  const OneVsAllRun b = run_one_vs_all(*query_, *database_, options(3));
+  EXPECT_EQ(a.makespan, b.makespan);
+  ASSERT_EQ(a.ranked[0].size(), b.ranked[0].size());
+  for (std::size_t k = 0; k < a.ranked[0].size(); ++k)
+    EXPECT_EQ(a.ranked[0][k].entry, b.ranked[0][k].entry);
+}
+
+TEST_F(OneVsAllTest, Validation) {
+  EXPECT_THROW(run_one_vs_all(*query_, {}, options(2)), std::invalid_argument);
+  OneVsAllOptions no_methods = options(2);
+  no_methods.methods.clear();
+  EXPECT_THROW(run_one_vs_all(*query_, *database_, no_methods), std::invalid_argument);
+  EXPECT_THROW(run_one_vs_all(*query_, *database_, options(0)), std::invalid_argument);
+  EXPECT_THROW(run_one_vs_all(*query_, *database_, options(99)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rck::rckalign

@@ -1,0 +1,70 @@
+#include "rck/rckskel/job.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rck::rckskel {
+namespace {
+
+bio::Bytes some_payload() {
+  bio::WireWriter w;
+  w.str("job payload");
+  w.u32(99);
+  return w.take();
+}
+
+TEST(JobCodec, ReadyRoundTrip) {
+  const Message m = decode_message(encode_ready());
+  EXPECT_EQ(m.type, MsgType::Ready);
+  EXPECT_TRUE(m.payload.empty());
+}
+
+TEST(JobCodec, TerminateRoundTrip) {
+  const Message m = decode_message(encode_terminate());
+  EXPECT_EQ(m.type, MsgType::Terminate);
+}
+
+TEST(JobCodec, JobRoundTrip) {
+  Job job;
+  job.id = 1234567890123ull;
+  job.payload = some_payload();
+  const Message m = decode_message(encode_job(job));
+  EXPECT_EQ(m.type, MsgType::Job);
+  EXPECT_EQ(m.job_id, job.id);
+  EXPECT_EQ(m.payload, job.payload);
+}
+
+TEST(JobCodec, ResultRoundTrip) {
+  const bio::Bytes payload = some_payload();
+  const Message m = decode_message(encode_result(77, payload));
+  EXPECT_EQ(m.type, MsgType::Result);
+  EXPECT_EQ(m.job_id, 77u);
+  EXPECT_EQ(m.payload, payload);
+}
+
+TEST(JobCodec, EmptyPayloadJob) {
+  Job job;
+  job.id = 5;
+  const Message m = decode_message(encode_job(job));
+  EXPECT_EQ(m.job_id, 5u);
+  EXPECT_TRUE(m.payload.empty());
+}
+
+TEST(JobCodec, UnknownTypeThrows) {
+  bio::WireWriter w;
+  w.u8(9);
+  EXPECT_THROW(decode_message(w.take()), bio::WireError);
+}
+
+TEST(JobCodec, TruncatedJobThrows) {
+  bio::WireWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::Job));
+  w.u32(1);  // not a full u64 id
+  EXPECT_THROW(decode_message(w.take()), bio::WireError);
+}
+
+TEST(JobCodec, EmptyBufferThrows) {
+  EXPECT_THROW(decode_message(bio::Bytes{}), bio::WireError);
+}
+
+}  // namespace
+}  // namespace rck::rckskel

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "rck/rckskel/skeletons.hpp"
+
+namespace rck::rckskel {
+namespace {
+
+using bio::Bytes;
+using bio::WireReader;
+using bio::WireWriter;
+
+Bytes u32_payload(std::uint32_t v) {
+  WireWriter w;
+  w.u32(v);
+  return w.take();
+}
+
+std::uint32_t u32_of(const Bytes& b) {
+  WireReader r(b);
+  return r.u32();
+}
+
+std::vector<Job> numbered_items(std::uint32_t n) {
+  std::vector<Job> items;
+  for (std::uint32_t k = 0; k < n; ++k) {
+    Job j;
+    j.id = k;
+    j.payload = u32_payload(k);
+    items.push_back(std::move(j));
+  }
+  return items;
+}
+
+/// Stage worker: add `delta` to the u32 payload after `cost` of simulated
+/// compute.
+Worker adder(std::uint32_t delta, noc::SimTime cost) {
+  return [delta, cost](rcce::Comm& comm, const Bytes& payload) {
+    comm.charge_time(cost);
+    return u32_payload(u32_of(payload) + delta);
+  };
+}
+
+TEST(Pipe, ThreeStageTransformChain) {
+  // master -> +1 -> +10 -> +100 -> master
+  scc::SpmdRuntime rt{scc::RuntimeConfig{}};
+  std::vector<JobResult> results;
+  rt.run(4, [&](scc::CoreCtx& ctx) {
+    rcce::Comm comm(ctx);
+    switch (comm.ue()) {
+      case 0: {
+        const std::vector<int> stages{1, 2, 3};
+        results = pipe(comm, stages, numbered_items(8));
+        break;
+      }
+      case 1: pipe_stage(comm, 0, 2, adder(1, 0)); break;
+      case 2: pipe_stage(comm, 1, 3, adder(10, 0)); break;
+      case 3: pipe_stage(comm, 2, 0, adder(100, 0)); break;
+    }
+  });
+  ASSERT_EQ(results.size(), 8u);
+  for (std::size_t k = 0; k < 8; ++k) {
+    EXPECT_EQ(results[k].id, k);  // FIFO end-to-end order
+    EXPECT_EQ(u32_of(results[k].payload), k + 111);
+  }
+}
+
+TEST(Pipe, SingleStage) {
+  scc::SpmdRuntime rt{scc::RuntimeConfig{}};
+  std::vector<JobResult> results;
+  rt.run(2, [&](scc::CoreCtx& ctx) {
+    rcce::Comm comm(ctx);
+    if (comm.ue() == 0) {
+      const std::vector<int> stages{1};
+      results = pipe(comm, stages, numbered_items(3));
+    } else {
+      pipe_stage(comm, 0, 0, adder(5, 0));
+    }
+  });
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(u32_of(results[2].payload), 7u);
+}
+
+TEST(Pipe, FillDrainThroughputLaw) {
+  // S equal stages of cost T, N items: makespan ~= (N + S - 1) * T.
+  constexpr int kStages = 4;
+  constexpr std::uint32_t kItems = 16;
+  const noc::SimTime T = noc::kPsPerMs;
+
+  scc::SpmdRuntime rt{scc::RuntimeConfig{}};
+  const noc::SimTime makespan = rt.run(kStages + 1, [&](scc::CoreCtx& ctx) {
+    rcce::Comm comm(ctx);
+    if (comm.ue() == 0) {
+      std::vector<int> stages;
+      for (int s = 1; s <= kStages; ++s) stages.push_back(s);
+      (void)pipe(comm, stages, numbered_items(kItems));
+    } else {
+      const int down = comm.ue() == kStages ? 0 : comm.ue() + 1;
+      pipe_stage(comm, comm.ue() - 1, down, adder(0, T));
+    }
+  });
+  const double ideal = static_cast<double>(kItems + kStages - 1) *
+                       static_cast<double>(T);
+  const double measured = static_cast<double>(makespan);
+  EXPECT_GT(measured, ideal);                 // comms add strictly positive time
+  EXPECT_LT(measured, ideal * 1.05);          // but only a little
+}
+
+TEST(Pipe, EmptyItemListStillTerminatesCleanly) {
+  scc::SpmdRuntime rt{scc::RuntimeConfig{}};
+  std::size_t count = 99;
+  rt.run(2, [&](scc::CoreCtx& ctx) {
+    rcce::Comm comm(ctx);
+    if (comm.ue() == 0) {
+      const std::vector<int> stages{1};
+      count = pipe(comm, stages, {}).size();
+    } else {
+      pipe_stage(comm, 0, 0, adder(1, 0));
+    }
+  });
+  EXPECT_EQ(count, 0u);
+}
+
+TEST(Pipe, MasterCannotBeStage) {
+  scc::SpmdRuntime rt{scc::RuntimeConfig{}};
+  EXPECT_THROW(rt.run(1,
+                      [&](scc::CoreCtx& ctx) {
+                        rcce::Comm comm(ctx);
+                        const std::vector<int> stages{0};
+                        (void)pipe(comm, stages, {});
+                      }),
+               std::invalid_argument);
+}
+
+TEST(Pipe, NoStagesRejected) {
+  scc::SpmdRuntime rt{scc::RuntimeConfig{}};
+  EXPECT_THROW(rt.run(1,
+                      [&](scc::CoreCtx& ctx) {
+                        rcce::Comm comm(ctx);
+                        (void)pipe(comm, {}, {});
+                      }),
+               std::invalid_argument);
+}
+
+TEST(Pipe, PipelineParallelismBeatsSerialExecution) {
+  // The whole point of PIPE: N items through S stages of cost T take
+  // ~(N+S-1)T instead of N*S*T.
+  constexpr int kStages = 3;
+  constexpr std::uint32_t kItems = 12;
+  const noc::SimTime T = noc::kPsPerMs;
+  scc::SpmdRuntime rt{scc::RuntimeConfig{}};
+  const noc::SimTime makespan = rt.run(kStages + 1, [&](scc::CoreCtx& ctx) {
+    rcce::Comm comm(ctx);
+    if (comm.ue() == 0) {
+      std::vector<int> stages;
+      for (int s = 1; s <= kStages; ++s) stages.push_back(s);
+      (void)pipe(comm, stages, numbered_items(kItems));
+    } else {
+      const int down = comm.ue() == kStages ? 0 : comm.ue() + 1;
+      pipe_stage(comm, comm.ue() - 1, down, adder(0, T));
+    }
+  });
+  const double serial = static_cast<double>(kItems) * kStages * static_cast<double>(T);
+  EXPECT_LT(static_cast<double>(makespan), 0.5 * serial);
+}
+
+}  // namespace
+}  // namespace rck::rckskel

@@ -1,0 +1,80 @@
+#include "rck/scc/chip.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rck::scc {
+namespace {
+
+TEST(Chip, PaperTable1Geometry) {
+  const SccConfig c = default_scc();
+  EXPECT_EQ(c.tile_count(), 24);
+  EXPECT_EQ(c.core_count(), 48);
+  EXPECT_EQ(c.cores_per_tile, 2);
+  EXPECT_EQ(c.mesh_cols, 6);
+  EXPECT_EQ(c.mesh_rows, 4);
+  EXPECT_DOUBLE_EQ(c.core_freq_hz, 800e6);
+  EXPECT_EQ(c.mpb_bytes_per_core, 8192u);  // 16 KB per tile / 2 cores
+}
+
+TEST(Chip, CoreToTileMapping) {
+  const SccConfig c = default_scc();
+  EXPECT_EQ(c.tile_of_core(0), 0);
+  EXPECT_EQ(c.tile_of_core(1), 0);
+  EXPECT_EQ(c.tile_of_core(2), 1);
+  EXPECT_EQ(c.tile_of_core(47), 23);
+  EXPECT_EQ(c.router_of_core(46), 23);
+  EXPECT_THROW(c.tile_of_core(48), std::out_of_range);
+  EXPECT_THROW(c.tile_of_core(-1), std::out_of_range);
+}
+
+TEST(Chip, SccCoreNames) {
+  const SccConfig c = default_scc();
+  EXPECT_EQ(c.core_name(0), "rck00");
+  EXPECT_EQ(c.core_name(7), "rck07");
+  EXPECT_EQ(c.core_name(47), "rck47");
+  EXPECT_THROW(c.core_name(48), std::out_of_range);
+}
+
+TEST(Chip, FourMemoryControllersAtEdges) {
+  const SccConfig c = default_scc();
+  const auto mcs = c.memory_controller_routers();
+  ASSERT_EQ(mcs.size(), 4u);
+  const noc::Mesh m = c.make_mesh();
+  for (int mc : mcs) {
+    const noc::MeshCoord pos = m.coord(mc);
+    EXPECT_TRUE(pos.x == 0 || pos.x == 5);
+    EXPECT_TRUE(pos.y == 0 || pos.y == 3);
+  }
+}
+
+TEST(Chip, NearestMcIsActuallyNearest) {
+  const SccConfig c = default_scc();
+  const noc::Mesh m = c.make_mesh();
+  for (int core = 0; core < c.core_count(); ++core) {
+    const int chosen = c.nearest_memory_controller(core);
+    const int router = c.router_of_core(core);
+    for (int mc : c.memory_controller_routers())
+      EXPECT_LE(m.hops(router, chosen), m.hops(router, mc));
+  }
+}
+
+TEST(Chip, DramReadTimeGrowsWithSizeAndDistance) {
+  const SccConfig c = default_scc();
+  const noc::SimTime hop = 8 * noc::kPsPerNs;
+  // Core 0 sits on a corner tile next to an iMC; core 14/15 (tile 7 = (1,1))
+  // is further away.
+  EXPECT_GT(c.dram_read_time(0, 1 << 20, hop), c.dram_read_time(0, 1 << 10, hop));
+  EXPECT_GT(c.dram_read_time(14, 1024, hop), c.dram_read_time(0, 1024, hop));
+}
+
+TEST(Chip, CustomGeometry) {
+  SccConfig c;
+  c.mesh_cols = 8;
+  c.mesh_rows = 8;
+  c.cores_per_tile = 2;
+  EXPECT_EQ(c.core_count(), 128);
+  EXPECT_EQ(c.tile_of_core(127), 63);
+}
+
+}  // namespace
+}  // namespace rck::scc

@@ -1,0 +1,117 @@
+// Tests for the voltage/frequency-island model (per-core clock scaling).
+#include <gtest/gtest.h>
+
+#include "rck/scc/runtime.hpp"
+
+namespace rck::scc {
+namespace {
+
+TEST(Dvfs, DefaultScaleIsUnity) {
+  SpmdRuntime rt{RuntimeConfig{}};
+  rt.run(2, [](CoreCtx& c) { EXPECT_DOUBLE_EQ(c.freq_scale(), 1.0); });
+}
+
+TEST(Dvfs, ScaledCoreTakesProportionallyLonger) {
+  RuntimeConfig cfg;
+  cfg.core_freq_scale = {1.0, 0.5};  // rank 1 at half clock
+  SpmdRuntime rt(cfg);
+  std::array<noc::SimTime, 2> finish{};
+  rt.run(2, [&](CoreCtx& c) {
+    c.charge_cycles(800'000'000);  // 1 s at nominal 800 MHz
+    finish[static_cast<std::size_t>(c.rank())] = c.now();
+  });
+  EXPECT_EQ(finish[0], noc::kPsPerSec);
+  EXPECT_EQ(finish[1], 2 * noc::kPsPerSec);
+}
+
+TEST(Dvfs, FasterThanNominalAllowed) {
+  RuntimeConfig cfg;
+  cfg.core_freq_scale = {2.0};
+  SpmdRuntime rt(cfg);
+  const noc::SimTime t = rt.run(1, [](CoreCtx& c) { c.charge_cycles(800'000'000); });
+  EXPECT_EQ(t, noc::kPsPerSec / 2);
+}
+
+TEST(Dvfs, RanksBeyondVectorGetUnity) {
+  RuntimeConfig cfg;
+  cfg.core_freq_scale = {0.5};  // only rank 0 specified
+  SpmdRuntime rt(cfg);
+  rt.run(3, [](CoreCtx& c) {
+    if (c.rank() == 0)
+      EXPECT_DOUBLE_EQ(c.freq_scale(), 0.5);
+    else
+      EXPECT_DOUBLE_EQ(c.freq_scale(), 1.0);
+  });
+}
+
+TEST(Dvfs, ZeroOrNegativeScaleTreatedAsUnity) {
+  RuntimeConfig cfg;
+  cfg.core_freq_scale = {0.0, -1.0};
+  SpmdRuntime rt(cfg);
+  rt.run(2, [](CoreCtx& c) { EXPECT_DOUBLE_EQ(c.freq_scale(), 1.0); });
+}
+
+TEST(Dvfs, ChargeTimeUnaffectedByScale) {
+  // Explicit-duration charges (I/O, fixed delays) are not clock-scaled.
+  RuntimeConfig cfg;
+  cfg.core_freq_scale = {0.25};
+  SpmdRuntime rt(cfg);
+  const noc::SimTime t = rt.run(1, [](CoreCtx& c) { c.charge(noc::kPsPerMs); });
+  EXPECT_EQ(t, noc::kPsPerMs);
+}
+
+TEST(Dvfs, DynamicReclockTakesEffect) {
+  SpmdRuntime rt{RuntimeConfig{}};
+  const noc::SimTime t = rt.run(1, [](CoreCtx& c) {
+    c.charge_cycles(800'000'000);  // 1 s at nominal
+    const noc::SimTime before = c.now();
+    c.set_freq_scale(2.0);
+    EXPECT_DOUBLE_EQ(c.freq_scale(), 2.0);
+    EXPECT_GT(c.now(), before);  // transition stall charged
+    c.charge_cycles(800'000'000);  // 0.5 s at 2x
+  });
+  EXPECT_GE(t, noc::kPsPerSec + noc::kPsPerSec / 2);
+  EXPECT_LT(t, noc::kPsPerSec + noc::kPsPerSec / 2 + noc::kPsPerMs);
+}
+
+TEST(Dvfs, DynamicOverridesConfig) {
+  RuntimeConfig cfg;
+  cfg.core_freq_scale = {0.5};
+  SpmdRuntime rt(cfg);
+  rt.run(1, [](CoreCtx& c) {
+    EXPECT_DOUBLE_EQ(c.freq_scale(), 0.5);
+    c.set_freq_scale(4.0);
+    EXPECT_DOUBLE_EQ(c.freq_scale(), 4.0);
+  });
+}
+
+TEST(Dvfs, BadScaleThrows) {
+  SpmdRuntime rt{RuntimeConfig{}};
+  EXPECT_THROW(rt.run(1, [](CoreCtx& c) { c.set_freq_scale(0.0); }), SimError);
+}
+
+TEST(Dvfs, HeterogeneousFarmStillCompletes) {
+  RuntimeConfig cfg;
+  cfg.core_freq_scale = {1.0, 1.0, 0.25, 4.0};
+  SpmdRuntime rt(cfg);
+  int done = 0;
+  rt.run(4, [&](CoreCtx& c) {
+    if (c.rank() == 0) {
+      for (int s = 1; s <= 3; ++s) c.send(s, bio::Bytes(8));
+      std::vector<int> slaves{1, 2, 3};
+      for (int k = 0; k < 3; ++k) {
+        const int who = c.wait_any(slaves);
+        (void)c.recv(who);
+        ++done;
+      }
+    } else {
+      (void)c.recv(0);
+      c.charge_cycles(1'000'000);
+      c.send(0, bio::Bytes(8));
+    }
+  });
+  EXPECT_EQ(done, 3);
+}
+
+}  // namespace
+}  // namespace rck::scc

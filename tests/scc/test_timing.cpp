@@ -1,0 +1,117 @@
+#include "rck/scc/timing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rck::scc {
+namespace {
+
+core::AlignStats some_work() {
+  core::AlignStats s;
+  s.dp_cells = 100000;
+  s.matrix_cells = 110000;
+  s.scored_pairs = 60000;
+  s.kabsch_points = 40000;
+  s.kabsch_calls = 500;
+  s.iterations = 8;
+  return s;
+}
+
+TEST(Timing, CyclesAreDeterministic) {
+  const CoreTimingModel m = CoreTimingModel::p54c_800();
+  EXPECT_EQ(m.cycles(some_work()), m.cycles(some_work()));
+}
+
+TEST(Timing, CyclesScaleWithWork) {
+  const CoreTimingModel m = CoreTimingModel::p54c_800();
+  core::AlignStats one = some_work();
+  core::AlignStats two = one + one;
+  const std::uint64_t c1 = m.cycles(one);
+  const std::uint64_t c2 = m.cycles(two);
+  // Doubling the counted work roughly doubles cycles (fixed per-job part
+  // stays constant, so strictly less than 2x).
+  EXPECT_GT(c2, c1);
+  EXPECT_LT(c2, 2 * c1);
+  EXPECT_GT(c2, 2 * c1 - 10'000'000);
+}
+
+TEST(Timing, CyclesToTimeUsesFrequency) {
+  const CoreTimingModel p54c = CoreTimingModel::p54c_800();
+  const CoreTimingModel amd = CoreTimingModel::amd_athlon_2400();
+  // 800 million cycles at 800 MHz = 1 second.
+  EXPECT_EQ(p54c.cycles_to_time(800'000'000), noc::kPsPerSec);
+  // Same cycles at 2.4 GHz = 1/3 second.
+  EXPECT_NEAR(noc::to_seconds(amd.cycles_to_time(800'000'000)), 1.0 / 3.0, 1e-9);
+}
+
+TEST(Timing, ProfileNames) {
+  EXPECT_EQ(CoreTimingModel::p54c_800().name(), "P54C@800MHz");
+  EXPECT_EQ(CoreTimingModel::amd_athlon_2400().name(), "AMD-AthlonIIX2@2.4GHz");
+}
+
+TEST(Timing, AmdFasterThanP54cOnSameWork) {
+  const CoreTimingModel p54c = CoreTimingModel::p54c_800();
+  const CoreTimingModel amd = CoreTimingModel::amd_athlon_2400();
+  const core::AlignStats w = some_work();
+  const double ratio = static_cast<double>(p54c.time(w)) / static_cast<double>(amd.time(w));
+  // Table III: the AMD is ~4-5x faster per core on cache-resident work.
+  EXPECT_GT(ratio, 3.0);
+  EXPECT_LT(ratio, 7.0);
+}
+
+TEST(Timing, CachePressureSlowsAmdMore) {
+  // The calibrated story for Table III's dataset-dependent AMD advantage:
+  // the fast core pays relatively more once the working set spills.
+  const CoreTimingModel p54c = CoreTimingModel::p54c_800();
+  const CoreTimingModel amd = CoreTimingModel::amd_athlon_2400();
+  const core::AlignStats w = some_work();
+  const std::uint64_t small_fp = 100 * 1024;         // fits both caches
+  const std::uint64_t large_fp = 16 * 1024 * 1024;   // spills both
+  const double p54c_slowdown = static_cast<double>(p54c.cycles(w, large_fp)) /
+                               static_cast<double>(p54c.cycles(w, small_fp));
+  const double amd_slowdown = static_cast<double>(amd.cycles(w, large_fp)) /
+                              static_cast<double>(amd.cycles(w, small_fp));
+  EXPECT_GT(amd_slowdown, p54c_slowdown);
+}
+
+TEST(Timing, FootprintBelowCacheHasNoPenalty) {
+  const CoreTimingModel amd = CoreTimingModel::amd_athlon_2400();
+  const core::AlignStats w = some_work();
+  EXPECT_EQ(amd.cycles(w, 0), amd.cycles(w, 512 * 1024));
+}
+
+TEST(Timing, FootprintRampSaturates) {
+  const CoreTimingModel amd = CoreTimingModel::amd_athlon_2400();
+  const core::AlignStats w = some_work();
+  // Beyond 4x the cache size the ramp is flat.
+  EXPECT_EQ(amd.cycles(w, 8 * 1024 * 1024), amd.cycles(w, 64 * 1024 * 1024));
+}
+
+TEST(Timing, AlignmentFootprintFormula) {
+  // (L1+1)(L2+1)*9 + L1*L2*8 + (L1+L2)*24
+  EXPECT_EQ(CoreTimingModel::alignment_footprint(10, 20),
+            11u * 21u * 9u + 10u * 20u * 8u + 30u * 24u);
+  EXPECT_GT(CoreTimingModel::alignment_footprint(500, 500),
+            CoreTimingModel::alignment_footprint(100, 100));
+}
+
+TEST(Timing, EmptyStatsStillChargeFixedCost) {
+  const CoreTimingModel m = CoreTimingModel::p54c_800();
+  EXPECT_GT(m.cycles(core::AlignStats{}), 0u);  // per-job fixed cycles
+}
+
+TEST(AlignStats, Arithmetic) {
+  core::AlignStats a;
+  a.dp_cells = 5;
+  a.kabsch_calls = 1;
+  core::AlignStats b;
+  b.dp_cells = 7;
+  b.iterations = 2;
+  const core::AlignStats c = a + b;
+  EXPECT_EQ(c.dp_cells, 12u);
+  EXPECT_EQ(c.kabsch_calls, 1u);
+  EXPECT_EQ(c.iterations, 2u);
+  EXPECT_EQ(c.total_ops(), 12u);
+}
+
+}  // namespace
+}  // namespace rck::scc

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+#include "rck/scc/gantt.hpp"
+#include "rck/scc/runtime.hpp"
+
+namespace rck::scc {
+namespace {
+
+RuntimeConfig traced_config() {
+  RuntimeConfig cfg;
+  cfg.enable_trace = true;
+  return cfg;
+}
+
+TEST(Trace, DisabledByDefault) {
+  SpmdRuntime rt{RuntimeConfig{}};
+  rt.run(2, [](CoreCtx& c) {
+    if (c.rank() == 0) c.send(1, bio::Bytes(8));
+    else (void)c.recv(0);
+  });
+  EXPECT_TRUE(rt.trace().empty());
+}
+
+TEST(Trace, RecordsAllKinds) {
+  SpmdRuntime rt(traced_config());
+  rt.run(2, [](CoreCtx& c) {
+    if (c.rank() == 0) {
+      c.dram_read(1024);
+      c.charge(noc::kPsPerMs);
+      c.send(1, bio::Bytes(64));
+      (void)c.probe(1);
+    } else {
+      (void)c.recv(0);  // blocks first
+    }
+  });
+  bool has[6] = {};
+  for (const TraceEvent& ev : rt.trace())
+    has[static_cast<std::size_t>(ev.kind)] = true;
+  EXPECT_TRUE(has[static_cast<std::size_t>(TraceEvent::Kind::Compute)]);
+  EXPECT_TRUE(has[static_cast<std::size_t>(TraceEvent::Kind::Send)]);
+  EXPECT_TRUE(has[static_cast<std::size_t>(TraceEvent::Kind::Recv)]);
+  EXPECT_TRUE(has[static_cast<std::size_t>(TraceEvent::Kind::Poll)]);
+  EXPECT_TRUE(has[static_cast<std::size_t>(TraceEvent::Kind::Dram)]);
+  EXPECT_TRUE(has[static_cast<std::size_t>(TraceEvent::Kind::Blocked)]);
+}
+
+TEST(Trace, IntervalsAreWellFormed) {
+  SpmdRuntime rt(traced_config());
+  const noc::SimTime makespan = rt.run(3, [](CoreCtx& c) {
+    if (c.rank() == 0) {
+      for (int s : {1, 2}) c.send(s, bio::Bytes(32));
+      for (int s : {1, 2}) (void)c.recv(s);
+    } else {
+      (void)c.recv(0);
+      c.charge(noc::kPsPerMs);
+      c.send(0, bio::Bytes(8));
+    }
+  });
+  ASSERT_FALSE(rt.trace().empty());
+  for (const TraceEvent& ev : rt.trace()) {
+    EXPECT_LT(ev.start, ev.end);
+    EXPECT_LE(ev.end, makespan);
+    EXPECT_GE(ev.rank, 0);
+    EXPECT_LT(ev.rank, 3);
+  }
+}
+
+TEST(Trace, PerCoreIntervalsDoNotOverlap) {
+  SpmdRuntime rt(traced_config());
+  rt.run(2, [](CoreCtx& c) {
+    if (c.rank() == 0) {
+      c.charge(noc::kPsPerUs);
+      c.send(1, bio::Bytes(16));
+      (void)c.recv(1);
+    } else {
+      (void)c.recv(0);
+      c.charge(2 * noc::kPsPerUs);
+      c.send(0, bio::Bytes(16));
+    }
+  });
+  // Events for one rank, in recorded order, must be non-overlapping.
+  std::array<noc::SimTime, 2> last_end{0, 0};
+  for (const TraceEvent& ev : rt.trace()) {
+    EXPECT_GE(ev.start, last_end[static_cast<std::size_t>(ev.rank)]);
+    last_end[static_cast<std::size_t>(ev.rank)] = ev.end;
+  }
+}
+
+TEST(Trace, BusyTimeMatchesReports) {
+  SpmdRuntime rt(traced_config());
+  rt.run(1, [](CoreCtx& c) {
+    c.charge(3 * noc::kPsPerMs);
+    c.charge(noc::kPsPerMs);
+  });
+  noc::SimTime traced_busy = 0;
+  for (const TraceEvent& ev : rt.trace())
+    if (ev.kind != TraceEvent::Kind::Blocked) traced_busy += ev.end - ev.start;
+  EXPECT_EQ(traced_busy, rt.core_reports()[0].busy);
+}
+
+TEST(Gantt, RendersOneRowPerCore) {
+  SpmdRuntime rt(traced_config());
+  const noc::SimTime makespan = rt.run(3, [](CoreCtx& c) {
+    c.charge((static_cast<noc::SimTime>(c.rank()) + 1) * noc::kPsPerMs);
+  });
+  GanttOptions opts;
+  opts.width = 40;
+  const std::string chart = render_gantt(rt.trace(), 3, makespan, opts);
+  EXPECT_NE(chart.find("rck00 |"), std::string::npos);
+  EXPECT_NE(chart.find("rck02 |"), std::string::npos);
+  EXPECT_NE(chart.find("master"), std::string::npos);
+  EXPECT_NE(chart.find("legend") == std::string::npos ? chart.find("C compute")
+                                                      : chart.find("C compute"),
+            std::string::npos);
+  // Core 2 computed for the whole makespan: its row is all 'C'.
+  const std::size_t row2 = chart.find("rck02 |") + 7;
+  for (std::size_t c = 0; c < 40; ++c) EXPECT_EQ(chart[row2 + c], 'C');
+  // Core 0 computed for a third: its row has idle columns.
+  const std::size_t row0 = chart.find("rck00 |") + 7;
+  EXPECT_EQ(chart[row0 + 39], '.');
+}
+
+TEST(Gantt, KindCharactersDistinct) {
+  std::set<char> chars;
+  chars.insert(gantt_char(TraceEvent::Kind::Compute));
+  chars.insert(gantt_char(TraceEvent::Kind::Send));
+  chars.insert(gantt_char(TraceEvent::Kind::Recv));
+  chars.insert(gantt_char(TraceEvent::Kind::Poll));
+  chars.insert(gantt_char(TraceEvent::Kind::Dram));
+  chars.insert(gantt_char(TraceEvent::Kind::Blocked));
+  EXPECT_EQ(chars.size(), 6u);
+}
+
+TEST(Gantt, RejectsBadDimensions) {
+  EXPECT_THROW(render_gantt({}, 0, 100), std::invalid_argument);
+  GanttOptions bad;
+  bad.width = 0;
+  EXPECT_THROW(render_gantt({}, 1, 100, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rck::scc
