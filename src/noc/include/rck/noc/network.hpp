@@ -50,7 +50,13 @@ struct NetworkStats {
   std::uint64_t total_bytes = 0;
   std::uint64_t total_hops = 0;
   SimTime total_queueing = 0;  ///< time messages spent waiting for busy links
+  std::uint64_t dropped = 0;   ///< messages injected with Delivery::Drop
 };
+
+/// What happens to a message at its destination endpoint. Drop models a
+/// lossy link fault: the message transits (occupying links like any other
+/// traffic) but is discarded at the destination NIC and never delivered.
+enum class Delivery : std::uint8_t { Deliver, Drop };
 
 class Network {
  public:
@@ -60,10 +66,11 @@ class Network {
   const NetworkParams& params() const noexcept { return params_; }
 
   /// Inject a message at simulated time `depart` (>= queue.now()).
-  /// `on_delivered` fires as an event at the arrival time.
-  /// Returns the computed arrival time.
+  /// `on_delivered` fires as an event at the arrival time (never called when
+  /// `disposition` is Delivery::Drop). Returns the computed arrival time.
   SimTime send(int src_router, int dst_router, std::uint64_t bytes, SimTime depart,
-               std::function<void(SimTime)> on_delivered);
+               std::function<void(SimTime)> on_delivered,
+               Delivery disposition = Delivery::Deliver);
 
   /// Pure latency query: delivery time for an uncontended message.
   SimTime uncontended_latency(int src_router, int dst_router, std::uint64_t bytes) const;

@@ -26,7 +26,7 @@ SimTime Network::uncontended_latency(int src, int dst, std::uint64_t bytes) cons
 }
 
 SimTime Network::send(int src, int dst, std::uint64_t bytes, SimTime depart,
-                      std::function<void(SimTime)> on_delivered) {
+                      std::function<void(SimTime)> on_delivered, Delivery disposition) {
   // Wormhole-style pipelining: the message head advances one hop_latency per
   // router while the body streams behind it, so the uncontended end-to-end
   // latency is sw + hops * hop_latency + one transfer time. Each traversed
@@ -56,6 +56,10 @@ SimTime Network::send(int src, int dst, std::uint64_t bytes, SimTime depart,
   stats_.total_queueing += queueing;
 
   const SimTime arrival = t;
+  if (disposition == Delivery::Drop) {
+    stats_.dropped += 1;
+    return arrival;
+  }
   queue_.schedule_at(arrival, [cb = std::move(on_delivered), arrival] { cb(arrival); });
   return arrival;
 }

@@ -11,6 +11,7 @@
 // execution), one per core, identified by its rank.
 #pragma once
 
+#include <optional>
 #include <span>
 #include <string>
 
@@ -42,12 +43,28 @@ class Comm {
   /// RCCE_recv(): blocking receive from `source`.
   bio::Bytes recv(int source) { return ctx_->recv(source); }
 
+  /// Timed receive: like recv() but gives up after `timeout` of simulated
+  /// time and returns std::nullopt (clock advanced to the deadline). The
+  /// fault-tolerant skeletons use this to detect a silent peer.
+  std::optional<bio::Bytes> recv_timeout(int source, noc::SimTime timeout) {
+    return ctx_->recv_timeout(source, timeout);
+  }
+
   /// RCCE flag test: true if a message from `source` is pending.
   bool test(int source) { return ctx_->probe(source); }
 
   /// Poll the given UEs round-robin until one has a pending message;
   /// returns that UE. (rckskel's COLLECT busy-loop, fast-forwarded.)
   int wait_any(std::span<const int> sources) { return ctx_->wait_any(sources); }
+
+  /// Timed wait_any: returns -1 once `timeout` of simulated time passes
+  /// with no pending message from any of `sources`.
+  int wait_any_timeout(std::span<const int> sources, noc::SimTime timeout) {
+    return ctx_->wait_any_timeout(sources, timeout);
+  }
+
+  /// Liveness oracle: false once `ue` has been killed by the fault plan.
+  bool ue_alive(int ue) const { return ctx_->peer_alive(ue); }
 
   /// RCCE_barrier() across all UEs.
   void barrier() { ctx_->barrier(); }

@@ -64,10 +64,17 @@ RckAlignRun run_rckalign(const std::vector<bio::Protein>& dataset,
 
       std::vector<int> slaves(static_cast<std::size_t>(opts.slave_count));
       std::iota(slaves.begin(), slaves.end(), 1);
-      rckskel::FarmOptions fopts;
-      fopts.lpt_order = opts.lpt;
       const rckskel::Task task = rckskel::Task::make_par(slaves, std::move(jobs));
-      std::vector<rckskel::JobResult> collected = rckskel::farm(comm, task, fopts);
+      std::vector<rckskel::JobResult> collected;
+      if (opts.fault_tolerant) {
+        rckskel::FaultTolerantFarmOptions ftopts = opts.ft;
+        ftopts.base.lpt_order = opts.lpt;
+        collected = rckskel::farm_ft(comm, task, ftopts, &run.farm_report);
+      } else {
+        rckskel::FarmOptions fopts;
+        fopts.lpt_order = opts.lpt;
+        collected = rckskel::farm(comm, task, fopts);
+      }
 
       run.results.reserve(collected.size());
       for (rckskel::JobResult& jr : collected) {
@@ -76,10 +83,16 @@ RckAlignRun run_rckalign(const std::vector<bio::Protein>& dataset,
                                       o.seq_identity, o.aligned_length, jr.worker});
       }
     } else {
-      rckskel::farm_slave(comm, kMaster,
-                          [cache](rcce::Comm& c, const bio::Bytes& payload) {
-                            return detail::execute_pair_job(c, payload, cache);
-                          });
+      const rckskel::Worker worker = [cache](rcce::Comm& c, const bio::Bytes& payload) {
+        return detail::execute_pair_job(c, payload, cache);
+      };
+      if (opts.fault_tolerant) {
+        rckskel::FaultTolerantFarmOptions ftopts = opts.ft;
+        ftopts.base.lpt_order = opts.lpt;
+        rckskel::farm_slave_ft(comm, kMaster, worker, ftopts);
+      } else {
+        rckskel::farm_slave(comm, kMaster, worker);
+      }
     }
   };
 

@@ -1,6 +1,7 @@
 #include "rck/rckalign/distributed.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <queue>
 #include <stdexcept>
 
@@ -15,6 +16,22 @@ DistributedRun run_distributed(const std::vector<bio::Protein>& dataset,
   if (nslaves < 1) throw std::invalid_argument("run_distributed: nslaves >= 1");
   if (cache.chain_count() != dataset.size())
     throw std::invalid_argument("run_distributed: cache/dataset mismatch");
+  // Reject non-finite / out-of-range parameters up front: a zero bandwidth
+  // or negative overhead would otherwise flow through from_seconds and yield
+  // NaN/negative simulated times silently. The negated comparisons are
+  // deliberate so NaN fails each check.
+  if (!(params.spawn_overhead_s >= 0.0) || !std::isfinite(params.spawn_overhead_s) ||
+      !(params.master_dispatch_s >= 0.0) || !std::isfinite(params.master_dispatch_s) ||
+      !(params.nfs_request_overhead_s >= 0.0) ||
+      !std::isfinite(params.nfs_request_overhead_s))
+    throw std::invalid_argument(
+        "run_distributed: overheads must be finite and non-negative");
+  if (!(params.nfs_bytes_per_s > 0.0) || !std::isfinite(params.nfs_bytes_per_s))
+    throw std::invalid_argument("run_distributed: nfs_bytes_per_s must be positive");
+  if (!(params.pdb_bytes_per_residue >= 0.0) ||
+      !std::isfinite(params.pdb_bytes_per_residue))
+    throw std::invalid_argument(
+        "run_distributed: pdb_bytes_per_residue must be finite and non-negative");
 
   using noc::SimTime;
   const SimTime spawn = noc::from_seconds(params.spawn_overhead_s);

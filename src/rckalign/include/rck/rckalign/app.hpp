@@ -18,6 +18,7 @@
 #include "rck/noc/network.hpp"
 #include "rck/rckalign/codec.hpp"
 #include "rck/rckalign/cost_cache.hpp"
+#include "rck/rckskel/skeletons.hpp"
 #include "rck/scc/runtime.hpp"
 
 namespace rck::rckalign {
@@ -34,6 +35,14 @@ struct RckAlignOptions {
   Method method = Method::TmAlign;
   /// LPT (longest-first) job ordering; the paper used FIFO.
   bool lpt = false;
+  /// Use the fault-tolerant farm (leases, retry, blacklist) instead of the
+  /// paper's plain FARM. Required whenever runtime.faults is non-empty, and
+  /// harmless without faults (simulated makespan is within lease-bookkeeping
+  /// noise of the plain farm).
+  bool fault_tolerant = false;
+  /// Resilience knobs for the fault-tolerant farm (leases, retries,
+  /// timeouts); base.lpt_order is overridden by `lpt` above.
+  rckskel::FaultTolerantFarmOptions ft{};
 };
 
 /// One collected pairwise result.
@@ -59,6 +68,8 @@ struct RckAlignRun {
   std::vector<scc::TraceEvent> trace;
   /// Link-utilization heatmap (populated when opts.runtime.enable_trace).
   std::string link_heatmap;
+  /// Recovery bookkeeping (populated when opts.fault_tolerant is set).
+  rckskel::FarmReport farm_report{};
 };
 
 /// Run the all-vs-all task over `dataset` on the simulated SCC.

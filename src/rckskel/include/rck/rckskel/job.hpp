@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "rck/bio/serialize.hpp"
@@ -40,7 +41,14 @@ enum class MsgType : std::uint8_t {
   Terminate = 4,
 };
 
-/// Encode the skeleton-protocol messages.
+/// FNV-1a 32-bit checksum over `data`, as carried in every protocol frame.
+/// Exposed so tests (and the fault injector) can craft or verify frames.
+std::uint32_t wire_checksum(std::span<const std::byte> data) noexcept;
+
+/// Encode the skeleton-protocol messages. Every frame is
+/// [u32 checksum][u8 type][type-specific body]; the checksum covers
+/// everything after itself, so a corrupted or truncated frame is detected
+/// at decode time instead of poisoning the farm.
 bio::Bytes encode_ready();
 bio::Bytes encode_job(const Job& job);
 bio::Bytes encode_result(std::uint64_t job_id, const bio::Bytes& payload);

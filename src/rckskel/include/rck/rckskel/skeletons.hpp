@@ -24,6 +24,7 @@
 #include <span>
 #include <vector>
 
+#include "rck/noc/sim_time.hpp"
 #include "rck/rcce/rcce.hpp"
 #include "rck/rckskel/job.hpp"
 
@@ -112,6 +113,68 @@ using Worker = std::function<bio::Bytes(rcce::Comm&, const bio::Bytes&)>;
 /// FARM (slave side): READY handshake, then serve jobs until TERMINATE.
 void farm_slave(rcce::Comm& comm, int master_ue, const Worker& worker,
                 const FarmOptions& opts = {});
+
+// ---- Fault-tolerant FARM ---------------------------------------------------
+// farm() above assumes perfectly reliable slaves and mesh, like the paper's
+// hardware. farm_ft() tolerates the failure modes the simulator can inject:
+// slave crashes (before READY, mid-job, or after sending a result), dropped
+// or corrupted protocol messages, and slow storage. The master grants each
+// dispatched job a simulated-time *lease*; when the lease expires the job is
+// reassigned to a live slave (bounded retries with geometric backoff), the
+// silent slave is probed via the liveness oracle and blacklisted if dead,
+// and duplicate results from slow-but-alive slaves are deduplicated by job
+// id. Every frame's checksum is verified; a corrupt frame is treated as a
+// loss and the implicated job re-sent. The farm completes all jobs as long
+// as at least one slave allowed to run them survives.
+
+/// Options controlling farm_ft / farm_slave_ft.
+struct FaultTolerantFarmOptions {
+  FarmOptions base{};
+  /// How long the master waits for READY handshakes before blacklisting the
+  /// slaves that stayed silent.
+  noc::SimTime ready_timeout = 100 * noc::kPsPerMs;
+  /// Fixed per-job lease. 0 (default) derives the lease from the job's
+  /// cost_hint: lease_margin + lease_slack * predicted compute time.
+  noc::SimTime lease = 0;
+  noc::SimTime lease_margin = 100 * noc::kPsPerMs;
+  double lease_slack = 3.0;
+  /// Give up (throw) once a single job has been dispatched this many times.
+  int max_attempts = 5;
+  /// Lease multiplier applied on each retry, so a lease that proved too
+  /// short grows geometrically instead of expiring forever.
+  double retry_backoff = 2.0;
+  /// Slave side: how long a slave waits in silence before checking whether
+  /// the master is still alive (returning if not).
+  noc::SimTime master_silence_timeout = 2 * noc::kPsPerSec;
+};
+
+/// Recovery bookkeeping returned by farm_ft. Deterministic: the same
+/// FaultPlan and task yield a bit-identical report.
+struct FarmReport {
+  std::size_t jobs = 0;              ///< jobs in the task tree
+  std::size_t attempts = 0;          ///< total dispatches (>= jobs)
+  std::size_t retries = 0;           ///< re-dispatches after a first attempt
+  std::size_t reassignments = 0;     ///< retries that moved to another slave
+  std::size_t lease_expiries = 0;    ///< leases that ran out
+  std::size_t corrupt_frames = 0;    ///< frames rejected by checksum
+  std::size_t duplicate_results = 0; ///< late results discarded by dedup
+  std::vector<int> dead_ues;         ///< slaves blacklisted as crashed
+  noc::SimTime wasted = 0;           ///< simulated time burned by expired leases
+  bool operator==(const FarmReport&) const = default;
+};
+
+/// FARM (master side), fault-tolerant. Same task semantics as farm();
+/// results are ordered by completion. Throws std::runtime_error when no live
+/// slave can run a remaining job or a job exhausts max_attempts.
+std::vector<JobResult> farm_ft(rcce::Comm& comm, const Task& task,
+                               const FaultTolerantFarmOptions& opts = {},
+                               FarmReport* report = nullptr);
+
+/// FARM (slave side), fault-tolerant: tolerates corrupt frames (the master's
+/// lease re-sends the job) and a dead master (returns instead of blocking
+/// forever).
+void farm_slave_ft(rcce::Comm& comm, int master_ue, const Worker& worker,
+                   const FaultTolerantFarmOptions& opts = {});
 
 // ---- PIPE ------------------------------------------------------------------
 // The paper motivates rckskel with "combining processes running on different

@@ -2,10 +2,34 @@
 
 namespace rck::rckskel {
 
+namespace {
+
+/// Prefix the body with its checksum to form a complete wire frame.
+bio::Bytes seal(const bio::Bytes& body) {
+  bio::WireWriter w;
+  w.u32(wire_checksum(body));
+  w.raw(body);
+  return w.take();
+}
+
+}  // namespace
+
+std::uint32_t wire_checksum(std::span<const std::byte> data) noexcept {
+  // FNV-1a: cheap, deterministic, and sensitive to single-bit flips — enough
+  // to catch the simulator's injected corruption (this is an error-detection
+  // code, not a cryptographic one).
+  std::uint32_t h = 2166136261u;
+  for (const std::byte b : data) {
+    h ^= static_cast<std::uint32_t>(b);
+    h *= 16777619u;
+  }
+  return h;
+}
+
 bio::Bytes encode_ready() {
   bio::WireWriter w;
   w.u8(static_cast<std::uint8_t>(MsgType::Ready));
-  return w.take();
+  return seal(w.take());
 }
 
 bio::Bytes encode_job(const Job& job) {
@@ -13,7 +37,7 @@ bio::Bytes encode_job(const Job& job) {
   w.u8(static_cast<std::uint8_t>(MsgType::Job));
   w.u64(job.id);
   w.raw(job.payload);
-  return w.take();
+  return seal(w.take());
 }
 
 bio::Bytes encode_result(std::uint64_t job_id, const bio::Bytes& payload) {
@@ -21,17 +45,23 @@ bio::Bytes encode_result(std::uint64_t job_id, const bio::Bytes& payload) {
   w.u8(static_cast<std::uint8_t>(MsgType::Result));
   w.u64(job_id);
   w.raw(payload);
-  return w.take();
+  return seal(w.take());
 }
 
 bio::Bytes encode_terminate() {
   bio::WireWriter w;
   w.u8(static_cast<std::uint8_t>(MsgType::Terminate));
-  return w.take();
+  return seal(w.take());
 }
 
 Message decode_message(bio::Bytes raw) {
-  bio::WireReader r(std::move(raw));
+  if (raw.size() < 5)
+    throw bio::WireError("decode_message: truncated frame");
+  const std::span<const std::byte> body(raw.data() + 4, raw.size() - 4);
+  bio::WireReader hdr(std::span<const std::byte>(raw.data(), 4));
+  if (hdr.u32() != wire_checksum(body))
+    throw bio::WireError("decode_message: checksum mismatch");
+  bio::WireReader r(body);  // view into `raw`, which outlives the reads
   Message m;
   const std::uint8_t t = r.u8();
   if (t < 1 || t > 4) throw bio::WireError("decode_message: unknown type");

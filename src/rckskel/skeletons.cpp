@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <deque>
 #include <stdexcept>
+#include <unordered_map>
 
 namespace rck::rckskel {
 
@@ -122,6 +124,8 @@ void par(rcce::Comm& comm, std::span<const int> ues, std::span<const Job> jobs) 
 
 std::vector<JobResult> collect(rcce::Comm& comm, std::span<const int> ues,
                                std::size_t expected) {
+  if (ues.empty() && expected > 0)
+    throw scc::SimError("collect: empty UE set with results expected");
   std::vector<JobResult> results;
   results.reserve(expected);
   while (results.size() < expected) {
@@ -294,6 +298,297 @@ void farm_slave(rcce::Comm& comm, int master_ue, const Worker& worker,
         return;
       default:
         throw std::runtime_error("farm_slave: unexpected message type");
+    }
+  }
+}
+
+std::vector<JobResult> farm_ft(rcce::Comm& comm, const Task& task,
+                               const FaultTolerantFarmOptions& opts,
+                               FarmReport* report) {
+  std::vector<FlatGroup> groups;
+  flatten(task, {}, groups, -1);
+
+  std::size_t total = 0;
+  std::vector<int> slaves;  // union of all UE sets, ascending, deduplicated
+  for (FlatGroup& g : groups) {
+    total += g.jobs.size();
+    for (int ue : g.ues) {
+      if (ue == comm.ue())
+        throw std::invalid_argument("farm_ft: master UE cannot be a slave");
+      slaves.push_back(ue);
+    }
+    if (opts.base.lpt_order)
+      std::stable_sort(g.jobs.begin(), g.jobs.end(),
+                       [](const Job* a, const Job* b) { return a->cost_hint > b->cost_hint; });
+  }
+  std::sort(slaves.begin(), slaves.end());
+  slaves.erase(std::unique(slaves.begin(), slaves.end()), slaves.end());
+  if (slaves.empty()) throw std::invalid_argument("farm_ft: no slave UEs");
+  const auto slave_index = [&](int ue) {
+    return static_cast<std::size_t>(
+        std::lower_bound(slaves.begin(), slaves.end(), ue) - slaves.begin());
+  };
+
+  // Every job gets a tracker carrying its lease and attempt state. Recovery
+  // is keyed by job id, so ids must be unique across the whole task tree
+  // (plain farm() never needed this; the FT protocol does).
+  struct Tracked {
+    const Job* job = nullptr;
+    std::size_t group = 0;
+    int attempts = 0;
+    int slave = -1;  // slave *index* of the latest dispatch, -1 = never sent
+    noc::SimTime dispatched_at = 0;
+    noc::SimTime lease_deadline = 0;
+    bool done = false;
+  };
+  std::vector<Tracked> tracked;
+  tracked.reserve(total);
+  std::unordered_map<std::uint64_t, std::size_t> by_id;  // lookups only
+  by_id.reserve(total);
+  std::vector<std::deque<std::size_t>> pending(groups.size());
+  for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+    for (const Job* j : groups[gi].jobs) {
+      if (!by_id.emplace(j->id, tracked.size()).second)
+        throw std::invalid_argument("farm_ft: duplicate job id " +
+                                    std::to_string(j->id));
+      pending[gi].push_back(tracked.size());
+      tracked.push_back(Tracked{j, gi, 0, -1, 0, 0, false});
+    }
+  }
+
+  FarmReport rep;
+  rep.jobs = total;
+  std::vector<char> alive(slaves.size(), 1);
+  const auto blacklist = [&](std::size_t si) {
+    if (!alive[si]) return;
+    alive[si] = 0;
+    rep.dead_ues.push_back(slaves[si]);
+  };
+
+  // check_ready with a deadline: any frame from a slave proves it is alive
+  // (a corrupt READY still came from a live core); slaves silent past the
+  // deadline are blacklisted before the first job is risked on them.
+  if (opts.base.wait_ready) {
+    const noc::SimTime deadline = comm.ctx().now() + opts.ready_timeout;
+    std::vector<char> seen(slaves.size(), 0);
+    std::vector<int> waiting;
+    for (;;) {
+      waiting.clear();
+      for (std::size_t si = 0; si < slaves.size(); ++si)
+        if (!seen[si]) waiting.push_back(slaves[si]);
+      if (waiting.empty()) break;
+      const noc::SimTime now = comm.ctx().now();
+      const int ue = now < deadline
+                         ? comm.wait_any_timeout(waiting, deadline - now)
+                         : -1;
+      if (ue < 0) {
+        for (std::size_t si = 0; si < slaves.size(); ++si)
+          if (!seen[si]) blacklist(si);
+        break;
+      }
+      const std::size_t si = slave_index(ue);
+      try {
+        const Message msg = decode_message(comm.recv(ue));
+        if (msg.type != MsgType::Ready)
+          throw std::runtime_error("farm_ft: expected READY from UE " +
+                                   std::to_string(ue));
+      } catch (const bio::WireError&) {
+        ++rep.corrupt_frames;
+      }
+      seen[si] = 1;
+    }
+    if (rep.dead_ues.size() == slaves.size())
+      throw std::runtime_error("farm_ft: no slave answered READY");
+  }
+
+  const auto lease_for = [&](const Tracked& t) {
+    noc::SimTime base = opts.lease;
+    if (base == 0) {
+      const noc::SimTime est = comm.ctx().timing().cycles_to_time(t.job->cost_hint);
+      base = opts.lease_margin +
+             static_cast<noc::SimTime>(opts.lease_slack * static_cast<double>(est));
+    }
+    double mult = 1.0;
+    for (int a = 1; a < t.attempts; ++a) mult *= opts.retry_backoff;
+    return static_cast<noc::SimTime>(static_cast<double>(base) * mult);
+  };
+
+  std::vector<JobResult> results;
+  results.reserve(total);
+  std::size_t completed = 0;
+  // slave_job[si]: tracked index currently leased to slave si, or -1.
+  std::vector<int> slave_job(slaves.size(), -1);
+  // Job ids sent to si and not yet resolved: FIFO per-flow ordering lets a
+  // checksum failure be attributed to the oldest outstanding frame.
+  std::vector<std::deque<std::uint64_t>> outstanding(slaves.size());
+
+  const auto requeue = [&](std::size_t ti) {
+    Tracked& t = tracked[ti];
+    FlatGroup& g = groups[t.group];
+    if (g.seq) g.inflight = false;
+    pending[t.group].push_front(ti);  // retry before untouched work
+  };
+
+  const auto try_dispatch = [&]() {
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (std::size_t si = 0; si < slaves.size(); ++si) {
+        if (!alive[si] || slave_job[si] != -1) continue;
+        for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+          FlatGroup& g = groups[gi];
+          if (pending[gi].empty()) continue;
+          if (g.seq && g.inflight) continue;
+          if (!group_complete(groups, g.after)) continue;
+          if (std::find(g.ues.begin(), g.ues.end(), slaves[si]) == g.ues.end()) continue;
+          const std::size_t ti = pending[gi].front();
+          pending[gi].pop_front();
+          Tracked& t = tracked[ti];
+          ++t.attempts;
+          ++rep.attempts;
+          if (t.attempts > 1) {
+            ++rep.retries;
+            if (t.slave != static_cast<int>(si)) ++rep.reassignments;
+          }
+          if (t.attempts > opts.max_attempts)
+            throw std::runtime_error("farm_ft: job " + std::to_string(t.job->id) +
+                                     " exceeded max_attempts");
+          comm.send(slaves[si], encode_job(*t.job));
+          t.slave = static_cast<int>(si);
+          t.dispatched_at = comm.ctx().now();
+          t.lease_deadline = t.dispatched_at + lease_for(t);
+          outstanding[si].push_back(t.job->id);
+          slave_job[si] = static_cast<int>(ti);
+          if (g.seq) g.inflight = true;
+          progress = true;
+          break;
+        }
+      }
+    }
+  };
+
+  std::vector<int> busy;
+  while (completed < total) {
+    try_dispatch();
+    busy.clear();
+    noc::SimTime next_deadline = 0;
+    for (std::size_t si = 0; si < slaves.size(); ++si) {
+      if (!alive[si] || slave_job[si] == -1) continue;
+      busy.push_back(slaves[si]);
+      const noc::SimTime d = tracked[static_cast<std::size_t>(slave_job[si])].lease_deadline;
+      if (next_deadline == 0 || d < next_deadline) next_deadline = d;
+    }
+    if (busy.empty())
+      throw std::runtime_error(
+          "farm_ft: jobs remain but no live slave may run them");
+
+    const noc::SimTime now = comm.ctx().now();
+    const int ue = next_deadline > now
+                       ? comm.wait_any_timeout(busy, next_deadline - now)
+                       : -1;
+    if (ue >= 0) {
+      const std::size_t si = slave_index(ue);
+      bool ok = true;
+      Message msg;
+      try {
+        msg = decode_message(comm.recv(ue));
+      } catch (const bio::WireError&) {
+        ok = false;
+      }
+      if (!ok) {
+        ++rep.corrupt_frames;
+        if (!outstanding[si].empty()) {
+          const std::uint64_t jid = outstanding[si].front();
+          outstanding[si].pop_front();
+          const std::size_t ti = by_id.at(jid);
+          if (!tracked[ti].done && slave_job[si] == static_cast<int>(ti)) {
+            // The mangled frame was this job's RESULT: retry immediately
+            // instead of waiting out the lease.
+            slave_job[si] = -1;
+            requeue(ti);
+          }
+        }
+        continue;
+      }
+      if (msg.type != MsgType::Result)
+        throw std::runtime_error("farm_ft: unexpected message type from UE " +
+                                 std::to_string(ue));
+      auto& q = outstanding[si];
+      const auto qit = std::find(q.begin(), q.end(), msg.job_id);
+      if (qit != q.end()) q.erase(qit);
+      const auto it = by_id.find(msg.job_id);
+      if (it == by_id.end())
+        throw std::runtime_error("farm_ft: result for unknown job " +
+                                 std::to_string(msg.job_id));
+      Tracked& t = tracked[it->second];
+      if (t.done) {
+        ++rep.duplicate_results;  // a slow slave beaten by its replacement
+        continue;
+      }
+      t.done = true;
+      ++completed;
+      FlatGroup& g = groups[t.group];
+      ++g.completed;
+      if (g.seq) g.inflight = false;
+      for (std::size_t sj = 0; sj < slaves.size(); ++sj)
+        if (slave_job[sj] == static_cast<int>(it->second)) slave_job[sj] = -1;
+      results.push_back(JobResult{msg.job_id, ue, std::move(msg.payload)});
+    } else {
+      // Deadline passed with no frame: expire every overdue lease. A dead
+      // slave is blacklisted; an alive one is merely slow (or its JOB was
+      // dropped), so it stays eligible and its late result will dedup.
+      const noc::SimTime t_now = comm.ctx().now();
+      for (std::size_t si = 0; si < slaves.size(); ++si) {
+        if (!alive[si] || slave_job[si] == -1) continue;
+        const std::size_t ti = static_cast<std::size_t>(slave_job[si]);
+        Tracked& t = tracked[ti];
+        if (t.lease_deadline > t_now) continue;
+        ++rep.lease_expiries;
+        rep.wasted += t_now - t.dispatched_at;
+        if (!comm.ue_alive(slaves[si])) {
+          blacklist(si);
+          outstanding[si].clear();
+        }
+        slave_job[si] = -1;
+        requeue(ti);
+      }
+    }
+  }
+
+  // TERMINATE goes to every slave, dead or not: a blacklisted-but-alive
+  // slave (e.g. one whose READY was dropped) must not block forever, and a
+  // dead core simply never receives it.
+  if (opts.base.send_terminate) send_terminate(comm, slaves);
+  if (report) *report = rep;
+  return results;
+}
+
+void farm_slave_ft(rcce::Comm& comm, int master_ue, const Worker& worker,
+                   const FaultTolerantFarmOptions& opts) {
+  if (opts.base.wait_ready) comm.send(master_ue, encode_ready());
+  for (;;) {
+    std::optional<bio::Bytes> frame =
+        comm.recv_timeout(master_ue, opts.master_silence_timeout);
+    if (!frame) {
+      if (!comm.ue_alive(master_ue)) return;  // orphaned by a master crash
+      continue;                               // quiet spell; keep listening
+    }
+    Message msg;
+    try {
+      msg = decode_message(std::move(*frame));
+    } catch (const bio::WireError&) {
+      continue;  // corrupted JOB: the master's lease re-sends it
+    }
+    switch (msg.type) {
+      case MsgType::Job: {
+        bio::Bytes out = worker(comm, msg.payload);
+        comm.send(master_ue, encode_result(msg.job_id, out));
+        break;
+      }
+      case MsgType::Terminate:
+        return;
+      default:
+        break;  // tolerate protocol noise instead of dying on it
     }
   }
 }

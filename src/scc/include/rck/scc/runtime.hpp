@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -53,6 +54,58 @@ class DeadlockError : public SimError {
   using SimError::SimError;
 };
 
+/// Raised when the simulation stalls because injected faults killed the
+/// cores the survivors are waiting on. Distinct from DeadlockError so tests
+/// and callers can tell a crash-induced stall from a programming error.
+class FaultStallError : public SimError {
+ public:
+  using SimError::SimError;
+};
+
+/// Deterministic fault-injection plan. Every trigger is keyed on simulated
+/// time or a per-flow message sequence number, never on host state, so a run
+/// with faults active replays bit-for-bit.
+struct FaultPlan {
+  /// Kill `rank` at simulated time `at`: the core stops executing at its
+  /// next operation boundary >= `at` (an operation already spanning `at`
+  /// completes), and every message delivered to it afterwards is dropped.
+  struct Crash {
+    int rank = -1;
+    noc::SimTime at = 0;
+  };
+
+  /// Drop or corrupt the `nth` message (0-based) sent on the (src, dst)
+  /// flow. A dropped message occupies the mesh like normal traffic but is
+  /// discarded at the destination NIC; a corrupted one is delivered with
+  /// deterministically flipped payload bits (an empty payload is dropped
+  /// instead, since there is nothing to flip).
+  struct MessageFault {
+    enum class Kind : std::uint8_t { Drop, Corrupt };
+    Kind kind = Kind::Drop;
+    int src = -1;
+    int dst = -1;
+    std::uint64_t nth = 0;
+  };
+
+  /// Transient storage stall (a wedged DRAM channel / NFS server): dram_read
+  /// operations *starting* inside [from, until) on `rank` (-1 = every rank)
+  /// cost `slowdown` times their nominal time. Overlapping windows compound.
+  struct Stall {
+    int rank = -1;
+    noc::SimTime from = 0;
+    noc::SimTime until = 0;
+    double slowdown = 10.0;
+  };
+
+  std::vector<Crash> crashes;
+  std::vector<MessageFault> messages;
+  std::vector<Stall> stalls;
+
+  bool empty() const noexcept {
+    return crashes.empty() && messages.empty() && stalls.empty();
+  }
+};
+
 struct RuntimeConfig {
   SccConfig chip = default_scc();
   noc::NetworkParams net{};
@@ -70,6 +123,9 @@ struct RuntimeConfig {
   /// Record a per-core activity trace (see SpmdRuntime::trace). Adds a few
   /// hundred bytes per simulated operation; off by default.
   bool enable_trace = false;
+  /// Deterministic fault injection (core crashes, message loss/corruption,
+  /// storage stalls). Empty by default: no faults.
+  FaultPlan faults{};
 };
 
 /// One recorded activity interval of a core (when tracing is enabled).
@@ -98,6 +154,8 @@ struct CoreReport {
   std::uint64_t messages_received = 0;
   std::uint64_t bytes_sent = 0;
   std::uint64_t bytes_received = 0;
+  bool crashed = false;          ///< killed by the FaultPlan before finishing
+  noc::SimTime crashed_at = 0;   ///< crash trigger time (valid when crashed)
 };
 
 /// Per-core interface handed to the SPMD program. All methods must be called
@@ -135,6 +193,12 @@ class CoreCtx {
   /// Block until a message from `src` is available, then return it.
   bio::Bytes recv(int src);
 
+  /// Like recv(), but give up after `timeout` of simulated time: returns
+  /// std::nullopt with the clock advanced to the deadline. The timeout is
+  /// relative to now(). This is how programs detect silence (a crashed or
+  /// partitioned peer) instead of blocking forever.
+  std::optional<bio::Bytes> recv_timeout(int src, noc::SimTime timeout);
+
   /// Non-blocking test for a pending message from `src` (one poll charged).
   bool probe(int src);
 
@@ -143,6 +207,15 @@ class CoreCtx {
   /// several are pending, selection is round-robin over `srcs` starting
   /// after the last pick — exactly the master's polling loop in the paper.
   int wait_any(std::span<const int> srcs);
+
+  /// Like wait_any(), but give up after `timeout` of simulated time and
+  /// return -1 with the clock advanced to the deadline.
+  int wait_any_timeout(std::span<const int> srcs, noc::SimTime timeout);
+
+  /// Liveness oracle: false once `rank` has been killed by the FaultPlan
+  /// (as of this core's current simulated time). Deterministic: a crash at
+  /// time T is visible exactly to queries at simulated time >= T.
+  bool peer_alive(int rank) const;
 
   /// Full-program barrier across all nranks.
   void barrier();

@@ -5,8 +5,10 @@
 #include <deque>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <thread>
+#include <tuple>
 
 namespace rck::scc {
 
@@ -16,6 +18,10 @@ namespace {
 /// Not derived from std::exception on purpose: program code that catches
 /// (std::exception&) will not swallow it.
 struct AbortSim {};
+
+/// Thrown into a single program thread to unwind it when its core is killed
+/// by the FaultPlan. Same non-std::exception rationale as AbortSim.
+struct CrashUnwind {};
 
 constexpr noc::SimTime kInf = ~noc::SimTime{0};
 
@@ -52,6 +58,10 @@ struct CoreState {
   std::size_t rr_cursor = 0;                 // wait_any fairness state
   double freq_scale_dynamic = 0.0;           // runtime DVFS override; 0 = config
 
+  bool dead = false;            // killed by the FaultPlan; thread must unwind
+  bool timed_out = false;       // last blocking wait ended by its deadline
+  std::uint64_t wait_epoch = 0; // bumped on every wake; invalidates stale timers
+
   CoreReport report;
   std::exception_ptr error;
   std::condition_variable cv;
@@ -79,6 +89,12 @@ struct SpmdRuntime::Impl {
 
   std::vector<TraceEvent> trace;
 
+  // Fault-injection state, built once in run() from cfg.faults.
+  std::map<std::tuple<int, int, std::uint64_t>, FaultPlan::MessageFault::Kind>
+      msg_faults;                      // (src, dst, nth) -> action
+  std::vector<std::uint64_t> flow_sent;  // per (src, dst) message counters
+  std::uint64_t dead_letters = 0;        // deliveries dropped at a dead core
+
   void record(int rank, TraceEvent::Kind kind, noc::SimTime start, noc::SimTime end) {
     if (cfg.enable_trace && end > start) trace.push_back({rank, kind, start, end});
   }
@@ -91,14 +107,19 @@ struct SpmdRuntime::Impl {
   }
 
   /// Park the calling core's thread with the given status and wait until the
-  /// scheduler resumes it. Lock must be held; rethrows AbortSim on shutdown.
+  /// scheduler resumes it. Lock must be held; rethrows AbortSim on shutdown
+  /// and CrashUnwind once this core has been killed by the fault plan.
   void yield(CoreState& st, std::unique_lock<std::mutex>& lock,
              CoreState::Status status) {
+    if (st.dead) throw CrashUnwind{};
     st.status = status;
     if (status == CoreState::Status::Blocked) st.blocked_since = st.vtime;
     sched_cv.notify_all();
-    st.cv.wait(lock, [&] { return st.status == CoreState::Status::Running || shutdown; });
+    st.cv.wait(lock, [&] {
+      return st.status == CoreState::Status::Running || shutdown || st.dead;
+    });
     if (shutdown) throw AbortSim{};
+    if (st.dead) throw CrashUnwind{};
   }
 
   /// Advance the core's clock (busy) and give the scheduler a chance to
@@ -126,7 +147,53 @@ struct SpmdRuntime::Impl {
     st.vtime = resume;
     st.wait_src = CoreState::kWaitNone;
     st.wait_set.clear();
+    ++st.wait_epoch;  // any pending wait deadline no longer applies
     st.status = CoreState::Status::Ready;
+  }
+
+  /// Schedule a deadline event for a core about to block in a timed wait.
+  /// The event is a no-op unless the core is still parked in the same wait
+  /// (epoch match) when the deadline arrives. Lock held.
+  void arm_timer(CoreState& st, noc::SimTime deadline) {
+    const std::uint64_t epoch = st.wait_epoch;
+    queue.schedule_at(std::max(deadline, queue.now()), [this, &st, epoch, deadline] {
+      if (st.wait_epoch == epoch && st.status == CoreState::Status::Blocked &&
+          !st.dead) {
+        st.timed_out = true;
+        wake(st, deadline);
+      }
+    });
+  }
+
+  /// Kill a core at simulated time `t` (fires from the event queue; lock is
+  /// held by the scheduler). The program thread unwinds via CrashUnwind the
+  /// next time it runs; reap_dead() below guarantees that happens before the
+  /// scheduler makes any further decision.
+  void apply_crash(CoreState& st, noc::SimTime t) {
+    if (st.dead || st.status == CoreState::Status::Done) return;
+    st.dead = true;
+    st.report.crashed = true;
+    st.report.crashed_at = t;
+    if (st.status == CoreState::Status::Blocked) {
+      const noc::SimTime until = std::max(st.vtime, t);
+      record(st.rank, TraceEvent::Kind::Blocked, st.blocked_since, until);
+      st.report.blocked += until - st.blocked_since;
+    }
+    st.vtime = std::max(st.vtime, t);
+    st.in_barrier = false;  // an arrived-then-crashed core stays counted
+    ++st.wait_epoch;
+    st.cv.notify_all();
+  }
+
+  /// Wait for every crashed-but-not-yet-unwound thread to reach Done so the
+  /// scheduler never reasons about half-dead cores. Lock must be held.
+  void reap_dead(std::unique_lock<std::mutex>& lock) {
+    for (auto& c : cores) {
+      if (c->dead && c->status != CoreState::Status::Done) {
+        c->cv.notify_all();
+        sched_cv.wait(lock, [&] { return c->status == CoreState::Status::Done; });
+      }
+    }
   }
 
   // ---- CoreCtx operations (called from program threads) -------------------
@@ -166,8 +233,12 @@ struct SpmdRuntime::Impl {
 
   void op_dram_read(CoreState& st, std::uint64_t bytes) {
     std::unique_lock lock(m);
-    advance(st, lock, cfg.chip.dram_read_time(st.rank, bytes, cfg.net.hop_latency),
-            TraceEvent::Kind::Dram);
+    noc::SimTime cost = cfg.chip.dram_read_time(st.rank, bytes, cfg.net.hop_latency);
+    for (const FaultPlan::Stall& s : cfg.faults.stalls) {
+      if ((s.rank < 0 || s.rank == st.rank) && st.vtime >= s.from && st.vtime < s.until)
+        cost = static_cast<noc::SimTime>(static_cast<double>(cost) * s.slowdown + 0.5);
+    }
+    advance(st, lock, cost, TraceEvent::Kind::Dram);
   }
 
   void op_send(CoreState& st, int dst, bio::Bytes payload) {
@@ -175,13 +246,35 @@ struct SpmdRuntime::Impl {
     std::unique_lock lock(m);
     const std::uint64_t bytes = payload.size() + kMsgHeaderBytes;
     CoreState* d = cores[static_cast<std::size_t>(dst)].get();
+
+    // Fault lookup for this flow's next message.
+    const std::uint64_t nth =
+        flow_sent[static_cast<std::size_t>(st.rank) * static_cast<std::size_t>(nranks) +
+                  static_cast<std::size_t>(dst)]++;
+    auto fault = msg_faults.find({st.rank, dst, nth});
+    bool corrupt = false;
+    auto disposition = noc::Delivery::Deliver;
+    if (fault != msg_faults.end()) {
+      if (fault->second == FaultPlan::MessageFault::Kind::Corrupt && !payload.empty())
+        corrupt = true;
+      else
+        disposition = noc::Delivery::Drop;  // Drop, or Corrupt with nothing to flip
+    }
+
     network.send(
         router_of(st.rank), router_of(dst), bytes, st.vtime,
-        [this, d, src = st.rank, p = std::move(payload)](noc::SimTime arrival) mutable {
+        [this, d, src = st.rank, corrupt,
+         p = std::move(payload)](noc::SimTime arrival) mutable {
+          if (d->dead) {  // dead cores receive nothing
+            ++dead_letters;
+            return;
+          }
+          if (corrupt) p[p.size() / 2] ^= std::byte{0xA5};
           d->inbox[src].push_back(Message{src, std::move(p), arrival});
           if (d->status == CoreState::Status::Blocked && wants_message_from(*d, src))
             wake(*d, arrival);
-        });
+        },
+        disposition);
     st.report.messages_sent += 1;
     st.report.bytes_sent += bytes;
     advance(st, lock, network.endpoint_occupancy(bytes), TraceEvent::Kind::Send);
@@ -238,6 +331,71 @@ struct SpmdRuntime::Impl {
     }
   }
 
+  /// True when the last blocking wait was ended by its deadline timer.
+  static bool consume_timeout(CoreState& st) {
+    if (!st.timed_out) return false;
+    st.timed_out = false;
+    return true;
+  }
+
+  std::optional<bio::Bytes> op_recv_timeout(CoreState& st, int src,
+                                            noc::SimTime timeout) {
+    check_rank(src, "recv_timeout");
+    std::unique_lock lock(m);
+    const noc::SimTime deadline = st.vtime + timeout;
+    for (;;) {
+      std::deque<Message>& q = st.inbox[src];
+      if (!q.empty()) {
+        Message msg = std::move(q.front());
+        q.pop_front();
+        st.vtime = std::max(st.vtime, msg.arrival);
+        const std::uint64_t bytes = msg.payload.size() + kMsgHeaderBytes;
+        st.report.messages_received += 1;
+        st.report.bytes_received += bytes;
+        advance(st, lock, network.endpoint_occupancy(bytes), TraceEvent::Kind::Recv);
+        return std::move(msg.payload);
+      }
+      if (st.vtime >= deadline) return std::nullopt;
+      st.wait_src = src;
+      arm_timer(st, deadline);
+      yield(st, lock, CoreState::Status::Blocked);
+      if (consume_timeout(st)) return std::nullopt;
+    }
+  }
+
+  int op_wait_any_timeout(CoreState& st, std::span<const int> srcs,
+                          noc::SimTime timeout) {
+    if (srcs.empty()) throw SimError("wait_any_timeout: empty source set");
+    for (int s : srcs) check_rank(s, "wait_any_timeout");
+    std::unique_lock lock(m);
+    const noc::SimTime deadline = st.vtime + timeout;
+    for (;;) {
+      advance(st, lock, cfg.poll_cost, TraceEvent::Kind::Poll);  // one polling sweep
+      for (std::size_t k = 0; k < srcs.size(); ++k) {
+        const std::size_t idx = (st.rr_cursor + k) % srcs.size();
+        const int s = srcs[idx];
+        const auto it = st.inbox.find(s);
+        if (it != st.inbox.end() && !it->second.empty()) {
+          st.rr_cursor = (idx + 1) % srcs.size();
+          return s;
+        }
+      }
+      if (st.vtime >= deadline) return -1;
+      st.wait_src = CoreState::kWaitAny;
+      st.wait_set.assign(srcs.begin(), srcs.end());
+      arm_timer(st, deadline);
+      yield(st, lock, CoreState::Status::Blocked);
+      if (consume_timeout(st)) return -1;
+    }
+  }
+
+  bool op_peer_alive(const CoreState& st, int rank) {
+    (void)st;
+    check_rank(rank, "peer_alive");
+    std::unique_lock lock(m);
+    return !cores[static_cast<std::size_t>(rank)]->dead;
+  }
+
   void op_barrier(CoreState& st) {
     std::unique_lock lock(m);
     barrier_time = std::max(barrier_time, st.vtime);
@@ -259,6 +417,7 @@ struct SpmdRuntime::Impl {
           c->report.blocked += release - c->blocked_since;
           c->vtime = release;
           c->wait_src = CoreState::kWaitNone;
+          ++c->wait_epoch;
           c->status = CoreState::Status::Ready;
         }
       }
@@ -288,6 +447,8 @@ struct SpmdRuntime::Impl {
         case CoreState::Status::Done: os << "done"; break;
       }
       os << " t=" << noc::to_seconds(c->vtime) << "s";
+      if (c->report.crashed)
+        os << " CRASHED@" << noc::to_seconds(c->report.crashed_at) << "s";
       if (c->status == CoreState::Status::Blocked) {
         if (c->in_barrier) os << " in-barrier";
         else if (c->wait_src == CoreState::kWaitAny) os << " wait-any";
@@ -336,8 +497,15 @@ void CoreCtx::send(int dst, bio::Bytes payload) {
   rt_->impl_->op_send(*st_, dst, std::move(payload));
 }
 bio::Bytes CoreCtx::recv(int src) { return rt_->impl_->op_recv(*st_, src); }
+std::optional<bio::Bytes> CoreCtx::recv_timeout(int src, noc::SimTime timeout) {
+  return rt_->impl_->op_recv_timeout(*st_, src, timeout);
+}
 bool CoreCtx::probe(int src) { return rt_->impl_->op_probe(*st_, src); }
 int CoreCtx::wait_any(std::span<const int> srcs) { return rt_->impl_->op_wait_any(*st_, srcs); }
+int CoreCtx::wait_any_timeout(std::span<const int> srcs, noc::SimTime timeout) {
+  return rt_->impl_->op_wait_any_timeout(*st_, srcs, timeout);
+}
+bool CoreCtx::peer_alive(int rank) const { return rt_->impl_->op_peer_alive(*st_, rank); }
 void CoreCtx::barrier() { rt_->impl_->op_barrier(*st_); }
 
 // ---- SpmdRuntime -----------------------------------------------------------
@@ -380,11 +548,35 @@ noc::SimTime SpmdRuntime::run(int nranks, const Program& program) {
   im.used = true;
   im.nranks = nranks;
 
+  // Validate and install the fault plan. Crashes become ordinary events in
+  // the deterministic queue; message faults become an exact-match lookup.
+  for (const FaultPlan::Crash& c : im.cfg.faults.crashes) {
+    if (c.rank < 0 || c.rank >= nranks)
+      throw SimError("fault plan: crash rank out of range");
+  }
+  for (const FaultPlan::MessageFault& f : im.cfg.faults.messages) {
+    if (f.src < 0 || f.src >= nranks || f.dst < 0 || f.dst >= nranks)
+      throw SimError("fault plan: message fault rank out of range");
+    im.msg_faults[{f.src, f.dst, f.nth}] = f.kind;
+  }
+  for (const FaultPlan::Stall& s : im.cfg.faults.stalls) {
+    if (s.rank >= nranks) throw SimError("fault plan: stall rank out of range");
+    if (s.slowdown <= 0.0) throw SimError("fault plan: stall slowdown must be positive");
+    if (s.until < s.from) throw SimError("fault plan: stall window ends before it starts");
+  }
+  im.flow_sent.assign(static_cast<std::size_t>(nranks) * static_cast<std::size_t>(nranks),
+                      0);
+
   im.cores.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) {
     auto st = std::make_unique<CoreState>();
     st->rank = r;
     im.cores.push_back(std::move(st));
+  }
+  for (const FaultPlan::Crash& c : im.cfg.faults.crashes) {
+    CoreState& victim = *im.cores[static_cast<std::size_t>(c.rank)];
+    im.queue.schedule_at(c.at,
+                         [&im, &victim, at = c.at] { im.apply_crash(victim, at); });
   }
   // Spawn program threads; each parks until the scheduler admits it.
   for (int r = 0; r < nranks; ++r) {
@@ -395,10 +587,11 @@ noc::SimTime SpmdRuntime::run(int nranks, const Program& program) {
       {
         std::unique_lock lock(impl.m);
         st.cv.wait(lock, [&] {
-          return st.status == CoreState::Status::Running || impl.shutdown;
+          return st.status == CoreState::Status::Running || impl.shutdown || st.dead;
         });
-        if (impl.shutdown) {
+        if (impl.shutdown || st.dead) {
           st.status = CoreState::Status::Done;
+          st.report.finish = st.vtime;
           impl.sched_cv.notify_all();
           return;
         }
@@ -407,6 +600,8 @@ noc::SimTime SpmdRuntime::run(int nranks, const Program& program) {
         program(ctx);
       } catch (const AbortSim&) {
         // unwound by shutdown; nothing to record
+      } catch (const CrashUnwind&) {
+        // this core was killed by the fault plan; its report says so
       } catch (...) {
         std::unique_lock lock(impl.m);
         st.error = std::current_exception();
@@ -437,19 +632,56 @@ noc::SimTime SpmdRuntime::run(int nranks, const Program& program) {
       const noc::SimTime t_core = pick != nullptr ? pick->vtime : kInf;
 
       if (!im.queue.empty() && t_evt <= t_core) {
-        im.queue.run_one();  // deliveries may wake blocked cores
+        im.queue.run_one();  // deliveries may wake blocked cores, or kill one
+        im.reap_dead(lock);  // let just-crashed threads unwind to Done first
         continue;
       }
       if (pick == nullptr) {
         // No runnable core and no pending event: a genuine deadlock, unless
-        // some core already failed and left its peers waiting.
+        // some core already failed and left its peers waiting — or the fault
+        // plan killed the cores the survivors are waiting on.
         for (auto& c : im.cores)
           if (c->error) failure = c->error;
         const std::string dump = im.state_dump();
+        bool any_crashed = false;
+        std::string crashed_ranks;
+        for (auto& c : im.cores) {
+          if (!c->report.crashed) continue;
+          any_crashed = true;
+          if (!crashed_ranks.empty()) crashed_ranks += ", ";
+          crashed_ranks += std::to_string(c->rank);
+        }
+        // The stall is fault-attributable iff every surviving blocked core is
+        // waiting on something a crash can explain: a dead sender, a wait_any
+        // set containing a dead member, or a barrier some crashed core will
+        // never reach.
+        bool fault_stall = any_crashed;
+        if (any_crashed) {
+          for (auto& c : im.cores) {
+            if (c->status != CoreState::Status::Blocked || c->dead) continue;
+            bool attributable = false;
+            if (c->in_barrier) {
+              attributable = true;  // any_crashed: a dead core never arrives
+            } else if (c->wait_src >= 0) {
+              attributable = im.cores[static_cast<std::size_t>(c->wait_src)]->dead;
+            } else if (c->wait_src == CoreState::kWaitAny) {
+              for (int s : c->wait_set)
+                if (im.cores[static_cast<std::size_t>(s)]->dead) attributable = true;
+            }
+            if (!attributable) {
+              fault_stall = false;
+              break;
+            }
+          }
+        }
         im.shutdown_all(lock);
         if (failure) break;
         lock.unlock();
         im.join_all();
+        if (fault_stall)
+          throw FaultStallError("fault-induced stall: surviving cores wait on "
+                                "crashed core(s) " +
+                                crashed_ranks + "\n" + dump);
         throw DeadlockError("simulation deadlock: all cores blocked\n" + dump);
       }
 

@@ -3,6 +3,8 @@
 // the bench binaries print the full tables.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "rck/harness/experiments.hpp"
 #include "rck/harness/paper_data.hpp"
 
@@ -107,6 +109,25 @@ TEST_F(Shapes, DistributedBaselineShowsNfsSaturation) {
       static_cast<double>(at47.disk_busy) / static_cast<double>(at47.makespan);
   EXPECT_LT(util1, 0.10);
   EXPECT_GT(util47, 0.60);
+}
+
+TEST_F(Shapes, FaultTolerantFarmNoFaultParityOnCk34) {
+  // The lease/checksum machinery must be free when nothing fails: the
+  // fault-tolerant farm's CK34 makespan matches the plain farm within 1%.
+  rckalign::RckAlignOptions plain;
+  plain.slave_count = 47;
+  plain.runtime = harness::default_runtime();
+  plain.cache = &ctx_->ck34_cache;
+  rckalign::RckAlignOptions ft = plain;
+  ft.fault_tolerant = true;
+  const rckalign::RckAlignRun a = rckalign::run_rckalign(ctx_->ck34, plain);
+  const rckalign::RckAlignRun b = rckalign::run_rckalign(ctx_->ck34, ft);
+  ASSERT_EQ(a.results.size(), b.results.size());
+  EXPECT_EQ(b.farm_report.retries, 0u);
+  EXPECT_EQ(b.farm_report.lease_expiries, 0u);
+  const double pa = noc::to_seconds(a.makespan);
+  const double pb = noc::to_seconds(b.makespan);
+  EXPECT_LE(std::abs(pb - pa) / pa, 0.01) << "plain " << pa << "s vs ft " << pb << "s";
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "rck/bio/dataset.hpp"
 #include "rck/rckalign/app.hpp"
 
@@ -93,6 +95,34 @@ TEST_F(DistributedTest, Validation) {
   EXPECT_THROW(run_distributed(*dataset_, *cache_, 0, p54c()), std::invalid_argument);
   const auto other = bio::build_dataset(bio::ck34_spec());
   EXPECT_THROW(run_distributed(other, *cache_, 2, p54c()), std::invalid_argument);
+}
+
+TEST_F(DistributedTest, RejectsNonPositiveBandwidthAndNegativeOverheads) {
+  // These used to flow through silently as NaN / negative simulated times.
+  DistributedParams p;
+  p.nfs_bytes_per_s = 0.0;
+  EXPECT_THROW(run_distributed(*dataset_, *cache_, 2, p54c(), p),
+               std::invalid_argument);
+  p = DistributedParams{};
+  p.nfs_bytes_per_s = -5.0;
+  EXPECT_THROW(run_distributed(*dataset_, *cache_, 2, p54c(), p),
+               std::invalid_argument);
+  p = DistributedParams{};
+  p.spawn_overhead_s = -1.0;
+  EXPECT_THROW(run_distributed(*dataset_, *cache_, 2, p54c(), p),
+               std::invalid_argument);
+  p = DistributedParams{};
+  p.master_dispatch_s = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(run_distributed(*dataset_, *cache_, 2, p54c(), p),
+               std::invalid_argument);
+  p = DistributedParams{};
+  p.nfs_request_overhead_s = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(run_distributed(*dataset_, *cache_, 2, p54c(), p),
+               std::invalid_argument);
+  p = DistributedParams{};
+  p.pdb_bytes_per_residue = -0.5;
+  EXPECT_THROW(run_distributed(*dataset_, *cache_, 2, p54c(), p),
+               std::invalid_argument);
 }
 
 TEST_F(DistributedTest, LargerFilesSlowTheDisk) {

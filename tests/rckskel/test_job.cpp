@@ -49,21 +49,69 @@ TEST(JobCodec, EmptyPayloadJob) {
   EXPECT_TRUE(m.payload.empty());
 }
 
+// Hand-craft a frame with a *valid* checksum around the given body, so the
+// tests below exercise the post-checksum validation too.
+bio::Bytes sealed(const bio::Bytes& body) {
+  bio::WireWriter w;
+  w.u32(wire_checksum(body));
+  w.raw(body);
+  return w.take();
+}
+
 TEST(JobCodec, UnknownTypeThrows) {
   bio::WireWriter w;
   w.u8(9);
-  EXPECT_THROW(decode_message(w.take()), bio::WireError);
+  EXPECT_THROW(decode_message(sealed(w.take())), bio::WireError);
 }
 
 TEST(JobCodec, TruncatedJobThrows) {
   bio::WireWriter w;
   w.u8(static_cast<std::uint8_t>(MsgType::Job));
   w.u32(1);  // not a full u64 id
-  EXPECT_THROW(decode_message(w.take()), bio::WireError);
+  EXPECT_THROW(decode_message(sealed(w.take())), bio::WireError);
 }
 
 TEST(JobCodec, EmptyBufferThrows) {
   EXPECT_THROW(decode_message(bio::Bytes{}), bio::WireError);
+}
+
+TEST(JobCodec, FrameShorterThanHeaderThrows) {
+  // Fewer bytes than checksum + type can never be a frame.
+  EXPECT_THROW(decode_message(bio::Bytes(3, std::byte{0})), bio::WireError);
+}
+
+TEST(JobCodec, SingleFlippedBitFailsChecksum) {
+  Job job;
+  job.id = 42;
+  job.payload = some_payload();
+  bio::Bytes frame = encode_job(job);
+  for (std::size_t pos : {std::size_t{4}, frame.size() / 2, frame.size() - 1}) {
+    bio::Bytes mangled = frame;
+    mangled[pos] ^= std::byte{0x01};
+    EXPECT_THROW(decode_message(std::move(mangled)), bio::WireError) << pos;
+  }
+}
+
+TEST(JobCodec, CorruptedChecksumFieldItselfThrows) {
+  bio::Bytes frame = encode_ready();
+  frame[0] ^= std::byte{0xFF};
+  EXPECT_THROW(decode_message(std::move(frame)), bio::WireError);
+}
+
+TEST(JobCodec, TruncatedTailFailsChecksum) {
+  Job job;
+  job.id = 42;
+  job.payload = some_payload();
+  bio::Bytes frame = encode_job(job);
+  frame.pop_back();
+  EXPECT_THROW(decode_message(std::move(frame)), bio::WireError);
+}
+
+TEST(JobCodec, ChecksumIsDeterministicAndPositionSensitive) {
+  const bio::Bytes a = some_payload();
+  EXPECT_EQ(wire_checksum(a), wire_checksum(a));
+  const bio::Bytes b(a.rbegin(), a.rend());  // same bytes, reversed order
+  EXPECT_NE(wire_checksum(a), wire_checksum(b));  // FNV-1a is order-sensitive
 }
 
 }  // namespace
