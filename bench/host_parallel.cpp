@@ -1,0 +1,124 @@
+// Host-parallel execution bench: what does RuntimeConfig::host buy?
+//
+// Runs the CK34 all-vs-all *without* a PairCache, so every slave executes
+// real TM-align inline — the host-CPU-heavy configuration the parallel
+// scheduler was built for — once per host-thread setting, and reports the
+// host wall-clock next to the (necessarily identical) simulated makespan.
+// The simulated results are cross-checked byte-for-byte against the serial
+// scheduler: this bench doubles as an end-to-end determinism check at full
+// kernel weight.
+//
+// Writes BENCH_host_parallel.json into the working directory. On a >= 4-core
+// runner expect >= 2x wall-clock speedup at 4 host threads; on fewer cores
+// the bench still verifies determinism and records the (flat) timings.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rck/bio/dataset.hpp"
+#include "rck/harness/tables.hpp"
+#include "rck/rckalign/app.hpp"
+#include "rck/scc/runtime.hpp"
+
+namespace {
+
+using namespace rck;
+
+struct Point {
+  int host_threads = 1;
+  double wall_s = 0.0;
+  double speedup = 1.0;
+};
+
+rckalign::RckAlignRun run_once(const std::vector<bio::Protein>& dataset,
+                               int slaves, int host_threads, double& wall_s) {
+  rckalign::RckAlignOptions opts;
+  opts.slave_count = slaves;
+  opts.cache = nullptr;  // slaves run the real TM-align kernel inline
+  opts.runtime.host.threads = host_threads;
+  const auto t0 = std::chrono::steady_clock::now();
+  rckalign::RckAlignRun run = rckalign::run_rckalign(dataset, opts);
+  wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+               .count();
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const int slaves = 12;
+  std::cout << "Host-parallel bench: CK34 all-vs-all, " << slaves
+            << " slaves, real TM-align kernels (no cache)\n"
+            << "Host hardware threads: " << hw << "\n\n";
+  const auto dataset = bio::build_dataset(bio::ck34_spec());
+
+  std::vector<int> settings{1, 2, 4};
+  if (static_cast<int>(hw) > 4) settings.push_back(static_cast<int>(hw));
+  settings.erase(std::unique(settings.begin(), settings.end()), settings.end());
+
+  double serial_wall = 0.0;
+  const rckalign::RckAlignRun serial = run_once(dataset, slaves, 1, serial_wall);
+
+  std::vector<Point> points{{1, serial_wall, 1.0}};
+  bool identical = true;
+  for (std::size_t k = 1; k < settings.size(); ++k) {
+    double wall = 0.0;
+    const rckalign::RckAlignRun run = run_once(dataset, slaves, settings[k], wall);
+    identical = identical && run.makespan == serial.makespan &&
+                run.results == serial.results &&
+                run.core_reports == serial.core_reports &&
+                run.network == serial.network && run.events == serial.events;
+    points.push_back({settings[k], wall, serial_wall / wall});
+  }
+
+  harness::TextTable table("Host wall-clock vs host threads (simulated results identical)");
+  table.set_columns({"host threads", "wall s", "speedup", "sim makespan s"});
+  for (const Point& p : points) {
+    char wall[32], sp[32];
+    std::snprintf(wall, sizeof wall, "%.2f", p.wall_s);
+    std::snprintf(sp, sizeof sp, "%.2fx", p.speedup);
+    table.add_row({std::to_string(p.host_threads), wall, sp,
+                   harness::fmt_seconds(noc::to_seconds(serial.makespan))});
+  }
+  table.print(std::cout);
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"host_parallel\",\n"
+       << "  \"dataset\": \"ck34\",\n  \"slaves\": " << slaves << ",\n"
+       << "  \"host_hardware_threads\": " << hw << ",\n"
+       << "  \"simulated_makespan_s\": " << noc::to_seconds(serial.makespan)
+       << ",\n  \"simulated_results_identical\": " << (identical ? "true" : "false")
+       << ",\n  \"points\": [\n";
+  for (std::size_t k = 0; k < points.size(); ++k)
+    json << "    {\"host_threads\": " << points[k].host_threads
+         << ", \"wall_s\": " << points[k].wall_s
+         << ", \"speedup\": " << points[k].speedup << "}"
+         << (k + 1 < points.size() ? ",\n" : "\n");
+  json << "  ]\n}\n";
+  harness::write_file("BENCH_host_parallel.json", json.str());
+  std::cout << "JSON written to BENCH_host_parallel.json\n";
+
+  if (!identical) {
+    std::cout << "SHAPE VIOLATION: parallel simulated results diverged from serial\n";
+    return 1;
+  }
+  // The speedup claim only applies where the host can actually parallelize.
+  if (hw >= 4) {
+    const double sp4 = points.back().speedup;
+    const bool ok = sp4 >= 2.0;
+    std::cout << (ok ? "SHAPE OK" : "SHAPE VIOLATION") << ": " << sp4
+              << "x wall-clock speedup at " << points.back().host_threads
+              << " host threads (>= 2x required on >= 4 cores)\n";
+    return ok ? 0 : 1;
+  }
+  std::cout << "SHAPE SKIPPED: host has " << hw
+            << " hardware thread(s); determinism verified, speedup not "
+               "measurable here\n";
+  return 0;
+}

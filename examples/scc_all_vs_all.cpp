@@ -7,6 +7,12 @@
 // Usage:
 //   scc_all_vs_all [--dataset tiny|ck34|rs119] [--slaves N] [--lpt]
 //                  [--serial] [--distributed] [--csv FILE] [--gantt] [--heatmap]
+//                  [--host-threads N]
+//
+// --host-threads N runs the simulation itself on up to N host threads
+// (0 = all hardware threads). Simulated results are bit-identical to the
+// serial scheduler; only host wall-clock changes (see DESIGN.md,
+// "Host-parallel execution").
 //
 // Examples:
 //   scc_all_vs_all --dataset ck34 --slaves 47
@@ -30,7 +36,8 @@ using namespace rck;
 [[noreturn]] void usage() {
   std::fprintf(stderr,
                "usage: scc_all_vs_all [--dataset tiny|ck34|rs119] [--slaves N] "
-               "[--lpt] [--serial] [--distributed] [--csv FILE] [--gantt] [--heatmap]\n");
+               "[--lpt] [--serial] [--distributed] [--csv FILE] [--gantt] [--heatmap] "
+               "[--host-threads N]\n");
   std::exit(2);
 }
 
@@ -41,6 +48,7 @@ int main(int argc, char** argv) {
   int slaves = 7;
   bool lpt = false, serial = false, distributed = false, gantt = false,
        heatmap = false;
+  int host_threads = 1;
   std::string csv_path;
 
   for (int k = 1; k < argc; ++k) {
@@ -57,6 +65,7 @@ int main(int argc, char** argv) {
     else if (arg == "--csv") csv_path = next();
     else if (arg == "--gantt") gantt = true;
     else if (arg == "--heatmap") heatmap = true;
+    else if (arg == "--host-threads") host_threads = std::stoi(next());
     else usage();
   }
 
@@ -97,6 +106,8 @@ int main(int argc, char** argv) {
   opts.cache = &cache;
   opts.lpt = lpt;
   opts.runtime.enable_trace = gantt || heatmap;
+  opts.runtime.host = host_threads == 0 ? scc::HostParallelism::hardware()
+                                        : scc::HostParallelism{host_threads};
   const rckalign::RckAlignRun run = rckalign::run_rckalign(dataset, opts);
 
   if (gantt) {

@@ -1,5 +1,7 @@
 #include "rck/harness/experiments.hpp"
 
+#include <chrono>
+
 namespace rck::harness {
 
 ExperimentContext ExperimentContext::load(int host_threads) {
@@ -44,7 +46,11 @@ std::vector<Exp1Row> run_experiment1(const ExperimentContext& ctx,
   for (int n : core_counts) {
     Exp1Row row;
     row.slave_cores = n;
+    const auto t0 = std::chrono::steady_clock::now();
     row.rckalign_s = rckalign_seconds(ctx.ck34, ctx.ck34_cache, n);
+    row.host_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
     row.distributed_s = noc::to_seconds(
         rckalign::run_distributed(ctx.ck34, ctx.ck34_cache, n, p54c).makespan);
     rows.push_back(row);

@@ -39,6 +39,10 @@ struct Exp1Row {
   int slave_cores = 0;
   double rckalign_s = 0.0;
   double distributed_s = 0.0;
+  /// Host wall-clock spent simulating the rckAlign point, milliseconds.
+  /// Simulated seconds are the paper's result; this column shows what the
+  /// simulation itself costs (and what host-parallel mode buys).
+  double host_ms = 0.0;
 };
 
 std::vector<Exp1Row> run_experiment1(const ExperimentContext& ctx,

@@ -36,6 +36,15 @@ class EventQueue {
   /// Time of the earliest pending event. Precondition: !empty().
   SimTime next_time() const noexcept { return heap_.top().t; }
 
+  /// Conservative lookahead horizon: the earliest simulated instant at which
+  /// a pending event could change any entity's state, or kTimeInfinity when
+  /// no event is pending. Work strictly below the horizon that touches no
+  /// shared state (e.g. a core's own compute interval) cannot interact with
+  /// the rest of the simulation and may run ahead — or in parallel.
+  SimTime lookahead() const noexcept {
+    return heap_.empty() ? kTimeInfinity : heap_.top().t;
+  }
+
   /// Fire the earliest pending event (advances now()). Precondition: !empty().
   void run_one();
 

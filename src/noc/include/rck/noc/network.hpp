@@ -42,6 +42,8 @@ struct LinkStats {
   std::uint64_t messages = 0;
   std::uint64_t bytes = 0;
   SimTime busy = 0;  ///< total occupied time
+
+  bool operator==(const LinkStats&) const = default;
 };
 
 /// Whole-network statistics summary.
@@ -51,6 +53,8 @@ struct NetworkStats {
   std::uint64_t total_hops = 0;
   SimTime total_queueing = 0;  ///< time messages spent waiting for busy links
   std::uint64_t dropped = 0;   ///< messages injected with Delivery::Drop
+
+  bool operator==(const NetworkStats&) const = default;
 };
 
 /// What happens to a message at its destination endpoint. Drop models a

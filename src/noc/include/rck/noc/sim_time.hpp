@@ -15,6 +15,9 @@ namespace rck::noc {
 /// Simulated time in picoseconds since simulation start.
 using SimTime = std::uint64_t;
 
+/// Sentinel "beyond any simulated instant" (used for lookahead horizons).
+constexpr SimTime kTimeInfinity = ~SimTime{0};
+
 constexpr SimTime kPsPerNs = 1000;
 constexpr SimTime kPsPerUs = 1000 * kPsPerNs;
 constexpr SimTime kPsPerMs = 1000 * kPsPerUs;

@@ -55,6 +55,8 @@ struct PairRow {
   double seq_identity = 0.0;
   std::uint32_t aligned_length = 0;
   int worker = -1;  ///< slave rank that produced it
+
+  bool operator==(const PairRow&) const = default;
 };
 
 /// Outcome of one simulated rckAlign execution.

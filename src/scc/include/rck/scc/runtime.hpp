@@ -16,6 +16,13 @@
 // reproducible: wall-clock thread scheduling cannot change any simulated
 // outcome.
 //
+// With RuntimeConfig::host.threads > 1 the scheduler additionally releases
+// several ready cores at once while their operations are compute-class and
+// lie below the conservative lookahead horizon (the earliest pending event);
+// they re-serialize at the next communication operation. Simulated results
+// stay bit-identical to serial mode — see HostParallelism and DESIGN.md
+// ("Host-parallel execution").
+//
 // Compute cost enters via charge_cycles(), typically fed from the
 // core::AlignStats counters of a real alignment executed inline by the
 // program, converted through the chip's CoreTimingModel.
@@ -106,6 +113,39 @@ struct FaultPlan {
   }
 };
 
+/// Host-side execution parallelism for the simulation itself.
+///
+/// The DES stays *conservative*: with threads > 1 the scheduler releases
+/// several program threads at once only while every one of them is inside a
+/// compute-class section (charge / charge_cycles / dram_read / set_freq)
+/// whose virtual-time interval lies strictly below the lookahead horizon —
+/// the earliest pending event (message delivery, timer, crash). Any
+/// communication operation (send/recv/probe/wait_any/barrier/peer_alive)
+/// re-serializes at the scheduler. Because compute-class operations touch
+/// only their own core's state, every simulated outcome — event order,
+/// makespan, traces, CoreReports, fault replays — is bit-identical to
+/// serial mode (threads <= 1), which keeps the legacy one-at-a-time
+/// scheduler byte-for-byte.
+struct HostParallelism {
+  /// Maximum program threads released concurrently; <= 1 = serial scheduler.
+  int threads = 1;
+
+  /// Convenience: one thread per host hardware thread.
+  static HostParallelism hardware() noexcept;
+
+  bool enabled() const noexcept { return threads > 1; }
+};
+
+/// Host-parallel scheduler accounting (see SpmdRuntime::host_parallel_stats).
+struct HostParallelStats {
+  std::uint64_t windows = 0;    ///< parallel windows opened
+  std::uint64_t releases = 0;   ///< core releases summed over windows
+  std::uint64_t local_ops = 0;  ///< compute ops applied without the scheduler
+  std::uint64_t max_width = 0;  ///< widest window (cores released at once)
+
+  bool operator==(const HostParallelStats&) const = default;
+};
+
 struct RuntimeConfig {
   SccConfig chip = default_scc();
   noc::NetworkParams net{};
@@ -126,6 +166,10 @@ struct RuntimeConfig {
   /// Deterministic fault injection (core crashes, message loss/corruption,
   /// storage stalls). Empty by default: no faults.
   FaultPlan faults{};
+  /// Host-side parallel execution of independent compute sections. Off by
+  /// default (serial scheduler); turning it on changes wall-clock time only,
+  /// never any simulated result.
+  HostParallelism host{};
 };
 
 /// One recorded activity interval of a core (when tracing is enabled).
@@ -142,6 +186,8 @@ struct TraceEvent {
   Kind kind = Kind::Compute;
   noc::SimTime start = 0;
   noc::SimTime end = 0;
+
+  bool operator==(const TraceEvent&) const = default;
 };
 
 /// Per-core execution statistics, available after run().
@@ -156,6 +202,8 @@ struct CoreReport {
   std::uint64_t bytes_received = 0;
   bool crashed = false;          ///< killed by the FaultPlan before finishing
   noc::SimTime crashed_at = 0;   ///< crash trigger time (valid when crashed)
+
+  bool operator==(const CoreReport&) const = default;
 };
 
 /// Per-core interface handed to the SPMD program. All methods must be called
@@ -253,6 +301,9 @@ class SpmdRuntime {
   /// Recorded activity intervals, in simulated-time order (empty unless
   /// RuntimeConfig::enable_trace was set).
   const std::vector<TraceEvent>& trace() const noexcept;
+
+  /// Host-parallel scheduler accounting (all zero in serial mode).
+  const HostParallelStats& host_parallel_stats() const noexcept;
 
  private:
   friend class CoreCtx;

@@ -62,6 +62,22 @@ struct CoreState {
   bool timed_out = false;       // last blocking wait ended by its deadline
   std::uint64_t wait_epoch = 0; // bumped on every wake; invalidates stale timers
 
+  // --- Host-parallel window state (all scheduler-lock protected) ---
+  // `released` marks a core granted a parallel window rather than the serial
+  // execution token; while set, the core may apply compute-class operations
+  // locally as long as its clock stays below `horizon` (the earliest pending
+  // event at release time). `in_op` marks a thread parked *inside* a
+  // communication-class operation: such a core must only ever be resumed
+  // serially, because the remainder of the operation touches shared state.
+  bool released = false;
+  noc::SimTime horizon = 0;
+  bool in_op = false;
+  // Run-ahead trace records awaiting their deterministic merge into the
+  // global trace (kept sorted by construction; `local_flushed` is the merged
+  // prefix).
+  std::vector<TraceEvent> local_trace;
+  std::size_t local_flushed = 0;
+
   CoreReport report;
   std::exception_ptr error;
   std::condition_variable cv;
@@ -87,6 +103,9 @@ struct SpmdRuntime::Impl {
   std::uint64_t barrier_epoch = 0;
   noc::SimTime barrier_time = 0;
 
+  bool parallel = false;  // cfg.host.threads > 1, latched in run()
+  HostParallelStats hp_stats;
+
   std::vector<TraceEvent> trace;
 
   // Fault-injection state, built once in run() from cfg.faults.
@@ -109,9 +128,13 @@ struct SpmdRuntime::Impl {
   /// Park the calling core's thread with the given status and wait until the
   /// scheduler resumes it. Lock must be held; rethrows AbortSim on shutdown
   /// and CrashUnwind once this core has been killed by the fault plan.
+  /// A core entering an ordinary yield point gives up any parallel-window
+  /// release it still holds (re-serializing is always safe); after the wait,
+  /// `released` reflects the kind of the *new* grant.
   void yield(CoreState& st, std::unique_lock<std::mutex>& lock,
              CoreState::Status status) {
     if (st.dead) throw CrashUnwind{};
+    st.released = false;
     st.status = status;
     if (status == CoreState::Status::Blocked) st.blocked_since = st.vtime;
     sched_cv.notify_all();
@@ -120,6 +143,28 @@ struct SpmdRuntime::Impl {
     });
     if (shutdown) throw AbortSim{};
     if (st.dead) throw CrashUnwind{};
+  }
+
+  /// A window-released core ends its run-ahead (next operation needs the
+  /// scheduler, or its clock reached the horizon): park as Ready and wait
+  /// for the next grant — serial (released stays false) or a later window
+  /// (released set again by the scheduler). Lock must be held.
+  void park_released(CoreState& st, std::unique_lock<std::mutex>& lock) {
+    st.released = false;
+    st.status = CoreState::Status::Ready;
+    sched_cv.notify_all();
+    st.cv.wait(lock, [&] {
+      return st.status == CoreState::Status::Running || shutdown || st.dead;
+    });
+    if (shutdown) throw AbortSim{};
+    if (st.dead) throw CrashUnwind{};
+  }
+
+  /// Gate at the top of every communication-class operation: such operations
+  /// touch shared state (network, event queue, inboxes, barrier, liveness)
+  /// and must never run inside a parallel window. Lock must be held.
+  void serialize(CoreState& st, std::unique_lock<std::mutex>& lock) {
+    while (st.released) park_released(st, lock);
   }
 
   /// Advance the core's clock (busy) and give the scheduler a chance to
@@ -131,6 +176,65 @@ struct SpmdRuntime::Impl {
     st.report.busy += dt;
     yield(st, lock, CoreState::Status::Ready);
   }
+
+  /// Compute-class time advance: inside a parallel window, apply the
+  /// operation locally (it touches only this core's state) while the clock
+  /// stays strictly below the horizon — the serial scheduler would have
+  /// dispatched this core before firing any pending event in exactly that
+  /// case. Otherwise fall back to the serial advance. Lock must be held.
+  void advance_compute(CoreState& st, std::unique_lock<std::mutex>& lock,
+                       noc::SimTime dt, TraceEvent::Kind kind = TraceEvent::Kind::Compute) {
+    for (;;) {
+      if (!st.released) {
+        advance(st, lock, dt, kind);
+        return;
+      }
+      if (st.vtime < st.horizon) {
+        if (cfg.enable_trace && dt > 0)
+          st.local_trace.push_back({st.rank, kind, st.vtime, st.vtime + dt});
+        st.vtime += dt;
+        st.report.busy += dt;
+        ++hp_stats.local_ops;
+        return;  // keep running user code without a scheduler round-trip
+      }
+      park_released(st, lock);  // horizon reached: wait for the next grant
+    }
+  }
+
+  /// Merge buffered run-ahead trace records into the global trace, in
+  /// exactly the order the serial scheduler would have appended them: all
+  /// records strictly older than the work unit about to execute, by
+  /// (start, rank). For an event unit pass rank_bound = -1 (events fire
+  /// before any core op at the same instant); for a core dispatch pass the
+  /// core's rank (lower ranks win ties). Lock must be held.
+  void flush_local_before(noc::SimTime t, int rank_bound) {
+    if (!cfg.enable_trace) return;
+    for (;;) {
+      CoreState* best = nullptr;
+      for (auto& c : cores) {
+        if (c->local_flushed >= c->local_trace.size()) continue;
+        const TraceEvent& f = c->local_trace[c->local_flushed];
+        if (f.start > t || (f.start == t && (rank_bound < 0 || c->rank >= rank_bound)))
+          continue;
+        if (best == nullptr) {
+          best = c.get();
+          continue;
+        }
+        const TraceEvent& b = best->local_trace[best->local_flushed];
+        if (f.start < b.start || (f.start == b.start && c->rank < best->rank))
+          best = c.get();
+      }
+      if (best == nullptr) break;
+      trace.push_back(best->local_trace[best->local_flushed++]);
+      if (best->local_flushed == best->local_trace.size()) {
+        best->local_trace.clear();
+        best->local_flushed = 0;
+      }
+    }
+  }
+
+  /// Drain every remaining buffered record (end of run).
+  void flush_local_all() { flush_local_before(kInf, -1); }
 
   bool wants_message_from(const CoreState& st, int src) const {
     if (st.wait_src == src) return true;
@@ -198,9 +302,30 @@ struct SpmdRuntime::Impl {
 
   // ---- CoreCtx operations (called from program threads) -------------------
 
+  /// RAII marker: the calling thread is inside a communication-class
+  /// operation, so any park point it reaches before returning must only be
+  /// resumed serially (the remainder of the operation touches shared state).
+  /// Declared after the lock in every operation, so it is restored before
+  /// the lock is released.
+  struct OpGuard {
+    explicit OpGuard(CoreState& s) : st(&s) { st->in_op = true; }
+    ~OpGuard() {
+      if (st != nullptr) st->in_op = false;
+    }
+    /// The operation's shared-state section is over; a park at a later
+    /// own-state yield may safely be resumed by a parallel window.
+    void done() {
+      st->in_op = false;
+      st = nullptr;
+    }
+    OpGuard(const OpGuard&) = delete;
+    OpGuard& operator=(const OpGuard&) = delete;
+    CoreState* st;
+  };
+
   void op_charge(CoreState& st, noc::SimTime dt) {
     std::unique_lock lock(m);
-    advance(st, lock, dt);
+    advance_compute(st, lock, dt);
   }
 
   double freq_scale_of(int rank) const {
@@ -217,7 +342,7 @@ struct SpmdRuntime::Impl {
     std::unique_lock lock(m);
     // SCC voltage/frequency transition: frequency switches are fast but a
     // voltage step stalls the tile for on the order of 100 us.
-    advance(st, lock, 100 * noc::kPsPerUs);
+    advance_compute(st, lock, 100 * noc::kPsPerUs);
     st.freq_scale_dynamic = scale;
   }
 
@@ -225,10 +350,10 @@ struct SpmdRuntime::Impl {
     std::unique_lock lock(m);
     st.report.compute_cycles += cycles;
     const noc::SimTime base = cfg.core_model.cycles_to_time(cycles);
-    advance(st, lock,
-            static_cast<noc::SimTime>(static_cast<double>(base) /
-                                          freq_scale_of(st.rank) +
-                                      0.5));
+    advance_compute(st, lock,
+                    static_cast<noc::SimTime>(static_cast<double>(base) /
+                                                  freq_scale_of(st.rank) +
+                                              0.5));
   }
 
   void op_dram_read(CoreState& st, std::uint64_t bytes) {
@@ -238,12 +363,14 @@ struct SpmdRuntime::Impl {
       if ((s.rank < 0 || s.rank == st.rank) && st.vtime >= s.from && st.vtime < s.until)
         cost = static_cast<noc::SimTime>(static_cast<double>(cost) * s.slowdown + 0.5);
     }
-    advance(st, lock, cost, TraceEvent::Kind::Dram);
+    advance_compute(st, lock, cost, TraceEvent::Kind::Dram);
   }
 
   void op_send(CoreState& st, int dst, bio::Bytes payload) {
     check_rank(dst, "send");
     std::unique_lock lock(m);
+    OpGuard guard(st);
+    serialize(st, lock);
     const std::uint64_t bytes = payload.size() + kMsgHeaderBytes;
     CoreState* d = cores[static_cast<std::size_t>(dst)].get();
 
@@ -277,13 +404,25 @@ struct SpmdRuntime::Impl {
         disposition);
     st.report.messages_sent += 1;
     st.report.bytes_sent += bytes;
+    // Endpoint occupancy only advances this core's own clock: release the
+    // in-op marker so the park at this yield is window-eligible (the typical
+    // slave runs its next compute kernel right after send returns).
+    guard.done();
     advance(st, lock, network.endpoint_occupancy(bytes), TraceEvent::Kind::Send);
   }
 
   bio::Bytes op_recv(CoreState& st, int src) {
+    // recv touches only this core's own state (its inbox, clock and report):
+    // inboxes are mutated solely by delivery events, and no event fires
+    // inside a parallel window, so a released core below the horizon sees
+    // exactly the inbox the serial scheduler would have shown it. It may
+    // therefore complete — or block — inside a window; blocking gives up the
+    // release (yield does), endpoint occupancy is charged via
+    // advance_compute so its trace record merges at the right position.
     check_rank(src, "recv");
     std::unique_lock lock(m);
     for (;;) {
+      while (st.released && st.vtime >= st.horizon) park_released(st, lock);
       std::deque<Message>& q = st.inbox[src];
       if (!q.empty()) {
         Message msg = std::move(q.front());
@@ -294,7 +433,8 @@ struct SpmdRuntime::Impl {
         const std::uint64_t bytes = msg.payload.size() + kMsgHeaderBytes;
         st.report.messages_received += 1;
         st.report.bytes_received += bytes;
-        advance(st, lock, network.endpoint_occupancy(bytes), TraceEvent::Kind::Recv);
+        advance_compute(st, lock, network.endpoint_occupancy(bytes),
+                        TraceEvent::Kind::Recv);
         return std::move(msg.payload);
       }
       st.wait_src = src;
@@ -305,6 +445,8 @@ struct SpmdRuntime::Impl {
   bool op_probe(CoreState& st, int src) {
     check_rank(src, "probe");
     std::unique_lock lock(m);
+    OpGuard guard(st);
+    serialize(st, lock);
     advance(st, lock, cfg.poll_cost, TraceEvent::Kind::Poll);
     const auto it = st.inbox.find(src);
     return it != st.inbox.end() && !it->second.empty();
@@ -314,6 +456,8 @@ struct SpmdRuntime::Impl {
     if (srcs.empty()) throw SimError("wait_any: empty source set");
     for (int s : srcs) check_rank(s, "wait_any");
     std::unique_lock lock(m);
+    OpGuard guard(st);
+    serialize(st, lock);
     for (;;) {
       advance(st, lock, cfg.poll_cost, TraceEvent::Kind::Poll);  // one polling sweep
       for (std::size_t k = 0; k < srcs.size(); ++k) {
@@ -342,6 +486,8 @@ struct SpmdRuntime::Impl {
                                             noc::SimTime timeout) {
     check_rank(src, "recv_timeout");
     std::unique_lock lock(m);
+    OpGuard guard(st);
+    serialize(st, lock);
     const noc::SimTime deadline = st.vtime + timeout;
     for (;;) {
       std::deque<Message>& q = st.inbox[src];
@@ -368,6 +514,8 @@ struct SpmdRuntime::Impl {
     if (srcs.empty()) throw SimError("wait_any_timeout: empty source set");
     for (int s : srcs) check_rank(s, "wait_any_timeout");
     std::unique_lock lock(m);
+    OpGuard guard(st);
+    serialize(st, lock);
     const noc::SimTime deadline = st.vtime + timeout;
     for (;;) {
       advance(st, lock, cfg.poll_cost, TraceEvent::Kind::Poll);  // one polling sweep
@@ -389,20 +537,29 @@ struct SpmdRuntime::Impl {
     }
   }
 
-  bool op_peer_alive(const CoreState& st, int rank) {
-    (void)st;
+  bool op_peer_alive(CoreState& st, int rank) {
     check_rank(rank, "peer_alive");
     std::unique_lock lock(m);
+    // Liveness reads another core's crash state, which only changes when a
+    // crash event fires — serialize so the query observes the same schedule
+    // point as in serial mode.
+    OpGuard guard(st);
+    serialize(st, lock);
     return !cores[static_cast<std::size_t>(rank)]->dead;
   }
 
   void op_barrier(CoreState& st) {
     std::unique_lock lock(m);
+    OpGuard guard(st);
+    serialize(st, lock);
     barrier_time = std::max(barrier_time, st.vtime);
     if (barrier_count + 1 < nranks) {
       ++barrier_count;
       const std::uint64_t epoch = barrier_epoch;
       st.in_barrier = true;
+      // From here on this core only waits and re-reads the (monotone) epoch:
+      // a woken waiter may be resumed by a parallel window and run user code.
+      guard.done();
       while (barrier_epoch == epoch) yield(st, lock, CoreState::Status::Blocked);
     } else {
       // Last arriver releases everyone at the max arrival time + cost.
@@ -422,6 +579,7 @@ struct SpmdRuntime::Impl {
         }
       }
       st.vtime = release;
+      guard.done();  // only the releaser's own park remains
       yield(st, lock, CoreState::Status::Ready);
     }
   }
@@ -434,6 +592,44 @@ struct SpmdRuntime::Impl {
     st.status = CoreState::Status::Running;
     st.cv.notify_all();
     sched_cv.wait(lock, [&] { return st.status != CoreState::Status::Running; });
+  }
+
+  /// Open a conservative parallel window: release up to cfg.host.threads
+  /// Ready cores (lowest virtual time first, ties by rank) whose clocks are
+  /// strictly below `horizon` (the earliest pending event — nothing can
+  /// interact with them before that instant) and that are not parked inside
+  /// the shared-state section of a communication operation. Released cores
+  /// run concurrently — user code plus own-state operations — and re-park on
+  /// their own; the window closes when the last one has. Returns the number
+  /// of cores released (0 = no window worth opening). Lock must be held.
+  std::size_t release_window(std::unique_lock<std::mutex>& lock, noc::SimTime horizon) {
+    std::vector<CoreState*> eligible;
+    for (auto& c : cores)
+      if (c->status == CoreState::Status::Ready && !c->in_op && c->vtime < horizon)
+        eligible.push_back(c.get());
+    if (eligible.size() < 2) return 0;  // nothing to overlap
+    std::stable_sort(eligible.begin(), eligible.end(),
+                     [](const CoreState* a, const CoreState* b) {
+                       return a->vtime < b->vtime;
+                     });
+    const auto cap = static_cast<std::size_t>(std::max(cfg.host.threads, 2));
+    if (eligible.size() > cap) eligible.resize(cap);
+
+    ++hp_stats.windows;
+    hp_stats.releases += eligible.size();
+    hp_stats.max_width =
+        std::max(hp_stats.max_width, static_cast<std::uint64_t>(eligible.size()));
+    for (CoreState* c : eligible) {
+      c->released = true;
+      c->horizon = horizon;
+      c->status = CoreState::Status::Running;
+      c->cv.notify_all();
+    }
+    sched_cv.wait(lock, [&] {
+      return std::none_of(cores.begin(), cores.end(),
+                          [](const auto& c) { return c->released; });
+    });
+    return eligible.size();
   }
 
   std::string state_dump() const {
@@ -540,6 +736,15 @@ const std::vector<TraceEvent>& SpmdRuntime::trace() const noexcept {
   return impl_->trace;
 }
 
+const HostParallelStats& SpmdRuntime::host_parallel_stats() const noexcept {
+  return impl_->hp_stats;
+}
+
+HostParallelism HostParallelism::hardware() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return HostParallelism{n > 1 ? static_cast<int>(n) : 1};
+}
+
 noc::SimTime SpmdRuntime::run(int nranks, const Program& program) {
   Impl& im = *impl_;
   if (nranks < 1 || nranks > im.cfg.chip.core_count())
@@ -547,6 +752,7 @@ noc::SimTime SpmdRuntime::run(int nranks, const Program& program) {
   if (im.used) throw SimError("run: SpmdRuntime is single-use; create a new instance");
   im.used = true;
   im.nranks = nranks;
+  im.parallel = im.cfg.host.threads > 1;
 
   // Validate and install the fault plan. Crashes become ordinary events in
   // the deterministic queue; message faults become an exact-match lookup.
@@ -590,6 +796,7 @@ noc::SimTime SpmdRuntime::run(int nranks, const Program& program) {
           return st.status == CoreState::Status::Running || impl.shutdown || st.dead;
         });
         if (impl.shutdown || st.dead) {
+          st.released = false;
           st.status = CoreState::Status::Done;
           st.report.finish = st.vtime;
           impl.sched_cv.notify_all();
@@ -607,6 +814,7 @@ noc::SimTime SpmdRuntime::run(int nranks, const Program& program) {
         st.error = std::current_exception();
       }
       std::unique_lock lock(impl.m);
+      st.released = false;  // a window-released program may finish mid-window
       st.status = CoreState::Status::Done;
       st.report.finish = st.vtime;
       impl.sched_cv.notify_all();
@@ -632,6 +840,7 @@ noc::SimTime SpmdRuntime::run(int nranks, const Program& program) {
       const noc::SimTime t_core = pick != nullptr ? pick->vtime : kInf;
 
       if (!im.queue.empty() && t_evt <= t_core) {
+        im.flush_local_before(t_evt, -1);  // events outrank same-instant core ops
         im.queue.run_one();  // deliveries may wake blocked cores, or kill one
         im.reap_dead(lock);  // let just-crashed threads unwind to Done first
         continue;
@@ -685,6 +894,24 @@ noc::SimTime SpmdRuntime::run(int nranks, const Program& program) {
         throw DeadlockError("simulation deadlock: all cores blocked\n" + dump);
       }
 
+      if (im.parallel && im.release_window(lock, t_evt) > 0) {
+        // Cores released in the window may have finished with an error;
+        // surface the one the serial schedule would have reached first
+        // (lowest finish time, ties to the lowest rank).
+        CoreState* bad = nullptr;
+        for (auto& c : im.cores)
+          if (c->status == CoreState::Status::Done && c->error &&
+              (bad == nullptr || c->report.finish < bad->report.finish))
+            bad = c.get();
+        if (bad != nullptr) {
+          failure = bad->error;
+          im.shutdown_all(lock);
+          break;
+        }
+        continue;
+      }
+
+      im.flush_local_before(pick->vtime, pick->rank);
       im.dispatch(*pick, lock);
       if (pick->status == CoreState::Status::Done && pick->error) {
         failure = pick->error;
@@ -692,6 +919,7 @@ noc::SimTime SpmdRuntime::run(int nranks, const Program& program) {
         break;
       }
     }
+    if (!failure) im.flush_local_all();
   }
   im.join_all();
 

@@ -1,0 +1,266 @@
+// Determinism regression suite for host-parallel execution.
+//
+// The contract under test (see DESIGN.md, "Host-parallel execution"): with
+// RuntimeConfig::host.threads > 1 the scheduler may release several program
+// threads at once, but every *simulated* observable — makespan, traces,
+// CoreReports, network statistics, event counts, farm bookkeeping, fault
+// replays — must be byte-identical to the serial scheduler. These tests run
+// the same workloads in both modes and compare everything we can observe,
+// including the paper's CK34 dataset end-to-end and fault-plan replays.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "rck/bio/dataset.hpp"
+#include "rck/noc/network.hpp"
+#include "rck/rckalign/app.hpp"
+#include "rck/rckalign/cost_cache.hpp"
+#include "rck/scc/runtime.hpp"
+
+namespace rck::scc {
+namespace {
+
+constexpr int kHostThreads = 4;  // parallel-mode width used throughout
+
+// ---------------------------------------------------------------------------
+// Runtime-level fixture: a synthetic farm-shaped program (mixed compute,
+// send/recv, wait_any, barrier) whose every observable is snapshotted.
+
+struct RunSnapshot {
+  noc::SimTime makespan = 0;
+  std::vector<CoreReport> reports;
+  std::vector<TraceEvent> trace;
+  noc::NetworkStats net;
+  std::uint64_t events = 0;
+
+  bool operator==(const RunSnapshot&) const = default;
+};
+
+RunSnapshot run_program(int nranks, const Program& program, RuntimeConfig cfg) {
+  cfg.enable_trace = true;
+  SpmdRuntime rt(cfg);
+  RunSnapshot s;
+  s.makespan = rt.run(nranks, program);
+  s.reports = rt.core_reports();
+  s.trace = rt.trace();
+  s.net = rt.network_stats();
+  s.events = rt.events_fired();
+  return s;
+}
+
+// A little master-slaves round: rank 0 hands each slave `rounds` payloads,
+// slaves "compute" an amount derived from the payload and answer; a barrier
+// closes each round. Compute dominates, so parallel windows actually open.
+Program mini_farm(int rounds) {
+  return [rounds](CoreCtx& ctx) {
+    const int n = ctx.nranks();
+    for (int r = 0; r < rounds; ++r) {
+      if (ctx.rank() == 0) {
+        for (int dst = 1; dst < n; ++dst) {
+          bio::Bytes job{static_cast<std::byte>(dst), static_cast<std::byte>(r)};
+          ctx.send(dst, job);
+        }
+        std::vector<int> srcs;
+        for (int src = 1; src < n; ++src) srcs.push_back(src);
+        for (int k = 1; k < n; ++k) {
+          const int who = ctx.wait_any(srcs);
+          (void)ctx.recv(who);
+        }
+      } else {
+        const bio::Bytes job = ctx.recv(0);
+        // Uneven compute so cores drift apart in virtual time.
+        const std::uint64_t work =
+            50'000 + 20'000 * static_cast<std::uint64_t>(job[0]) +
+            7'000 * static_cast<std::uint64_t>(job[1]);
+        ctx.charge_cycles(work);
+        ctx.dram_read(4096 * static_cast<std::uint64_t>(ctx.rank()));
+        ctx.send(0, bio::Bytes{job[0]});
+      }
+      ctx.barrier();
+    }
+  };
+}
+
+RuntimeConfig parallel_cfg() {
+  RuntimeConfig cfg;
+  cfg.host.threads = kHostThreads;
+  return cfg;
+}
+
+TEST(HostParallelDeterminism, MiniFarmMatchesSerialBitForBit) {
+  const RunSnapshot serial = run_program(6, mini_farm(4), RuntimeConfig{});
+  const RunSnapshot parallel = run_program(6, mini_farm(4), parallel_cfg());
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(HostParallelDeterminism, ParallelWindowsActuallyOpen) {
+  RuntimeConfig cfg = parallel_cfg();
+  cfg.enable_trace = true;
+  SpmdRuntime rt(cfg);
+  rt.run(6, mini_farm(4));
+  const HostParallelStats& hp = rt.host_parallel_stats();
+  EXPECT_GT(hp.windows, 0u);
+  EXPECT_GT(hp.local_ops, 0u);
+  EXPECT_GE(hp.max_width, 2u);
+  EXPECT_GE(hp.releases, hp.windows);
+}
+
+TEST(HostParallelDeterminism, SerialModeKeepsStatsZero) {
+  SpmdRuntime rt(RuntimeConfig{});
+  rt.run(4, mini_farm(2));
+  EXPECT_EQ(rt.host_parallel_stats(), HostParallelStats{});
+}
+
+TEST(HostParallelDeterminism, ReplayTwiceIsIdenticalInEachMode) {
+  for (const bool par : {false, true}) {
+    RuntimeConfig cfg;
+    if (par) cfg.host.threads = kHostThreads;
+    const RunSnapshot a = run_program(5, mini_farm(3), cfg);
+    const RunSnapshot b = run_program(5, mini_farm(3), cfg);
+    EXPECT_EQ(a, b) << (par ? "parallel" : "serial") << " replay diverged";
+  }
+}
+
+TEST(HostParallelDeterminism, FaultPlanReplaysIdentically) {
+  // Crash one slave mid-run, corrupt a frame, stall DRAM on another: the
+  // fault triggers bound the lookahead horizon, so the parallel scheduler
+  // must reproduce the exact same degraded execution.
+  RuntimeConfig base;
+  base.faults.crashes.push_back({3, noc::kPsPerMs / 2});
+  base.faults.stalls.push_back({2, 0, noc::kPsPerMs, 8.0});
+
+  // The program must survive a dead peer: timeouts instead of blocking recv.
+  const Program program = [](CoreCtx& ctx) {
+    const int n = ctx.nranks();
+    if (ctx.rank() == 0) {
+      for (int r = 0; r < 6; ++r) {
+        for (int dst = 1; dst < n; ++dst) {
+          if (!ctx.peer_alive(dst)) continue;
+          ctx.send(dst, bio::Bytes{static_cast<std::byte>(r)});
+        }
+        for (int src = 1; src < n; ++src) {
+          if (!ctx.peer_alive(src)) continue;
+          (void)ctx.recv_timeout(src, 2 * noc::kPsPerMs);
+        }
+      }
+    } else {
+      for (int r = 0; r < 6; ++r) {
+        const auto job = ctx.recv_timeout(0, 4 * noc::kPsPerMs);
+        if (!job) return;
+        ctx.charge_cycles(80'000 + 11'000 * static_cast<std::uint64_t>(ctx.rank()));
+        ctx.dram_read(32768);
+        ctx.send(0, bio::Bytes{(*job)[0]});
+      }
+    }
+  };
+
+  RuntimeConfig par = base;
+  par.host.threads = kHostThreads;
+  const RunSnapshot serial = run_program(5, program, base);
+  const RunSnapshot parallel = run_program(5, program, par);
+  EXPECT_EQ(serial, parallel);
+  ASSERT_GE(serial.reports.size(), 4u);
+  EXPECT_TRUE(serial.reports[3].crashed);  // the fault actually fired
+}
+
+// ---------------------------------------------------------------------------
+// Application-level fixture: the paper's CK34 all-vs-all, end to end.
+
+class Ck34Determinism : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new std::vector<bio::Protein>(bio::build_dataset(bio::ck34_spec()));
+    cache_ = new rckalign::PairCache(rckalign::PairCache::build(*dataset_));
+  }
+  static void TearDownTestSuite() {
+    delete cache_;
+    delete dataset_;
+    cache_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  static rckalign::RckAlignOptions options(int slaves, int host_threads) {
+    rckalign::RckAlignOptions o;
+    o.slave_count = slaves;
+    o.cache = cache_;
+    o.runtime.enable_trace = true;
+    o.runtime.host.threads = host_threads;
+    return o;
+  }
+
+  static void expect_identical(const rckalign::RckAlignRun& a,
+                               const rckalign::RckAlignRun& b) {
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.results, b.results);
+    EXPECT_EQ(a.core_reports, b.core_reports);
+    EXPECT_EQ(a.network, b.network);
+    EXPECT_EQ(a.events, b.events);
+    EXPECT_EQ(a.trace, b.trace);
+    EXPECT_TRUE(a.farm_report == b.farm_report);
+  }
+
+  static std::vector<bio::Protein>* dataset_;
+  static rckalign::PairCache* cache_;
+};
+
+std::vector<bio::Protein>* Ck34Determinism::dataset_ = nullptr;
+rckalign::PairCache* Ck34Determinism::cache_ = nullptr;
+
+TEST_F(Ck34Determinism, AllVsAllBitIdenticalAcrossSlaveCounts) {
+  for (const int slaves : {4, 12}) {
+    const auto serial = rckalign::run_rckalign(*dataset_, options(slaves, 1));
+    const auto parallel =
+        rckalign::run_rckalign(*dataset_, options(slaves, kHostThreads));
+    expect_identical(serial, parallel);
+    EXPECT_EQ(serial.results.size(), 34u * 33u / 2u);
+  }
+}
+
+TEST_F(Ck34Determinism, ReplayTwiceInEachMode) {
+  for (const int threads : {1, kHostThreads}) {
+    const auto a = rckalign::run_rckalign(*dataset_, options(8, threads));
+    const auto b = rckalign::run_rckalign(*dataset_, options(8, threads));
+    expect_identical(a, b);
+  }
+}
+
+TEST_F(Ck34Determinism, FaultPlanEndToEndBitIdentical) {
+  // Calibrate crash times off the clean makespan so faults land mid-run.
+  const noc::SimTime base =
+      rckalign::run_rckalign(*dataset_, options(6, 1)).makespan;
+  auto faulty = [&](int threads) {
+    rckalign::RckAlignOptions o = options(6, threads);
+    o.fault_tolerant = true;
+    o.runtime.faults.crashes.push_back({2, base / 4});
+    o.runtime.faults.crashes.push_back({5, base / 2});
+    o.runtime.faults.messages.push_back(
+        {FaultPlan::MessageFault::Kind::Corrupt, 3, 0, 2});
+    return rckalign::run_rckalign(*dataset_, o);
+  };
+  const auto serial = faulty(1);
+  const auto parallel = faulty(kHostThreads);
+  expect_identical(serial, parallel);
+  EXPECT_EQ(serial.farm_report.dead_ues.size(), 2u);
+  EXPECT_EQ(serial.results.size(), 34u * 33u / 2u);
+}
+
+TEST_F(Ck34Determinism, SeedSweepStaysBitIdentical) {
+  // Several seeds, small scaled datasets so the sweep stays fast: the
+  // determinism contract must hold regardless of the generated workload.
+  for (const std::uint64_t seed : {1u, 77u, 4242u}) {
+    const auto ds = bio::build_dataset(bio::scaled_spec("det", 10, seed));
+    const auto cache = rckalign::PairCache::build(ds);
+    rckalign::RckAlignOptions o;
+    o.slave_count = 5;
+    o.cache = &cache;
+    o.runtime.enable_trace = true;
+    const auto serial = rckalign::run_rckalign(ds, o);
+    o.runtime.host.threads = kHostThreads;
+    const auto parallel = rckalign::run_rckalign(ds, o);
+    expect_identical(serial, parallel);
+  }
+}
+
+}  // namespace
+}  // namespace rck::scc

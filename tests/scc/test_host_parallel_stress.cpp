@@ -1,0 +1,158 @@
+// Randomized cross-check of the host-parallel scheduler.
+//
+// Generates small deadlock-free SPMD programs — barrier-separated rounds of
+// random compute, ring exchanges, and master gathers — and runs each one
+// under the serial and the host-parallel scheduler, asserting every
+// simulated observable is identical. The program *shape* is drawn from a
+// seeded RNG before the run, so both executions interpret the same plan.
+//
+// This file doubles as the TSan workload: built with RCK_SANITIZE=thread it
+// exercises the parked-thread handoff, window release/join, and per-core
+// trace buffers under real host concurrency.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "rck/noc/network.hpp"
+#include "rck/scc/runtime.hpp"
+
+namespace rck::scc {
+namespace {
+
+struct RoundPlan {
+  int shift = 1;                        ///< ring offset for the exchange
+  bool gather = false;                  ///< slaves report to rank 0 after
+  std::vector<std::uint64_t> cycles;    ///< per-rank compute this round
+  std::vector<std::uint32_t> dram;      ///< per-rank DRAM bytes (0 = skip)
+  std::vector<std::uint32_t> payload;   ///< per-rank ring payload size
+};
+
+struct ProgramPlan {
+  int nranks = 2;
+  std::vector<RoundPlan> rounds;
+};
+
+ProgramPlan make_plan(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  ProgramPlan plan;
+  plan.nranks = 2 + static_cast<int>(rng() % 7);  // 2..8 cores
+  const int nrounds = 2 + static_cast<int>(rng() % 4);
+  for (int r = 0; r < nrounds; ++r) {
+    RoundPlan round;
+    round.shift = 1 + static_cast<int>(rng() % static_cast<std::uint64_t>(
+                                                   plan.nranks - 1));
+    round.gather = (rng() % 3) == 0;
+    for (int k = 0; k < plan.nranks; ++k) {
+      round.cycles.push_back(10'000 + rng() % 200'000);
+      round.dram.push_back((rng() % 2) ? static_cast<std::uint32_t>(
+                                             256 + rng() % 65536)
+                                       : 0u);
+      round.payload.push_back(static_cast<std::uint32_t>(1 + rng() % 512));
+    }
+    plan.rounds.push_back(std::move(round));
+  }
+  return plan;
+}
+
+// Interpret the plan as an SPMD program. Sends precede receives within a
+// round (send is asynchronous), so every ring exchange is deadlock-free.
+Program interpret(const ProgramPlan& plan) {
+  return [plan](CoreCtx& ctx) {
+    const int n = ctx.nranks();
+    const int me = ctx.rank();
+    for (const RoundPlan& round : plan.rounds) {
+      ctx.charge_cycles(round.cycles[static_cast<std::size_t>(me)]);
+      if (const auto bytes = round.dram[static_cast<std::size_t>(me)])
+        ctx.dram_read(bytes);
+
+      const int dst = (me + round.shift) % n;
+      const int src = (me - round.shift % n + n) % n;
+      bio::Bytes payload(round.payload[static_cast<std::size_t>(me)],
+                         static_cast<std::byte>(me));
+      ctx.send(dst, payload);
+      const bio::Bytes got = ctx.recv(src);
+      ASSERT_EQ(got.size(), round.payload[static_cast<std::size_t>(src)]);
+      ctx.charge_cycles(500 * got.size());
+
+      if (round.gather) {
+        if (me == 0) {
+          std::vector<int> srcs;
+          for (int k = 1; k < n; ++k) srcs.push_back(k);
+          for (int k = 1; k < n; ++k) {
+            const int who = ctx.wait_any(srcs);
+            (void)ctx.recv(who);
+          }
+        } else {
+          ctx.send(0, bio::Bytes{static_cast<std::byte>(me)});
+        }
+      }
+      ctx.barrier();
+    }
+  };
+}
+
+struct RunSnapshot {
+  noc::SimTime makespan = 0;
+  std::vector<CoreReport> reports;
+  std::vector<TraceEvent> trace;
+  noc::NetworkStats net;
+  std::uint64_t events = 0;
+
+  bool operator==(const RunSnapshot&) const = default;
+};
+
+RunSnapshot execute(const ProgramPlan& plan, int host_threads) {
+  RuntimeConfig cfg;
+  cfg.enable_trace = true;
+  cfg.host.threads = host_threads;
+  SpmdRuntime rt(cfg);
+  RunSnapshot s;
+  s.makespan = rt.run(plan.nranks, interpret(plan));
+  s.reports = rt.core_reports();
+  s.trace = rt.trace();
+  s.net = rt.network_stats();
+  s.events = rt.events_fired();
+  return s;
+}
+
+TEST(HostParallelStress, RandomProgramsMatchSerial) {
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    const ProgramPlan plan = make_plan(seed);
+    const RunSnapshot serial = execute(plan, 1);
+    const RunSnapshot parallel = execute(plan, 4);
+    EXPECT_EQ(serial, parallel) << "seed " << seed << " nranks " << plan.nranks;
+  }
+}
+
+TEST(HostParallelStress, WiderThreadCountsAgreeToo) {
+  // The window cap must not change results: 2, 4, and 16 host threads all
+  // reproduce the serial execution.
+  const ProgramPlan plan = make_plan(99);
+  const RunSnapshot serial = execute(plan, 1);
+  for (const int threads : {2, 4, 16})
+    EXPECT_EQ(serial, execute(plan, threads)) << threads << " host threads";
+}
+
+TEST(HostParallelStress, HardwareConvenienceMatchesSerial) {
+  const ProgramPlan plan = make_plan(7);
+  RuntimeConfig cfg;
+  cfg.enable_trace = true;
+  cfg.host = HostParallelism::hardware();
+  SpmdRuntime rt(cfg);
+  const noc::SimTime makespan = rt.run(plan.nranks, interpret(plan));
+  EXPECT_EQ(makespan, execute(plan, 1).makespan);
+  EXPECT_GE(HostParallelism::hardware().threads, 1);
+}
+
+TEST(HostParallelStress, RepeatedRunsUnderParallelAreStable) {
+  // Same plan, many parallel runs: host thread scheduling noise must never
+  // leak into simulated results.
+  const ProgramPlan plan = make_plan(1234);
+  const RunSnapshot first = execute(plan, 4);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(first, execute(plan, 4)) << "run " << i;
+}
+
+}  // namespace
+}  // namespace rck::scc
