@@ -1,0 +1,122 @@
+// Structure-of-arrays coordinate storage for the comparison kernels.
+//
+// The TM-align hot loops stream CA coordinates: transform-apply plus a
+// squared distance per residue pair. With the AoS `Vec3` layout each residue
+// costs three strided loads; with separate x/y/z arrays a 4-wide SIMD lane
+// loads four residues per component in one instruction. `CoordsSoA` owns the
+// three arrays (32-byte aligned so aligned AVX loads are possible at offset
+// 0) and `CoordsView` is the non-owning window the kernels consume —
+// subviews make seed windows and gapless diagonals zero-copy.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <span>
+#include <vector>
+
+#include "rck/bio/protein.hpp"
+#include "rck/bio/vec3.hpp"
+
+namespace rck::bio {
+
+/// Non-owning SoA window over coordinates. Pointers of subviews are not
+/// necessarily 32-byte aligned; kernels must use unaligned loads.
+struct CoordsView {
+  const double* x = nullptr;
+  const double* y = nullptr;
+  const double* z = nullptr;
+  std::size_t n = 0;
+
+  std::size_t size() const noexcept { return n; }
+  bool empty() const noexcept { return n == 0; }
+  Vec3 at(std::size_t i) const noexcept { return {x[i], y[i], z[i]}; }
+
+  CoordsView subview(std::size_t offset, std::size_t len) const noexcept {
+    return {x + offset, y + offset, z + offset, len};
+  }
+};
+
+/// Minimal aligned allocator so the SoA arrays start on a 32-byte boundary.
+template <class T, std::size_t Align>
+struct AlignedAllocator {
+  using value_type = T;
+  // The second template parameter is a non-type, so allocator_traits cannot
+  // synthesize rebind on its own.
+  template <class U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+  AlignedAllocator() = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  T* allocate(std::size_t count) {
+    return static_cast<T*>(
+        ::operator new(count * sizeof(T), std::align_val_t{Align}));
+  }
+  void deallocate(T* p, std::size_t count) noexcept {
+    ::operator delete(p, count * sizeof(T), std::align_val_t{Align});
+  }
+  template <class U>
+  bool operator==(const AlignedAllocator<U, Align>&) const noexcept {
+    return true;
+  }
+};
+
+/// Owning SoA coordinate array. `resize` never shrinks capacity, so a
+/// workspace-resident instance stops allocating once it has seen the largest
+/// chain of the run.
+class CoordsSoA {
+ public:
+  std::size_t size() const noexcept { return n_; }
+  bool empty() const noexcept { return n_ == 0; }
+
+  double* x() noexcept { return x_.data(); }
+  double* y() noexcept { return y_.data(); }
+  double* z() noexcept { return z_.data(); }
+  const double* x() const noexcept { return x_.data(); }
+  const double* y() const noexcept { return y_.data(); }
+  const double* z() const noexcept { return z_.data(); }
+
+  CoordsView view() const noexcept { return {x_.data(), y_.data(), z_.data(), n_}; }
+
+  Vec3 at(std::size_t i) const noexcept { return {x_[i], y_[i], z_[i]}; }
+  void set(std::size_t i, const Vec3& v) noexcept {
+    x_[i] = v.x;
+    y_[i] = v.y;
+    z_[i] = v.z;
+  }
+
+  /// Grow to `n` elements (contents of new elements unspecified).
+  void resize(std::size_t n) {
+    if (n > x_.size()) {
+      x_.resize(n);
+      y_.resize(n);
+      z_.resize(n);
+    }
+    n_ = n;
+  }
+
+  void clear() noexcept { n_ = 0; }
+
+  void assign(std::span<const Vec3> pts) {
+    resize(pts.size());
+    for (std::size_t i = 0; i < pts.size(); ++i) set(i, pts[i]);
+  }
+
+  /// CA trace of a protein, without the intermediate Vec3 vector that
+  /// Protein::ca_coords() would allocate.
+  void assign(const Protein& p) {
+    resize(p.size());
+    for (std::size_t i = 0; i < p.size(); ++i) set(i, p[i].ca);
+  }
+
+ private:
+  template <class T>
+  using AVec = std::vector<T, AlignedAllocator<T, 32>>;
+  AVec<double> x_, y_, z_;
+  std::size_t n_ = 0;  // logical size; the arrays keep their capacity
+};
+
+}  // namespace rck::bio

@@ -3,13 +3,21 @@
 // Given paired point sets {from_i} and {to_i}, find the proper rotation R
 // and translation t minimizing sum_i |R*from_i + t - to_i|^2. We use Horn's
 // closed-form quaternion method (J. Opt. Soc. Am. A, 1987): build the 4x4
-// symmetric key matrix from the cross-covariance, take the eigenvector of
-// its largest eigenvalue (Jacobi iteration), convert to a rotation. Unlike
-// naive SVD-free Kabsch, the quaternion method never returns a reflection.
+// symmetric key matrix from the cross-covariance and take the eigenvector of
+// its largest eigenvalue. The eigenpair is found with the QCP approach
+// (Theobald, Acta Cryst. A 2005): Newton iteration on the characteristic
+// quartic from an upper bound, eigenvector via the adjugate of K - lambda*I,
+// falling back to a full Jacobi sweep for (near-)degenerate inputs where the
+// top eigenvalue is not isolated. The reported RMSD comes from a direct
+// residual pass under the solved transform, not from the eigenvalue — that
+// is exact at machine precision even when cancellation would make the
+// eigenvalue form lose digits. Unlike naive SVD-free Kabsch, the quaternion
+// method never returns a reflection.
 #pragma once
 
 #include <span>
 
+#include "rck/bio/coords_soa.hpp"
 #include "rck/bio/vec3.hpp"
 #include "rck/core/stats.hpp"
 
@@ -28,6 +36,13 @@ struct Superposition {
 /// If `stats` is non-null, kabsch_calls / kabsch_points are accumulated.
 Superposition superpose(std::span<const bio::Vec3> from, std::span<const bio::Vec3> to,
                         AlignStats* stats = nullptr);
+
+/// SoA-view variant used by the hot path: accumulation and the RMSD residual
+/// pass run through the deterministic 4-lane kernels (see simd_kernels.hpp).
+/// When `with_rmsd` is false the residual pass is skipped and `rmsd` is 0 —
+/// the superposition search only consumes the transform.
+Superposition superpose(bio::CoordsView from, bio::CoordsView to,
+                        AlignStats* stats = nullptr, bool with_rmsd = true);
 
 /// RMSD after optimal superposition (convenience wrapper).
 double superposed_rmsd(std::span<const bio::Vec3> from, std::span<const bio::Vec3> to,

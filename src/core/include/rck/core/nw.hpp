@@ -31,7 +31,10 @@ class NwWorkspace {
  public:
   NwWorkspace() = default;
 
-  /// Prepare for a problem of len_x by len_y residues. Keeps capacity.
+  /// Prepare for a problem of len_x by len_y residues. Grows capacity as
+  /// needed but never clears: callers fill every score cell before solve(),
+  /// and solve() resets its own DP boundaries, so clearing would be O(L^2)
+  /// wasted work per refinement iteration.
   void resize(std::size_t len_x, std::size_t len_y);
 
   std::size_t len_x() const noexcept { return lx_; }
@@ -41,15 +44,24 @@ class NwWorkspace {
   double& score(std::size_t i, std::size_t j) noexcept { return score_[i * ly_ + j]; }
   double score(std::size_t i, std::size_t j) const noexcept { return score_[i * ly_ + j]; }
 
+  /// Pointer to row i of the score matrix (ly() contiguous cells), for the
+  /// vectorized row-fill kernels.
+  double* score_row(std::size_t i) noexcept { return score_.data() + i * ly_; }
+
   /// Run the DP with the given gap-open penalty (gap_open <= 0) and return
   /// the y->x mapping. Accumulates dp_cells into `stats` if non-null.
   Alignment solve(double gap_open, AlignStats* stats = nullptr);
+
+  /// Allocation-free variant: writes the mapping into `y2x` (resized to
+  /// len_y, capacity reused).
+  void solve(double gap_open, Alignment& y2x, AlignStats* stats = nullptr);
 
  private:
   std::size_t lx_ = 0, ly_ = 0;
   std::vector<double> score_;  // lx * ly
   std::vector<double> val_;    // (lx+1) * (ly+1)
-  std::vector<char> path_;     // (lx+1) * (ly+1), 1 = reached diagonally
+  std::vector<double> path_;   // (lx+1) * (ly+1), 1.0 = reached diagonally
+  std::vector<double> comb_;   // ly+1: val + gap_open*path of one row (see solve)
 };
 
 }  // namespace rck::core

@@ -9,6 +9,7 @@
 #include <span>
 #include <string>
 
+#include "rck/bio/coords_soa.hpp"
 #include "rck/bio/protein.hpp"
 #include "rck/bio/synthetic.hpp"  // SsType
 
@@ -24,6 +25,10 @@ bio::SsType sec_str(double d13, double d14, double d15, double d24, double d25,
 /// Per-residue assignment for a CA trace. Residues closer than 2 positions
 /// to either terminus are coil (the window does not fit).
 std::vector<bio::SsType> assign_secondary_structure(std::span<const bio::Vec3> ca);
+
+/// Allocation-free variant over an SoA view, writing into `out` (resized to
+/// ca.size(), capacity reused). Same assignment as the span overload.
+void assign_secondary_structure(bio::CoordsView ca, std::vector<bio::SsType>& out);
 
 /// Same, as a compact string: H (helix), E (strand), T (turn), C (coil).
 std::string secondary_structure_string(std::span<const bio::Vec3> ca);

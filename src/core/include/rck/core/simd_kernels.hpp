@@ -1,0 +1,60 @@
+// Deterministic SIMD kernels for the TM-align hot loops.
+//
+// Every kernel reduces with a fixed logical width of 4 lanes — four running
+// partial sums combined as (l0 + l1) + (l2 + l3) plus a sequential scalar
+// tail — regardless of whether the AVX2 or the portable fallback path runs.
+// Both paths execute identical per-element IEEE operations in identical
+// order, so for a given input they return bit-identical results; the choice
+// only affects host wall-clock. That keeps the PR 2 serial-vs-parallel
+// bit-identity suite and the AlignStats cycle model independent of the host
+// ISA, and lets the equivalence tests assert exact equality.
+//
+// The TM-score term is evaluated as d0^2 / (d0^2 + d^2) — algebraically
+// equal to the textbook 1 / (1 + d^2/d0^2) with one division instead of two
+// (division is the SIMD throughput bottleneck); the two forms differ by at
+// most ~1 ulp per term.
+#pragma once
+
+#include "rck/bio/coords_soa.hpp"
+#include "rck/bio/vec3.hpp"
+
+namespace rck::core::kern {
+
+/// True when the AVX2 code path was compiled in (x86-64, -mavx2 accepted,
+/// RCK_SIMD=ON).
+bool simd_compiled() noexcept;
+
+/// Runtime toggle between the AVX2 path and the portable fallback. Defaults
+/// to on when compiled in and the CPU supports AVX2. Results are identical
+/// either way; the toggle exists for the scalar-vs-SIMD bench columns and
+/// the equivalence tests.
+bool simd_enabled() noexcept;
+void set_simd_enabled(bool on) noexcept;
+
+/// Sum over pairs k of d0^2 / (d0^2 + |T xa_k - ya_k|^2). When `d2_out` is
+/// non-null, also writes each pair's squared distance to d2_out[k] (used by
+/// the selection passes of tmscore_search). Precondition: xa.n == ya.n.
+double tm_sum(bio::CoordsView xa, bio::CoordsView ya, const bio::Transform& t,
+              double d0sq, double* d2_out = nullptr) noexcept;
+
+/// Sum over pairs of |T xa_k - ya_k|^2 (direct residual sum for RMSD).
+double sum_d2(bio::CoordsView xa, bio::CoordsView ya,
+              const bio::Transform& t) noexcept;
+
+/// One score-matrix row: out[j] = dsq / (dsq + |tx - y_j|^2), plus bonus[j]
+/// when `bonus` is non-null (the per-row secondary-structure bonus table).
+void score_row(const bio::Vec3& tx, bio::CoordsView y, double dsq,
+               const double* bonus, double* out) noexcept;
+
+/// Centered Kabsch accumulation: centroids, cross-covariance of the
+/// centered point sets, and the centered squared norms. Two passes, both
+/// 4-lane deterministic.
+struct KabschSums {
+  bio::Vec3 cf, ct;   ///< centroids of `from` / `to`
+  double m[3][3];     ///< sum (from_i - cf)(to_i - ct)^T
+  double fq = 0.0;    ///< sum |from_i - cf|^2
+  double tq = 0.0;    ///< sum |to_i - ct|^2
+};
+KabschSums kabsch_accumulate(bio::CoordsView from, bio::CoordsView to) noexcept;
+
+}  // namespace rck::core::kern

@@ -18,7 +18,11 @@
 // SCC simulator can charge cycle-accurate-ish compute time per pair.
 #pragma once
 
+#include <array>
+
+#include "rck/bio/coords_soa.hpp"
 #include "rck/bio/protein.hpp"
+#include "rck/bio/synthetic.hpp"  // SsType
 #include "rck/core/nw.hpp"
 #include "rck/core/stats.hpp"
 #include "rck/core/tmscore.hpp"
@@ -63,9 +67,44 @@ struct TmAlignResult {
   double tm() const noexcept { return tm_norm_a > tm_norm_b ? tm_norm_a : tm_norm_b; }
 };
 
+/// Candidate alignment tracked by the refinement stages. Lives inside the
+/// workspace so its alignment buffer is reused across calls.
+struct TmAlignCandidate {
+  Alignment y2x;
+  double tm = -1.0;
+  bio::Transform transform;
+};
+
+/// All scratch state of one tmalign() evaluation: SoA copies of the two
+/// chains, SS assignments and per-class bonus tables, the NW workspace, the
+/// search workspace, gathered pair buffers, candidate alignments and the
+/// result itself. A workspace that has seen the largest chain pair of a run
+/// performs zero heap allocations on subsequent calls — each simulated
+/// slave (and each cost-cache builder thread) holds one.
+struct TmAlignWorkspace {
+  bio::CoordsSoA x, y;                ///< CA traces of the two chains
+  std::vector<bio::SsType> ss1, ss2;  ///< secondary-structure assignments
+  /// Per-class SS match tables over chain y, indexed by SsType value:
+  /// ss_eq1[c][j] = 1.0 if ss2[j] == c (the initial-SS score matrix rows),
+  /// ss_bonus[c][j] = 0.5 if ss2[j] == c (the hybrid-matrix bonus rows).
+  std::array<std::vector<double>, 5> ss_eq1, ss_bonus;
+  NwWorkspace nw;
+  TmSearchWorkspace search;
+  bio::CoordsSoA xa, ya;  ///< gathered aligned pairs
+  TmAlignCandidate best, trial, current;
+  Alignment prev_aln, next_aln;
+  TmAlignResult result;
+};
+
 /// Align chain `a` onto chain `b`.
 /// Throws std::invalid_argument if either chain has fewer than 5 residues.
 TmAlignResult tmalign(const bio::Protein& a, const bio::Protein& b,
                       const TmAlignOptions& opts = {});
+
+/// Workspace variant: all scratch state (and the result) lives in `ws`, so
+/// steady-state calls allocate nothing. The returned reference points into
+/// `ws.result` and is invalidated by the next call on the same workspace.
+const TmAlignResult& tmalign(const bio::Protein& a, const bio::Protein& b,
+                             TmAlignWorkspace& ws, const TmAlignOptions& opts = {});
 
 }  // namespace rck::core

@@ -16,7 +16,9 @@
 #pragma once
 
 #include <span>
+#include <vector>
 
+#include "rck/bio/coords_soa.hpp"
 #include "rck/bio/vec3.hpp"
 #include "rck/core/stats.hpp"
 
@@ -48,6 +50,16 @@ double tm_of_transform(std::span<const bio::Vec3> xa, std::span<const bio::Vec3>
                        const bio::Transform& t, int lnorm, double d0,
                        AlignStats* stats = nullptr);
 
+/// Reusable scratch for tmscore_search: the per-pair squared distances of
+/// the last scoring pass, the selected index sets, and the gathered SoA
+/// subsets. Holding one per caller makes repeated searches allocation-free
+/// once the buffers have grown to the largest problem seen.
+struct TmSearchWorkspace {
+  std::vector<double> d2;
+  std::vector<int> selected, prev_selected;
+  bio::CoordsSoA sel_x, sel_y;
+};
+
 /// Find the transform of x maximizing TM-score over the aligned pairs.
 /// Preconditions: xa.size() == ya.size(). Fewer than 3 pairs returns tm = 0
 /// with the identity transform.
@@ -55,5 +67,15 @@ TmSearchResult tmscore_search(std::span<const bio::Vec3> xa,
                               std::span<const bio::Vec3> ya, int lnorm, double d0,
                               const TmSearchOptions& opts = {},
                               AlignStats* stats = nullptr);
+
+/// SoA-view variant used by the hot path: seed windows are zero-copy
+/// subviews, scoring runs through the deterministic 4-lane kernels, and the
+/// cutoff-growing loop re-selects from the cached distances of the last
+/// scoring pass instead of rescanning all pairs (scored_pairs is still
+/// charged per growth step — the cycle model prices the canonical
+/// algorithm, not the host shortcut).
+TmSearchResult tmscore_search(bio::CoordsView xa, bio::CoordsView ya, int lnorm,
+                              double d0, const TmSearchOptions& opts,
+                              TmSearchWorkspace& ws, AlignStats* stats = nullptr);
 
 }  // namespace rck::core

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "rck/core/simd_kernels.hpp"
+
 namespace rck::core {
 
 using bio::Mat3;
@@ -16,7 +18,9 @@ namespace {
 /// Jacobi eigen-decomposition of a symmetric 4x4 matrix.
 /// Returns eigenvalues (unsorted) and the corresponding eigenvectors as
 /// columns of `vecs`. Converges quadratically; 50 sweeps is far more than
-/// ever needed for well-conditioned Horn matrices.
+/// ever needed for well-conditioned Horn matrices. Kept as the fallback for
+/// inputs where the Newton/adjugate path detects a (near-)degenerate top
+/// eigenvalue — collinear point sets, for example.
 void jacobi4(std::array<std::array<double, 4>, 4>& a,
              std::array<double, 4>& vals,
              std::array<std::array<double, 4>, 4>& vecs) {
@@ -77,6 +81,161 @@ Mat3 quaternion_to_rotation(double w, double x, double y, double z) noexcept {
   return r;
 }
 
+/// Horn's symmetric 4x4 key matrix from a (centered) cross-covariance.
+std::array<std::array<double, 4>, 4> horn_matrix(const double m[3][3]) noexcept {
+  const double sxx = m[0][0], sxy = m[0][1], sxz = m[0][2];
+  const double syx = m[1][0], syy = m[1][1], syz = m[1][2];
+  const double szx = m[2][0], szy = m[2][1], szz = m[2][2];
+  return {{
+      {sxx + syy + szz, syz - szy, szx - sxz, sxy - syx},
+      {syz - szy, sxx - syy - szz, sxy + syx, szx + sxz},
+      {szx - sxz, sxy + syx, -sxx + syy - szz, syz + szy},
+      {sxy - syx, szx + sxz, syz + szy, -sxx - syy + szz},
+  }};
+}
+
+double det4(const std::array<std::array<double, 4>, 4>& k) noexcept {
+  double det = 0.0;
+  for (int c = 0; c < 4; ++c) {
+    int cols[3], w = 0;
+    for (int j = 0; j < 4; ++j)
+      if (j != c) cols[w++] = j;
+    const double minor =
+        k[1][cols[0]] * (k[2][cols[1]] * k[3][cols[2]] - k[2][cols[2]] * k[3][cols[1]]) -
+        k[1][cols[1]] * (k[2][cols[0]] * k[3][cols[2]] - k[2][cols[2]] * k[3][cols[0]]) +
+        k[1][cols[2]] * (k[2][cols[0]] * k[3][cols[1]] - k[2][cols[1]] * k[3][cols[0]]);
+    det += ((c % 2 == 0) ? 1.0 : -1.0) * k[0][c] * minor;
+  }
+  return det;
+}
+
+/// Unit quaternion (w, x, y, z) of the largest eigenvalue of the Horn
+/// matrix built from the centered cross-covariance `m`, where fq/tq are the
+/// centered squared norms of the two point sets.
+///
+/// Fast path (Theobald's QCP idea): the covariance is scaled so the largest
+/// eigenvalue lies in (0, 1]; K is traceless so its characteristic
+/// polynomial is x^4 + c2 x^2 + c1 x + c0, and Halley from the upper bound
+/// x = 1 converges monotonically onto the largest root in ~3 iterations.
+/// The eigenvector is any non-negligible column of adj(K - x I). If the
+/// iteration stalls or every adjugate column is tiny (top eigenvalue not isolated:
+/// degenerate/collinear input), fall back to the Jacobi solve, which handles
+/// multiplicity correctly.
+void horn_max_eigen_quat(const double m[3][3], double fq, double tq,
+                         double q[4]) {
+  q[0] = 1.0;
+  q[1] = q[2] = q[3] = 0.0;
+  const double scale = 0.5 * (fq + tq);
+  if (!(scale > 0.0)) return;  // all points at the centroids: identity
+
+  const double inv = 1.0 / scale;
+  double s[3][3];
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j) s[i][j] = m[i][j] * inv;
+
+  const double sxx = s[0][0], sxy = s[0][1], sxz = s[0][2];
+  const double syx = s[1][0], syy = s[1][1], syz = s[1][2];
+  const double szx = s[2][0], szy = s[2][1], szz = s[2][2];
+
+  const double c2 = -2.0 * (sxx * sxx + sxy * sxy + sxz * sxz + syx * syx +
+                            syy * syy + syz * syz + szx * szx + szy * szy +
+                            szz * szz);
+  const double c1 =
+      8.0 * (sxx * syz * szy + syy * szx * sxz + szz * sxy * syx -
+             sxx * syy * szz - syz * szx * sxy - szy * syx * sxz);
+  const auto k = horn_matrix(s);
+  const double c0 = det4(k);
+
+  // Halley on P(x) = x^4 + c2 x^2 + c1 x + c0 from the upper bound x = 1
+  // (lambda_max <= (fq + tq) / 2, i.e. <= 1 after scaling). P is the
+  // characteristic polynomial of a symmetric matrix, so all four roots are
+  // real, and on real-rooted polynomials Halley — like Newton — descends
+  // monotonically from the right onto the largest root; the cubic order just
+  // gets there in ~3 steps instead of ~6.
+  double x = 1.0;
+  bool converged = false;
+  for (int it = 0; it < 50; ++it) {
+    const double x2 = x * x;
+    const double p = x2 * x2 + c2 * x2 + c1 * x + c0;
+    const double dp = 4.0 * x2 * x + 2.0 * c2 * x + c1;
+    const double ddp = 12.0 * x2 + 2.0 * c2;
+    const double den = 2.0 * dp * dp - p * ddp;
+    if (den == 0.0) break;
+    const double step = 2.0 * p * dp / den;
+    x -= step;
+    if (std::abs(step) < 1e-13) {
+      converged = true;
+      break;
+    }
+  }
+
+  if (converged) {
+    // a = K - x I; eigenvector = any non-zero column of adj(a).
+    std::array<std::array<double, 4>, 4> a = k;
+    for (int i = 0; i < 4; ++i) a[i][i] -= x;
+
+    // Columns are computed lazily: any column whose squared norm is clearly
+    // non-degenerate (entries of the scaled K are O(1), so 1e-4 leaves ~6
+    // digits of headroom over roundoff) determines the eigenvector to full
+    // working precision, and most inputs accept the very first one. Only
+    // near-degenerate matrices fall through to the best-of-four scan.
+    double best_n2 = -1.0;
+    double best_col[4] = {0, 0, 0, 0};
+    for (int c = 0; c < 4 && best_n2 <= 1e-4; ++c) {
+      // Column c of the adjugate: cofactors C(c, r) of the transposed minor.
+      double col[4];
+      for (int r = 0; r < 4; ++r) {
+        int rows[3], ri = 0, cols[3], ci = 0;
+        for (int i = 0; i < 4; ++i)
+          if (i != c) rows[ri++] = i;
+        for (int j = 0; j < 4; ++j)
+          if (j != r) cols[ci++] = j;
+        const double minor =
+            a[rows[0]][cols[0]] * (a[rows[1]][cols[1]] * a[rows[2]][cols[2]] -
+                                   a[rows[1]][cols[2]] * a[rows[2]][cols[1]]) -
+            a[rows[0]][cols[1]] * (a[rows[1]][cols[0]] * a[rows[2]][cols[2]] -
+                                   a[rows[1]][cols[2]] * a[rows[2]][cols[0]]) +
+            a[rows[0]][cols[2]] * (a[rows[1]][cols[0]] * a[rows[2]][cols[1]] -
+                                   a[rows[1]][cols[1]] * a[rows[2]][cols[0]]);
+        col[r] = (((r + c) % 2 == 0) ? 1.0 : -1.0) * minor;
+      }
+      const double n2 =
+          col[0] * col[0] + col[1] * col[1] + col[2] * col[2] + col[3] * col[3];
+      if (n2 > best_n2) {
+        best_n2 = n2;
+        best_col[0] = col[0];
+        best_col[1] = col[1];
+        best_col[2] = col[2];
+        best_col[3] = col[3];
+      }
+    }
+    if (best_n2 > 1e-12) {
+      const double qn = std::sqrt(best_n2);
+      q[0] = best_col[0] / qn;
+      q[1] = best_col[1] / qn;
+      q[2] = best_col[2] / qn;
+      q[3] = best_col[3] / qn;
+      return;
+    }
+  }
+
+  // Degenerate or non-converged: full Jacobi on the unscaled matrix.
+  auto nmat = horn_matrix(m);
+  std::array<double, 4> vals{};
+  std::array<std::array<double, 4>, 4> vecs{};
+  jacobi4(nmat, vals, vecs);
+  int best = 0;
+  for (int i = 1; i < 4; ++i)
+    if (vals[i] > vals[best]) best = i;
+  double qw = vecs[0][best], qx = vecs[1][best], qy = vecs[2][best],
+         qz = vecs[3][best];
+  const double qn = std::sqrt(qw * qw + qx * qx + qy * qy + qz * qz);
+  q[0] = qw / qn;
+  q[1] = qx / qn;
+  q[2] = qy / qn;
+  q[3] = qz / qn;
+}
+
 }  // namespace
 
 Superposition superpose(std::span<const Vec3> from, std::span<const Vec3> to,
@@ -100,49 +259,55 @@ Superposition superpose(std::span<const Vec3> from, std::span<const Vec3> to,
   ct /= static_cast<double>(n);
 
   // Cross-covariance M = sum (from - cf)(to - ct)^T.
-  Mat3 m = Mat3::zero();
-  double from_sq = 0.0, to_sq = 0.0;  // for the RMSD via the eigenvalue
+  double m[3][3] = {{0, 0, 0}, {0, 0, 0}, {0, 0, 0}};
+  double from_sq = 0.0, to_sq = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
     const Vec3 f = from[i] - cf;
     const Vec3 t = to[i] - ct;
-    m(0, 0) += f.x * t.x; m(0, 1) += f.x * t.y; m(0, 2) += f.x * t.z;
-    m(1, 0) += f.y * t.x; m(1, 1) += f.y * t.y; m(1, 2) += f.y * t.z;
-    m(2, 0) += f.z * t.x; m(2, 1) += f.z * t.y; m(2, 2) += f.z * t.z;
+    m[0][0] += f.x * t.x; m[0][1] += f.x * t.y; m[0][2] += f.x * t.z;
+    m[1][0] += f.y * t.x; m[1][1] += f.y * t.y; m[1][2] += f.y * t.z;
+    m[2][0] += f.z * t.x; m[2][1] += f.z * t.y; m[2][2] += f.z * t.z;
     from_sq += norm2(f);
     to_sq += norm2(t);
   }
 
-  // Horn's symmetric 4x4 key matrix.
-  const double sxx = m(0, 0), sxy = m(0, 1), sxz = m(0, 2);
-  const double syx = m(1, 0), syy = m(1, 1), syz = m(1, 2);
-  const double szx = m(2, 0), szy = m(2, 1), szz = m(2, 2);
-  std::array<std::array<double, 4>, 4> nmat{{
-      {sxx + syy + szz, syz - szy, szx - sxz, sxy - syx},
-      {syz - szy, sxx - syy - szz, sxy + syx, szx + sxz},
-      {szx - sxz, sxy + syx, -sxx + syy - szz, syz + szy},
-      {sxy - syx, szx + sxz, syz + szy, -sxx - syy + szz},
-  }};
-
-  std::array<double, 4> vals{};
-  std::array<std::array<double, 4>, 4> vecs{};
-  jacobi4(nmat, vals, vecs);
-
-  int best = 0;
-  for (int i = 1; i < 4; ++i)
-    if (vals[i] > vals[best]) best = i;
-
-  double qw = vecs[0][best], qx = vecs[1][best], qy = vecs[2][best], qz = vecs[3][best];
-  const double qn = std::sqrt(qw * qw + qx * qx + qy * qy + qz * qz);
-  qw /= qn; qx /= qn; qy /= qn; qz /= qn;
+  double q[4];
+  horn_max_eigen_quat(m, from_sq, to_sq, q);
 
   Superposition out;
-  out.transform.rot = quaternion_to_rotation(qw, qx, qy, qz);
+  out.transform.rot = quaternion_to_rotation(q[0], q[1], q[2], q[3]);
   out.transform.trans = ct - out.transform.rot * cf;
 
-  // RMSD from the largest eigenvalue: e^2 = (|f|^2 + |t|^2 - 2*lambda_max)/n.
-  const double e2 = std::max(0.0, (from_sq + to_sq - 2.0 * vals[best]) /
-                                      static_cast<double>(n));
-  out.rmsd = std::sqrt(e2);
+  // RMSD by direct residual: exact where the eigenvalue form
+  // (|f|^2 + |t|^2 - 2 lambda) / n cancels catastrophically.
+  double ss = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    ss += distance2(out.transform.apply(from[i]), to[i]);
+  out.rmsd = std::sqrt(ss / static_cast<double>(n));
+  return out;
+}
+
+Superposition superpose(bio::CoordsView from, bio::CoordsView to,
+                        AlignStats* stats, bool with_rmsd) {
+  if (from.n != to.n) throw std::invalid_argument("superpose: size mismatch");
+  if (from.n < 3)
+    throw std::invalid_argument("superpose: need at least 3 points");
+  if (stats != nullptr) {
+    stats->kabsch_calls += 1;
+    stats->kabsch_points += from.n;
+  }
+
+  const kern::KabschSums sums = kern::kabsch_accumulate(from, to);
+
+  double q[4];
+  horn_max_eigen_quat(sums.m, sums.fq, sums.tq, q);
+
+  Superposition out;
+  out.transform.rot = quaternion_to_rotation(q[0], q[1], q[2], q[3]);
+  out.transform.trans = sums.ct - out.transform.rot * sums.cf;
+  if (with_rmsd)
+    out.rmsd = std::sqrt(kern::sum_d2(from, to, out.transform) /
+                         static_cast<double>(from.n));
   return out;
 }
 

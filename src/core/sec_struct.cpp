@@ -29,6 +29,21 @@ SsType sec_str(double d13, double d14, double d15, double d24, double d25,
   return SsType::Coil;
 }
 
+void assign_secondary_structure(bio::CoordsView ca, std::vector<SsType>& out) {
+  const std::size_t n = ca.size();
+  out.assign(n, SsType::Coil);
+  if (n < 5) return;
+  for (std::size_t i = 2; i + 2 < n; ++i) {
+    const double d13 = distance(ca.at(i - 2), ca.at(i));
+    const double d14 = distance(ca.at(i - 2), ca.at(i + 1));
+    const double d15 = distance(ca.at(i - 2), ca.at(i + 2));
+    const double d24 = distance(ca.at(i - 1), ca.at(i + 1));
+    const double d25 = distance(ca.at(i - 1), ca.at(i + 2));
+    const double d35 = distance(ca.at(i), ca.at(i + 2));
+    out[i] = sec_str(d13, d14, d15, d24, d25, d35);
+  }
+}
+
 std::vector<SsType> assign_secondary_structure(std::span<const Vec3> ca) {
   const std::size_t n = ca.size();
   std::vector<SsType> sec(n, SsType::Coil);

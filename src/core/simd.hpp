@@ -1,0 +1,91 @@
+// Private: fixed-width 4-lane vector types for the comparison kernels.
+//
+// Both implementations expose the same operations over exactly 4 double
+// lanes, and every kernel in simd_kernels_impl.hpp is a template over the
+// lane type — so the AVX2 build and the scalar fallback execute the same
+// per-element operations in the same order and produce bit-identical
+// results. That is the determinism contract the host-parallel scheduler and
+// the SIMD-vs-scalar tests rely on; widening the logical vector width would
+// change reduction order and break it. Only the simd_kernels*.cpp TUs may
+// include this header (the AVX2 one is the only TU compiled with -mavx2,
+// keeping the intrinsics out of every other translation unit).
+#pragma once
+
+#include <cstddef>
+
+#if defined(__AVX2__) && !defined(RCK_SIMD_DISABLE)
+#define RCK_SIMD_HAVE_AVX2 1
+#include <immintrin.h>
+#endif
+
+namespace rck::core::kern {
+
+inline constexpr std::size_t kLanes = 4;
+
+/// Portable 4-lane "vector": plain doubles, same lane semantics as V4Avx.
+/// Compilers typically auto-vectorize it with whatever ISA the TU allows,
+/// which is fine — per-lane IEEE add/mul/div results do not depend on the
+/// instruction encoding (FMA contraction is disabled build-wide).
+struct V4Scalar {
+  double l[4];
+
+  static V4Scalar broadcast(double v) noexcept { return {{v, v, v, v}}; }
+  static V4Scalar load(const double* p) noexcept {
+    return {{p[0], p[1], p[2], p[3]}};
+  }
+  void store(double* p) const noexcept {
+    p[0] = l[0];
+    p[1] = l[1];
+    p[2] = l[2];
+    p[3] = l[3];
+  }
+
+  friend V4Scalar operator+(const V4Scalar& a, const V4Scalar& b) noexcept {
+    return {{a.l[0] + b.l[0], a.l[1] + b.l[1], a.l[2] + b.l[2], a.l[3] + b.l[3]}};
+  }
+  friend V4Scalar operator-(const V4Scalar& a, const V4Scalar& b) noexcept {
+    return {{a.l[0] - b.l[0], a.l[1] - b.l[1], a.l[2] - b.l[2], a.l[3] - b.l[3]}};
+  }
+  friend V4Scalar operator*(const V4Scalar& a, const V4Scalar& b) noexcept {
+    return {{a.l[0] * b.l[0], a.l[1] * b.l[1], a.l[2] * b.l[2], a.l[3] * b.l[3]}};
+  }
+  friend V4Scalar operator/(const V4Scalar& a, const V4Scalar& b) noexcept {
+    return {{a.l[0] / b.l[0], a.l[1] / b.l[1], a.l[2] / b.l[2], a.l[3] / b.l[3]}};
+  }
+
+  /// Fixed-order horizontal sum: (l0 + l1) + (l2 + l3).
+  double hsum() const noexcept { return (l[0] + l[1]) + (l[2] + l[3]); }
+};
+
+#if defined(RCK_SIMD_HAVE_AVX2)
+
+struct V4Avx {
+  __m256d v;
+
+  static V4Avx broadcast(double x) noexcept { return {_mm256_set1_pd(x)}; }
+  static V4Avx load(const double* p) noexcept { return {_mm256_loadu_pd(p)}; }
+  void store(double* p) const noexcept { _mm256_storeu_pd(p, v); }
+
+  friend V4Avx operator+(const V4Avx& a, const V4Avx& b) noexcept {
+    return {_mm256_add_pd(a.v, b.v)};
+  }
+  friend V4Avx operator-(const V4Avx& a, const V4Avx& b) noexcept {
+    return {_mm256_sub_pd(a.v, b.v)};
+  }
+  friend V4Avx operator*(const V4Avx& a, const V4Avx& b) noexcept {
+    return {_mm256_mul_pd(a.v, b.v)};
+  }
+  friend V4Avx operator/(const V4Avx& a, const V4Avx& b) noexcept {
+    return {_mm256_div_pd(a.v, b.v)};
+  }
+
+  double hsum() const noexcept {
+    alignas(32) double t[4];
+    _mm256_store_pd(t, v);
+    return (t[0] + t[1]) + (t[2] + t[3]);
+  }
+};
+
+#endif  // RCK_SIMD_HAVE_AVX2
+
+}  // namespace rck::core::kern

@@ -1,0 +1,95 @@
+// Dispatch layer + portable instantiation of the comparison kernels.
+//
+// This TU is compiled with the project's baseline flags (no -mavx2), so it
+// is safe to execute on any x86-64; the AVX2 instantiations live in
+// simd_kernels_avx2.cpp, the only TU built with -mavx2. Dispatch is a
+// runtime toggle so benches and tests can compare the two paths in one
+// process.
+#include "rck/core/simd_kernels.hpp"
+
+#include <atomic>
+
+#include "simd_kernels_impl.hpp"
+
+namespace rck::core::kern {
+
+#if defined(RCK_SIMD_X86_AVX2)
+// Implemented in simd_kernels_avx2.cpp.
+double tm_sum_avx2(bio::CoordsView xa, bio::CoordsView ya,
+                   const bio::Transform& t, double d0sq,
+                   double* d2_out) noexcept;
+double sum_d2_avx2(bio::CoordsView xa, bio::CoordsView ya,
+                   const bio::Transform& t) noexcept;
+void score_row_avx2(const bio::Vec3& tx, bio::CoordsView y, double dsq,
+                    const double* bonus, double* out) noexcept;
+KabschSums kabsch_accumulate_avx2(bio::CoordsView from,
+                                  bio::CoordsView to) noexcept;
+#endif
+
+namespace {
+
+bool default_enabled() noexcept {
+#if defined(RCK_SIMD_X86_AVX2)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+std::atomic<bool>& enabled_flag() noexcept {
+  static std::atomic<bool> flag{default_enabled()};
+  return flag;
+}
+
+}  // namespace
+
+bool simd_compiled() noexcept {
+#if defined(RCK_SIMD_X86_AVX2)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool simd_enabled() noexcept {
+  return enabled_flag().load(std::memory_order_relaxed);
+}
+
+void set_simd_enabled(bool on) noexcept {
+  // Never enable a path that was not compiled in / cannot run here.
+  enabled_flag().store(on && simd_compiled() && default_enabled(),
+                       std::memory_order_relaxed);
+}
+
+double tm_sum(bio::CoordsView xa, bio::CoordsView ya, const bio::Transform& t,
+              double d0sq, double* d2_out) noexcept {
+#if defined(RCK_SIMD_X86_AVX2)
+  if (simd_enabled()) return tm_sum_avx2(xa, ya, t, d0sq, d2_out);
+#endif
+  return tm_sum_impl<V4Scalar>(xa, ya, t, d0sq, d2_out);
+}
+
+double sum_d2(bio::CoordsView xa, bio::CoordsView ya,
+              const bio::Transform& t) noexcept {
+#if defined(RCK_SIMD_X86_AVX2)
+  if (simd_enabled()) return sum_d2_avx2(xa, ya, t);
+#endif
+  return sum_d2_impl<V4Scalar>(xa, ya, t);
+}
+
+void score_row(const bio::Vec3& tx, bio::CoordsView y, double dsq,
+               const double* bonus, double* out) noexcept {
+#if defined(RCK_SIMD_X86_AVX2)
+  if (simd_enabled()) return score_row_avx2(tx, y, dsq, bonus, out);
+#endif
+  return score_row_impl<V4Scalar>(tx, y, dsq, bonus, out);
+}
+
+KabschSums kabsch_accumulate(bio::CoordsView from, bio::CoordsView to) noexcept {
+#if defined(RCK_SIMD_X86_AVX2)
+  if (simd_enabled()) return kabsch_accumulate_avx2(from, to);
+#endif
+  return kabsch_accumulate_impl<V4Scalar>(from, to);
+}
+
+}  // namespace rck::core::kern

@@ -1,0 +1,38 @@
+// AVX2 instantiations of the comparison kernels.
+//
+// The only TU in the project compiled with -mavx2 (set in
+// src/core/CMakeLists.txt when RCK_SIMD=ON and the toolchain supports it).
+// Compiles to nothing otherwise, so the build works unchanged on other
+// architectures and with RCK_SIMD=OFF.
+#include "rck/core/simd_kernels.hpp"
+
+#include "simd_kernels_impl.hpp"
+
+#if defined(RCK_SIMD_HAVE_AVX2)
+
+namespace rck::core::kern {
+
+double tm_sum_avx2(bio::CoordsView xa, bio::CoordsView ya,
+                   const bio::Transform& t, double d0sq,
+                   double* d2_out) noexcept {
+  return tm_sum_impl<V4Avx>(xa, ya, t, d0sq, d2_out);
+}
+
+double sum_d2_avx2(bio::CoordsView xa, bio::CoordsView ya,
+                   const bio::Transform& t) noexcept {
+  return sum_d2_impl<V4Avx>(xa, ya, t);
+}
+
+void score_row_avx2(const bio::Vec3& tx, bio::CoordsView y, double dsq,
+                    const double* bonus, double* out) noexcept {
+  return score_row_impl<V4Avx>(tx, y, dsq, bonus, out);
+}
+
+KabschSums kabsch_accumulate_avx2(bio::CoordsView from,
+                                  bio::CoordsView to) noexcept {
+  return kabsch_accumulate_impl<V4Avx>(from, to);
+}
+
+}  // namespace rck::core::kern
+
+#endif  // RCK_SIMD_HAVE_AVX2

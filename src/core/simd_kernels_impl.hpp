@@ -1,0 +1,224 @@
+// Private: kernel bodies shared by the scalar and AVX2 translation units.
+//
+// Each kernel is a template over the 4-lane vector type from simd.hpp and is
+// instantiated exactly twice (V4Scalar in simd_kernels.cpp, V4Avx in
+// simd_kernels_avx2.cpp). Whole multiples of 4 elements go through the lane
+// accumulators; the remainder is handled by a scalar tail that repeats the
+// same per-element expressions, added after the fixed-order horizontal sum.
+// Keeping one body for both paths is what guarantees their bit-identity.
+#pragma once
+
+#include <cstddef>
+
+#include "rck/bio/coords_soa.hpp"
+#include "rck/bio/vec3.hpp"
+#include "rck/core/simd_kernels.hpp"
+#include "simd.hpp"
+
+namespace rck::core::kern {
+
+template <class V>
+double tm_sum_impl(bio::CoordsView xa, bio::CoordsView ya,
+                   const bio::Transform& t, double d0sq,
+                   double* d2_out) noexcept {
+  const std::size_t n = xa.n;
+  const std::size_t blocks = (n / kLanes) * kLanes;
+  const double r00 = t.rot(0, 0), r01 = t.rot(0, 1), r02 = t.rot(0, 2);
+  const double r10 = t.rot(1, 0), r11 = t.rot(1, 1), r12 = t.rot(1, 2);
+  const double r20 = t.rot(2, 0), r21 = t.rot(2, 1), r22 = t.rot(2, 2);
+  const double t0 = t.trans.x, t1 = t.trans.y, t2 = t.trans.z;
+
+  const V vr00 = V::broadcast(r00), vr01 = V::broadcast(r01), vr02 = V::broadcast(r02);
+  const V vr10 = V::broadcast(r10), vr11 = V::broadcast(r11), vr12 = V::broadcast(r12);
+  const V vr20 = V::broadcast(r20), vr21 = V::broadcast(r21), vr22 = V::broadcast(r22);
+  const V vt0 = V::broadcast(t0), vt1 = V::broadcast(t1), vt2 = V::broadcast(t2);
+  const V vd0 = V::broadcast(d0sq);
+  V acc = V::broadcast(0.0);
+
+  for (std::size_t k = 0; k < blocks; k += kLanes) {
+    const V px = V::load(xa.x + k), py = V::load(xa.y + k), pz = V::load(xa.z + k);
+    const V tx = ((vr00 * px + vr01 * py) + vr02 * pz) + vt0;
+    const V ty = ((vr10 * px + vr11 * py) + vr12 * pz) + vt1;
+    const V tz = ((vr20 * px + vr21 * py) + vr22 * pz) + vt2;
+    const V dx = tx - V::load(ya.x + k);
+    const V dy = ty - V::load(ya.y + k);
+    const V dz = tz - V::load(ya.z + k);
+    const V d2 = (dx * dx + dy * dy) + dz * dz;
+    if (d2_out != nullptr) d2.store(d2_out + k);
+    acc = acc + vd0 / (vd0 + d2);
+  }
+
+  double sum = acc.hsum();
+  for (std::size_t k = blocks; k < n; ++k) {
+    const double px = xa.x[k], py = xa.y[k], pz = xa.z[k];
+    const double tx = ((r00 * px + r01 * py) + r02 * pz) + t0;
+    const double ty = ((r10 * px + r11 * py) + r12 * pz) + t1;
+    const double tz = ((r20 * px + r21 * py) + r22 * pz) + t2;
+    const double dx = tx - ya.x[k];
+    const double dy = ty - ya.y[k];
+    const double dz = tz - ya.z[k];
+    const double d2 = (dx * dx + dy * dy) + dz * dz;
+    if (d2_out != nullptr) d2_out[k] = d2;
+    sum += d0sq / (d0sq + d2);
+  }
+  return sum;
+}
+
+template <class V>
+double sum_d2_impl(bio::CoordsView xa, bio::CoordsView ya,
+                   const bio::Transform& t) noexcept {
+  const std::size_t n = xa.n;
+  const std::size_t blocks = (n / kLanes) * kLanes;
+  const double r00 = t.rot(0, 0), r01 = t.rot(0, 1), r02 = t.rot(0, 2);
+  const double r10 = t.rot(1, 0), r11 = t.rot(1, 1), r12 = t.rot(1, 2);
+  const double r20 = t.rot(2, 0), r21 = t.rot(2, 1), r22 = t.rot(2, 2);
+  const double t0 = t.trans.x, t1 = t.trans.y, t2 = t.trans.z;
+
+  const V vr00 = V::broadcast(r00), vr01 = V::broadcast(r01), vr02 = V::broadcast(r02);
+  const V vr10 = V::broadcast(r10), vr11 = V::broadcast(r11), vr12 = V::broadcast(r12);
+  const V vr20 = V::broadcast(r20), vr21 = V::broadcast(r21), vr22 = V::broadcast(r22);
+  const V vt0 = V::broadcast(t0), vt1 = V::broadcast(t1), vt2 = V::broadcast(t2);
+  V acc = V::broadcast(0.0);
+
+  for (std::size_t k = 0; k < blocks; k += kLanes) {
+    const V px = V::load(xa.x + k), py = V::load(xa.y + k), pz = V::load(xa.z + k);
+    const V tx = ((vr00 * px + vr01 * py) + vr02 * pz) + vt0;
+    const V ty = ((vr10 * px + vr11 * py) + vr12 * pz) + vt1;
+    const V tz = ((vr20 * px + vr21 * py) + vr22 * pz) + vt2;
+    const V dx = tx - V::load(ya.x + k);
+    const V dy = ty - V::load(ya.y + k);
+    const V dz = tz - V::load(ya.z + k);
+    acc = acc + ((dx * dx + dy * dy) + dz * dz);
+  }
+
+  double sum = acc.hsum();
+  for (std::size_t k = blocks; k < n; ++k) {
+    const double px = xa.x[k], py = xa.y[k], pz = xa.z[k];
+    const double dx = (((r00 * px + r01 * py) + r02 * pz) + t0) - ya.x[k];
+    const double dy = (((r10 * px + r11 * py) + r12 * pz) + t1) - ya.y[k];
+    const double dz = (((r20 * px + r21 * py) + r22 * pz) + t2) - ya.z[k];
+    sum += (dx * dx + dy * dy) + dz * dz;
+  }
+  return sum;
+}
+
+template <class V>
+void score_row_impl(const bio::Vec3& tx, bio::CoordsView y, double dsq,
+                    const double* bonus, double* out) noexcept {
+  const std::size_t n = y.n;
+  const std::size_t blocks = (n / kLanes) * kLanes;
+  const V vx = V::broadcast(tx.x), vy = V::broadcast(tx.y), vz = V::broadcast(tx.z);
+  const V vd = V::broadcast(dsq);
+
+  for (std::size_t j = 0; j < blocks; j += kLanes) {
+    const V dx = vx - V::load(y.x + j);
+    const V dy = vy - V::load(y.y + j);
+    const V dz = vz - V::load(y.z + j);
+    const V d2 = (dx * dx + dy * dy) + dz * dz;
+    V s = vd / (vd + d2);
+    if (bonus != nullptr) s = s + V::load(bonus + j);
+    s.store(out + j);
+  }
+  for (std::size_t j = blocks; j < n; ++j) {
+    const double dx = tx.x - y.x[j];
+    const double dy = tx.y - y.y[j];
+    const double dz = tx.z - y.z[j];
+    const double d2 = (dx * dx + dy * dy) + dz * dz;
+    out[j] = dsq / (dsq + d2) + (bonus != nullptr ? bonus[j] : 0.0);
+  }
+}
+
+template <class V>
+KabschSums kabsch_accumulate_impl(bio::CoordsView from,
+                                  bio::CoordsView to) noexcept {
+  const std::size_t n = from.n;
+  const std::size_t blocks = (n / kLanes) * kLanes;
+  KabschSums out{};
+
+  // Pass 1: centroids.
+  V sfx = V::broadcast(0.0), sfy = sfx, sfz = sfx;
+  V stx = sfx, sty = sfx, stz = sfx;
+  for (std::size_t k = 0; k < blocks; k += kLanes) {
+    sfx = sfx + V::load(from.x + k);
+    sfy = sfy + V::load(from.y + k);
+    sfz = sfz + V::load(from.z + k);
+    stx = stx + V::load(to.x + k);
+    sty = sty + V::load(to.y + k);
+    stz = stz + V::load(to.z + k);
+  }
+  double cfx = sfx.hsum(), cfy = sfy.hsum(), cfz = sfz.hsum();
+  double ctx = stx.hsum(), cty = sty.hsum(), ctz = stz.hsum();
+  for (std::size_t k = blocks; k < n; ++k) {
+    cfx += from.x[k];
+    cfy += from.y[k];
+    cfz += from.z[k];
+    ctx += to.x[k];
+    cty += to.y[k];
+    ctz += to.z[k];
+  }
+  const double dn = static_cast<double>(n);
+  out.cf = {cfx / dn, cfy / dn, cfz / dn};
+  out.ct = {ctx / dn, cty / dn, ctz / dn};
+
+  // Pass 2: centered cross-covariance and squared norms.
+  const V vcfx = V::broadcast(out.cf.x), vcfy = V::broadcast(out.cf.y),
+          vcfz = V::broadcast(out.cf.z);
+  const V vctx = V::broadcast(out.ct.x), vcty = V::broadcast(out.ct.y),
+          vctz = V::broadcast(out.ct.z);
+  V m00 = V::broadcast(0.0), m01 = m00, m02 = m00;
+  V m10 = m00, m11 = m00, m12 = m00;
+  V m20 = m00, m21 = m00, m22 = m00;
+  V vfq = m00, vtq = m00;
+  for (std::size_t k = 0; k < blocks; k += kLanes) {
+    const V fx = V::load(from.x + k) - vcfx;
+    const V fy = V::load(from.y + k) - vcfy;
+    const V fz = V::load(from.z + k) - vcfz;
+    const V tx = V::load(to.x + k) - vctx;
+    const V ty = V::load(to.y + k) - vcty;
+    const V tz = V::load(to.z + k) - vctz;
+    m00 = m00 + fx * tx;
+    m01 = m01 + fx * ty;
+    m02 = m02 + fx * tz;
+    m10 = m10 + fy * tx;
+    m11 = m11 + fy * ty;
+    m12 = m12 + fy * tz;
+    m20 = m20 + fz * tx;
+    m21 = m21 + fz * ty;
+    m22 = m22 + fz * tz;
+    vfq = vfq + ((fx * fx + fy * fy) + fz * fz);
+    vtq = vtq + ((tx * tx + ty * ty) + tz * tz);
+  }
+  out.m[0][0] = m00.hsum();
+  out.m[0][1] = m01.hsum();
+  out.m[0][2] = m02.hsum();
+  out.m[1][0] = m10.hsum();
+  out.m[1][1] = m11.hsum();
+  out.m[1][2] = m12.hsum();
+  out.m[2][0] = m20.hsum();
+  out.m[2][1] = m21.hsum();
+  out.m[2][2] = m22.hsum();
+  out.fq = vfq.hsum();
+  out.tq = vtq.hsum();
+  for (std::size_t k = blocks; k < n; ++k) {
+    const double fx = from.x[k] - out.cf.x;
+    const double fy = from.y[k] - out.cf.y;
+    const double fz = from.z[k] - out.cf.z;
+    const double tx = to.x[k] - out.ct.x;
+    const double ty = to.y[k] - out.ct.y;
+    const double tz = to.z[k] - out.ct.z;
+    out.m[0][0] += fx * tx;
+    out.m[0][1] += fx * ty;
+    out.m[0][2] += fx * tz;
+    out.m[1][0] += fy * tx;
+    out.m[1][1] += fy * ty;
+    out.m[1][2] += fy * tz;
+    out.m[2][0] += fz * tx;
+    out.m[2][1] += fz * ty;
+    out.m[2][2] += fz * tz;
+    out.fq += (fx * fx + fy * fy) + fz * fz;
+    out.tq += (tx * tx + ty * ty) + tz * tz;
+  }
+  return out;
+}
+
+}  // namespace rck::core::kern

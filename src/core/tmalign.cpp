@@ -2,14 +2,17 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 #include <vector>
 
 #include "rck/core/kabsch.hpp"
 #include "rck/core/sec_struct.hpp"
+#include "rck/core/simd_kernels.hpp"
 
 namespace rck::core {
 
+using bio::CoordsView;
 using bio::Protein;
 using bio::SsType;
 using bio::Transform;
@@ -17,94 +20,112 @@ using bio::Vec3;
 
 namespace {
 
-/// Gather the coordinate pairs selected by an alignment.
-void gather_pairs(const std::vector<Vec3>& x, const std::vector<Vec3>& y,
-                  const Alignment& y2x, std::vector<Vec3>& xa, std::vector<Vec3>& ya) {
-  xa.clear();
-  ya.clear();
-  for (std::size_t j = 0; j < y2x.size(); ++j) {
-    if (y2x[j] >= 0) {
-      xa.push_back(x[static_cast<std::size_t>(y2x[j])]);
-      ya.push_back(y[j]);
-    }
-  }
+/// Move `src` into `dst`, recycling dst's alignment buffer (src's contents
+/// become unspecified; callers overwrite it before the next read).
+void take_candidate(TmAlignCandidate& dst, TmAlignCandidate& src) {
+  std::swap(dst.y2x, src.y2x);
+  dst.tm = src.tm;
+  dst.transform = src.transform;
 }
 
-/// Candidate alignment with its (fast-search) score and transform.
-struct Candidate {
-  Alignment y2x;
-  double tm = -1.0;
-  Transform transform;
-};
+/// Copy `src` into `dst` (alignment buffer capacity reused).
+void copy_candidate(TmAlignCandidate& dst, const TmAlignCandidate& src) {
+  dst.y2x = src.y2x;
+  dst.tm = src.tm;
+  dst.transform = src.transform;
+}
 
-/// Score an alignment with the reduced search; returns tm and transform.
-Candidate evaluate(const std::vector<Vec3>& x, const std::vector<Vec3>& y,
-                   Alignment y2x, int lnorm, double d0, const TmSearchOptions& fast,
-                   AlignStats* stats) {
-  Candidate c;
-  c.y2x = std::move(y2x);
-  std::vector<Vec3> xa, ya;
-  gather_pairs(x, y, c.y2x, xa, ya);
-  if (xa.size() >= 3) {
-    const TmSearchResult r = tmscore_search(xa, ya, lnorm, d0, fast, stats);
+/// Gather the coordinate pairs selected by an alignment into the workspace
+/// SoA buffers. Returns the number of aligned pairs.
+std::size_t gather_pairs(CoordsView x, CoordsView y, const Alignment& y2x,
+                         TmAlignWorkspace& ws) {
+  ws.xa.resize(y2x.size());
+  ws.ya.resize(y2x.size());
+  std::size_t m = 0;
+  for (std::size_t j = 0; j < y2x.size(); ++j) {
+    if (y2x[j] >= 0) {
+      ws.xa.set(m, x.at(static_cast<std::size_t>(y2x[j])));
+      ws.ya.set(m, y.at(j));
+      ++m;
+    }
+  }
+  ws.xa.resize(m);
+  ws.ya.resize(m);
+  return m;
+}
+
+/// Score candidate `c`'s alignment with the reduced search, filling in its
+/// tm and transform.
+void evaluate(CoordsView x, CoordsView y, TmAlignCandidate& c, int lnorm,
+              double d0, const TmSearchOptions& fast, TmAlignWorkspace& ws,
+              AlignStats* stats) {
+  c.tm = -1.0;
+  c.transform = Transform{};
+  const std::size_t m = gather_pairs(x, y, c.y2x, ws);
+  if (m >= 3) {
+    const TmSearchResult r = tmscore_search(ws.xa.view(), ws.ya.view(), lnorm,
+                                            d0, fast, ws.search, stats);
     c.tm = r.tm;
     c.transform = r.transform;
   }
-  return c;
 }
 
 /// Initial alignment (a): gapless threading. Try every diagonal offset with
 /// a minimum overlap; rank offsets by TM-score of the full-overlap Kabsch
 /// superposition (the original's get_initial does the same with a quick
-/// score). Returns the best offset as an alignment.
-Alignment initial_gapless(const std::vector<Vec3>& x, const std::vector<Vec3>& y,
-                          int lnorm, double d0, AlignStats* stats) {
+/// score). Both sides of an offset are contiguous runs, so each trial is a
+/// pair of zero-copy subviews. Writes the best offset into `y2x`.
+void initial_gapless(CoordsView x, CoordsView y, int lnorm, double d0,
+                     AlignStats* stats, Alignment& y2x) {
   const int n1 = static_cast<int>(x.size());
   const int n2 = static_cast<int>(y.size());
   const int min_ali = std::max(5, std::min(n1, n2) / 2);
+  const double d0sq = d0 * d0;
 
   double best_score = -1.0;
   int best_offset = 0;
-  std::vector<Vec3> xa, ya;
   // Offset k aligns x[i] with y[i + k].
   for (int k = -(n1 - min_ali); k <= n2 - min_ali; ++k) {
     const int i_lo = std::max(0, -k);
     const int i_hi = std::min(n1, n2 - k);
     const int overlap = i_hi - i_lo;
     if (overlap < min_ali) continue;
-    xa.clear();
-    ya.clear();
-    for (int i = i_lo; i < i_hi; ++i) {
-      xa.push_back(x[static_cast<std::size_t>(i)]);
-      ya.push_back(y[static_cast<std::size_t>(i + k)]);
-    }
-    const Transform t = superpose(xa, ya, stats).transform;
-    const double s = tm_of_transform(xa, ya, t, lnorm, d0, stats);
+    const CoordsView xs =
+        x.subview(static_cast<std::size_t>(i_lo), static_cast<std::size_t>(overlap));
+    const CoordsView ys = y.subview(static_cast<std::size_t>(i_lo + k),
+                                    static_cast<std::size_t>(overlap));
+    const Transform t = superpose(xs, ys, stats, /*with_rmsd=*/false).transform;
+    const double s =
+        kern::tm_sum(xs, ys, t, d0sq) / static_cast<double>(lnorm);
+    if (stats != nullptr) stats->scored_pairs += static_cast<std::uint64_t>(overlap);
     if (s > best_score) {
       best_score = s;
       best_offset = k;
     }
   }
 
-  Alignment y2x(static_cast<std::size_t>(n2), -1);
+  y2x.assign(static_cast<std::size_t>(n2), -1);
   const int i_lo = std::max(0, -best_offset);
   const int i_hi = std::min(n1, n2 - best_offset);
   for (int i = i_lo; i < i_hi; ++i)
     y2x[static_cast<std::size_t>(i + best_offset)] = i;
-  return y2x;
 }
 
 /// Initial alignment (b): NW over the secondary-structure strings
 /// (match = 1, mismatch = 0, gap open = -1), as in TM-align's get_initial_ss.
-Alignment initial_ss(const std::vector<SsType>& ss1, const std::vector<SsType>& ss2,
-                     NwWorkspace& nw, AlignStats* stats) {
-  nw.resize(ss1.size(), ss2.size());
-  for (std::size_t i = 0; i < ss1.size(); ++i)
-    for (std::size_t j = 0; j < ss2.size(); ++j)
-      nw.score(i, j) = (ss1[i] == ss2[j]) ? 1.0 : 0.0;
+/// Row i of the score matrix is exactly the precomputed per-class match
+/// table of ss1[i], so the fill is a row copy.
+void initial_ss(TmAlignWorkspace& ws, AlignStats* stats, Alignment& y2x) {
+  const std::size_t n1 = ws.ss1.size();
+  const std::size_t n2 = ws.ss2.size();
+  ws.nw.resize(n1, n2);
+  for (std::size_t i = 0; i < n1; ++i)
+    std::memcpy(ws.nw.score_row(i),
+                ws.ss_eq1[static_cast<std::size_t>(ws.ss1[i])].data(),
+                n2 * sizeof(double));
   if (stats != nullptr)
-    stats->matrix_cells += static_cast<std::uint64_t>(ss1.size()) * ss2.size();
-  return nw.solve(-1.0, stats);
+    stats->matrix_cells += static_cast<std::uint64_t>(n1) * n2;
+  ws.nw.solve(-1.0, y2x, stats);
 }
 
 /// Initial alignment (d): local fragment superposition (get_initial_local
@@ -112,78 +133,74 @@ Alignment initial_ss(const std::vector<SsType>& ss1, const std::vector<SsType>& 
 /// of y at a coarse stride, score each superposition over all residues, and
 /// DP on the best one's distance matrix. Catches pairs whose global SS/
 /// threading signals disagree but which share a well-packed local motif.
-Alignment initial_local(const std::vector<Vec3>& x, const std::vector<Vec3>& y,
-                        double d_search, int lmin, double d0, NwWorkspace& nw,
-                        AlignStats* stats) {
+/// Fragments and the gapless diagonals they induce are contiguous runs:
+/// all zero-copy subviews (the old per-fragment ox/oy copies are gone).
+void initial_local(CoordsView x, CoordsView y, double d_search, int lmin,
+                   double d0, TmAlignWorkspace& ws, AlignStats* stats,
+                   Alignment& y2x) {
   const int frag = std::max(8, std::min(20, lmin / 4));
   const int stride = std::max(4, frag / 2);
   const int n1 = static_cast<int>(x.size());
   const int n2 = static_cast<int>(y.size());
+  const double d0sq = d0 * d0;
 
   Transform best_t;
   double best_score = -1.0;
-  std::vector<Vec3> fx(static_cast<std::size_t>(frag)), fy(static_cast<std::size_t>(frag));
   for (int i = 0; i + frag <= n1; i += stride) {
     for (int j = 0; j + frag <= n2; j += stride) {
-      for (int k = 0; k < frag; ++k) {
-        fx[static_cast<std::size_t>(k)] = x[static_cast<std::size_t>(i + k)];
-        fy[static_cast<std::size_t>(k)] = y[static_cast<std::size_t>(j + k)];
-      }
-      const Superposition sup = superpose(fx, fy, stats);
+      const Superposition sup =
+          superpose(x.subview(static_cast<std::size_t>(i), static_cast<std::size_t>(frag)),
+                    y.subview(static_cast<std::size_t>(j), static_cast<std::size_t>(frag)),
+                    stats);
       if (sup.rmsd > 3.0) continue;  // not a shared rigid motif
       // Cheap frame score: the gapless diagonal induced by this fragment
       // pair (x[k] ~ y[k + j - i]) evaluated under the fragment transform.
       const int offset = j - i;
       const int lo = std::max(0, -offset);
       const int hi = std::min(n1, n2 - offset);
-      std::vector<Vec3> ox, oy;
-      ox.reserve(static_cast<std::size_t>(hi - lo));
-      oy.reserve(static_cast<std::size_t>(hi - lo));
-      for (int k = lo; k < hi; ++k) {
-        ox.push_back(x[static_cast<std::size_t>(k)]);
-        oy.push_back(y[static_cast<std::size_t>(k + offset)]);
-      }
-      const double s = tm_of_transform(ox, oy, sup.transform, lmin, d0, stats);
+      const CoordsView ox =
+          x.subview(static_cast<std::size_t>(lo), static_cast<std::size_t>(hi - lo));
+      const CoordsView oy = y.subview(static_cast<std::size_t>(lo + offset),
+                                      static_cast<std::size_t>(hi - lo));
+      const double s =
+          kern::tm_sum(ox, oy, sup.transform, d0sq) / static_cast<double>(lmin);
+      if (stats != nullptr)
+        stats->scored_pairs += static_cast<std::uint64_t>(hi - lo);
       if (s > best_score) {
         best_score = s;
         best_t = sup.transform;
       }
     }
   }
-  if (best_score < 0) return Alignment(static_cast<std::size_t>(n2), -1);
+  if (best_score < 0) {
+    y2x.assign(static_cast<std::size_t>(n2), -1);
+    return;
+  }
 
   const double dsq = d_search * d_search;
-  nw.resize(x.size(), y.size());
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    const Vec3 tx = best_t.apply(x[i]);
-    for (std::size_t j = 0; j < y.size(); ++j)
-      nw.score(i, j) = 1.0 / (1.0 + distance2(tx, y[j]) / dsq);
-  }
+  ws.nw.resize(x.size(), y.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    kern::score_row(best_t.apply(x.at(i)), y, dsq, nullptr, ws.nw.score_row(i));
   if (stats != nullptr)
     stats->matrix_cells += static_cast<std::uint64_t>(x.size()) * y.size();
-  return nw.solve(-0.6, stats);
+  ws.nw.solve(-0.6, y2x, stats);
 }
 
 /// Initial alignment (c): NW over a hybrid matrix combining the distance
 /// score under the best superposition found so far and the SS signal
 /// (get_initial_ssplus in the original).
-Alignment initial_hybrid(const std::vector<Vec3>& x, const std::vector<Vec3>& y,
-                         const std::vector<SsType>& ss1, const std::vector<SsType>& ss2,
-                         const Transform& t, double d_search, NwWorkspace& nw,
-                         AlignStats* stats) {
+void initial_hybrid(CoordsView x, CoordsView y, const Transform& t,
+                    double d_search, TmAlignWorkspace& ws, AlignStats* stats,
+                    Alignment& y2x) {
   const double dsq = d_search * d_search;
-  nw.resize(x.size(), y.size());
-  std::vector<Vec3> tx(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) tx[i] = t.apply(x[i]);
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    for (std::size_t j = 0; j < y.size(); ++j) {
-      const double d2 = distance2(tx[i], y[j]);
-      nw.score(i, j) = 1.0 / (1.0 + d2 / dsq) + (ss1[i] == ss2[j] ? 0.5 : 0.0);
-    }
-  }
+  ws.nw.resize(x.size(), y.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    kern::score_row(t.apply(x.at(i)), y, dsq,
+                    ws.ss_bonus[static_cast<std::size_t>(ws.ss1[i])].data(),
+                    ws.nw.score_row(i));
   if (stats != nullptr)
     stats->matrix_cells += static_cast<std::uint64_t>(x.size()) * y.size();
-  return nw.solve(-1.0, stats);
+  ws.nw.solve(-1.0, y2x, stats);
 }
 
 }  // namespace
@@ -197,108 +214,136 @@ TmAlignOptions fast_tmalign_options() {
 }
 
 TmAlignResult tmalign(const Protein& a, const Protein& b, const TmAlignOptions& opts) {
+  TmAlignWorkspace ws;
+  return tmalign(a, b, ws, opts);
+}
+
+const TmAlignResult& tmalign(const Protein& a, const Protein& b,
+                             TmAlignWorkspace& ws, const TmAlignOptions& opts) {
   if (a.size() < 5 || b.size() < 5)
     throw std::invalid_argument("tmalign: chains must have at least 5 residues");
 
-  const std::vector<Vec3> x = a.ca_coords();
-  const std::vector<Vec3> y = b.ca_coords();
+  ws.x.assign(a);
+  ws.y.assign(b);
+  const CoordsView x = ws.x.view();
+  const CoordsView y = ws.y.view();
   const int n1 = static_cast<int>(x.size());
   const int n2 = static_cast<int>(y.size());
   const int lmin = std::min(n1, n2);
   const double d0 = opts.d0_override > 0 ? opts.d0_override : d0_of_length(lmin);
   const double d_search = std::clamp(d0, 4.5, 8.0);
 
-  TmAlignResult out;
+  TmAlignResult& out = ws.result;
+  out.tm_norm_a = 0.0;
+  out.tm_norm_b = 0.0;
+  out.rmsd = 0.0;
+  out.aligned_length = 0;
+  out.seq_identity = 0.0;
+  out.transform = Transform{};
+  out.y2x.clear();
+  out.stats = AlignStats{};
   AlignStats& stats = out.stats;
 
-  const std::vector<SsType> ss1 = assign_secondary_structure(x);
-  const std::vector<SsType> ss2 = assign_secondary_structure(y);
+  assign_secondary_structure(x, ws.ss1);
+  assign_secondary_structure(y, ws.ss2);
   // SS assignment scans a 5-residue window per position: charge as matrix
   // cells (6 distances each, small next to the O(L^2) terms).
   stats.matrix_cells += x.size() + y.size();
 
-  NwWorkspace nw;
-
-  // ---- Stage 1: initial alignments --------------------------------------
-  Candidate best = evaluate(x, y, initial_gapless(x, y, lmin, d0, &stats), lmin, d0,
-                            opts.fast_search, &stats);
-
-  Candidate ss_cand = evaluate(x, y, initial_ss(ss1, ss2, nw, &stats), lmin, d0,
-                               opts.fast_search, &stats);
-  if (ss_cand.tm > best.tm) best = std::move(ss_cand);
-
-  if (best.tm > 0) {
-    Candidate hybrid =
-        evaluate(x, y,
-                 initial_hybrid(x, y, ss1, ss2, best.transform, d_search, nw, &stats),
-                 lmin, d0, opts.fast_search, &stats);
-    if (hybrid.tm > best.tm) best = std::move(hybrid);
+  // Per-class SS match/bonus tables over chain y (SsType values are 1..4).
+  for (std::size_t c = 1; c <= 4; ++c) {
+    ws.ss_eq1[c].assign(y.size(), 0.0);
+    ws.ss_bonus[c].assign(y.size(), 0.0);
+  }
+  for (std::size_t j = 0; j < ws.ss2.size(); ++j) {
+    const std::size_t c = static_cast<std::size_t>(ws.ss2[j]);
+    ws.ss_eq1[c][j] = 1.0;
+    ws.ss_bonus[c][j] = 0.5;
   }
 
-  Candidate local = evaluate(x, y, initial_local(x, y, d_search, lmin, d0, nw, &stats),
-                             lmin, d0, opts.fast_search, &stats);
-  if (local.tm > best.tm) best = std::move(local);
+  // ---- Stage 1: initial alignments --------------------------------------
+  TmAlignCandidate& best = ws.best;
+  TmAlignCandidate& trial = ws.trial;
+
+  initial_gapless(x, y, lmin, d0, &stats, best.y2x);
+  evaluate(x, y, best, lmin, d0, opts.fast_search, ws, &stats);
+
+  initial_ss(ws, &stats, trial.y2x);
+  evaluate(x, y, trial, lmin, d0, opts.fast_search, ws, &stats);
+  if (trial.tm > best.tm) take_candidate(best, trial);
+
+  if (best.tm > 0) {
+    initial_hybrid(x, y, best.transform, d_search, ws, &stats, trial.y2x);
+    evaluate(x, y, trial, lmin, d0, opts.fast_search, ws, &stats);
+    if (trial.tm > best.tm) take_candidate(best, trial);
+  }
+
+  initial_local(x, y, d_search, lmin, d0, ws, &stats, trial.y2x);
+  evaluate(x, y, trial, lmin, d0, opts.fast_search, ws, &stats);
+  if (trial.tm > best.tm) take_candidate(best, trial);
 
   // ---- Stage 2: heuristic iterative refinement --------------------------
   const double dsq = d_search * d_search;
-  std::vector<Vec3> tx(x.size());
+  TmAlignCandidate& current = ws.current;
   for (double gap_open : {opts.gap_open_primary, opts.gap_open_secondary}) {
-    Candidate current = best;
-    Alignment prev;
+    copy_candidate(current, best);
+    ws.prev_aln.clear();
     for (int iter = 0; iter < opts.dp_iterations; ++iter) {
       stats.iterations += 1;
       // Distance-derived score matrix under the current best transform.
-      for (std::size_t i = 0; i < x.size(); ++i) tx[i] = current.transform.apply(x[i]);
-      nw.resize(x.size(), y.size());
+      ws.nw.resize(x.size(), y.size());
       for (std::size_t i = 0; i < x.size(); ++i)
-        for (std::size_t j = 0; j < y.size(); ++j)
-          nw.score(i, j) = 1.0 / (1.0 + distance2(tx[i], y[j]) / dsq);
+        kern::score_row(current.transform.apply(x.at(i)), y, dsq, nullptr,
+                        ws.nw.score_row(i));
       stats.matrix_cells += static_cast<std::uint64_t>(x.size()) * y.size();
 
-      Alignment next = nw.solve(gap_open, &stats);
-      if (next == prev) break;  // converged for this gap value
-      prev = next;
+      ws.nw.solve(gap_open, ws.next_aln, &stats);
+      if (ws.next_aln == ws.prev_aln) break;  // converged for this gap value
+      ws.prev_aln = ws.next_aln;
 
-      Candidate cand =
-          evaluate(x, y, std::move(next), lmin, d0, opts.fast_search, &stats);
-      if (cand.tm > best.tm) best = cand;
-      if (cand.tm > current.tm) current = std::move(cand);
+      std::swap(trial.y2x, ws.next_aln);
+      evaluate(x, y, trial, lmin, d0, opts.fast_search, ws, &stats);
+      if (trial.tm > best.tm) copy_candidate(best, trial);
+      if (trial.tm > current.tm) take_candidate(current, trial);
     }
   }
 
   // ---- Stage 3: final full-depth search and reporting --------------------
-  std::vector<Vec3> xa, ya;
-  gather_pairs(x, y, best.y2x, xa, ya);
-  if (xa.size() < 3) {
+  const std::size_t m = gather_pairs(x, y, best.y2x, ws);
+  if (m < 3) {
     // Pathological chains (e.g. every alignment degenerate); report empty.
     out.y2x.assign(static_cast<std::size_t>(n2), -1);
     return out;
   }
 
-  const TmSearchResult fin =
-      tmscore_search(xa, ya, lmin, d0, opts.final_search, &stats);
+  const TmSearchResult fin = tmscore_search(ws.xa.view(), ws.ya.view(), lmin,
+                                            d0, opts.final_search, ws.search, &stats);
   out.transform = fin.transform;
   out.y2x = best.y2x;
-  out.aligned_length = static_cast<int>(xa.size());
+  out.aligned_length = static_cast<int>(m);
 
   const int la = opts.lnorm_override > 0 ? opts.lnorm_override : n1;
   const int lb = opts.lnorm_override > 0 ? opts.lnorm_override : n2;
   const double d0a = opts.d0_override > 0 ? opts.d0_override : d0_of_length(la);
   const double d0b = opts.d0_override > 0 ? opts.d0_override : d0_of_length(lb);
-  out.tm_norm_a = tm_of_transform(xa, ya, fin.transform, la, d0a, &stats);
-  out.tm_norm_b = tm_of_transform(xa, ya, fin.transform, lb, d0b, &stats);
+  out.tm_norm_a = kern::tm_sum(ws.xa.view(), ws.ya.view(), fin.transform,
+                               d0a * d0a) /
+                  static_cast<double>(la);
+  stats.scored_pairs += m;
+  out.tm_norm_b = kern::tm_sum(ws.xa.view(), ws.ya.view(), fin.transform,
+                               d0b * d0b) /
+                  static_cast<double>(lb);
+  stats.scored_pairs += m;
 
-  double ss = 0.0;
-  for (std::size_t k = 0; k < xa.size(); ++k)
-    ss += distance2(fin.transform.apply(xa[k]), ya[k]);
-  out.rmsd = std::sqrt(ss / static_cast<double>(xa.size()));
+  out.rmsd = std::sqrt(kern::sum_d2(ws.xa.view(), ws.ya.view(), fin.transform) /
+                       static_cast<double>(m));
 
   int ident = 0;
   for (std::size_t j = 0; j < best.y2x.size(); ++j)
     if (best.y2x[j] >= 0 &&
         a[static_cast<std::size_t>(best.y2x[j])].aa == b[j].aa)
       ++ident;
-  out.seq_identity = static_cast<double>(ident) / static_cast<double>(xa.size());
+  out.seq_identity = static_cast<double>(ident) / static_cast<double>(m);
   return out;
 }
 

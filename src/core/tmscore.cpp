@@ -5,9 +5,11 @@
 #include <vector>
 
 #include "rck/core/kabsch.hpp"
+#include "rck/core/simd_kernels.hpp"
 
 namespace rck::core {
 
+using bio::CoordsView;
 using bio::Transform;
 using bio::Vec3;
 
@@ -23,7 +25,7 @@ double tm_of_transform(std::span<const Vec3> xa, std::span<const Vec3> ya,
   double sum = 0.0;
   for (std::size_t k = 0; k < xa.size(); ++k) {
     const double d2 = distance2(t.apply(xa[k]), ya[k]);
-    sum += 1.0 / (1.0 + d2 / d0sq);
+    sum += d0sq / (d0sq + d2);
   }
   if (stats != nullptr) stats->scored_pairs += xa.size();
   return sum / static_cast<double>(lnorm);
@@ -31,28 +33,27 @@ double tm_of_transform(std::span<const Vec3> xa, std::span<const Vec3> ya,
 
 namespace {
 
-/// One refinement pass: score all pairs under `t`, returning the TM-score
-/// and the subset of pair indices with distance below `d_cut`.
-double score_and_select(std::span<const Vec3> xa, std::span<const Vec3> ya,
-                        const Transform& t, double d0sq, int lnorm, double d_cut,
-                        std::vector<int>& selected, AlignStats* stats) {
+/// Select the pair indices whose (cached) squared distance is below d_cut.
+void select_below(const std::vector<double>& d2, std::size_t n, double d_cut,
+                  std::vector<int>& selected) {
   const double cut2 = d_cut * d_cut;
-  selected.clear();
-  double sum = 0.0;
-  for (std::size_t k = 0; k < xa.size(); ++k) {
-    const double d2 = distance2(t.apply(xa[k]), ya[k]);
-    sum += 1.0 / (1.0 + d2 / d0sq);
-    if (d2 < cut2) selected.push_back(static_cast<int>(k));
+  // Branchless append: unconditionally store the index, advance only when it
+  // qualifies. The comparison stays a data dependency instead of a branch the
+  // predictor has to guess per residue.
+  selected.resize(n);
+  std::size_t m = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    selected[m] = static_cast<int>(k);
+    m += (d2[k] < cut2) ? 1u : 0u;
   }
-  if (stats != nullptr) stats->scored_pairs += xa.size();
-  return sum / static_cast<double>(lnorm);
+  selected.resize(m);
 }
 
 }  // namespace
 
-TmSearchResult tmscore_search(std::span<const Vec3> xa, std::span<const Vec3> ya,
-                              int lnorm, double d0, const TmSearchOptions& opts,
-                              AlignStats* stats) {
+TmSearchResult tmscore_search(CoordsView xa, CoordsView ya, int lnorm,
+                              double d0, const TmSearchOptions& opts,
+                              TmSearchWorkspace& ws, AlignStats* stats) {
   TmSearchResult best;
   const int n = static_cast<int>(xa.size());
   if (n < 3) return best;
@@ -64,8 +65,7 @@ TmSearchResult tmscore_search(std::span<const Vec3> xa, std::span<const Vec3> ya
   const int max_iters = opts.fast ? 4 : opts.max_outer_iters;
   const int seeds_per_level = opts.fast ? 3 : opts.max_seeds_per_level;
 
-  std::vector<Vec3> sel_x, sel_y;
-  std::vector<int> selected, prev_selected;
+  if (ws.d2.size() < static_cast<std::size_t>(n)) ws.d2.resize(static_cast<std::size_t>(n));
 
   for (int seed_len = n; seed_len >= opts.min_seed_len; seed_len /= 2) {
     const int n_starts = n - seed_len + 1;
@@ -75,37 +75,49 @@ TmSearchResult tmscore_search(std::span<const Vec3> xa, std::span<const Vec3> ya
       step = std::max(1, n_starts / seeds_per_level);
 
     for (int start = 0; start < n_starts; start += step) {
-      // Seed superposition on the window [start, start + seed_len).
-      sel_x.assign(xa.begin() + start, xa.begin() + start + seed_len);
-      sel_y.assign(ya.begin() + start, ya.begin() + start + seed_len);
-      Transform t = superpose(sel_x, sel_y, stats).transform;
+      // Seed superposition on the window [start, start + seed_len): a
+      // zero-copy subview of the aligned pairs.
+      const std::size_t s = static_cast<std::size_t>(start);
+      const std::size_t len = static_cast<std::size_t>(seed_len);
+      Transform t = superpose(xa.subview(s, len), ya.subview(s, len), stats,
+                              /*with_rmsd=*/false)
+                        .transform;
 
       double d_cut = d_base - 1.0;
-      prev_selected.clear();
+      ws.prev_selected.clear();
       for (int iter = 0; iter < max_iters; ++iter) {
         const double tm =
-            score_and_select(xa, ya, t, d0sq, lnorm, d_cut, selected, stats);
+            kern::tm_sum(xa, ya, t, d0sq, ws.d2.data()) / static_cast<double>(lnorm);
+        if (stats != nullptr) stats->scored_pairs += static_cast<std::uint64_t>(n);
+        select_below(ws.d2, static_cast<std::size_t>(n), d_cut, ws.selected);
         if (tm > best.tm) {
           best.tm = tm;
           best.transform = t;
         }
         // Grow the cutoff until at least 3 pairs survive (TM-align does the
-        // same; guarantees progress on poor seeds).
-        while (static_cast<int>(selected.size()) < 3 && d_cut < d_base + 8.0) {
+        // same; guarantees progress on poor seeds). The distances under `t`
+        // are already in ws.d2, so each step re-selects from the cache; the
+        // canonical algorithm rescans all pairs per step, so the cost model
+        // is still charged a full scoring pass.
+        while (static_cast<int>(ws.selected.size()) < 3 && d_cut < d_base + 8.0) {
           d_cut += 0.5;
-          score_and_select(xa, ya, t, d0sq, lnorm, d_cut, selected, stats);
+          select_below(ws.d2, static_cast<std::size_t>(n), d_cut, ws.selected);
+          if (stats != nullptr) stats->scored_pairs += static_cast<std::uint64_t>(n);
         }
-        if (static_cast<int>(selected.size()) < 3) break;
-        if (selected == prev_selected) break;  // converged
-        prev_selected = selected;
+        if (static_cast<int>(ws.selected.size()) < 3) break;
+        if (ws.selected == ws.prev_selected) break;  // converged
+        ws.prev_selected = ws.selected;
 
-        sel_x.clear();
-        sel_y.clear();
-        for (int k : selected) {
-          sel_x.push_back(xa[static_cast<std::size_t>(k)]);
-          sel_y.push_back(ya[static_cast<std::size_t>(k)]);
+        ws.sel_x.resize(ws.selected.size());
+        ws.sel_y.resize(ws.selected.size());
+        for (std::size_t i = 0; i < ws.selected.size(); ++i) {
+          const std::size_t k = static_cast<std::size_t>(ws.selected[i]);
+          ws.sel_x.set(i, xa.at(k));
+          ws.sel_y.set(i, ya.at(k));
         }
-        t = superpose(sel_x, sel_y, stats).transform;
+        t = superpose(ws.sel_x.view(), ws.sel_y.view(), stats,
+                      /*with_rmsd=*/false)
+                .transform;
       }
     }
     if (seed_len == opts.min_seed_len) break;
@@ -115,6 +127,16 @@ TmSearchResult tmscore_search(std::span<const Vec3> xa, std::span<const Vec3> ya
       seed_len = opts.min_seed_len * 2;
   }
   return best;
+}
+
+TmSearchResult tmscore_search(std::span<const Vec3> xa, std::span<const Vec3> ya,
+                              int lnorm, double d0, const TmSearchOptions& opts,
+                              AlignStats* stats) {
+  bio::CoordsSoA sx, sy;
+  sx.assign(xa);
+  sy.assign(ya);
+  TmSearchWorkspace ws;
+  return tmscore_search(sx.view(), sy.view(), lnorm, d0, opts, ws, stats);
 }
 
 }  // namespace rck::core

@@ -83,8 +83,10 @@ RckAlignRun run_rckalign(const std::vector<bio::Protein>& dataset,
                                       o.seq_identity, o.aligned_length, jr.worker});
       }
     } else {
-      const rckskel::Worker worker = [cache](rcce::Comm& c, const bio::Bytes& payload) {
-        return detail::execute_pair_job(c, payload, cache);
+      core::TmAlignWorkspace tm_ws;  // per-slave: reused across this core's jobs
+      const rckskel::Worker worker = [cache, &tm_ws](rcce::Comm& c,
+                                                     const bio::Bytes& payload) {
+        return detail::execute_pair_job(c, payload, cache, &tm_ws);
       };
       if (opts.fault_tolerant) {
         rckskel::FaultTolerantFarmOptions ftopts = opts.ft;

@@ -121,9 +121,10 @@ BlockedRun run_rckalign_blocked(const std::vector<bio::Protein>& dataset,
       }
       rckskel::terminate(comm, slaves);
     } else {
+      core::TmAlignWorkspace tm_ws;  // per-slave: reused across this core's jobs
       rckskel::farm_slave(comm, kMaster,
-                          [cache](rcce::Comm& c, const bio::Bytes& payload) {
-                            return detail::execute_pair_job(c, payload, cache);
+                          [cache, &tm_ws](rcce::Comm& c, const bio::Bytes& payload) {
+                            return detail::execute_pair_job(c, payload, cache, &tm_ws);
                           });
     }
   };

@@ -39,11 +39,12 @@ PairCache PairCache::build(const std::vector<bio::Protein>& dataset, int host_th
   std::mutex error_m;
   auto work = [&] {
     try {
+      core::TmAlignWorkspace ws;  // per-thread: the lambda body runs once per thread
       for (;;) {
         const std::size_t k = next.fetch_add(1, std::memory_order_relaxed);
         if (k >= pairs) return;
         const auto [i, j] = index[k];
-        const core::TmAlignResult r = core::tmalign(dataset[i], dataset[j], opts);
+        const core::TmAlignResult& r = core::tmalign(dataset[i], dataset[j], ws, opts);
         PairEntry& e = cache.entries_[k];
         e.tm_norm_a = r.tm_norm_a;
         e.tm_norm_b = r.tm_norm_b;

@@ -86,9 +86,10 @@ McPscRun run_mcpsc(const std::vector<bio::Protein>& dataset, const McPscOptions&
           run.rmsd_results.push_back(to_row(o, jr.worker));
       }
     } else {
+      core::TmAlignWorkspace tm_ws;  // per-slave: reused across this core's jobs
       rckskel::farm_slave(comm, kMaster,
-                          [cache](rcce::Comm& c, const bio::Bytes& payload) {
-                            return detail::execute_pair_job(c, payload, cache);
+                          [cache, &tm_ws](rcce::Comm& c, const bio::Bytes& payload) {
+                            return detail::execute_pair_job(c, payload, cache, &tm_ws);
                           });
     }
   };
@@ -150,9 +151,10 @@ MultiMethodRun run_multi_method(const std::vector<bio::Protein>& dataset,
         run.results[g].push_back(to_row(o, jr.worker));
       }
     } else {
+      core::TmAlignWorkspace tm_ws;  // per-slave: reused across this core's jobs
       rckskel::farm_slave(comm, kMaster,
-                          [cache](rcce::Comm& c, const bio::Bytes& payload) {
-                            return detail::execute_pair_job(c, payload, cache);
+                          [cache, &tm_ws](rcce::Comm& c, const bio::Bytes& payload) {
+                            return detail::execute_pair_job(c, payload, cache, &tm_ws);
                           });
     }
   };
@@ -339,9 +341,10 @@ HierarchyRun run_hierarchical(const std::vector<bio::Protein>& dataset,
     } else {
       // Leaf slave: find my group master.
       const int my_master = 1 + (ue - 1 - g) % g;
+      core::TmAlignWorkspace tm_ws;  // per-slave: reused across this core's jobs
       rckskel::farm_slave(comm, my_master,
-                          [cache](rcce::Comm& c, const bio::Bytes& payload) {
-                            return detail::execute_pair_job(c, payload, cache);
+                          [cache, &tm_ws](rcce::Comm& c, const bio::Bytes& payload) {
+                            return detail::execute_pair_job(c, payload, cache, &tm_ws);
                           });
     }
   };

@@ -16,8 +16,10 @@ namespace rck::rckalign {
 namespace {
 
 /// Slave-side execution: the job's `a` is always the query, `b` the entry;
-/// `i` carries the database index.
-bio::Bytes execute_query_job(rcce::Comm& comm, const bio::Bytes& payload) {
+/// `i` carries the database index. `tm_ws` is the slave's reusable TM-align
+/// workspace (one per simulated core).
+bio::Bytes execute_query_job(rcce::Comm& comm, const bio::Bytes& payload,
+                             core::TmAlignWorkspace& tm_ws) {
   PairJobData job = decode_pair_job(payload);
   const scc::CoreTimingModel& model = comm.ctx().timing();
   PairOutcome out;
@@ -28,7 +30,7 @@ bio::Bytes execute_query_job(rcce::Comm& comm, const bio::Bytes& payload) {
   const std::uint64_t footprint =
       scc::CoreTimingModel::alignment_footprint(job.a.size(), job.b.size());
   if (job.method == Method::TmAlign) {
-    const core::TmAlignResult r = core::tmalign(job.a, job.b);
+    const core::TmAlignResult& r = core::tmalign(job.a, job.b, tm_ws);
     out.tm_norm_a = r.tm_norm_a;  // normalized by query: the ranking key
     out.tm_norm_b = r.tm_norm_b;
     out.rmsd = r.rmsd;
@@ -115,8 +117,9 @@ OneVsAllRun run_one_vs_all(const bio::Protein& query,
         }
       }
     } else {
-      rckskel::farm_slave(comm, kMaster, [](rcce::Comm& c, const bio::Bytes& p) {
-        return execute_query_job(c, p);
+      core::TmAlignWorkspace tm_ws;  // per-slave: reused across this core's jobs
+      rckskel::farm_slave(comm, kMaster, [&tm_ws](rcce::Comm& c, const bio::Bytes& p) {
+        return execute_query_job(c, p, tm_ws);
       });
     }
   };

@@ -17,8 +17,14 @@ namespace rck::rckalign::detail {
 
 /// Run `job`'s comparison (replaying from `cache` when possible), charge
 /// the simulated compute, and return the encoded outcome.
+///
+/// `tm_ws`, when non-null, is the slave's reusable TM-align workspace:
+/// passing one keeps the steady state allocation-free across jobs. Each
+/// simulated core must own its own instance (host-parallel mode runs cores
+/// on concurrent threads).
 inline bio::Bytes execute_pair_job(rcce::Comm& comm, const bio::Bytes& payload,
-                                   const PairCache* cache) {
+                                   const PairCache* cache,
+                                   core::TmAlignWorkspace* tm_ws = nullptr) {
   PairJobData job = decode_pair_job(payload);
   const scc::CoreTimingModel& model = comm.ctx().timing();
 
@@ -41,7 +47,9 @@ inline bio::Bytes execute_pair_job(rcce::Comm& comm, const bio::Bytes& payload,
         out.aligned_length = e.aligned_length;
         cycles = model.cycles(e.stats, e.footprint_bytes);
       } else {
-        const core::TmAlignResult r = core::tmalign(job.a, job.b);
+        core::TmAlignWorkspace local_ws;
+        core::TmAlignWorkspace& w = tm_ws != nullptr ? *tm_ws : local_ws;
+        const core::TmAlignResult& r = core::tmalign(job.a, job.b, w);
         out.tm_norm_a = r.tm_norm_a;
         out.tm_norm_b = r.tm_norm_b;
         out.rmsd = r.rmsd;

@@ -1,0 +1,188 @@
+// SIMD/scalar equivalence for the comparison kernels.
+//
+// The contract (src/core/simd.hpp) is bit-identity: both paths execute the
+// same per-element IEEE operations in the same fixed 4-lane reduction order,
+// so every assertion here is exact equality, not a tolerance. When the AVX2
+// path is not compiled in (non-x86 host or -DRCK_SIMD=OFF) the toggle is a
+// no-op and the tests degrade to self-consistency checks of the fallback.
+#include "rck/core/simd_kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "rck/bio/coords_soa.hpp"
+#include "rck/bio/synthetic.hpp"
+#include "rck/core/tmalign.hpp"
+#include "rck/core/tmscore.hpp"
+
+namespace rck::core {
+namespace {
+
+using bio::CoordsSoA;
+using bio::Protein;
+using bio::Rng;
+using bio::Transform;
+using bio::Vec3;
+
+/// RAII guard: force a kernel mode for one scope, restore the default after.
+struct SimdMode {
+  explicit SimdMode(bool on) { kern::set_simd_enabled(on); }
+  ~SimdMode() { kern::set_simd_enabled(kern::simd_compiled()); }
+};
+
+/// Coordinates with non-trivial digits in every lane position.
+CoordsSoA make_coords(std::size_t n, unsigned seed) {
+  Rng rng(seed);
+  std::uniform_real_distribution<double> coord(-40.0, 40.0);
+  std::vector<Vec3> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    pts.push_back({coord(rng), coord(rng), coord(rng)});
+  CoordsSoA c;
+  c.assign(pts);
+  return c;
+}
+
+Transform make_transform(unsigned seed) {
+  Rng rng(seed);
+  return bio::random_transform(rng);
+}
+
+// Every kernel, every length 1..17: covers the empty-block case (n < 4),
+// whole blocks, and each possible remainder of the scalar tail.
+TEST(SimdKernels, BitIdenticalAcrossLengths) {
+  for (std::size_t n = 1; n <= 17; ++n) {
+    const CoordsSoA xa = make_coords(n, 100 + static_cast<unsigned>(n));
+    const CoordsSoA ya = make_coords(n, 200 + static_cast<unsigned>(n));
+    const Transform t = make_transform(300 + static_cast<unsigned>(n));
+    const double d0sq = 2.75;
+
+    std::vector<double> d2_scalar(n), d2_simd(n);
+    std::vector<double> row_scalar(n), row_simd(n);
+    std::vector<double> bonus(n, 0.0);
+    for (std::size_t j = 0; j < n; ++j) bonus[j] = 0.5 * static_cast<double>(j % 3);
+
+    double tm_scalar, sumd2_scalar;
+    kern::KabschSums ks_scalar;
+    {
+      SimdMode mode(false);
+      tm_scalar = kern::tm_sum(xa.view(), ya.view(), t, d0sq, d2_scalar.data());
+      sumd2_scalar = kern::sum_d2(xa.view(), ya.view(), t);
+      kern::score_row(xa.at(0), ya.view(), d0sq, bonus.data(), row_scalar.data());
+      ks_scalar = kern::kabsch_accumulate(xa.view(), ya.view());
+    }
+    double tm_simd, sumd2_simd;
+    kern::KabschSums ks_simd;
+    {
+      SimdMode mode(true);
+      tm_simd = kern::tm_sum(xa.view(), ya.view(), t, d0sq, d2_simd.data());
+      sumd2_simd = kern::sum_d2(xa.view(), ya.view(), t);
+      kern::score_row(xa.at(0), ya.view(), d0sq, bonus.data(), row_simd.data());
+      ks_simd = kern::kabsch_accumulate(xa.view(), ya.view());
+    }
+
+    EXPECT_EQ(tm_scalar, tm_simd) << "n=" << n;
+    EXPECT_EQ(sumd2_scalar, sumd2_simd) << "n=" << n;
+    for (std::size_t k = 0; k < n; ++k) {
+      EXPECT_EQ(d2_scalar[k], d2_simd[k]) << "n=" << n << " k=" << k;
+      EXPECT_EQ(row_scalar[k], row_simd[k]) << "n=" << n << " k=" << k;
+    }
+    EXPECT_EQ(ks_scalar.cf.x, ks_simd.cf.x) << "n=" << n;
+    EXPECT_EQ(ks_scalar.ct.z, ks_simd.ct.z) << "n=" << n;
+    EXPECT_EQ(ks_scalar.fq, ks_simd.fq) << "n=" << n;
+    EXPECT_EQ(ks_scalar.tq, ks_simd.tq) << "n=" << n;
+    for (int i = 0; i < 3; ++i)
+      for (int j = 0; j < 3; ++j)
+        EXPECT_EQ(ks_scalar.m[i][j], ks_simd.m[i][j]) << "n=" << n;
+  }
+}
+
+// The d2 side channel must hold exactly the distances the sum was built
+// from, in both modes.
+TEST(SimdKernels, DistanceSideChannelMatchesDirectComputation) {
+  const std::size_t n = 13;
+  const CoordsSoA xa = make_coords(n, 7);
+  const CoordsSoA ya = make_coords(n, 8);
+  const Transform t = make_transform(9);
+  std::vector<double> d2(n);
+  kern::tm_sum(xa.view(), ya.view(), t, 2.0, d2.data());
+  for (std::size_t k = 0; k < n; ++k) {
+    const Vec3 p = t.apply(xa.at(k));
+    const Vec3 q = ya.at(k);
+    const double dx = p.x - q.x, dy = p.y - q.y, dz = p.z - q.z;
+    EXPECT_EQ(d2[k], (dx * dx + dy * dy) + dz * dz) << k;
+  }
+}
+
+// Whole-pipeline equivalence: a full tmalign run must produce identical
+// alignments and AlignStats in both modes, and scores equal to the last bit.
+TEST(SimdKernels, TmalignEndToEndIdenticalAcrossModes) {
+  Rng rng(42);
+  const Protein a = bio::make_protein("a", 97, rng);
+  const Protein b = bio::perturb(a, "b", rng);
+
+  TmAlignResult scalar_r, simd_r;
+  {
+    SimdMode mode(false);
+    scalar_r = tmalign(a, b);
+  }
+  {
+    SimdMode mode(true);
+    simd_r = tmalign(a, b);
+  }
+  EXPECT_EQ(scalar_r.tm_norm_a, simd_r.tm_norm_a);
+  EXPECT_EQ(scalar_r.tm_norm_b, simd_r.tm_norm_b);
+  EXPECT_EQ(scalar_r.rmsd, simd_r.rmsd);
+  EXPECT_EQ(scalar_r.seq_identity, simd_r.seq_identity);
+  EXPECT_EQ(scalar_r.aligned_length, simd_r.aligned_length);
+  EXPECT_EQ(scalar_r.y2x, simd_r.y2x);
+  EXPECT_EQ(scalar_r.stats.scored_pairs, simd_r.stats.scored_pairs);
+  EXPECT_EQ(scalar_r.stats.matrix_cells, simd_r.stats.matrix_cells);
+  EXPECT_EQ(scalar_r.stats.dp_cells, simd_r.stats.dp_cells);
+  EXPECT_EQ(scalar_r.stats.kabsch_calls, simd_r.stats.kabsch_calls);
+  EXPECT_EQ(scalar_r.stats.kabsch_points, simd_r.stats.kabsch_points);
+  EXPECT_EQ(scalar_r.stats.iterations, simd_r.stats.iterations);
+}
+
+// The workspace variant must agree exactly with the value-returning one
+// (same code path, but this pins the capacity-reuse logic: a workspace warm
+// from a *larger* problem must not leak state into a smaller one).
+TEST(SimdKernels, WorkspaceReuseMatchesFreshRuns) {
+  Rng rng(5);
+  const Protein big_a = bio::make_protein("A", 140, rng);
+  const Protein big_b = bio::perturb(big_a, "B", rng);
+  const Protein small_a = bio::make_protein("a", 60, rng);
+  const Protein small_b = bio::make_protein("b", 73, rng);
+
+  TmAlignWorkspace ws;
+  (void)tmalign(big_a, big_b, ws);  // warm the workspace past both sizes
+  const TmAlignResult& reused = tmalign(small_a, small_b, ws);
+  const TmAlignResult fresh = tmalign(small_a, small_b);
+
+  EXPECT_EQ(fresh.tm_norm_a, reused.tm_norm_a);
+  EXPECT_EQ(fresh.tm_norm_b, reused.tm_norm_b);
+  EXPECT_EQ(fresh.rmsd, reused.rmsd);
+  EXPECT_EQ(fresh.seq_identity, reused.seq_identity);
+  EXPECT_EQ(fresh.aligned_length, reused.aligned_length);
+  EXPECT_EQ(fresh.y2x, reused.y2x);
+  EXPECT_EQ(fresh.stats.scored_pairs, reused.stats.scored_pairs);
+  EXPECT_EQ(fresh.stats.dp_cells, reused.stats.dp_cells);
+}
+
+TEST(SimdKernels, ToggleReportsState) {
+  if (!kern::simd_compiled()) {
+    // The toggle must be a stable no-op without the compiled path.
+    kern::set_simd_enabled(true);
+    EXPECT_FALSE(kern::simd_enabled());
+    return;
+  }
+  SimdMode off(false);
+  EXPECT_FALSE(kern::simd_enabled());
+  kern::set_simd_enabled(true);
+  EXPECT_TRUE(kern::simd_enabled());
+}
+
+}  // namespace
+}  // namespace rck::core
