@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "rck/bio/dataset.hpp"
+#include "rck/harness/arg_parser.hpp"
 #include "rck/harness/tables.hpp"
 #include "rck/rckalign/app.hpp"
 #include "rck/scc/runtime.hpp"
@@ -50,9 +51,21 @@ rckalign::RckAlignRun run_once(const std::vector<bio::Protein>& dataset,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  int slaves = 12;
+  std::string json_path = "BENCH_host_parallel.json";
+  harness::ArgParser cli("bench_host_parallel",
+                         "Wall-clock speedup of host-parallel simulation.");
+  cli.option("slaves", &slaves, "simulated slave cores")
+      .option("json", &json_path, "output path for the bench JSON");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+  } catch (const harness::ArgError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-  const int slaves = 12;
   std::cout << "Host-parallel bench: CK34 all-vs-all, " << slaves
             << " slaves, real TM-align kernels (no cache)\n"
             << "Host hardware threads: " << hw << "\n\n";
@@ -101,8 +114,8 @@ int main() {
          << ", \"speedup\": " << points[k].speedup << "}"
          << (k + 1 < points.size() ? ",\n" : "\n");
   json << "  ]\n}\n";
-  harness::write_file("BENCH_host_parallel.json", json.str());
-  std::cout << "JSON written to BENCH_host_parallel.json\n";
+  harness::write_file(json_path, json.str());
+  std::cout << "JSON written to " << json_path << "\n";
 
   if (!identical) {
     std::cout << "SHAPE VIOLATION: parallel simulated results diverged from serial\n";

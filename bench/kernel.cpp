@@ -29,6 +29,7 @@
 
 #include "rck/bio/dataset.hpp"
 #include "rck/core/nw.hpp"
+#include "rck/harness/arg_parser.hpp"
 #include "rck/core/simd_kernels.hpp"
 #include "rck/core/tmalign.hpp"
 #include "rck/core/tmscore.hpp"
@@ -147,7 +148,18 @@ std::string fmt(double v, const char* spec) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_kernel.json";
+  harness::ArgParser cli("bench_kernel",
+                         "Time the TM-align comparison-kernel hot layers.");
+  cli.option("json", &json_path, "output path for the bench JSON");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+  } catch (const harness::ArgError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+
   const bool compiled = core::kern::simd_compiled();
   std::cout << "Kernel bench: CK34 dataset, AVX2 path "
             << (compiled ? "compiled in" : "NOT compiled (portable fallback only)")
@@ -193,8 +205,8 @@ int main() {
        << ", \"full_pair_ms\": " << simd.full_pair_ms << "},\n"
        << "  \"simd_vs_scalar_full_pair\": " << full_speedup << ",\n"
        << "  \"speedup_vs_pre_rewrite_dev_host\": " << vs_prepr << "\n}\n";
-  harness::write_file("BENCH_kernel.json", json.str());
-  std::cout << "JSON written to BENCH_kernel.json\n";
+  harness::write_file(json_path, json.str());
+  std::cout << "JSON written to " << json_path << "\n";
 
   if (!identical) {
     std::cout << "SHAPE VIOLATION: scalar and SIMD tm_sum differ — the "

@@ -6,8 +6,10 @@
 // Prints paper-vs-measured side by side and an ASCII rendering of
 // Figure 5's log-scale time curves. Writes bench_out/table2.csv.
 #include <cmath>
+#include <cstdio>
 #include <iostream>
 
+#include "rck/harness/arg_parser.hpp"
 #include "rck/harness/experiments.hpp"
 #include "rck/harness/paper_data.hpp"
 #include "rck/harness/tables.hpp"
@@ -38,7 +40,18 @@ void print_figure5(const std::vector<harness::Exp1Row>& rows) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string out_dir = "bench_out";
+  harness::ArgParser cli("bench_table2_fig5",
+                         "Reproduce Table II / Figure 5 (CK34 all-vs-all).");
+  cli.option("out-dir", &out_dir, "directory for table2.csv and fig5.gnuplot");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+  } catch (const harness::ArgError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+
   std::cout << "Reproducing Table II / Figure 5 (CK34, 561 pairwise comparisons)\n"
             << "Building dataset and per-pair alignment cache...\n";
   const harness::ExperimentContext ctx = harness::ExperimentContext::load_ck34_only();
@@ -71,21 +84,26 @@ int main() {
   table.print(std::cout);
   print_figure5(rows);
 
-  harness::write_file("bench_out/table2.csv", csv.to_csv());
-  harness::write_file("bench_out/fig5.gnuplot",
-                      "# gnuplot -p bench_out/fig5.gnuplot\n"
-                      "set datafile separator ','\n"
-                      "set logscale y\n"
-                      "set xlabel 'Number of slave cores'\n"
-                      "set ylabel 'Time in sec. (log scale)'\n"
-                      "set key top right\n"
-                      "plot 'bench_out/table2.csv' using 1:2 skip 1 with linespoints "
-                      "title 'rckAlign (measured)', \\\n"
-                      "     '' using 1:3 skip 1 with points title 'rckAlign (paper)', \\\n"
-                      "     '' using 1:4 skip 1 with linespoints title 'distributed "
-                      "(measured)', \\\n"
-                      "     '' using 1:5 skip 1 with points title 'distributed (paper)'\n");
-  std::cout << "CSV written to bench_out/table2.csv (plot: bench_out/fig5.gnuplot)\n";
+  const std::string csv_path = out_dir + "/table2.csv";
+  const std::string plot_path = out_dir + "/fig5.gnuplot";
+  harness::write_file(csv_path, csv.to_csv());
+  harness::write_file(plot_path,
+                      "# gnuplot -p " + plot_path +
+                          "\n"
+                          "set datafile separator ','\n"
+                          "set logscale y\n"
+                          "set xlabel 'Number of slave cores'\n"
+                          "set ylabel 'Time in sec. (log scale)'\n"
+                          "set key top right\n"
+                          "plot '" +
+                          csv_path +
+                          "' using 1:2 skip 1 with linespoints "
+                          "title 'rckAlign (measured)', \\\n"
+                          "     '' using 1:3 skip 1 with points title 'rckAlign (paper)', \\\n"
+                          "     '' using 1:4 skip 1 with linespoints title 'distributed "
+                          "(measured)', \\\n"
+                          "     '' using 1:5 skip 1 with points title 'distributed (paper)'\n");
+  std::cout << "CSV written to " << csv_path << " (plot: " << plot_path << ")\n";
 
   // Decompose the distributed baseline per the paper's two causes:
   // (a) NFS disk serialization, (b) per-job process/environment setup.

@@ -2,46 +2,27 @@
 //
 // Runs an all-vs-all protein structure comparison on the simulated SCC and
 // prints timing, per-core utilization and network statistics — the numbers
-// a systems person would want when sizing a run.
-//
-// Usage:
-//   scc_all_vs_all [--dataset tiny|ck34|rs119] [--slaves N] [--lpt]
-//                  [--serial] [--distributed] [--csv FILE] [--gantt] [--heatmap]
-//                  [--host-threads N]
-//
-// --host-threads N runs the simulation itself on up to N host threads
-// (0 = all hardware threads). Simulated results are bit-identical to the
-// serial scheduler; only host wall-clock changes (see DESIGN.md,
-// "Host-parallel execution").
+// a systems person would want when sizing a run. Built on the consolidated
+// rck:: API: one RunConfig, one rck::run(), with observability routed
+// through --trace-out / --metrics-out (see DESIGN.md, "Observability").
 //
 // Examples:
 //   scc_all_vs_all --dataset ck34 --slaves 47
 //   scc_all_vs_all --dataset ck34 --slaves 47 --distributed   # NFS baseline
+//   scc_all_vs_all --dataset ck34 --trace-out trace.json      # chrome://tracing
 #include <cstdio>
-#include <cstring>
+#include <exception>
 #include <string>
 
 #include "rck/bio/dataset.hpp"
+#include "rck/harness/arg_parser.hpp"
 #include "rck/harness/tables.hpp"
-#include "rck/rckalign/app.hpp"
-#include "rck/rckalign/cost_cache.hpp"
-#include "rck/rckalign/distributed.hpp"
 #include "rck/noc/heatmap.hpp"
+#include "rck/rck.hpp"
+#include "rck/rckalign/distributed.hpp"
 #include "rck/scc/gantt.hpp"
 
-namespace {
-
 using namespace rck;
-
-[[noreturn]] void usage() {
-  std::fprintf(stderr,
-               "usage: scc_all_vs_all [--dataset tiny|ck34|rs119] [--slaves N] "
-               "[--lpt] [--serial] [--distributed] [--csv FILE] [--gantt] [--heatmap] "
-               "[--host-threads N]\n");
-  std::exit(2);
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   std::string dataset_name = "tiny";
@@ -50,30 +31,34 @@ int main(int argc, char** argv) {
        heatmap = false;
   int host_threads = 1;
   std::string csv_path;
+  obs::Config obs_cfg;
 
-  for (int k = 1; k < argc; ++k) {
-    const std::string arg = argv[k];
-    auto next = [&]() -> std::string {
-      if (k + 1 >= argc) usage();
-      return argv[++k];
-    };
-    if (arg == "--dataset") dataset_name = next();
-    else if (arg == "--slaves") slaves = std::stoi(next());
-    else if (arg == "--lpt") lpt = true;
-    else if (arg == "--serial") serial = true;
-    else if (arg == "--distributed") distributed = true;
-    else if (arg == "--csv") csv_path = next();
-    else if (arg == "--gantt") gantt = true;
-    else if (arg == "--heatmap") heatmap = true;
-    else if (arg == "--host-threads") host_threads = std::stoi(next());
-    else usage();
+  static constexpr std::string_view kDatasets[] = {"tiny", "ck34", "rs119"};
+  harness::ArgParser cli(
+      "scc_all_vs_all",
+      "All-vs-all protein structure comparison on the simulated SCC.");
+  cli.choice("dataset", &dataset_name, kDatasets, "input dataset")
+      .option("slaves", &slaves, "slave cores (rank 0 is the master)")
+      .flag("lpt", &lpt, "longest-first job order (paper used FIFO)")
+      .flag("serial", &serial, "single-core serial baseline instead")
+      .flag("distributed", &distributed, "distributed TM-align NFS baseline")
+      .option("csv", &csv_path, "write per-pair results as CSV")
+      .flag("gantt", &gantt, "print an ASCII per-core activity gantt")
+      .flag("heatmap", &heatmap, "print the NoC link-utilization heatmap")
+      .option("host-threads", &host_threads,
+              "host threads for the simulation itself (0 = all)")
+      .obs_flags(&obs_cfg);
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+  } catch (const harness::ArgError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
   }
 
   bio::DatasetSpec spec;
   if (dataset_name == "tiny") spec = bio::tiny_spec();
   else if (dataset_name == "ck34") spec = bio::ck34_spec();
-  else if (dataset_name == "rs119") spec = bio::rs119_spec();
-  else usage();
+  else spec = bio::rs119_spec();
 
   std::printf("dataset %s: building %d chains and aligning %zu pairs...\n",
               spec.name.c_str(), spec.total_chains(),
@@ -101,14 +86,23 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  rckalign::RckAlignOptions opts;
-  opts.slave_count = slaves;
-  opts.cache = &cache;
-  opts.lpt = lpt;
-  opts.runtime.enable_trace = gantt || heatmap;
-  opts.runtime.host = host_threads == 0 ? scc::HostParallelism::hardware()
-                                        : scc::HostParallelism{host_threads};
-  const rckalign::RckAlignRun run = rckalign::run_rckalign(dataset, opts);
+  RunConfig cfg;
+  cfg.with_slaves(slaves)
+      .with_cache(&cache)
+      .with_lpt(lpt)
+      .with_host_threads(host_threads == 0
+                             ? scc::HostParallelism::hardware().threads
+                             : host_threads)
+      .with_obs(obs_cfg);
+  cfg.runtime.enable_trace = gantt || heatmap;
+
+  RunResult run;
+  try {
+    run = rck::run(dataset, cfg);
+  } catch (const ConfigError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
 
   if (gantt) {
     std::printf("\n%s\n",
@@ -142,6 +136,12 @@ int main(int argc, char** argv) {
       break;
     }
   }
+
+  if (!obs_cfg.trace_path.empty())
+    std::printf("trace written to %s (load in chrome://tracing or Perfetto)\n",
+                obs_cfg.trace_path.c_str());
+  if (!obs_cfg.metrics_path.empty())
+    std::printf("metrics written to %s\n", obs_cfg.metrics_path.c_str());
 
   if (!csv_path.empty()) {
     harness::TextTable csv("results");

@@ -1,0 +1,44 @@
+// trace_check: validate a Chrome trace_event JSON file.
+//
+// Parses the file with the embedded JSON parser and checks the trace_event
+// schema subset rck::obs emits (see DESIGN.md, "Observability"). Exit 0 on
+// a valid trace, 1 on a malformed one — CI runs this over the trace
+// artifact produced by the smoke leg.
+//
+// Usage:  trace_check FILE.json [FILE2.json ...]
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "rck/obs/trace_check.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: trace_check FILE.json [FILE2.json ...]\n");
+    return 2;
+  }
+  int rc = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "%s: cannot open\n", argv[i]);
+      rc = 1;
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+
+    std::string error;
+    std::size_t events = 0;
+    if (rck::obs::validate_chrome_trace(text, error, &events)) {
+      std::printf("%s: OK (%zu events, %zu bytes)\n", argv[i], events,
+                  text.size());
+    } else {
+      std::fprintf(stderr, "%s: INVALID: %s\n", argv[i], error.c_str());
+      rc = 1;
+    }
+  }
+  return rc;
+}

@@ -8,19 +8,20 @@
 
 #include <filesystem>
 #include <iosfwd>
-#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "rck/bio/protein.hpp"
+#include "rck/error.hpp"
 
 namespace rck::bio {
 
 /// Error raised on malformed PDB input.
-class PdbError : public std::runtime_error {
+/// what() is prefixed "rck.bio.pdb: " (see DESIGN.md, "Error taxonomy").
+class PdbError : public rck::Error {
  public:
-  using std::runtime_error::runtime_error;
+  explicit PdbError(const std::string& message) : Error("rck.bio.pdb", message) {}
 };
 
 struct PdbParseOptions {

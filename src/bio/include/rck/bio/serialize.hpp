@@ -11,20 +11,21 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
-#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "rck/bio/protein.hpp"
+#include "rck/error.hpp"
 
 namespace rck::bio {
 
 using Bytes = std::vector<std::byte>;
 
 /// Error raised when decoding malformed or truncated payloads.
-class WireError : public std::runtime_error {
+/// what() is prefixed "rck.bio.wire: " (see DESIGN.md, "Error taxonomy").
+class WireError : public rck::Error {
  public:
-  using std::runtime_error::runtime_error;
+  explicit WireError(const std::string& message) : Error("rck.bio.wire", message) {}
 };
 
 /// Append-only little-endian encoder.

@@ -1,0 +1,37 @@
+// Common exception base for the whole rck:: code base.
+//
+// Every exception thrown by rck libraries derives from rck::Error and
+// carries a stable, machine-readable code. The what() text always starts
+// with "<code>: " — e.g.
+//
+//   rck.scc.deadlock: simulation deadlock: all cores blocked
+//   rck.bio.wire: truncated frame
+//
+// Codes are dotted paths, "rck.<domain>.<kind>", and are part of the API
+// contract (see DESIGN.md, "Error taxonomy"): tools may dispatch on
+// Error::code() or on the what() prefix, and both are kept stable across
+// releases. Concrete error classes bake their code into their constructor so
+// throw sites stay plain (`throw SimError("message")`).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace rck {
+
+class Error : public std::runtime_error {
+ public:
+  /// Stable dotted code, e.g. "rck.scc.deadlock".
+  const std::string& code() const noexcept { return code_; }
+
+ protected:
+  Error(std::string_view code, const std::string& message)
+      : std::runtime_error(std::string(code) + ": " + message),
+        code_(code) {}
+
+ private:
+  std::string code_;
+};
+
+}  // namespace rck

@@ -1,0 +1,87 @@
+// Shared command-line parsing for the examples and benches.
+//
+// Every driver used to hand-roll its own argv loop; this registry unifies
+// them: declare each flag once (name, target, help text) and parse() fills
+// the targets, prints --help from the registry, and suggests the nearest
+// registered flag on a typo. The observability outputs (--trace-out,
+// --metrics-out, --collect) are standard flags every driver gets from
+// obs_flags() so the whole tool set spells them identically.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rck/error.hpp"
+#include "rck/obs/obs.hpp"
+
+namespace rck::harness {
+
+/// Thrown on unknown flags or malformed values. what() is prefixed
+/// "rck.cli.args: " (see DESIGN.md, "Error taxonomy") and, for unknown
+/// flags, includes a did-you-mean suggestion.
+class ArgError : public rck::Error {
+ public:
+  explicit ArgError(const std::string& message) : Error("rck.cli.args", message) {}
+};
+
+class ArgParser {
+ public:
+  /// `program` names the binary in usage output; `summary` is the one-line
+  /// description printed above the flag list.
+  explicit ArgParser(std::string program, std::string summary = "");
+
+  // -- flag registration (targets must outlive parse()) -----------------
+  /// Boolean switch: present -> *out = true. No value.
+  ArgParser& flag(std::string_view name, bool* out, std::string_view help);
+  /// Valued options: `--name VALUE` or `--name=VALUE`.
+  ArgParser& option(std::string_view name, int* out, std::string_view help);
+  ArgParser& option(std::string_view name, double* out, std::string_view help);
+  ArgParser& option(std::string_view name, std::string* out, std::string_view help);
+  /// Valued option restricted to `choices`; *out must start as one of them
+  /// (it is shown as the default in --help).
+  ArgParser& choice(std::string_view name, std::string* out,
+                    std::span<const std::string_view> choices,
+                    std::string_view help);
+
+  /// Register the standard observability flags writing into `cfg`:
+  ///   --trace-out FILE    Chrome trace_event JSON
+  ///   --metrics-out FILE  merged metrics JSON
+  ///   --collect           record in memory with no output file
+  ArgParser& obs_flags(obs::Config* cfg);
+
+  // -- parsing ----------------------------------------------------------
+  /// Parse argv (skipping argv[0]). Returns false when --help was given
+  /// (usage has been printed to stdout; the caller should exit 0). Throws
+  /// ArgError on unknown flags, missing values or unparsable numbers.
+  bool parse(int argc, const char* const* argv);
+  /// Same, over pre-split arguments (test seam; no argv[0] expected).
+  bool parse(std::span<const std::string> args);
+
+  /// The generated usage/help text.
+  std::string usage() const;
+
+  /// Nearest registered flag name to `arg` by edit distance, or "" when
+  /// nothing is close enough to plausibly be a typo.
+  std::string suggest(std::string_view arg) const;
+
+ private:
+  enum class Kind { Bool, Int, Double, String, Choice };
+  struct Spec {
+    std::string name;  // including the leading "--"
+    Kind kind = Kind::Bool;
+    void* out = nullptr;
+    std::string help;
+    std::vector<std::string> choices;
+  };
+
+  const Spec* find(std::string_view name) const;
+  void apply(const Spec& spec, std::string_view value);
+
+  std::string program_;
+  std::string summary_;
+  std::vector<Spec> specs_;
+};
+
+}  // namespace rck::harness

@@ -18,6 +18,7 @@
 #include "rck/noc/event_queue.hpp"
 #include "rck/noc/mesh.hpp"
 #include "rck/noc/sim_time.hpp"
+#include "rck/obs/obs.hpp"
 
 namespace rck::noc {
 
@@ -91,6 +92,18 @@ class Network {
     return links_[static_cast<std::size_t>(mesh_.link_index(l))];
   }
 
+  /// Attach an observability handle (normally the recorder's system shard —
+  /// send() runs under the simulation scheduler's serialization). Records
+  /// per-link-class flit counters, per-link occupancy spans, message-size
+  /// and queueing-delay histograms; an empty handle (the default) keeps
+  /// send() entirely uninstrumented.
+  void set_observer(obs::Handle h) noexcept { obs_ = h; }
+
+  /// 16-byte mesh flits needed for `bytes` (at least 1: header flit).
+  static std::uint64_t flits_of(std::uint64_t bytes) noexcept {
+    return bytes == 0 ? 1 : (bytes + 15) / 16;
+  }
+
  private:
   SimTime transfer_time(std::uint64_t bytes) const;
 
@@ -100,6 +113,7 @@ class Network {
   std::vector<SimTime> link_free_;  ///< earliest time each link is available
   std::vector<LinkStats> links_;
   NetworkStats stats_;
+  obs::Handle obs_;
 };
 
 }  // namespace rck::noc

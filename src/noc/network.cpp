@@ -37,6 +37,7 @@ SimTime Network::send(int src, int dst, std::uint64_t bytes, SimTime depart,
   SimTime queueing = 0;
 
   const std::vector<Link> route = mesh_.xy_route(src, dst);
+  const std::uint64_t flits = flits_of(bytes);
   for (const Link& l : route) {
     const std::size_t idx = static_cast<std::size_t>(mesh_.link_index(l));
     const SimTime start = std::max(head, link_free_[idx]);
@@ -46,6 +47,16 @@ SimTime Network::send(int src, int dst, std::uint64_t bytes, SimTime depart,
     ls.messages += 1;
     ls.bytes += bytes;
     ls.busy += params_.hop_latency + xfer;
+    if (obs_) {
+      // Classify by the direction the link travels: X links change the
+      // column, Y links the row (XY routing never produces a diagonal).
+      const obs::Std& ids = obs_.ids();
+      const bool is_x = mesh_.coord(l.from).x != mesh_.coord(l.to).x;
+      obs_.add(is_x ? ids.noc_flits_x : ids.noc_flits_y, flits);
+      obs_.span(is_x ? obs::Lane::LinkX : obs::Lane::LinkY, ids.n_link, start,
+                start + params_.hop_latency + xfer,
+                static_cast<std::uint64_t>(idx));
+    }
     head = start + params_.hop_latency;
   }
   const SimTime t = head + xfer;  // tail arrival (same-tile MPB copy included)
@@ -55,9 +66,24 @@ SimTime Network::send(int src, int dst, std::uint64_t bytes, SimTime depart,
   stats_.total_hops += static_cast<std::uint64_t>(route.size());
   stats_.total_queueing += queueing;
 
+  if (obs_) {
+    const obs::Std& ids = obs_.ids();
+    obs_.add(ids.noc_messages);
+    obs_.add(ids.noc_bytes, bytes);
+    obs_.observe(ids.noc_msg_bytes, bytes);
+    obs_.observe(ids.noc_queue_ps, queueing);
+    if (route.empty()) {
+      // Same-tile delivery: the message moves through the shared MPB only.
+      obs_.add(ids.noc_flits_local, flits);
+      obs_.span(obs::Lane::LinkLocal, ids.n_link, depart + params_.sw_overhead,
+                t, static_cast<std::uint64_t>(src));
+    }
+  }
+
   const SimTime arrival = t;
   if (disposition == Delivery::Drop) {
     stats_.dropped += 1;
+    if (obs_) obs_.add(obs_.ids().noc_drops);
     return arrival;
   }
   queue_.schedule_at(arrival, [cb = std::move(on_delivered), arrival] { cb(arrival); });

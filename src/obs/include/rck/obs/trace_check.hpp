@@ -1,0 +1,53 @@
+// Minimal self-contained JSON parser + Chrome trace_event schema checker.
+//
+// Used by tests and the `trace_check` CLI / CI smoke leg to validate that
+// emitted traces are well-formed without any external JSON dependency. The
+// parser handles the full JSON grammar we emit (objects, arrays, strings
+// with escapes, integer/fractional numbers, bools, null) and is strict —
+// trailing garbage or malformed input is an error, not a best-effort parse.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rck::obs {
+
+struct JsonValue {
+  enum class Kind : std::uint8_t { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  // std::map keeps member lookup simple; emitted documents are small enough
+  // that ordering/locality does not matter for a checker.
+  std::map<std::string, JsonValue> object;
+
+  bool is_object() const noexcept { return kind == Kind::Object; }
+  bool is_array() const noexcept { return kind == Kind::Array; }
+  bool is_string() const noexcept { return kind == Kind::String; }
+  bool is_number() const noexcept { return kind == Kind::Number; }
+
+  /// nullptr when absent or not an object.
+  const JsonValue* get(std::string_view key) const;
+};
+
+/// Parses `text` as a single JSON document. On failure returns false and
+/// describes the problem (with byte offset) in `error`.
+bool json_parse(std::string_view text, JsonValue& out, std::string& error);
+
+/// Structural check of a Chrome trace_event document as produced by
+/// chrome_trace_json(): top-level object with a "traceEvents" array; every
+/// event has string "ph"/"name" and numeric "pid"/"tid"/"ts"; phase-specific
+/// requirements ("X" needs "dur", "C" needs "args", "b"/"e" need "id",
+/// "i" needs "s"); only phases this code base emits are accepted.
+/// Returns the number of events via `events_out` (optional).
+bool validate_chrome_trace(std::string_view text, std::string& error,
+                           std::size_t* events_out = nullptr);
+
+}  // namespace rck::obs

@@ -1,0 +1,191 @@
+#include "rck/obs/metrics.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <stdexcept>
+
+namespace rck::obs {
+
+std::string_view unit_name(Unit u) noexcept {
+  switch (u) {
+    case Unit::None:
+      return "";
+    case Unit::Ps:
+      return "ps";
+    case Unit::Bytes:
+      return "bytes";
+    case Unit::Cycles:
+      return "cycles";
+    case Unit::Flits:
+      return "flits";
+    case Unit::Jobs:
+      return "jobs";
+  }
+  return "";
+}
+
+std::pair<std::uint64_t, std::uint64_t> Histogram::bucket_range(
+    std::size_t k) noexcept {
+  if (k == 0) return {0, 1};
+  const std::uint64_t lo = std::uint64_t{1} << (k - 1);
+  const std::uint64_t hi =
+      k >= 64 ? UINT64_MAX : (std::uint64_t{1} << k);
+  return {lo, hi};
+}
+
+void Histogram::merge(const Histogram& o) noexcept {
+  for (std::size_t k = 0; k < kBuckets; ++k) buckets[k] += o.buckets[k];
+  count += o.count;
+  const std::uint64_t s = sum + o.sum;
+  sum = s < sum ? UINT64_MAX : s;
+  if (o.count > 0) {
+    if (o.min < min) min = o.min;
+    if (o.max > max) max = o.max;
+  }
+}
+
+std::uint32_t Registry::intern(std::vector<Info>& infos, std::string_view name,
+                               Unit unit, const char* kind) {
+  for (std::uint32_t i = 0; i < infos.size(); ++i) {
+    if (infos[i].name == name) {
+      if (infos[i].unit != unit) {
+        throw std::logic_error(std::string("obs: ") + kind + " '" +
+                               std::string(name) +
+                               "' re-registered with a different unit");
+      }
+      return i;
+    }
+  }
+  infos.push_back(Info{std::string(name), unit});
+  return static_cast<std::uint32_t>(infos.size() - 1);
+}
+
+CounterId Registry::counter(std::string_view name, Unit unit) {
+  return CounterId{intern(counters_, name, unit, "counter")};
+}
+
+GaugeId Registry::gauge(std::string_view name, Unit unit) {
+  return GaugeId{intern(gauges_, name, unit, "gauge")};
+}
+
+HistId Registry::histogram(std::string_view name, Unit unit) {
+  return HistId{intern(histograms_, name, unit, "histogram")};
+}
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out += buf;
+}
+
+// Gauges are the one double-valued metric; %.17g round-trips exactly and is
+// locale-independent for the values we emit, keeping the bytes stable.
+void append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string Snapshot::to_json() const {
+  std::string out;
+  out.reserve(4096);
+  out += "{\n  \"schema\": \"rck-obs-metrics-v1\",\n  \"counters\": [";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    const CounterRow& r = counters[i];
+    out += i ? ",\n    " : "\n    ";
+    out += "{\"name\": ";
+    append_escaped(out, r.name);
+    out += ", \"unit\": ";
+    append_escaped(out, unit_name(r.unit));
+    out += ", \"value\": ";
+    append_u64(out, r.value);
+    out += ", \"per_shard\": [";
+    for (std::size_t s = 0; s < r.per_shard.size(); ++s) {
+      if (s) out += ", ";
+      append_u64(out, r.per_shard[s]);
+    }
+    out += "]}";
+  }
+  out += "\n  ],\n  \"gauges\": [";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    const GaugeRow& r = gauges[i];
+    out += i ? ",\n    " : "\n    ";
+    out += "{\"name\": ";
+    append_escaped(out, r.name);
+    out += ", \"unit\": ";
+    append_escaped(out, unit_name(r.unit));
+    out += ", \"set\": ";
+    out += r.set ? "true" : "false";
+    out += ", \"value\": ";
+    append_double(out, r.value);
+    out += "}";
+  }
+  out += "\n  ],\n  \"histograms\": [";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const HistRow& r = histograms[i];
+    out += i ? ",\n    " : "\n    ";
+    out += "{\"name\": ";
+    append_escaped(out, r.name);
+    out += ", \"unit\": ";
+    append_escaped(out, unit_name(r.unit));
+    out += ", \"count\": ";
+    append_u64(out, r.merged.count);
+    out += ", \"sum\": ";
+    append_u64(out, r.merged.sum);
+    out += ", \"min\": ";
+    append_u64(out, r.merged.count ? r.merged.min : 0);
+    out += ", \"max\": ";
+    append_u64(out, r.merged.max);
+    // Sparse bucket encoding: only non-empty buckets, as [bit_width, count].
+    out += ", \"buckets\": [";
+    bool first = true;
+    for (std::size_t k = 0; k < Histogram::kBuckets; ++k) {
+      if (r.merged.buckets[k] == 0) continue;
+      if (!first) out += ", ";
+      first = false;
+      out += "[";
+      append_u64(out, k);
+      out += ", ";
+      append_u64(out, r.merged.buckets[k]);
+      out += "]";
+    }
+    out += "]}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+}  // namespace rck::obs

@@ -1,0 +1,359 @@
+#include "rck/obs/trace_check.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace rck::obs {
+
+const JsonValue* JsonValue::get(std::string_view key) const {
+  if (kind != Kind::Object) return nullptr;
+  auto it = object.find(std::string(key));
+  return it == object.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string& error)
+      : text_(text), error_(error) {}
+
+  bool parse(JsonValue& out) {
+    skip_ws();
+    if (!value(out)) return false;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing data after document");
+    return true;
+  }
+
+ private:
+  bool fail(const std::string& msg) {
+    error_ = msg + " (at byte " + std::to_string(pos_) + ")";
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return fail("invalid literal");
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  bool value(JsonValue& out) {
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{':
+        return object(out);
+      case '[':
+        return array(out);
+      case '"':
+        out.kind = JsonValue::Kind::String;
+        return string(out.string);
+      case 't':
+        out.kind = JsonValue::Kind::Bool;
+        out.boolean = true;
+        return literal("true");
+      case 'f':
+        out.kind = JsonValue::Kind::Bool;
+        out.boolean = false;
+        return literal("false");
+      case 'n':
+        out.kind = JsonValue::Kind::Null;
+        return literal("null");
+      default:
+        return number(out);
+    }
+  }
+
+  bool object(JsonValue& out) {
+    out.kind = JsonValue::Kind::Object;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return fail("expected object key");
+      }
+      if (!string(key)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return fail("expected ':' after key");
+      }
+      ++pos_;
+      skip_ws();
+      JsonValue member;
+      if (!value(member)) return false;
+      out.object.emplace(std::move(key), std::move(member));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool array(JsonValue& out) {
+    out.kind = JsonValue::Kind::Array;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      JsonValue item;
+      if (!value(item)) return false;
+      out.array.push_back(std::move(item));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool string(std::string& out) {
+    ++pos_;  // '"'
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return fail("unterminated escape");
+        switch (text_[pos_]) {
+          case '"':
+            out.push_back('"');
+            break;
+          case '\\':
+            out.push_back('\\');
+            break;
+          case '/':
+            out.push_back('/');
+            break;
+          case 'b':
+            out.push_back('\b');
+            break;
+          case 'f':
+            out.push_back('\f');
+            break;
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 'r':
+            out.push_back('\r');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          case 'u': {
+            if (pos_ + 4 >= text_.size()) return fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 1; i <= 4; ++i) {
+              char h = text_[pos_ + static_cast<std::size_t>(i)];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return fail("invalid \\u escape");
+              }
+            }
+            pos_ += 4;
+            // The emitter only escapes control characters; decode the BMP
+            // subset we can produce and reject surrogates outright.
+            if (code >= 0xD800 && code <= 0xDFFF) {
+              return fail("surrogate in \\u escape");
+            }
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return fail("invalid escape character");
+        }
+        ++pos_;
+        continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("raw control character in string");
+      }
+      out.push_back(c);
+      ++pos_;
+    }
+    return fail("unterminated string");
+  }
+
+  bool number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool digits = false;
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+      digits = true;
+    }
+    if (!digits) return fail("invalid number");
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      bool frac = false;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+        frac = true;
+      }
+      if (!frac) return fail("missing digits after decimal point");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      bool exp = false;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+        exp = true;
+      }
+      if (!exp) return fail("missing digits in exponent");
+    }
+    out.kind = JsonValue::Kind::Number;
+    out.number = std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(),
+                             nullptr);
+    return true;
+  }
+
+  std::string_view text_;
+  std::string& error_;
+  std::size_t pos_ = 0;
+};
+
+bool event_fail(std::string& error, std::size_t index, const std::string& msg) {
+  error = "event " + std::to_string(index) + ": " + msg;
+  return false;
+}
+
+}  // namespace
+
+bool json_parse(std::string_view text, JsonValue& out, std::string& error) {
+  return Parser(text, error).parse(out);
+}
+
+bool validate_chrome_trace(std::string_view text, std::string& error,
+                           std::size_t* events_out) {
+  JsonValue doc;
+  if (!json_parse(text, doc, error)) return false;
+  if (!doc.is_object()) {
+    error = "top level is not an object";
+    return false;
+  }
+  const JsonValue* events = doc.get("traceEvents");
+  if (!events || !events->is_array()) {
+    error = "missing traceEvents array";
+    return false;
+  }
+  for (std::size_t i = 0; i < events->array.size(); ++i) {
+    const JsonValue& ev = events->array[i];
+    if (!ev.is_object()) return event_fail(error, i, "not an object");
+    const JsonValue* ph = ev.get("ph");
+    if (!ph || !ph->is_string() || ph->string.size() != 1) {
+      return event_fail(error, i, "missing/invalid ph");
+    }
+    const JsonValue* name = ev.get("name");
+    if (!name || !name->is_string() || name->string.empty()) {
+      return event_fail(error, i, "missing/invalid name");
+    }
+    const JsonValue* pid = ev.get("pid");
+    if (!pid || !pid->is_number()) {
+      return event_fail(error, i, "missing/invalid pid");
+    }
+    const char phase = ph->string[0];
+    if (phase == 'M') continue;  // metadata: no ts/tid requirements
+    const JsonValue* tid = ev.get("tid");
+    if (!tid || !tid->is_number()) {
+      return event_fail(error, i, "missing/invalid tid");
+    }
+    const JsonValue* ts = ev.get("ts");
+    if (!ts || !ts->is_number() || ts->number < 0) {
+      return event_fail(error, i, "missing/invalid ts");
+    }
+    switch (phase) {
+      case 'X': {
+        const JsonValue* dur = ev.get("dur");
+        if (!dur || !dur->is_number() || dur->number < 0) {
+          return event_fail(error, i, "complete event without valid dur");
+        }
+        break;
+      }
+      case 'i': {
+        const JsonValue* s = ev.get("s");
+        if (!s || !s->is_string()) {
+          return event_fail(error, i, "instant event without scope");
+        }
+        break;
+      }
+      case 'C': {
+        const JsonValue* a = ev.get("args");
+        if (!a || !a->is_object() || !a->get("value") ||
+            !a->get("value")->is_number()) {
+          return event_fail(error, i, "counter event without args.value");
+        }
+        break;
+      }
+      case 'b':
+      case 'e': {
+        const JsonValue* id = ev.get("id");
+        if (!id || !id->is_string()) {
+          return event_fail(error, i, "async event without id");
+        }
+        break;
+      }
+      default:
+        return event_fail(error, i,
+                          std::string("unexpected phase '") + phase + "'");
+    }
+  }
+  if (events_out) *events_out = events->array.size();
+  return true;
+}
+
+}  // namespace rck::obs

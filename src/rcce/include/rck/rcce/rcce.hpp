@@ -80,6 +80,11 @@ class Comm {
   void set_power(double freq_scale) { ctx_->set_freq_scale(freq_scale); }
   double power() const noexcept { return ctx_->freq_scale(); }
 
+  /// Observability handle for this UE's shard (empty when the run has no
+  /// obs::Config active; recording through it never advances simulated
+  /// time).
+  obs::Handle obs() const noexcept { return ctx_->obs(); }
+
   /// Access the underlying core context (timing model, chip geometry).
   scc::CoreCtx& ctx() noexcept { return *ctx_; }
   const scc::CoreCtx& ctx() const noexcept { return *ctx_; }

@@ -1,0 +1,115 @@
+// rck umbrella API.
+//
+// One include, one configuration object, one entry point:
+//
+//   #include "rck/rck.hpp"
+//
+//   rck::RunConfig cfg;
+//   cfg.with_slaves(47).with_lpt(true).with_trace("trace.json");
+//   rck::RunResult out = rck::run(dataset, cfg);
+//
+// RunConfig composes every knob that used to be scattered across
+// rckalign::RckAlignOptions, scc::RuntimeConfig, scc::HostParallelism,
+// scc::FaultPlan and obs::Config, and validates the combination as a whole
+// (validate() returns typed issues; validated() throws rck::ConfigError).
+// The underlying structs remain available — RunConfig converts with
+// to_options() — so existing call sites keep working while new code targets
+// this one surface.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rck/error.hpp"
+#include "rck/obs/obs.hpp"
+#include "rck/obs/sink.hpp"
+#include "rck/rckalign/app.hpp"
+#include "rck/rckalign/cost_cache.hpp"
+#include "rck/rckskel/skeletons.hpp"
+#include "rck/scc/runtime.hpp"
+
+namespace rck {
+
+/// One problem found by RunConfig::validate(): which field (dotted path,
+/// e.g. "runtime.host.threads") and what is wrong with it.
+struct ConfigIssue {
+  std::string field;
+  std::string message;
+
+  bool operator==(const ConfigIssue&) const = default;
+};
+
+/// Thrown by RunConfig::validated() / rck::run() on an invalid
+/// configuration. what() lists every issue, one per line.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(std::vector<ConfigIssue> issues);
+
+  const std::vector<ConfigIssue>& issues() const noexcept { return issues_; }
+
+ private:
+  std::vector<ConfigIssue> issues_;
+};
+
+/// The consolidated run configuration. Plain aggregate with chainable
+/// with_*() setters; every field may also be assigned directly.
+struct RunConfig {
+  // -- application ------------------------------------------------------
+  /// Slave cores (the paper sweeps 1..47); rank 0 is the master.
+  int slave_count = 47;
+  rckalign::Method method = rckalign::Method::TmAlign;
+  /// LPT (longest-first) job ordering; the paper used FIFO.
+  bool lpt = false;
+  /// Optional precomputed pair results (not owned; may be null).
+  const rckalign::PairCache* cache = nullptr;
+  /// Fault-tolerant farm (leases, retry, blacklist). Forced on whenever
+  /// `runtime.faults` is non-empty.
+  bool fault_tolerant = false;
+  rckskel::FaultTolerantFarmOptions ft{};
+
+  // -- simulation (chip, network, faults, host parallelism) -------------
+  scc::RuntimeConfig runtime{};
+
+  // -- observability ----------------------------------------------------
+  /// Single source of truth for tracing/metrics; copied into the runtime
+  /// by to_options(). Off by default (zero simulated + negligible host
+  /// overhead, see DESIGN.md "Observability").
+  obs::Config obs{};
+
+  // -- chainable setters ------------------------------------------------
+  RunConfig& with_slaves(int n) { slave_count = n; return *this; }
+  RunConfig& with_method(rckalign::Method m) { method = m; return *this; }
+  RunConfig& with_lpt(bool on = true) { lpt = on; return *this; }
+  RunConfig& with_cache(const rckalign::PairCache* c) { cache = c; return *this; }
+  RunConfig& with_fault_tolerance(bool on = true) { fault_tolerant = on; return *this; }
+  RunConfig& with_ft(const rckskel::FaultTolerantFarmOptions& o) { ft = o; return *this; }
+  RunConfig& with_runtime(const scc::RuntimeConfig& rt) { runtime = rt; return *this; }
+  RunConfig& with_faults(const scc::FaultPlan& plan) { runtime.faults = plan; return *this; }
+  RunConfig& with_host_threads(int threads) { runtime.host.threads = threads; return *this; }
+  RunConfig& with_obs(const obs::Config& o) { obs = o; return *this; }
+  RunConfig& with_trace(std::string path) { obs.trace_path = std::move(path); return *this; }
+  RunConfig& with_metrics(std::string path) { obs.metrics_path = std::move(path); return *this; }
+  RunConfig& with_collect(bool on = true) { obs.enable = on; return *this; }
+
+  /// Check the whole configuration; empty result = valid. Dataset-dependent
+  /// checks (cache/dataset match, >= 2 chains) stay in run_rckalign, which
+  /// sees the dataset.
+  std::vector<ConfigIssue> validate() const;
+
+  /// validate(), throwing ConfigError ("rck.config.invalid") on any issue.
+  /// Returns *this so call sites can chain into to_options()/run().
+  const RunConfig& validated() const;
+
+  /// Lower to the legacy options struct (fault_tolerant forced on when the
+  /// fault plan is non-empty; obs copied into runtime.obs).
+  rckalign::RckAlignOptions to_options() const;
+};
+
+/// run_rckalign's outcome under the umbrella API (alias, not a wrapper: the
+/// run struct already carries reports, traces and the obs recorder).
+using RunResult = rckalign::RckAlignRun;
+
+/// Validate `cfg`, execute the all-vs-all task, flush configured obs sinks.
+RunResult run(const std::vector<bio::Protein>& dataset, const RunConfig& cfg);
+
+}  // namespace rck

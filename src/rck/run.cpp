@@ -1,0 +1,137 @@
+#include "rck/rck.hpp"
+
+namespace rck {
+
+namespace {
+
+std::string join_issues(const std::vector<ConfigIssue>& issues) {
+  std::string msg = "invalid run configuration";
+  for (const ConfigIssue& issue : issues) {
+    msg += "\n  ";
+    msg += issue.field;
+    msg += ": ";
+    msg += issue.message;
+  }
+  return msg;
+}
+
+}  // namespace
+
+ConfigError::ConfigError(std::vector<ConfigIssue> issues)
+    : Error("rck.config.invalid", join_issues(issues)),
+      issues_(std::move(issues)) {}
+
+std::vector<ConfigIssue> RunConfig::validate() const {
+  std::vector<ConfigIssue> issues;
+  const auto bad = [&issues](std::string field, std::string message) {
+    issues.push_back(ConfigIssue{std::move(field), std::move(message)});
+  };
+
+  const int cores = runtime.chip.core_count();
+  if (cores < 2) {
+    bad("runtime.chip", "chip must have at least 2 cores (master + slave)");
+  }
+  if (slave_count < 1) {
+    bad("slave_count", "need at least one slave core");
+  } else if (cores >= 2 && slave_count + 1 > cores) {
+    bad("slave_count",
+        "slave_count + master exceeds the chip's " + std::to_string(cores) +
+            " cores");
+  }
+
+  if (runtime.host.threads < 1) {
+    bad("runtime.host.threads", "must be >= 1 (1 = serial scheduler)");
+  }
+  if (runtime.poll_cost == 0) {
+    bad("runtime.poll_cost", "a zero-cost poll makes polling loops free and "
+        "livelock-prone; use a positive cost");
+  }
+  for (std::size_t i = 0; i < runtime.core_freq_scale.size(); ++i) {
+    if (runtime.core_freq_scale[i] <= 0.0) {
+      bad("runtime.core_freq_scale[" + std::to_string(i) + "]",
+          "DVFS multiplier must be > 0");
+    }
+  }
+
+  const scc::FaultPlan& faults = runtime.faults;
+  for (std::size_t i = 0; i < faults.crashes.size(); ++i) {
+    const auto& c = faults.crashes[i];
+    if (c.rank < 0 || (cores >= 2 && c.rank >= cores)) {
+      bad("runtime.faults.crashes[" + std::to_string(i) + "].rank",
+          "rank outside the chip");
+    }
+    if (c.rank == 0) {
+      bad("runtime.faults.crashes[" + std::to_string(i) + "].rank",
+          "crashing rank 0 kills the master; the farm cannot recover from "
+          "that");
+    }
+  }
+  for (std::size_t i = 0; i < faults.messages.size(); ++i) {
+    const auto& m = faults.messages[i];
+    if (m.src < 0 || m.dst < 0 || (cores >= 2 && (m.src >= cores || m.dst >= cores))) {
+      bad("runtime.faults.messages[" + std::to_string(i) + "]",
+          "src/dst outside the chip");
+    }
+  }
+  for (std::size_t i = 0; i < faults.stalls.size(); ++i) {
+    const auto& s = faults.stalls[i];
+    if (s.slowdown <= 0.0) {
+      bad("runtime.faults.stalls[" + std::to_string(i) + "].slowdown",
+          "must be > 0");
+    }
+    if (s.until <= s.from) {
+      bad("runtime.faults.stalls[" + std::to_string(i) + "]",
+          "empty window (until <= from)");
+    }
+  }
+
+  // A non-empty fault plan silently upgrades to the FT farm (to_options()),
+  // so its knobs get validated in that case too.
+  if (fault_tolerant || !faults.empty()) {
+    if (ft.max_attempts < 1) {
+      bad("ft.max_attempts", "must be >= 1");
+    }
+    if (ft.lease_slack <= 0.0) {
+      bad("ft.lease_slack", "must be > 0");
+    }
+    if (ft.retry_backoff < 1.0) {
+      bad("ft.retry_backoff", "must be >= 1 (leases must not shrink on retry)");
+    }
+  }
+
+  if (!obs.trace_path.empty() && obs.trace_path == obs.metrics_path) {
+    bad("obs.metrics_path",
+        "trace_path and metrics_path point at the same file; the second "
+        "write would clobber the first");
+  }
+
+  return issues;
+}
+
+const RunConfig& RunConfig::validated() const {
+  std::vector<ConfigIssue> issues = validate();
+  if (!issues.empty()) throw ConfigError(std::move(issues));
+  return *this;
+}
+
+rckalign::RckAlignOptions RunConfig::to_options() const {
+  rckalign::RckAlignOptions opts;
+  opts.slave_count = slave_count;
+  opts.runtime = runtime;
+  opts.runtime.obs = obs;
+  opts.cache = cache;
+  opts.method = method;
+  opts.lpt = lpt;
+  opts.fault_tolerant = fault_tolerant || !runtime.faults.empty();
+  opts.ft = ft;
+  return opts;
+}
+
+RunResult run(const std::vector<bio::Protein>& dataset, const RunConfig& cfg) {
+  cfg.validated();
+  RunResult out = rckalign::run_rckalign(dataset, cfg.to_options());
+  obs::flush(out.obs);
+  return out;
+}
+
+}  // namespace rck

@@ -38,13 +38,19 @@ RckAlignRun run_rckalign(const std::vector<bio::Protein>& dataset,
     rcce::Comm comm(ctx);
     constexpr int kMaster = 0;
     if (comm.ue() == kMaster) {
+      const obs::Handle h = comm.obs();
       // Master loads every structure once from its DRAM (the paper's single
       // loader process; no shared-disk contention by construction).
       std::uint64_t dataset_bytes = 0;
       for (const bio::Protein& p : dataset) dataset_bytes += p.wire_size();
+      const noc::SimTime t_load0 = ctx.now();
       comm.charge_dram_read(dataset_bytes);
+      if (h) {
+        h.span(obs::Lane::Core, h.ids().n_load_dataset, t_load0, ctx.now());
+      }
 
       // One job per unordered pair, FIFO in (i, j) order as in the paper.
+      const noc::SimTime t_build0 = ctx.now();
       const auto pairs = all_pairs(dataset.size());
       std::vector<rckskel::Job> jobs;
       jobs.reserve(pairs.size());
@@ -65,6 +71,11 @@ RckAlignRun run_rckalign(const std::vector<bio::Protein>& dataset,
       std::vector<int> slaves(static_cast<std::size_t>(opts.slave_count));
       std::iota(slaves.begin(), slaves.end(), 1);
       const rckskel::Task task = rckskel::Task::make_par(slaves, std::move(jobs));
+      if (h) {
+        // Job construction is host-side work (free in simulated time), so
+        // this phase span marks the boundary rather than a cost.
+        h.span(obs::Lane::Core, h.ids().n_build_jobs, t_build0, ctx.now());
+      }
       std::vector<rckskel::JobResult> collected;
       if (opts.fault_tolerant) {
         rckskel::FaultTolerantFarmOptions ftopts = opts.ft;
@@ -76,11 +87,22 @@ RckAlignRun run_rckalign(const std::vector<bio::Protein>& dataset,
         collected = rckskel::farm(comm, task, fopts);
       }
 
+      const noc::SimTime t_decode0 = ctx.now();
       run.results.reserve(collected.size());
       for (rckskel::JobResult& jr : collected) {
         const PairOutcome o = decode_outcome(std::move(jr.payload));
         run.results.push_back(PairRow{o.i, o.j, o.tm_norm_a, o.tm_norm_b, o.rmsd,
                                       o.seq_identity, o.aligned_length, jr.worker});
+      }
+      if (h) {
+        h.span(obs::Lane::Core, h.ids().n_decode_results, t_decode0, ctx.now());
+        // Aggregate throughput over the master's elapsed time so far (the
+        // final makespan differs only by teardown bookkeeping).
+        const double secs = noc::to_seconds(ctx.now());
+        if (secs > 0.0) {
+          h.set_gauge(h.ids().app_pairs_per_sec,
+                      static_cast<double>(run.results.size()) / secs, ctx.now());
+        }
       }
     } else {
       core::TmAlignWorkspace tm_ws;  // per-slave: reused across this core's jobs
@@ -102,7 +124,10 @@ RckAlignRun run_rckalign(const std::vector<bio::Protein>& dataset,
   run.core_reports = rt.core_reports();
   run.network = rt.network_stats();
   run.events = rt.events_fired();
-  if (opts.runtime.enable_trace) {
+  run.obs = rt.obs();
+  // obs forces the runtime's internal trace on (to derive per-core lanes),
+  // so the trace/heatmap fields follow either switch.
+  if (opts.runtime.enable_trace || run.obs != nullptr) {
     run.trace = rt.trace();
     run.link_heatmap = noc::render_link_heatmap(rt.network(), run.makespan);
   }

@@ -66,10 +66,17 @@ BlockedRun run_rckalign_blocked(const std::vector<bio::Protein>& dataset,
       const scc::CoreTimingModel& model = ctx.timing();
 
       // Resident block set (at most two).
+      const obs::Handle h = comm.obs();
       int res_a = -1, res_b = -1;
       auto ensure_loaded = [&](int blk) {
         if (blk == res_a || blk == res_b) return;
+        const noc::SimTime t0 = comm.ctx().now();
         comm.charge_dram_read(block_bytes[static_cast<std::size_t>(blk)]);
+        if (h) {
+          h.add(h.ids().app_block_loads);
+          h.span(obs::Lane::Core, h.ids().n_block_load, t0, comm.ctx().now(),
+                 static_cast<std::uint64_t>(blk));
+        }
         run.block_loads += 1;
         run.bytes_loaded += block_bytes[static_cast<std::size_t>(blk)];
         // Evict the block not needed (simple: replace the older slot).

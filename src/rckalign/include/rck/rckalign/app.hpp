@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "rck/bio/protein.hpp"
@@ -23,6 +24,11 @@
 
 namespace rck::rckalign {
 
+/// Low-level option bundle for run_rckalign().
+///
+/// Prefer the consolidated rck::RunConfig (rck/rck.hpp), which validates its
+/// fields and lowers to this struct via to_options(); RckAlignOptions remains
+/// as the underlying form and for callers that need no validation.
 struct RckAlignOptions {
   /// Number of slave cores (the paper sweeps 1..47); rank 0 is the master.
   int slave_count = 47;
@@ -72,6 +78,9 @@ struct RckAlignRun {
   std::string link_heatmap;
   /// Recovery bookkeeping (populated when opts.fault_tolerant is set).
   rckskel::FarmReport farm_report{};
+  /// Observability recorder (null unless opts.runtime.obs is active). Kept
+  /// alive past the runtime so sinks and tests can read metrics + trace.
+  std::shared_ptr<obs::Recorder> obs;
 };
 
 /// Run the all-vs-all task over `dataset` on the simulated SCC.

@@ -58,6 +58,11 @@ bio::Bytes execute_query_job(rcce::Comm& comm, const bio::Bytes& payload,
     cycles = model.cycles(r.stats, footprint);
   }
   out.work_cycles = cycles;
+  if (const obs::Handle h = comm.obs(); h) {
+    h.add(h.ids().app_pairs);
+    h.add(h.ids().app_kernel_ps,
+          static_cast<std::uint64_t>(model.cycles_to_time(cycles)));
+  }
   comm.charge_cycles(cycles);
   return encode_outcome(out);
 }

@@ -88,6 +88,14 @@ inline bio::Bytes execute_pair_job(rcce::Comm& comm, const bio::Bytes& payload,
     }
   }
   out.work_cycles = cycles;
+  if (const obs::Handle h = comm.obs(); h) {
+    h.add(h.ids().app_pairs);
+    // Kernel time in simulated ps, pre-DVFS (the nominal cycle cost). The
+    // kernel/communication split reported from metrics uses this against
+    // the core's busy time.
+    h.add(h.ids().app_kernel_ps,
+          static_cast<std::uint64_t>(model.cycles_to_time(cycles)));
+  }
   comm.charge_cycles(cycles);
   return encode_outcome(out);
 }

@@ -136,6 +136,8 @@ std::vector<JobResult> collect(rcce::Comm& comm, std::span<const int> ues,
 }
 
 std::vector<JobResult> farm(rcce::Comm& comm, const Task& task, const FarmOptions& opts) {
+  const obs::Handle h = comm.obs();
+  const noc::SimTime farm_start = comm.ctx().now();
   std::vector<FlatGroup> groups;
   flatten(task, {}, groups, -1);
 
@@ -181,6 +183,8 @@ std::vector<JobResult> farm(rcce::Comm& comm, const Task& task, const FarmOption
   results.reserve(total);
   // inflight[i]: group index the i-th slave is working for, or -1 when free.
   std::vector<int> inflight(slaves.size(), -1);
+  // dispatch_at[i]: dispatch time of that job (job-latency accounting).
+  std::vector<noc::SimTime> dispatch_at(slaves.size(), 0);
 
   auto try_dispatch = [&]() {
     bool progress = true;
@@ -194,10 +198,17 @@ std::vector<JobResult> farm(rcce::Comm& comm, const Task& task, const FarmOption
           if (g.seq && g.inflight) continue;
           if (!group_complete(groups, g.after)) continue;
           if (std::find(g.ues.begin(), g.ues.end(), slaves[si]) == g.ues.end()) continue;
-          comm.send(slaves[si], encode_job(*g.jobs[g.next]));
+          const Job& job = *g.jobs[g.next];
+          comm.send(slaves[si], encode_job(job));
           ++g.next;
           g.inflight = g.seq ? true : g.inflight;
           inflight[si] = static_cast<int>(gi);
+          dispatch_at[si] = comm.ctx().now();
+          if (h) {
+            h.add(h.ids().farm_jobs);
+            h.async_begin(obs::Lane::Farm, h.ids().n_job, dispatch_at[si], job.id);
+            h.instant(obs::Lane::Farm, h.ids().n_dispatch, dispatch_at[si], job.id);
+          }
           progress = true;
           break;
         }
@@ -221,10 +232,17 @@ std::vector<JobResult> farm(rcce::Comm& comm, const Task& task, const FarmOption
     ++g.completed;
     g.inflight = false;
     inflight[si] = -1;
+    if (h) {
+      const noc::SimTime now = comm.ctx().now();
+      h.add(h.ids().farm_results);
+      h.async_end(obs::Lane::Farm, h.ids().n_job, now, res.id);
+      h.observe(h.ids().farm_job_latency_ps, now - dispatch_at[si]);
+    }
     results.push_back(std::move(res));
   }
 
   if (opts.send_terminate) send_terminate(comm, slaves);
+  if (h) h.span(obs::Lane::Core, h.ids().n_farm, farm_start, comm.ctx().now());
   return results;
 }
 
@@ -285,13 +303,25 @@ void pipe_stage(rcce::Comm& comm, int upstream_ue, int downstream_ue,
 
 void farm_slave(rcce::Comm& comm, int master_ue, const Worker& worker,
                 const FarmOptions& opts) {
-  if (opts.wait_ready) comm.send(master_ue, encode_ready());
+  const obs::Handle h = comm.obs();
+  if (opts.wait_ready) {
+    comm.send(master_ue, encode_ready());
+    if (h)
+      h.instant(obs::Lane::Core, h.ids().n_ready, comm.ctx().now(),
+                static_cast<std::uint64_t>(comm.ue()));
+  }
   for (;;) {
     Message msg = decode_message(comm.recv(master_ue));
     switch (msg.type) {
       case MsgType::Job: {
+        const noc::SimTime t0 = comm.ctx().now();
         bio::Bytes out = worker(comm, msg.payload);
         comm.send(master_ue, encode_result(msg.job_id, out));
+        if (h) {
+          const noc::SimTime t1 = comm.ctx().now();
+          h.span(obs::Lane::Core, h.ids().n_job, t0, t1, msg.job_id);
+          h.observe(h.ids().farm_slave_job_ps, t1 - t0);
+        }
         break;
       }
       case MsgType::Terminate:
@@ -305,6 +335,8 @@ void farm_slave(rcce::Comm& comm, int master_ue, const Worker& worker,
 std::vector<JobResult> farm_ft(rcce::Comm& comm, const Task& task,
                                const FaultTolerantFarmOptions& opts,
                                FarmReport* report) {
+  const obs::Handle h = comm.obs();
+  const noc::SimTime farm_start = comm.ctx().now();
   std::vector<FlatGroup> groups;
   flatten(task, {}, groups, -1);
 
@@ -359,10 +391,19 @@ std::vector<JobResult> farm_ft(rcce::Comm& comm, const Task& task,
   FarmReport rep;
   rep.jobs = total;
   std::vector<char> alive(slaves.size(), 1);
+  if (h) {
+    h.set_gauge(h.ids().farm_live_slaves, static_cast<double>(slaves.size()),
+                comm.ctx().now());
+  }
   const auto blacklist = [&](std::size_t si) {
     if (!alive[si]) return;
     alive[si] = 0;
     rep.dead_ues.push_back(slaves[si]);
+    if (h) {
+      h.set_gauge(h.ids().farm_live_slaves,
+                  static_cast<double>(slaves.size() - rep.dead_ues.size()),
+                  comm.ctx().now());
+    }
   };
 
   // check_ready with a deadline: any frame from a slave proves it is alive
@@ -460,6 +501,17 @@ std::vector<JobResult> farm_ft(rcce::Comm& comm, const Task& task,
           outstanding[si].push_back(t.job->id);
           slave_job[si] = static_cast<int>(ti);
           if (g.seq) g.inflight = true;
+          if (h) {
+            h.add(h.ids().farm_jobs);
+            // One async lifecycle span per job id: opened by the first
+            // attempt, closed by the accepted result; retries show up as
+            // extra dispatch markers inside it.
+            if (t.attempts == 1)
+              h.async_begin(obs::Lane::Farm, h.ids().n_job, t.dispatched_at,
+                            t.job->id);
+            h.instant(obs::Lane::Farm, h.ids().n_dispatch, t.dispatched_at,
+                      t.job->id);
+          }
           progress = true;
           break;
         }
@@ -532,6 +584,12 @@ std::vector<JobResult> farm_ft(rcce::Comm& comm, const Task& task,
       if (g.seq) g.inflight = false;
       for (std::size_t sj = 0; sj < slaves.size(); ++sj)
         if (slave_job[sj] == static_cast<int>(it->second)) slave_job[sj] = -1;
+      if (h) {
+        const noc::SimTime now = comm.ctx().now();
+        h.add(h.ids().farm_results);
+        h.async_end(obs::Lane::Farm, h.ids().n_job, now, msg.job_id);
+        h.observe(h.ids().farm_job_latency_ps, now - t.dispatched_at);
+      }
       results.push_back(JobResult{msg.job_id, ue, std::move(msg.payload)});
     } else {
       // Deadline passed with no frame: expire every overdue lease. A dead
@@ -545,6 +603,10 @@ std::vector<JobResult> farm_ft(rcce::Comm& comm, const Task& task,
         if (t.lease_deadline > t_now) continue;
         ++rep.lease_expiries;
         rep.wasted += t_now - t.dispatched_at;
+        if (h) {
+          h.add(h.ids().farm_lease_expiries);
+          h.instant(obs::Lane::Farm, h.ids().n_lease_expiry, t_now, t.job->id);
+        }
         if (!comm.ue_alive(slaves[si])) {
           blacklist(si);
           outstanding[si].clear();
@@ -559,13 +621,25 @@ std::vector<JobResult> farm_ft(rcce::Comm& comm, const Task& task,
   // slave (e.g. one whose READY was dropped) must not block forever, and a
   // dead core simply never receives it.
   if (opts.base.send_terminate) send_terminate(comm, slaves);
+  if (h) {
+    h.add(h.ids().farm_retries, rep.retries);
+    h.add(h.ids().farm_corrupt_frames, rep.corrupt_frames);
+    h.add(h.ids().farm_duplicates, rep.duplicate_results);
+    h.span(obs::Lane::Core, h.ids().n_farm, farm_start, comm.ctx().now());
+  }
   if (report) *report = rep;
   return results;
 }
 
 void farm_slave_ft(rcce::Comm& comm, int master_ue, const Worker& worker,
                    const FaultTolerantFarmOptions& opts) {
-  if (opts.base.wait_ready) comm.send(master_ue, encode_ready());
+  const obs::Handle h = comm.obs();
+  if (opts.base.wait_ready) {
+    comm.send(master_ue, encode_ready());
+    if (h)
+      h.instant(obs::Lane::Core, h.ids().n_ready, comm.ctx().now(),
+                static_cast<std::uint64_t>(comm.ue()));
+  }
   for (;;) {
     std::optional<bio::Bytes> frame =
         comm.recv_timeout(master_ue, opts.master_silence_timeout);
@@ -581,8 +655,14 @@ void farm_slave_ft(rcce::Comm& comm, int master_ue, const Worker& worker,
     }
     switch (msg.type) {
       case MsgType::Job: {
+        const noc::SimTime t0 = comm.ctx().now();
         bio::Bytes out = worker(comm, msg.payload);
         comm.send(master_ue, encode_result(msg.job_id, out));
+        if (h) {
+          const noc::SimTime t1 = comm.ctx().now();
+          h.span(obs::Lane::Core, h.ids().n_job, t0, t1, msg.job_id);
+          h.observe(h.ids().farm_slave_job_ps, t1 - t0);
+        }
         break;
       }
       case MsgType::Terminate:

@@ -38,8 +38,10 @@
 #include <vector>
 
 #include "rck/bio/serialize.hpp"
+#include "rck/error.hpp"
 #include "rck/noc/event_queue.hpp"
 #include "rck/noc/network.hpp"
+#include "rck/obs/obs.hpp"
 #include "rck/scc/chip.hpp"
 #include "rck/scc/timing.hpp"
 
@@ -49,24 +51,33 @@ class SpmdRuntime;
 struct CoreState;  // internal
 
 /// Raised for simulation-level failures (bad rank, misuse).
-class SimError : public std::runtime_error {
+/// Code "rck.scc.sim" (subclasses refine it; see DESIGN.md, "Error
+/// taxonomy").
+class SimError : public rck::Error {
  public:
-  using std::runtime_error::runtime_error;
+  explicit SimError(const std::string& message) : Error("rck.scc.sim", message) {}
+
+ protected:
+  SimError(std::string_view code, const std::string& message)
+      : Error(code, message) {}
 };
 
 /// Raised when every live core is blocked and no network event is pending.
-/// The message includes a per-core state dump.
+/// The message includes a per-core state dump. Code "rck.scc.deadlock".
 class DeadlockError : public SimError {
  public:
-  using SimError::SimError;
+  explicit DeadlockError(const std::string& message)
+      : SimError("rck.scc.deadlock", message) {}
 };
 
 /// Raised when the simulation stalls because injected faults killed the
 /// cores the survivors are waiting on. Distinct from DeadlockError so tests
 /// and callers can tell a crash-induced stall from a programming error.
+/// Code "rck.scc.fault_stall".
 class FaultStallError : public SimError {
  public:
-  using SimError::SimError;
+  explicit FaultStallError(const std::string& message)
+      : SimError("rck.scc.fault_stall", message) {}
 };
 
 /// Deterministic fault-injection plan. Every trigger is keyed on simulated
@@ -170,6 +181,13 @@ struct RuntimeConfig {
   /// default (serial scheduler); turning it on changes wall-clock time only,
   /// never any simulated result.
   HostParallelism host{};
+  /// Observability (metrics + structured trace, see DESIGN.md
+  /// "Observability"). Off by default: no recorder is created and every
+  /// hook short-circuits, so simulated results and their cost are exactly
+  /// those of an uninstrumented run. When active, a per-core-sharded
+  /// obs::Recorder is built for the run (and enable_trace above is forced
+  /// on so the per-core activity lanes can be derived).
+  obs::Config obs{};
 };
 
 /// One recorded activity interval of a core (when tracing is enabled).
@@ -268,6 +286,11 @@ class CoreCtx {
   /// Full-program barrier across all nranks.
   void barrier();
 
+  /// Observability handle bound to this core's shard. Empty (and free) when
+  /// the run has no obs::Config active; valid for the whole program
+  /// invocation. Recording through it never advances simulated time.
+  obs::Handle obs() const noexcept;
+
  private:
   friend class SpmdRuntime;
   CoreCtx(SpmdRuntime& rt, CoreState& st) : rt_(&rt), st_(&st) {}
@@ -304,6 +327,11 @@ class SpmdRuntime {
 
   /// Host-parallel scheduler accounting (all zero in serial mode).
   const HostParallelStats& host_parallel_stats() const noexcept;
+
+  /// The run's observability recorder (null unless RuntimeConfig::obs is
+  /// active). Shared so callers can keep metrics/trace alive after the
+  /// runtime is destroyed; populated fully only once run() has returned.
+  std::shared_ptr<obs::Recorder> obs() const noexcept;
 
  private:
   friend class CoreCtx;

@@ -108,6 +108,29 @@ struct SpmdRuntime::Impl {
 
   std::vector<TraceEvent> trace;
 
+  // Observability (null unless cfg.obs is active). Shards follow the
+  // single-writer discipline documented in rck/obs/obs.hpp: program threads
+  // write their own core's shard; delivery/crash events write the affected
+  // core's shard from the scheduler (no parallel window is ever open when an
+  // event fires), and the network writes the trailing system shard.
+  std::shared_ptr<obs::Recorder> rec;
+  std::vector<std::uint64_t> mpb_bytes;  // queued inbox bytes per core
+
+  /// Recording handle for core `rank`'s shard; empty when obs is off.
+  obs::Handle oh(int rank) const noexcept {
+    return rec ? obs::Handle(rec.get(), rank) : obs::Handle();
+  }
+
+  /// Sample core `rank`'s MPB occupancy (queued, not-yet-received bytes) at
+  /// simulated time `ts`.
+  void sample_mpb(int rank, noc::SimTime ts) {
+    if (!rec) return;
+    const obs::Handle h = oh(rank);
+    h.sample(obs::Lane::Core, h.ids().n_mpb, ts,
+             static_cast<std::int64_t>(mpb_bytes[static_cast<std::size_t>(rank)]),
+             static_cast<std::uint64_t>(rank));
+  }
+
   // Fault-injection state, built once in run() from cfg.faults.
   std::map<std::tuple<int, int, std::uint64_t>, FaultPlan::MessageFault::Kind>
       msg_faults;                      // (src, dst, nth) -> action
@@ -278,6 +301,14 @@ struct SpmdRuntime::Impl {
     st.dead = true;
     st.report.crashed = true;
     st.report.crashed_at = t;
+    if (rec) {
+      // Crash events fire from the scheduler with no parallel window open,
+      // so the victim's shard is writable here.
+      const obs::Handle h = oh(st.rank);
+      h.add(h.ids().scc_crashes);
+      h.instant(obs::Lane::Core, h.ids().n_crash, t,
+                static_cast<std::uint64_t>(st.rank));
+    }
     if (st.status == CoreState::Status::Blocked) {
       const noc::SimTime until = std::max(st.vtime, t);
       record(st.rank, TraceEvent::Kind::Blocked, st.blocked_since, until);
@@ -358,10 +389,21 @@ struct SpmdRuntime::Impl {
 
   void op_dram_read(CoreState& st, std::uint64_t bytes) {
     std::unique_lock lock(m);
-    noc::SimTime cost = cfg.chip.dram_read_time(st.rank, bytes, cfg.net.hop_latency);
+    const noc::SimTime nominal =
+        cfg.chip.dram_read_time(st.rank, bytes, cfg.net.hop_latency);
+    noc::SimTime cost = nominal;
     for (const FaultPlan::Stall& s : cfg.faults.stalls) {
       if ((s.rank < 0 || s.rank == st.rank) && st.vtime >= s.from && st.vtime < s.until)
         cost = static_cast<noc::SimTime>(static_cast<double>(cost) * s.slowdown + 0.5);
+    }
+    if (rec) {
+      const obs::Handle h = oh(st.rank);
+      h.add(h.ids().scc_dram_reads);
+      if (cost > nominal) {
+        h.add(h.ids().scc_dram_stall_ps, cost - nominal);
+        h.instant(obs::Lane::Core, h.ids().n_stall, st.vtime,
+                  static_cast<std::uint64_t>(st.rank));
+      }
     }
     advance_compute(st, lock, cost, TraceEvent::Kind::Dram);
   }
@@ -387,10 +429,17 @@ struct SpmdRuntime::Impl {
       else
         disposition = noc::Delivery::Drop;  // Drop, or Corrupt with nothing to flip
     }
+    if (rec && fault != msg_faults.end()) {
+      const obs::Handle h = oh(st.rank);
+      h.add(h.ids().scc_msg_faults);
+      h.instant(obs::Lane::Core,
+                corrupt ? h.ids().n_msg_corrupt : h.ids().n_msg_drop, st.vtime,
+                static_cast<std::uint64_t>(dst));
+    }
 
     network.send(
         router_of(st.rank), router_of(dst), bytes, st.vtime,
-        [this, d, src = st.rank, corrupt,
+        [this, d, src = st.rank, dst, bytes, corrupt,
          p = std::move(payload)](noc::SimTime arrival) mutable {
           if (d->dead) {  // dead cores receive nothing
             ++dead_letters;
@@ -398,6 +447,10 @@ struct SpmdRuntime::Impl {
           }
           if (corrupt) p[p.size() / 2] ^= std::byte{0xA5};
           d->inbox[src].push_back(Message{src, std::move(p), arrival});
+          if (rec) {
+            mpb_bytes[static_cast<std::size_t>(dst)] += bytes;
+            sample_mpb(dst, arrival);
+          }
           if (d->status == CoreState::Status::Blocked && wants_message_from(*d, src))
             wake(*d, arrival);
         },
@@ -433,6 +486,10 @@ struct SpmdRuntime::Impl {
         const std::uint64_t bytes = msg.payload.size() + kMsgHeaderBytes;
         st.report.messages_received += 1;
         st.report.bytes_received += bytes;
+        if (rec) {
+          mpb_bytes[static_cast<std::size_t>(st.rank)] -= bytes;
+          sample_mpb(st.rank, st.vtime);
+        }
         advance_compute(st, lock, network.endpoint_occupancy(bytes),
                         TraceEvent::Kind::Recv);
         return std::move(msg.payload);
@@ -442,11 +499,19 @@ struct SpmdRuntime::Impl {
     }
   }
 
+  /// One inbox polling sweep (an MPB flag read) is about to be charged.
+  void count_poll(const CoreState& st) noexcept {
+    if (!rec) return;
+    const obs::Handle h = oh(st.rank);
+    h.add(h.ids().scc_polls);
+  }
+
   bool op_probe(CoreState& st, int src) {
     check_rank(src, "probe");
     std::unique_lock lock(m);
     OpGuard guard(st);
     serialize(st, lock);
+    count_poll(st);
     advance(st, lock, cfg.poll_cost, TraceEvent::Kind::Poll);
     const auto it = st.inbox.find(src);
     return it != st.inbox.end() && !it->second.empty();
@@ -459,6 +524,7 @@ struct SpmdRuntime::Impl {
     OpGuard guard(st);
     serialize(st, lock);
     for (;;) {
+      count_poll(st);
       advance(st, lock, cfg.poll_cost, TraceEvent::Kind::Poll);  // one polling sweep
       for (std::size_t k = 0; k < srcs.size(); ++k) {
         const std::size_t idx = (st.rr_cursor + k) % srcs.size();
@@ -498,6 +564,10 @@ struct SpmdRuntime::Impl {
         const std::uint64_t bytes = msg.payload.size() + kMsgHeaderBytes;
         st.report.messages_received += 1;
         st.report.bytes_received += bytes;
+        if (rec) {
+          mpb_bytes[static_cast<std::size_t>(st.rank)] -= bytes;
+          sample_mpb(st.rank, st.vtime);
+        }
         advance(st, lock, network.endpoint_occupancy(bytes), TraceEvent::Kind::Recv);
         return std::move(msg.payload);
       }
@@ -518,6 +588,7 @@ struct SpmdRuntime::Impl {
     serialize(st, lock);
     const noc::SimTime deadline = st.vtime + timeout;
     for (;;) {
+      count_poll(st);
       advance(st, lock, cfg.poll_cost, TraceEvent::Kind::Poll);  // one polling sweep
       for (std::size_t k = 0; k < srcs.size(); ++k) {
         const std::size_t idx = (st.rr_cursor + k) % srcs.size();
@@ -740,6 +811,12 @@ const HostParallelStats& SpmdRuntime::host_parallel_stats() const noexcept {
   return impl_->hp_stats;
 }
 
+std::shared_ptr<obs::Recorder> SpmdRuntime::obs() const noexcept {
+  return impl_->rec;
+}
+
+obs::Handle CoreCtx::obs() const noexcept { return rt_->impl_->oh(st_->rank); }
+
 HostParallelism HostParallelism::hardware() noexcept {
   const unsigned n = std::thread::hardware_concurrency();
   return HostParallelism{n > 1 ? static_cast<int>(n) : 1};
@@ -753,6 +830,18 @@ noc::SimTime SpmdRuntime::run(int nranks, const Program& program) {
   im.used = true;
   im.nranks = nranks;
   im.parallel = im.cfg.host.threads > 1;
+
+  if (im.cfg.obs.active()) {
+    im.rec = std::make_shared<obs::Recorder>(im.cfg.obs, nranks);
+    im.rec->seal();
+    // Per-core activity lanes are derived from the runtime's own trace at
+    // the end of the run; recording it adds host memory, never simulated
+    // time, so forcing it on cannot perturb results.
+    im.cfg.enable_trace = true;
+    im.mpb_bytes.assign(static_cast<std::size_t>(nranks), 0);
+    im.network.set_observer(
+        obs::Handle(im.rec.get(), im.rec->system_shard()));
+  }
 
   // Validate and install the fault plan. Crashes become ordinary events in
   // the deterministic queue; message faults become an exact-match lookup.
@@ -928,6 +1017,26 @@ noc::SimTime SpmdRuntime::run(int nranks, const Program& program) {
       if (c->error && !failure) failure = c->error;
   }
   if (failure) std::rethrow_exception(failure);
+
+  if (im.rec) {
+    // Import the (already deterministically merged) activity trace as the
+    // per-core lanes. Appending in global trace order keeps each shard's
+    // sequence consistent with the serial schedule.
+    const obs::Std& ids = im.rec->std_ids();
+    for (const TraceEvent& ev : im.trace) {
+      obs::NameId name = ids.n_compute;
+      switch (ev.kind) {
+        case TraceEvent::Kind::Compute: name = ids.n_compute; break;
+        case TraceEvent::Kind::Send: name = ids.n_send; break;
+        case TraceEvent::Kind::Recv: name = ids.n_recv; break;
+        case TraceEvent::Kind::Poll: name = ids.n_poll; break;
+        case TraceEvent::Kind::Dram: name = ids.n_dram; break;
+        case TraceEvent::Kind::Blocked: name = ids.n_blocked; break;
+      }
+      im.rec->span(ev.rank, obs::Lane::Core, name, ev.start, ev.end,
+                   static_cast<std::uint64_t>(ev.rank));
+    }
+  }
 
   reports_.clear();
   noc::SimTime makespan = 0;

@@ -1,0 +1,122 @@
+// harness::ArgParser: registration, parsing forms, typo suggestions, and
+// the standard observability flags.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "rck/harness/arg_parser.hpp"
+
+namespace {
+
+using namespace rck;
+
+std::vector<std::string> args(std::initializer_list<const char*> xs) {
+  return {xs.begin(), xs.end()};
+}
+
+TEST(ArgParser, ParsesEveryKindAndBothValueForms) {
+  bool sw = false;
+  int n = 0;
+  double x = 0.0;
+  std::string s, choice = "tiny";
+  static constexpr std::string_view kChoices[] = {"tiny", "ck34"};
+
+  harness::ArgParser cli("t");
+  cli.flag("switch", &sw, "a switch")
+      .option("n", &n, "an int")
+      .option("x", &x, "a double")
+      .option("s", &s, "a string")
+      .choice("dataset", &choice, kChoices, "a choice");
+
+  EXPECT_TRUE(cli.parse(args(
+      {"--switch", "--n", "42", "--x=2.5", "--s", "hello", "--dataset=ck34"})));
+  EXPECT_TRUE(sw);
+  EXPECT_EQ(n, 42);
+  EXPECT_DOUBLE_EQ(x, 2.5);
+  EXPECT_EQ(s, "hello");
+  EXPECT_EQ(choice, "ck34");
+}
+
+TEST(ArgParser, UnknownFlagSuggestsNearestName) {
+  int slaves = 0;
+  harness::ArgParser cli("t");
+  cli.option("slaves", &slaves, "slave cores");
+  try {
+    cli.parse(args({"--slave", "3"}));
+    FAIL() << "expected ArgError";
+  } catch (const harness::ArgError& e) {
+    EXPECT_EQ(e.code(), "rck.cli.args");
+    EXPECT_NE(std::string(e.what()).find("did you mean '--slaves'"),
+              std::string::npos)
+        << e.what();
+  }
+  // A completely different word is not "a typo"; no absurd suggestion.
+  try {
+    cli.parse(args({"--frobnicate"}));
+    FAIL() << "expected ArgError";
+  } catch (const harness::ArgError& e) {
+    EXPECT_EQ(std::string(e.what()).find("did you mean"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ArgParser, RejectsMalformedValues) {
+  int n = 0;
+  bool sw = false;
+  harness::ArgParser cli("t");
+  cli.option("n", &n, "an int").flag("sw", &sw, "a switch");
+  EXPECT_THROW(cli.parse(args({"--n", "abc"})), harness::ArgError);
+  EXPECT_THROW(cli.parse(args({"--n", "1x"})), harness::ArgError);
+  EXPECT_THROW(cli.parse(args({"--n"})), harness::ArgError);   // missing value
+  EXPECT_THROW(cli.parse(args({"--sw=1"})), harness::ArgError);  // switch w/ value
+}
+
+TEST(ArgParser, ChoiceRejectsValuesOutsideTheSet) {
+  std::string choice = "tiny";
+  static constexpr std::string_view kChoices[] = {"tiny", "ck34"};
+  harness::ArgParser cli("t");
+  cli.choice("dataset", &choice, kChoices, "a choice");
+  try {
+    cli.parse(args({"--dataset", "huge"}));
+    FAIL() << "expected ArgError";
+  } catch (const harness::ArgError& e) {
+    EXPECT_NE(std::string(e.what()).find("tiny, ck34"), std::string::npos);
+  }
+}
+
+TEST(ArgParser, HelpReturnsFalseAndListsFlags) {
+  int n = 0;
+  harness::ArgParser cli("tool", "Does a thing.");
+  cli.option("n", &n, "an int");
+  EXPECT_FALSE(cli.parse(args({"--help"})));
+  const std::string u = cli.usage();
+  EXPECT_NE(u.find("usage: tool"), std::string::npos);
+  EXPECT_NE(u.find("--n N"), std::string::npos);
+  EXPECT_NE(u.find("an int"), std::string::npos);
+  EXPECT_NE(u.find("--help"), std::string::npos);
+}
+
+TEST(ArgParser, ObsFlagsRouteIntoConfig) {
+  obs::Config cfg;
+  harness::ArgParser cli("t");
+  cli.obs_flags(&cfg);
+  EXPECT_FALSE(cfg.active());
+  EXPECT_TRUE(cli.parse(
+      args({"--trace-out", "t.json", "--metrics-out=m.json", "--collect"})));
+  EXPECT_EQ(cfg.trace_path, "t.json");
+  EXPECT_EQ(cfg.metrics_path, "m.json");
+  EXPECT_TRUE(cfg.enable);
+  EXPECT_TRUE(cfg.active());
+}
+
+TEST(ArgParser, ArgcArgvEntryPointSkipsProgramName) {
+  int n = 0;
+  harness::ArgParser cli("t");
+  cli.option("n", &n, "an int");
+  const char* argv[] = {"prog", "--n", "9"};
+  EXPECT_TRUE(cli.parse(3, argv));
+  EXPECT_EQ(n, 9);
+}
+
+}  // namespace

@@ -1,0 +1,96 @@
+// Embedded JSON parser + Chrome trace_event schema checker tests.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "rck/obs/trace_check.hpp"
+
+namespace {
+
+using namespace rck;
+
+obs::JsonValue parse_ok(const std::string& text) {
+  obs::JsonValue v;
+  std::string error;
+  EXPECT_TRUE(obs::json_parse(text, v, error)) << error;
+  return v;
+}
+
+TEST(JsonParse, Scalars) {
+  EXPECT_EQ(parse_ok("null").kind, obs::JsonValue::Kind::Null);
+  const obs::JsonValue t = parse_ok("true");
+  EXPECT_EQ(t.kind, obs::JsonValue::Kind::Bool);
+  EXPECT_TRUE(t.boolean);
+  EXPECT_DOUBLE_EQ(parse_ok("-12.5e2").number, -1250.0);
+  EXPECT_EQ(parse_ok("\"hi\\nthere\"").string, "hi\nthere");
+  EXPECT_EQ(parse_ok("\"\\u0041\"").string, "A");
+}
+
+TEST(JsonParse, NestedContainers) {
+  const obs::JsonValue v = parse_ok(R"({"a": [1, {"b": "c"}], "d": {}})");
+  ASSERT_TRUE(v.is_object());
+  const obs::JsonValue* a = v.get("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->array.size(), 2u);
+  EXPECT_DOUBLE_EQ(a->array[0].number, 1.0);
+  const obs::JsonValue* b = a->array[1].get("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->string, "c");
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  obs::JsonValue v;
+  std::string error;
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "\"unterminated", "tru", "1.",
+        "{\"a\": 1} trailing", "\"bad\\escape\"", "\"\\ud800\""}) {
+    EXPECT_FALSE(obs::json_parse(bad, v, error)) << bad;
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(ValidateChromeTrace, AcceptsMinimalDocument) {
+  const std::string doc = R"({"traceEvents": [
+    {"name": "proc", "ph": "M", "pid": 0},
+    {"name": "work", "ph": "X", "pid": 0, "tid": 1, "ts": 0, "dur": 10},
+    {"name": "mark", "ph": "i", "pid": 0, "tid": 1, "ts": 5, "s": "t"},
+    {"name": "q", "ph": "C", "pid": 1, "tid": 0, "ts": 5, "args": {"value": 3}},
+    {"name": "job", "ph": "b", "pid": 2, "tid": 0, "ts": 1, "id": "0x1"},
+    {"name": "job", "ph": "e", "pid": 2, "tid": 0, "ts": 9, "id": "0x1"}
+  ]})";
+  std::string error;
+  std::size_t events = 0;
+  EXPECT_TRUE(obs::validate_chrome_trace(doc, error, &events)) << error;
+  EXPECT_EQ(events, 6u);
+}
+
+TEST(ValidateChromeTrace, RejectsSchemaViolations) {
+  std::string error;
+  // Not an object at top level.
+  EXPECT_FALSE(obs::validate_chrome_trace("[]", error));
+  // Missing traceEvents.
+  EXPECT_FALSE(obs::validate_chrome_trace("{}", error));
+  // Event without ph.
+  EXPECT_FALSE(obs::validate_chrome_trace(
+      R"({"traceEvents": [{"name": "x", "pid": 0}]})", error));
+  // Span without dur.
+  EXPECT_FALSE(obs::validate_chrome_trace(
+      R"({"traceEvents": [{"name": "x", "ph": "X", "pid": 0, "tid": 0, "ts": 0}]})",
+      error));
+  // Counter without args.value.
+  EXPECT_FALSE(obs::validate_chrome_trace(
+      R"({"traceEvents": [{"name": "x", "ph": "C", "pid": 0, "tid": 0, "ts": 0}]})",
+      error));
+  // Async without id.
+  EXPECT_FALSE(obs::validate_chrome_trace(
+      R"({"traceEvents": [{"name": "x", "ph": "b", "pid": 0, "tid": 0, "ts": 0}]})",
+      error));
+  // Unknown phase.
+  EXPECT_FALSE(obs::validate_chrome_trace(
+      R"({"traceEvents": [{"name": "x", "ph": "Z", "pid": 0, "tid": 0, "ts": 0}]})",
+      error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace

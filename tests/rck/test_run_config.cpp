@@ -1,0 +1,194 @@
+// rck::RunConfig validation + the consolidated rck::run() entry point, and
+// the rck::Error taxonomy contract (stable codes, what() prefixes).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "rck/bio/pdb_io.hpp"
+#include "rck/bio/serialize.hpp"
+#include "rck/bio/synthetic.hpp"
+#include "rck/rck.hpp"
+
+namespace {
+
+using namespace rck;
+
+bool has_issue(const std::vector<ConfigIssue>& issues, std::string_view field) {
+  return std::any_of(issues.begin(), issues.end(), [&](const ConfigIssue& i) {
+    return i.field == field;
+  });
+}
+
+TEST(RunConfig, DefaultIsValid) {
+  EXPECT_TRUE(RunConfig{}.validate().empty());
+}
+
+TEST(RunConfig, ChainableSettersCompose) {
+  RunConfig cfg;
+  cfg.with_slaves(5).with_lpt().with_host_threads(4).with_trace("t.json")
+      .with_metrics("m.json").with_collect();
+  EXPECT_EQ(cfg.slave_count, 5);
+  EXPECT_TRUE(cfg.lpt);
+  EXPECT_EQ(cfg.runtime.host.threads, 4);
+  EXPECT_EQ(cfg.obs.trace_path, "t.json");
+  EXPECT_EQ(cfg.obs.metrics_path, "m.json");
+  EXPECT_TRUE(cfg.obs.enable);
+  EXPECT_TRUE(cfg.obs.active());
+  EXPECT_TRUE(cfg.validate().empty());
+}
+
+TEST(RunConfig, RejectsBadSlaveCount) {
+  RunConfig cfg;
+  cfg.with_slaves(0);
+  EXPECT_TRUE(has_issue(cfg.validate(), "slave_count"));
+  cfg.with_slaves(cfg.runtime.chip.core_count());  // master no longer fits
+  EXPECT_TRUE(has_issue(cfg.validate(), "slave_count"));
+}
+
+TEST(RunConfig, RejectsBadHostThreadsAndDvfs) {
+  RunConfig cfg;
+  cfg.with_host_threads(0);
+  cfg.runtime.core_freq_scale.assign(2, 1.0);
+  cfg.runtime.core_freq_scale[1] = -0.5;
+  const auto issues = cfg.validate();
+  EXPECT_TRUE(has_issue(issues, "runtime.host.threads"));
+  EXPECT_TRUE(has_issue(issues, "runtime.core_freq_scale[1]"));
+}
+
+TEST(RunConfig, RejectsMasterCrashAndOutOfChipFaults) {
+  RunConfig cfg;
+  scc::FaultPlan plan;
+  plan.crashes.push_back({0, 1'000'000});  // rank 0 = master
+  cfg.with_faults(plan);
+  EXPECT_TRUE(has_issue(cfg.validate(), "runtime.faults.crashes[0].rank"));
+
+  plan.crashes.clear();
+  plan.crashes.push_back({cfg.runtime.chip.core_count(), 1});
+  cfg.with_faults(plan);
+  EXPECT_TRUE(has_issue(cfg.validate(), "runtime.faults.crashes[0].rank"));
+}
+
+TEST(RunConfig, FaultPlanValidatesFtKnobsEvenWithoutExplicitFt) {
+  RunConfig cfg;
+  scc::FaultPlan plan;
+  plan.crashes.push_back({3, 1'000'000});
+  cfg.with_faults(plan);
+  cfg.ft.max_attempts = 0;
+  EXPECT_TRUE(has_issue(cfg.validate(), "ft.max_attempts"));
+}
+
+TEST(RunConfig, RejectsTraceAndMetricsSharingAFile) {
+  RunConfig cfg;
+  cfg.with_trace("same.json").with_metrics("same.json");
+  EXPECT_TRUE(has_issue(cfg.validate(), "obs.metrics_path"));
+}
+
+TEST(RunConfig, ValidatedThrowsTypedErrorListingEveryIssue) {
+  RunConfig cfg;
+  cfg.with_slaves(0).with_host_threads(0);
+  try {
+    cfg.validated();
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_EQ(e.code(), "rck.config.invalid");
+    EXPECT_EQ(std::strncmp(e.what(), "rck.config.invalid: ", 20), 0);
+    EXPECT_GE(e.issues().size(), 2u);
+    EXPECT_TRUE(has_issue(e.issues(), "slave_count"));
+    EXPECT_TRUE(has_issue(e.issues(), "runtime.host.threads"));
+  }
+}
+
+TEST(RunConfig, ToOptionsForcesFaultToleranceUnderAFaultPlan) {
+  RunConfig cfg;
+  EXPECT_FALSE(cfg.to_options().fault_tolerant);
+  scc::FaultPlan plan;
+  plan.crashes.push_back({3, 1'000'000});
+  cfg.with_faults(plan);
+  EXPECT_TRUE(cfg.to_options().fault_tolerant);
+}
+
+TEST(RunConfig, ToOptionsRoutesObsIntoRuntime) {
+  RunConfig cfg;
+  cfg.with_collect();
+  const rckalign::RckAlignOptions opts = cfg.to_options();
+  EXPECT_TRUE(opts.runtime.obs.active());
+}
+
+TEST(Run, InvalidConfigThrowsBeforeSimulating) {
+  const std::vector<bio::Protein> dataset;  // never touched
+  RunConfig cfg;
+  cfg.with_slaves(-1);
+  EXPECT_THROW(rck::run(dataset, cfg), ConfigError);
+}
+
+TEST(Run, EndToEndWithCollectExposesRecorder) {
+  bio::Rng rng(7);
+  std::vector<bio::Protein> dataset;
+  for (int i = 0; i < 4; ++i)
+    dataset.push_back(bio::make_protein("p" + std::to_string(i), 24 + 3 * i, rng));
+
+  RunConfig cfg;
+  cfg.with_slaves(3).with_collect();
+  const RunResult run = rck::run(dataset, cfg);
+  EXPECT_EQ(run.results.size(), 6u);  // C(4,2)
+  ASSERT_NE(run.obs, nullptr);
+
+  const obs::Snapshot snap = run.obs->snapshot();
+  // 6 pair comparisons executed across the slave shards.
+  const auto pairs = std::find_if(
+      snap.counters.begin(), snap.counters.end(),
+      [](const auto& row) { return row.name == "app.pairs"; });
+  ASSERT_NE(pairs, snap.counters.end());
+  EXPECT_EQ(pairs->value, 6u);
+  EXPECT_EQ(pairs->per_shard[0], 0u);  // master executes no pairs
+
+  const auto jobs = std::find_if(
+      snap.counters.begin(), snap.counters.end(),
+      [](const auto& row) { return row.name == "farm.jobs"; });
+  ASSERT_NE(jobs, snap.counters.end());
+  EXPECT_EQ(jobs->value, 6u);
+
+  // Without obs, the same run reports an identical makespan: observability
+  // never perturbs the simulation.
+  RunConfig plain;
+  plain.with_slaves(3);
+  const RunResult base = rck::run(dataset, plain);
+  EXPECT_EQ(base.makespan, run.makespan);
+  EXPECT_EQ(base.results, run.results);
+  EXPECT_EQ(base.obs, nullptr);
+}
+
+// -- error taxonomy -----------------------------------------------------
+
+TEST(ErrorTaxonomy, BioErrorsCarryStableCodes) {
+  try {
+    throw bio::WireError("truncated frame");
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), "rck.bio.wire");
+    EXPECT_STREQ(e.what(), "rck.bio.wire: truncated frame");
+  }
+  try {
+    throw bio::PdbError("no CA atoms");
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), "rck.bio.pdb");
+    EXPECT_STREQ(e.what(), "rck.bio.pdb: no CA atoms");
+  }
+}
+
+TEST(ErrorTaxonomy, SimErrorsCarryStableCodes) {
+  try {
+    throw scc::DeadlockError("all cores blocked");
+  } catch (const scc::SimError& e) {
+    EXPECT_EQ(e.code(), "rck.scc.deadlock");
+  }
+  try {
+    throw scc::FaultStallError("no progress past horizon");
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), "rck.scc.fault_stall");
+  }
+  // Every taxonomy member is catchable as rck::Error.
+  EXPECT_THROW(throw scc::SimError("boom"), Error);
+}
+
+}  // namespace
