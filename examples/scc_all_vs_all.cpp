@@ -10,6 +10,7 @@
 //   scc_all_vs_all --dataset ck34 --slaves 47
 //   scc_all_vs_all --dataset ck34 --slaves 47 --distributed   # NFS baseline
 //   scc_all_vs_all --dataset ck34 --trace-out trace.json      # chrome://tracing
+#include <cstdint>
 #include <cstdio>
 #include <exception>
 #include <string>
@@ -32,6 +33,9 @@ int main(int argc, char** argv) {
   int host_threads = 1;
   std::string csv_path;
   obs::Config obs_cfg;
+  bool chk_on = false;
+  int chk_seed = 0;
+  std::string chk_report;
 
   static constexpr std::string_view kDatasets[] = {"tiny", "ck34", "rs119"};
   harness::ArgParser cli(
@@ -47,6 +51,11 @@ int main(int argc, char** argv) {
       .flag("heatmap", &heatmap, "print the NoC link-utilization heatmap")
       .option("host-threads", &host_threads,
               "host threads for the simulation itself (0 = all)")
+      .flag("chk", &chk_on, "verify the RCCE flag/MPB protocol (race detector)")
+      .option("chk-seed", &chk_seed,
+              "perturb tied-clock scheduling with this seed (implies --chk)")
+      .option("chk-report", &chk_report,
+              "write the chk race-report JSON here (implies --chk)")
       .obs_flags(&obs_cfg);
   try {
     if (!cli.parse(argc, argv)) return 0;
@@ -95,6 +104,9 @@ int main(int argc, char** argv) {
                              : host_threads)
       .with_obs(obs_cfg);
   cfg.runtime.enable_trace = gantt || heatmap;
+  if (chk_on) cfg.with_chk();
+  if (chk_seed != 0) cfg.with_chk_seed(static_cast<std::uint64_t>(chk_seed));
+  if (!chk_report.empty()) cfg.with_chk_report(chk_report);
 
   RunResult run;
   try {
@@ -143,6 +155,28 @@ int main(int argc, char** argv) {
   if (!obs_cfg.metrics_path.empty())
     std::printf("metrics written to %s\n", obs_cfg.metrics_path.c_str());
 
+  bool races_found = false;
+  if (run.chk != nullptr) {
+    const chk::Stats& cs = run.chk->stats();
+    races_found = cs.races > 0;
+    std::printf("chk: %llu MPB writes, %llu reads, %llu flag sets, %llu tests "
+                "checked -> %llu race(s)\n",
+                static_cast<unsigned long long>(cs.mpb_writes),
+                static_cast<unsigned long long>(cs.mpb_reads),
+                static_cast<unsigned long long>(cs.flag_sets),
+                static_cast<unsigned long long>(cs.flag_tests),
+                static_cast<unsigned long long>(cs.races));
+    for (const chk::RaceReport& r : run.chk->reports())
+      std::printf("  rck.chk.race: core %d (%s) vs core %d (%s) on MPB %d\n",
+                  r.current.core,
+                  std::string(run.chk->site_name(r.current.site)).c_str(),
+                  r.prior.core,
+                  std::string(run.chk->site_name(r.prior.site)).c_str(),
+                  r.current.mpb);
+    if (!chk_report.empty())
+      std::printf("chk report written to %s\n", chk_report.c_str());
+  }
+
   if (!csv_path.empty()) {
     harness::TextTable csv("results");
     csv.set_columns({"i", "j", "name_i", "name_j", "tm_a", "tm_b", "rmsd",
@@ -156,5 +190,7 @@ int main(int argc, char** argv) {
     harness::write_file(csv_path, csv.to_csv());
     std::printf("pair results written to %s\n", csv_path.c_str());
   }
-  return 0;
+  // Non-zero exit when the checker found protocol races, so the CI analysis
+  // leg (and scripts) can gate on it without parsing the report.
+  return races_found ? 3 : 0;
 }

@@ -1,4 +1,5 @@
 #include "rck/bio/dataset.hpp"
+#include "rck/bio/error.hpp"
 
 #include <cassert>
 
@@ -73,9 +74,9 @@ DatasetSpec tiny_spec() {
 
 DatasetSpec scaled_spec(std::string name, int chains, std::uint64_t seed,
                         int min_length, int max_length) {
-  if (chains < 1) throw std::invalid_argument("scaled_spec: chains >= 1");
+  if (chains < 1) throw BioError("scaled_spec: chains >= 1");
   if (min_length < 20 || max_length < min_length)
-    throw std::invalid_argument("scaled_spec: bad length range");
+    throw BioError("scaled_spec: bad length range");
   DatasetSpec spec;
   spec.name = std::move(name);
   spec.seed = seed;

@@ -1,3 +1,4 @@
+#include "rck/bio/error.hpp"
 #include "rck/bio/fasta.hpp"
 
 #include <cctype>
@@ -38,7 +39,7 @@ std::vector<FastaRecord> parse_fasta(std::string_view text) {
       }
     } else {
       if (!in_record)
-        throw std::runtime_error("parse_fasta: sequence data before any '>' header");
+        throw BioError("parse_fasta: sequence data before any '>' header");
       for (char c : line) {
         if (std::isspace(static_cast<unsigned char>(c))) continue;
         current.sequence.push_back(
@@ -52,7 +53,7 @@ std::vector<FastaRecord> parse_fasta(std::string_view text) {
 
 std::vector<FastaRecord> parse_fasta_file(const std::filesystem::path& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("parse_fasta_file: cannot open " + path.string());
+  if (!in) throw BioError("parse_fasta_file: cannot open " + path.string());
   std::ostringstream ss;
   ss << in.rdbuf();
   return parse_fasta(ss.str());
@@ -92,7 +93,7 @@ void write_fasta_file(const std::vector<Protein>& chains,
   for (const Protein& p : chains) records.push_back(to_fasta_record(p));
   if (path.has_parent_path()) std::filesystem::create_directories(path.parent_path());
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("write_fasta_file: cannot write " + path.string());
+  if (!out) throw BioError("write_fasta_file: cannot write " + path.string());
   out << to_fasta(records, width);
 }
 

@@ -1,0 +1,23 @@
+// Data-validation errors for the bio library.
+//
+// Part of the rck::Error taxonomy (DESIGN.md, "Error taxonomy"). Wire-format
+// and PDB parsing keep their own refined codes (WireError "rck.bio.wire" in
+// serialize.hpp, PdbError "rck.bio.pdb" in pdb_io.hpp); everything else —
+// dataset specs, FASTA records, protein construction, synthetic-generator
+// parameters — raises BioError.
+#pragma once
+
+#include <string>
+
+#include "rck/error.hpp"
+
+namespace rck::bio {
+
+/// Invalid biological data or parameters. Code "rck.bio.data".
+class BioError : public rck::Error {
+ public:
+  explicit BioError(const std::string& message)
+      : Error("rck.bio.data", message) {}
+};
+
+}  // namespace rck::bio

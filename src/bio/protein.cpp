@@ -1,3 +1,4 @@
+#include "rck/bio/error.hpp"
 #include "rck/bio/protein.hpp"
 
 #include <array>
@@ -82,7 +83,7 @@ std::string_view one_to_three(char one) noexcept {
 
 double rmsd_no_superposition(const std::vector<Vec3>& a, const std::vector<Vec3>& b) {
   if (a.size() != b.size() || a.empty())
-    throw std::invalid_argument("rmsd_no_superposition: size mismatch or empty");
+    throw BioError("rmsd_no_superposition: size mismatch or empty");
   double s = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) s += distance2(a[i], b[i]);
   return std::sqrt(s / static_cast<double>(a.size()));

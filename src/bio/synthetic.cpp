@@ -1,3 +1,4 @@
+#include "rck/bio/error.hpp"
 #include "rck/bio/synthetic.hpp"
 
 #include <algorithm>
@@ -110,7 +111,7 @@ int draw_segment_length(Rng& rng, double mean, int min_len) {
 }  // namespace
 
 StructurePlan make_plan(int length, Rng& rng, const GeneratorOptions& opts) {
-  if (length < 3) throw std::invalid_argument("make_plan: length must be >= 3");
+  if (length < 3) throw BioError("make_plan: length must be >= 3");
   StructurePlan plan;
   int remaining = length;
   bool structured_next = true;  // alternate structured / coil segments

@@ -1,0 +1,371 @@
+#include "rck/chk/chk.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace rck::chk {
+
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out += buf;
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRId64, v);
+  out += buf;
+}
+
+void append_escaped(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+std::string_view kind_name(RaceReport::Kind k) noexcept {
+  switch (k) {
+    case RaceReport::Kind::ReadBeforePublish: return "read_before_publish";
+    case RaceReport::Kind::WriteWriteOverlap: return "write_write_overlap";
+  }
+  return "unknown";
+}
+
+std::string_view flag_kind_name(FlagEvent::Kind k) noexcept {
+  switch (k) {
+    case FlagEvent::Kind::Set: return "set";
+    case FlagEvent::Kind::Test: return "test";
+    case FlagEvent::Kind::TestEmpty: return "test_empty";
+    case FlagEvent::Kind::Note: return "note";
+  }
+  return "unknown";
+}
+
+/// Elementwise max of `b` into `a` (the vector-clock join).
+void join(std::vector<std::uint64_t>& a, const std::vector<std::uint64_t>& b) {
+  for (std::size_t k = 0; k < a.size() && k < b.size(); ++k)
+    a[k] = std::max(a[k], b[k]);
+}
+
+}  // namespace
+
+Checker::Checker(Config cfg, int nranks, std::uint32_t mpb_bytes)
+    : cfg_(std::move(cfg)), nranks_(nranks), mpb_bytes_(mpb_bytes) {
+  if (nranks < 1) throw ChkError("checker: nranks must be >= 1");
+  if (mpb_bytes == 0) throw ChkError("checker: mpb_bytes must be > 0");
+  slice_len_ = std::max<std::uint32_t>(
+      1, mpb_bytes / static_cast<std::uint32_t>(nranks));
+  vc_.assign(static_cast<std::size_t>(nranks),
+             std::vector<std::uint64_t>(static_cast<std::size_t>(nranks), 0));
+  flags_.resize(static_cast<std::size_t>(nranks) * static_cast<std::size_t>(nranks));
+  mpb_.resize(static_cast<std::size_t>(nranks));
+  sites_.emplace_back("?");  // SiteId 0: unknown site
+}
+
+SiteId Checker::site(std::string_view name) {
+  for (std::size_t k = 0; k < sites_.size(); ++k)
+    if (sites_[k] == name) return static_cast<SiteId>(k);
+  sites_.emplace_back(name);
+  return static_cast<SiteId>(sites_.size() - 1);
+}
+
+std::string_view Checker::site_name(SiteId id) const noexcept {
+  return id < sites_.size() ? std::string_view(sites_[id]) : std::string_view("?");
+}
+
+void Checker::check_core(int core, const char* what) const {
+  if (core < 0 || core >= nranks_)
+    throw ChkError(std::string(what) + ": core out of range");
+}
+
+std::uint64_t& Checker::clock_of(int core) {
+  return vc_[static_cast<std::size_t>(core)][static_cast<std::size_t>(core)];
+}
+
+Checker::FlagState& Checker::flag(int src, int dst) {
+  FlagState& f = flags_[static_cast<std::size_t>(src) * static_cast<std::size_t>(nranks_) +
+                        static_cast<std::size_t>(dst)];
+  if (f.vc.empty()) f.vc.assign(static_cast<std::size_t>(nranks_), 0);
+  return f;
+}
+
+void Checker::push_flag_event(FlagState& f, const FlagEvent& ev) {
+  if (f.ring.size() >= kFlagRing) f.ring.erase(f.ring.begin());
+  f.ring.push_back(ev);
+}
+
+void Checker::report(RaceReport::Kind kind, const Segment& prior, const Access& cur) {
+  ++stats_.races;
+  // Dedup: one report per (kind, cores, sites, mpb) combination — a broken
+  // loop would otherwise flood the log with the same race every iteration.
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(kind) << 60) ^
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(prior.writer)) << 44) ^
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cur.core)) << 28) ^
+      (static_cast<std::uint64_t>(prior.site) << 14) ^
+      static_cast<std::uint64_t>(cur.site) ^
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cur.mpb)) << 52);
+  const auto it = std::lower_bound(report_keys_.begin(), report_keys_.end(), key);
+  if (it != report_keys_.end() && *it == key) return;
+  if (reports_.size() >= cfg_.max_reports) return;
+  report_keys_.insert(it, key);
+
+  RaceReport r;
+  r.kind = kind;
+  r.prior = Access{prior.writer, AccessKind::Write, cur.mpb, prior.lo, prior.hi,
+                   prior.ts, prior.site, prior.clock};
+  r.current = cur;
+  if (prior.flow_src >= 0 && prior.flow_dst >= 0) {
+    const FlagState& f = flags_[static_cast<std::size_t>(prior.flow_src) *
+                                    static_cast<std::size_t>(nranks_) +
+                                static_cast<std::size_t>(prior.flow_dst)];
+    r.flag_chain = f.ring;
+  }
+  reports_.push_back(std::move(r));
+}
+
+void Checker::mpb_write(int core, int mpb, std::uint32_t lo, std::uint32_t len,
+                        Ts ts, SiteId at, int flow_src, int flow_dst) {
+  check_core(core, "mpb_write");
+  check_core(mpb, "mpb_write(mpb)");
+  if (len == 0) return;
+  ++stats_.mpb_writes;
+  std::vector<std::uint64_t>& vc = vc_[static_cast<std::size_t>(core)];
+  const std::uint64_t clk = ++clock_of(core);
+  const std::uint32_t hi = lo + len;
+
+  std::vector<Segment>& shadow = mpb_[static_cast<std::size_t>(mpb)];
+  Access cur{core, AccessKind::Write, mpb, lo, hi, ts, at, clk};
+  // Check unordered write-write against every overlapping segment, then
+  // carve the overlapped ranges out and insert the new segment.
+  std::vector<Segment> next;
+  next.reserve(shadow.size() + 2);
+  for (const Segment& s : shadow) {
+    if (s.hi <= lo || s.lo >= hi) {
+      next.push_back(s);
+      continue;
+    }
+    // Overlap. Same-core accesses are program-ordered; cross-core writes
+    // must be ordered through a flag/barrier edge.
+    if (s.writer != core && vc[static_cast<std::size_t>(s.writer)] < s.clock)
+      report(RaceReport::Kind::WriteWriteOverlap, s, cur);
+    if (s.lo < lo) {
+      Segment left = s;
+      left.hi = lo;
+      next.push_back(left);
+    }
+    if (s.hi > hi) {
+      Segment right = s;
+      right.lo = hi;
+      next.push_back(right);
+    }
+  }
+  next.push_back(Segment{lo, hi, core, clk, ts, at, flow_src, flow_dst});
+  std::sort(next.begin(), next.end(),
+            [](const Segment& a, const Segment& b) { return a.lo < b.lo; });
+  shadow = std::move(next);
+}
+
+void Checker::mpb_read(int core, int mpb, std::uint32_t lo, std::uint32_t len,
+                       Ts ts, SiteId at, int flow_src, int flow_dst) {
+  (void)flow_src;
+  (void)flow_dst;
+  check_core(core, "mpb_read");
+  check_core(mpb, "mpb_read(mpb)");
+  if (len == 0) return;
+  ++stats_.mpb_reads;
+  std::vector<std::uint64_t>& vc = vc_[static_cast<std::size_t>(core)];
+  const std::uint64_t clk = ++clock_of(core);
+  const std::uint32_t hi = lo + len;
+
+  const Access cur{core, AccessKind::Read, mpb, lo, hi, ts, at, clk};
+  for (const Segment& s : mpb_[static_cast<std::size_t>(mpb)]) {
+    if (s.hi <= lo || s.lo >= hi) continue;
+    if (s.writer != core && vc[static_cast<std::size_t>(s.writer)] < s.clock)
+      report(RaceReport::Kind::ReadBeforePublish, s, cur);
+  }
+}
+
+void Checker::flag_set(int core, int src, int dst, Ts ts, SiteId at) {
+  check_core(core, "flag_set");
+  check_core(src, "flag_set(src)");
+  check_core(dst, "flag_set(dst)");
+  ++stats_.flag_sets;
+  const std::uint64_t clk = ++clock_of(core);
+  (void)clk;
+  FlagState& f = flag(src, dst);
+  join(f.vc, vc_[static_cast<std::size_t>(core)]);
+  push_flag_event(f, FlagEvent{FlagEvent::Kind::Set, src, dst, core, ts, at, 0});
+}
+
+void Checker::flag_test(int core, int src, int dst, bool observed_set, Ts ts,
+                        SiteId at) {
+  check_core(core, "flag_test");
+  check_core(src, "flag_test(src)");
+  check_core(dst, "flag_test(dst)");
+  ++stats_.flag_tests;
+  FlagState& f = flag(src, dst);
+  if (observed_set) {
+    ++clock_of(core);
+    join(vc_[static_cast<std::size_t>(core)], f.vc);
+    push_flag_event(f, FlagEvent{FlagEvent::Kind::Test, src, dst, core, ts, at, 0});
+  } else {
+    // A failed test observes nothing and creates no edge; remember only the
+    // most recent empty test so chains stay informative without flooding.
+    if (!f.ring.empty() && f.ring.back().kind == FlagEvent::Kind::TestEmpty &&
+        f.ring.back().core == core) {
+      f.ring.back().ts = ts;
+      f.ring.back().site = at;
+    } else {
+      push_flag_event(f,
+                      FlagEvent{FlagEvent::Kind::TestEmpty, src, dst, core, ts, at, 0});
+    }
+  }
+}
+
+void Checker::note(int core, int src, int dst, Ts ts, SiteId at, std::uint64_t id) {
+  check_core(core, "note");
+  check_core(src, "note(src)");
+  check_core(dst, "note(dst)");
+  ++stats_.notes;
+  push_flag_event(flag(src, dst),
+                  FlagEvent{FlagEvent::Kind::Note, src, dst, core, ts, at, id});
+}
+
+void Checker::barrier(const std::vector<int>& ranks, Ts ts) {
+  (void)ts;
+  ++stats_.barriers;
+  std::vector<std::uint64_t> joined(static_cast<std::size_t>(nranks_), 0);
+  for (int r : ranks) {
+    check_core(r, "barrier");
+    join(joined, vc_[static_cast<std::size_t>(r)]);
+  }
+  for (int r : ranks) {
+    vc_[static_cast<std::size_t>(r)] = joined;
+    ++clock_of(r);
+  }
+}
+
+std::string Checker::section_json() const {
+  std::string out;
+  out.reserve(256);
+  out += "{\"mpb_writes\": ";
+  append_u64(out, stats_.mpb_writes);
+  out += ", \"mpb_reads\": ";
+  append_u64(out, stats_.mpb_reads);
+  out += ", \"flag_sets\": ";
+  append_u64(out, stats_.flag_sets);
+  out += ", \"flag_tests\": ";
+  append_u64(out, stats_.flag_tests);
+  out += ", \"barriers\": ";
+  append_u64(out, stats_.barriers);
+  out += ", \"notes\": ";
+  append_u64(out, stats_.notes);
+  out += ", \"races\": ";
+  append_u64(out, stats_.races);
+  out += "}";
+  return out;
+}
+
+std::string Checker::report_json() const {
+  std::string out;
+  out.reserve(1024 + reports_.size() * 512);
+  out += "{\n  \"schema\": \"rck-chk-report-v1\",\n  \"stats\": ";
+  out += section_json();
+  out += ",\n  \"races\": [";
+
+  const auto access_json = [&](const Access& a) {
+    out += "{\"core\": ";
+    append_i64(out, a.core);
+    out += ", \"kind\": ";
+    append_escaped(out, a.kind == AccessKind::Read ? "read" : "write");
+    out += ", \"mpb\": ";
+    append_i64(out, a.mpb);
+    out += ", \"lo\": ";
+    append_u64(out, a.lo);
+    out += ", \"hi\": ";
+    append_u64(out, a.hi);
+    out += ", \"ts_ps\": ";
+    append_u64(out, a.ts);
+    out += ", \"site\": ";
+    append_escaped(out, site_name(a.site));
+    out += ", \"clock\": ";
+    append_u64(out, a.clock);
+    out += "}";
+  };
+
+  for (std::size_t i = 0; i < reports_.size(); ++i) {
+    const RaceReport& r = reports_[i];
+    out += i ? ",\n    " : "\n    ";
+    out += "{\"code\": \"rck.chk.race\", \"kind\": ";
+    append_escaped(out, kind_name(r.kind));
+    out += ", \"prior\": ";
+    access_json(r.prior);
+    out += ", \"current\": ";
+    access_json(r.current);
+    out += ", \"flag_chain\": [";
+    for (std::size_t k = 0; k < r.flag_chain.size(); ++k) {
+      const FlagEvent& ev = r.flag_chain[k];
+      if (k) out += ", ";
+      out += "{\"kind\": ";
+      append_escaped(out, flag_kind_name(ev.kind));
+      out += ", \"flow\": [";
+      append_i64(out, ev.src);
+      out += ", ";
+      append_i64(out, ev.dst);
+      out += "], \"core\": ";
+      append_i64(out, ev.core);
+      out += ", \"ts_ps\": ";
+      append_u64(out, ev.ts);
+      out += ", \"site\": ";
+      append_escaped(out, site_name(ev.site));
+      if (ev.id != 0) {
+        out += ", \"id\": ";
+        append_u64(out, ev.id);
+      }
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+void write_report(const Checker& checker, const std::string& path) {
+  const std::filesystem::path p(path);
+  std::error_code ec;
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path(), ec);
+    if (ec)
+      throw ChkIoError("write_report: cannot create directories for '" + path +
+                       "': " + ec.message());
+  }
+  std::ofstream f(p, std::ios::binary | std::ios::trunc);
+  if (!f) throw ChkIoError("write_report: cannot open '" + path + "'");
+  const std::string doc = checker.report_json();
+  f.write(doc.data(), static_cast<std::streamsize>(doc.size()));
+  f.flush();
+  if (!f) throw ChkIoError("write_report: short write to '" + path + "'");
+}
+
+}  // namespace rck::chk

@@ -1,0 +1,424 @@
+#include "rck/chk/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+
+namespace rck::chk::lint {
+
+namespace {
+
+bool is_ident(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) noexcept {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+/// Identifiers banned outright inside the simulation libraries. Matched as
+/// whole identifiers on stripped text, so comments don't fire.
+constexpr std::string_view kDeterminismBans[] = {
+    "rand",          "srand",         "drand48",
+    "random_device", "mt19937",       "mt19937_64",
+    "minstd_rand",   "default_random_engine",
+    "system_clock",  "steady_clock",  "high_resolution_clock",
+    "gettimeofday",  "clock_gettime", "timespec_get",
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset",
+};
+
+/// PR 3 SIMD kernel hot-path files: allocation-free by contract
+/// (tests/core/test_alloc_free.cpp asserts it dynamically; the lint rule
+/// keeps the ban visible at review time).
+constexpr std::string_view kHotPathFiles[] = {
+    "src/core/simd.hpp",
+    "src/core/simd_kernels.cpp",
+    "src/core/simd_kernels_avx2.cpp",
+    "src/core/simd_kernels_impl.hpp",
+    "src/core/kabsch.cpp",
+};
+
+constexpr std::string_view kHotPathBans[] = {
+    "malloc", "calloc",       "realloc",      "push_back", "emplace_back",
+    "resize", "reserve",      "emplace",      "insert",    "shrink_to_fit",
+};
+
+bool in_determinism_scope(std::string_view path) {
+  return starts_with(path, "src/scc/") || starts_with(path, "src/noc/") ||
+         starts_with(path, "src/rcce/") || starts_with(path, "src/rckskel/") ||
+         starts_with(path, "src/chk/");
+}
+
+bool is_hot_path(std::string_view path) {
+  for (std::string_view f : kHotPathFiles)
+    if (path == f) return true;
+  return false;
+}
+
+bool in_lintable_tree(std::string_view path) {
+  return starts_with(path, "src/") || starts_with(path, "tools/");
+}
+
+struct Waivers {
+  // line (1-based) -> rules allowed on that line and the next.
+  std::map<int, std::set<std::string, std::less<>>> by_line;
+
+  bool allows(int line, std::string_view rule) const {
+    for (int l : {line, line - 1}) {
+      const auto it = by_line.find(l);
+      if (it == by_line.end()) continue;
+      if (it->second.count("all") || it->second.count(rule)) return true;
+    }
+    return false;
+  }
+};
+
+/// Parse `// rck-lint: allow(rule, rule)` markers from the *raw* content
+/// (they live in comments, which strip() blanks).
+Waivers collect_waivers(std::string_view content) {
+  Waivers w;
+  int line = 1;
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    if (content[i] == '\n') {
+      ++line;
+      continue;
+    }
+    constexpr std::string_view kMark = "rck-lint: allow(";
+    if (content.compare(i, kMark.size(), kMark) != 0) continue;
+    std::size_t j = i + kMark.size();
+    std::string name;
+    for (; j < content.size() && content[j] != ')' && content[j] != '\n'; ++j) {
+      const char c = content[j];
+      if (c == ',' ) {
+        if (!name.empty()) w.by_line[line].insert(name);
+        name.clear();
+      } else if (c != ' ') {
+        name.push_back(c);
+      }
+    }
+    if (!name.empty()) w.by_line[line].insert(name);
+    i = j;
+  }
+  return w;
+}
+
+/// Per-line view of stripped content.
+std::vector<std::string_view> split_lines(std::string_view s) {
+  std::vector<std::string_view> lines;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == '\n') {
+      lines.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return lines;
+}
+
+/// Find whole-identifier occurrences of `ident` in `line`; returns columns.
+std::vector<std::size_t> find_ident(std::string_view line, std::string_view ident) {
+  std::vector<std::size_t> cols;
+  std::size_t pos = 0;
+  while ((pos = line.find(ident, pos)) != std::string_view::npos) {
+    const bool lb = pos == 0 || !is_ident(line[pos - 1]);
+    const std::size_t end = pos + ident.size();
+    const bool rb = end >= line.size() || !is_ident(line[end]);
+    if (lb && rb) cols.push_back(pos);
+    pos = end;
+  }
+  return cols;
+}
+
+void check_determinism(std::string_view path,
+                       const std::vector<std::string_view>& lines,
+                       const Waivers& waivers, std::vector<Finding>& out) {
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    const int ln = static_cast<int>(li) + 1;
+    const std::string_view line = lines[li];
+    for (std::string_view ban : kDeterminismBans) {
+      if (find_ident(line, ban).empty()) continue;
+      if (waivers.allows(ln, "determinism")) continue;
+      out.push_back({std::string(path), ln, "determinism",
+                     "banned in simulation libraries: " + std::string(ban) +
+                         " (simulated runs must be a pure function of the "
+                         "inputs; see DESIGN.md)"});
+    }
+    // The libc wall-clock calls: `std::time(...)`, `std::clock()`, and the
+    // classic bare `time(nullptr)` / `time(NULL)` / `time(0)`. A member or
+    // method merely *named* time (e.g. CoreTimingModel::time) is fine.
+    for (std::string_view ban : {std::string_view("time"), std::string_view("clock")}) {
+      for (std::size_t col : find_ident(line, ban)) {
+        std::size_t after = col + ban.size();
+        while (after < line.size() && line[after] == ' ') ++after;
+        if (after >= line.size() || line[after] != '(') continue;
+        const bool std_qualified =
+            col >= 5 && line.substr(col - 5, 5) == "std::" &&
+            (col == 5 || !is_ident(line[col - 6]));
+        const std::string_view args = line.substr(after);
+        const bool bare_wallclock =
+            ban == "time" && (col == 0 || !is_ident(line[col - 1])) &&
+            (col < 2 || line.substr(col - 2, 2) != "::") &&
+            (starts_with(args, "(nullptr") || starts_with(args, "(NULL") ||
+             starts_with(args, "(0)"));
+        if (!std_qualified && !bare_wallclock) continue;
+        if (waivers.allows(ln, "determinism")) continue;
+        out.push_back({std::string(path), ln, "determinism",
+                       "wall-clock call " + std::string(ban) +
+                           "() banned in simulation libraries"});
+      }
+    }
+  }
+}
+
+void check_throw_taxonomy(std::string_view path, std::string_view stripped,
+                          const Waivers& waivers, std::vector<Finding>& out) {
+  int line = 1;
+  for (std::size_t i = 0; i < stripped.size(); ++i) {
+    if (stripped[i] == '\n') {
+      ++line;
+      continue;
+    }
+    if (!is_ident(stripped[i])) continue;
+    std::size_t end = i;
+    while (end < stripped.size() && is_ident(stripped[end])) ++end;
+    const std::string_view word = stripped.substr(i, end - i);
+    if (word != "throw") {
+      i = end - 1;
+      continue;
+    }
+    // Skip whitespace (tracking newlines) to the thrown expression.
+    std::size_t j = end;
+    int jline = line;
+    while (j < stripped.size() &&
+           (stripped[j] == ' ' || stripped[j] == '\n' || stripped[j] == '\t')) {
+      if (stripped[j] == '\n') ++jline;
+      ++j;
+    }
+    i = end - 1;
+    if (j >= stripped.size() || stripped[j] == ';') continue;  // rethrow
+    // Qualified identifier chain: A::B::Name — judge the last component.
+    std::string last;
+    while (j < stripped.size()) {
+      std::size_t k = j;
+      while (k < stripped.size() && is_ident(stripped[k])) ++k;
+      if (k == j) break;
+      last.assign(stripped, j, k - j);
+      if (k + 1 < stripped.size() && stripped[k] == ':' && stripped[k + 1] == ':')
+        j = k + 2;
+      else
+        break;
+    }
+    const bool ok = last.size() > 5 &&
+                    last.compare(last.size() - 5, 5, "Error") == 0;
+    if (ok || waivers.allows(line, "throw-taxonomy")) continue;
+    out.push_back({std::string(path), line, "throw-taxonomy",
+                   "throw site must construct an rck::Error subclass "
+                   "(*Error with a dotted code), got: " +
+                       (last.empty() ? std::string("<expression>") : last)});
+    (void)jline;
+  }
+}
+
+void check_hot_path(std::string_view path,
+                    const std::vector<std::string_view>& lines,
+                    const Waivers& waivers, std::vector<Finding>& out) {
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    const int ln = static_cast<int>(li) + 1;
+    const std::string_view line = lines[li];
+    for (std::string_view ban : kHotPathBans) {
+      if (find_ident(line, ban).empty()) continue;
+      if (waivers.allows(ln, "hot-path-alloc")) continue;
+      out.push_back({std::string(path), ln, "hot-path-alloc",
+                     "allocation/growth call banned in SIMD kernel hot path: " +
+                         std::string(ban)});
+    }
+    // `new` as a keyword (placement or not).
+    for (std::size_t col : find_ident(line, "new")) {
+      (void)col;
+      if (waivers.allows(ln, "hot-path-alloc")) continue;
+      out.push_back({std::string(path), ln, "hot-path-alloc",
+                     "operator new banned in SIMD kernel hot path"});
+    }
+  }
+}
+
+void check_includes(std::string_view path,
+                    const std::vector<std::string_view>& raw_lines,
+                    const Waivers& waivers, std::vector<Finding>& out) {
+  const bool is_umbrella_owner = starts_with(path, "src/rck/") ||
+                                 starts_with(path, "tools/");
+  for (std::size_t li = 0; li < raw_lines.size(); ++li) {
+    const int ln = static_cast<int>(li) + 1;
+    std::string_view line = raw_lines[li];
+    const std::size_t h = line.find("#include");
+    if (h == std::string_view::npos) continue;
+    // Only quoted includes carry project-layout obligations.
+    const std::size_t q0 = line.find('"', h);
+    if (q0 == std::string_view::npos) continue;
+    const std::size_t q1 = line.find('"', q0 + 1);
+    if (q1 == std::string_view::npos) continue;
+    const std::string_view inc = line.substr(q0 + 1, q1 - q0 - 1);
+    if (waivers.allows(ln, "include-hygiene")) continue;
+    if (inc.find("..") != std::string_view::npos) {
+      out.push_back({std::string(path), ln, "include-hygiene",
+                     "parent-relative include path: \"" + std::string(inc) + "\""});
+      continue;
+    }
+    if (!is_umbrella_owner && inc == "rck/rck.hpp") {
+      out.push_back({std::string(path), ln, "include-hygiene",
+                     "src libraries must not include the rck/rck.hpp umbrella "
+                     "(it depends on them)"});
+      continue;
+    }
+    if (!starts_with(inc, "rck/") && inc.find('/') != std::string_view::npos) {
+      out.push_back({std::string(path), ln, "include-hygiene",
+                     "quoted include must be rck/... (public header) or a "
+                     "same-directory private header: \"" +
+                         std::string(inc) + "\""});
+    }
+  }
+}
+
+}  // namespace
+
+std::string strip(std::string_view content) {
+  std::string out;
+  out.reserve(content.size());
+  enum class St { Code, Line, Block, Str, Chr, Raw };
+  St st = St::Code;
+  std::string raw_delim;  // for R"delim( ... )delim"
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    const char n = i + 1 < content.size() ? content[i + 1] : '\0';
+    switch (st) {
+      case St::Code:
+        if (c == '/' && n == '/') {
+          st = St::Line;
+          out += "  ";
+          ++i;
+        } else if (c == '/' && n == '*') {
+          st = St::Block;
+          out += "  ";
+          ++i;
+        } else if (c == '"' && i >= 1 && content[i - 1] == 'R') {
+          // Raw string literal: R"delim( ... )delim"
+          st = St::Raw;
+          raw_delim = ")";
+          for (std::size_t k = i + 1; k < content.size() && content[k] != '(';
+               ++k)
+            raw_delim.push_back(content[k]);
+          raw_delim.push_back('"');
+          out.push_back('"');
+        } else if (c == '"') {
+          st = St::Str;
+          out.push_back('"');
+        } else if (c == '\'' && !(i >= 1 && is_ident(content[i - 1]))) {
+          // Skip digit separators (1'000'000): a quote after an identifier
+          // character is not a char literal.
+          st = St::Chr;
+          out.push_back('\'');
+        } else {
+          out.push_back(c);
+        }
+        break;
+      case St::Line:
+        if (c == '\n') {
+          st = St::Code;
+          out.push_back('\n');
+        } else {
+          out.push_back(' ');
+        }
+        break;
+      case St::Block:
+        if (c == '*' && n == '/') {
+          st = St::Code;
+          out += "  ";
+          ++i;
+        } else {
+          out.push_back(c == '\n' ? '\n' : ' ');
+        }
+        break;
+      case St::Str:
+        if (c == '\\' && n != '\0') {
+          out += "  ";
+          ++i;
+        } else if (c == '"') {
+          st = St::Code;
+          out.push_back('"');
+        } else {
+          out.push_back(c == '\n' ? '\n' : ' ');
+        }
+        break;
+      case St::Chr:
+        if (c == '\\' && n != '\0') {
+          out += "  ";
+          ++i;
+        } else if (c == '\'') {
+          st = St::Code;
+          out.push_back('\'');
+        } else {
+          out.push_back(' ');
+        }
+        break;
+      case St::Raw:
+        if (content.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (std::size_t k = 1; k < raw_delim.size(); ++k) out.push_back(' ');
+          out.push_back('"');
+          i += raw_delim.size() - 1;
+          st = St::Code;
+        } else {
+          out.push_back(c == '\n' ? '\n' : ' ');
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> rules_for(std::string_view repo_rel_path) {
+  std::vector<std::string> rules;
+  if (!in_lintable_tree(repo_rel_path)) return rules;
+  const bool is_source =
+      repo_rel_path.size() > 4 &&
+      (repo_rel_path.ends_with(".hpp") || repo_rel_path.ends_with(".cpp") ||
+       repo_rel_path.ends_with(".h") || repo_rel_path.ends_with(".cc"));
+  if (!is_source) return rules;
+  if (in_determinism_scope(repo_rel_path)) rules.emplace_back("determinism");
+  rules.emplace_back("throw-taxonomy");
+  if (is_hot_path(repo_rel_path)) rules.emplace_back("hot-path-alloc");
+  rules.emplace_back("include-hygiene");
+  return rules;
+}
+
+std::vector<Finding> lint_file(std::string_view repo_rel_path,
+                               std::string_view content) {
+  std::vector<Finding> out;
+  const std::vector<std::string> rules = rules_for(repo_rel_path);
+  if (rules.empty()) return out;
+
+  const Waivers waivers = collect_waivers(content);
+  const std::string stripped = strip(content);
+  const std::vector<std::string_view> code_lines = split_lines(stripped);
+  const std::vector<std::string_view> raw_lines = split_lines(content);
+
+  const auto has = [&](std::string_view r) {
+    return std::find(rules.begin(), rules.end(), r) != rules.end();
+  };
+  if (has("determinism"))
+    check_determinism(repo_rel_path, code_lines, waivers, out);
+  if (has("throw-taxonomy"))
+    check_throw_taxonomy(repo_rel_path, stripped, waivers, out);
+  if (has("hot-path-alloc"))
+    check_hot_path(repo_rel_path, code_lines, waivers, out);
+  if (has("include-hygiene"))
+    check_includes(repo_rel_path, raw_lines, waivers, out);
+
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+  });
+  return out;
+}
+
+}  // namespace rck::chk::lint

@@ -5,6 +5,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "rck/core/error.hpp"
 #include "rck/core/kabsch.hpp"
 #include "rck/core/tmscore.hpp"
 
@@ -80,7 +81,7 @@ double path_cross_mismatch(const DistMatrix& da, const DistMatrix& db,
 CeResult ce_align(const bio::Protein& a, const bio::Protein& b, const CeOptions& opts) {
   const int m = opts.fragment_len;
   if (static_cast<int>(a.size()) < 2 * m || static_cast<int>(b.size()) < 2 * m)
-    throw std::invalid_argument("ce_align: chains must have >= 2*fragment_len residues");
+    throw CoreError("ce_align: chains must have >= 2*fragment_len residues");
 
   const std::vector<Vec3> xa = a.ca_coords();
   const std::vector<Vec3> yb = b.ca_coords();

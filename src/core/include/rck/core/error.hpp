@@ -1,0 +1,22 @@
+// Parameter/shape errors for the alignment kernels.
+//
+// Part of the rck::Error taxonomy (DESIGN.md, "Error taxonomy"): every throw
+// site in src/core raises CoreError so callers can dispatch on the stable
+// dotted code instead of std exception types.
+#pragma once
+
+#include <string>
+
+#include "rck/error.hpp"
+
+namespace rck::core {
+
+/// Invalid kernel input (mismatched lengths, empty structures, bad
+/// parameters). Code "rck.core.invalid".
+class CoreError : public rck::Error {
+ public:
+  explicit CoreError(const std::string& message)
+      : Error("rck.core.invalid", message) {}
+};
+
+}  // namespace rck::core

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "rck/core/error.hpp"
 #include "rck/core/simd_kernels.hpp"
 
 namespace rck::core {
@@ -241,9 +242,9 @@ void horn_max_eigen_quat(const double m[3][3], double fq, double tq,
 Superposition superpose(std::span<const Vec3> from, std::span<const Vec3> to,
                         AlignStats* stats) {
   if (from.size() != to.size())
-    throw std::invalid_argument("superpose: size mismatch");
+    throw CoreError("superpose: size mismatch");
   if (from.size() < 3)
-    throw std::invalid_argument("superpose: need at least 3 points");
+    throw CoreError("superpose: need at least 3 points");
   const std::size_t n = from.size();
   if (stats != nullptr) {
     stats->kabsch_calls += 1;
@@ -289,9 +290,9 @@ Superposition superpose(std::span<const Vec3> from, std::span<const Vec3> to,
 
 Superposition superpose(bio::CoordsView from, bio::CoordsView to,
                         AlignStats* stats, bool with_rmsd) {
-  if (from.n != to.n) throw std::invalid_argument("superpose: size mismatch");
+  if (from.n != to.n) throw CoreError("superpose: size mismatch");
   if (from.n < 3)
-    throw std::invalid_argument("superpose: need at least 3 points");
+    throw CoreError("superpose: need at least 3 points");
   if (stats != nullptr) {
     stats->kabsch_calls += 1;
     stats->kabsch_points += from.n;

@@ -1,3 +1,4 @@
+#include "rck/core/error.hpp"
 #include "rck/core/nw.hpp"
 
 #include <cassert>
@@ -32,7 +33,7 @@ Alignment NwWorkspace::solve(double gap_open, AlignStats* stats) {
 }
 
 void NwWorkspace::solve(double gap_open, Alignment& y2x, AlignStats* stats) {
-  if (lx_ == 0 || ly_ == 0) throw std::logic_error("NwWorkspace::solve before resize");
+  if (lx_ == 0 || ly_ == 0) throw CoreError("NwWorkspace::solve before resize");
   const std::size_t w = ly_ + 1;  // row stride of val_/path_
 
   // Boundary: end gaps free. Only the boundaries need resetting — every

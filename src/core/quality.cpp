@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "rck/core/error.hpp"
 #include "rck/core/kabsch.hpp"
 
 namespace rck::core {
@@ -79,9 +80,9 @@ QualityResult score_model_by_index(const bio::Protein& model,
                                    const bio::Protein& reference,
                                    const TmSearchOptions& opts) {
   if (model.size() != reference.size())
-    throw std::invalid_argument("score_model_by_index: length mismatch");
+    throw CoreError("score_model_by_index: length mismatch");
   if (model.size() < 3)
-    throw std::invalid_argument("score_model_by_index: need >= 3 residues");
+    throw CoreError("score_model_by_index: need >= 3 residues");
   return evaluate_pairs(model.ca_coords(), reference.ca_coords(),
                         static_cast<int>(reference.size()), opts);
 }

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "rck/core/error.hpp"
 #include "rck/core/kabsch.hpp"
 
 namespace rck::core {
@@ -13,7 +14,7 @@ using bio::Vec3;
 
 RmsdResult best_gapless_rmsd(const bio::Protein& a, const bio::Protein& b) {
   if (a.size() < 5 || b.size() < 5)
-    throw std::invalid_argument("best_gapless_rmsd: chains must have >= 5 residues");
+    throw CoreError("best_gapless_rmsd: chains must have >= 5 residues");
 
   const std::vector<Vec3> x = a.ca_coords();
   const std::vector<Vec3> y = b.ca_coords();

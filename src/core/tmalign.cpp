@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "rck/core/error.hpp"
 #include "rck/core/kabsch.hpp"
 #include "rck/core/sec_struct.hpp"
 #include "rck/core/simd_kernels.hpp"
@@ -221,7 +222,7 @@ TmAlignResult tmalign(const Protein& a, const Protein& b, const TmAlignOptions& 
 const TmAlignResult& tmalign(const Protein& a, const Protein& b,
                              TmAlignWorkspace& ws, const TmAlignOptions& opts) {
   if (a.size() < 5 || b.size() < 5)
-    throw std::invalid_argument("tmalign: chains must have at least 5 residues");
+    throw CoreError("tmalign: chains must have at least 5 residues");
 
   ws.x.assign(a);
   ws.y.assign(b);

@@ -5,7 +5,25 @@
 #include <string>
 #include <vector>
 
+#include "rck/error.hpp"
+
 namespace rck::harness {
+
+/// Malformed table construction (row width mismatch). Code
+/// "rck.harness.table".
+class TableError : public rck::Error {
+ public:
+  explicit TableError(const std::string& message)
+      : Error("rck.harness.table", message) {}
+};
+
+/// Host-filesystem I/O failure from the harness helpers. Code
+/// "rck.harness.io".
+class IoError : public rck::Error {
+ public:
+  explicit IoError(const std::string& message)
+      : Error("rck.harness.io", message) {}
+};
 
 /// Fixed-width text table with a title, column headers and string cells.
 class TextTable {

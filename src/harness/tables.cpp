@@ -19,7 +19,7 @@ void TextTable::set_columns(std::vector<std::string> headers) {
 
 void TextTable::add_row(std::vector<std::string> cells) {
   if (cells.size() != headers_.size())
-    throw std::invalid_argument("TextTable: row width mismatch");
+    throw TableError("TextTable: row width mismatch");
   rows_.push_back(std::move(cells));
 }
 
@@ -108,7 +108,7 @@ void write_file(const std::string& path, const std::string& contents) {
   const std::filesystem::path p(path);
   if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
   std::ofstream out(p);
-  if (!out) throw std::runtime_error("write_file: cannot open " + path);
+  if (!out) throw IoError("write_file: cannot open " + path);
   out << contents;
 }
 

@@ -1,3 +1,4 @@
+#include "rck/noc/error.hpp"
 #include "rck/noc/event_queue.hpp"
 
 #include <stdexcept>
@@ -6,14 +7,14 @@
 namespace rck::noc {
 
 std::uint64_t EventQueue::schedule_at(SimTime t, Callback fn) {
-  if (t < now_) throw std::logic_error("EventQueue: scheduling into the past");
+  if (t < now_) throw NocError("EventQueue: scheduling into the past");
   const std::uint64_t seq = next_seq_++;
   heap_.push(Event{t, seq, std::move(fn)});
   return seq;
 }
 
 void EventQueue::run_one() {
-  if (heap_.empty()) throw std::logic_error("EventQueue: run_one on empty queue");
+  if (heap_.empty()) throw NocError("EventQueue: run_one on empty queue");
   // priority_queue::top returns const&; move out via const_cast is UB-adjacent,
   // so copy the callback handle (std::function copy) — events are small.
   Event ev = heap_.top();

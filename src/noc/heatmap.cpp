@@ -1,3 +1,4 @@
+#include "rck/noc/error.hpp"
 #include "rck/noc/heatmap.hpp"
 
 #include <algorithm>
@@ -15,7 +16,7 @@ char utilization_digit(double fraction) noexcept {
 }
 
 std::string render_link_heatmap(const Network& net, SimTime makespan) {
-  if (makespan == 0) throw std::invalid_argument("render_link_heatmap: zero makespan");
+  if (makespan == 0) throw NocError("render_link_heatmap: zero makespan");
   const Mesh& mesh = net.mesh();
   const double span = static_cast<double>(makespan);
 

@@ -1,0 +1,21 @@
+// Errors for the network-on-chip model.
+//
+// Part of the rck::Error taxonomy (DESIGN.md, "Error taxonomy"): misuse of
+// the mesh/event-queue/heatmap APIs (bad coordinates, out-of-range node ids,
+// non-monotonic event times) raises NocError.
+#pragma once
+
+#include <string>
+
+#include "rck/error.hpp"
+
+namespace rck::noc {
+
+/// Invalid NoC-model input or API misuse. Code "rck.noc.invalid".
+class NocError : public rck::Error {
+ public:
+  explicit NocError(const std::string& message)
+      : Error("rck.noc.invalid", message) {}
+};
+
+}  // namespace rck::noc

@@ -1,3 +1,4 @@
+#include "rck/noc/error.hpp"
 #include "rck/noc/mesh.hpp"
 
 #include <cmath>
@@ -6,9 +7,9 @@
 namespace rck::noc {
 
 Mesh::Mesh(int cols, int rows, bool torus) : cols_(cols), rows_(rows), torus_(torus) {
-  if (cols < 1 || rows < 1) throw std::invalid_argument("Mesh: bad dimensions");
+  if (cols < 1 || rows < 1) throw NocError("Mesh: bad dimensions");
   if (torus && (cols < 3 || rows < 3))
-    throw std::invalid_argument("Mesh: torus requires both dimensions >= 3");
+    throw NocError("Mesh: torus requires both dimensions >= 3");
 }
 
 int Mesh::link_count() const noexcept {
@@ -19,7 +20,7 @@ int Mesh::link_count() const noexcept {
 }
 
 void Mesh::check_node(int n) const {
-  if (n < 0 || n >= node_count()) throw std::out_of_range("Mesh: bad node id");
+  if (n < 0 || n >= node_count()) throw NocError("Mesh: bad node id");
 }
 
 MeshCoord Mesh::coord(int n) const {
@@ -29,7 +30,7 @@ MeshCoord Mesh::coord(int n) const {
 
 int Mesh::node(MeshCoord c) const {
   if (c.x < 0 || c.x >= cols_ || c.y < 0 || c.y >= rows_)
-    throw std::out_of_range("Mesh: bad coordinate");
+    throw NocError("Mesh: bad coordinate");
   return c.y * cols_ + c.x;
 }
 
@@ -114,7 +115,7 @@ int Mesh::link_index(const Link& l) const {
   else if (dx == -1 && dy == 0) dir = 1;
   else if (dx == 0 && dy == 1) dir = 2;
   else if (dx == 0 && dy == -1) dir = 3;
-  else throw std::invalid_argument("Mesh: link endpoints not adjacent");
+  else throw NocError("Mesh: link endpoints not adjacent");
   return l.from * 4 + dir;
 }
 

@@ -17,9 +17,27 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
+#include "rck/error.hpp"
+
 namespace rck::obs {
+
+/// Observability-API misuse (duplicate metric registration, interning after
+/// seal, negative shard counts). Code "rck.obs.misuse".
+class ObsError : public rck::Error {
+ public:
+  explicit ObsError(const std::string& message)
+      : Error("rck.obs.misuse", message) {}
+};
+
+/// Sink I/O failure (cannot open / short write). Code "rck.obs.io".
+class ObsIoError : public rck::Error {
+ public:
+  explicit ObsIoError(const std::string& message)
+      : Error("rck.obs.io", message) {}
+};
 
 /// Timestamps are simulated picoseconds (same unit as noc::SimTime; obs sits
 /// below noc in the dependency order, so it spells the type out).
@@ -126,6 +144,10 @@ struct Snapshot {
   std::vector<CounterRow> counters;
   std::vector<GaugeRow> gauges;
   std::vector<HistRow> histograms;
+  /// Extra top-level sections appended after "histograms": (key, raw JSON
+  /// value) pairs emitted verbatim in order (see Recorder::set_section).
+  /// Empty for ordinary runs, so the document bytes are unchanged.
+  std::vector<std::pair<std::string, std::string>> extra;
 
   /// Stable JSON document ("rck-obs-metrics-v1" schema, see DESIGN.md).
   std::string to_json() const;

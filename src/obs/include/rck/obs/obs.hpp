@@ -27,6 +27,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "rck/obs/metrics.hpp"
@@ -141,6 +142,7 @@ struct Std {
   NameId n_lease_expiry;  ///< FT farm lease ran out (id = job id)
   NameId n_phase;  ///< application phase spans (id = phase ordinal)
   NameId n_load_dataset, n_build_jobs, n_decode_results, n_block_load;
+  NameId n_chk_race;  ///< race-detector report marker (id = racing core)
 };
 
 /// Sharded, lock-free metric + trace recorder. See file comment for the
@@ -181,6 +183,13 @@ class Recorder {
   void async_end(int shard, Lane lane, NameId name, Ts ts, std::uint64_t id);
 
   // -- post-run read-out ------------------------------------------------
+  /// Attach an extra top-level section to every subsequent snapshot():
+  /// `json` is a raw, already-serialized JSON value emitted under `key`.
+  /// Post-run, single-threaded use only; re-setting a key replaces its
+  /// value. Layers above obs use this for summaries the metric model does
+  /// not fit (the chk race-detector section) — when nothing is attached,
+  /// snapshot bytes are unchanged.
+  void set_section(std::string key, std::string json);
   /// Merged metrics (counters/histograms summed shard-ascending, gauges
   /// last-write-wins by (ts, shard)).
   Snapshot snapshot() const;
@@ -212,6 +221,7 @@ class Recorder {
   std::vector<std::string> names_;
   Std std_;
   std::vector<Shard> shards_;
+  std::vector<std::pair<std::string, std::string>> sections_;
   bool sealed_ = false;
 };
 

@@ -49,7 +49,7 @@ std::uint32_t Registry::intern(std::vector<Info>& infos, std::string_view name,
   for (std::uint32_t i = 0; i < infos.size(); ++i) {
     if (infos[i].name == name) {
       if (infos[i].unit != unit) {
-        throw std::logic_error(std::string("obs: ") + kind + " '" +
+        throw ObsError(std::string("obs: ") + kind + " '" +
                                std::string(name) +
                                "' re-registered with a different unit");
       }
@@ -184,7 +184,14 @@ std::string Snapshot::to_json() const {
     }
     out += "]}";
   }
-  out += "\n  ]\n}\n";
+  out += "\n  ]";
+  for (const auto& [key, value] : extra) {
+    out += ",\n  ";
+    append_escaped(out, key);
+    out += ": ";
+    out += value;
+  }
+  out += "\n}\n";
   return out;
 }
 

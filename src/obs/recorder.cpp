@@ -8,7 +8,7 @@ namespace rck::obs {
 
 Recorder::Recorder(Config cfg, int core_shards)
     : cfg_(std::move(cfg)), core_shards_(core_shards) {
-  if (core_shards < 0) throw std::invalid_argument("obs: negative shard count");
+  if (core_shards < 0) throw ObsError("obs: negative shard count");
   // Name id 0 is reserved so a default-constructed TraceRecord never aliases
   // a real event name.
   names_.emplace_back("<unnamed>");
@@ -65,6 +65,17 @@ Recorder::Recorder(Config cfg, int core_shards)
   std_.n_build_jobs = name("build_jobs");
   std_.n_decode_results = name("decode_results");
   std_.n_block_load = name("block_load");
+  std_.n_chk_race = name("chk_race");
+}
+
+void Recorder::set_section(std::string key, std::string json) {
+  for (auto& [k, v] : sections_) {
+    if (k == key) {
+      v = std::move(json);
+      return;
+    }
+  }
+  sections_.emplace_back(std::move(key), std::move(json));
 }
 
 NameId Recorder::name(std::string_view s) {
@@ -72,7 +83,7 @@ NameId Recorder::name(std::string_view s) {
     if (names_[i] == s) return i;
   }
   if (sealed_) {
-    throw std::logic_error("obs: name interned after seal(): " +
+    throw ObsError("obs: name interned after seal(): " +
                            std::string(s));
   }
   names_.emplace_back(s);
@@ -226,6 +237,7 @@ Snapshot Recorder::snapshot() const {
     }
   }
 
+  snap.extra = sections_;
   return snap;
 }
 

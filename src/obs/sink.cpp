@@ -114,9 +114,9 @@ void append_meta(std::string& out, const char* kind, int pid, int tid,
 
 void write_text_file(const std::string& path, const std::string& contents) {
   std::ofstream f(path, std::ios::binary | std::ios::trunc);
-  if (!f) throw std::runtime_error("obs: cannot open for writing: " + path);
+  if (!f) throw ObsIoError("obs: cannot open for writing: " + path);
   f.write(contents.data(), static_cast<std::streamsize>(contents.size()));
-  if (!f) throw std::runtime_error("obs: short write: " + path);
+  if (!f) throw ObsIoError("obs: short write: " + path);
 }
 
 }  // namespace

@@ -29,7 +29,7 @@ std::vector<double> decode_doubles(bio::Bytes raw) {
 void combine(std::vector<double>& into, const std::vector<double>& other,
              const ReduceOp& op) {
   if (into.size() != other.size())
-    throw std::invalid_argument("reduce: vector length mismatch across UEs");
+    throw RcceError("reduce: vector length mismatch across UEs");
   for (std::size_t k = 0; k < into.size(); ++k) into[k] = op(into[k], other[k]);
 }
 
@@ -38,7 +38,7 @@ void combine(std::vector<double>& into, const std::vector<double>& other,
 bio::Bytes bcast(Comm& comm, bio::Bytes data, int root, CollectiveAlgo algo) {
   const int p = comm.num_ues();
   const int me = comm.ue();
-  if (root < 0 || root >= p) throw std::invalid_argument("bcast: bad root");
+  if (root < 0 || root >= p) throw RcceError("bcast: bad root");
   if (p == 1) return data;
 
   if (algo == CollectiveAlgo::Linear) {
@@ -74,7 +74,7 @@ std::vector<double> reduce(Comm& comm, std::vector<double> values, const ReduceO
                            int root, CollectiveAlgo algo) {
   const int p = comm.num_ues();
   const int me = comm.ue();
-  if (root < 0 || root >= p) throw std::invalid_argument("reduce: bad root");
+  if (root < 0 || root >= p) throw RcceError("reduce: bad root");
   if (p == 1) return values;
 
   if (algo == CollectiveAlgo::Linear) {
@@ -113,7 +113,7 @@ std::vector<double> allreduce(Comm& comm, std::vector<double> values,
 std::vector<bio::Bytes> gather(Comm& comm, bio::Bytes data, int root) {
   const int p = comm.num_ues();
   const int me = comm.ue();
-  if (root < 0 || root >= p) throw std::invalid_argument("gather: bad root");
+  if (root < 0 || root >= p) throw RcceError("gather: bad root");
   if (me != root) {
     comm.send(root, std::move(data));
     return {};
@@ -128,10 +128,10 @@ std::vector<bio::Bytes> gather(Comm& comm, bio::Bytes data, int root) {
 bio::Bytes scatter(Comm& comm, std::vector<bio::Bytes> chunks, int root) {
   const int p = comm.num_ues();
   const int me = comm.ue();
-  if (root < 0 || root >= p) throw std::invalid_argument("scatter: bad root");
+  if (root < 0 || root >= p) throw RcceError("scatter: bad root");
   if (me == root) {
     if (static_cast<int>(chunks.size()) != p)
-      throw std::invalid_argument("scatter: need one chunk per UE");
+      throw RcceError("scatter: need one chunk per UE");
     for (int r = 0; r < p; ++r)
       if (r != root) comm.send(r, std::move(chunks[static_cast<std::size_t>(r)]));
     return std::move(chunks[static_cast<std::size_t>(root)]);

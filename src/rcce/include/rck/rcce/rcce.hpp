@@ -11,14 +11,25 @@
 // execution), one per core, identified by its rank.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 
 #include "rck/bio/serialize.hpp"
+#include "rck/error.hpp"
 #include "rck/scc/runtime.hpp"
 
 namespace rck::rcce {
+
+/// Invalid collective/communication parameters (bad root rank, mismatched
+/// vector lengths, empty UE sets). Code "rck.rcce.invalid".
+class RcceError : public rck::Error {
+ public:
+  explicit RcceError(const std::string& message)
+      : Error("rck.rcce.invalid", message) {}
+};
 
 /// Per-UE communication handle, analogous to an initialized RCCE
 /// environment. Construct one at the top of the SPMD program (the paper's
@@ -84,6 +95,30 @@ class Comm {
   /// obs::Config active; recording through it never advances simulated
   /// time).
   obs::Handle obs() const noexcept { return ctx_->obs(); }
+
+  // -- race-detector annotations (no-ops when the run has no chk config) --
+  // The runtime already instruments send/recv/test/wait_any/barrier; these
+  // forward the raw CoreCtx hooks so protocol layers (the skeletons, tests
+  // seeding known races) can describe additional MPB/flag traffic or attach
+  // recovery context to a flow's flag chain. None advance simulated time.
+
+  void chk_mpb_write(int mpb_owner, std::uint32_t lo, std::uint32_t len,
+                     std::string_view site, int flow_src = -1, int flow_dst = -1) {
+    ctx_->chk_mpb_write(mpb_owner, lo, len, site, flow_src, flow_dst);
+  }
+  void chk_mpb_read(int mpb_owner, std::uint32_t lo, std::uint32_t len,
+                    std::string_view site, int flow_src = -1, int flow_dst = -1) {
+    ctx_->chk_mpb_read(mpb_owner, lo, len, site, flow_src, flow_dst);
+  }
+  void chk_flag_set(int src, int dst, std::string_view site) {
+    ctx_->chk_flag_set(src, dst, site);
+  }
+  void chk_flag_test(int src, int dst, bool observed_set, std::string_view site) {
+    ctx_->chk_flag_test(src, dst, observed_set, site);
+  }
+  void chk_note(int src, int dst, std::string_view site, std::uint64_t id = 0) {
+    ctx_->chk_note(src, dst, site, id);
+  }
 
   /// Access the underlying core context (timing model, chip geometry).
   scc::CoreCtx& ctx() noexcept { return *ctx_; }

@@ -17,9 +17,12 @@
 // this one surface.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "rck/chk/chk.hpp"
 #include "rck/error.hpp"
 #include "rck/obs/obs.hpp"
 #include "rck/obs/sink.hpp"
@@ -76,6 +79,13 @@ struct RunConfig {
   /// overhead, see DESIGN.md "Observability").
   obs::Config obs{};
 
+  // -- analysis ---------------------------------------------------------
+  /// Race-detector (rck::chk) switches; copied into the runtime by
+  /// to_options(). Off by default. Enabling chk forces the serial
+  /// scheduler, and a clean chk-enabled run is bit-identical (cycles,
+  /// alignments, obs bytes) to a chk-disabled one.
+  chk::Config chk{};
+
   // -- chainable setters ------------------------------------------------
   RunConfig& with_slaves(int n) { slave_count = n; return *this; }
   RunConfig& with_method(rckalign::Method m) { method = m; return *this; }
@@ -90,6 +100,9 @@ struct RunConfig {
   RunConfig& with_trace(std::string path) { obs.trace_path = std::move(path); return *this; }
   RunConfig& with_metrics(std::string path) { obs.metrics_path = std::move(path); return *this; }
   RunConfig& with_collect(bool on = true) { obs.enable = on; return *this; }
+  RunConfig& with_chk(bool on = true) { chk.enable = on; return *this; }
+  RunConfig& with_chk_seed(std::uint64_t seed) { chk.schedule_seed = seed; return *this; }
+  RunConfig& with_chk_report(std::string path) { chk.report_path = std::move(path); return *this; }
 
   /// Check the whole configuration; empty result = valid. Dataset-dependent
   /// checks (cache/dataset match, >= 2 chains) stay in run_rckalign, which

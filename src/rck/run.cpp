@@ -105,6 +105,13 @@ std::vector<ConfigIssue> RunConfig::validate() const {
         "write would clobber the first");
   }
 
+  if (!chk.report_path.empty() &&
+      (chk.report_path == obs.trace_path || chk.report_path == obs.metrics_path)) {
+    bad("chk.report_path",
+        "chk.report_path collides with an obs output path; the race report "
+        "would clobber it");
+  }
+
   return issues;
 }
 
@@ -124,6 +131,7 @@ rckalign::RckAlignOptions RunConfig::to_options() const {
   opts.lpt = lpt;
   opts.fault_tolerant = fault_tolerant || !runtime.faults.empty();
   opts.ft = ft;
+  opts.runtime.chk = chk;
   return opts;
 }
 
@@ -131,6 +139,10 @@ RunResult run(const std::vector<bio::Protein>& dataset, const RunConfig& cfg) {
   cfg.validated();
   RunResult out = rckalign::run_rckalign(dataset, cfg.to_options());
   obs::flush(out.obs);
+  // The report document is written even when clean, so callers (and CI
+  // artifact steps) can always rely on the file existing after the run.
+  if (out.chk != nullptr && !cfg.chk.report_path.empty())
+    chk::write_report(*out.chk, cfg.chk.report_path);
   return out;
 }
 

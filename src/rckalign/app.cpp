@@ -5,6 +5,7 @@
 
 #include "rck/noc/heatmap.hpp"
 #include "rck/rcce/rcce.hpp"
+#include "rck/rckalign/error.hpp"
 #include "rck/rckskel/skeletons.hpp"
 
 #include "pair_exec.hpp"
@@ -23,12 +24,12 @@ std::vector<std::pair<std::uint32_t, std::uint32_t>> all_pairs(std::size_t n) {
 RckAlignRun run_rckalign(const std::vector<bio::Protein>& dataset,
                          const RckAlignOptions& opts) {
   if (dataset.size() < 2)
-    throw std::invalid_argument("run_rckalign: need at least two chains");
+    throw AlignError("run_rckalign: need at least two chains");
   if (opts.slave_count < 1 ||
       opts.slave_count + 1 > opts.runtime.chip.core_count())
-    throw std::invalid_argument("run_rckalign: slave_count out of range for chip");
+    throw AlignError("run_rckalign: slave_count out of range for chip");
   if (opts.cache != nullptr && opts.cache->chain_count() != dataset.size())
-    throw std::invalid_argument("run_rckalign: cache built for a different dataset");
+    throw AlignError("run_rckalign: cache built for a different dataset");
 
   const PairCache* cache = opts.cache;
   RckAlignRun run;
@@ -125,6 +126,7 @@ RckAlignRun run_rckalign(const std::vector<bio::Protein>& dataset,
   run.network = rt.network_stats();
   run.events = rt.events_fired();
   run.obs = rt.obs();
+  run.chk = rt.chk();
   // obs forces the runtime's internal trace on (to derive per-core lanes),
   // so the trace/heatmap fields follow either switch.
   if (opts.runtime.enable_trace || run.obs != nullptr) {
@@ -138,7 +140,7 @@ noc::SimTime run_serial(const std::vector<bio::Protein>& dataset, const PairCach
                         const scc::CoreTimingModel& model, const scc::SccConfig& chip,
                         const noc::NetworkParams& net) {
   if (cache.chain_count() != dataset.size())
-    throw std::invalid_argument("run_serial: cache/dataset mismatch");
+    throw AlignError("run_serial: cache/dataset mismatch");
   std::uint64_t dataset_bytes = 0;
   for (const bio::Protein& p : dataset) dataset_bytes += p.wire_size();
   // Same structure as the paper's modified serial program: load everything

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "rck/rcce/rcce.hpp"
+#include "rck/rckalign/error.hpp"
 #include "rck/rckskel/skeletons.hpp"
 
 #include "pair_exec.hpp"
@@ -23,7 +24,7 @@ std::vector<std::pair<std::uint32_t, std::uint32_t>> plan_blocks(
   for (std::uint32_t i = 0; i < n; ++i) {
     const std::uint64_t sz = dataset[i].wire_size();
     if (sz > per_block)
-      throw std::invalid_argument(
+      throw AlignError(
           "plan_blocks: a single chain exceeds half the memory budget");
     if (used + sz > per_block && i > begin) {
       blocks.push_back({begin, i});
@@ -39,12 +40,12 @@ std::vector<std::pair<std::uint32_t, std::uint32_t>> plan_blocks(
 BlockedRun run_rckalign_blocked(const std::vector<bio::Protein>& dataset,
                                 const BlockedOptions& opts) {
   if (dataset.size() < 2)
-    throw std::invalid_argument("run_rckalign_blocked: need at least two chains");
+    throw AlignError("run_rckalign_blocked: need at least two chains");
   if (opts.slave_count < 1 ||
       opts.slave_count + 1 > opts.runtime.chip.core_count())
-    throw std::invalid_argument("run_rckalign_blocked: slave_count out of range");
+    throw AlignError("run_rckalign_blocked: slave_count out of range");
   if (opts.cache != nullptr && opts.cache->chain_count() != dataset.size())
-    throw std::invalid_argument("run_rckalign_blocked: cache/dataset mismatch");
+    throw AlignError("run_rckalign_blocked: cache/dataset mismatch");
 
   const auto blocks = plan_blocks(dataset, opts.master_memory_bytes);
   std::vector<std::uint64_t> block_bytes(blocks.size(), 0);

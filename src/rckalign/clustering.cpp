@@ -1,4 +1,5 @@
 #include "rck/rckalign/clustering.hpp"
+#include "rck/rckalign/error.hpp"
 
 #include <algorithm>
 #include <limits>
@@ -100,7 +101,7 @@ ClusterResult cluster_rows(std::size_t n, const std::vector<PairRow>& rows,
   std::vector<double> dist(n * n, 1.0);
   for (std::size_t i = 0; i < n; ++i) dist[i * n + i] = 0.0;
   for (const PairRow& r : rows) {
-    if (r.i >= n || r.j >= n) throw std::out_of_range("cluster_rows: bad pair index");
+    if (r.i >= n || r.j >= n) throw AlignError("cluster_rows: bad pair index");
     const double tm = std::max(r.tm_norm_a, r.tm_norm_b);
     dist[r.i * n + r.j] = 1.0 - tm;
     dist[r.j * n + r.i] = 1.0 - tm;

@@ -1,4 +1,5 @@
 #include "rck/rckalign/cost_cache.hpp"
+#include "rck/rckalign/error.hpp"
 
 #include <atomic>
 #include <stdexcept>
@@ -8,7 +9,7 @@ namespace rck::rckalign {
 
 std::size_t PairCache::tri_index(std::uint32_t i, std::uint32_t j, std::size_t n) {
   if (i == j || i >= n || j >= n)
-    throw std::out_of_range("PairCache: bad pair indices");
+    throw AlignError("PairCache: bad pair indices");
   if (i > j) std::swap(i, j);
   // Index of (i, j), i < j, in row-major upper-triangle enumeration.
   return static_cast<std::size_t>(j) * (j - 1) / 2 + i;

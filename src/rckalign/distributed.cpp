@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "rck/rckalign/app.hpp"
+#include "rck/rckalign/error.hpp"
 
 namespace rck::rckalign {
 
@@ -13,9 +14,9 @@ DistributedRun run_distributed(const std::vector<bio::Protein>& dataset,
                                const PairCache& cache, int nslaves,
                                const scc::CoreTimingModel& core_model,
                                const DistributedParams& params) {
-  if (nslaves < 1) throw std::invalid_argument("run_distributed: nslaves >= 1");
+  if (nslaves < 1) throw AlignError("run_distributed: nslaves >= 1");
   if (cache.chain_count() != dataset.size())
-    throw std::invalid_argument("run_distributed: cache/dataset mismatch");
+    throw AlignError("run_distributed: cache/dataset mismatch");
   // Reject non-finite / out-of-range parameters up front: a zero bandwidth
   // or negative overhead would otherwise flow through from_seconds and yield
   // NaN/negative simulated times silently. The negated comparisons are
@@ -24,13 +25,13 @@ DistributedRun run_distributed(const std::vector<bio::Protein>& dataset,
       !(params.master_dispatch_s >= 0.0) || !std::isfinite(params.master_dispatch_s) ||
       !(params.nfs_request_overhead_s >= 0.0) ||
       !std::isfinite(params.nfs_request_overhead_s))
-    throw std::invalid_argument(
+    throw AlignError(
         "run_distributed: overheads must be finite and non-negative");
   if (!(params.nfs_bytes_per_s > 0.0) || !std::isfinite(params.nfs_bytes_per_s))
-    throw std::invalid_argument("run_distributed: nfs_bytes_per_s must be positive");
+    throw AlignError("run_distributed: nfs_bytes_per_s must be positive");
   if (!(params.pdb_bytes_per_residue >= 0.0) ||
       !std::isfinite(params.pdb_bytes_per_residue))
-    throw std::invalid_argument(
+    throw AlignError(
         "run_distributed: pdb_bytes_per_residue must be finite and non-negative");
 
   using noc::SimTime;

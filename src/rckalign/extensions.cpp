@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "rck/rcce/rcce.hpp"
+#include "rck/rckalign/error.hpp"
 #include "rck/rckskel/skeletons.hpp"
 
 #include "pair_exec.hpp"
@@ -41,13 +42,13 @@ std::vector<rckskel::Job> make_jobs(const std::vector<bio::Protein>& dataset,
 }  // namespace
 
 McPscRun run_mcpsc(const std::vector<bio::Protein>& dataset, const McPscOptions& opts) {
-  if (dataset.size() < 2) throw std::invalid_argument("run_mcpsc: need >= 2 chains");
+  if (dataset.size() < 2) throw AlignError("run_mcpsc: need >= 2 chains");
   const int total_slaves = opts.tmalign_slaves + opts.rmsd_slaves;
   if (opts.tmalign_slaves < 1 || opts.rmsd_slaves < 1 ||
       total_slaves + 1 > opts.runtime.chip.core_count())
-    throw std::invalid_argument("run_mcpsc: bad slave partition");
+    throw AlignError("run_mcpsc: bad slave partition");
   if (opts.cache != nullptr && opts.cache->chain_count() != dataset.size())
-    throw std::invalid_argument("run_mcpsc: cache/dataset mismatch");
+    throw AlignError("run_mcpsc: cache/dataset mismatch");
 
   McPscRun run;
   scc::SpmdRuntime rt(opts.runtime);
@@ -102,18 +103,18 @@ McPscRun run_mcpsc(const std::vector<bio::Protein>& dataset, const McPscOptions&
 MultiMethodRun run_multi_method(const std::vector<bio::Protein>& dataset,
                                 const MultiMethodOptions& opts) {
   if (dataset.size() < 2)
-    throw std::invalid_argument("run_multi_method: need >= 2 chains");
+    throw AlignError("run_multi_method: need >= 2 chains");
   if (opts.groups.empty())
-    throw std::invalid_argument("run_multi_method: no method groups");
+    throw AlignError("run_multi_method: no method groups");
   int total_slaves = 0;
   for (const MethodGroup& g : opts.groups) {
-    if (g.slaves < 1) throw std::invalid_argument("run_multi_method: empty group");
+    if (g.slaves < 1) throw AlignError("run_multi_method: empty group");
     total_slaves += g.slaves;
   }
   if (total_slaves + 1 > opts.runtime.chip.core_count())
-    throw std::invalid_argument("run_multi_method: does not fit on chip");
+    throw AlignError("run_multi_method: does not fit on chip");
   if (opts.cache != nullptr && opts.cache->chain_count() != dataset.size())
-    throw std::invalid_argument("run_multi_method: cache/dataset mismatch");
+    throw AlignError("run_multi_method: cache/dataset mismatch");
 
   MultiMethodRun run;
   run.results.resize(opts.groups.size());
@@ -236,15 +237,15 @@ std::vector<rckskel::JobResult> unpack_results(const bio::Bytes& raw) {
 
 HierarchyRun run_hierarchical(const std::vector<bio::Protein>& dataset,
                               const HierarchyOptions& opts) {
-  if (dataset.size() < 2) throw std::invalid_argument("run_hierarchical: need >= 2 chains");
+  if (dataset.size() < 2) throw AlignError("run_hierarchical: need >= 2 chains");
   const int g = opts.group_count;
   if (g < 1 || opts.slave_count < g)
-    throw std::invalid_argument("run_hierarchical: need at least one slave per group");
+    throw AlignError("run_hierarchical: need at least one slave per group");
   const int nranks = 1 + g + opts.slave_count;
   if (nranks > opts.runtime.chip.core_count())
-    throw std::invalid_argument("run_hierarchical: does not fit on chip");
+    throw AlignError("run_hierarchical: does not fit on chip");
   if (opts.cache != nullptr && opts.cache->chain_count() != dataset.size())
-    throw std::invalid_argument("run_hierarchical: cache/dataset mismatch");
+    throw AlignError("run_hierarchical: cache/dataset mismatch");
 
   // Split leaf slaves across groups as evenly as possible.
   std::vector<std::vector<int>> group_slaves(static_cast<std::size_t>(g));

@@ -81,6 +81,9 @@ struct RckAlignRun {
   /// Observability recorder (null unless opts.runtime.obs is active). Kept
   /// alive past the runtime so sinks and tests can read metrics + trace.
   std::shared_ptr<obs::Recorder> obs;
+  /// Race checker (null unless opts.runtime.chk is active). Kept alive past
+  /// the runtime so callers can inspect reports() / write report_json().
+  std::shared_ptr<chk::Checker> chk;
 };
 
 /// Run the all-vs-all task over `dataset` on the simulated SCC.

@@ -9,6 +9,7 @@
 #include "rck/core/rmsd_method.hpp"
 #include "rck/core/tmalign.hpp"
 #include "rck/rcce/rcce.hpp"
+#include "rck/rckalign/error.hpp"
 #include "rck/rckskel/skeletons.hpp"
 
 namespace rck::rckalign {
@@ -72,11 +73,11 @@ bio::Bytes execute_query_job(rcce::Comm& comm, const bio::Bytes& payload,
 OneVsAllRun run_one_vs_all(const bio::Protein& query,
                            const std::vector<bio::Protein>& database,
                            const OneVsAllOptions& opts) {
-  if (database.empty()) throw std::invalid_argument("run_one_vs_all: empty database");
-  if (opts.methods.empty()) throw std::invalid_argument("run_one_vs_all: no methods");
+  if (database.empty()) throw AlignError("run_one_vs_all: empty database");
+  if (opts.methods.empty()) throw AlignError("run_one_vs_all: no methods");
   if (opts.slave_count < 1 ||
       opts.slave_count + 1 > opts.runtime.chip.core_count())
-    throw std::invalid_argument("run_one_vs_all: slave_count out of range");
+    throw AlignError("run_one_vs_all: slave_count out of range");
 
   OneVsAllRun run;
   run.ranked.resize(opts.methods.size());

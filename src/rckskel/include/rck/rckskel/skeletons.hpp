@@ -24,11 +24,39 @@
 #include <span>
 #include <vector>
 
+#include "rck/error.hpp"
 #include "rck/noc/sim_time.hpp"
 #include "rck/rcce/rcce.hpp"
 #include "rck/rckskel/job.hpp"
 
 namespace rck::rckskel {
+
+/// Invalid skeleton configuration (empty UE sets, master among slaves,
+/// duplicate job ids, undispatchable task trees). Code "rck.skel.invalid".
+class SkelError : public rck::Error {
+ public:
+  explicit SkelError(const std::string& message)
+      : Error("rck.skel.invalid", message) {}
+};
+
+/// The wire protocol between master and slaves was violated (unexpected
+/// message type, result for an unknown job, duplicate READY). Indicates a
+/// skeleton bug or a mismatched worker, not a recoverable fault.
+/// Code "rck.skel.protocol".
+class SkelProtocolError : public rck::Error {
+ public:
+  explicit SkelProtocolError(const std::string& message)
+      : Error("rck.skel.protocol", message) {}
+};
+
+/// The fault-tolerant farm could not complete the job set within its fault
+/// budget (no live slaves remain, a job exceeded max_attempts, nobody
+/// answered READY). Code "rck.skel.farm_failed".
+class FarmFailedError : public rck::Error {
+ public:
+  explicit FarmFailedError(const std::string& message)
+      : Error("rck.skel.farm_failed", message) {}
+};
 
 /// Environment wrapper: the "convenient wrappers for common operations"
 /// (init, core count, debug levels) the paper lists as part of rckskel.

@@ -4,7 +4,7 @@
 #include <cstdio>
 #include <deque>
 #include <stdexcept>
-#include <unordered_map>
+#include <map>
 
 namespace rck::rckskel {
 
@@ -53,7 +53,7 @@ void send_terminate(rcce::Comm& comm, std::span<const int> ues) {
 JobResult recv_result(rcce::Comm& comm, int ue) {
   Message msg = decode_message(comm.recv(ue));
   if (msg.type != MsgType::Result)
-    throw std::runtime_error("rckskel: expected RESULT from UE " + std::to_string(ue));
+    throw SkelProtocolError("rckskel: expected RESULT from UE " + std::to_string(ue));
   return JobResult{msg.job_id, ue, std::move(msg.payload)};
 }
 
@@ -77,7 +77,7 @@ int flatten(const Task& task, std::span<const int> inherited_ues,
   int last = after;
   if (!task.jobs.empty()) {
     if (ues.empty())
-      throw std::invalid_argument("rckskel: task with jobs has no UEs");
+      throw SkelError("rckskel: task with jobs has no UEs");
     FlatGroup g;
     g.ues.assign(ues.begin(), ues.end());
     g.seq = task.mode == Task::Mode::Seq;
@@ -105,7 +105,7 @@ bool group_complete(const std::vector<FlatGroup>& groups, int idx) {
 
 std::vector<JobResult> seq(rcce::Comm& comm, std::span<const int> ues,
                            std::span<const Job> jobs) {
-  if (ues.empty()) throw std::invalid_argument("seq: no UEs");
+  if (ues.empty()) throw SkelError("seq: no UEs");
   std::vector<JobResult> results;
   results.reserve(jobs.size());
   for (std::size_t k = 0; k < jobs.size(); ++k) {
@@ -117,7 +117,7 @@ std::vector<JobResult> seq(rcce::Comm& comm, std::span<const int> ues,
 }
 
 void par(rcce::Comm& comm, std::span<const int> ues, std::span<const Job> jobs) {
-  if (ues.empty()) throw std::invalid_argument("par: no UEs");
+  if (ues.empty()) throw SkelError("par: no UEs");
   for (std::size_t k = 0; k < jobs.size(); ++k)
     comm.send(ues[k % ues.size()], encode_job(jobs[k]));
 }
@@ -147,7 +147,7 @@ std::vector<JobResult> farm(rcce::Comm& comm, const Task& task, const FarmOption
     total += g.jobs.size();
     for (int ue : g.ues) {
       if (ue == comm.ue())
-        throw std::invalid_argument("farm: master UE cannot be a slave");
+        throw SkelError("farm: master UE cannot be a slave");
       slaves.push_back(ue);
     }
     if (opts.lpt_order)
@@ -156,7 +156,7 @@ std::vector<JobResult> farm(rcce::Comm& comm, const Task& task, const FarmOption
   }
   std::sort(slaves.begin(), slaves.end());
   slaves.erase(std::unique(slaves.begin(), slaves.end()), slaves.end());
-  if (slaves.empty()) throw std::invalid_argument("farm: no slave UEs");
+  if (slaves.empty()) throw SkelError("farm: no slave UEs");
 
   // check_ready: wait for every slave's READY handshake.
   if (opts.wait_ready) {
@@ -169,11 +169,11 @@ std::vector<JobResult> farm(rcce::Comm& comm, const Task& task, const FarmOption
       if (seen[idx]) {
         // A RESULT can't arrive before any job was sent; this must be a
         // protocol violation.
-        throw std::runtime_error("farm: duplicate READY from UE " + std::to_string(ue));
+        throw SkelProtocolError("farm: duplicate READY from UE " + std::to_string(ue));
       }
       const Message msg = decode_message(comm.recv(ue));
       if (msg.type != MsgType::Ready)
-        throw std::runtime_error("farm: expected READY from UE " + std::to_string(ue));
+        throw SkelProtocolError("farm: expected READY from UE " + std::to_string(ue));
       seen[idx] = 1;
       ++ready;
     }
@@ -223,7 +223,7 @@ std::vector<JobResult> farm(rcce::Comm& comm, const Task& task, const FarmOption
     for (std::size_t si = 0; si < slaves.size(); ++si)
       if (inflight[si] != -1) busy.push_back(slaves[si]);
     if (busy.empty())
-      throw std::logic_error("farm: jobs remain but nothing dispatchable");
+      throw SkelError("farm: jobs remain but nothing dispatchable");
     const int ue = comm.wait_any(busy);
     JobResult res = recv_result(comm, ue);
     const auto it = std::lower_bound(slaves.begin(), slaves.end(), ue);
@@ -252,10 +252,10 @@ void terminate(rcce::Comm& comm, std::span<const int> ues) {
 
 std::vector<JobResult> pipe(rcce::Comm& comm, std::span<const int> stage_ues,
                             std::span<const Job> items) {
-  if (stage_ues.empty()) throw std::invalid_argument("pipe: no stages");
+  if (stage_ues.empty()) throw SkelError("pipe: no stages");
   for (int ue : stage_ues)
     if (ue == comm.ue())
-      throw std::invalid_argument("pipe: master UE cannot be a stage");
+      throw SkelError("pipe: master UE cannot be a stage");
 
   const int first = stage_ues.front();
   const int last = stage_ues.back();
@@ -270,13 +270,13 @@ std::vector<JobResult> pipe(rcce::Comm& comm, std::span<const int> stage_ues,
   for (std::size_t k = 0; k < items.size(); ++k) {
     Message msg = decode_message(comm.recv(last));
     if (msg.type != MsgType::Job)
-      throw std::runtime_error("pipe: expected item from last stage");
+      throw SkelProtocolError("pipe: expected item from last stage");
     results.push_back(JobResult{msg.job_id, last, std::move(msg.payload)});
   }
   // Drain the propagated TERMINATE so the master's inbox ends clean.
   const Message fin = decode_message(comm.recv(last));
   if (fin.type != MsgType::Terminate)
-    throw std::runtime_error("pipe: expected trailing TERMINATE");
+    throw SkelProtocolError("pipe: expected trailing TERMINATE");
   return results;
 }
 
@@ -296,7 +296,7 @@ void pipe_stage(rcce::Comm& comm, int upstream_ue, int downstream_ue,
         comm.send(downstream_ue, encode_terminate());
         return;
       default:
-        throw std::runtime_error("pipe_stage: unexpected message type");
+        throw SkelProtocolError("pipe_stage: unexpected message type");
     }
   }
 }
@@ -327,7 +327,7 @@ void farm_slave(rcce::Comm& comm, int master_ue, const Worker& worker,
       case MsgType::Terminate:
         return;
       default:
-        throw std::runtime_error("farm_slave: unexpected message type");
+        throw SkelProtocolError("farm_slave: unexpected message type");
     }
   }
 }
@@ -346,7 +346,7 @@ std::vector<JobResult> farm_ft(rcce::Comm& comm, const Task& task,
     total += g.jobs.size();
     for (int ue : g.ues) {
       if (ue == comm.ue())
-        throw std::invalid_argument("farm_ft: master UE cannot be a slave");
+        throw SkelError("farm_ft: master UE cannot be a slave");
       slaves.push_back(ue);
     }
     if (opts.base.lpt_order)
@@ -355,7 +355,7 @@ std::vector<JobResult> farm_ft(rcce::Comm& comm, const Task& task,
   }
   std::sort(slaves.begin(), slaves.end());
   slaves.erase(std::unique(slaves.begin(), slaves.end()), slaves.end());
-  if (slaves.empty()) throw std::invalid_argument("farm_ft: no slave UEs");
+  if (slaves.empty()) throw SkelError("farm_ft: no slave UEs");
   const auto slave_index = [&](int ue) {
     return static_cast<std::size_t>(
         std::lower_bound(slaves.begin(), slaves.end(), ue) - slaves.begin());
@@ -375,13 +375,12 @@ std::vector<JobResult> farm_ft(rcce::Comm& comm, const Task& task,
   };
   std::vector<Tracked> tracked;
   tracked.reserve(total);
-  std::unordered_map<std::uint64_t, std::size_t> by_id;  // lookups only
-  by_id.reserve(total);
+  std::map<std::uint64_t, std::size_t> by_id;  // ordered: deterministic iteration
   std::vector<std::deque<std::size_t>> pending(groups.size());
   for (std::size_t gi = 0; gi < groups.size(); ++gi) {
     for (const Job* j : groups[gi].jobs) {
       if (!by_id.emplace(j->id, tracked.size()).second)
-        throw std::invalid_argument("farm_ft: duplicate job id " +
+        throw SkelError("farm_ft: duplicate job id " +
                                     std::to_string(j->id));
       pending[gi].push_back(tracked.size());
       tracked.push_back(Tracked{j, gi, 0, -1, 0, 0, false});
@@ -431,7 +430,7 @@ std::vector<JobResult> farm_ft(rcce::Comm& comm, const Task& task,
       try {
         const Message msg = decode_message(comm.recv(ue));
         if (msg.type != MsgType::Ready)
-          throw std::runtime_error("farm_ft: expected READY from UE " +
+          throw SkelProtocolError("farm_ft: expected READY from UE " +
                                    std::to_string(ue));
       } catch (const bio::WireError&) {
         ++rep.corrupt_frames;
@@ -439,7 +438,7 @@ std::vector<JobResult> farm_ft(rcce::Comm& comm, const Task& task,
       seen[si] = 1;
     }
     if (rep.dead_ues.size() == slaves.size())
-      throw std::runtime_error("farm_ft: no slave answered READY");
+      throw FarmFailedError("farm_ft: no slave answered READY");
   }
 
   const auto lease_for = [&](const Tracked& t) {
@@ -489,10 +488,18 @@ std::vector<JobResult> farm_ft(rcce::Comm& comm, const Task& task,
           ++rep.attempts;
           if (t.attempts > 1) {
             ++rep.retries;
-            if (t.slave != static_cast<int>(si)) ++rep.reassignments;
+            if (t.slave != static_cast<int>(si)) {
+              ++rep.reassignments;
+              // Annotate the old slave's result flow: if a stale frame from
+              // the previous lease holder later races the replacement's
+              // result, the report's flag chain shows this hand-off.
+              if (t.slave >= 0)
+                comm.chk_note(slaves[static_cast<std::size_t>(t.slave)],
+                              comm.ue(), "farm_ft.reassign", t.job->id);
+            }
           }
           if (t.attempts > opts.max_attempts)
-            throw std::runtime_error("farm_ft: job " + std::to_string(t.job->id) +
+            throw FarmFailedError("farm_ft: job " + std::to_string(t.job->id) +
                                      " exceeded max_attempts");
           comm.send(slaves[si], encode_job(*t.job));
           t.slave = static_cast<int>(si);
@@ -531,7 +538,7 @@ std::vector<JobResult> farm_ft(rcce::Comm& comm, const Task& task,
       if (next_deadline == 0 || d < next_deadline) next_deadline = d;
     }
     if (busy.empty())
-      throw std::runtime_error(
+      throw FarmFailedError(
           "farm_ft: jobs remain but no live slave may run them");
 
     const noc::SimTime now = comm.ctx().now();
@@ -563,14 +570,14 @@ std::vector<JobResult> farm_ft(rcce::Comm& comm, const Task& task,
         continue;
       }
       if (msg.type != MsgType::Result)
-        throw std::runtime_error("farm_ft: unexpected message type from UE " +
+        throw SkelProtocolError("farm_ft: unexpected message type from UE " +
                                  std::to_string(ue));
       auto& q = outstanding[si];
       const auto qit = std::find(q.begin(), q.end(), msg.job_id);
       if (qit != q.end()) q.erase(qit);
       const auto it = by_id.find(msg.job_id);
       if (it == by_id.end())
-        throw std::runtime_error("farm_ft: result for unknown job " +
+        throw SkelProtocolError("farm_ft: result for unknown job " +
                                  std::to_string(msg.job_id));
       Tracked& t = tracked[it->second];
       if (t.done) {
@@ -585,10 +592,10 @@ std::vector<JobResult> farm_ft(rcce::Comm& comm, const Task& task,
       for (std::size_t sj = 0; sj < slaves.size(); ++sj)
         if (slave_job[sj] == static_cast<int>(it->second)) slave_job[sj] = -1;
       if (h) {
-        const noc::SimTime now = comm.ctx().now();
+        const noc::SimTime t_done = comm.ctx().now();
         h.add(h.ids().farm_results);
-        h.async_end(obs::Lane::Farm, h.ids().n_job, now, msg.job_id);
-        h.observe(h.ids().farm_job_latency_ps, now - t.dispatched_at);
+        h.async_end(obs::Lane::Farm, h.ids().n_job, t_done, msg.job_id);
+        h.observe(h.ids().farm_job_latency_ps, t_done - t.dispatched_at);
       }
       results.push_back(JobResult{msg.job_id, ue, std::move(msg.payload)});
     } else {
@@ -603,6 +610,7 @@ std::vector<JobResult> farm_ft(rcce::Comm& comm, const Task& task,
         if (t.lease_deadline > t_now) continue;
         ++rep.lease_expiries;
         rep.wasted += t_now - t.dispatched_at;
+        comm.chk_note(slaves[si], comm.ue(), "farm_ft.lease_expiry", t.job->id);
         if (h) {
           h.add(h.ids().farm_lease_expiries);
           h.instant(obs::Lane::Farm, h.ids().n_lease_expiry, t_now, t.job->id);

@@ -7,12 +7,12 @@
 namespace rck::scc {
 
 int SccConfig::tile_of_core(int core) const {
-  if (core < 0 || core >= core_count()) throw std::out_of_range("SccConfig: bad core id");
+  if (core < 0 || core >= core_count()) throw ChipError("SccConfig: bad core id");
   return core / cores_per_tile;
 }
 
 std::string SccConfig::core_name(int core) const {
-  if (core < 0 || core >= core_count()) throw std::out_of_range("SccConfig: bad core id");
+  if (core < 0 || core >= core_count()) throw ChipError("SccConfig: bad core id");
   char buf[16];
   std::snprintf(buf, sizeof buf, "rck%02d", core);
   return buf;

@@ -23,7 +23,7 @@ char gantt_char(TraceEvent::Kind kind) noexcept {
 std::string render_gantt(const std::vector<TraceEvent>& trace, int nranks,
                          noc::SimTime makespan, const GanttOptions& opts) {
   if (nranks < 1 || opts.width < 1)
-    throw std::invalid_argument("render_gantt: bad dimensions");
+    throw ChipError("render_gantt: bad dimensions");
   const std::size_t width = static_cast<std::size_t>(opts.width);
   const double span = makespan > 0 ? static_cast<double>(makespan) : 1.0;
 

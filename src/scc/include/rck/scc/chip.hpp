@@ -10,10 +10,19 @@
 #include <string>
 #include <vector>
 
+#include "rck/error.hpp"
 #include "rck/noc/mesh.hpp"
 #include "rck/noc/sim_time.hpp"
 
 namespace rck::scc {
+
+/// Invalid chip-model input (core id out of range, malformed trace).
+/// Code "rck.scc.invalid".
+class ChipError : public rck::Error {
+ public:
+  explicit ChipError(const std::string& message)
+      : Error("rck.scc.invalid", message) {}
+};
 
 struct DramParams {
   noc::SimTime access_latency = 120 * noc::kPsPerNs;  ///< per request

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "rck/bio/serialize.hpp"
+#include "rck/chk/chk.hpp"
 #include "rck/error.hpp"
 #include "rck/noc/event_queue.hpp"
 #include "rck/noc/network.hpp"
@@ -188,6 +189,13 @@ struct RuntimeConfig {
   /// obs::Recorder is built for the run (and enable_trace above is forced
   /// on so the per-core activity lanes can be derived).
   obs::Config obs{};
+  /// Protocol race detection (vector-clock MPB/flag checker, see DESIGN.md
+  /// "Analysis & invariants"). Off by default: no checker is constructed
+  /// and every hook short-circuits. When active the serial scheduler is
+  /// forced (every operation is an interception point, so host-parallel
+  /// windows would buy nothing; simulated results are identical either
+  /// way). A clean chk run stays bit-identical to a chk-off run.
+  chk::Config chk{};
 };
 
 /// One recorded activity interval of a core (when tracing is enabled).
@@ -291,6 +299,29 @@ class CoreCtx {
   /// invocation. Recording through it never advances simulated time.
   obs::Handle obs() const noexcept;
 
+  // -- race-detector annotations (no-ops when RuntimeConfig::chk is off) --
+  // The runtime instruments its own send/recv/probe/barrier protocol
+  // automatically; these raw hooks exist for code that models additional
+  // MPB/flag traffic on top of it (skeleton protocols, tests seeding known
+  // races). None of them advance simulated time.
+
+  /// Record a raw write of [lo, lo+len) in `mpb_owner`'s MPB slice space.
+  void chk_mpb_write(int mpb_owner, std::uint32_t lo, std::uint32_t len,
+                     std::string_view site, int flow_src = -1,
+                     int flow_dst = -1);
+  /// Record a raw read of [lo, lo+len) from `mpb_owner`'s MPB slice space.
+  void chk_mpb_read(int mpb_owner, std::uint32_t lo, std::uint32_t len,
+                    std::string_view site, int flow_src = -1,
+                    int flow_dst = -1);
+  /// Record an RCCE flag publish on flow (src -> dst) by this core.
+  void chk_flag_set(int src, int dst, std::string_view site);
+  /// Record an RCCE flag test on flow (src -> dst); `observed_set` mirrors
+  /// what the caller saw (only a successful test creates an ordering edge).
+  void chk_flag_test(int src, int dst, bool observed_set, std::string_view site);
+  /// Record a protocol annotation (lease expiry, job reassignment) on flow
+  /// (src -> dst); shows up in race reports' flag chains, creates no edge.
+  void chk_note(int src, int dst, std::string_view site, std::uint64_t id = 0);
+
  private:
   friend class SpmdRuntime;
   CoreCtx(SpmdRuntime& rt, CoreState& st) : rt_(&rt), st_(&st) {}
@@ -332,6 +363,10 @@ class SpmdRuntime {
   /// active). Shared so callers can keep metrics/trace alive after the
   /// runtime is destroyed; populated fully only once run() has returned.
   std::shared_ptr<obs::Recorder> obs() const noexcept;
+
+  /// The run's race checker (null unless RuntimeConfig::chk is active).
+  /// Shared so callers can inspect reports after the runtime is destroyed.
+  std::shared_ptr<chk::Checker> chk() const noexcept;
 
  private:
   friend class CoreCtx;

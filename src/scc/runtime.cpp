@@ -29,6 +29,16 @@ constexpr noc::SimTime kInf = ~noc::SimTime{0};
 /// length, tag words RCCE puts in the MPB).
 constexpr std::uint64_t kMsgHeaderBytes = 16;
 
+/// xorshift64* step for the chk schedule perturbation: hand-rolled so the
+/// perturbed dispatch order is a pure function of the seed, independent of
+/// any library's generator implementation.
+std::uint64_t chk_shuffle_next(std::uint64_t& s) noexcept {
+  s ^= s >> 12;
+  s ^= s << 25;
+  s ^= s >> 27;
+  return s * 0x2545F4914F6CDD1DULL;
+}
+
 }  // namespace
 
 struct Message {
@@ -137,6 +147,16 @@ struct SpmdRuntime::Impl {
   std::vector<std::uint64_t> flow_sent;  // per (src, dst) message counters
   std::uint64_t dead_letters = 0;        // deliveries dropped at a dead core
 
+  // Race detection (null unless cfg.chk is active). chk forces the serial
+  // scheduler, so every checker call happens with all other program threads
+  // parked — the checker needs no locking of its own.
+  std::shared_ptr<chk::Checker> chk;
+  struct ChkSites {
+    chk::SiteId send = 0, recv = 0, recv_timeout = 0, probe = 0, wait_any = 0,
+                wait_any_timeout = 0;
+  } chk_sites;
+  std::uint64_t chk_rng = 0;  // schedule-perturbation state; 0 = off
+
   void record(int rank, TraceEvent::Kind kind, noc::SimTime start, noc::SimTime end) {
     if (cfg.enable_trace && end > start) trace.push_back({rank, kind, start, end});
   }
@@ -156,7 +176,7 @@ struct SpmdRuntime::Impl {
   /// `released` reflects the kind of the *new* grant.
   void yield(CoreState& st, std::unique_lock<std::mutex>& lock,
              CoreState::Status status) {
-    if (st.dead) throw CrashUnwind{};
+    if (st.dead) throw CrashUnwind{};  // rck-lint: allow(throw-taxonomy)
     st.released = false;
     st.status = status;
     if (status == CoreState::Status::Blocked) st.blocked_since = st.vtime;
@@ -164,8 +184,8 @@ struct SpmdRuntime::Impl {
     st.cv.wait(lock, [&] {
       return st.status == CoreState::Status::Running || shutdown || st.dead;
     });
-    if (shutdown) throw AbortSim{};
-    if (st.dead) throw CrashUnwind{};
+    if (shutdown) throw AbortSim{};  // rck-lint: allow(throw-taxonomy)
+    if (st.dead) throw CrashUnwind{};  // rck-lint: allow(throw-taxonomy)
   }
 
   /// A window-released core ends its run-ahead (next operation needs the
@@ -179,8 +199,8 @@ struct SpmdRuntime::Impl {
     st.cv.wait(lock, [&] {
       return st.status == CoreState::Status::Running || shutdown || st.dead;
     });
-    if (shutdown) throw AbortSim{};
-    if (st.dead) throw CrashUnwind{};
+    if (shutdown) throw AbortSim{};  // rck-lint: allow(throw-taxonomy)
+    if (st.dead) throw CrashUnwind{};  // rck-lint: allow(throw-taxonomy)
   }
 
   /// Gate at the top of every communication-class operation: such operations
@@ -354,6 +374,62 @@ struct SpmdRuntime::Impl {
     CoreState* st;
   };
 
+  /// The single "is a frame pending from src?" primitive: every probe-style
+  /// inbox check — probe(), the wait_any sweeps and the recv dequeue tests,
+  /// timed or not — funnels through here, so the race checker observes one
+  /// coherent RCCE flag_test stream (a successful test is the only event
+  /// that orders a later slice read after the sender's write). Lock held.
+  bool probe_pending(CoreState& st, int src, chk::SiteId site) {
+    const auto it = st.inbox.find(src);
+    const bool pending = it != st.inbox.end() && !it->second.empty();
+    if (chk) chk->flag_test(st.rank, src, st.rank, pending, st.vtime, site);
+    return pending;
+  }
+
+  /// One round-robin polling sweep over `srcs` (the master's polling loop):
+  /// returns the first rank with a pending frame — advancing the fairness
+  /// cursor past it — or -1 when none is. Shared by the timed and untimed
+  /// wait_any. Lock must be held.
+  int sweep_pending(CoreState& st, std::span<const int> srcs, chk::SiteId site) {
+    for (std::size_t k = 0; k < srcs.size(); ++k) {
+      const std::size_t idx = (st.rr_cursor + k) % srcs.size();
+      if (probe_pending(st, srcs[idx], site)) {
+        st.rr_cursor = (idx + 1) % srcs.size();
+        return srcs[idx];
+      }
+    }
+    return -1;
+  }
+
+  /// Dequeue the head-of-line frame from `src` (the caller just saw it
+  /// pending via probe_pending) and account for it: receive counters, MPB
+  /// occupancy sample, and the checker's slice read. `bytes` returns the
+  /// framed size; the caller charges the endpoint occupancy itself (the
+  /// timed and untimed receives charge differently). Lock must be held.
+  Message take_message(CoreState& st, int src, chk::SiteId site,
+                       std::uint64_t& bytes) {
+    std::deque<Message>& q = st.inbox[src];
+    Message msg = std::move(q.front());
+    q.pop_front();
+    // Delivery order guarantees arrival <= vtime here; keep the max as a
+    // belt-and-braces invariant.
+    st.vtime = std::max(st.vtime, msg.arrival);
+    bytes = msg.payload.size() + kMsgHeaderBytes;
+    st.report.messages_received += 1;
+    st.report.bytes_received += bytes;
+    if (rec) {
+      mpb_bytes[static_cast<std::size_t>(st.rank)] -= bytes;
+      sample_mpb(st.rank, st.vtime);
+    }
+    if (chk) {
+      const auto len = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(bytes, chk->slice_len()));
+      chk->mpb_read(st.rank, st.rank, chk->slice_lo(src), len, st.vtime, site,
+                    src, st.rank);
+    }
+    return msg;
+  }
+
   void op_charge(CoreState& st, noc::SimTime dt) {
     std::unique_lock lock(m);
     advance_compute(st, lock, dt);
@@ -457,6 +533,17 @@ struct SpmdRuntime::Impl {
         disposition);
     st.report.messages_sent += 1;
     st.report.bytes_sent += bytes;
+    if (chk) {
+      // RCCE discipline: the sender writes the frame into its slice of the
+      // receiver's MPB, then publishes it by setting the flow's flag. A
+      // dropped/corrupted frame still performs both on real silicon — only
+      // the receiver-side observation differs.
+      const auto len = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(bytes, chk->slice_len()));
+      chk->mpb_write(st.rank, dst, chk->slice_lo(st.rank), len, st.vtime,
+                     chk_sites.send, st.rank, dst);
+      chk->flag_set(st.rank, st.rank, dst, st.vtime, chk_sites.send);
+    }
     // Endpoint occupancy only advances this core's own clock: release the
     // in-op marker so the park at this yield is window-eligible (the typical
     // slave runs its next compute kernel right after send returns).
@@ -476,20 +563,9 @@ struct SpmdRuntime::Impl {
     std::unique_lock lock(m);
     for (;;) {
       while (st.released && st.vtime >= st.horizon) park_released(st, lock);
-      std::deque<Message>& q = st.inbox[src];
-      if (!q.empty()) {
-        Message msg = std::move(q.front());
-        q.pop_front();
-        // Delivery order guarantees arrival <= vtime here; keep the max as a
-        // belt-and-braces invariant.
-        st.vtime = std::max(st.vtime, msg.arrival);
-        const std::uint64_t bytes = msg.payload.size() + kMsgHeaderBytes;
-        st.report.messages_received += 1;
-        st.report.bytes_received += bytes;
-        if (rec) {
-          mpb_bytes[static_cast<std::size_t>(st.rank)] -= bytes;
-          sample_mpb(st.rank, st.vtime);
-        }
+      if (probe_pending(st, src, chk_sites.recv)) {
+        std::uint64_t bytes = 0;
+        Message msg = take_message(st, src, chk_sites.recv, bytes);
         advance_compute(st, lock, network.endpoint_occupancy(bytes),
                         TraceEvent::Kind::Recv);
         return std::move(msg.payload);
@@ -513,8 +589,7 @@ struct SpmdRuntime::Impl {
     serialize(st, lock);
     count_poll(st);
     advance(st, lock, cfg.poll_cost, TraceEvent::Kind::Poll);
-    const auto it = st.inbox.find(src);
-    return it != st.inbox.end() && !it->second.empty();
+    return probe_pending(st, src, chk_sites.probe);
   }
 
   int op_wait_any(CoreState& st, std::span<const int> srcs) {
@@ -526,15 +601,8 @@ struct SpmdRuntime::Impl {
     for (;;) {
       count_poll(st);
       advance(st, lock, cfg.poll_cost, TraceEvent::Kind::Poll);  // one polling sweep
-      for (std::size_t k = 0; k < srcs.size(); ++k) {
-        const std::size_t idx = (st.rr_cursor + k) % srcs.size();
-        const int s = srcs[idx];
-        const auto it = st.inbox.find(s);
-        if (it != st.inbox.end() && !it->second.empty()) {
-          st.rr_cursor = (idx + 1) % srcs.size();
-          return s;
-        }
-      }
+      const int s = sweep_pending(st, srcs, chk_sites.wait_any);
+      if (s >= 0) return s;
       st.wait_src = CoreState::kWaitAny;
       st.wait_set.assign(srcs.begin(), srcs.end());
       yield(st, lock, CoreState::Status::Blocked);
@@ -556,18 +624,9 @@ struct SpmdRuntime::Impl {
     serialize(st, lock);
     const noc::SimTime deadline = st.vtime + timeout;
     for (;;) {
-      std::deque<Message>& q = st.inbox[src];
-      if (!q.empty()) {
-        Message msg = std::move(q.front());
-        q.pop_front();
-        st.vtime = std::max(st.vtime, msg.arrival);
-        const std::uint64_t bytes = msg.payload.size() + kMsgHeaderBytes;
-        st.report.messages_received += 1;
-        st.report.bytes_received += bytes;
-        if (rec) {
-          mpb_bytes[static_cast<std::size_t>(st.rank)] -= bytes;
-          sample_mpb(st.rank, st.vtime);
-        }
+      if (probe_pending(st, src, chk_sites.recv_timeout)) {
+        std::uint64_t bytes = 0;
+        Message msg = take_message(st, src, chk_sites.recv_timeout, bytes);
         advance(st, lock, network.endpoint_occupancy(bytes), TraceEvent::Kind::Recv);
         return std::move(msg.payload);
       }
@@ -590,15 +649,8 @@ struct SpmdRuntime::Impl {
     for (;;) {
       count_poll(st);
       advance(st, lock, cfg.poll_cost, TraceEvent::Kind::Poll);  // one polling sweep
-      for (std::size_t k = 0; k < srcs.size(); ++k) {
-        const std::size_t idx = (st.rr_cursor + k) % srcs.size();
-        const int s = srcs[idx];
-        const auto it = st.inbox.find(s);
-        if (it != st.inbox.end() && !it->second.empty()) {
-          st.rr_cursor = (idx + 1) % srcs.size();
-          return s;
-        }
-      }
+      const int s = sweep_pending(st, srcs, chk_sites.wait_any_timeout);
+      if (s >= 0) return s;
       if (st.vtime >= deadline) return -1;
       st.wait_src = CoreState::kWaitAny;
       st.wait_set.assign(srcs.begin(), srcs.end());
@@ -606,6 +658,58 @@ struct SpmdRuntime::Impl {
       yield(st, lock, CoreState::Status::Blocked);
       if (consume_timeout(st)) return -1;
     }
+  }
+
+  // ---- Raw chk annotations (see CoreCtx::chk_*) ----------------------------
+  // All no-ops when the checker is off. chk forces the serial scheduler, so
+  // a program thread calling these between its blocking operations is the
+  // only thread touching the checker; the lock still guards against the
+  // (never-released) window machinery by construction.
+
+  void op_chk_mpb_write(CoreState& st, int owner, std::uint32_t lo,
+                        std::uint32_t len, std::string_view site, int flow_src,
+                        int flow_dst) {
+    if (!chk) return;
+    check_rank(owner, "chk_mpb_write");
+    std::unique_lock lock(m);
+    chk->mpb_write(st.rank, owner, lo, len, st.vtime, chk->site(site), flow_src,
+                   flow_dst);
+  }
+
+  void op_chk_mpb_read(CoreState& st, int owner, std::uint32_t lo,
+                       std::uint32_t len, std::string_view site, int flow_src,
+                       int flow_dst) {
+    if (!chk) return;
+    check_rank(owner, "chk_mpb_read");
+    std::unique_lock lock(m);
+    chk->mpb_read(st.rank, owner, lo, len, st.vtime, chk->site(site), flow_src,
+                  flow_dst);
+  }
+
+  void op_chk_flag_set(CoreState& st, int src, int dst, std::string_view site) {
+    if (!chk) return;
+    check_rank(src, "chk_flag_set");
+    check_rank(dst, "chk_flag_set");
+    std::unique_lock lock(m);
+    chk->flag_set(st.rank, src, dst, st.vtime, chk->site(site));
+  }
+
+  void op_chk_flag_test(CoreState& st, int src, int dst, bool observed_set,
+                        std::string_view site) {
+    if (!chk) return;
+    check_rank(src, "chk_flag_test");
+    check_rank(dst, "chk_flag_test");
+    std::unique_lock lock(m);
+    chk->flag_test(st.rank, src, dst, observed_set, st.vtime, chk->site(site));
+  }
+
+  void op_chk_note(CoreState& st, int src, int dst, std::string_view site,
+                   std::uint64_t id) {
+    if (!chk) return;
+    check_rank(src, "chk_note");
+    check_rank(dst, "chk_note");
+    std::unique_lock lock(m);
+    chk->note(st.rank, src, dst, st.vtime, chk->site(site), id);
   }
 
   bool op_peer_alive(CoreState& st, int rank) {
@@ -638,9 +742,12 @@ struct SpmdRuntime::Impl {
       ++barrier_epoch;
       const noc::SimTime release = barrier_time + cfg.barrier_cost;
       barrier_time = 0;
+      std::vector<int> joined;  // chk: participants released right now
+      if (chk) joined.reserve(static_cast<std::size_t>(nranks));
       for (auto& c : cores) {
         if (c->in_barrier) {
           c->in_barrier = false;
+          if (chk) joined.push_back(c->rank);
           record(c->rank, TraceEvent::Kind::Blocked, c->blocked_since, release);
           c->report.blocked += release - c->blocked_since;
           c->vtime = release;
@@ -650,6 +757,10 @@ struct SpmdRuntime::Impl {
         }
       }
       st.vtime = release;
+      if (chk) {
+        joined.push_back(st.rank);
+        chk->barrier(joined, release);
+      }
       guard.done();  // only the releaser's own park remains
       yield(st, lock, CoreState::Status::Ready);
     }
@@ -774,6 +885,24 @@ int CoreCtx::wait_any_timeout(std::span<const int> srcs, noc::SimTime timeout) {
 }
 bool CoreCtx::peer_alive(int rank) const { return rt_->impl_->op_peer_alive(*st_, rank); }
 void CoreCtx::barrier() { rt_->impl_->op_barrier(*st_); }
+void CoreCtx::chk_mpb_write(int mpb_owner, std::uint32_t lo, std::uint32_t len,
+                            std::string_view site, int flow_src, int flow_dst) {
+  rt_->impl_->op_chk_mpb_write(*st_, mpb_owner, lo, len, site, flow_src, flow_dst);
+}
+void CoreCtx::chk_mpb_read(int mpb_owner, std::uint32_t lo, std::uint32_t len,
+                           std::string_view site, int flow_src, int flow_dst) {
+  rt_->impl_->op_chk_mpb_read(*st_, mpb_owner, lo, len, site, flow_src, flow_dst);
+}
+void CoreCtx::chk_flag_set(int src, int dst, std::string_view site) {
+  rt_->impl_->op_chk_flag_set(*st_, src, dst, site);
+}
+void CoreCtx::chk_flag_test(int src, int dst, bool observed_set,
+                            std::string_view site) {
+  rt_->impl_->op_chk_flag_test(*st_, src, dst, observed_set, site);
+}
+void CoreCtx::chk_note(int src, int dst, std::string_view site, std::uint64_t id) {
+  rt_->impl_->op_chk_note(*st_, src, dst, site, id);
+}
 
 // ---- SpmdRuntime -----------------------------------------------------------
 
@@ -815,6 +944,10 @@ std::shared_ptr<obs::Recorder> SpmdRuntime::obs() const noexcept {
   return impl_->rec;
 }
 
+std::shared_ptr<chk::Checker> SpmdRuntime::chk() const noexcept {
+  return impl_->chk;
+}
+
 obs::Handle CoreCtx::obs() const noexcept { return rt_->impl_->oh(st_->rank); }
 
 HostParallelism HostParallelism::hardware() noexcept {
@@ -830,6 +963,24 @@ noc::SimTime SpmdRuntime::run(int nranks, const Program& program) {
   im.used = true;
   im.nranks = nranks;
   im.parallel = im.cfg.host.threads > 1;
+
+  if (im.cfg.chk.active()) {
+    im.chk = std::make_shared<chk::Checker>(im.cfg.chk, nranks,
+                                            im.cfg.chip.mpb_bytes_per_core);
+    // Fixed interning order keeps site ids (and report bytes) stable.
+    im.chk_sites.send = im.chk->site("scc.send");
+    im.chk_sites.recv = im.chk->site("scc.recv");
+    im.chk_sites.recv_timeout = im.chk->site("scc.recv_timeout");
+    im.chk_sites.probe = im.chk->site("scc.probe");
+    im.chk_sites.wait_any = im.chk->site("scc.wait_any");
+    im.chk_sites.wait_any_timeout = im.chk->site("scc.wait_any_timeout");
+    // Every operation is a checker interception point, so there is no
+    // compute-only stretch left for a parallel window to overlap; forcing
+    // the serial scheduler keeps the checker lock-free, and simulated
+    // results are identical either way (see HostParallelism).
+    im.parallel = false;
+    im.chk_rng = im.cfg.chk.schedule_seed;
+  }
 
   if (im.cfg.obs.active()) {
     im.rec = std::make_shared<obs::Recorder>(im.cfg.obs, nranks);
@@ -1000,6 +1151,21 @@ noc::SimTime SpmdRuntime::run(int nranks, const Program& program) {
         continue;
       }
 
+      if (im.chk_rng != 0) {
+        // Bounded schedule perturbation (chk.schedule_seed): among ready
+        // cores tied at the minimum virtual time, dispatch one drawn from
+        // the seeded stream instead of always the lowest rank. Only
+        // same-instant ties are reordered — every perturbed schedule is one
+        // the conservative DES already admits — and the draw sequence is a
+        // pure function of the seed, so each seed replays bit-for-bit.
+        std::vector<CoreState*> tied;
+        for (auto& c : im.cores)
+          if (c->status == CoreState::Status::Ready && c->vtime == pick->vtime)
+            tied.push_back(c.get());
+        if (tied.size() > 1)
+          pick = tied[static_cast<std::size_t>(chk_shuffle_next(im.chk_rng) %
+                                               tied.size())];
+      }
       im.flush_local_before(pick->vtime, pick->rank);
       im.dispatch(*pick, lock);
       if (pick->status == CoreState::Status::Done && pick->error) {
@@ -1035,6 +1201,15 @@ noc::SimTime SpmdRuntime::run(int nranks, const Program& program) {
       }
       im.rec->span(ev.rank, obs::Lane::Core, name, ev.start, ev.end,
                    static_cast<std::uint64_t>(ev.rank));
+    }
+    if (im.chk && im.chk->stats().races > 0) {
+      // Race markers + the "chk" snapshot section exist only when a race was
+      // detected: a clean chk-enabled run stays byte-identical to chk-off.
+      for (const chk::RaceReport& r : im.chk->reports()) {
+        im.rec->instant(r.current.core, obs::Lane::Core, ids.n_chk_race,
+                        r.current.ts, static_cast<std::uint64_t>(r.current.core));
+      }
+      im.rec->set_section("chk", im.chk->section_json());
     }
   }
 

@@ -1,3 +1,4 @@
+#include "rck/bio/error.hpp"
 #include "rck/bio/dataset.hpp"
 
 #include <gtest/gtest.h>
@@ -107,9 +108,9 @@ TEST(ScaledSpec, LengthsWithinRange) {
 }
 
 TEST(ScaledSpec, RejectsBadParameters) {
-  EXPECT_THROW(scaled_spec("s", 0, 1), std::invalid_argument);
-  EXPECT_THROW(scaled_spec("s", 5, 1, 10, 400), std::invalid_argument);
-  EXPECT_THROW(scaled_spec("s", 5, 1, 200, 100), std::invalid_argument);
+  EXPECT_THROW(scaled_spec("s", 0, 1), rck::bio::BioError);
+  EXPECT_THROW(scaled_spec("s", 5, 1, 10, 400), rck::bio::BioError);
+  EXPECT_THROW(scaled_spec("s", 5, 1, 200, 100), rck::bio::BioError);
 }
 
 TEST(BuildDataset, MembersDifferFromFounder) {

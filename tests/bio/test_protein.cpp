@@ -1,3 +1,4 @@
+#include "rck/bio/error.hpp"
 #include "rck/bio/protein.hpp"
 
 #include <gtest/gtest.h>
@@ -99,8 +100,8 @@ TEST(RmsdNoSuperposition, KnownOffset) {
 TEST(RmsdNoSuperposition, RejectsMismatch) {
   const std::vector<Vec3> a{{0, 0, 0}};
   const std::vector<Vec3> b{{0, 0, 0}, {1, 1, 1}};
-  EXPECT_THROW(rmsd_no_superposition(a, b), std::invalid_argument);
-  EXPECT_THROW(rmsd_no_superposition({}, {}), std::invalid_argument);
+  EXPECT_THROW(rmsd_no_superposition(a, b), rck::bio::BioError);
+  EXPECT_THROW(rmsd_no_superposition({}, {}), rck::bio::BioError);
 }
 
 }  // namespace

@@ -1,3 +1,4 @@
+#include "rck/bio/error.hpp"
 #include "rck/bio/synthetic.hpp"
 
 #include <gtest/gtest.h>
@@ -24,7 +25,7 @@ TEST(MakePlan, CoversExactLength) {
 
 TEST(MakePlan, RejectsTinyChains) {
   Rng rng(2);
-  EXPECT_THROW(make_plan(2, rng), std::invalid_argument);
+  EXPECT_THROW(make_plan(2, rng), rck::bio::BioError);
 }
 
 TEST(MakePlan, AlternatesStructuredAndCoil) {

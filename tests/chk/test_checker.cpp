@@ -1,0 +1,272 @@
+// rck::chk vector-clock engine: happens-before edges come ONLY from RCCE
+// flag publish/consume and barriers; every MPB access is checked against
+// the interval shadow map.
+#include "rck/chk/chk.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace rck::chk {
+namespace {
+
+// 4 cores x 800 B MPB -> 200 B slices at 0/200/400/600.
+Checker make(Config cfg = Config::on(), int nranks = 4,
+             std::uint32_t mpb_bytes = 800) {
+  return Checker(std::move(cfg), nranks, mpb_bytes);
+}
+
+TEST(Checker, SliceGeometry) {
+  const Checker c = make();
+  EXPECT_EQ(c.nranks(), 4);
+  EXPECT_EQ(c.slice_len(), 200u);
+  EXPECT_EQ(c.slice_lo(0), 0u);
+  EXPECT_EQ(c.slice_lo(3), 600u);
+
+  // The real chip: 48 cores sharing 8 KiB MPBs.
+  const Checker scc = make(Config::on(), 48, 8192);
+  EXPECT_EQ(scc.slice_len(), 8192u / 48u);
+}
+
+TEST(Checker, ConstructorRejectsDegenerateShapes) {
+  EXPECT_THROW(Checker(Config::on(), 0, 800), ChkError);
+  EXPECT_THROW(Checker(Config::on(), 4, 0), ChkError);
+}
+
+TEST(Checker, SiteInterningIsIdempotent) {
+  Checker c = make();
+  const SiteId a = c.site("rcce.send");
+  const SiteId b = c.site("rcce.recv");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(c.site("rcce.send"), a);
+  EXPECT_EQ(c.site_name(a), "rcce.send");
+  EXPECT_EQ(c.site_name(0), "?");  // SiteId 0 is the unknown site
+}
+
+TEST(Checker, CleanPublishConsumeCycle) {
+  Checker c = make();
+  const SiteId snd = c.site("send");
+  const SiteId rcv = c.site("recv");
+  // Core 0 writes its slice of core 1's MPB, publishes, core 1 consumes.
+  c.mpb_write(0, 1, c.slice_lo(0), 64, 10, snd, 0, 1);
+  c.flag_set(0, 0, 1, 11, snd);
+  c.flag_test(1, 0, 1, /*observed_set=*/true, 20, rcv);
+  c.mpb_read(1, 1, c.slice_lo(0), 64, 21, rcv, 0, 1);
+
+  EXPECT_EQ(c.stats().races, 0u);
+  EXPECT_EQ(c.stats().mpb_writes, 1u);
+  EXPECT_EQ(c.stats().mpb_reads, 1u);
+  EXPECT_EQ(c.stats().flag_sets, 1u);
+  EXPECT_EQ(c.stats().flag_tests, 1u);
+  EXPECT_TRUE(c.reports().empty());
+}
+
+TEST(Checker, ReadBeforePublishIsReported) {
+  Checker c = make();
+  const SiteId snd = c.site("send");
+  const SiteId rcv = c.site("stale_read");
+  c.mpb_write(0, 1, 0, 64, 10, snd, 0, 1);
+  c.flag_set(0, 0, 1, 11, snd);
+  // Core 1 reads WITHOUT testing the flag: no happens-before edge.
+  c.mpb_read(1, 1, 0, 64, 12, rcv, 0, 1);
+
+  ASSERT_EQ(c.reports().size(), 1u);
+  const RaceReport& r = c.reports().front();
+  EXPECT_EQ(r.kind, RaceReport::Kind::ReadBeforePublish);
+  EXPECT_EQ(r.prior.core, 0);
+  EXPECT_EQ(r.prior.kind, AccessKind::Write);
+  EXPECT_EQ(r.current.core, 1);
+  EXPECT_EQ(r.current.kind, AccessKind::Read);
+  EXPECT_EQ(r.current.mpb, 1);
+  EXPECT_EQ(r.prior.ts, 10u);
+  EXPECT_EQ(r.current.ts, 12u);
+  EXPECT_EQ(c.site_name(r.prior.site), "send");
+  EXPECT_EQ(c.site_name(r.current.site), "stale_read");
+  // The report carries the implicated flow's flag chain (the publish).
+  ASSERT_FALSE(r.flag_chain.empty());
+  EXPECT_EQ(r.flag_chain.back().kind, FlagEvent::Kind::Set);
+  EXPECT_EQ(r.flag_chain.back().core, 0);
+}
+
+TEST(Checker, FailedFlagTestCreatesNoEdge) {
+  Checker c = make();
+  const SiteId s = c.site("s");
+  c.mpb_write(0, 1, 0, 64, 10, s, 0, 1);
+  c.flag_set(0, 0, 1, 11, s);
+  // Core 1's test came back empty (simulated ordering): no edge, so the
+  // subsequent read still races.
+  c.flag_test(1, 0, 1, /*observed_set=*/false, 12, s);
+  c.mpb_read(1, 1, 0, 64, 13, s, 0, 1);
+  ASSERT_EQ(c.reports().size(), 1u);
+  EXPECT_EQ(c.reports().front().kind, RaceReport::Kind::ReadBeforePublish);
+}
+
+TEST(Checker, UnorderedOverlappingWritesAreReported) {
+  Checker c = make();
+  const SiteId s = c.site("w");
+  c.mpb_write(1, 0, 0, 64, 10, s);
+  c.mpb_write(2, 0, 32, 64, 11, s);  // overlaps [32, 64), no ordering
+  ASSERT_EQ(c.reports().size(), 1u);
+  const RaceReport& r = c.reports().front();
+  EXPECT_EQ(r.kind, RaceReport::Kind::WriteWriteOverlap);
+  EXPECT_EQ(r.prior.core, 1);
+  EXPECT_EQ(r.current.core, 2);
+}
+
+TEST(Checker, SameWriterOverlapIsProgramOrdered) {
+  Checker c = make();
+  const SiteId s = c.site("w");
+  c.mpb_write(1, 0, 0, 64, 10, s);
+  c.mpb_write(1, 0, 32, 64, 11, s);  // same core: program order, no race
+  EXPECT_EQ(c.stats().races, 0u);
+}
+
+TEST(Checker, FlagEdgeOrdersCrossCoreWrites) {
+  Checker c = make();
+  const SiteId s = c.site("w");
+  c.mpb_write(1, 0, 0, 64, 10, s, 1, 2);
+  c.flag_set(1, 1, 2, 11, s);
+  c.flag_test(2, 1, 2, true, 12, s);
+  c.mpb_write(2, 0, 0, 64, 13, s, 1, 2);  // ordered after core 1's write
+  EXPECT_EQ(c.stats().races, 0u);
+}
+
+TEST(Checker, BarrierOrdersAllParticipants) {
+  Checker c = make();
+  const SiteId s = c.site("w");
+  c.mpb_write(0, 1, 0, 64, 10, s);
+  c.barrier({0, 1, 2, 3}, 20);
+  c.mpb_read(1, 1, 0, 64, 21, s);
+  c.mpb_write(2, 1, 0, 64, 22, s);  // also ordered after core 0's write
+  EXPECT_EQ(c.stats().races, 0u);
+  EXPECT_EQ(c.stats().barriers, 1u);
+}
+
+TEST(Checker, DisjointRangesNeverInteract) {
+  Checker c = make();
+  const SiteId s = c.site("w");
+  c.mpb_write(0, 3, c.slice_lo(0), 64, 10, s);
+  c.mpb_write(1, 3, c.slice_lo(1), 64, 10, s);  // separate RCCE slices
+  c.mpb_read(2, 3, c.slice_lo(2), 8, 11, s);    // untouched slice
+  EXPECT_EQ(c.stats().races, 0u);
+}
+
+TEST(Checker, OverlapCarvingKeepsCleanHistory) {
+  Checker c = make();
+  const SiteId s = c.site("w");
+  // Core 0 writes [0, 100) then rewrites the middle [40, 60): the shadow
+  // map carves three segments, all owned by core 0.
+  c.mpb_write(0, 1, 0, 100, 10, s, 0, 1);
+  c.mpb_write(0, 1, 40, 20, 11, s, 0, 1);
+  c.flag_set(0, 0, 1, 12, s);
+  c.flag_test(1, 0, 1, true, 13, s);
+  c.mpb_read(1, 1, 0, 100, 14, s, 0, 1);  // spans all three segments
+  EXPECT_EQ(c.stats().races, 0u);
+}
+
+TEST(Checker, DuplicateRacesAreDedupedButCounted) {
+  Checker c = make();
+  const SiteId s = c.site("loop_read");
+  c.mpb_write(0, 1, 0, 64, 10, c.site("send"), 0, 1);
+  for (int k = 0; k < 5; ++k) c.mpb_read(1, 1, 0, 64, 20 + k, s, 0, 1);
+  EXPECT_EQ(c.stats().races, 5u);   // every occurrence counted
+  EXPECT_EQ(c.reports().size(), 1u);  // one structured report
+}
+
+TEST(Checker, MaxReportsCapsRecordingNotDetection) {
+  Config cfg = Config::on();
+  cfg.max_reports = 2;
+  Checker c = make(cfg);
+  c.mpb_write(0, 1, 0, 64, 10, c.site("send"), 0, 1);
+  // Three distinct racing sites -> three distinct dedup keys.
+  c.mpb_read(1, 1, 0, 8, 11, c.site("r1"), 0, 1);
+  c.mpb_read(1, 1, 0, 8, 12, c.site("r2"), 0, 1);
+  c.mpb_read(1, 1, 0, 8, 13, c.site("r3"), 0, 1);
+  EXPECT_EQ(c.reports().size(), 2u);
+  EXPECT_EQ(c.stats().races, 3u);
+}
+
+TEST(Checker, CoreRangeIsValidated) {
+  Checker c = make();
+  const SiteId s = c.site("w");
+  EXPECT_THROW(c.mpb_write(4, 0, 0, 8, 0, s), ChkError);
+  EXPECT_THROW(c.mpb_read(0, -1, 0, 8, 0, s), ChkError);
+  EXPECT_THROW(c.flag_set(0, 0, 99, 0, s), ChkError);
+  EXPECT_THROW(c.barrier({0, 7}, 0), ChkError);
+}
+
+TEST(Checker, NoteLandsInFlagChain) {
+  Checker c = make();
+  const SiteId s = c.site("send");
+  const SiteId n = c.site("farm_ft.lease_expiry");
+  c.mpb_write(2, 1, c.slice_lo(2), 64, 10, s, 2, 1);
+  c.flag_set(2, 2, 1, 11, s);
+  c.note(1, 2, 1, 15, n, /*id=*/42);
+  c.mpb_read(1, 1, c.slice_lo(2), 64, 16, c.site("stale"), 2, 1);
+  ASSERT_EQ(c.reports().size(), 1u);
+  const RaceReport& r = c.reports().front();
+  bool saw_note = false;
+  for (const FlagEvent& ev : r.flag_chain)
+    if (ev.kind == FlagEvent::Kind::Note && ev.id == 42) saw_note = true;
+  EXPECT_TRUE(saw_note);
+}
+
+TEST(Checker, ReportJsonIsStructured) {
+  Checker c = make();
+  c.mpb_write(0, 1, 0, 64, 10, c.site("send"), 0, 1);
+  c.mpb_read(1, 1, 0, 64, 12, c.site("stale_read"), 0, 1);
+  const std::string doc = c.report_json();
+  EXPECT_NE(doc.find("\"schema\": \"rck-chk-report-v1\""), std::string::npos);
+  EXPECT_NE(doc.find("\"rck.chk.race\""), std::string::npos);
+  EXPECT_NE(doc.find("send"), std::string::npos);
+  EXPECT_NE(doc.find("stale_read"), std::string::npos);
+  // The compact stats object is embedded verbatim.
+  EXPECT_NE(doc.find(c.section_json()), std::string::npos);
+}
+
+TEST(Checker, SectionJsonCountsEvents) {
+  Checker c = make();
+  c.mpb_write(0, 1, 0, 64, 10, c.site("s"), 0, 1);
+  c.flag_set(0, 0, 1, 11, c.site("s"));
+  EXPECT_EQ(c.section_json(),
+            "{\"mpb_writes\": 1, \"mpb_reads\": 0, \"flag_sets\": 1, "
+            "\"flag_tests\": 0, \"barriers\": 0, \"notes\": 0, \"races\": 0}");
+}
+
+TEST(Checker, WriteReportCreatesParentDirectories) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "rck_chk_report_test";
+  std::filesystem::remove_all(dir);
+  const std::filesystem::path p = dir / "nested" / "report.json";
+
+  Checker c = make();
+  write_report(c, p.string());
+  std::ifstream f(p);
+  ASSERT_TRUE(f.good());
+  std::string first;
+  std::getline(f, first);
+  EXPECT_EQ(first, "{");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Checker, WriteReportFailureIsTyped) {
+  // Parent "directory" is a regular file: create_directories must fail.
+  const std::filesystem::path blocker =
+      std::filesystem::temp_directory_path() / "rck_chk_blocker";
+  std::filesystem::remove_all(blocker);
+  {
+    std::ofstream f(blocker);
+    f << "not a directory";
+  }
+  const Checker c = make();
+  EXPECT_THROW(write_report(c, (blocker / "sub" / "r.json").string()),
+               ChkIoError);
+  std::filesystem::remove_all(blocker);
+}
+
+}  // namespace
+}  // namespace rck::chk

@@ -1,0 +1,275 @@
+// rck::chk wired into the simulated SCC runtime: the built-in send/recv/
+// barrier instrumentation, the raw annotation hooks, seeded known-race
+// skeletons (satellite of the PR 5 acceptance list), schedule perturbation,
+// and the obs/metrics surfacing of race reports.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rck/bio/dataset.hpp"
+#include "rck/bio/serialize.hpp"
+#include "rck/obs/sink.hpp"
+#include "rck/rck.hpp"
+#include "rck/rcce/rcce.hpp"
+#include "rck/scc/runtime.hpp"
+
+namespace rck {
+namespace {
+
+bio::Bytes u32_msg(std::uint32_t v) {
+  bio::WireWriter w;
+  w.u32(v);
+  return w.take();
+}
+
+scc::RuntimeConfig chk_cfg(std::uint64_t seed = 0) {
+  scc::RuntimeConfig cfg;
+  cfg.chk.enable = true;
+  cfg.chk.schedule_seed = seed;
+  return cfg;
+}
+
+// Master sends one frame to each slave, gets it echoed back, then everyone
+// meets at the barrier: every protocol edge the checker knows about.
+void echo_program(scc::CoreCtx& c) {
+  rcce::Comm comm(c);
+  if (comm.ue() == 0) {
+    for (int s = 1; s < comm.num_ues(); ++s) comm.send(s, u32_msg(7u));
+    for (int s = 1; s < comm.num_ues(); ++s) (void)comm.recv(s);
+  } else {
+    comm.send(0, comm.recv(0));
+  }
+  comm.barrier();
+}
+
+TEST(ChkRuntime, OffByDefaultAndHooksAreNoOps) {
+  scc::SpmdRuntime rt{scc::RuntimeConfig{}};
+  rt.run(3, [](scc::CoreCtx& c) {
+    // Annotation hooks must be callable (and free) without a checker.
+    c.chk_mpb_write(0, 0, 8, "test.site");
+    c.chk_flag_set(0, 1, "test.site");
+    c.chk_note(0, 1, "test.site", 1);
+    echo_program(c);
+  });
+  EXPECT_EQ(rt.chk(), nullptr);
+}
+
+TEST(ChkRuntime, CleanProtocolRunHasZeroRaces) {
+  scc::SpmdRuntime rt(chk_cfg());
+  rt.run(4, echo_program);
+  ASSERT_NE(rt.chk(), nullptr);
+  const chk::Stats& s = rt.chk()->stats();
+  EXPECT_EQ(s.races, 0u);
+  // 3 out + 3 back = 6 frames; each is one slice write + publish + consume.
+  EXPECT_EQ(s.mpb_writes, 6u);
+  EXPECT_EQ(s.mpb_reads, 6u);
+  EXPECT_EQ(s.flag_sets, 6u);
+  EXPECT_GE(s.flag_tests, 6u);  // blocked-recv retries test more than once
+  EXPECT_EQ(s.barriers, 1u);
+  EXPECT_TRUE(rt.chk()->reports().empty());
+}
+
+TEST(ChkRuntime, EnablingChkDoesNotPerturbTheSimulation) {
+  scc::SpmdRuntime plain{scc::RuntimeConfig{}};
+  const noc::SimTime t_plain = plain.run(4, echo_program);
+  scc::SpmdRuntime checked(chk_cfg());
+  const noc::SimTime t_checked = checked.run(4, echo_program);
+  EXPECT_EQ(t_plain, t_checked);
+  EXPECT_EQ(plain.core_reports(), checked.core_reports());
+  EXPECT_EQ(plain.events_fired(), checked.events_fired());
+}
+
+TEST(ChkRuntime, ChkForcesSerialSchedulerWithIdenticalResults) {
+  scc::RuntimeConfig par = chk_cfg();
+  par.host.threads = 4;  // chk forces the serial scheduler underneath
+  scc::SpmdRuntime a(chk_cfg()), b(par);
+  EXPECT_EQ(a.run(4, echo_program), b.run(4, echo_program));
+  EXPECT_EQ(a.chk()->stats(), b.chk()->stats());
+}
+
+// Known-race skeleton 1: read before the publishing flag is tested.
+TEST(ChkRuntime, SeededReadBeforeFlagIsReported) {
+  scc::SpmdRuntime rt(chk_cfg());
+  rt.run(2, [](scc::CoreCtx& c) {
+    rcce::Comm comm(c);
+    const std::uint32_t lo = 0;
+    if (comm.ue() == 0) {
+      comm.chk_mpb_write(/*mpb_owner=*/1, lo, 64, "bug.send", 0, 1);
+      comm.chk_flag_set(0, 1, "bug.send");
+    } else {
+      // Runs strictly later in simulated time, but never tests the flag.
+      comm.charge_cycles(1000);
+      comm.chk_mpb_read(/*mpb_owner=*/1, lo, 64, "bug.stale_read", 0, 1);
+    }
+  });
+  ASSERT_NE(rt.chk(), nullptr);
+  ASSERT_EQ(rt.chk()->reports().size(), 1u);
+  const chk::RaceReport& r = rt.chk()->reports().front();
+  EXPECT_EQ(r.kind, chk::RaceReport::Kind::ReadBeforePublish);
+  EXPECT_EQ(r.prior.core, 0);
+  EXPECT_EQ(r.current.core, 1);
+  EXPECT_EQ(rt.chk()->site_name(r.prior.site), "bug.send");
+  EXPECT_EQ(rt.chk()->site_name(r.current.site), "bug.stale_read");
+  ASSERT_FALSE(r.flag_chain.empty());
+  EXPECT_EQ(r.flag_chain.back().kind, chk::FlagEvent::Kind::Set);
+}
+
+// Known-race skeleton 2: two senders sharing one slice without an ordering
+// flag (e.g. a broken collective that forgot per-source slice offsets).
+TEST(ChkRuntime, SeededOverlappingSliceWritesAreReported) {
+  scc::SpmdRuntime rt(chk_cfg());
+  rt.run(3, [](scc::CoreCtx& c) {
+    rcce::Comm comm(c);
+    if (comm.ue() == 0) return;
+    comm.charge_cycles(static_cast<std::uint64_t>(comm.ue()) * 100);
+    comm.chk_mpb_write(/*mpb_owner=*/0, 0, 64, "bug.shared_slice",
+                       comm.ue(), 0);
+  });
+  ASSERT_EQ(rt.chk()->reports().size(), 1u);
+  const chk::RaceReport& r = rt.chk()->reports().front();
+  EXPECT_EQ(r.kind, chk::RaceReport::Kind::WriteWriteOverlap);
+  EXPECT_EQ(r.prior.core, 1);
+  EXPECT_EQ(r.current.core, 2);
+  EXPECT_EQ(r.current.mpb, 0);
+}
+
+// Known-race skeleton 3: a stale frame consumed after a lease reassignment —
+// the receiver re-reads its slice on retry without re-testing the publish
+// flag, picking up whatever the previous attempt left there.
+TEST(ChkRuntime, SeededStaleFrameAfterReassignmentIsReported) {
+  scc::SpmdRuntime rt(chk_cfg());
+  rt.run(3, [](scc::CoreCtx& c) {
+    rcce::Comm comm(c);
+    const std::uint32_t lo = 2 * 64;
+    if (comm.ue() == 2) {
+      // First attempt: proper publish.
+      comm.chk_mpb_write(1, lo, 64, "ft.send", 2, 1);
+      comm.chk_flag_set(2, 1, "ft.send");
+      // Retry after the lease was reassigned: rewrite without the consumer
+      // ever being told.
+      comm.charge_cycles(5000);
+      comm.chk_mpb_write(1, lo, 64, "ft.retry_send", 2, 1);
+    } else if (comm.ue() == 1) {
+      comm.charge_cycles(1000);
+      comm.chk_flag_test(2, 1, /*observed_set=*/true, "ft.recv");
+      comm.chk_mpb_read(1, lo, 64, "ft.recv", 2, 1);  // clean first read
+      comm.charge_cycles(9000);
+      comm.chk_note(2, 1, "ft.lease_reassigned", /*id=*/42);
+      comm.chk_mpb_read(1, lo, 64, "ft.stale_read", 2, 1);  // no re-test
+    }
+  });
+  ASSERT_EQ(rt.chk()->reports().size(), 1u);
+  const chk::RaceReport& r = rt.chk()->reports().front();
+  EXPECT_EQ(r.kind, chk::RaceReport::Kind::ReadBeforePublish);
+  EXPECT_EQ(rt.chk()->site_name(r.prior.site), "ft.retry_send");
+  EXPECT_EQ(rt.chk()->site_name(r.current.site), "ft.stale_read");
+  // The reassignment note shows up in the report's flag chain.
+  bool saw_note = false;
+  for (const chk::FlagEvent& ev : r.flag_chain)
+    if (ev.kind == chk::FlagEvent::Kind::Note && ev.id == 42) saw_note = true;
+  EXPECT_TRUE(saw_note);
+}
+
+TEST(ChkRuntime, FaultPlanRunStaysCleanUnderChk) {
+  // A slave crash exercises the FT farm's lease-expiry + retry paths with
+  // the checker watching every flag/MPB op along the way.
+  const std::vector<bio::Protein> dataset = bio::build_dataset(bio::tiny_spec());
+  const rckalign::PairCache cache = rckalign::PairCache::build(dataset);
+  RunConfig base_cfg;
+  base_cfg.with_slaves(3).with_cache(&cache);
+  const noc::SimTime base = rck::run(dataset, base_cfg).makespan;
+
+  RunConfig cfg;
+  cfg.with_slaves(3).with_cache(&cache).with_chk();
+  scc::FaultPlan plan;
+  plan.crashes.push_back({2, base / 4});  // mid-run, leased jobs in flight
+  cfg.with_faults(plan);
+  const RunResult out = rck::run(dataset, cfg);
+  ASSERT_NE(out.chk, nullptr);
+  EXPECT_EQ(out.chk->stats().races, 0u);
+  EXPECT_GT(out.chk->stats().mpb_writes, 0u);
+  EXPECT_GT(out.farm_report.reassignments, 0u);
+  // The recovery annotations flowed into the checker.
+  EXPECT_GT(out.chk->stats().notes, 0u);
+}
+
+TEST(ChkRuntime, SchedulePerturbationIsDeterministicPerSeed) {
+  const auto run_once = [](std::uint64_t seed) {
+    scc::SpmdRuntime rt(chk_cfg(seed));
+    const noc::SimTime t = rt.run(5, echo_program);
+    return std::pair<noc::SimTime, chk::Stats>(t, rt.chk()->stats());
+  };
+  const auto a1 = run_once(0xfeedu), a2 = run_once(0xfeedu);
+  EXPECT_EQ(a1, a2);  // same seed -> bit-for-bit replay
+  // A different seed explores a different interleaving but the protocol is
+  // clean under all of them, and simulated results don't depend on the
+  // dispatch order of same-instant ties.
+  const auto b = run_once(0xbeefu);
+  EXPECT_EQ(a1.first, b.first);
+  EXPECT_EQ(a1.second.races, 0u);
+  EXPECT_EQ(b.second.races, 0u);
+}
+
+TEST(ChkRuntime, RacesSurfaceInObsTraceAndMetrics) {
+  scc::RuntimeConfig cfg = chk_cfg();
+  cfg.obs.enable = true;
+  scc::SpmdRuntime rt(cfg);
+  rt.run(2, [](scc::CoreCtx& c) {
+    rcce::Comm comm(c);
+    if (comm.ue() == 0) {
+      comm.chk_mpb_write(1, 0, 64, "bug.send", 0, 1);
+      comm.chk_flag_set(0, 1, "bug.send");
+    } else {
+      comm.charge_cycles(1000);
+      comm.chk_mpb_read(1, 0, 64, "bug.stale_read", 0, 1);
+    }
+  });
+  ASSERT_NE(rt.obs(), nullptr);
+  ASSERT_EQ(rt.chk()->stats().races, 1u);
+  // Metrics snapshot gains the "chk" section...
+  const std::string metrics = rt.obs()->snapshot().to_json();
+  EXPECT_NE(metrics.find("\"chk\": {\"mpb_writes\""), std::string::npos);
+  EXPECT_NE(metrics.find("\"races\": 1"), std::string::npos);
+  // ...and the trace gains a chk_race instant on the racing core's lane.
+  const std::string trace = obs::chrome_trace_json(*rt.obs());
+  EXPECT_NE(trace.find("chk_race"), std::string::npos);
+}
+
+TEST(ChkRuntime, CleanRunEmitsNoObsBytes) {
+  const auto metrics_of = [](bool with_chk) {
+    scc::RuntimeConfig cfg;
+    cfg.obs.enable = true;
+    cfg.chk.enable = with_chk;
+    scc::SpmdRuntime rt(cfg);
+    rt.run(4, echo_program);
+    return std::pair<std::string, std::string>(
+        rt.obs()->snapshot().to_json(), obs::chrome_trace_json(*rt.obs()));
+  };
+  const auto off = metrics_of(false);
+  const auto on = metrics_of(true);
+  EXPECT_EQ(off.first, on.first);    // metrics bytes identical
+  EXPECT_EQ(off.second, on.second);  // trace bytes identical
+}
+
+TEST(ChkRunConfig, UmbrellaPlumbingAndValidation) {
+  RunConfig cfg;
+  cfg.with_chk().with_chk_seed(9).with_chk_report("out/chk.json");
+  EXPECT_TRUE(cfg.chk.enable);
+  const rckalign::RckAlignOptions opts = cfg.to_options();
+  EXPECT_TRUE(opts.runtime.chk.enable);
+  EXPECT_EQ(opts.runtime.chk.schedule_seed, 9u);
+  EXPECT_EQ(opts.runtime.chk.report_path, "out/chk.json");
+
+  RunConfig clash;
+  clash.with_metrics("same.json").with_chk_report("same.json");
+  bool found = false;
+  for (const ConfigIssue& issue : clash.validate())
+    if (issue.field == "chk.report_path") found = true;
+  EXPECT_TRUE(found);
+  EXPECT_THROW(clash.validated(), ConfigError);
+}
+
+}  // namespace
+}  // namespace rck

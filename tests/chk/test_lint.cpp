@@ -1,0 +1,152 @@
+// rck::chk::lint — the tokenizer-based invariant linter behind tools/rck_lint.
+#include "rck/chk/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace rck::chk::lint {
+namespace {
+
+bool has_rule(const std::vector<Finding>& fs, std::string_view rule) {
+  return std::any_of(fs.begin(), fs.end(),
+                     [&](const Finding& f) { return f.rule == rule; });
+}
+
+bool rules_contain(std::string_view path, std::string_view rule) {
+  const std::vector<std::string> rs = rules_for(path);
+  return std::find(rs.begin(), rs.end(), rule) != rs.end();
+}
+
+TEST(LintStrip, BlanksCommentsAndLiteralsKeepingLines) {
+  const std::string in =
+      "int a; // rand() here\n"
+      "const char* s = \"mt19937\";\n"
+      "/* system_clock\n   spans lines */ int b;\n";
+  const std::string out = strip(in);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'),
+            std::count(in.begin(), in.end(), '\n'));
+  EXPECT_EQ(out.find("rand"), std::string::npos);
+  EXPECT_EQ(out.find("mt19937"), std::string::npos);
+  EXPECT_EQ(out.find("system_clock"), std::string::npos);
+  EXPECT_NE(out.find("int a;"), std::string::npos);
+  EXPECT_NE(out.find("int b;"), std::string::npos);
+}
+
+TEST(LintStrip, RawStringsAndDigitSeparators) {
+  const std::string in =
+      "auto r = R\"(rand inside raw)\";\n"
+      "int big = 1'000'000; int after = rand;\n";
+  const std::string out = strip(in);
+  EXPECT_EQ(out.find("rand inside raw"), std::string::npos);
+  EXPECT_NE(out.find("1'000'000"), std::string::npos);
+  EXPECT_NE(out.find("rand;"), std::string::npos);  // real code survives
+}
+
+TEST(LintRules, ScopingFollowsTheTree) {
+  EXPECT_TRUE(rules_contain("src/scc/runtime.cpp", "determinism"));
+  EXPECT_TRUE(rules_contain("src/chk/checker.cpp", "determinism"));
+  EXPECT_FALSE(rules_contain("src/bio/protein.cpp", "determinism"));
+  EXPECT_TRUE(rules_contain("src/bio/protein.cpp", "throw-taxonomy"));
+  EXPECT_TRUE(rules_contain("src/core/kabsch.cpp", "hot-path-alloc"));
+  EXPECT_FALSE(rules_contain("src/core/tmalign.cpp", "hot-path-alloc"));
+  EXPECT_TRUE(rules_for("tests/chk/test_lint.cpp").empty());   // not covered
+  EXPECT_TRUE(rules_for("src/scc/CMakeLists.txt").empty());    // not source
+}
+
+TEST(LintDeterminism, BansFireOnIdentifiersNotComments) {
+  const auto dirty = lint_file("src/scc/x.cpp", "auto g = std::mt19937{7};\n");
+  ASSERT_TRUE(has_rule(dirty, "determinism"));
+  EXPECT_EQ(dirty.front().line, 1);
+
+  const auto comment_only =
+      lint_file("src/scc/x.cpp", "// seeded like mt19937 but deterministic\n");
+  EXPECT_FALSE(has_rule(comment_only, "determinism"));
+}
+
+TEST(LintDeterminism, WallClockCallsButNotTimeMembers) {
+  EXPECT_TRUE(has_rule(lint_file("src/noc/x.cpp", "auto t = std::time(nullptr);\n"),
+                       "determinism"));
+  EXPECT_TRUE(has_rule(lint_file("src/noc/x.cpp", "long t = time(NULL);\n"),
+                       "determinism"));
+  // A member/method merely named time() is the simulator's own clock.
+  EXPECT_FALSE(has_rule(
+      lint_file("src/noc/x.cpp", "const SimTime t = model.time(cycles);\n"),
+      "determinism"));
+  EXPECT_FALSE(has_rule(
+      lint_file("src/noc/x.cpp", "noc::SimTime time(std::uint64_t c);\n"),
+      "determinism"));
+}
+
+TEST(LintDeterminism, WaiverSuppressesSameAndNextLine) {
+  const std::string waived =
+      "// rck-lint: allow(determinism)\n"
+      "auto g = std::mt19937{7};\n";
+  EXPECT_TRUE(lint_file("src/scc/x.cpp", waived).empty());
+
+  const std::string inline_waiver =
+      "auto g = std::mt19937{7};  // rck-lint: allow(determinism)\n";
+  EXPECT_TRUE(lint_file("src/scc/x.cpp", inline_waiver).empty());
+}
+
+TEST(LintThrowTaxonomy, RequiresErrorSuffixedClasses) {
+  EXPECT_TRUE(has_rule(
+      lint_file("src/bio/x.cpp", "throw std::runtime_error(\"x\");\n"),
+      "throw-taxonomy"));
+  EXPECT_FALSE(has_rule(
+      lint_file("src/bio/x.cpp", "throw ParseError(\"bad pdb\");\n"),
+      "throw-taxonomy"));
+  EXPECT_FALSE(has_rule(
+      lint_file("src/bio/x.cpp", "throw rck::chk::ChkIoError(msg);\n"),
+      "throw-taxonomy"));
+  EXPECT_FALSE(has_rule(lint_file("src/bio/x.cpp", "catch (...) { throw; }\n"),
+                        "throw-taxonomy"));
+}
+
+TEST(LintHotPath, AllocationBansOnlyInKernelFiles) {
+  const std::string growing = "void f(std::vector<int>& v) { v.push_back(1); }\n";
+  EXPECT_TRUE(has_rule(lint_file("src/core/kabsch.cpp", growing),
+                       "hot-path-alloc"));
+  EXPECT_FALSE(has_rule(lint_file("src/core/tmalign.cpp", growing),
+                        "hot-path-alloc"));
+  EXPECT_TRUE(has_rule(lint_file("src/core/simd_kernels.cpp",
+                                 "auto* p = new double[9];\n"),
+                       "hot-path-alloc"));
+}
+
+TEST(LintIncludes, LayoutObligations) {
+  EXPECT_TRUE(has_rule(
+      lint_file("src/scc/x.cpp", "#include \"../noc/network.hpp\"\n"),
+      "include-hygiene"));
+  EXPECT_TRUE(has_rule(lint_file("src/scc/x.cpp", "#include \"rck/rck.hpp\"\n"),
+                       "include-hygiene"));
+  // The umbrella's own implementation and tools may include it.
+  EXPECT_FALSE(has_rule(lint_file("src/rck/run.cpp", "#include \"rck/rck.hpp\"\n"),
+                        "include-hygiene"));
+  EXPECT_FALSE(has_rule(lint_file("tools/rck_lint.cpp", "#include \"rck/rck.hpp\"\n"),
+                        "include-hygiene"));
+  // Public rck/... paths and same-directory private headers are fine; angle
+  // brackets carry no obligation.
+  EXPECT_TRUE(lint_file("src/scc/x.cpp",
+                        "#include \"rck/noc/network.hpp\"\n"
+                        "#include \"pair_exec.hpp\"\n"
+                        "#include <vector>\n")
+                  .empty());
+}
+
+TEST(LintFindings, AreSortedByLineThenRule) {
+  const std::string two =
+      "#include \"../bad.hpp\"\n"
+      "auto g = std::mt19937{7};\n";
+  const auto fs = lint_file("src/scc/x.cpp", two);
+  ASSERT_EQ(fs.size(), 2u);
+  EXPECT_EQ(fs[0].line, 1);
+  EXPECT_EQ(fs[0].rule, "include-hygiene");
+  EXPECT_EQ(fs[1].line, 2);
+  EXPECT_EQ(fs[1].rule, "determinism");
+}
+
+}  // namespace
+}  // namespace rck::chk::lint

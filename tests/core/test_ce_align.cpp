@@ -1,3 +1,4 @@
+#include "rck/core/error.hpp"
 #include "rck/core/ce_align.hpp"
 
 #include <gtest/gtest.h>
@@ -112,8 +113,8 @@ TEST(CeAlign, RejectsShortChains) {
   Rng rng(7);
   const Protein ok = bio::make_protein("ok", 40, rng);
   const Protein tiny = bio::make_protein("tiny", 12, rng);  // < 2*8
-  EXPECT_THROW(ce_align(tiny, ok), std::invalid_argument);
-  EXPECT_THROW(ce_align(ok, tiny), std::invalid_argument);
+  EXPECT_THROW(ce_align(tiny, ok), rck::core::CoreError);
+  EXPECT_THROW(ce_align(ok, tiny), rck::core::CoreError);
 }
 
 TEST(CeAlign, Deterministic) {

@@ -1,3 +1,4 @@
+#include "rck/core/error.hpp"
 #include "rck/core/kabsch.hpp"
 
 #include <gtest/gtest.h>
@@ -118,8 +119,8 @@ TEST(Kabsch, StatsAccumulation) {
 TEST(Kabsch, RejectsBadInput) {
   const std::vector<Vec3> two{{0, 0, 0}, {1, 0, 0}};
   const std::vector<Vec3> three{{0, 0, 0}, {1, 0, 0}, {0, 1, 0}};
-  EXPECT_THROW(superpose(two, two), std::invalid_argument);
-  EXPECT_THROW(superpose(three, two), std::invalid_argument);
+  EXPECT_THROW(superpose(two, two), rck::core::CoreError);
+  EXPECT_THROW(superpose(three, two), rck::core::CoreError);
 }
 
 TEST(Kabsch, TranslationOnly) {

@@ -1,3 +1,4 @@
+#include "rck/core/error.hpp"
 #include "rck/core/nw.hpp"
 
 #include <gtest/gtest.h>
@@ -102,7 +103,7 @@ TEST(Nw, StatsCountCells) {
 
 TEST(Nw, SolveBeforeResizeThrows) {
   NwWorkspace ws;
-  EXPECT_THROW(ws.solve(-1.0), std::logic_error);
+  EXPECT_THROW(ws.solve(-1.0), rck::core::CoreError);
 }
 
 TEST(Nw, WorkspaceReuseGivesSameAnswer) {

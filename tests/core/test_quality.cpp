@@ -1,3 +1,4 @@
+#include "rck/core/error.hpp"
 #include "rck/core/quality.hpp"
 
 #include <gtest/gtest.h>
@@ -90,7 +91,7 @@ TEST(Quality, IndexPairingRejectsLengthMismatch) {
   Rng rng(7);
   const Protein a = bio::make_protein("a", 30, rng);
   const Protein b = bio::make_protein("b", 31, rng);
-  EXPECT_THROW(score_model_by_index(a, b), std::invalid_argument);
+  EXPECT_THROW(score_model_by_index(a, b), rck::core::CoreError);
 }
 
 TEST(Quality, StatsPopulated) {

@@ -1,3 +1,4 @@
+#include "rck/core/error.hpp"
 #include "rck/core/rmsd_method.hpp"
 
 #include <gtest/gtest.h>
@@ -53,7 +54,7 @@ TEST(GaplessRmsd, RejectsTinyChains) {
   Rng rng(5);
   const Protein ok = bio::make_protein("ok", 20, rng);
   const Protein tiny("t", {{'A', 1, {0, 0, 0}}, {'G', 2, {3.8, 0, 0}}});
-  EXPECT_THROW(best_gapless_rmsd(tiny, ok), std::invalid_argument);
+  EXPECT_THROW(best_gapless_rmsd(tiny, ok), rck::core::CoreError);
 }
 
 TEST(GaplessRmsd, StatsPopulated) {

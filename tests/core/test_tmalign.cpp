@@ -1,3 +1,4 @@
+#include "rck/core/error.hpp"
 #include "rck/core/tmalign.hpp"
 
 #include <gtest/gtest.h>
@@ -99,8 +100,8 @@ TEST(TmAlign, RejectsTinyChains) {
                               {'G', 2, {3.8, 0, 0}},
                               {'L', 3, {7.6, 0, 0}},
                               {'K', 4, {11.4, 0, 0}}});
-  EXPECT_THROW(tmalign(tiny, ok), std::invalid_argument);
-  EXPECT_THROW(tmalign(ok, tiny), std::invalid_argument);
+  EXPECT_THROW(tmalign(tiny, ok), rck::core::CoreError);
+  EXPECT_THROW(tmalign(ok, tiny), rck::core::CoreError);
 }
 
 TEST(TmAlign, Deterministic) {

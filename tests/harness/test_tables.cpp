@@ -25,7 +25,7 @@ TEST(TextTable, RendersAlignedColumns) {
 TEST(TextTable, RejectsWidthMismatch) {
   TextTable t("x");
   t.set_columns({"a", "b"});
-  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+  EXPECT_THROW(t.add_row({"only one"}), rck::harness::TableError);
 }
 
 TEST(TextTable, CsvOutput) {

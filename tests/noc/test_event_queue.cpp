@@ -1,3 +1,4 @@
+#include "rck/noc/error.hpp"
 #include "rck/noc/event_queue.hpp"
 
 #include <gtest/gtest.h>
@@ -40,7 +41,7 @@ TEST(EventQueue, RejectsSchedulingIntoPast) {
   EventQueue q;
   q.schedule_at(100, [] {});
   q.run();
-  EXPECT_THROW(q.schedule_at(50, [] {}), std::logic_error);
+  EXPECT_THROW(q.schedule_at(50, [] {}), rck::noc::NocError);
 }
 
 TEST(EventQueue, RunUntilBound) {
@@ -70,7 +71,7 @@ TEST(EventQueue, EventsCanScheduleEvents) {
 TEST(EventQueue, EmptyQueueBehaviour) {
   EventQueue q;
   EXPECT_TRUE(q.empty());
-  EXPECT_THROW(q.run_one(), std::logic_error);
+  EXPECT_THROW(q.run_one(), rck::noc::NocError);
   EXPECT_EQ(q.run(), 0u);
 }
 

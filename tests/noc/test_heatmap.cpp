@@ -1,3 +1,4 @@
+#include "rck/noc/error.hpp"
 #include "rck/noc/heatmap.hpp"
 
 #include <gtest/gtest.h>
@@ -64,7 +65,7 @@ TEST(Heatmap, BusyLinkShowsUp) {
 TEST(Heatmap, ZeroMakespanRejected) {
   EventQueue q;
   Network net(q, Mesh(3, 3));
-  EXPECT_THROW(render_link_heatmap(net, 0), std::invalid_argument);
+  EXPECT_THROW(render_link_heatmap(net, 0), rck::noc::NocError);
 }
 
 }  // namespace

@@ -1,3 +1,4 @@
+#include "rck/noc/error.hpp"
 #include "rck/noc/mesh.hpp"
 
 #include <gtest/gtest.h>
@@ -98,17 +99,17 @@ TEST(Mesh, LinkIndexUniqueAndBounded) {
 
 TEST(Mesh, LinkIndexRejectsNonAdjacent) {
   const Mesh m(6, 4);
-  EXPECT_THROW(m.link_index({0, 2}), std::invalid_argument);
-  EXPECT_THROW(m.link_index({0, 0}), std::invalid_argument);
+  EXPECT_THROW(m.link_index({0, 2}), rck::noc::NocError);
+  EXPECT_THROW(m.link_index({0, 0}), rck::noc::NocError);
 }
 
 TEST(Mesh, BoundsChecking) {
   const Mesh m(6, 4);
-  EXPECT_THROW(m.coord(-1), std::out_of_range);
-  EXPECT_THROW(m.coord(24), std::out_of_range);
-  EXPECT_THROW(m.node({6, 0}), std::out_of_range);
-  EXPECT_THROW(m.hops(0, 99), std::out_of_range);
-  EXPECT_THROW(Mesh(0, 4), std::invalid_argument);
+  EXPECT_THROW(m.coord(-1), rck::noc::NocError);
+  EXPECT_THROW(m.coord(24), rck::noc::NocError);
+  EXPECT_THROW(m.node({6, 0}), rck::noc::NocError);
+  EXPECT_THROW(m.hops(0, 99), rck::noc::NocError);
+  EXPECT_THROW(Mesh(0, 4), rck::noc::NocError);
 }
 
 TEST(Mesh, NonSccShapes) {

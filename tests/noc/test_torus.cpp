@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "rck/noc/error.hpp"
 #include "rck/noc/mesh.hpp"
 #include "rck/noc/network.hpp"
 
@@ -16,8 +17,8 @@ TEST(Torus, LinkCount) {
 }
 
 TEST(Torus, RequiresMinimumSize) {
-  EXPECT_THROW(Mesh(2, 4, true), std::invalid_argument);
-  EXPECT_THROW(Mesh(4, 2, true), std::invalid_argument);
+  EXPECT_THROW(Mesh(2, 4, true), rck::noc::NocError);
+  EXPECT_THROW(Mesh(4, 2, true), rck::noc::NocError);
   EXPECT_NO_THROW(Mesh(3, 3, true));
 }
 

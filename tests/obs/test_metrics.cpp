@@ -95,7 +95,7 @@ TEST(Registry, ReRegisteringReturnsSameId) {
 TEST(Registry, UnitMismatchThrows) {
   obs::Registry reg;
   reg.counter("x.bytes", obs::Unit::Bytes);
-  EXPECT_THROW(reg.counter("x.bytes", obs::Unit::Ps), std::logic_error);
+  EXPECT_THROW(reg.counter("x.bytes", obs::Unit::Ps), rck::obs::ObsError);
 }
 
 TEST(Recorder, NullHandleIsSafe) {
@@ -115,7 +115,7 @@ TEST(Recorder, NullHandleIsSafe) {
 TEST(Recorder, InterningAfterSealThrows) {
   obs::Recorder rec(obs::Config::collect(), 2);
   rec.seal();
-  EXPECT_THROW(rec.name("too-late"), std::logic_error);
+  EXPECT_THROW(rec.name("too-late"), rck::obs::ObsError);
   // Re-interning an existing name is still fine after seal.
   EXPECT_EQ(rec.name("compute"), rec.std_ids().n_compute);
 }

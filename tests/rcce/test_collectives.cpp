@@ -137,7 +137,7 @@ TEST(CollectivesExtra, ScatterWrongChunkCountThrows) {
                         if (comm.ue() == 0) (void)scatter(comm, std::move(chunks));
                         else (void)scatter(comm, {});
                       }),
-               std::invalid_argument);
+               rck::rcce::RcceError);
 }
 
 TEST(CollectivesExtra, ConvenienceReductions) {
@@ -176,7 +176,7 @@ TEST(CollectivesExtra, ReduceLengthMismatchThrows) {
                std::vector<double> mine(comm.ue() == 0 ? 2 : 3, 1.0);
                (void)reduce(comm, mine, [](double a, double b) { return a + b; });
              }),
-      std::invalid_argument);
+      rck::rcce::RcceError);
 }
 
 TEST(CollectivesExtra, BadRootThrows) {
@@ -186,7 +186,7 @@ TEST(CollectivesExtra, BadRootThrows) {
                         Comm comm(ctx);
                         (void)bcast(comm, {}, 5);
                       }),
-               std::invalid_argument);
+               rck::rcce::RcceError);
 }
 
 }  // namespace

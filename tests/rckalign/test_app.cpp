@@ -1,3 +1,4 @@
+#include "rck/rckalign/error.hpp"
 #include "rck/rckalign/app.hpp"
 
 #include <gtest/gtest.h>
@@ -153,15 +154,15 @@ TEST_F(RckAlignTest, WorkSpreadAcrossSlaves) {
 }
 
 TEST_F(RckAlignTest, OptionValidation) {
-  EXPECT_THROW(run_rckalign(*dataset_, options(0)), std::invalid_argument);
-  EXPECT_THROW(run_rckalign(*dataset_, options(48)), std::invalid_argument);
+  EXPECT_THROW(run_rckalign(*dataset_, options(0)), rck::rckalign::AlignError);
+  EXPECT_THROW(run_rckalign(*dataset_, options(48)), rck::rckalign::AlignError);
   const std::vector<bio::Protein> one(dataset_->begin(), dataset_->begin() + 1);
-  EXPECT_THROW(run_rckalign(one, options(2)), std::invalid_argument);
+  EXPECT_THROW(run_rckalign(one, options(2)), rck::rckalign::AlignError);
 
   // Cache for a different dataset must be rejected.
   const auto other = bio::build_dataset(bio::ck34_spec());
   RckAlignOptions o = options(2);
-  EXPECT_THROW(run_rckalign(other, o), std::invalid_argument);
+  EXPECT_THROW(run_rckalign(other, o), rck::rckalign::AlignError);
 }
 
 TEST_F(RckAlignTest, NetworkCarriedTheStructures) {

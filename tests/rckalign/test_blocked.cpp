@@ -1,3 +1,4 @@
+#include "rck/rckalign/error.hpp"
 #include "rck/rckalign/blocked.hpp"
 
 #include <gtest/gtest.h>
@@ -70,7 +71,7 @@ TEST_F(BlockedTest, PlanRespectsHalfBudgetPerBlock) {
 }
 
 TEST_F(BlockedTest, TinyBudgetThrows) {
-  EXPECT_THROW(plan_blocks(*dataset_, 10), std::invalid_argument);
+  EXPECT_THROW(plan_blocks(*dataset_, 10), rck::rckalign::AlignError);
 }
 
 TEST_F(BlockedTest, AllPairsExactlyOnce) {

@@ -1,3 +1,4 @@
+#include "rck/rckalign/error.hpp"
 #include "rck/rckalign/clustering.hpp"
 
 #include <gtest/gtest.h>
@@ -110,7 +111,7 @@ TEST_F(ClusteringTest, MissingPairsDefaultToDistant) {
 
 TEST_F(ClusteringTest, BadRowIndexThrows) {
   std::vector<PairRow> rows{PairRow{0, 99, 0.9, 0.9, 1.0, 0.5, 50, 1}};
-  EXPECT_THROW(cluster_rows(8, rows, 0.5), std::out_of_range);
+  EXPECT_THROW(cluster_rows(8, rows, 0.5), rck::rckalign::AlignError);
 }
 
 TEST(Clustering, EmptyAndSingleton) {

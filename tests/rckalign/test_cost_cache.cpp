@@ -1,8 +1,10 @@
+#include "rck/rckalign/error.hpp"
 #include "rck/rckalign/cost_cache.hpp"
 
 #include <gtest/gtest.h>
 
 #include "rck/bio/dataset.hpp"
+#include "rck/core/error.hpp"
 #include "rck/core/tmalign.hpp"
 
 namespace rck::rckalign {
@@ -47,8 +49,8 @@ TEST_F(CostCacheTest, OrderInsensitiveLookup) {
 }
 
 TEST_F(CostCacheTest, InvalidPairsThrow) {
-  EXPECT_THROW(cache_->at(3, 3), std::out_of_range);
-  EXPECT_THROW(cache_->at(0, 8), std::out_of_range);
+  EXPECT_THROW(cache_->at(3, 3), rck::rckalign::AlignError);
+  EXPECT_THROW(cache_->at(0, 8), rck::rckalign::AlignError);
 }
 
 TEST_F(CostCacheTest, FootprintsPopulated) {
@@ -94,7 +96,7 @@ TEST(CostCache, PropagatesAlignmentErrors) {
   bad.push_back(bio::Protein("tiny", {{'A', 1, {0, 0, 0}},
                                       {'G', 2, {3.8, 0, 0}},
                                       {'L', 3, {7.6, 0, 0}}}));
-  EXPECT_THROW(PairCache::build(bad), std::invalid_argument);
+  EXPECT_THROW(PairCache::build(bad), rck::core::CoreError);
 }
 
 }  // namespace

@@ -1,3 +1,4 @@
+#include "rck/rckalign/error.hpp"
 #include "rck/rckalign/distributed.hpp"
 
 #include <gtest/gtest.h>
@@ -92,9 +93,9 @@ TEST_F(DistributedTest, Deterministic) {
 }
 
 TEST_F(DistributedTest, Validation) {
-  EXPECT_THROW(run_distributed(*dataset_, *cache_, 0, p54c()), std::invalid_argument);
+  EXPECT_THROW(run_distributed(*dataset_, *cache_, 0, p54c()), rck::rckalign::AlignError);
   const auto other = bio::build_dataset(bio::ck34_spec());
-  EXPECT_THROW(run_distributed(other, *cache_, 2, p54c()), std::invalid_argument);
+  EXPECT_THROW(run_distributed(other, *cache_, 2, p54c()), rck::rckalign::AlignError);
 }
 
 TEST_F(DistributedTest, RejectsNonPositiveBandwidthAndNegativeOverheads) {
@@ -102,27 +103,27 @@ TEST_F(DistributedTest, RejectsNonPositiveBandwidthAndNegativeOverheads) {
   DistributedParams p;
   p.nfs_bytes_per_s = 0.0;
   EXPECT_THROW(run_distributed(*dataset_, *cache_, 2, p54c(), p),
-               std::invalid_argument);
+               rck::rckalign::AlignError);
   p = DistributedParams{};
   p.nfs_bytes_per_s = -5.0;
   EXPECT_THROW(run_distributed(*dataset_, *cache_, 2, p54c(), p),
-               std::invalid_argument);
+               rck::rckalign::AlignError);
   p = DistributedParams{};
   p.spawn_overhead_s = -1.0;
   EXPECT_THROW(run_distributed(*dataset_, *cache_, 2, p54c(), p),
-               std::invalid_argument);
+               rck::rckalign::AlignError);
   p = DistributedParams{};
   p.master_dispatch_s = std::numeric_limits<double>::quiet_NaN();
   EXPECT_THROW(run_distributed(*dataset_, *cache_, 2, p54c(), p),
-               std::invalid_argument);
+               rck::rckalign::AlignError);
   p = DistributedParams{};
   p.nfs_request_overhead_s = std::numeric_limits<double>::infinity();
   EXPECT_THROW(run_distributed(*dataset_, *cache_, 2, p54c(), p),
-               std::invalid_argument);
+               rck::rckalign::AlignError);
   p = DistributedParams{};
   p.pdb_bytes_per_residue = -0.5;
   EXPECT_THROW(run_distributed(*dataset_, *cache_, 2, p54c(), p),
-               std::invalid_argument);
+               rck::rckalign::AlignError);
 }
 
 TEST_F(DistributedTest, LargerFilesSlowTheDisk) {

@@ -1,3 +1,4 @@
+#include "rck/rckalign/error.hpp"
 #include "rck/rckalign/extensions.hpp"
 
 #include <gtest/gtest.h>
@@ -71,10 +72,10 @@ TEST_F(ExtensionsTest, McPscValidation) {
   McPscOptions opts;
   opts.tmalign_slaves = 0;
   opts.rmsd_slaves = 2;
-  EXPECT_THROW(run_mcpsc(*dataset_, opts), std::invalid_argument);
+  EXPECT_THROW(run_mcpsc(*dataset_, opts), rck::rckalign::AlignError);
   opts.tmalign_slaves = 40;
   opts.rmsd_slaves = 40;
-  EXPECT_THROW(run_mcpsc(*dataset_, opts), std::invalid_argument);
+  EXPECT_THROW(run_mcpsc(*dataset_, opts), rck::rckalign::AlignError);
 }
 
 TEST_F(ExtensionsTest, HierarchyCompletesAllPairs) {
@@ -131,13 +132,13 @@ TEST_F(ExtensionsTest, HierarchyCompetitiveWithFlatFarm) {
 TEST_F(ExtensionsTest, HierarchyValidation) {
   HierarchyOptions opts;
   opts.group_count = 0;
-  EXPECT_THROW(run_hierarchical(*dataset_, opts), std::invalid_argument);
+  EXPECT_THROW(run_hierarchical(*dataset_, opts), rck::rckalign::AlignError);
   opts.group_count = 4;
   opts.slave_count = 2;  // fewer slaves than groups
-  EXPECT_THROW(run_hierarchical(*dataset_, opts), std::invalid_argument);
+  EXPECT_THROW(run_hierarchical(*dataset_, opts), rck::rckalign::AlignError);
   opts.group_count = 10;
   opts.slave_count = 45;  // 1 + 10 + 45 > 48
-  EXPECT_THROW(run_hierarchical(*dataset_, opts), std::invalid_argument);
+  EXPECT_THROW(run_hierarchical(*dataset_, opts), rck::rckalign::AlignError);
 }
 
 TEST_F(ExtensionsTest, HierarchyDeterministic) {

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "rck/rckalign/error.hpp"
 #include "rck/bio/dataset.hpp"
 #include "rck/rckalign/extensions.hpp"
 
@@ -126,11 +127,11 @@ TEST_F(MultiMethodTest, SequenceFilterIsCheapest) {
 
 TEST_F(MultiMethodTest, Validation) {
   MultiMethodOptions opts;
-  EXPECT_THROW(run_multi_method(*dataset_, opts), std::invalid_argument);  // no groups
+  EXPECT_THROW(run_multi_method(*dataset_, opts), rck::rckalign::AlignError);  // no groups
   opts.groups = {{Method::TmAlign, 0}};
-  EXPECT_THROW(run_multi_method(*dataset_, opts), std::invalid_argument);  // empty group
+  EXPECT_THROW(run_multi_method(*dataset_, opts), rck::rckalign::AlignError);  // empty group
   opts.groups = {{Method::TmAlign, 30}, {Method::CeAlign, 30}};
-  EXPECT_THROW(run_multi_method(*dataset_, opts), std::invalid_argument);  // too big
+  EXPECT_THROW(run_multi_method(*dataset_, opts), rck::rckalign::AlignError);  // too big
 }
 
 TEST_F(MultiMethodTest, Deterministic) {

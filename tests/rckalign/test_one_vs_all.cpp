@@ -1,3 +1,4 @@
+#include "rck/rckalign/error.hpp"
 #include "rck/rckalign/one_vs_all.hpp"
 
 #include <gtest/gtest.h>
@@ -105,12 +106,12 @@ TEST_F(OneVsAllTest, Deterministic) {
 }
 
 TEST_F(OneVsAllTest, Validation) {
-  EXPECT_THROW(run_one_vs_all(*query_, {}, options(2)), std::invalid_argument);
+  EXPECT_THROW(run_one_vs_all(*query_, {}, options(2)), rck::rckalign::AlignError);
   OneVsAllOptions no_methods = options(2);
   no_methods.methods.clear();
-  EXPECT_THROW(run_one_vs_all(*query_, *database_, no_methods), std::invalid_argument);
-  EXPECT_THROW(run_one_vs_all(*query_, *database_, options(0)), std::invalid_argument);
-  EXPECT_THROW(run_one_vs_all(*query_, *database_, options(99)), std::invalid_argument);
+  EXPECT_THROW(run_one_vs_all(*query_, *database_, no_methods), rck::rckalign::AlignError);
+  EXPECT_THROW(run_one_vs_all(*query_, *database_, options(0)), rck::rckalign::AlignError);
+  EXPECT_THROW(run_one_vs_all(*query_, *database_, options(99)), rck::rckalign::AlignError);
 }
 
 }  // namespace

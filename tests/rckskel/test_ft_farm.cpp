@@ -234,7 +234,7 @@ TEST(FtFarm, DuplicateJobIdsRejected) {
                         // Slave exits immediately; the master throws before
                         // any protocol traffic.
                       }),
-               std::invalid_argument);
+               rck::rckskel::SkelError);
 }
 
 TEST(FtFarm, CollectRejectsEmptyUeSet) {

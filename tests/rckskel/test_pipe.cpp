@@ -128,7 +128,7 @@ TEST(Pipe, MasterCannotBeStage) {
                         const std::vector<int> stages{0};
                         (void)pipe(comm, stages, {});
                       }),
-               std::invalid_argument);
+               rck::rckskel::SkelError);
 }
 
 TEST(Pipe, NoStagesRejected) {
@@ -138,7 +138,7 @@ TEST(Pipe, NoStagesRejected) {
                         rcce::Comm comm(ctx);
                         (void)pipe(comm, {}, {});
                       }),
-               std::invalid_argument);
+               rck::rckskel::SkelError);
 }
 
 TEST(Pipe, PipelineParallelismBeatsSerialExecution) {

@@ -238,7 +238,7 @@ TEST(Farm, MasterCannotBeSlave) {
                         else
                           farm_slave(comm, 0, doubling_worker);
                       }),
-               std::invalid_argument);
+               rck::rckskel::SkelError);
 }
 
 TEST(Farm, EmptyUeSetRejected) {
@@ -248,7 +248,7 @@ TEST(Farm, EmptyUeSetRejected) {
                         rcce::Comm comm(ctx);
                         farm(comm, Task::make_par({}, numbered_jobs(2)));
                       }),
-               std::invalid_argument);
+               rck::rckskel::SkelError);
 }
 
 TEST(ParCollect, RoundTrip) {

@@ -23,8 +23,8 @@ TEST(Chip, CoreToTileMapping) {
   EXPECT_EQ(c.tile_of_core(2), 1);
   EXPECT_EQ(c.tile_of_core(47), 23);
   EXPECT_EQ(c.router_of_core(46), 23);
-  EXPECT_THROW(c.tile_of_core(48), std::out_of_range);
-  EXPECT_THROW(c.tile_of_core(-1), std::out_of_range);
+  EXPECT_THROW(c.tile_of_core(48), rck::scc::ChipError);
+  EXPECT_THROW(c.tile_of_core(-1), rck::scc::ChipError);
 }
 
 TEST(Chip, SccCoreNames) {
@@ -32,7 +32,7 @@ TEST(Chip, SccCoreNames) {
   EXPECT_EQ(c.core_name(0), "rck00");
   EXPECT_EQ(c.core_name(7), "rck07");
   EXPECT_EQ(c.core_name(47), "rck47");
-  EXPECT_THROW(c.core_name(48), std::out_of_range);
+  EXPECT_THROW(c.core_name(48), rck::scc::ChipError);
 }
 
 TEST(Chip, FourMemoryControllersAtEdges) {

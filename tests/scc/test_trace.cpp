@@ -135,10 +135,10 @@ TEST(Gantt, KindCharactersDistinct) {
 }
 
 TEST(Gantt, RejectsBadDimensions) {
-  EXPECT_THROW(render_gantt({}, 0, 100), std::invalid_argument);
+  EXPECT_THROW(render_gantt({}, 0, 100), rck::scc::ChipError);
   GanttOptions bad;
   bad.width = 0;
-  EXPECT_THROW(render_gantt({}, 1, 100, bad), std::invalid_argument);
+  EXPECT_THROW(render_gantt({}, 1, 100, bad), rck::scc::ChipError);
 }
 
 }  // namespace

@@ -1,0 +1,109 @@
+// rck_lint: the repo invariant linter (static half of rck::chk).
+//
+// Walks src/ and tools/ under the given repo root, applies the rules in
+// rck/chk/lint.hpp to every C++ source file, and prints findings as
+//   path:line: [rule] message
+// Exit status: 0 clean, 1 findings, 2 usage/IO error.
+//
+// Usage:
+//   rck_lint [repo-root]          # default: current directory
+//   rck_lint --list-rules <file>  # show which rules apply to a path
+//
+// Run locally from the build dir as `./tools/rck_lint ..`; CI runs it in the
+// `analysis` matrix leg. Suppress a line with
+//   // rck-lint: allow(<rule>)
+// on the same or previous line (see DESIGN.md, "Analysis & invariants").
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rck/chk/lint.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+bool is_cpp_source(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  bool list_rules = false;
+  std::vector<std::string> list_targets;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf("usage: rck_lint [repo-root] | rck_lint --list-rules <file>...\n");
+      return 0;
+    }
+    if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (list_rules) {
+      list_targets.push_back(arg);
+    } else {
+      root = arg;
+    }
+  }
+
+  if (list_rules) {
+    for (const std::string& t : list_targets) {
+      std::printf("%s:", t.c_str());
+      for (const std::string& r : rck::chk::lint::rules_for(t))
+        std::printf(" %s", r.c_str());
+      std::printf("\n");
+    }
+    return 0;
+  }
+
+  const fs::path root_path(root);
+  if (!fs::is_directory(root_path / "src")) {
+    std::fprintf(stderr, "rck_lint: no src/ under %s (pass the repo root)\n",
+                 root.c_str());
+    return 2;
+  }
+
+  std::vector<fs::path> files;
+  for (const char* sub : {"src", "tools"}) {
+    const fs::path dir = root_path / sub;
+    if (!fs::is_directory(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir))
+      if (entry.is_regular_file() && is_cpp_source(entry.path()))
+        files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+
+  std::size_t total = 0;
+  for (const fs::path& f : files) {
+    const std::string rel =
+        fs::relative(f, root_path).generic_string();
+    const std::vector<rck::chk::lint::Finding> findings =
+        rck::chk::lint::lint_file(rel, read_file(f));
+    for (const rck::chk::lint::Finding& fd : findings)
+      std::fprintf(stderr, "%s:%d: [%s] %s\n", fd.file.c_str(), fd.line,
+                   fd.rule.c_str(), fd.message.c_str());
+    total += findings.size();
+  }
+
+  if (total != 0) {
+    std::fprintf(stderr, "rck_lint: %zu finding%s in %zu files scanned\n",
+                 total, total == 1 ? "" : "s", files.size());
+    return 1;
+  }
+  std::printf("rck_lint: clean (%zu files scanned)\n", files.size());
+  return 0;
+}
