@@ -30,6 +30,8 @@ int main(int argc, char** argv) {
   int slaves = 7;
   bool lpt = false, serial = false, distributed = false, gantt = false,
        heatmap = false;
+  bool master_ft = false;
+  double crash_master_ms = -1.0;
   int host_threads = 1;
   std::string csv_path;
   obs::Config obs_cfg;
@@ -51,6 +53,10 @@ int main(int argc, char** argv) {
       .flag("heatmap", &heatmap, "print the NoC link-utilization heatmap")
       .option("host-threads", &host_threads,
               "host threads for the simulation itself (0 = all)")
+      .flag("master-ft", &master_ft,
+            "checkpointed master + standby failover (standby on rank slaves+1)")
+      .option("crash-master-at", &crash_master_ms,
+              "crash the master at this simulated ms (implies --master-ft)")
       .flag("chk", &chk_on, "verify the RCCE flag/MPB protocol (race detector)")
       .option("chk-seed", &chk_seed,
               "perturb tied-clock scheduling with this seed (implies --chk)")
@@ -104,6 +110,13 @@ int main(int argc, char** argv) {
                              : host_threads)
       .with_obs(obs_cfg);
   cfg.runtime.enable_trace = gantt || heatmap;
+  if (crash_master_ms >= 0.0) master_ft = true;
+  if (master_ft) cfg.with_master_ft();
+  if (crash_master_ms >= 0.0) {
+    cfg.runtime.faults.crashes.push_back(scc::FaultPlan::Crash{
+        0, static_cast<noc::SimTime>(crash_master_ms *
+                                     static_cast<double>(noc::kPsPerMs))});
+  }
   if (chk_on) cfg.with_chk();
   if (chk_seed != 0) cfg.with_chk_seed(static_cast<std::uint64_t>(chk_seed));
   if (!chk_report.empty()) cfg.with_chk_report(chk_report);
@@ -125,6 +138,12 @@ int main(int argc, char** argv) {
   std::printf("rckAlign: %d slaves%s -> %.2f simulated seconds, %llu sim events\n",
               slaves, lpt ? " (LPT)" : "", noc::to_seconds(run.makespan),
               static_cast<unsigned long long>(run.events));
+  if (master_ft) {
+    std::printf("master-ft: %zu checkpoints, %zu failover(s), %zu jobs resumed "
+                "from checkpoint, %zu retries\n",
+                run.farm_report.checkpoints, run.farm_report.failovers,
+                run.farm_report.resumed_jobs, run.farm_report.retries);
+  }
   std::printf("network: %llu msgs, %.1f MB, %llu hops, queueing %.3f ms\n",
               static_cast<unsigned long long>(run.network.messages),
               static_cast<double>(run.network.total_bytes) / (1024.0 * 1024.0),
@@ -137,8 +156,10 @@ int main(int argc, char** argv) {
     const scc::CoreReport& r = run.core_reports[rank];
     const double util =
         static_cast<double>(r.busy) / static_cast<double>(run.makespan);
+    const bool is_standby =
+        master_ft && rank == static_cast<std::size_t>(slaves) + 1;
     std::printf("  %s %-6s util %5.1f%%  busy %8.2fs  blocked %8.2fs  msgs %llu/%llu\n",
-                rank == 0 ? "master" : "slave ",
+                rank == 0 ? "master" : (is_standby ? "stndby" : "slave "),
                 scc::default_scc().core_name(static_cast<int>(rank)).c_str(),
                 100.0 * util, noc::to_seconds(r.busy), noc::to_seconds(r.blocked),
                 static_cast<unsigned long long>(r.messages_sent),

@@ -10,6 +10,10 @@
 //   throw-taxonomy   every `throw` in src/ + tools/ constructs an
 //                    *Error-suffixed class (the rck::Error taxonomy with
 //                    dotted codes) or is a bare rethrow
+//   error-codes      every code-shaped string literal (`rck.<family>.<leaf>`,
+//                    e.g. "rck.skel.checkpoint") in src/ + tools/ belongs to
+//                    the registry of minted codes — typos and unregistered
+//                    families fail the lint
 //   hot-path-alloc   no new/malloc/container growth in the PR 3 SIMD kernel
 //                    hot-path files
 //   include-hygiene  quoted includes are either `rck/...` (public headers

@@ -45,6 +45,27 @@ constexpr std::string_view kHotPathBans[] = {
     "resize", "reserve",      "emplace",      "insert",    "shrink_to_fit",
 };
 
+/// Every stable error code minted so far — the dotted codes carried by the
+/// rck::Error taxonomy (see DESIGN.md, "Error taxonomy"). A code-shaped
+/// string literal (`rck.<family>.<leaf>`) outside this registry is either a
+/// typo or an unregistered family; new codes extend this table in the same
+/// PR that mints them. The `rck.skel.checkpoint` family covers the PR 6
+/// snapshot codec (checksum mismatch, truncation, version skew).
+constexpr std::string_view kKnownErrorCodes[] = {
+    "rck.align.invalid",    "rck.bio.data",      "rck.bio.pdb",
+    "rck.bio.wire",         "rck.chk.io",        "rck.chk.misuse",
+    "rck.chk.race",         "rck.cli.args",      "rck.config.invalid",
+    "rck.core.invalid",     "rck.harness.io",    "rck.harness.table",
+    "rck.noc.invalid",      "rck.obs.io",        "rck.obs.misuse",
+    "rck.rcce.invalid",     "rck.scc.deadlock",  "rck.scc.fault_stall",
+    "rck.scc.invalid",      "rck.scc.sim",       "rck.skel.checkpoint",
+    "rck.skel.farm_failed", "rck.skel.invalid",  "rck.skel.protocol",
+};
+
+bool is_code_char(char c) noexcept {
+  return (c >= 'a' && c <= 'z') || c == '_' || c == '.';
+}
+
 bool in_determinism_scope(std::string_view path) {
   return starts_with(path, "src/scc/") || starts_with(path, "src/noc/") ||
          starts_with(path, "src/rcce/") || starts_with(path, "src/rckskel/") ||
@@ -244,6 +265,55 @@ void check_hot_path(std::string_view path,
   }
 }
 
+void check_error_codes(std::string_view path, std::string_view raw,
+                       std::string_view stripped, const Waivers& waivers,
+                       std::vector<Finding>& out) {
+  // String bodies are blanked in the stripped view but the delimiting quotes
+  // survive, and strip() is length-preserving — so quote pairs in `stripped`
+  // locate the real literals (quotes inside comments are blanked) and `raw`
+  // supplies their text. Codes are validated wherever they appear inside a
+  // literal, which also covers JSON emitters that embed them mid-string.
+  int line = 1;
+  std::size_t i = 0;
+  while (i < stripped.size()) {
+    const char c = stripped[i];
+    if (c == '\n') ++line;
+    if (c != '"') {
+      ++i;
+      continue;
+    }
+    const std::size_t close = stripped.find('"', i + 1);
+    if (close == std::string_view::npos) break;
+    const std::string_view body = raw.substr(i + 1, close - i - 1);
+    std::size_t pos = 0;
+    while ((pos = body.find("rck.", pos)) != std::string_view::npos) {
+      if (pos > 0 && is_ident(body[pos - 1])) {
+        pos += 4;
+        continue;
+      }
+      std::size_t end = pos;
+      while (end < body.size() && is_code_char(body[end])) ++end;
+      std::string_view code = body.substr(pos, end - pos);
+      while (!code.empty() && code.back() == '.') code.remove_suffix(1);
+      pos = end;
+      // Two dots minimum: `rck.skel` alone names a family prefix in prose,
+      // not a code.
+      if (std::count(code.begin(), code.end(), '.') < 2) continue;
+      const bool known =
+          std::find(std::begin(kKnownErrorCodes), std::end(kKnownErrorCodes),
+                    code) != std::end(kKnownErrorCodes);
+      if (known || waivers.allows(line, "error-codes")) continue;
+      out.push_back({std::string(path), line, "error-codes",
+                     "unregistered error code \"" + std::string(code) +
+                         "\" (stable dotted codes live in the linter's "
+                         "registry; extend it in the PR that mints the code)"});
+    }
+    for (std::size_t k = i + 1; k <= close; ++k)
+      if (stripped[k] == '\n') ++line;
+    i = close + 1;
+  }
+}
+
 void check_includes(std::string_view path,
                     const std::vector<std::string_view>& raw_lines,
                     const Waivers& waivers, std::vector<Finding>& out) {
@@ -387,6 +457,7 @@ std::vector<std::string> rules_for(std::string_view repo_rel_path) {
   if (!is_source) return rules;
   if (in_determinism_scope(repo_rel_path)) rules.emplace_back("determinism");
   rules.emplace_back("throw-taxonomy");
+  rules.emplace_back("error-codes");
   if (is_hot_path(repo_rel_path)) rules.emplace_back("hot-path-alloc");
   rules.emplace_back("include-hygiene");
   return rules;
@@ -410,6 +481,8 @@ std::vector<Finding> lint_file(std::string_view repo_rel_path,
     check_determinism(repo_rel_path, code_lines, waivers, out);
   if (has("throw-taxonomy"))
     check_throw_taxonomy(repo_rel_path, stripped, waivers, out);
+  if (has("error-codes"))
+    check_error_codes(repo_rel_path, content, stripped, waivers, out);
   if (has("hot-path-alloc"))
     check_hot_path(repo_rel_path, code_lines, waivers, out);
   if (has("include-hygiene"))

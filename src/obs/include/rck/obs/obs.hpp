@@ -116,6 +116,8 @@ struct Std {
   CounterId farm_lease_expiries;
   CounterId farm_corrupt_frames;
   CounterId farm_duplicates;
+  CounterId farm_checkpoints;  ///< snapshots replicated to the standby
+  CounterId farm_failovers;    ///< standby takeovers after a master crash
   CounterId app_pairs;        ///< pair comparisons executed (per slave shard)
   CounterId app_kernel_ps;    ///< simulated time in the comparison kernel
   CounterId app_block_loads;  ///< out-of-core block (re)loads
@@ -127,6 +129,7 @@ struct Std {
   // -- histograms -------------------------------------------------------
   HistId farm_job_latency_ps;  ///< dispatch -> collect, per job
   HistId farm_slave_job_ps;    ///< slave-side receive -> result-sent
+  HistId farm_recovery_ps;     ///< failover detection -> leases re-established
   HistId noc_msg_bytes;        ///< message size distribution
   HistId noc_queue_ps;         ///< per-message link queueing delay
 
@@ -139,7 +142,10 @@ struct Std {
   NameId n_link;      ///< per-link occupancy span
   NameId n_mpb;       ///< MPB endpoint occupancy counter samples
   NameId n_crash, n_msg_drop, n_msg_corrupt, n_stall;  // fault markers
+  NameId n_restart;  ///< fault-plan core revival marker (id = rank)
   NameId n_lease_expiry;  ///< FT farm lease ran out (id = job id)
+  NameId n_checkpoint;    ///< checkpoint replicated (id = snapshot seq)
+  NameId n_failover;      ///< standby takeover marker (id = old master UE)
   NameId n_phase;  ///< application phase spans (id = phase ordinal)
   NameId n_load_dataset, n_build_jobs, n_decode_results, n_block_load;
   NameId n_chk_race;  ///< race-detector report marker (id = racing core)

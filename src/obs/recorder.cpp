@@ -31,6 +31,8 @@ Recorder::Recorder(Config cfg, int core_shards)
   std_.farm_lease_expiries = reg.counter("farm.lease_expiries");
   std_.farm_corrupt_frames = reg.counter("farm.corrupt_frames");
   std_.farm_duplicates = reg.counter("farm.duplicate_results");
+  std_.farm_checkpoints = reg.counter("farm.checkpoints");
+  std_.farm_failovers = reg.counter("farm.failovers");
   std_.app_pairs = reg.counter("app.pairs");
   std_.app_kernel_ps = reg.counter("app.kernel_ps", Unit::Ps);
   std_.app_block_loads = reg.counter("app.block_loads");
@@ -40,6 +42,7 @@ Recorder::Recorder(Config cfg, int core_shards)
 
   std_.farm_job_latency_ps = reg.histogram("farm.job_latency_ps", Unit::Ps);
   std_.farm_slave_job_ps = reg.histogram("farm.slave_job_ps", Unit::Ps);
+  std_.farm_recovery_ps = reg.histogram("farm.recovery_ps", Unit::Ps);
   std_.noc_msg_bytes = reg.histogram("noc.msg_bytes", Unit::Bytes);
   std_.noc_queue_ps = reg.histogram("noc.queue_ps", Unit::Ps);
 
@@ -59,7 +62,10 @@ Recorder::Recorder(Config cfg, int core_shards)
   std_.n_msg_drop = name("msg_drop");
   std_.n_msg_corrupt = name("msg_corrupt");
   std_.n_stall = name("stall");
+  std_.n_restart = name("restart");
   std_.n_lease_expiry = name("lease_expiry");
+  std_.n_checkpoint = name("checkpoint");
+  std_.n_failover = name("failover");
   std_.n_phase = name("phase");
   std_.n_load_dataset = name("load_dataset");
   std_.n_build_jobs = name("build_jobs");

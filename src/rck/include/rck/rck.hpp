@@ -69,6 +69,15 @@ struct RunConfig {
   /// `runtime.faults` is non-empty.
   bool fault_tolerant = false;
   rckskel::FaultTolerantFarmOptions ft{};
+  /// Checkpointed master + standby failover: the master replicates farm
+  /// state to a standby core at rank slave_count + 1, which takes over on
+  /// missed heartbeats and finishes the farm without re-running completed
+  /// jobs. Implies fault_tolerant; requires slave_count + 2 cores. This is
+  /// the only mode in which the fault plan may crash rank 0.
+  bool master_ft = false;
+  /// Checkpoint cadence / heartbeat knobs for master_ft (mft.ft is
+  /// overwritten by `ft` above during lowering).
+  rckskel::MasterFtOptions mft{};
 
   // -- simulation (chip, network, faults, host parallelism) -------------
   scc::RuntimeConfig runtime{};
@@ -93,6 +102,8 @@ struct RunConfig {
   RunConfig& with_cache(const rckalign::PairCache* c) { cache = c; return *this; }
   RunConfig& with_fault_tolerance(bool on = true) { fault_tolerant = on; return *this; }
   RunConfig& with_ft(const rckskel::FaultTolerantFarmOptions& o) { ft = o; return *this; }
+  RunConfig& with_master_ft(bool on = true) { master_ft = on; return *this; }
+  RunConfig& with_master_ft(const rckskel::MasterFtOptions& o) { master_ft = true; mft = o; return *this; }
   RunConfig& with_runtime(const scc::RuntimeConfig& rt) { runtime = rt; return *this; }
   RunConfig& with_faults(const scc::FaultPlan& plan) { runtime.faults = plan; return *this; }
   RunConfig& with_host_threads(int threads) { runtime.host.threads = threads; return *this; }

@@ -31,12 +31,16 @@ std::vector<ConfigIssue> RunConfig::validate() const {
   if (cores < 2) {
     bad("runtime.chip", "chip must have at least 2 cores (master + slave)");
   }
+  const int reserved = master_ft ? 2 : 1;  // master (+ standby)
   if (slave_count < 1) {
     bad("slave_count", "need at least one slave core");
-  } else if (cores >= 2 && slave_count + 1 > cores) {
+  } else if (cores >= 2 && slave_count + reserved > cores) {
     bad("slave_count",
-        "slave_count + master exceeds the chip's " + std::to_string(cores) +
-            " cores");
+        master_ft
+            ? "slave_count + master + standby exceeds the chip's " +
+                  std::to_string(cores) + " cores"
+            : "slave_count + master exceeds the chip's " +
+                  std::to_string(cores) + " cores");
   }
 
   if (runtime.host.threads < 1) {
@@ -60,10 +64,29 @@ std::vector<ConfigIssue> RunConfig::validate() const {
       bad("runtime.faults.crashes[" + std::to_string(i) + "].rank",
           "rank outside the chip");
     }
-    if (c.rank == 0) {
+    if (c.rank == 0 && !master_ft) {
       bad("runtime.faults.crashes[" + std::to_string(i) + "].rank",
-          "crashing rank 0 kills the master; the farm cannot recover from "
-          "that");
+          "crashing rank 0 kills the master; only a master_ft run (standby "
+          "failover) can recover from that");
+    }
+  }
+  for (std::size_t i = 0; i < faults.event_crashes.size(); ++i) {
+    const auto& c = faults.event_crashes[i];
+    if (c.rank < 0 || (cores >= 2 && c.rank >= cores)) {
+      bad("runtime.faults.event_crashes[" + std::to_string(i) + "].rank",
+          "rank outside the chip");
+    }
+    if (c.rank == 0 && !master_ft) {
+      bad("runtime.faults.event_crashes[" + std::to_string(i) + "].rank",
+          "crashing rank 0 kills the master; only a master_ft run (standby "
+          "failover) can recover from that");
+    }
+  }
+  for (std::size_t i = 0; i < faults.restarts.size(); ++i) {
+    const auto& r = faults.restarts[i];
+    if (r.rank < 0 || (cores >= 2 && r.rank >= cores)) {
+      bad("runtime.faults.restarts[" + std::to_string(i) + "].rank",
+          "rank outside the chip");
     }
   }
   for (std::size_t i = 0; i < faults.messages.size(); ++i) {
@@ -85,9 +108,19 @@ std::vector<ConfigIssue> RunConfig::validate() const {
     }
   }
 
+  if (master_ft) {
+    if (mft.heartbeat_period <= 0) {
+      bad("mft.heartbeat_period", "must be > 0");
+    } else if (mft.heartbeat_timeout <= mft.heartbeat_period) {
+      bad("mft.heartbeat_timeout",
+          "must exceed heartbeat_period, or the standby declares a failover "
+          "between two healthy heartbeats");
+    }
+  }
+
   // A non-empty fault plan silently upgrades to the FT farm (to_options()),
   // so its knobs get validated in that case too.
-  if (fault_tolerant || !faults.empty()) {
+  if (fault_tolerant || master_ft || !faults.empty()) {
     if (ft.max_attempts < 1) {
       bad("ft.max_attempts", "must be >= 1");
     }
@@ -131,6 +164,8 @@ rckalign::RckAlignOptions RunConfig::to_options() const {
   opts.lpt = lpt;
   opts.fault_tolerant = fault_tolerant || !runtime.faults.empty();
   opts.ft = ft;
+  opts.master_ft = master_ft;
+  opts.mft = mft;
   opts.runtime.chk = chk;
   return opts;
 }

@@ -49,6 +49,16 @@ struct RckAlignOptions {
   /// Resilience knobs for the fault-tolerant farm (leases, retries,
   /// timeouts); base.lpt_order is overridden by `lpt` above.
   rckskel::FaultTolerantFarmOptions ft{};
+  /// Survive the master too: run the checkpointed farm master (periodic
+  /// snapshots + heartbeats replicated to a standby) with the standby on
+  /// rank slave_count + 1. Implies fault_tolerant; requires
+  /// slave_count + 2 cores on the chip. The final matrix is byte-identical
+  /// to the fault-free run even when the master crashes mid-farm.
+  bool master_ft = false;
+  /// Checkpoint cadence and heartbeat knobs for master_ft. The embedded
+  /// mft.ft is overwritten by `ft` above (with standby_ue auto-derived as
+  /// slave_count + 1), so only the master-ft-specific fields matter here.
+  rckskel::MasterFtOptions mft{};
 };
 
 /// One collected pairwise result.

@@ -32,6 +32,8 @@ struct JobResult {
   std::uint64_t id = 0;
   int worker = -1;  ///< UE that processed the job
   bio::Bytes payload;
+
+  bool operator==(const JobResult&) const = default;
 };
 
 enum class MsgType : std::uint8_t {
@@ -39,6 +41,11 @@ enum class MsgType : std::uint8_t {
   Job = 2,
   Result = 3,
   Terminate = 4,
+  /// Master-FT extensions (PR 6): a CHECKPOINT frame carries an encoded
+  /// FarmCheckpoint snapshot to the standby; a HEARTBEAT frame proves master
+  /// liveness between checkpoints. Both ride the same sealed-frame format.
+  Checkpoint = 5,
+  Heartbeat = 6,
 };
 
 /// FNV-1a 32-bit checksum over `data`, as carried in every protocol frame.
@@ -53,12 +60,14 @@ bio::Bytes encode_ready();
 bio::Bytes encode_job(const Job& job);
 bio::Bytes encode_result(std::uint64_t job_id, const bio::Bytes& payload);
 bio::Bytes encode_terminate();
+bio::Bytes encode_checkpoint(const bio::Bytes& snapshot);
+bio::Bytes encode_heartbeat(std::uint64_t seq);
 
 /// A decoded protocol message.
 struct Message {
   MsgType type = MsgType::Terminate;
-  std::uint64_t job_id = 0;  ///< valid for Job / Result
-  bio::Bytes payload;        ///< valid for Job / Result
+  std::uint64_t job_id = 0;  ///< valid for Job / Result / Heartbeat (seq)
+  bio::Bytes payload;        ///< valid for Job / Result / Checkpoint
 };
 
 /// Decode a protocol message; throws bio::WireError on malformed input.

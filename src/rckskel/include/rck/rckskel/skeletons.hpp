@@ -21,6 +21,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -109,6 +110,17 @@ struct FarmOptions {
   /// hierarchical-masters extension); the caller then terminates them
   /// explicitly with terminate().
   bool send_terminate = true;
+  /// Slave side: longest silence a farm_slave() tolerates before deciding
+  /// something is wrong. A dead master raises scc::FaultStallError, an
+  /// alive-but-silent one scc::DeadlockError — either way the simulation
+  /// fails loudly instead of hanging forever on an orphaned blocking recv.
+  /// Generous by default (one simulated hour) because legitimate silence
+  /// scales with the workload: in a grouped farm (multi-method, MC-PSC) a
+  /// slave whose group finished early hears nothing until the slowest
+  /// group's last job completes, which on CK34 with CE-class methods runs
+  /// to hundreds of simulated seconds. Tighten it for workloads with a
+  /// known makespan bound.
+  noc::SimTime slave_idle_timeout = 3600 * noc::kPsPerSec;
 };
 
 /// Send TERMINATE to the given UEs (for callers using send_terminate=false).
@@ -174,6 +186,10 @@ struct FaultTolerantFarmOptions {
   /// Slave side: how long a slave waits in silence before checking whether
   /// the master is still alive (returning if not).
   noc::SimTime master_silence_timeout = 2 * noc::kPsPerSec;
+  /// Designated standby core for master failover, or -1 for none. A slave
+  /// whose master dies switches to the standby (re-sending READY) instead of
+  /// returning; the master-ft protocol replicates checkpoints to this UE.
+  int standby_ue = -1;
 };
 
 /// Recovery bookkeeping returned by farm_ft. Deterministic: the same
@@ -186,6 +202,9 @@ struct FarmReport {
   std::size_t lease_expiries = 0;    ///< leases that ran out
   std::size_t corrupt_frames = 0;    ///< frames rejected by checksum
   std::size_t duplicate_results = 0; ///< late results discarded by dedup
+  std::size_t checkpoints = 0;       ///< snapshots replicated to the standby
+  std::size_t failovers = 0;         ///< master deaths survived via standby
+  std::size_t resumed_jobs = 0;      ///< jobs restored from a checkpoint (never re-run)
   std::vector<int> dead_ues;         ///< slaves blacklisted as crashed
   noc::SimTime wasted = 0;           ///< simulated time burned by expired leases
   bool operator==(const FarmReport&) const = default;
@@ -200,9 +219,53 @@ std::vector<JobResult> farm_ft(rcce::Comm& comm, const Task& task,
 
 /// FARM (slave side), fault-tolerant: tolerates corrupt frames (the master's
 /// lease re-sends the job) and a dead master (returns instead of blocking
-/// forever).
+/// forever, or — when opts.standby_ue >= 0 — switching to the standby with a
+/// fresh READY and continuing to serve jobs).
 void farm_slave_ft(rcce::Comm& comm, int master_ue, const Worker& worker,
                    const FaultTolerantFarmOptions& opts = {});
+
+// ---- Master failover (checkpointed farm state) -----------------------------
+// farm_ft tolerates slave faults; the master itself is still a single point
+// of failure. The master-ft protocol removes it: the master streams
+// checkpoints (completed results + tracker state, FNV-1a-sealed — see
+// checkpoint.hpp) and heartbeats to a designated standby core. When the
+// standby misses heartbeats and the liveness oracle confirms the master is
+// dead, it loads the latest valid checkpoint, re-establishes leases with the
+// surviving slaves and finishes the farm without re-running any checkpointed
+// job. Slaves point at the same standby via
+// FaultTolerantFarmOptions::standby_ue.
+
+/// Options controlling the master-ft trio (farm_ft_master / farm_standby /
+/// farm_slave_ft with a standby).
+struct MasterFtOptions {
+  /// Base fault-tolerance knobs; standby_ue must be >= 0 here.
+  FaultTolerantFarmOptions ft{};
+  /// Replicate a checkpoint after this many newly accepted results (a final
+  /// snapshot is always sent on completion, and an empty one at startup).
+  std::size_t checkpoint_every = 8;
+  /// Master: heartbeat cadence towards the standby between checkpoints.
+  noc::SimTime heartbeat_period = 10 * noc::kPsPerMs;
+  /// Standby: silence window after which the master's liveness is probed
+  /// (failover begins only if the oracle says the master is dead).
+  noc::SimTime heartbeat_timeout = 50 * noc::kPsPerMs;
+};
+
+/// FARM (master side) with standby replication: farm_ft semantics plus
+/// checkpoint/heartbeat streaming to opts.ft.standby_ue. On completion the
+/// standby receives a final checkpoint followed by TERMINATE.
+std::vector<JobResult> farm_ft_master(rcce::Comm& comm, const Task& task,
+                                      const MasterFtOptions& opts,
+                                      FarmReport* report = nullptr);
+
+/// FARM (standby side): absorb checkpoints and heartbeats from `master_ue`.
+/// Returns std::nullopt when the master completed normally (TERMINATE
+/// received). If the master dies, takes over: resumes the farm from the
+/// latest valid checkpoint and returns the complete result set (checkpointed
+/// results in their original completion order, then the remainder).
+/// `task` must be the same task tree the master was given.
+std::optional<std::vector<JobResult>> farm_standby(
+    rcce::Comm& comm, int master_ue, const Task& task,
+    const MasterFtOptions& opts, FarmReport* report = nullptr);
 
 // ---- PIPE ------------------------------------------------------------------
 // The paper motivates rckskel with "combining processes running on different

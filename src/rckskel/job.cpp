@@ -54,6 +54,20 @@ bio::Bytes encode_terminate() {
   return seal(w.take());
 }
 
+bio::Bytes encode_checkpoint(const bio::Bytes& snapshot) {
+  bio::WireWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::Checkpoint));
+  w.raw(snapshot);
+  return seal(w.take());
+}
+
+bio::Bytes encode_heartbeat(std::uint64_t seq) {
+  bio::WireWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::Heartbeat));
+  w.u64(seq);
+  return seal(w.take());
+}
+
 Message decode_message(bio::Bytes raw) {
   if (raw.size() < 5)
     throw bio::WireError("decode_message: truncated frame");
@@ -64,11 +78,15 @@ Message decode_message(bio::Bytes raw) {
   bio::WireReader r(body);  // view into `raw`, which outlives the reads
   Message m;
   const std::uint8_t t = r.u8();
-  if (t < 1 || t > 4) throw bio::WireError("decode_message: unknown type");
+  if (t < 1 || t > 6) throw bio::WireError("decode_message: unknown type");
   m.type = static_cast<MsgType>(t);
   if (m.type == MsgType::Job || m.type == MsgType::Result) {
     m.job_id = r.u64();
     m.payload = r.rest();
+  } else if (m.type == MsgType::Checkpoint) {
+    m.payload = r.rest();
+  } else if (m.type == MsgType::Heartbeat) {
+    m.job_id = r.u64();
   }
   return m;
 }

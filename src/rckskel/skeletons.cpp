@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <map>
 
+#include "rck/rckskel/checkpoint.hpp"
+
 namespace rck::rckskel {
 
 void Env::log(int level, const std::string& msg) const {
@@ -311,7 +313,22 @@ void farm_slave(rcce::Comm& comm, int master_ue, const Worker& worker,
                 static_cast<std::uint64_t>(comm.ue()));
   }
   for (;;) {
-    Message msg = decode_message(comm.recv(master_ue));
+    // Bounded idle wait: the plain farm assumes a reliable master, but a
+    // crashed (or wedged) one must fail the simulation loudly rather than
+    // leave this slave blocked in recv() forever.
+    std::optional<bio::Bytes> frame =
+        comm.recv_timeout(master_ue, opts.slave_idle_timeout);
+    if (!frame) {
+      if (!comm.ue_alive(master_ue))
+        throw scc::FaultStallError(
+            "farm_slave: master UE " + std::to_string(master_ue) +
+            " crashed; slave " + std::to_string(comm.ue()) + " orphaned");
+      throw scc::DeadlockError(
+          "farm_slave: no traffic from master UE " + std::to_string(master_ue) +
+          " within the idle timeout; slave " + std::to_string(comm.ue()) +
+          " giving up");
+    }
+    Message msg = decode_message(std::move(*frame));
     switch (msg.type) {
       case MsgType::Job: {
         const noc::SimTime t0 = comm.ctx().now();
@@ -332,11 +349,27 @@ void farm_slave(rcce::Comm& comm, int master_ue, const Worker& worker,
   }
 }
 
-std::vector<JobResult> farm_ft(rcce::Comm& comm, const Task& task,
-                               const FaultTolerantFarmOptions& opts,
-                               FarmReport* report) {
+namespace {
+
+/// Master-side context for the master-ft protocol: checkpoint/heartbeat
+/// replication towards a standby (primary master), or the state to resume
+/// from after a takeover (promoted standby). Null for plain farm_ft.
+struct MasterCtx {
+  const MasterFtOptions* mft = nullptr;
+  const FarmCheckpoint* resume = nullptr;  ///< snapshot to resume from
+  noc::SimTime failover_detected = 0;      ///< != 0: running as promoted standby
+};
+
+/// The shared fault-tolerant farm engine behind farm_ft, farm_ft_master and
+/// a promoted farm_standby. See the long comment on farm_ft in the header.
+std::vector<JobResult> run_ft_engine(rcce::Comm& comm, const Task& task,
+                                     const FaultTolerantFarmOptions& opts,
+                                     FarmReport* report, MasterCtx* mctx) {
   const obs::Handle h = comm.obs();
   const noc::SimTime farm_start = comm.ctx().now();
+  const bool promoted = mctx != nullptr && mctx->failover_detected != 0;
+  const bool replicate = mctx != nullptr && !promoted;
+  const int standby = replicate ? opts.standby_ue : -1;
   std::vector<FlatGroup> groups;
   flatten(task, {}, groups, -1);
 
@@ -356,6 +389,8 @@ std::vector<JobResult> farm_ft(rcce::Comm& comm, const Task& task,
   std::sort(slaves.begin(), slaves.end());
   slaves.erase(std::unique(slaves.begin(), slaves.end()), slaves.end());
   if (slaves.empty()) throw SkelError("farm_ft: no slave UEs");
+  if (replicate && std::binary_search(slaves.begin(), slaves.end(), standby))
+    throw SkelError("farm_ft: standby UE cannot be a slave");
   const auto slave_index = [&](int ue) {
     return static_cast<std::size_t>(
         std::lower_bound(slaves.begin(), slaves.end(), ue) - slaves.begin());
@@ -390,6 +425,11 @@ std::vector<JobResult> farm_ft(rcce::Comm& comm, const Task& task,
   FarmReport rep;
   rep.jobs = total;
   std::vector<char> alive(slaves.size(), 1);
+  const auto live_count = [&]() {
+    std::size_t n = 0;
+    for (const char a : alive) n += a != 0 ? 1u : 0u;
+    return n;
+  };
   if (h) {
     h.set_gauge(h.ids().farm_live_slaves, static_cast<double>(slaves.size()),
                 comm.ctx().now());
@@ -397,18 +437,31 @@ std::vector<JobResult> farm_ft(rcce::Comm& comm, const Task& task,
   const auto blacklist = [&](std::size_t si) {
     if (!alive[si]) return;
     alive[si] = 0;
-    rep.dead_ues.push_back(slaves[si]);
+    // dead_ues is a historical log: a slave that later rejoins (restarted
+    // core, late READY) stays listed but is not re-added on a second death.
+    if (std::find(rep.dead_ues.begin(), rep.dead_ues.end(), slaves[si]) ==
+        rep.dead_ues.end())
+      rep.dead_ues.push_back(slaves[si]);
     if (h) {
-      h.set_gauge(h.ids().farm_live_slaves,
-                  static_cast<double>(slaves.size() - rep.dead_ues.size()),
+      h.set_gauge(h.ids().farm_live_slaves, static_cast<double>(live_count()),
+                  comm.ctx().now());
+    }
+  };
+  const auto rejoin = [&](std::size_t si) {
+    if (alive[si]) return;
+    alive[si] = 1;
+    if (h) {
+      h.set_gauge(h.ids().farm_live_slaves, static_cast<double>(live_count()),
                   comm.ctx().now());
     }
   };
 
   // check_ready with a deadline: any frame from a slave proves it is alive
   // (a corrupt READY still came from a live core); slaves silent past the
-  // deadline are blacklisted before the first job is risked on them.
-  if (opts.base.wait_ready) {
+  // deadline are blacklisted before the first job is risked on them. A
+  // promoted standby skips the handshake: surviving slaves re-home on their
+  // own silence timeout, and their fresh READY is absorbed by the main loop.
+  if (!promoted && opts.base.wait_ready) {
     const noc::SimTime deadline = comm.ctx().now() + opts.ready_timeout;
     std::vector<char> seen(slaves.size(), 0);
     std::vector<int> waiting;
@@ -461,6 +514,12 @@ std::vector<JobResult> farm_ft(rcce::Comm& comm, const Task& task,
   // Job ids sent to si and not yet resolved: FIFO per-flow ordering lets a
   // checksum failure be attributed to the oldest outstanding frame.
   std::vector<std::deque<std::uint64_t>> outstanding(slaves.size());
+  // A promoted standby dispatches before the surviving slaves have noticed
+  // the old master is dead; until a slave's first frame reaches *this*
+  // master, its leases carry the worst-case re-home latency (the slave's
+  // silence timeout) so an un-re-homed slave is not burned through
+  // max_attempts while the JOB frame sits unread in its inbox.
+  std::vector<char> rehomed(slaves.size(), promoted ? 0 : 1);
 
   const auto requeue = [&](std::size_t ti) {
     Tracked& t = tracked[ti];
@@ -505,6 +564,7 @@ std::vector<JobResult> farm_ft(rcce::Comm& comm, const Task& task,
           t.slave = static_cast<int>(si);
           t.dispatched_at = comm.ctx().now();
           t.lease_deadline = t.dispatched_at + lease_for(t);
+          if (!rehomed[si]) t.lease_deadline += opts.master_silence_timeout;
           outstanding[si].push_back(t.job->id);
           slave_job[si] = static_cast<int>(ti);
           if (g.seq) g.inflight = true;
@@ -526,27 +586,116 @@ std::vector<JobResult> farm_ft(rcce::Comm& comm, const Task& task,
     }
   };
 
-  std::vector<int> busy;
+  // ---- Resume from a checkpoint (promoted standby) -------------------------
+  if (mctx != nullptr && mctx->resume != nullptr) {
+    const FarmCheckpoint& ck = *mctx->resume;
+    rep = ck.report;
+    rep.jobs = total;  // the task tree is authoritative
+    for (const int dead : rep.dead_ues)
+      if (std::binary_search(slaves.begin(), slaves.end(), dead))
+        alive[slave_index(dead)] = 0;
+    for (const FarmCheckpoint::JobAttempts& a : ck.attempts) {
+      const auto it = by_id.find(a.id);
+      if (it == by_id.end())
+        throw CheckpointError("checkpoint: attempts for unknown job " +
+                              std::to_string(a.id));
+      tracked[it->second].attempts = static_cast<int>(a.attempts);
+    }
+    for (const JobResult& res : ck.done) {
+      const auto it = by_id.find(res.id);
+      if (it == by_id.end())
+        throw CheckpointError("checkpoint: result for unknown job " +
+                              std::to_string(res.id));
+      Tracked& t = tracked[it->second];
+      if (t.done) continue;
+      t.done = true;
+      ++completed;
+      ++groups[t.group].completed;
+      results.push_back(res);
+    }
+    rep.resumed_jobs = ck.done.size();
+    for (std::deque<std::size_t>& dq : pending)
+      std::erase_if(dq, [&](std::size_t ti) { return tracked[ti].done; });
+    if (h)
+      h.set_gauge(h.ids().farm_live_slaves, static_cast<double>(live_count()),
+                  comm.ctx().now());
+  }
+
+  // ---- Takeover: re-establish leases with the surviving slaves -------------
+  if (promoted) {
+    ++rep.failovers;
+    for (std::size_t si = 0; si < slaves.size(); ++si)
+      if (alive[si] && !comm.ue_alive(slaves[si])) blacklist(si);
+    // Dispatch straight away: slaves still pointed at the dead master pick
+    // these frames up as soon as their own silence timeout re-homes them.
+    if (completed < total) try_dispatch();
+    if (h) {
+      h.add(h.ids().farm_failovers);
+      h.observe(h.ids().farm_recovery_ps,
+                comm.ctx().now() - mctx->failover_detected);
+    }
+  }
+
+  // ---- Checkpoint/heartbeat replication towards the standby ----------------
+  std::uint64_t ck_seq = 0;
+  noc::SimTime next_heartbeat = 0;
+  const auto send_checkpoint = [&]() {
+    if (!replicate) return;
+    ++rep.checkpoints;
+    FarmCheckpoint ck;
+    ck.seq = ++ck_seq;
+    ck.report = rep;
+    ck.done = results;
+    for (const Tracked& t : tracked)
+      if (t.attempts > 0 && !t.done)
+        ck.attempts.push_back(
+            {t.job->id, static_cast<std::uint32_t>(t.attempts)});
+    comm.send(standby, encode_checkpoint(encode_checkpoint_state(ck)));
+    if (h) {
+      h.add(h.ids().farm_checkpoints);
+      h.instant(obs::Lane::Farm, h.ids().n_checkpoint, comm.ctx().now(),
+                ck.seq);
+    }
+  };
+  if (replicate) {
+    // Seq-1 baseline: a master crash before the first result still leaves
+    // the standby a valid (empty) snapshot to resume from.
+    send_checkpoint();
+    next_heartbeat = comm.ctx().now() + mctx->mft->heartbeat_period;
+  }
+
+  std::vector<int> watch;
   while (completed < total) {
     try_dispatch();
-    busy.clear();
+    watch.clear();
+    std::size_t leased = 0;
     noc::SimTime next_deadline = 0;
     for (std::size_t si = 0; si < slaves.size(); ++si) {
-      if (!alive[si] || slave_job[si] == -1) continue;
-      busy.push_back(slaves[si]);
-      const noc::SimTime d = tracked[static_cast<std::size_t>(slave_job[si])].lease_deadline;
-      if (next_deadline == 0 || d < next_deadline) next_deadline = d;
+      if (alive[si] && slave_job[si] != -1) {
+        ++leased;
+        watch.push_back(slaves[si]);
+        const noc::SimTime d =
+            tracked[static_cast<std::size_t>(slave_job[si])].lease_deadline;
+        if (next_deadline == 0 || d < next_deadline) next_deadline = d;
+      } else if (!alive[si]) {
+        // Watch blacklisted slaves too: a late READY (restarted core or a
+        // dropped handshake) re-enlists them, and a stale RESULT dedups.
+        watch.push_back(slaves[si]);
+      }
     }
-    if (busy.empty())
+    if (leased == 0)
       throw FarmFailedError(
           "farm_ft: jobs remain but no live slave may run them");
 
+    noc::SimTime wake = next_deadline;
+    if (replicate && next_heartbeat < wake) wake = next_heartbeat;
     const noc::SimTime now = comm.ctx().now();
-    const int ue = next_deadline > now
-                       ? comm.wait_any_timeout(busy, next_deadline - now)
-                       : -1;
+    const int ue = wake > now ? comm.wait_any_timeout(watch, wake - now) : -1;
     if (ue >= 0) {
       const std::size_t si = slave_index(ue);
+      // Any frame addressed to this master proves the slave has re-homed
+      // (even a corrupt one still came here): future leases run ungraced.
+      rehomed[si] = 1;
       bool ok = true;
       Message msg;
       try {
@@ -567,6 +716,12 @@ std::vector<JobResult> farm_ft(rcce::Comm& comm, const Task& task,
             requeue(ti);
           }
         }
+        continue;
+      }
+      if (msg.type == MsgType::Ready) {
+        // Liveness noise: a blacklisted slave came back (restarted core, or
+        // a slave re-homing onto a promoted standby). Re-enlist it.
+        rejoin(si);
         continue;
       }
       if (msg.type != MsgType::Result)
@@ -598,7 +753,17 @@ std::vector<JobResult> farm_ft(rcce::Comm& comm, const Task& task,
         h.observe(h.ids().farm_job_latency_ps, t_done - t.dispatched_at);
       }
       results.push_back(JobResult{msg.job_id, ue, std::move(msg.payload)});
+      if (replicate &&
+          (completed == total ||
+           (mctx->mft->checkpoint_every != 0 &&
+            completed % mctx->mft->checkpoint_every == 0)))
+        send_checkpoint();
     } else {
+      // Heartbeat first: the timer may have fired for it, not for a lease.
+      if (replicate && comm.ctx().now() >= next_heartbeat) {
+        comm.send(standby, encode_heartbeat(ck_seq));
+        next_heartbeat = comm.ctx().now() + mctx->mft->heartbeat_period;
+      }
       // Deadline passed with no frame: expire every overdue lease. A dead
       // slave is blacklisted; an alive one is merely slow (or its JOB was
       // dropped), so it stays eligible and its late result will dedup.
@@ -625,6 +790,10 @@ std::vector<JobResult> farm_ft(rcce::Comm& comm, const Task& task,
     }
   }
 
+  // The cadence check fires on the final accepted result (completed ==
+  // total), so the standby always holds a complete snapshot by now; release
+  // it with TERMINATE.
+  if (replicate) comm.send(standby, encode_terminate());
   // TERMINATE goes to every slave, dead or not: a blacklisted-but-alive
   // slave (e.g. one whose READY was dropped) must not block forever, and a
   // dead core simply never receives it.
@@ -639,21 +808,100 @@ std::vector<JobResult> farm_ft(rcce::Comm& comm, const Task& task,
   return results;
 }
 
+}  // namespace
+
+std::vector<JobResult> farm_ft(rcce::Comm& comm, const Task& task,
+                               const FaultTolerantFarmOptions& opts,
+                               FarmReport* report) {
+  return run_ft_engine(comm, task, opts, report, nullptr);
+}
+
+std::vector<JobResult> farm_ft_master(rcce::Comm& comm, const Task& task,
+                                      const MasterFtOptions& opts,
+                                      FarmReport* report) {
+  if (opts.ft.standby_ue < 0)
+    throw SkelError("farm_ft_master: standby_ue must be set");
+  if (opts.ft.standby_ue == comm.ue())
+    throw SkelError("farm_ft_master: master cannot be its own standby");
+  MasterCtx mc;
+  mc.mft = &opts;
+  return run_ft_engine(comm, task, opts.ft, report, &mc);
+}
+
+std::optional<std::vector<JobResult>> farm_standby(
+    rcce::Comm& comm, int master_ue, const Task& task,
+    const MasterFtOptions& opts, FarmReport* report) {
+  const obs::Handle h = comm.obs();
+  FarmCheckpoint best;
+  bool have = false;
+  for (;;) {
+    std::optional<bio::Bytes> frame =
+        comm.recv_timeout(master_ue, opts.heartbeat_timeout);
+    if (!frame) {
+      if (comm.ue_alive(master_ue)) continue;  // slow master, not a dead one
+      break;                                   // missed heartbeats + dead: failover
+    }
+    Message msg;
+    try {
+      msg = decode_message(std::move(*frame));
+    } catch (const bio::WireError&) {
+      continue;  // corrupt frame: the next checkpoint/heartbeat resyncs
+    }
+    if (msg.type == MsgType::Checkpoint) {
+      try {
+        FarmCheckpoint ck = decode_checkpoint_state(msg.payload);
+        if (!have || ck.seq >= best.seq) {
+          best = std::move(ck);
+          have = true;
+        }
+      } catch (const CheckpointError&) {
+        // Keep the previous valid snapshot: resuming from it only costs
+        // re-running whatever completed since it was taken.
+      }
+    } else if (msg.type == MsgType::Terminate) {
+      return std::nullopt;  // master completed; the standby was never needed
+    }
+    // Heartbeats (and protocol noise) merely reset the silence window.
+  }
+
+  const noc::SimTime detected = comm.ctx().now();
+  comm.chk_note(master_ue, comm.ue(), "farm_ft.failover",
+                have ? best.seq : 0);
+  if (h)
+    h.instant(obs::Lane::Farm, h.ids().n_failover, detected,
+              static_cast<std::uint64_t>(master_ue));
+  MasterCtx mc;
+  mc.mft = &opts;
+  mc.resume = have ? &best : nullptr;
+  mc.failover_detected = detected;
+  return run_ft_engine(comm, task, opts.ft, report, &mc);
+}
+
 void farm_slave_ft(rcce::Comm& comm, int master_ue, const Worker& worker,
                    const FaultTolerantFarmOptions& opts) {
   const obs::Handle h = comm.obs();
-  if (opts.base.wait_ready) {
-    comm.send(master_ue, encode_ready());
+  const auto send_ready = [&](int to) {
+    comm.send(to, encode_ready());
     if (h)
       h.instant(obs::Lane::Core, h.ids().n_ready, comm.ctx().now(),
                 static_cast<std::uint64_t>(comm.ue()));
-  }
+  };
+  int master = master_ue;
+  if (opts.base.wait_ready) send_ready(master);
   for (;;) {
     std::optional<bio::Bytes> frame =
-        comm.recv_timeout(master_ue, opts.master_silence_timeout);
+        comm.recv_timeout(master, opts.master_silence_timeout);
     if (!frame) {
-      if (!comm.ue_alive(master_ue)) return;  // orphaned by a master crash
-      continue;                               // quiet spell; keep listening
+      if (comm.ue_alive(master)) continue;  // quiet spell; keep listening
+      // Orphaned by a master crash: re-home onto the standby (announcing
+      // ourselves with a fresh READY) or, with no standby configured,
+      // return as before.
+      if (opts.standby_ue < 0 || opts.standby_ue == master ||
+          opts.standby_ue == comm.ue())
+        return;
+      master = opts.standby_ue;
+      send_ready(master);
+      continue;
     }
     Message msg;
     try {
@@ -665,7 +913,7 @@ void farm_slave_ft(rcce::Comm& comm, int master_ue, const Worker& worker,
       case MsgType::Job: {
         const noc::SimTime t0 = comm.ctx().now();
         bio::Bytes out = worker(comm, msg.payload);
-        comm.send(master_ue, encode_result(msg.job_id, out));
+        comm.send(master, encode_result(msg.job_id, out));
         if (h) {
           const noc::SimTime t1 = comm.ctx().now();
           h.span(obs::Lane::Core, h.ids().n_job, t0, t1, msg.job_id);

@@ -116,12 +116,35 @@ struct FaultPlan {
     double slowdown = 10.0;
   };
 
+  /// Kill `rank` when the scheduler has fired exactly `after_events` queue
+  /// events (message deliveries, timers, scheduled faults). Event execution
+  /// order is a pure simulation observable, so this pins a crash to a
+  /// precise protocol step — "crash the master right after the Kth
+  /// delivery" — independent of how timing parameters shift wall-clock
+  /// simulated times. Deterministic across serial and host-parallel runs.
+  struct EventCrash {
+    int rank = -1;
+    std::uint64_t after_events = 0;
+  };
+
+  /// Revive a previously crashed `rank` at simulated time `at`: the core
+  /// gets a fresh inbox and re-executes the program function from the start
+  /// (a rebooted node re-joining the computation). A restart whose rank is
+  /// not dead at `at` is a no-op. Restarts are applied in `at` order.
+  struct Restart {
+    int rank = -1;
+    noc::SimTime at = 0;
+  };
+
   std::vector<Crash> crashes;
   std::vector<MessageFault> messages;
   std::vector<Stall> stalls;
+  std::vector<EventCrash> event_crashes;
+  std::vector<Restart> restarts;
 
   bool empty() const noexcept {
-    return crashes.empty() && messages.empty() && stalls.empty();
+    return crashes.empty() && messages.empty() && stalls.empty() &&
+           event_crashes.empty() && restarts.empty();
   }
 };
 
@@ -228,6 +251,7 @@ struct CoreReport {
   std::uint64_t bytes_received = 0;
   bool crashed = false;          ///< killed by the FaultPlan before finishing
   noc::SimTime crashed_at = 0;   ///< crash trigger time (valid when crashed)
+  std::uint32_t restarts = 0;    ///< times the FaultPlan revived this core
 
   bool operator==(const CoreReport&) const = default;
 };

@@ -147,6 +147,26 @@ struct SpmdRuntime::Impl {
   std::vector<std::uint64_t> flow_sent;  // per (src, dst) message counters
   std::uint64_t dead_letters = 0;        // deliveries dropped at a dead core
 
+  /// Pending crash-at-event-K triggers (cfg.faults.event_crashes), checked
+  /// against queue.fired() after every event so a crash lands on a precise
+  /// protocol step regardless of timing parameters.
+  struct PendingEventCrash {
+    int rank = -1;
+    std::uint64_t after_events = 0;
+    bool applied = false;
+  };
+  std::vector<PendingEventCrash> event_crashes;
+
+  /// Fire every crash-at-event-K trigger whose threshold the queue has
+  /// reached. Lock held; follow with reap_dead().
+  void apply_event_crashes() {
+    for (PendingEventCrash& ec : event_crashes) {
+      if (ec.applied || queue.fired() < ec.after_events) continue;
+      ec.applied = true;
+      apply_crash(*cores[static_cast<std::size_t>(ec.rank)], queue.now());
+    }
+  }
+
   // Race detection (null unless cfg.chk is active). chk forces the serial
   // scheduler, so every checker call happens with all other program threads
   // parked — the checker needs no locking of its own.
@@ -1010,6 +1030,15 @@ noc::SimTime SpmdRuntime::run(int nranks, const Program& program) {
     if (s.slowdown <= 0.0) throw SimError("fault plan: stall slowdown must be positive");
     if (s.until < s.from) throw SimError("fault plan: stall window ends before it starts");
   }
+  for (const FaultPlan::EventCrash& ec : im.cfg.faults.event_crashes) {
+    if (ec.rank < 0 || ec.rank >= nranks)
+      throw SimError("fault plan: event-crash rank out of range");
+    im.event_crashes.push_back({ec.rank, ec.after_events, false});
+  }
+  for (const FaultPlan::Restart& rs : im.cfg.faults.restarts) {
+    if (rs.rank < 0 || rs.rank >= nranks)
+      throw SimError("fault plan: restart rank out of range");
+  }
   im.flow_sent.assign(static_cast<std::size_t>(nranks) * static_cast<std::size_t>(nranks),
                       0);
 
@@ -1024,9 +1053,10 @@ noc::SimTime SpmdRuntime::run(int nranks, const Program& program) {
     im.queue.schedule_at(c.at,
                          [&im, &victim, at = c.at] { im.apply_crash(victim, at); });
   }
-  // Spawn program threads; each parks until the scheduler admits it.
-  for (int r = 0; r < nranks; ++r) {
-    CoreState& st = *im.cores[static_cast<std::size_t>(r)];
+  // Spawn a program thread for one core; each parks until the scheduler
+  // admits it. Shared between the initial spawn loop and fault-plan restart
+  // events, which re-run the program on a revived core.
+  const auto spawn_thread = [this, &program](CoreState& st) {
     CoreCtx ctx(*this, st);
     st.thread = std::thread([this, &st, &program, ctx]() mutable {
       Impl& impl = *this->impl_;
@@ -1059,11 +1089,51 @@ noc::SimTime SpmdRuntime::run(int nranks, const Program& program) {
       st.report.finish = st.vtime;
       impl.sched_cv.notify_all();
     });
+  };
+  // Restart events: revive a crashed core with a fresh inbox and a new
+  // program thread. Scheduled after the crash events so a same-instant
+  // crash/restart pair applies in crash-then-restart order. A restart whose
+  // rank is not dead (never crashed, or finished normally) is a no-op.
+  for (const FaultPlan::Restart& rs : im.cfg.faults.restarts) {
+    CoreState& victim = *im.cores[static_cast<std::size_t>(rs.rank)];
+    im.queue.schedule_at(
+        rs.at, [&im, &victim, at = rs.at, &spawn_thread] {
+          if (!victim.dead || victim.status != CoreState::Status::Done) return;
+          // The crashed thread has fully unwound (reap_dead runs after every
+          // event) and no longer touches shared state; reclaim it.
+          if (victim.thread.joinable()) victim.thread.join();
+          victim.inbox.clear();
+          victim.rr_cursor = 0;
+          victim.dead = false;
+          victim.timed_out = false;
+          victim.in_barrier = false;
+          victim.wait_src = CoreState::kWaitNone;
+          victim.wait_set.clear();
+          victim.released = false;
+          victim.in_op = false;
+          ++victim.wait_epoch;  // stale timers from the previous life are void
+          victim.vtime = std::max(victim.vtime, at);
+          victim.status = CoreState::Status::Ready;
+          ++victim.report.restarts;
+          if (im.rec) {
+            if (!im.mpb_bytes.empty())
+              im.mpb_bytes[static_cast<std::size_t>(victim.rank)] = 0;
+            const obs::Handle h = im.oh(victim.rank);
+            h.instant(obs::Lane::Core, h.ids().n_restart, at,
+                      static_cast<std::uint64_t>(victim.rank));
+          }
+          spawn_thread(victim);  // fresh thread parks until dispatched
+        });
   }
+  for (int r = 0; r < nranks; ++r)
+    spawn_thread(*im.cores[static_cast<std::size_t>(r)]);
 
   std::exception_ptr failure;
   {
     std::unique_lock lock(im.m);
+    // after_events == 0 means "crash before anything fires".
+    im.apply_event_crashes();
+    im.reap_dead(lock);
     for (;;) {
       bool all_done = true;
       CoreState* pick = nullptr;
@@ -1082,6 +1152,7 @@ noc::SimTime SpmdRuntime::run(int nranks, const Program& program) {
       if (!im.queue.empty() && t_evt <= t_core) {
         im.flush_local_before(t_evt, -1);  // events outrank same-instant core ops
         im.queue.run_one();  // deliveries may wake blocked cores, or kill one
+        im.apply_event_crashes();  // crash-at-event-K triggers ride the count
         im.reap_dead(lock);  // let just-crashed threads unwind to Done first
         continue;
       }

@@ -105,6 +105,43 @@ TEST(LintThrowTaxonomy, RequiresErrorSuffixedClasses) {
                         "throw-taxonomy"));
 }
 
+TEST(LintErrorCodes, RegisteredCodesPassTyposFire) {
+  EXPECT_TRUE(rules_contain("src/rckskel/skeletons.cpp", "error-codes"));
+  // The PR 6 checkpoint-codec family is a minted code.
+  EXPECT_FALSE(has_rule(
+      lint_file("src/rckskel/x.hpp",
+                ": Error(\"rck.skel.checkpoint\", message) {}\n"),
+      "error-codes"));
+  const auto typo = lint_file(
+      "src/rckskel/x.hpp", ": Error(\"rck.skel.chekpoint\", message) {}\n");
+  ASSERT_TRUE(has_rule(typo, "error-codes"));
+  EXPECT_EQ(typo.front().line, 1);
+}
+
+TEST(LintErrorCodes, EmbeddedCodesCommentsAndWaivers) {
+  // Codes embedded mid-literal (the chk JSON emitter) are still validated.
+  EXPECT_FALSE(has_rule(
+      lint_file("src/chk/x.cpp",
+                "out += \"{\\\"code\\\": \\\"rck.chk.race\\\", \\\"kind\\\": \";\n"),
+      "error-codes"));
+  EXPECT_TRUE(has_rule(
+      lint_file("src/chk/x.cpp",
+                "out += \"{\\\"code\\\": \\\"rck.chk.racy\\\"}\";\n"),
+      "error-codes"));
+  // Prose mentions in comments never fire; a family prefix alone is not a
+  // code; waivers opt a line out for deliberately unregistered strings.
+  EXPECT_FALSE(has_rule(
+      lint_file("src/bio/x.cpp", "// the \"rck.bogus.family\" strawman\n"),
+      "error-codes"));
+  EXPECT_FALSE(has_rule(
+      lint_file("src/bio/x.cpp", "log(\"rck.skel master failover\");\n"),
+      "error-codes"));
+  EXPECT_TRUE(
+      lint_file("src/bio/x.cpp",
+                "auto c = \"rck.new.family\";  // rck-lint: allow(error-codes)\n")
+          .empty());
+}
+
 TEST(LintHotPath, AllocationBansOnlyInKernelFiles) {
   const std::string growing = "void f(std::vector<int>& v) { v.push_back(1); }\n";
   EXPECT_TRUE(has_rule(lint_file("src/core/kabsch.cpp", growing),

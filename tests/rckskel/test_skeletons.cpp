@@ -5,6 +5,8 @@
 #include <numeric>
 #include <set>
 
+#include "rck/scc/runtime.hpp"
+
 namespace rck::rckskel {
 namespace {
 
@@ -93,6 +95,41 @@ TEST(Farm, MoreSlavesThanJobs) {
     }
   });
   EXPECT_EQ(count, 2u);  // idle slaves still get TERMINATE and exit cleanly
+}
+
+// The plain farm assumes a reliable master; an orphaned slave must fail
+// loudly (classified by whether the master is dead or just silent) instead
+// of hanging the simulation in a blocking recv forever.
+TEST(Farm, OrphanedSlaveRaisesFaultStallWhenMasterCrashed) {
+  scc::RuntimeConfig cfg;
+  cfg.faults.crashes.push_back({0, 1 * noc::kPsPerMs});
+  scc::SpmdRuntime rt(cfg);
+  FarmOptions opts;
+  opts.slave_idle_timeout = 5 * noc::kPsPerMs;
+  EXPECT_THROW(rt.run(2,
+                      [&](scc::CoreCtx& ctx) {
+                        rcce::Comm comm(ctx);
+                        if (comm.ue() == 0)
+                          comm.charge_time(10 * noc::kPsPerMs);  // dies at 1ms
+                        else
+                          farm_slave(comm, 0, doubling_worker, opts);
+                      }),
+               scc::FaultStallError);
+}
+
+TEST(Farm, OrphanedSlaveRaisesDeadlockWhenMasterIsAliveButSilent) {
+  scc::SpmdRuntime rt{scc::RuntimeConfig{}};
+  FarmOptions opts;
+  opts.slave_idle_timeout = 5 * noc::kPsPerMs;
+  EXPECT_THROW(rt.run(2,
+                      [&](scc::CoreCtx& ctx) {
+                        rcce::Comm comm(ctx);
+                        if (comm.ue() == 0)
+                          comm.charge_time(100 * noc::kPsPerMs);  // never farms
+                        else
+                          farm_slave(comm, 0, doubling_worker, opts);
+                      }),
+               scc::DeadlockError);
 }
 
 TEST(Farm, SingleSlave) {

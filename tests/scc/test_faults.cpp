@@ -234,6 +234,94 @@ TEST(Faults, PeerAliveTracksCrash) {
   });
 }
 
+TEST(Faults, EventCrashFiresAfterExactEventCount) {
+  // Two identical runs: the event-indexed crash must land at the same
+  // simulated instant both times — that is the whole point of pinning a
+  // crash to a protocol step rather than a wall-clock time.
+  const auto once = [] {
+    FaultPlan plan;
+    plan.event_crashes.push_back({1, 5});
+    SpmdRuntime rt(with_faults(plan));
+    rt.run(2, [](CoreCtx& c) {
+      if (c.rank() == 0) {
+        for (std::uint32_t k = 0; k < 10; ++k) {
+          c.charge(noc::kPsPerMs);
+          c.send(1, u32_msg(k));
+        }
+      } else {
+        for (std::uint32_t k = 0; k < 10; ++k) (void)c.recv(0);
+      }
+    });
+    EXPECT_TRUE(rt.core_reports()[1].crashed);
+    return rt.core_reports()[1].crashed_at;
+  };
+  const noc::SimTime a = once();
+  const noc::SimTime b = once();
+  EXPECT_EQ(a, b);
+}
+
+TEST(Faults, EventCrashAtZeroEventsKillsBeforeAnyWork) {
+  FaultPlan plan;
+  plan.event_crashes.push_back({1, 0});
+  SpmdRuntime rt(with_faults(plan));
+  bool victim_ran = false;
+  rt.run(2, [&](CoreCtx& c) {
+    if (c.rank() == 1) victim_ran = true;
+    c.charge(noc::kPsPerUs);
+  });
+  EXPECT_FALSE(victim_ran);
+  EXPECT_TRUE(rt.core_reports()[1].crashed);
+}
+
+TEST(Faults, RestartRevivesACrashedCore) {
+  FaultPlan plan;
+  plan.crashes.push_back({1, noc::kPsPerMs});
+  plan.restarts.push_back({1, 5 * noc::kPsPerMs});
+  SpmdRuntime rt(with_faults(plan));
+  int runs_on_rank1 = 0;
+  rt.run(2, [&](CoreCtx& c) {
+    if (c.rank() == 1) ++runs_on_rank1;
+    c.charge(10 * noc::kPsPerMs);
+  });
+  // The program re-executes from the top on the revived core.
+  EXPECT_EQ(runs_on_rank1, 2);
+  const CoreReport& r = rt.core_reports()[1];
+  EXPECT_EQ(r.restarts, 1u);
+  EXPECT_TRUE(r.crashed);  // the crash stays on record
+  // Restarted at 5 ms, then 10 ms of work: the core finished this time.
+  EXPECT_GE(r.finish, 15 * noc::kPsPerMs);
+}
+
+TEST(Faults, RestartWithoutACrashIsANoOp) {
+  FaultPlan plan;
+  plan.restarts.push_back({1, noc::kPsPerMs});
+  SpmdRuntime rt(with_faults(plan));
+  int runs_on_rank1 = 0;
+  rt.run(2, [&](CoreCtx& c) {
+    if (c.rank() == 1) ++runs_on_rank1;
+    c.charge(5 * noc::kPsPerMs);
+  });
+  EXPECT_EQ(runs_on_rank1, 1);
+  EXPECT_EQ(rt.core_reports()[1].restarts, 0u);
+}
+
+TEST(Faults, RestartedCoreStartsWithAFreshInbox) {
+  FaultPlan plan;
+  plan.crashes.push_back({1, noc::kPsPerMs});
+  plan.restarts.push_back({1, 5 * noc::kPsPerMs});
+  SpmdRuntime rt(with_faults(plan));
+  rt.run(2, [](CoreCtx& c) {
+    if (c.rank() == 0) {
+      c.send(1, u32_msg(7));  // lands while rank 1 is dead: wiped on restart
+      c.charge(20 * noc::kPsPerMs);
+      c.send(1, u32_msg(9));
+    } else {
+      c.charge(2 * noc::kPsPerMs);  // first life dies at 1 ms mid-charge
+      EXPECT_EQ(u32_of(c.recv(0)), 9u);
+    }
+  });
+}
+
 TEST(Faults, InvalidPlansAreRejected) {
   {
     FaultPlan plan;
