@@ -10,10 +10,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "rck/bio/dataset.hpp"
 #include "rck/noc/network.hpp"
+#include "rck/obs/sink.hpp"
 #include "rck/rckalign/app.hpp"
 #include "rck/rckalign/cost_cache.hpp"
 #include "rck/scc/runtime.hpp"
@@ -243,6 +245,63 @@ TEST_F(Ck34Determinism, FaultPlanEndToEndBitIdentical) {
   expect_identical(serial, parallel);
   EXPECT_EQ(serial.farm_report.dead_ues.size(), 2u);
   EXPECT_EQ(serial.results.size(), 34u * 33u / 2u);
+}
+
+// Thread-count matrix: serial-vs-parallel and replay-twice byte-identity at
+// {2, 4, 8} host threads, composed with everything that constrains the
+// scheduler at once — a chaos FaultPlan (timed master crash under master_ft,
+// slave crash + restart, an event-indexed crash, message corruption, a DRAM
+// stall) and obs sinks enabled. The obs recorder bytes (Chrome trace JSON +
+// metrics snapshot) are compared verbatim: any scheduler that reorders a
+// simulated observable shows up as a byte diff here before it ships.
+TEST_F(Ck34Determinism, ThreadMatrixChaosMasterFtObsBitIdentical) {
+  constexpr int kSlaves = 6;
+
+  // Calibrate fault times off the clean master-ft makespan so every fault
+  // lands mid-run regardless of timing-model drift.
+  auto base_opts = [&](int threads) {
+    rckalign::RckAlignOptions o = options(kSlaves, threads);
+    o.fault_tolerant = true;
+    o.master_ft = true;
+    o.runtime.obs.enable = true;
+    return o;
+  };
+  const noc::SimTime base =
+      rckalign::run_rckalign(*dataset_, base_opts(1)).makespan;
+
+  auto chaotic = [&](int threads) {
+    rckalign::RckAlignOptions o = base_opts(threads);
+    o.runtime.faults.crashes.push_back({0, base / 3});  // master, mid-farm
+    o.runtime.faults.crashes.push_back({3, base / 4});  // plus a slave ...
+    o.runtime.faults.restarts.push_back({3, base / 2});  // ... that revives
+    o.runtime.faults.event_crashes.push_back({4, 400});
+    o.runtime.faults.messages.push_back(
+        {FaultPlan::MessageFault::Kind::Corrupt, 2, 0, 1});
+    o.runtime.faults.stalls.push_back({5, 0, base / 2, 8.0});
+    return rckalign::run_rckalign(*dataset_, o);
+  };
+
+  auto obs_bytes = [](const rckalign::RckAlignRun& run) {
+    EXPECT_NE(run.obs, nullptr);
+    return std::pair<std::string, std::string>{
+        obs::chrome_trace_json(*run.obs), run.obs->snapshot().to_json()};
+  };
+
+  const auto serial = chaotic(1);
+  const auto serial_obs = obs_bytes(serial);
+  EXPECT_EQ(serial.results.size(), 34u * 33u / 2u);
+  EXPECT_TRUE(serial.core_reports.at(0).crashed);  // failover actually ran
+  EXPECT_TRUE(serial.core_reports.at(4).crashed);  // event-crash fired
+
+  for (const int threads : {2, 4, 8}) {
+    SCOPED_TRACE("host threads = " + std::to_string(threads));
+    const auto a = chaotic(threads);
+    const auto b = chaotic(threads);  // replay-twice at this width
+    expect_identical(serial, a);
+    expect_identical(a, b);
+    EXPECT_EQ(serial_obs, obs_bytes(a));
+    EXPECT_EQ(serial_obs, obs_bytes(b));
+  }
 }
 
 TEST_F(Ck34Determinism, SeedSweepStaysBitIdentical) {

@@ -154,5 +154,69 @@ TEST(HostParallelStress, RepeatedRunsUnderParallelAreStable) {
   for (int i = 0; i < 5; ++i) EXPECT_EQ(first, execute(plan, 4)) << "run " << i;
 }
 
+// ---------------------------------------------------------------------------
+// Steal-heavy workload: many tiny compute sections with heavily skewed
+// per-core durations, punctuated by rare communication. Fast cores burn
+// through their sections and park long before the skewed stragglers, so the
+// scheduler's handoff/steal path (a parking core passing its host slot to
+// the next granted core) churns constantly. Under TSan this is the prime
+// workload for races in slot handoff and per-core trace buffers.
+
+Program steal_heavy(std::uint64_t seed, int sections) {
+  return [seed, sections](CoreCtx& ctx) {
+    const int n = ctx.nranks();
+    const int me = ctx.rank();
+    // Deterministic per-core skew: cores 0, 3, 6, ... get 32x sections.
+    const std::uint64_t skew = (me % 3 == 0) ? 32 : 1;
+    std::mt19937_64 rng(seed * 1000003u + static_cast<std::uint64_t>(me));
+    for (int s = 0; s < sections; ++s) {
+      // Tiny sections: a few hundred cycles each, so the released fast path
+      // commits (and can exhaust its horizon) thousands of times per run.
+      ctx.charge_cycles(200 + rng() % 800 * skew);
+      if (rng() % 16 == 0) ctx.dram_read(64 + rng() % 4096);
+      // Rare ring traffic keeps events in flight so horizons stay finite.
+      if (s % (sections / 4 + 1) == (me % (sections / 4 + 1))) {
+        ctx.send((me + 1) % n, bio::Bytes{static_cast<std::byte>(me)});
+        (void)ctx.recv((me - 1 + n) % n);
+      }
+    }
+    ctx.barrier();
+  };
+}
+
+RunSnapshot execute_program(int nranks, const Program& program,
+                            int host_threads) {
+  RuntimeConfig cfg;
+  cfg.enable_trace = true;
+  cfg.host.threads = host_threads;
+  SpmdRuntime rt(cfg);
+  RunSnapshot s;
+  s.makespan = rt.run(nranks, program);
+  s.reports = rt.core_reports();
+  s.trace = rt.trace();
+  s.net = rt.network_stats();
+  s.events = rt.events_fired();
+  return s;
+}
+
+TEST(HostParallelStress, StealHeavyTinySectionsMatchSerial) {
+  for (const std::uint64_t seed : {3u, 17u, 451u}) {
+    const Program program = steal_heavy(seed, 96);
+    const RunSnapshot serial = execute_program(9, program, 1);
+    for (const int threads : {2, 4, 8})
+      EXPECT_EQ(serial, execute_program(9, program, threads))
+          << "seed " << seed << " threads " << threads;
+  }
+}
+
+TEST(HostParallelStress, StealHeavyRepeatedRunsAreStable) {
+  // The skewed workload again, hammered repeatedly at one width: slot
+  // handoff order is wall-clock nondeterministic, simulated bytes are not.
+  const Program program = steal_heavy(29, 128);
+  const RunSnapshot first = execute_program(12, program, 4);
+  for (int i = 0; i < 4; ++i)
+    EXPECT_EQ(first, execute_program(12, program, 4)) << "run " << i;
+}
+
 }  // namespace
 }  // namespace rck::scc
