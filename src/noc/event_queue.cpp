@@ -6,11 +6,26 @@
 
 namespace rck::noc {
 
-std::uint64_t EventQueue::schedule_at(SimTime t, Callback fn) {
+std::uint64_t EventQueue::schedule_at(SimTime t, Callback fn, int target) {
   if (t < now_) throw NocError("EventQueue: scheduling into the past");
   const std::uint64_t seq = next_seq_++;
-  heap_.push(Event{t, seq, std::move(fn)});
+  heap_.push(Event{t, seq, target, std::move(fn)});
+  if (target < 0) {
+    untargeted_.insert(t);
+  } else {
+    by_target_[target].insert(t);
+  }
   return seq;
+}
+
+SimTime EventQueue::earliest_for(int id) const noexcept {
+  SimTime best = untargeted_.empty() ? kTimeInfinity : *untargeted_.begin();
+  const auto it = by_target_.find(id);
+  if (it != by_target_.end() && !it->second.empty() &&
+      *it->second.begin() < best) {
+    best = *it->second.begin();
+  }
+  return best;
 }
 
 void EventQueue::run_one() {
@@ -19,6 +34,12 @@ void EventQueue::run_one() {
   // so copy the callback handle (std::function copy) — events are small.
   Event ev = heap_.top();
   heap_.pop();
+  if (ev.target < 0) {
+    untargeted_.erase(untargeted_.find(ev.t));
+  } else {
+    const auto it = by_target_.find(ev.target);
+    it->second.erase(it->second.find(ev.t));
+  }
   now_ = ev.t;
   ++fired_;
   ev.fn();

@@ -3,11 +3,21 @@
 // Events are ordered by (time, insertion sequence): two events at the same
 // simulated instant always fire in the order they were scheduled, so a run
 // is bit-for-bit reproducible regardless of heap internals.
+//
+// Every event optionally names a *target* — the integer id of the one entity
+// (for the SCC runtime: the simulated core rank) whose state its callback
+// mutates. Targets make the lookahead horizon per-entity instead of global:
+// earliest_for(id) bounds the first instant at which any pending event can
+// touch `id`, which is what lets a conservative parallel scheduler release
+// one core far past another core's pending events (see scc/horizon.hpp).
+// Untargeted events (target < 0) are assumed to touch everything.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <queue>
+#include <set>
 #include <vector>
 
 #include "rck/noc/sim_time.hpp"
@@ -18,13 +28,19 @@ class EventQueue {
  public:
   using Callback = std::function<void()>;
 
+  /// Target id meaning "may touch any entity".
+  static constexpr int kUntargeted = -1;
+
   /// Schedule `fn` at absolute time `t`. Returns the event's sequence id.
+  /// `target` is the id of the one entity the callback mutates, or
+  /// kUntargeted when it may touch anything.
   /// Precondition: t >= now() (no scheduling into the past).
-  std::uint64_t schedule_at(SimTime t, Callback fn);
+  std::uint64_t schedule_at(SimTime t, Callback fn, int target = kUntargeted);
 
   /// Schedule `fn` `delay` after the current time.
-  std::uint64_t schedule_after(SimTime delay, Callback fn) {
-    return schedule_at(now_ + delay, std::move(fn));
+  std::uint64_t schedule_after(SimTime delay, Callback fn,
+                               int target = kUntargeted) {
+    return schedule_at(now_ + delay, std::move(fn), target);
   }
 
   /// Time of the most recently fired event (0 before any event).
@@ -36,6 +52,9 @@ class EventQueue {
   /// Time of the earliest pending event. Precondition: !empty().
   SimTime next_time() const noexcept { return heap_.top().t; }
 
+  /// Target of the earliest pending event. Precondition: !empty().
+  int next_target() const noexcept { return heap_.top().target; }
+
   /// Conservative lookahead horizon: the earliest simulated instant at which
   /// a pending event could change any entity's state, or kTimeInfinity when
   /// no event is pending. Work strictly below the horizon that touches no
@@ -44,6 +63,11 @@ class EventQueue {
   SimTime lookahead() const noexcept {
     return heap_.empty() ? kTimeInfinity : heap_.top().t;
   }
+
+  /// Per-entity lookahead: the earliest pending event that can touch entity
+  /// `id` — the minimum over events targeting `id` and untargeted events —
+  /// or kTimeInfinity when no such event is pending.
+  SimTime earliest_for(int id) const noexcept;
 
   /// Fire the earliest pending event (advances now()). Precondition: !empty().
   void run_one();
@@ -59,6 +83,7 @@ class EventQueue {
   struct Event {
     SimTime t;
     std::uint64_t seq;
+    int target;
     Callback fn;
   };
   struct Later {
@@ -68,6 +93,11 @@ class EventQueue {
     }
   };
   std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  // Pending-event times bucketed by target, kept in lockstep with heap_ so
+  // earliest_for() is a map lookup + two multiset minima. std::map (ordered)
+  // keeps iteration deterministic per the repo's sim-layer determinism rule.
+  std::map<int, std::multiset<SimTime>> by_target_;
+  std::multiset<SimTime> untargeted_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t fired_ = 0;

@@ -26,7 +26,8 @@ SimTime Network::uncontended_latency(int src, int dst, std::uint64_t bytes) cons
 }
 
 SimTime Network::send(int src, int dst, std::uint64_t bytes, SimTime depart,
-                      std::function<void(SimTime)> on_delivered, Delivery disposition) {
+                      std::function<void(SimTime)> on_delivered, Delivery disposition,
+                      int delivery_target) {
   // Wormhole-style pipelining: the message head advances one hop_latency per
   // router while the body streams behind it, so the uncontended end-to-end
   // latency is sw + hops * hop_latency + one transfer time. Each traversed
@@ -86,7 +87,9 @@ SimTime Network::send(int src, int dst, std::uint64_t bytes, SimTime depart,
     if (obs_) obs_.add(obs_.ids().noc_drops);
     return arrival;
   }
-  queue_.schedule_at(arrival, [cb = std::move(on_delivered), arrival] { cb(arrival); });
+  queue_.schedule_at(
+      arrival, [cb = std::move(on_delivered), arrival] { cb(arrival); },
+      delivery_target);
   return arrival;
 }
 

@@ -183,6 +183,7 @@ RckAlignRun run_rckalign(const std::vector<bio::Protein>& dataset,
   run.events = rt.events_fired();
   run.obs = rt.obs();
   run.chk = rt.chk();
+  run.hp = rt.host_parallel_stats();
   // obs forces the runtime's internal trace on (to derive per-core lanes),
   // so the trace/heatmap fields follow either switch.
   if (opts.runtime.enable_trace || run.obs != nullptr) {

@@ -94,6 +94,9 @@ struct RckAlignRun {
   /// Race checker (null unless opts.runtime.chk is active). Kept alive past
   /// the runtime so callers can inspect reports() / write report_json().
   std::shared_ptr<chk::Checker> chk;
+  /// Host-parallel scheduler accounting (all zero in serial mode). Wall-
+  /// clock dependent — a concurrency diagnostic, never a simulated result.
+  scc::HostParallelStats hp{};
 };
 
 /// Run the all-vs-all task over `dataset` on the simulated SCC.

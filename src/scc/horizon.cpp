@@ -1,0 +1,135 @@
+#include "rck/scc/horizon.hpp"
+
+namespace rck::scc {
+
+using noc::SimTime;
+using noc::kTimeInfinity;
+
+namespace {
+
+/// The delta between "something unblocks core r" and the unblocking effect:
+/// a message delivery for ordinary waits, the barrier release charge for
+/// barrier parks.
+SimTime unblock_latency(const HorizonCore& c, const HorizonModel& m) noexcept {
+  return c.phase == HorizonCore::Phase::BarrierBlocked ? m.barrier_cost
+                                                       : m.min_send_latency;
+}
+
+/// Two smallest values of `bounds` and the index of the smallest, so each
+/// core can take the min over *others* in O(1).
+struct TwoMin {
+  SimTime min1 = kTimeInfinity;
+  SimTime min2 = kTimeInfinity;
+  std::size_t arg1 = static_cast<std::size_t>(-1);
+};
+
+TwoMin two_min(const std::vector<SimTime>& bounds) noexcept {
+  TwoMin tm;
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    if (bounds[i] < tm.min1) {
+      tm.min2 = tm.min1;
+      tm.min1 = bounds[i];
+      tm.arg1 = i;
+    } else if (bounds[i] < tm.min2) {
+      tm.min2 = bounds[i];
+    }
+  }
+  return tm;
+}
+
+SimTime min_over_others(const TwoMin& tm, std::size_t self) noexcept {
+  return self == tm.arg1 ? tm.min2 : tm.min1;
+}
+
+}  // namespace
+
+SimTime horizon_event_bound(const HorizonCore& c, const HorizonModel& m) {
+  SimTime e = c.earliest_event;
+  // An event-indexed crash fires "at the K-th event", whichever event that
+  // turns out to be: until it applies, every pending event is a potential
+  // trigger for this core's death.
+  if (c.event_crash_pending && m.earliest_any_event < e) e = m.earliest_any_event;
+  return e;
+}
+
+void initiation_bounds(const std::vector<HorizonCore>& cores,
+                       const HorizonModel& m, std::vector<SimTime>& bounds) {
+  const std::size_t n = cores.size();
+  bounds.assign(n, kTimeInfinity);
+  for (std::size_t r = 0; r < n; ++r) {
+    switch (cores[r].phase) {
+      case HorizonCore::Phase::Runnable:
+        // vtime is committed and monotone: r's next comm op starts at or
+        // after it. (An event-crash could kill r earlier, but a dead core
+        // initiates nothing, so vtime stays a sound lower bound.)
+        bounds[r] = cores[r].vtime;
+        break;
+      case HorizonCore::Phase::Done:
+        bounds[r] = kTimeInfinity;
+        break;
+      case HorizonCore::Phase::Dead:
+      case HorizonCore::Phase::Blocked:
+      case HorizonCore::Phase::BarrierBlocked:
+        // Nothing happens on r before the first event that can touch it
+        // (delivery, timer expiry, restart); cross-core unblocking is added
+        // by the relaxation below.
+        bounds[r] = horizon_event_bound(cores[r], m);
+        break;
+    }
+  }
+
+  // Fixed-point relaxation: a blocked core can also be unblocked by another
+  // core initiating an effect toward it (send -> delivery, last barrier
+  // arrival -> release). Each pass can only lower bounds, every lowering
+  // shortens some unblock chain, and chains have at most n links.
+  for (std::size_t pass = 0; pass < n; ++pass) {
+    const TwoMin tm = two_min(bounds);
+    bool changed = false;
+    for (std::size_t r = 0; r < n; ++r) {
+      const HorizonCore::Phase p = cores[r].phase;
+      // Dead cores revive only through their (pre-scheduled) restart event,
+      // already in their event bound: no cross-core edge can unblock them.
+      if (p != HorizonCore::Phase::Blocked &&
+          p != HorizonCore::Phase::BarrierBlocked) {
+        continue;
+      }
+      const SimTime cand =
+          sat_add(min_over_others(tm, r), unblock_latency(cores[r], m));
+      if (cand < bounds[r]) {
+        bounds[r] = cand;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+}
+
+void release_horizons(const std::vector<HorizonCore>& cores,
+                      const HorizonModel& m,
+                      const std::vector<SimTime>& bounds,
+                      std::vector<SimTime>& horizons) {
+  const std::size_t n = cores.size();
+  horizons.assign(n, 0);
+  const TwoMin tm = two_min(bounds);
+  for (std::size_t c = 0; c < n; ++c) {
+    // Effects on a *running* core come only through events (E) or through
+    // another core's future send (bounds + one minimum delivery). Barrier
+    // releases touch only blocked cores, which are never released.
+    const SimTime peers =
+        sat_add(min_over_others(tm, c), m.min_send_latency);
+    const SimTime e = horizon_event_bound(cores[c], m);
+    horizons[c] = e < peers ? e : peers;
+  }
+}
+
+SimTime release_horizon(const std::vector<HorizonCore>& cores,
+                        const HorizonModel& m, std::size_t rank,
+                        std::vector<SimTime>& scratch) {
+  initiation_bounds(cores, m, scratch);
+  const TwoMin tm = two_min(scratch);
+  const SimTime peers = sat_add(min_over_others(tm, rank), m.min_send_latency);
+  const SimTime e = horizon_event_bound(cores[rank], m);
+  return e < peers ? e : peers;
+}
+
+}  // namespace rck::scc

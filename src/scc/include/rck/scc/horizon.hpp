@@ -1,0 +1,107 @@
+// Per-core release horizons for the conservative parallel scheduler.
+//
+// The serial scheduler executes one simulated action at a time. The parallel
+// scheduler *releases* cores to run their compute-class sections on real
+// host threads concurrently, and the release horizon is the whole safety
+// argument: a released core may commit work strictly below its horizon
+// without the possibility of any other simulated action observing or
+// affecting it first.
+//
+// For core c the horizon is
+//
+//     H(c) = min( E(c),  min over r != c of  B(r) + L(r) )
+//
+// where
+//   E(c)  — the earliest pending event that can touch c: the minimum of
+//           events targeting c and untargeted events (EventQueue::
+//           earliest_for), pessimized to the global lookahead while an
+//           unapplied event-indexed crash names c (event-indexed crashes
+//           fire "at the K-th event", so any event can be the trigger).
+//   B(r)  — a lower bound on when core r can next *initiate* a
+//           communication-class effect (send, barrier release, ...):
+//           its committed virtual time when runnable, infinity when done,
+//           and — when r is blocked — the earliest thing that can unblock
+//           it, which is itself bounded through the other cores (a
+//           fixed-point relaxation, below).
+//   L(r)  — the minimum delta between r initiating an effect and that
+//           effect touching another core: min_send_latency for ordinary
+//           sends (Network::min_delivery_delay of a header-only message),
+//           barrier_cost when r is parked inside a barrier (the release
+//           path charges the barrier cost before waking waiters).
+//
+// All of this is a pure function of a snapshot taken under the scheduler
+// lock — no clocks, no RNG, no allocation beyond the caller's buffers — so
+// tests/scc/test_horizon_property.cpp can drive it exhaustively.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "rck/noc/sim_time.hpp"
+
+namespace rck::scc {
+
+/// Snapshot of one simulated core, as the horizon computation sees it.
+struct HorizonCore {
+  enum class Phase : unsigned char {
+    Runnable,        ///< ready or mid-section: vtime is its committed time
+    Blocked,         ///< waiting on a message or timer
+    BarrierBlocked,  ///< parked inside a barrier
+    Dead,            ///< crashed (may still be revived by a restart event)
+    Done,            ///< program finished: initiates nothing, ever
+  };
+  Phase phase = Phase::Runnable;
+  /// Committed virtual time (meaningful for Runnable cores).
+  noc::SimTime vtime = 0;
+  /// EventQueue::earliest_for(rank): first pending event that can touch
+  /// this core (delivery, timer, timed crash, restart, untargeted).
+  noc::SimTime earliest_event = noc::kTimeInfinity;
+  /// An unapplied FaultPlan event-indexed crash names this core.
+  bool event_crash_pending = false;
+};
+
+/// Model constants shared by every core.
+struct HorizonModel {
+  /// Network::min_delivery_delay(header bytes): no send initiated at T can
+  /// deliver before T + min_send_latency.
+  noc::SimTime min_send_latency = 0;
+  /// RuntimeConfig::barrier_cost: a barrier release at T wakes waiters no
+  /// earlier than T + barrier_cost.
+  noc::SimTime barrier_cost = 0;
+  /// EventQueue::lookahead(): earliest pending event of any kind. Used to
+  /// pessimize E(c) for event-indexed crash victims.
+  noc::SimTime earliest_any_event = noc::kTimeInfinity;
+};
+
+/// Infinity-saturating addition on simulated time.
+constexpr noc::SimTime sat_add(noc::SimTime a, noc::SimTime b) noexcept {
+  if (a >= noc::kTimeInfinity || b >= noc::kTimeInfinity) return noc::kTimeInfinity;
+  const noc::SimTime s = a + b;
+  return s < a ? noc::kTimeInfinity : s;  // overflow clamps up
+}
+
+/// E(c) as defined above.
+noc::SimTime horizon_event_bound(const HorizonCore& c, const HorizonModel& m);
+
+/// Compute B(r) for every core into `bounds` (resized to cores.size()).
+/// Fixed point: blocked cores start from their event bound and are relaxed
+/// through min-over-others until stable (at most cores.size() passes — each
+/// pass either lowers some bound through a shorter unblock chain or stops).
+void initiation_bounds(const std::vector<HorizonCore>& cores,
+                       const HorizonModel& m, std::vector<noc::SimTime>& bounds);
+
+/// H(c) for every core into `horizons`, given bounds from initiation_bounds.
+/// A core may be released while its committed vtime is strictly below its
+/// horizon; it must park (and re-ask) at or past it.
+void release_horizons(const std::vector<HorizonCore>& cores,
+                      const HorizonModel& m,
+                      const std::vector<noc::SimTime>& bounds,
+                      std::vector<noc::SimTime>& horizons);
+
+/// Convenience: both passes for a single core (used for self-renewal when a
+/// released core reaches its horizon and asks for a fresh one).
+noc::SimTime release_horizon(const std::vector<HorizonCore>& cores,
+                             const HorizonModel& m, std::size_t rank,
+                             std::vector<noc::SimTime>& scratch);
+
+}  // namespace rck::scc

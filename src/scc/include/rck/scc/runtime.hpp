@@ -150,16 +150,22 @@ struct FaultPlan {
 
 /// Host-side execution parallelism for the simulation itself.
 ///
-/// The DES stays *conservative*: with threads > 1 the scheduler releases
-/// several program threads at once only while every one of them is inside a
-/// compute-class section (charge / charge_cycles / dram_read / set_freq)
-/// whose virtual-time interval lies strictly below the lookahead horizon —
-/// the earliest pending event (message delivery, timer, crash). Any
-/// communication operation (send/recv/probe/wait_any/barrier/peer_alive)
-/// re-serializes at the scheduler. Because compute-class operations touch
-/// only their own core's state, every simulated outcome — event order,
-/// makespan, traces, CoreReports, fault replays — is bit-identical to
-/// serial mode (threads <= 1), which keeps the legacy one-at-a-time
+/// The DES stays *conservative*: with threads > 1 the scheduler grants each
+/// core its own *release horizon* — H(c) = min(earliest pending event that
+/// can touch c, earliest time any other core can initiate an effect toward
+/// c plus one minimum delivery latency; see rck/scc/horizon.hpp) — and a
+/// granted core runs its compute-class sections (charge / charge_cycles /
+/// dram_read / set_freq) and own-state receives on a real host thread,
+/// committing virtual time under the scheduler lock, until it reaches its
+/// horizon. At the horizon it first tries to renew (peers may have advanced)
+/// and otherwise parks, handing its host slot to the next grantable core via
+/// a per-slot work-stealing offer deque. Communication operations that touch
+/// shared simulation state (send/barrier/wait_any/peer_alive) re-serialize
+/// at the scheduler; events and serialized operations fire only when no
+/// released core could still commit an earlier-simulated-time action, which
+/// keeps every simulated outcome — event order, makespan, traces,
+/// CoreReports, observability output, fault replays — bit-identical to
+/// serial mode (threads <= 1). Serial mode keeps the legacy one-at-a-time
 /// scheduler byte-for-byte.
 struct HostParallelism {
   /// Maximum program threads released concurrently; <= 1 = serial scheduler.
@@ -172,11 +178,16 @@ struct HostParallelism {
 };
 
 /// Host-parallel scheduler accounting (see SpmdRuntime::host_parallel_stats).
+/// Counters describe host-side scheduling only; they are wall-clock
+/// dependent and deliberately excluded from simulated results.
 struct HostParallelStats {
-  std::uint64_t windows = 0;    ///< parallel windows opened
-  std::uint64_t releases = 0;   ///< core releases summed over windows
+  std::uint64_t windows = 0;    ///< scheduler passes that granted >= 1 core
+  std::uint64_t releases = 0;   ///< grants summed over passes
   std::uint64_t local_ops = 0;  ///< compute ops applied without the scheduler
-  std::uint64_t max_width = 0;  ///< widest window (cores released at once)
+  std::uint64_t max_width = 0;  ///< most cores released at once
+  std::uint64_t steals = 0;     ///< grants popped from another slot's deque
+  std::uint64_t handoffs = 0;   ///< parking cores that woke a successor
+  std::uint64_t renewals = 0;   ///< horizons regrown in place at the wall
 
   bool operator==(const HostParallelStats&) const = default;
 };

@@ -10,6 +10,8 @@
 #include <thread>
 #include <tuple>
 
+#include "rck/scc/horizon.hpp"
+
 namespace rck::scc {
 
 namespace {
@@ -72,16 +74,20 @@ struct CoreState {
   bool timed_out = false;       // last blocking wait ended by its deadline
   std::uint64_t wait_epoch = 0; // bumped on every wake; invalidates stale timers
 
-  // --- Host-parallel window state (all scheduler-lock protected) ---
-  // `released` marks a core granted a parallel window rather than the serial
+  // --- Host-parallel grant state (all scheduler-lock protected) ---
+  // `released` marks a core granted a host-pool slot rather than the serial
   // execution token; while set, the core may apply compute-class operations
-  // locally as long as its clock stays below `horizon` (the earliest pending
-  // event at release time). `in_op` marks a thread parked *inside* a
-  // communication-class operation: such a core must only ever be resumed
-  // serially, because the remainder of the operation touches shared state.
+  // locally as long as its clock stays below `horizon` (its per-core release
+  // horizon, see rck/scc/horizon.hpp). `in_op` marks a thread parked
+  // *inside* a communication-class operation: such a core must only ever be
+  // resumed serially, because the remainder of the operation touches shared
+  // state. `slot` is the pool slot held while released; `offered` marks a
+  // grant offer for this core queued on some slot's deque.
   bool released = false;
   noc::SimTime horizon = 0;
   bool in_op = false;
+  int slot = -1;
+  bool offered = false;
   // Run-ahead trace records awaiting their deterministic merge into the
   // global trace (kept sorted by construction; `local_flushed` is the merged
   // prefix).
@@ -116,13 +122,40 @@ struct SpmdRuntime::Impl {
   bool parallel = false;  // cfg.host.threads > 1, latched in run()
   HostParallelStats hp_stats;
 
+  // --- Grant pool (parallel scheduler; all scheduler-lock protected) ---
+  // cfg.host.threads slots bound how many cores run released at once. A
+  // grantable core that finds no free slot is queued as an *offer* on one of
+  // the per-slot deques; a parking core pops its own deque from the back
+  // (warmest) and steals from the other deques' fronts (oldest) to hand its
+  // slot over without a scheduler round-trip. The deques balance wake-up
+  // work across slots — every transition still happens under the one
+  // scheduler mutex, so this is a scheduling discipline, not lock-freedom.
+  int pool_width = 0;
+  int pool_active = 0;  // cores currently released
+  std::vector<std::deque<CoreState*>> pool_offers;
+  std::vector<int> free_slots;
+  std::size_t offer_rr = 0;  // round-robin deque choice for queued offers
+  bool draining = false;     // error drain: stop granting and handing off
+  // Earliest simulated time the waiting scheduler still cares about: a
+  // released core committing to or past it must notify sched_cv. kInf when
+  // the scheduler is awake (or waiting only for parks).
+  noc::SimTime sched_wait_below = kInf;
+  noc::SimTime l_min = 0;  // network.min_delivery_delay(kMsgHeaderBytes)
+  // Horizon computation scratch, persistent across passes (no per-pass
+  // allocation on the scheduler hot path).
+  HorizonModel hz_model;
+  std::vector<HorizonCore> hz_cores;
+  std::vector<noc::SimTime> hz_bounds;
+  std::vector<noc::SimTime> hz_horizons;
+
   std::vector<TraceEvent> trace;
 
   // Observability (null unless cfg.obs is active). Shards follow the
   // single-writer discipline documented in rck/obs/obs.hpp: program threads
   // write their own core's shard; delivery/crash events write the affected
-  // core's shard from the scheduler (no parallel window is ever open when an
-  // event fires), and the network writes the trailing system shard.
+  // core's shard from the scheduler (an event fires only while its target
+  // core holds no release — released_blocks_event), and the network writes
+  // the trailing system shard.
   std::shared_ptr<obs::Recorder> rec;
   std::vector<std::uint64_t> mpb_bytes;  // queued inbox bytes per core
 
@@ -196,8 +229,8 @@ struct SpmdRuntime::Impl {
   /// `released` reflects the kind of the *new* grant.
   void yield(CoreState& st, std::unique_lock<std::mutex>& lock,
              CoreState::Status status) {
+    leave_released(st);  // give the slot away before any unwind below
     if (st.dead) throw CrashUnwind{};  // rck-lint: allow(throw-taxonomy)
-    st.released = false;
     st.status = status;
     if (status == CoreState::Status::Blocked) st.blocked_since = st.vtime;
     sched_cv.notify_all();
@@ -208,12 +241,13 @@ struct SpmdRuntime::Impl {
     if (st.dead) throw CrashUnwind{};  // rck-lint: allow(throw-taxonomy)
   }
 
-  /// A window-released core ends its run-ahead (next operation needs the
-  /// scheduler, or its clock reached the horizon): park as Ready and wait
-  /// for the next grant — serial (released stays false) or a later window
-  /// (released set again by the scheduler). Lock must be held.
+  /// A released core ends its run-ahead (next operation needs the
+  /// scheduler, or its clock reached the horizon and renewal failed): hand
+  /// the slot over, park as Ready and wait for the next grant — serial
+  /// (released stays false) or another release (released set again by
+  /// wake_grant). Lock must be held.
   void park_released(CoreState& st, std::unique_lock<std::mutex>& lock) {
-    st.released = false;
+    leave_released(st);
     st.status = CoreState::Status::Ready;
     sched_cv.notify_all();
     st.cv.wait(lock, [&] {
@@ -240,11 +274,23 @@ struct SpmdRuntime::Impl {
     yield(st, lock, CoreState::Status::Ready);
   }
 
-  /// Compute-class time advance: inside a parallel window, apply the
-  /// operation locally (it touches only this core's state) while the clock
-  /// stays strictly below the horizon — the serial scheduler would have
-  /// dispatched this core before firing any pending event in exactly that
-  /// case. Otherwise fall back to the serial advance. Lock must be held.
+  /// A released core reached its horizon: peers may have advanced since the
+  /// grant, so recompute before giving the slot up. True when the horizon
+  /// grew past the core's clock (keep running). Lock must be held.
+  bool try_renew(CoreState& st) {
+    const noc::SimTime h = horizon_of(st.rank);
+    if (st.vtime >= h) return false;
+    st.horizon = h;
+    ++hp_stats.renewals;
+    return true;
+  }
+
+  /// Compute-class time advance: while released, apply the operation locally
+  /// (it touches only this core's state) as long as the clock stays strictly
+  /// below the release horizon — no other simulated action can observe or
+  /// affect this core below that instant (rck/scc/horizon.hpp). At the
+  /// horizon, renew in place if peers have moved on; otherwise park.
+  /// Non-released cores take the serial advance. Lock must be held.
   void advance_compute(CoreState& st, std::unique_lock<std::mutex>& lock,
                        noc::SimTime dt, TraceEvent::Kind kind = TraceEvent::Kind::Compute) {
     for (;;) {
@@ -252,15 +298,16 @@ struct SpmdRuntime::Impl {
         advance(st, lock, dt, kind);
         return;
       }
-      if (st.vtime < st.horizon) {
+      if (st.vtime < st.horizon || try_renew(st)) {
         if (cfg.enable_trace && dt > 0)
           st.local_trace.push_back({st.rank, kind, st.vtime, st.vtime + dt});
         st.vtime += dt;
         st.report.busy += dt;
         ++hp_stats.local_ops;
+        if (st.vtime >= sched_wait_below) sched_cv.notify_all();
         return;  // keep running user code without a scheduler round-trip
       }
-      park_released(st, lock);  // horizon reached: wait for the next grant
+      park_released(st, lock);  // horizon reached for good: next grant
     }
   }
 
@@ -323,13 +370,16 @@ struct SpmdRuntime::Impl {
   /// (epoch match) when the deadline arrives. Lock held.
   void arm_timer(CoreState& st, noc::SimTime deadline) {
     const std::uint64_t epoch = st.wait_epoch;
-    queue.schedule_at(std::max(deadline, queue.now()), [this, &st, epoch, deadline] {
-      if (st.wait_epoch == epoch && st.status == CoreState::Status::Blocked &&
-          !st.dead) {
-        st.timed_out = true;
-        wake(st, deadline);
-      }
-    });
+    queue.schedule_at(
+        std::max(deadline, queue.now()),
+        [this, &st, epoch, deadline] {
+          if (st.wait_epoch == epoch && st.status == CoreState::Status::Blocked &&
+              !st.dead) {
+            st.timed_out = true;
+            wake(st, deadline);
+          }
+        },
+        st.rank);
   }
 
   /// Kill a core at simulated time `t` (fires from the event queue; lock is
@@ -356,6 +406,7 @@ struct SpmdRuntime::Impl {
     }
     st.vtime = std::max(st.vtime, t);
     st.in_barrier = false;  // an arrived-then-crashed core stays counted
+    st.offered = false;     // any queued grant offer is void
     ++st.wait_epoch;
     st.cv.notify_all();
   }
@@ -550,7 +601,7 @@ struct SpmdRuntime::Impl {
           if (d->status == CoreState::Status::Blocked && wants_message_from(*d, src))
             wake(*d, arrival);
         },
-        disposition);
+        disposition, dst);
     st.report.messages_sent += 1;
     st.report.bytes_sent += bytes;
     if (chk) {
@@ -573,16 +624,19 @@ struct SpmdRuntime::Impl {
 
   bio::Bytes op_recv(CoreState& st, int src) {
     // recv touches only this core's own state (its inbox, clock and report):
-    // inboxes are mutated solely by delivery events, and no event fires
-    // inside a parallel window, so a released core below the horizon sees
-    // exactly the inbox the serial scheduler would have shown it. It may
-    // therefore complete — or block — inside a window; blocking gives up the
-    // release (yield does), endpoint occupancy is charged via
-    // advance_compute so its trace record merges at the right position.
+    // inboxes are mutated solely by delivery events, no event targeting this
+    // core fires while it is released (released_blocks_event), and a release
+    // below the horizon precedes every still-pending delivery to it — so a
+    // released core sees exactly the inbox the serial scheduler would have
+    // shown it. It may therefore complete — or block — while released;
+    // blocking gives up the release (yield does), endpoint occupancy is
+    // charged via advance_compute so its trace record merges at the right
+    // position.
     check_rank(src, "recv");
     std::unique_lock lock(m);
     for (;;) {
-      while (st.released && st.vtime >= st.horizon) park_released(st, lock);
+      while (st.released && st.vtime >= st.horizon && !try_renew(st))
+        park_released(st, lock);
       if (probe_pending(st, src, chk_sites.recv)) {
         std::uint64_t bytes = 0;
         Message msg = take_message(st, src, chk_sites.recv, bytes);
@@ -796,42 +850,179 @@ struct SpmdRuntime::Impl {
     sched_cv.wait(lock, [&] { return st.status != CoreState::Status::Running; });
   }
 
-  /// Open a conservative parallel window: release up to cfg.host.threads
-  /// Ready cores (lowest virtual time first, ties by rank) whose clocks are
-  /// strictly below `horizon` (the earliest pending event — nothing can
-  /// interact with them before that instant) and that are not parked inside
-  /// the shared-state section of a communication operation. Released cores
-  /// run concurrently — user code plus own-state operations — and re-park on
-  /// their own; the window closes when the last one has. Returns the number
-  /// of cores released (0 = no window worth opening). Lock must be held.
-  std::size_t release_window(std::unique_lock<std::mutex>& lock, noc::SimTime horizon) {
-    std::vector<CoreState*> eligible;
-    for (auto& c : cores)
-      if (c->status == CoreState::Status::Ready && !c->in_op && c->vtime < horizon)
-        eligible.push_back(c.get());
-    if (eligible.size() < 2) return 0;  // nothing to overlap
-    std::stable_sort(eligible.begin(), eligible.end(),
-                     [](const CoreState* a, const CoreState* b) {
-                       return a->vtime < b->vtime;
-                     });
-    const auto cap = static_cast<std::size_t>(std::max(cfg.host.threads, 2));
-    if (eligible.size() > cap) eligible.resize(cap);
+  // ---- Parallel grant machinery -------------------------------------------
 
-    ++hp_stats.windows;
-    hp_stats.releases += eligible.size();
-    hp_stats.max_width =
-        std::max(hp_stats.max_width, static_cast<std::uint64_t>(eligible.size()));
-    for (CoreState* c : eligible) {
-      c->released = true;
-      c->horizon = horizon;
-      c->status = CoreState::Status::Running;
-      c->cv.notify_all();
+  /// Snapshot every core into the horizon model's terms. Sound while a
+  /// serial operation or released compute is in flight: committed vtimes are
+  /// monotone, and any event scheduled after the snapshot arrives at or past
+  /// the bounds derived from it. Lock must be held.
+  void fill_horizon_input() {
+    hz_cores.resize(static_cast<std::size_t>(nranks));
+    for (std::size_t r = 0; r < hz_cores.size(); ++r) {
+      const CoreState& c = *cores[r];
+      HorizonCore& h = hz_cores[r];
+      h.vtime = c.vtime;
+      h.earliest_event = queue.earliest_for(static_cast<int>(r));
+      h.event_crash_pending = false;
+      if (c.dead)  // before the Done check: a dead core may yet be restarted
+        h.phase = HorizonCore::Phase::Dead;
+      else if (c.status == CoreState::Status::Done)
+        h.phase = HorizonCore::Phase::Done;
+      else if (c.status == CoreState::Status::Blocked)
+        h.phase = c.in_barrier ? HorizonCore::Phase::BarrierBlocked
+                               : HorizonCore::Phase::Blocked;
+      else
+        h.phase = HorizonCore::Phase::Runnable;
     }
-    sched_cv.wait(lock, [&] {
-      return std::none_of(cores.begin(), cores.end(),
-                          [](const auto& c) { return c->released; });
-    });
-    return eligible.size();
+    for (const PendingEventCrash& ec : event_crashes)
+      if (!ec.applied)
+        hz_cores[static_cast<std::size_t>(ec.rank)].event_crash_pending = true;
+    hz_model = HorizonModel{l_min, cfg.barrier_cost, queue.lookahead()};
+  }
+
+  /// Fresh release horizon for one core (offer validation / self-renewal).
+  noc::SimTime horizon_of(int rank) {
+    fill_horizon_input();
+    return release_horizon(hz_cores, hz_model, static_cast<std::size_t>(rank),
+                           hz_bounds);
+  }
+
+  /// Put `c` on host slot `slot` and let it run released below `horizon`.
+  /// Lock must be held.
+  void wake_grant(CoreState& c, int slot, noc::SimTime horizon) {
+    c.offered = false;
+    c.released = true;
+    c.slot = slot;
+    c.horizon = horizon;
+    ++pool_active;
+    hp_stats.max_width =
+        std::max(hp_stats.max_width, static_cast<std::uint64_t>(pool_active));
+    c.status = CoreState::Status::Running;
+    c.cv.notify_all();
+  }
+
+  /// Pop the next valid, currently-grantable offer: own deque from the back
+  /// (warmest), then the other slots' deques from the front (oldest — a
+  /// steal). Stale entries (granted, dispatched or crashed since queuing)
+  /// are discarded; an entry whose core is no longer below a fresh horizon
+  /// has its offer withdrawn (the scheduler re-offers once the horizon
+  /// grows). Lock must be held.
+  CoreState* pop_offer(int slot, noc::SimTime& horizon_out, bool& stolen) {
+    for (int k = 0; k < pool_width; ++k) {
+      auto& dq = pool_offers[static_cast<std::size_t>((slot + k) % pool_width)];
+      while (!dq.empty()) {
+        CoreState* c = k == 0 ? dq.back() : dq.front();
+        if (k == 0) dq.pop_back(); else dq.pop_front();
+        if (!c->offered || c->status != CoreState::Status::Ready || c->dead)
+          continue;  // superseded since it was queued
+        const noc::SimTime h = horizon_of(c->rank);
+        if (c->vtime < h) {
+          horizon_out = h;
+          stolen = k != 0;
+          return c;
+        }
+        c->offered = false;  // not grantable right now
+      }
+    }
+    return nullptr;
+  }
+
+  /// A released core stops running (parks, blocks, finishes or unwinds):
+  /// hand its host slot to the next grantable offer, or shrink the active
+  /// pool. Safe to call when not released. Lock must be held.
+  void leave_released(CoreState& st) {
+    if (!st.released) return;
+    st.released = false;
+    const int slot = st.slot;
+    st.slot = -1;
+    if (slot < 0) return;
+    if (!draining && !shutdown) {
+      noc::SimTime h = 0;
+      bool stolen = false;
+      if (CoreState* next = pop_offer(slot, h, stolen)) {
+        --pool_active;  // wake_grant re-increments: width is unchanged
+        wake_grant(*next, slot, h);
+        ++hp_stats.handoffs;
+        if (stolen) ++hp_stats.steals;
+        return;
+      }
+    }
+    --pool_active;
+    free_slots.push_back(slot);
+  }
+
+  /// One granting pass: compute every core's release horizon and give each
+  /// grantable Ready core (not mid-operation, clock below its horizon)
+  /// either a free slot — woken immediately — or an offer on a deque for a
+  /// parking core to pick up. Lock must be held.
+  std::size_t offer_grants() {
+    fill_horizon_input();
+    initiation_bounds(hz_cores, hz_model, hz_bounds);
+    release_horizons(hz_cores, hz_model, hz_bounds, hz_horizons);
+    std::size_t granted = 0;
+    for (auto& cp : cores) {
+      CoreState& c = *cp;
+      if (c.status != CoreState::Status::Ready || c.in_op || c.dead ||
+          c.released || c.offered)
+        continue;
+      const noc::SimTime h = hz_horizons[static_cast<std::size_t>(c.rank)];
+      if (c.vtime >= h) continue;
+      ++granted;
+      if (!free_slots.empty()) {
+        const int slot = free_slots.back();
+        free_slots.pop_back();
+        wake_grant(c, slot, h);
+      } else {
+        c.offered = true;
+        pool_offers[offer_rr++ % static_cast<std::size_t>(pool_width)].push_back(&c);
+      }
+    }
+    if (granted > 0) {
+      ++hp_stats.windows;
+      hp_stats.releases += granted;
+    }
+    return granted;
+  }
+
+  /// True while some released core could still commit an action the serial
+  /// schedule orders before a core dispatch at (t, rank) — strict
+  /// lexicographic (vtime, rank) order, the serial pick rule. Lock held.
+  bool released_blocks_core(noc::SimTime t, int rank) const {
+    for (const auto& c : cores)
+      if (c->released && (c->vtime < t || (c->vtime == t && c->rank < rank)))
+        return true;
+    return false;
+  }
+
+  /// True while some released core forbids firing the event at `t` with
+  /// target `target`: a released core below t could still commit
+  /// earlier-ordered work; the event's own target must be parked (the
+  /// callback mutates its state and writes its obs shard); an unapplied
+  /// event-indexed crash makes every fired event a potential killer of its
+  /// named rank; an untargeted event could touch anyone. Lock held.
+  bool released_blocks_event(noc::SimTime t, int target) const {
+    bool any_released = false;
+    for (const auto& c : cores) {
+      if (!c->released) continue;
+      any_released = true;
+      if (c->vtime < t) return true;
+      if (c->rank == target) return true;
+    }
+    if (!any_released) return false;
+    if (target < 0) return true;
+    for (const PendingEventCrash& ec : event_crashes)
+      if (!ec.applied && cores[static_cast<std::size_t>(ec.rank)]->released)
+        return true;
+    return false;
+  }
+
+  /// Park the scheduler until pool state changes: a released core parks,
+  /// blocks, finishes — or commits its clock to or past `below` (the
+  /// commit fast path stays notification-free under that time). Lock held.
+  void sched_wait(std::unique_lock<std::mutex>& lock, noc::SimTime below) {
+    sched_wait_below = below;
+    sched_cv.wait(lock);
+    sched_wait_below = kInf;
   }
 
   std::string state_dump() const {
@@ -874,6 +1065,210 @@ struct SpmdRuntime::Impl {
   void join_all() {
     for (auto& c : cores)
       if (c->thread.joinable()) c->thread.join();
+  }
+
+  /// No runnable core, nothing pending, nobody released: classify the stall
+  /// (program error vs fault-attributable stall vs genuine deadlock), shut
+  /// the farm down, and either record `failure` or throw. Lock must be held.
+  void report_stall(std::unique_lock<std::mutex>& lock,
+                    std::exception_ptr& failure) {
+    for (auto& c : cores)
+      if (c->error) failure = c->error;
+    const std::string dump = state_dump();
+    bool any_crashed = false;
+    std::string crashed_ranks;
+    for (auto& c : cores) {
+      if (!c->report.crashed) continue;
+      any_crashed = true;
+      if (!crashed_ranks.empty()) crashed_ranks += ", ";
+      crashed_ranks += std::to_string(c->rank);
+    }
+    // The stall is fault-attributable iff every surviving blocked core is
+    // waiting on something a crash can explain: a dead sender, a wait_any
+    // set containing a dead member, or a barrier some crashed core will
+    // never reach.
+    bool fault_stall = any_crashed;
+    if (any_crashed) {
+      for (auto& c : cores) {
+        if (c->status != CoreState::Status::Blocked || c->dead) continue;
+        bool attributable = false;
+        if (c->in_barrier) {
+          attributable = true;  // any_crashed: a dead core never arrives
+        } else if (c->wait_src >= 0) {
+          attributable = cores[static_cast<std::size_t>(c->wait_src)]->dead;
+        } else if (c->wait_src == CoreState::kWaitAny) {
+          for (int s : c->wait_set)
+            if (cores[static_cast<std::size_t>(s)]->dead) attributable = true;
+        }
+        if (!attributable) {
+          fault_stall = false;
+          break;
+        }
+      }
+    }
+    shutdown_all(lock);
+    if (failure) return;
+    lock.unlock();
+    join_all();
+    if (fault_stall)
+      throw FaultStallError("fault-induced stall: surviving cores wait on "
+                            "crashed core(s) " +
+                            crashed_ranks + "\n" + dump);
+    throw DeadlockError("simulation deadlock: all cores blocked\n" + dump);
+  }
+
+  /// The legacy one-at-a-time scheduler (threads <= 1, and every chk run):
+  /// kept byte-for-byte, including the chk schedule perturbation. Returns
+  /// with every core Done or `failure` set (report_stall may throw instead).
+  /// Lock must be held.
+  void run_serial_loop(std::unique_lock<std::mutex>& lock,
+                       std::exception_ptr& failure) {
+    for (;;) {
+      bool all_done = true;
+      CoreState* pick = nullptr;
+      for (auto& c : cores) {
+        if (c->status == CoreState::Status::Done) continue;
+        all_done = false;
+        if (c->status == CoreState::Status::Ready &&
+            (pick == nullptr || c->vtime < pick->vtime))
+          pick = c.get();
+      }
+      if (all_done) return;
+
+      const noc::SimTime t_evt = queue.empty() ? kInf : queue.next_time();
+      const noc::SimTime t_core = pick != nullptr ? pick->vtime : kInf;
+
+      if (!queue.empty() && t_evt <= t_core) {
+        flush_local_before(t_evt, -1);  // events outrank same-instant core ops
+        queue.run_one();  // deliveries may wake blocked cores, or kill one
+        apply_event_crashes();  // crash-at-event-K triggers ride the count
+        reap_dead(lock);  // let just-crashed threads unwind to Done first
+        continue;
+      }
+      if (pick == nullptr) {
+        report_stall(lock, failure);
+        return;
+      }
+      if (chk_rng != 0) {
+        // Bounded schedule perturbation (chk.schedule_seed): among ready
+        // cores tied at the minimum virtual time, dispatch one drawn from
+        // the seeded stream instead of always the lowest rank. Only
+        // same-instant ties are reordered — every perturbed schedule is one
+        // the conservative DES already admits — and the draw sequence is a
+        // pure function of the seed, so each seed replays bit-for-bit.
+        std::vector<CoreState*> tied;
+        for (auto& c : cores)
+          if (c->status == CoreState::Status::Ready && c->vtime == pick->vtime)
+            tied.push_back(c.get());
+        if (tied.size() > 1)
+          pick = tied[static_cast<std::size_t>(chk_shuffle_next(chk_rng) %
+                                               tied.size())];
+      }
+      flush_local_before(pick->vtime, pick->rank);
+      dispatch(*pick, lock);
+      if (pick->status == CoreState::Status::Done && pick->error) {
+        failure = pick->error;
+        shutdown_all(lock);
+        return;
+      }
+    }
+  }
+
+  /// The horizon/work-stealing scheduler (threads > 1). Serial actions —
+  /// events and communication-class dispatches — run in exactly the serial
+  /// schedule's order; between them, cores granted a pool slot run their
+  /// compute below their release horizons on real host threads. The two
+  /// admission predicates (released_blocks_event / released_blocks_core)
+  /// guarantee no released core can still commit work the serial order
+  /// places earlier, which is what keeps every simulated result
+  /// bit-identical to run_serial_loop. Lock must be held.
+  void run_parallel_loop(std::unique_lock<std::mutex>& lock,
+                         std::exception_ptr& failure) {
+    pool_width = std::max(cfg.host.threads, 2);
+    pool_offers.assign(static_cast<std::size_t>(pool_width), {});
+    free_slots.clear();
+    for (int s = pool_width; s-- > 0;) free_slots.push_back(s);
+    l_min = network.min_delivery_delay(kMsgHeaderBytes);
+
+    for (;;) {
+      // Surface a released-mode program failure exactly as the serial
+      // schedule would: stop granting, drain the pool, then pick the error
+      // the serial order reaches first (lowest finish, ties to low rank).
+      CoreState* bad = nullptr;
+      const auto worse = [](const CoreState* a, const CoreState* b) {
+        return b == nullptr || a->report.finish < b->report.finish ||
+               (a->report.finish == b->report.finish && a->rank < b->rank);
+      };
+      for (auto& c : cores)
+        if (c->status == CoreState::Status::Done && c->error && worse(c.get(), bad))
+          bad = c.get();
+      if (bad != nullptr) {
+        draining = true;
+        sched_cv.wait(lock, [&] {
+          return std::none_of(cores.begin(), cores.end(),
+                              [](const auto& c) { return c->released; });
+        });
+        for (auto& c : cores)  // drained cores may have erred even earlier
+          if (c->status == CoreState::Status::Done && c->error && worse(c.get(), bad))
+            bad = c.get();
+        failure = bad->error;
+        shutdown_all(lock);
+        return;
+      }
+
+      bool all_done = true;
+      bool any_released = false;
+      CoreState* pick = nullptr;
+      for (auto& c : cores) {
+        if (c->released) any_released = true;
+        if (c->status == CoreState::Status::Done) continue;
+        all_done = false;
+        if (c->status == CoreState::Status::Ready &&
+            (pick == nullptr || c->vtime < pick->vtime))
+          pick = c.get();
+      }
+      if (all_done) return;
+
+      const noc::SimTime t_evt = queue.empty() ? kInf : queue.next_time();
+
+      if (!queue.empty() && (pick == nullptr || t_evt <= pick->vtime)) {
+        if (released_blocks_event(t_evt, queue.next_target())) {
+          sched_wait(lock, t_evt);
+          continue;
+        }
+        flush_local_before(t_evt, -1);  // events outrank same-instant core ops
+        queue.run_one();
+        apply_event_crashes();
+        reap_dead(lock);
+        continue;  // batched drain: consecutive due events fire back-to-back
+      }
+      if (pick == nullptr) {
+        if (any_released) {  // running compute will park, block or finish
+          sched_wait(lock, kInf);
+          continue;
+        }
+        report_stall(lock, failure);
+        return;
+      }
+
+      // Grant whatever can run ahead (possibly including `pick`).
+      offer_grants();
+      if (pick->released) continue;  // became pool work; re-evaluate
+      if (pick->offered) {
+        // Grantable, but the pool is full: a parking core will hand its slot
+        // over faster than a serial round-trip here. Wait for pool churn.
+        sched_wait(lock, kInf);
+        continue;
+      }
+      // `pick` needs the serial token; admit it only once no released core
+      // can still commit earlier-ordered work.
+      if (released_blocks_core(pick->vtime, pick->rank)) {
+        sched_wait(lock, pick->vtime);
+        continue;
+      }
+      flush_local_before(pick->vtime, pick->rank);
+      dispatch(*pick, lock);
+    }
   }
 };
 
@@ -1050,8 +1445,8 @@ noc::SimTime SpmdRuntime::run(int nranks, const Program& program) {
   }
   for (const FaultPlan::Crash& c : im.cfg.faults.crashes) {
     CoreState& victim = *im.cores[static_cast<std::size_t>(c.rank)];
-    im.queue.schedule_at(c.at,
-                         [&im, &victim, at = c.at] { im.apply_crash(victim, at); });
+    im.queue.schedule_at(
+        c.at, [&im, &victim, at = c.at] { im.apply_crash(victim, at); }, c.rank);
   }
   // Spawn a program thread for one core; each parks until the scheduler
   // admits it. Shared between the initial spawn loop and fault-plan restart
@@ -1084,7 +1479,7 @@ noc::SimTime SpmdRuntime::run(int nranks, const Program& program) {
         st.error = std::current_exception();
       }
       std::unique_lock lock(impl.m);
-      st.released = false;  // a window-released program may finish mid-window
+      impl.leave_released(st);  // a released program may finish mid-grant
       st.status = CoreState::Status::Done;
       st.report.finish = st.vtime;
       impl.sched_cv.notify_all();
@@ -1097,7 +1492,8 @@ noc::SimTime SpmdRuntime::run(int nranks, const Program& program) {
   for (const FaultPlan::Restart& rs : im.cfg.faults.restarts) {
     CoreState& victim = *im.cores[static_cast<std::size_t>(rs.rank)];
     im.queue.schedule_at(
-        rs.at, [&im, &victim, at = rs.at, &spawn_thread] {
+        rs.at,
+        [&im, &victim, at = rs.at, &spawn_thread] {
           if (!victim.dead || victim.status != CoreState::Status::Done) return;
           // The crashed thread has fully unwound (reap_dead runs after every
           // event) and no longer touches shared state; reclaim it.
@@ -1110,6 +1506,8 @@ noc::SimTime SpmdRuntime::run(int nranks, const Program& program) {
           victim.wait_src = CoreState::kWaitNone;
           victim.wait_set.clear();
           victim.released = false;
+          victim.offered = false;
+          victim.slot = -1;
           victim.in_op = false;
           ++victim.wait_epoch;  // stale timers from the previous life are void
           victim.vtime = std::max(victim.vtime, at);
@@ -1123,7 +1521,8 @@ noc::SimTime SpmdRuntime::run(int nranks, const Program& program) {
                       static_cast<std::uint64_t>(victim.rank));
           }
           spawn_thread(victim);  // fresh thread parks until dispatched
-        });
+        },
+        rs.rank);
   }
   for (int r = 0; r < nranks; ++r)
     spawn_thread(*im.cores[static_cast<std::size_t>(r)]);
@@ -1134,117 +1533,10 @@ noc::SimTime SpmdRuntime::run(int nranks, const Program& program) {
     // after_events == 0 means "crash before anything fires".
     im.apply_event_crashes();
     im.reap_dead(lock);
-    for (;;) {
-      bool all_done = true;
-      CoreState* pick = nullptr;
-      for (auto& c : im.cores) {
-        if (c->status == CoreState::Status::Done) continue;
-        all_done = false;
-        if (c->status == CoreState::Status::Ready &&
-            (pick == nullptr || c->vtime < pick->vtime))
-          pick = c.get();
-      }
-      if (all_done) break;
-
-      const noc::SimTime t_evt = im.queue.empty() ? kInf : im.queue.next_time();
-      const noc::SimTime t_core = pick != nullptr ? pick->vtime : kInf;
-
-      if (!im.queue.empty() && t_evt <= t_core) {
-        im.flush_local_before(t_evt, -1);  // events outrank same-instant core ops
-        im.queue.run_one();  // deliveries may wake blocked cores, or kill one
-        im.apply_event_crashes();  // crash-at-event-K triggers ride the count
-        im.reap_dead(lock);  // let just-crashed threads unwind to Done first
-        continue;
-      }
-      if (pick == nullptr) {
-        // No runnable core and no pending event: a genuine deadlock, unless
-        // some core already failed and left its peers waiting — or the fault
-        // plan killed the cores the survivors are waiting on.
-        for (auto& c : im.cores)
-          if (c->error) failure = c->error;
-        const std::string dump = im.state_dump();
-        bool any_crashed = false;
-        std::string crashed_ranks;
-        for (auto& c : im.cores) {
-          if (!c->report.crashed) continue;
-          any_crashed = true;
-          if (!crashed_ranks.empty()) crashed_ranks += ", ";
-          crashed_ranks += std::to_string(c->rank);
-        }
-        // The stall is fault-attributable iff every surviving blocked core is
-        // waiting on something a crash can explain: a dead sender, a wait_any
-        // set containing a dead member, or a barrier some crashed core will
-        // never reach.
-        bool fault_stall = any_crashed;
-        if (any_crashed) {
-          for (auto& c : im.cores) {
-            if (c->status != CoreState::Status::Blocked || c->dead) continue;
-            bool attributable = false;
-            if (c->in_barrier) {
-              attributable = true;  // any_crashed: a dead core never arrives
-            } else if (c->wait_src >= 0) {
-              attributable = im.cores[static_cast<std::size_t>(c->wait_src)]->dead;
-            } else if (c->wait_src == CoreState::kWaitAny) {
-              for (int s : c->wait_set)
-                if (im.cores[static_cast<std::size_t>(s)]->dead) attributable = true;
-            }
-            if (!attributable) {
-              fault_stall = false;
-              break;
-            }
-          }
-        }
-        im.shutdown_all(lock);
-        if (failure) break;
-        lock.unlock();
-        im.join_all();
-        if (fault_stall)
-          throw FaultStallError("fault-induced stall: surviving cores wait on "
-                                "crashed core(s) " +
-                                crashed_ranks + "\n" + dump);
-        throw DeadlockError("simulation deadlock: all cores blocked\n" + dump);
-      }
-
-      if (im.parallel && im.release_window(lock, t_evt) > 0) {
-        // Cores released in the window may have finished with an error;
-        // surface the one the serial schedule would have reached first
-        // (lowest finish time, ties to the lowest rank).
-        CoreState* bad = nullptr;
-        for (auto& c : im.cores)
-          if (c->status == CoreState::Status::Done && c->error &&
-              (bad == nullptr || c->report.finish < bad->report.finish))
-            bad = c.get();
-        if (bad != nullptr) {
-          failure = bad->error;
-          im.shutdown_all(lock);
-          break;
-        }
-        continue;
-      }
-
-      if (im.chk_rng != 0) {
-        // Bounded schedule perturbation (chk.schedule_seed): among ready
-        // cores tied at the minimum virtual time, dispatch one drawn from
-        // the seeded stream instead of always the lowest rank. Only
-        // same-instant ties are reordered — every perturbed schedule is one
-        // the conservative DES already admits — and the draw sequence is a
-        // pure function of the seed, so each seed replays bit-for-bit.
-        std::vector<CoreState*> tied;
-        for (auto& c : im.cores)
-          if (c->status == CoreState::Status::Ready && c->vtime == pick->vtime)
-            tied.push_back(c.get());
-        if (tied.size() > 1)
-          pick = tied[static_cast<std::size_t>(chk_shuffle_next(im.chk_rng) %
-                                               tied.size())];
-      }
-      im.flush_local_before(pick->vtime, pick->rank);
-      im.dispatch(*pick, lock);
-      if (pick->status == CoreState::Status::Done && pick->error) {
-        failure = pick->error;
-        im.shutdown_all(lock);
-        break;
-      }
-    }
+    if (im.parallel)
+      im.run_parallel_loop(lock, failure);
+    else
+      im.run_serial_loop(lock, failure);
     if (!failure) im.flush_local_all();
   }
   im.join_all();

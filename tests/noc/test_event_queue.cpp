@@ -100,6 +100,50 @@ TEST(EventQueue, LargeVolumeStaysOrdered) {
   EXPECT_EQ(q.fired(), 10000u);
 }
 
+TEST(EventQueueTargets, EarliestForTracksPerEntityMinimum) {
+  EventQueue q;
+  q.schedule_at(30, [] {}, /*target=*/0);
+  q.schedule_at(10, [] {}, /*target=*/1);
+  q.schedule_at(50, [] {}, /*target=*/1);
+  EXPECT_EQ(q.earliest_for(0), 30u);
+  EXPECT_EQ(q.earliest_for(1), 10u);
+  EXPECT_EQ(q.earliest_for(2), kTimeInfinity);  // nothing can touch entity 2
+  EXPECT_EQ(q.lookahead(), 10u);
+  EXPECT_EQ(q.next_target(), 1);
+}
+
+TEST(EventQueueTargets, UntargetedEventsAffectEveryEntity) {
+  EventQueue q;
+  q.schedule_at(40, [] {}, /*target=*/3);
+  q.schedule_at(25, [] {});  // kUntargeted: may touch anything
+  EXPECT_EQ(q.earliest_for(3), 25u);
+  EXPECT_EQ(q.earliest_for(7), 25u);
+  EXPECT_EQ(q.next_target(), EventQueue::kUntargeted);
+}
+
+TEST(EventQueueTargets, FiringErasesTheTargetBookkeeping) {
+  EventQueue q;
+  q.schedule_at(10, [] {}, 0);
+  q.schedule_at(20, [] {}, 0);
+  q.schedule_at(15, [] {});
+  q.run_one();  // fires the t=10 event targeting 0
+  EXPECT_EQ(q.earliest_for(0), 15u);  // untargeted at 15 now leads
+  q.run_one();  // fires the untargeted t=15 event
+  EXPECT_EQ(q.earliest_for(0), 20u);
+  EXPECT_EQ(q.earliest_for(1), kTimeInfinity);
+  q.run();
+  EXPECT_EQ(q.earliest_for(0), kTimeInfinity);
+  EXPECT_EQ(q.lookahead(), kTimeInfinity);
+}
+
+TEST(EventQueueTargets, EventsSchedulingTargetedEventsStayConsistent) {
+  EventQueue q;
+  q.schedule_at(5, [&] { q.schedule_after(10, [] {}, 2); }, 1);
+  q.run_one();
+  EXPECT_EQ(q.earliest_for(2), 15u);
+  EXPECT_EQ(q.next_target(), 2);
+}
+
 TEST(SimTimeConversion, RoundTrips) {
   EXPECT_DOUBLE_EQ(to_seconds(kPsPerSec), 1.0);
   EXPECT_EQ(from_seconds(2.5), 2500 * kPsPerMs);

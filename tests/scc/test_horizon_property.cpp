@@ -1,0 +1,333 @@
+// Property tests for the release-horizon module (rck/scc/horizon.hpp).
+//
+// The horizon is the parallel scheduler's entire safety argument, so it is
+// tested two ways. First, as pure math against a brute-force reference:
+// random core snapshots (phases, clocks, pending events, crash flags) must
+// produce exactly the reference fixed point, respect every event and peer
+// bound, and be monotone under peer progress — including the defining
+// property in the form the scheduler consumes it: a core is *releasable*
+// (clock strictly below its horizon) iff no event and no possible peer
+// effect precedes its clock. Second, end to end: randomized compute/comm
+// mixes with timers, probes and DVFS must replay bit-identically under the
+// serial and the horizon scheduler at every thread count.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "rck/noc/sim_time.hpp"
+#include "rck/scc/horizon.hpp"
+#include "rck/scc/runtime.hpp"
+
+namespace rck::scc {
+namespace {
+
+using noc::SimTime;
+using noc::kTimeInfinity;
+
+// ---- Random snapshot generation --------------------------------------------
+
+std::vector<HorizonCore> random_cores(std::mt19937_64& rng, std::size_t n) {
+  std::vector<HorizonCore> cores(n);
+  for (HorizonCore& c : cores) {
+    switch (rng() % 8) {
+      case 0: c.phase = HorizonCore::Phase::Done; break;
+      case 1: c.phase = HorizonCore::Phase::Dead; break;
+      case 2:
+      case 3: c.phase = HorizonCore::Phase::Blocked; break;
+      case 4: c.phase = HorizonCore::Phase::BarrierBlocked; break;
+      default: c.phase = HorizonCore::Phase::Runnable; break;
+    }
+    c.vtime = rng() % 1'000'000;
+    c.earliest_event = (rng() % 3 == 0) ? kTimeInfinity : rng() % 2'000'000;
+    c.event_crash_pending = rng() % 8 == 0;
+  }
+  return cores;
+}
+
+HorizonModel random_model(std::mt19937_64& rng,
+                          const std::vector<HorizonCore>& cores) {
+  HorizonModel m;
+  m.min_send_latency = 1 + rng() % 5'000;
+  m.barrier_cost = 1 + rng() % 50'000;
+  // The global lookahead is by definition <= every per-core event bound.
+  m.earliest_any_event = kTimeInfinity;
+  for (const HorizonCore& c : cores)
+    m.earliest_any_event = std::min(m.earliest_any_event, c.earliest_event);
+  if (m.earliest_any_event != kTimeInfinity && rng() % 2 == 0)
+    m.earliest_any_event -= std::min<SimTime>(m.earliest_any_event, rng() % 1'000);
+  return m;
+}
+
+// ---- Brute-force reference --------------------------------------------------
+// Same definition as the production code, written as naively as possible:
+// iterate the relaxation to an honest fixed point with O(n^2) scans.
+
+SimTime ref_unblock_latency(const HorizonCore& c, const HorizonModel& m) {
+  return c.phase == HorizonCore::Phase::BarrierBlocked ? m.barrier_cost
+                                                       : m.min_send_latency;
+}
+
+std::vector<SimTime> ref_bounds(const std::vector<HorizonCore>& cores,
+                                const HorizonModel& m) {
+  const std::size_t n = cores.size();
+  std::vector<SimTime> b(n, kTimeInfinity);
+  for (std::size_t r = 0; r < n; ++r) {
+    switch (cores[r].phase) {
+      case HorizonCore::Phase::Runnable: b[r] = cores[r].vtime; break;
+      case HorizonCore::Phase::Done: b[r] = kTimeInfinity; break;
+      default: b[r] = horizon_event_bound(cores[r], m); break;
+    }
+  }
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (std::size_t r = 0; r < n; ++r) {
+      const HorizonCore::Phase p = cores[r].phase;
+      if (p != HorizonCore::Phase::Blocked &&
+          p != HorizonCore::Phase::BarrierBlocked)
+        continue;
+      SimTime best = kTimeInfinity;
+      for (std::size_t o = 0; o < n; ++o)
+        if (o != r) best = std::min(best, b[o]);
+      const SimTime cand = sat_add(best, ref_unblock_latency(cores[r], m));
+      if (cand < b[r]) {
+        b[r] = cand;
+        changed = true;
+      }
+    }
+  }
+  return b;
+}
+
+SimTime ref_horizon(const std::vector<HorizonCore>& cores, const HorizonModel& m,
+                    std::size_t c, const std::vector<SimTime>& b) {
+  SimTime peers = kTimeInfinity;
+  for (std::size_t o = 0; o < cores.size(); ++o)
+    if (o != c) peers = std::min(peers, sat_add(b[o], m.min_send_latency));
+  return std::min(horizon_event_bound(cores[c], m), peers);
+}
+
+// ---- Pure-model properties --------------------------------------------------
+
+TEST(HorizonProperty, MatchesBruteForceReference) {
+  std::mt19937_64 rng(0xB10C5EEDu);
+  std::vector<SimTime> bounds, horizons;
+  for (int trial = 0; trial < 400; ++trial) {
+    const std::size_t n = 1 + rng() % 12;
+    const auto cores = random_cores(rng, n);
+    const auto model = random_model(rng, cores);
+    initiation_bounds(cores, model, bounds);
+    release_horizons(cores, model, bounds, horizons);
+    const auto rb = ref_bounds(cores, model);
+    ASSERT_EQ(bounds, rb) << "trial " << trial;
+    for (std::size_t c = 0; c < n; ++c)
+      ASSERT_EQ(horizons[c], ref_horizon(cores, model, c, rb))
+          << "trial " << trial << " core " << c;
+  }
+}
+
+TEST(HorizonProperty, SingleCoreConvenienceAgreesWithBatch) {
+  std::mt19937_64 rng(42);
+  std::vector<SimTime> bounds, horizons, scratch;
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 1 + rng() % 10;
+    const auto cores = random_cores(rng, n);
+    const auto model = random_model(rng, cores);
+    initiation_bounds(cores, model, bounds);
+    release_horizons(cores, model, bounds, horizons);
+    for (std::size_t c = 0; c < n; ++c)
+      ASSERT_EQ(release_horizon(cores, model, c, scratch), horizons[c])
+          << "trial " << trial << " core " << c;
+  }
+}
+
+TEST(HorizonProperty, NeverExceedsEventOrRunnablePeerBounds) {
+  std::mt19937_64 rng(7);
+  std::vector<SimTime> bounds, horizons;
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::size_t n = 2 + rng() % 10;
+    const auto cores = random_cores(rng, n);
+    const auto model = random_model(rng, cores);
+    initiation_bounds(cores, model, bounds);
+    release_horizons(cores, model, bounds, horizons);
+    for (std::size_t c = 0; c < n; ++c) {
+      // H(c) <= E(c): no pending event that can touch c precedes the horizon.
+      EXPECT_LE(horizons[c], horizon_event_bound(cores[c], model));
+      // H(c) <= vtime(r) + L for every runnable peer: a peer's very next
+      // send cannot deliver below the horizon.
+      for (std::size_t r = 0; r < n; ++r) {
+        if (r == c || cores[r].phase != HorizonCore::Phase::Runnable) continue;
+        EXPECT_LE(horizons[c], sat_add(cores[r].vtime, model.min_send_latency))
+            << "trial " << trial << " core " << c << " peer " << r;
+      }
+    }
+  }
+}
+
+TEST(HorizonProperty, ReleasableIffNoAffectingActionPrecedesClock) {
+  // The property the scheduler consumes, spelled out: core c may be released
+  // (vtime < H) iff no event that can touch it and no peer-initiated effect
+  // can land at or before its committed clock.
+  std::mt19937_64 rng(0xCAFE);
+  std::vector<SimTime> bounds, horizons;
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::size_t n = 2 + rng() % 10;
+    const auto cores = random_cores(rng, n);
+    const auto model = random_model(rng, cores);
+    initiation_bounds(cores, model, bounds);
+    release_horizons(cores, model, bounds, horizons);
+    for (std::size_t c = 0; c < n; ++c) {
+      bool affecting_precedes =
+          horizon_event_bound(cores[c], model) <= cores[c].vtime;
+      for (std::size_t r = 0; r < n && !affecting_precedes; ++r)
+        if (r != c &&
+            sat_add(bounds[r], model.min_send_latency) <= cores[c].vtime)
+          affecting_precedes = true;
+      EXPECT_EQ(cores[c].vtime < horizons[c], !affecting_precedes)
+          << "trial " << trial << " core " << c;
+    }
+  }
+}
+
+TEST(HorizonProperty, MonotoneUnderPeerProgress) {
+  // Peers only ever move forward (clocks grow, blocked cores finish): no
+  // such step may shrink anyone's horizon, or an already-granted release
+  // would retroactively become unsafe.
+  std::mt19937_64 rng(99);
+  std::vector<SimTime> bounds, before, after;
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::size_t n = 2 + rng() % 10;
+    auto cores = random_cores(rng, n);
+    const auto model = random_model(rng, cores);
+    initiation_bounds(cores, model, bounds);
+    release_horizons(cores, model, bounds, before);
+
+    const std::size_t who = rng() % n;
+    HorizonCore& w = cores[who];
+    if (w.phase == HorizonCore::Phase::Runnable && rng() % 2 == 0)
+      w.vtime += 1 + rng() % 100'000;  // commits more compute
+    else
+      w.phase = HorizonCore::Phase::Done;  // finishes outright
+    initiation_bounds(cores, model, bounds);
+    release_horizons(cores, model, bounds, after);
+    for (std::size_t c = 0; c < n; ++c) {
+      if (c == who) continue;
+      EXPECT_GE(after[c], before[c]) << "trial " << trial << " core " << c;
+    }
+  }
+}
+
+TEST(HorizonProperty, EventCrashPendingPessimizesToGlobalLookahead) {
+  std::vector<HorizonCore> cores(2);
+  cores[0].phase = HorizonCore::Phase::Runnable;
+  cores[0].vtime = 100;
+  cores[0].earliest_event = kTimeInfinity;  // nothing targets core 0
+  cores[1].phase = HorizonCore::Phase::Runnable;
+  cores[1].vtime = 500;
+  cores[1].earliest_event = 700;
+  HorizonModel m{/*min_send_latency=*/50, /*barrier_cost=*/10,
+                 /*earliest_any_event=*/700};
+
+  EXPECT_EQ(horizon_event_bound(cores[0], m), kTimeInfinity);
+  cores[0].event_crash_pending = true;  // any fired event may now kill it
+  EXPECT_EQ(horizon_event_bound(cores[0], m), 700);
+}
+
+TEST(HorizonProperty, SaturatingAddClampsAtInfinity) {
+  EXPECT_EQ(sat_add(kTimeInfinity, 5), kTimeInfinity);
+  EXPECT_EQ(sat_add(5, kTimeInfinity), kTimeInfinity);
+  EXPECT_EQ(sat_add(kTimeInfinity - 1, 2), kTimeInfinity);  // overflow clamps
+  EXPECT_EQ(sat_add(3, 4), SimTime{7});
+}
+
+TEST(HorizonProperty, QuiescentFarmHasInfiniteHorizons) {
+  // Everyone Done, no events: nothing can ever touch anyone.
+  std::vector<HorizonCore> cores(4);
+  for (HorizonCore& c : cores) c.phase = HorizonCore::Phase::Done;
+  HorizonModel m{100, 1000, kTimeInfinity};
+  std::vector<SimTime> bounds, horizons;
+  initiation_bounds(cores, m, bounds);
+  release_horizons(cores, m, bounds, horizons);
+  for (const SimTime h : horizons) EXPECT_EQ(h, kTimeInfinity);
+}
+
+// ---- End-to-end serial replay identity --------------------------------------
+// Randomized compute/comm mixes exercising the op classes the horizon must
+// reason about indirectly: timed waits (timer events targeting their own
+// core), probes, DVFS transitions, and master/slave gathers.
+
+struct RunSnapshot {
+  noc::SimTime makespan = 0;
+  std::vector<CoreReport> reports;
+  std::vector<TraceEvent> trace;
+  noc::NetworkStats net;
+  std::uint64_t events = 0;
+
+  bool operator==(const RunSnapshot&) const = default;
+};
+
+Program timed_mix(std::uint64_t seed, int rounds) {
+  return [seed, rounds](CoreCtx& ctx) {
+    const int n = ctx.nranks();
+    const int me = ctx.rank();
+    std::mt19937_64 rng(seed ^ (0x9E3779B97F4A7C15ULL *
+                                static_cast<std::uint64_t>(me + 1)));
+    for (int r = 0; r < rounds; ++r) {
+      ctx.charge_cycles(1'000 + rng() % 50'000);
+      if (rng() % 4 == 0)
+        ctx.set_freq_scale(0.5 + static_cast<double>(rng() % 150) / 100.0);
+      if (me == 0) {
+        std::vector<int> srcs;
+        for (int k = 1; k < n; ++k) srcs.push_back(k);
+        int got = 0;
+        while (got < n - 1) {
+          const int who = ctx.wait_any_timeout(srcs, 50 * noc::kPsPerUs);
+          if (who < 0) {  // deadline fired: spin a little and re-arm
+            ctx.charge_cycles(500);
+            continue;
+          }
+          (void)ctx.recv(who);
+          ++got;
+        }
+      } else {
+        ctx.charge_cycles(rng() % 100'000);
+        (void)ctx.probe(0);
+        ctx.send(0, bio::Bytes(1 + rng() % 64, std::byte{0x5A}));
+        // The master never sends back: this always rides the timer path.
+        EXPECT_FALSE(
+            ctx.recv_timeout(0, (5 + rng() % 20) * noc::kPsPerUs).has_value());
+      }
+      ctx.barrier();
+    }
+  };
+}
+
+RunSnapshot execute(int nranks, const Program& program, int host_threads) {
+  RuntimeConfig cfg;
+  cfg.enable_trace = true;
+  cfg.host.threads = host_threads;
+  SpmdRuntime rt(cfg);
+  RunSnapshot s;
+  s.makespan = rt.run(nranks, program);
+  s.reports = rt.core_reports();
+  s.trace = rt.trace();
+  s.net = rt.network_stats();
+  s.events = rt.events_fired();
+  return s;
+}
+
+TEST(HorizonProperty, TimedCommMixesReplayIdenticallyAtEveryWidth) {
+  for (const std::uint64_t seed : {11u, 202u, 3003u}) {
+    const int nranks = 3 + static_cast<int>(seed % 6);
+    const Program program = timed_mix(seed, 4);
+    const RunSnapshot serial = execute(nranks, program, 1);
+    for (const int threads : {2, 4, 8})
+      EXPECT_EQ(serial, execute(nranks, program, threads))
+          << "seed " << seed << " threads " << threads;
+  }
+}
+
+}  // namespace
+}  // namespace rck::scc
