@@ -23,6 +23,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -63,10 +64,15 @@ rckalign::RckAlignRun run_once(const std::vector<bio::Protein>& dataset,
 int main(int argc, char** argv) {
   int slaves = 12;
   std::string json_path = "BENCH_host_parallel.json";
+  bool force = false;
   harness::ArgParser cli("bench_host_parallel",
                          "Wall-clock speedup of host-parallel simulation.");
   cli.option("slaves", &slaves, "simulated slave cores")
-      .option("json", &json_path, "output path for the bench JSON");
+      .option("json", &json_path, "output path for the bench JSON")
+      .flag("force", &force,
+            "overwrite a well-subscribed result file even when this host is "
+            "undersubscribed (default: refuse, so a laptop run can't clobber "
+            "the perf-smoke runner's speedup curve)");
   try {
     if (!cli.parse(argc, argv)) return 0;
   } catch (const harness::ArgError& e) {
@@ -149,6 +155,24 @@ int main(int argc, char** argv) {
          << (k + 1 < points.size() ? ",\n" : "\n");
   }
   json << "  ]\n}\n";
+  // An undersubscribed run must not silently replace a result recorded on a
+  // machine that could actually parallelize: the curve would degrade from a
+  // speedup measurement to a scheduling-overhead measurement without anyone
+  // noticing. Refuse unless --force.
+  if (undersubscribed && !force) {
+    std::ifstream existing(json_path);
+    if (existing) {
+      const std::string prior((std::istreambuf_iterator<char>(existing)),
+                              std::istreambuf_iterator<char>());
+      if (prior.find("\"undersubscribed\": false") != std::string::npos) {
+        std::cout << "REFUSING to overwrite " << json_path
+                  << ": it was recorded on a well-subscribed host (>= 4 "
+                     "hardware threads) and this host has "
+                  << hw << "; pass --force to overwrite anyway\n";
+        return 1;
+      }
+    }
+  }
   harness::write_file(json_path, json.str());
   std::cout << "JSON written to " << json_path << "\n";
 

@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
   bool master_ft = false;
   double crash_master_ms = -1.0;
   int host_threads = 1;
+  int batch = 1;
   std::string csv_path;
   obs::Config obs_cfg;
   bool chk_on = false;
@@ -46,6 +47,9 @@ int main(int argc, char** argv) {
   cli.choice("dataset", &dataset_name, kDatasets, "input dataset")
       .option("slaves", &slaves, "slave cores (rank 0 is the master)")
       .flag("lpt", &lpt, "longest-first job order (paper used FIFO)")
+      .option("batch", &batch,
+              "jobs per farm grant (K>1 packs TM-align pairs across SIMD "
+              "lanes on each slave; results are bit-identical to K=1)")
       .flag("serial", &serial, "single-core serial baseline instead")
       .flag("distributed", &distributed, "distributed TM-align NFS baseline")
       .option("csv", &csv_path, "write per-pair results as CSV")
@@ -105,6 +109,7 @@ int main(int argc, char** argv) {
   cfg.with_slaves(slaves)
       .with_cache(&cache)
       .with_lpt(lpt)
+      .with_batch(batch < 0 ? 0 : static_cast<std::size_t>(batch))
       .with_host_threads(host_threads == 0
                              ? scc::HostParallelism::hardware().threads
                              : host_threads)

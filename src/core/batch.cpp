@@ -1,0 +1,339 @@
+// Lane-batched TM-align driver: the solo algorithm (tmalign.cpp) run in
+// lockstep over up to kern::kBatchLanes pairs, with every NW fill/solve
+// routed through the lane-interleaved NwBatch. See batch.hpp for the
+// bit-identity argument; the short version is that each stage here is the
+// same code the solo driver runs (tmalign_detail.hpp), in the same order
+// per lane, and the batched NW kernel performs the identical per-cell IEEE
+// operations as the solo one with no cross-lane data flow.
+//
+// Hot path: no allocations per call once the workspace has grown to the
+// run's maximal pair (enforced by tools/rck_lint and the interposition
+// test in tests/core/test_alloc_free.cpp).
+#include "rck/core/batch.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "rck/core/error.hpp"
+#include "rck/core/simd_kernels.hpp"
+#include "tmalign_detail.hpp"
+
+namespace rck::core::kern {
+
+namespace {
+
+using bio::CoordsView;
+using bio::Transform;
+using detail::LaneDims;
+
+/// Fill row i of lane k's interleaved score-matrix region. The values are
+/// produced by exactly the same arithmetic as the solo fills (memcpy'd
+/// table rows / score_row_strided == score_row), so the lane's DP sees
+/// bit-identical inputs. Callers iterate rows OUTER, lanes INNER: the
+/// lanes of one row interleave into the same cache lines, so filling them
+/// together writes each line once instead of streaming the whole matrix
+/// once per lane.
+void fill_lane_ss_row(NwBatch& nw, std::size_t lane, std::size_t i,
+                      const TmAlignWorkspace& ws) {
+  const std::size_t n2 = ws.ss2.size();
+  double* row = nw.lane_score_row(lane, i);
+  const double* src = ws.ss_eq1[static_cast<std::size_t>(ws.ss1[i])].data();
+  for (std::size_t j = 0; j < n2; ++j) row[j * kBatchLanes] = src[j];
+}
+
+/// Distance-derived score row i under `t` for lane k (bonus == nullptr) or
+/// the hybrid matrix (bonus rows from ws.ss_bonus).
+void fill_lane_distance_row(NwBatch& nw, std::size_t lane, std::size_t i,
+                            const LaneDims& dims, const Transform& t,
+                            double dsq, const TmAlignWorkspace& ws,
+                            bool with_ss_bonus) {
+  const double* bonus =
+      with_ss_bonus ? ws.ss_bonus[static_cast<std::size_t>(ws.ss1[i])].data()
+                    : nullptr;
+  score_row_strided(t.apply(dims.x.at(i)), dims.y, dsq, bonus,
+                    nw.lane_score_row(lane, i), kBatchLanes);
+}
+
+/// Per-lane stats charge for one batched NW round: the solo driver charges
+/// matrix_cells in the fill helper and dp_cells in NwWorkspace::solve; the
+/// lane's own dimensions (not the shared batch dimensions) are what a solo
+/// run would have used. Charged identically on both NW routes (the solo
+/// route passes a null stats pointer to NwWorkspace::solve), so AlignStats
+/// never depends on the routing decision.
+void charge_nw_round(AlignStats& stats, const LaneDims& dims) {
+  const auto cells =
+      static_cast<std::uint64_t>(dims.n1) * static_cast<std::uint64_t>(dims.n2);
+  stats.matrix_cells += cells;
+  stats.dp_cells += cells;
+}
+
+/// Solo-route fills: the same arithmetic as the strided fills above, written
+/// into the lane's own NwWorkspace (identical to the solo driver's fills in
+/// tmalign.cpp, so the lane's DP sees bit-identical inputs either way).
+void fill_solo_ss(TmAlignWorkspace& ws) {
+  const std::size_t n1 = ws.ss1.size();
+  const std::size_t n2 = ws.ss2.size();
+  ws.nw.resize(n1, n2);  // rck-lint: allow(hot-path-alloc) grow-only
+  for (std::size_t i = 0; i < n1; ++i)
+    std::memcpy(ws.nw.score_row(i),
+                ws.ss_eq1[static_cast<std::size_t>(ws.ss1[i])].data(),
+                n2 * sizeof(double));
+}
+
+void fill_solo_distance(TmAlignWorkspace& ws, const LaneDims& dims,
+                        const Transform& t, double dsq, bool with_ss_bonus) {
+  ws.nw.resize(dims.x.size(), dims.y.size());  // rck-lint: allow(hot-path-alloc) grow-only
+  for (std::size_t i = 0; i < dims.x.size(); ++i)
+    score_row(t.apply(dims.x.at(i)), dims.y, dsq,
+              with_ss_bonus
+                  ? ws.ss_bonus[static_cast<std::size_t>(ws.ss1[i])].data()
+                  : nullptr,
+              ws.nw.score_row(i));
+}
+
+/// Deterministic routing decision for one NW round. The interleaved batch
+/// fill computes kBatchLanes * mx * my cells no matter how many lanes
+/// participate, and its per-cell throughput is only ~1.25x the solo
+/// wavefront's — so a round with one straggler lane (late refinement
+/// iterations, ragged final chunks) is ~3x cheaper through the lanes' own
+/// solo solvers. Batch pays off when the participating lanes' own cells
+/// cover >= ~80% of what the interleaved fill would compute. Depends only
+/// on lane dimensions and participation (never on timing), and both routes
+/// are bit-identical per lane, so routing is a pure wall-clock choice.
+bool use_batch_round(const LaneDims* dims, const bool* part, std::size_t count,
+                     std::size_t& mx, std::size_t& my) {
+  std::uint64_t cells = 0;
+  mx = my = 0;
+  for (std::size_t k = 0; k < count; ++k) {
+    if (!part[k]) continue;
+    cells += static_cast<std::uint64_t>(dims[k].n1) *
+             static_cast<std::uint64_t>(dims[k].n2);
+    mx = std::max(mx, static_cast<std::size_t>(dims[k].n1));
+    my = std::max(my, static_cast<std::size_t>(dims[k].n2));
+  }
+  return 5 * cells >= 4 * static_cast<std::uint64_t>(kBatchLanes) * mx * my;
+}
+
+}  // namespace
+
+void align_batch(const BatchItem* items, std::size_t count, BatchWorkspace& bw,
+                 const TmAlignOptions& opts) {
+  if (count == 0) return;
+  if (count > kBatchLanes)
+    throw CoreError("align_batch: count exceeds kBatchLanes");
+  for (std::size_t k = 0; k < count; ++k)
+    if (items[k].a == nullptr || items[k].b == nullptr)
+      throw CoreError("align_batch: null protein in batch item");
+
+  // Per-lane setup (validates chain lengths before any result is touched).
+  LaneDims dims[kBatchLanes];
+  for (std::size_t k = 0; k < count; ++k)
+    dims[k] = detail::init_lane(*items[k].a, *items[k].b, bw.lane(k), opts);
+
+  // Shared DP dimensions: the maximal pair of the chunk. Ragged lanes run
+  // to these dimensions; their out-of-range cells are finite garbage that
+  // no live cell or traceback reads (see NwBatch).
+  NwBatch& nw = bw.nw();
+  std::size_t mx = 0, my = 0;
+  for (std::size_t k = 0; k < count; ++k) {
+    mx = std::max(mx, static_cast<std::size_t>(dims[k].n1));
+    my = std::max(my, static_cast<std::size_t>(dims[k].n2));
+  }
+  nw.resize(mx, my);  // rck-lint: allow(hot-path-alloc) grow-only capacity warm
+
+  bool part[kBatchLanes] = {};
+
+  // One NW round: fill + solve + traceback into dest(k) for every
+  // participating lane, through the interleaved batch solver or the lanes'
+  // own solo solvers (see use_batch_round — both routes are bit-identical
+  // per lane; the choice is wall-clock only). Callers guard against empty
+  // participation and charge stats themselves via charge_nw_round.
+  // fill_batch(k, i) writes row i of lane k; rows run OUTER so the lanes of
+  // a row land in their shared cache lines together (see fill_lane_ss_row).
+  const auto solve_round = [&](const bool* p, double gap, auto&& fill_batch,
+                               auto&& fill_solo, auto&& dest) {
+    std::size_t rx = 0, ry = 0;
+    if (use_batch_round(dims, p, count, rx, ry)) {
+      // rck-lint: allow(hot-path-alloc) shrink-to-round within warmed capacity
+      nw.resize(rx, ry);
+      for (std::size_t i = 0; i < rx; ++i)
+        for (std::size_t k = 0; k < count; ++k)
+          if (p[k] && i < static_cast<std::size_t>(dims[k].n1))
+            fill_batch(k, i);
+      nw.solve(gap);
+      for (std::size_t k = 0; k < count; ++k)
+        if (p[k])
+          nw.traceback(k, static_cast<std::size_t>(dims[k].n1),
+                       static_cast<std::size_t>(dims[k].n2), gap, dest(k));
+    } else {
+      for (std::size_t k = 0; k < count; ++k) {
+        if (!p[k]) continue;
+        fill_solo(k);
+        bw.lane(k).nw.solve(gap, dest(k), /*stats=*/nullptr);
+      }
+    }
+  };
+  const auto trial_of = [&](std::size_t k) -> Alignment& {
+    return bw.lane(k).trial.y2x;
+  };
+
+  // ---- Stage 1: initial alignments --------------------------------------
+  // (a) gapless threading + evaluation: per-pair reductions, solo per lane.
+  for (std::size_t k = 0; k < count; ++k) {
+    TmAlignWorkspace& ws = bw.lane(k);
+    AlignStats& stats = ws.result.stats;
+    detail::initial_gapless(dims[k].x, dims[k].y, dims[k].lmin, dims[k].d0,
+                            &stats, ws.best.y2x);
+    detail::evaluate(dims[k].x, dims[k].y, ws.best, dims[k].lmin, dims[k].d0,
+                     opts.fast_search, ws, &stats);
+  }
+
+  // (b) secondary-structure NW: all lanes participate, gap open -1.
+  for (std::size_t k = 0; k < count; ++k) part[k] = true;
+  solve_round(
+      part, -1.0,
+      [&](std::size_t k, std::size_t i) { fill_lane_ss_row(nw, k, i, bw.lane(k)); },
+      [&](std::size_t k) { fill_solo_ss(bw.lane(k)); }, trial_of);
+  for (std::size_t k = 0; k < count; ++k) {
+    TmAlignWorkspace& ws = bw.lane(k);
+    AlignStats& stats = ws.result.stats;
+    charge_nw_round(stats, dims[k]);
+    detail::evaluate(dims[k].x, dims[k].y, ws.trial, dims[k].lmin, dims[k].d0,
+                     opts.fast_search, ws, &stats);
+    if (ws.trial.tm > ws.best.tm) detail::take_candidate(ws.best, ws.trial);
+  }
+
+  // (c) hybrid distance+SS NW: only lanes with a positive candidate so far
+  // (the solo driver's `best.tm > 0` guard).
+  bool any = false;
+  for (std::size_t k = 0; k < count; ++k) {
+    part[k] = bw.lane(k).best.tm > 0;
+    any = any || part[k];
+  }
+  if (any) {
+    solve_round(
+        part, -1.0,
+        [&](std::size_t k, std::size_t i) {
+          const double dsq = dims[k].d_search * dims[k].d_search;
+          fill_lane_distance_row(nw, k, i, dims[k], bw.lane(k).best.transform,
+                                 dsq, bw.lane(k), /*with_ss_bonus=*/true);
+        },
+        [&](std::size_t k) {
+          const double dsq = dims[k].d_search * dims[k].d_search;
+          fill_solo_distance(bw.lane(k), dims[k], bw.lane(k).best.transform,
+                             dsq, /*with_ss_bonus=*/true);
+        },
+        trial_of);
+    for (std::size_t k = 0; k < count; ++k) {
+      if (!part[k]) continue;
+      TmAlignWorkspace& ws = bw.lane(k);
+      AlignStats& stats = ws.result.stats;
+      charge_nw_round(stats, dims[k]);
+      detail::evaluate(dims[k].x, dims[k].y, ws.trial, dims[k].lmin,
+                       dims[k].d0, opts.fast_search, ws, &stats);
+      if (ws.trial.tm > ws.best.tm) detail::take_candidate(ws.best, ws.trial);
+    }
+  }
+
+  // (d) local fragment superposition: the fragment scan is a per-pair
+  // reduction (solo per lane); lanes with no rigid motif report an all-gap
+  // alignment and sit the NW out, exactly like the solo driver.
+  Transform frag_t[kBatchLanes];
+  any = false;
+  for (std::size_t k = 0; k < count; ++k) {
+    TmAlignWorkspace& ws = bw.lane(k);
+    part[k] = detail::local_fragment_transform(dims[k].x, dims[k].y,
+                                               dims[k].lmin, dims[k].d0,
+                                               &ws.result.stats, frag_t[k]);
+    if (part[k]) {
+      any = true;
+    } else {
+      ws.trial.y2x.assign(static_cast<std::size_t>(dims[k].n2), -1);
+    }
+  }
+  if (any)
+    solve_round(
+        part, -0.6,
+        [&](std::size_t k, std::size_t i) {
+          const double dsq = dims[k].d_search * dims[k].d_search;
+          fill_lane_distance_row(nw, k, i, dims[k], frag_t[k], dsq, bw.lane(k),
+                                 /*with_ss_bonus=*/false);
+        },
+        [&](std::size_t k) {
+          const double dsq = dims[k].d_search * dims[k].d_search;
+          fill_solo_distance(bw.lane(k), dims[k], frag_t[k], dsq,
+                             /*with_ss_bonus=*/false);
+        },
+        trial_of);
+  for (std::size_t k = 0; k < count; ++k) {
+    TmAlignWorkspace& ws = bw.lane(k);
+    AlignStats& stats = ws.result.stats;
+    if (part[k]) charge_nw_round(stats, dims[k]);
+    detail::evaluate(dims[k].x, dims[k].y, ws.trial, dims[k].lmin, dims[k].d0,
+                     opts.fast_search, ws, &stats);
+    if (ws.trial.tm > ws.best.tm) detail::take_candidate(ws.best, ws.trial);
+  }
+
+  // ---- Stage 2: heuristic iterative refinement --------------------------
+  // All lanes share the same gap-open schedule; a converged lane goes
+  // inactive for the rest of the current gap value (the solo `break`),
+  // re-activating at the next one. As lanes converge the rounds thin out
+  // and solve_round shifts the stragglers onto the solo route.
+  for (const double gap_open : {opts.gap_open_primary, opts.gap_open_secondary}) {
+    bool active[kBatchLanes] = {};
+    for (std::size_t k = 0; k < count; ++k) {
+      TmAlignWorkspace& ws = bw.lane(k);
+      detail::copy_candidate(ws.current, ws.best);
+      ws.prev_aln.clear();
+      active[k] = true;
+    }
+    for (int iter = 0; iter < opts.dp_iterations; ++iter) {
+      any = false;
+      for (std::size_t k = 0; k < count; ++k) {
+        if (!active[k]) continue;
+        bw.lane(k).result.stats.iterations += 1;
+        any = true;
+      }
+      if (!any) break;
+      solve_round(
+          active, gap_open,
+          [&](std::size_t k, std::size_t i) {
+            const double dsq = dims[k].d_search * dims[k].d_search;
+            fill_lane_distance_row(nw, k, i, dims[k],
+                                   bw.lane(k).current.transform, dsq,
+                                   bw.lane(k), /*with_ss_bonus=*/false);
+          },
+          [&](std::size_t k) {
+            const double dsq = dims[k].d_search * dims[k].d_search;
+            fill_solo_distance(bw.lane(k), dims[k],
+                               bw.lane(k).current.transform, dsq,
+                               /*with_ss_bonus=*/false);
+          },
+          [&](std::size_t k) -> Alignment& { return bw.lane(k).next_aln; });
+      for (std::size_t k = 0; k < count; ++k) {
+        if (!active[k]) continue;
+        TmAlignWorkspace& ws = bw.lane(k);
+        AlignStats& stats = ws.result.stats;
+        charge_nw_round(stats, dims[k]);
+        if (ws.next_aln == ws.prev_aln) {  // converged for this gap value
+          active[k] = false;
+          continue;
+        }
+        ws.prev_aln = ws.next_aln;
+        std::swap(ws.trial.y2x, ws.next_aln);
+        detail::evaluate(dims[k].x, dims[k].y, ws.trial, dims[k].lmin,
+                         dims[k].d0, opts.fast_search, ws, &stats);
+        if (ws.trial.tm > ws.best.tm) detail::copy_candidate(ws.best, ws.trial);
+        if (ws.trial.tm > ws.current.tm)
+          detail::take_candidate(ws.current, ws.trial);
+      }
+    }
+  }
+
+  // ---- Stage 3: final full-depth search and reporting (solo per lane) ----
+  for (std::size_t k = 0; k < count; ++k)
+    detail::finalize_result(*items[k].a, *items[k].b, dims[k], opts,
+                            bw.lane(k));
+}
+
+}  // namespace rck::core::kern

@@ -1,0 +1,77 @@
+// Inter-pair lane batching: run up to kern::kBatchLanes independent TM-align
+// jobs in lockstep, packing their NW dynamic programming — the dominant
+// serial-dependency-chain cost of a pair — one job per SIMD lane (NwBatch).
+//
+// Everything except the NW fills/solves runs the ordinary per-pair code
+// (tmalign_detail.hpp) one lane at a time: the per-pair reductions
+// (tm_sum, Kabsch, the TM-score searches) cannot be re-laned across pairs
+// without changing their summation order, which would break the bit-identity
+// contract. Only order-free per-cell work — score-matrix rows and the NW
+// recurrence — is re-laned. As a result every lane's alignment, transform,
+// scores and AlignStats are bit-identical to a solo tmalign() of the same
+// pair: batching is a wall-clock optimization with no observable effect on
+// results or on the simulator's per-job cycle charges.
+//
+// Lockstep structure: per-pair phases advance together; phases that a lane
+// skips in solo mode (the hybrid initial when no positive candidate exists,
+// the local-DP when no fragment motif is found, refinement iterations after
+// convergence) are handled with participation masks — the lane simply sits
+// out, while its region of the shared DP computes unread finite garbage.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "rck/bio/protein.hpp"
+#include "rck/core/nw.hpp"
+#include "rck/core/simd_kernels.hpp"
+#include "rck/core/tmalign.hpp"
+
+namespace rck::core {
+
+/// One alignment job of a batch. Pointers are borrowed; the proteins must
+/// outlive the align_batch() call.
+struct BatchItem {
+  const bio::Protein* a = nullptr;
+  const bio::Protein* b = nullptr;
+};
+
+/// Scratch state for lane-batched alignment: one full TmAlignWorkspace per
+/// lane (per-pair phases and results) plus the shared lane-interleaved NW
+/// solver. Grow-only like its members — a workspace that has seen the
+/// largest chain pair of a run performs zero steady-state allocations.
+class BatchWorkspace {
+ public:
+  BatchWorkspace() = default;
+
+  TmAlignWorkspace& lane(std::size_t k) noexcept { return lanes_[k]; }
+  const TmAlignWorkspace& lane(std::size_t k) const noexcept { return lanes_[k]; }
+
+  /// Result of batch item k after align_batch() returns. Invalidated by the
+  /// next align_batch() call on this workspace.
+  const TmAlignResult& result(std::size_t k) const noexcept {
+    return lanes_[k].result;
+  }
+
+  NwBatch& nw() noexcept { return nw_; }
+
+ private:
+  std::array<TmAlignWorkspace, kern::kBatchLanes> lanes_;
+  NwBatch nw_;
+};
+
+namespace kern {
+
+/// Align `count` (1..kBatchLanes) independent pairs in lockstep; results
+/// land in ws.result(k). Bit-identical per job to solo tmalign() with the
+/// same options — including AlignStats, so the simulator's cycle charges
+/// are unchanged. Throws CoreError (before touching any result) if count
+/// is out of range or any chain has fewer than 5 residues. Callers with
+/// more than kBatchLanes jobs chunk; a ragged final chunk is fine (lanes
+/// beyond `count` are untouched).
+void align_batch(const BatchItem* items, std::size_t count, BatchWorkspace& ws,
+                 const TmAlignOptions& opts = {});
+
+}  // namespace kern
+
+}  // namespace rck::core

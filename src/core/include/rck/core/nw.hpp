@@ -61,7 +61,46 @@ class NwWorkspace {
   std::vector<double> score_;  // lx * ly
   std::vector<double> val_;    // (lx+1) * (ly+1)
   std::vector<double> path_;   // (lx+1) * (ly+1), 1.0 = reached diagonally
-  std::vector<double> comb_;   // ly+1: val + gap_open*path of one row (see solve)
+};
+
+/// Inter-pair lane-batched NW solver: up to kern::kBatchLanes independent
+/// DP problems packed one per vector lane, interleaved cell-major — cell
+/// (i, j) of lane k lives at index (i*stride + j)*kBatchLanes + k. The DP
+/// recurrence has no cross-lane data flow, so each lane's val/path (and its
+/// traceback, which shares the solo implementation) is bit-identical to a
+/// solo NwWorkspace solve of the same problem. Ragged batches are handled
+/// by running every lane to the shared maximal dimensions: out-of-range
+/// cells compute finite garbage that no live cell or traceback reads.
+/// Grow-only like NwWorkspace — zero steady-state allocations.
+class NwBatch {
+ public:
+  NwBatch() = default;
+
+  /// Prepare for a batch whose maximal problem is len_x by len_y. Grows
+  /// capacity but never clears (see NwWorkspace::resize).
+  void resize(std::size_t len_x, std::size_t len_y);
+
+  std::size_t len_x() const noexcept { return lx_; }
+  std::size_t len_y() const noexcept { return ly_; }
+
+  /// Pointer to score cell (i, 0) of `lane`; consecutive j are
+  /// kern::kBatchLanes doubles apart (the stride for the strided row-fill
+  /// kernels).
+  double* lane_score_row(std::size_t lane, std::size_t i) noexcept;
+
+  /// Forward-fill val/path for all lanes (boundaries reset here).
+  void solve(double gap_open);
+
+  /// Trace lane `lane` back over its own live region (len_x, len_y are the
+  /// lane's real dimensions, <= the shared batch dimensions).
+  void traceback(std::size_t lane, std::size_t len_x, std::size_t len_y,
+                 double gap_open, Alignment& y2x) const;
+
+ private:
+  std::size_t lx_ = 0, ly_ = 0;
+  std::vector<double> score_;  // lx * ly * kBatchLanes, interleaved
+  std::vector<double> val_;    // (lx+1) * (ly+1) * kBatchLanes, interleaved
+  std::vector<double> path_;   // (lx+1) * (ly+1) * kBatchLanes, interleaved
 };
 
 }  // namespace rck::core

@@ -20,6 +20,13 @@
 
 namespace rck::core::kern {
 
+/// Logical lane count of every kernel (and of inter-pair batching: one
+/// alignment per lane). Fixed at 4 by the determinism contract — widening
+/// would change reduction order and lane packing, breaking bit-identity
+/// with recorded results. Mirrors the private kLanes in simd.hpp (enforced
+/// by a static_assert in the kernel bodies).
+inline constexpr std::size_t kBatchLanes = 4;
+
 /// True when the AVX2 code path was compiled in (x86-64, -mavx2 accepted,
 /// RCK_SIMD=ON).
 bool simd_compiled() noexcept;
@@ -45,6 +52,31 @@ double sum_d2(bio::CoordsView xa, bio::CoordsView ya,
 /// when `bonus` is non-null (the per-row secondary-structure bonus table).
 void score_row(const bio::Vec3& tx, bio::CoordsView y, double dsq,
                const double* bonus, double* out) noexcept;
+
+/// score_row with strided stores: out[j * stride] instead of out[j]. Same
+/// arithmetic as score_row (bit-identical values); used to fill one lane of
+/// the interleaved batch-NW score matrix (stride == kBatchLanes).
+void score_row_strided(const bio::Vec3& tx, bio::CoordsView y, double dsq,
+                       const double* bonus, double* out,
+                       std::size_t stride) noexcept;
+
+/// NW forward fill (TM-align recurrence), anti-diagonal wavefront: fills
+/// val/path (row stride ly+1) from the score matrix (row stride ly) for a
+/// single pair. Rows run 4 at a time as a skewed wavefront so the serial
+/// max/select chain advances 4 cells per instruction. Preconditions: row 0
+/// and column 0 of val/path are zeroed (end gaps free). Bit-identical to
+/// the canonical single-row scalar recurrence.
+void nw_fill(const double* score, double* val, double* path, std::size_t lx,
+             std::size_t ly, double gap_open) noexcept;
+
+/// NW forward fill for kBatchLanes independent pairs packed one per lane in
+/// interleaved layout: score[(i*ly + j)*kBatchLanes + lane], val/path
+/// likewise with row stride ly+1. No cross-lane data flow: each lane is
+/// bit-identical to a solo fill of its pair. Ragged lanes (smaller real
+/// dimensions) compute garbage outside their live region that no live cell
+/// or traceback ever reads; the caller keeps those cells finite.
+void nw_batch_fill(const double* score, double* val, double* path,
+                   std::size_t lx, std::size_t ly, double gap_open) noexcept;
 
 /// Centered Kabsch accumulation: centroids, cross-covariance of the
 /// centered point sets, and the centered squared norms. Two passes, both

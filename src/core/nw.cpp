@@ -5,7 +5,47 @@
 #include <cstdint>
 #include <stdexcept>
 
+#include "rck/core/simd_kernels.hpp"
+
 namespace rck::core {
+
+namespace {
+
+// Traceback shared by the solo and batched solvers (TM-align's tie-breaking:
+// prefer vertical moves on ties). `estride` is the distance in doubles
+// between logically adjacent cells (1 for the solo contiguous layout,
+// kern::kBatchLanes for one lane of the interleaved batch layout);
+// `rstride` is the DP row stride in cells, which for a ragged batch lane is
+// the *shared* batch width, not the lane's own ly + 1. A single
+// implementation is what guarantees the batched traceback reproduces the
+// solo path decisions exactly.
+void traceback_strided(const double* val, const double* path,
+                       std::size_t estride, std::size_t rstride,
+                       std::size_t lx, std::size_t ly, double gap_open,
+                       Alignment& y2x) {
+  const auto at = [estride, rstride](const double* base, std::size_t i,
+                                     std::size_t j) {
+    return base[(i * rstride + j) * estride];
+  };
+  y2x.assign(ly, -1);
+  std::size_t i = lx, j = ly;
+  while (i > 0 && j > 0) {
+    if (at(path, i, j) != 0.0) {
+      y2x[j - 1] = static_cast<int>(i - 1);
+      --i;
+      --j;
+    } else {
+      const double h = at(val, i - 1, j) + gap_open * at(path, i - 1, j);
+      const double v = at(val, i, j - 1) + gap_open * at(path, i, j - 1);
+      if (v >= h)
+        --j;
+      else
+        --i;
+    }
+  }
+}
+
+}  // namespace
 
 std::size_t aligned_count(const Alignment& a) noexcept {
   std::size_t n = 0;
@@ -23,7 +63,6 @@ void NwWorkspace::resize(std::size_t len_x, std::size_t len_y) {
     val_.resize(dp);
     path_.resize(dp);
   }
-  if (comb_.size() < ly_ + 1) comb_.resize(ly_ + 1);
 }
 
 Alignment NwWorkspace::solve(double gap_open, AlignStats* stats) {
@@ -41,164 +80,63 @@ void NwWorkspace::solve(double gap_open, Alignment& y2x, AlignStats* stats) {
   for (std::size_t i = 0; i <= lx_; ++i) { val_[i * w] = 0.0; path_[i * w] = 0.0; }
   for (std::size_t j = 0; j <= ly_; ++j) { val_[j] = 0.0; path_[j] = 0.0; }
 
-  // Per-cell recurrence, branchless-value equivalent of the original: the
-  // gap penalty applies only when the predecessor was reached diagonally
-  // (path == 1.0), and d >= max(h, v) reproduces the original
-  // (d >= h && d >= v) test and its tie-breaking exactly.
-  struct Lane {
-    const double* s;   // score row
-    const double* vu;  // value/path rows above
-    const double* pu;
-    double* v;  // value/path rows being written
-    double* p;
-    double vc = 0.0;  // value of the cell to the left (boundary: 0)
-    double gc = 0.0;  // gap_open * path of the cell to the left
-  };
-  const auto cell = [gap_open](Lane& L, std::size_t j) {
-    const double d = L.vu[j - 1] + L.s[j - 1];
-    const double h = L.vu[j] + gap_open * L.pu[j];
-    const double v = L.vc + L.gc;
-    const double hv = (v >= h) ? v : h;
-    const bool diag = d >= hv;
-    L.p[j] = diag ? 1.0 : 0.0;
-    L.vc = diag ? d : hv;
-    L.v[j] = L.vc;
-    L.gc = diag ? gap_open : 0.0;
-  };
-  const auto make_lane = [this, w](std::size_t row) {
-    return Lane{score_.data() + (row - 1) * ly_, val_.data() + (row - 1) * w,
-                path_.data() + (row - 1) * w, val_.data() + row * w,
-                path_.data() + row * w};
-  };
-
-  // The chain vc -> (+gap) -> max -> select -> vc serializes a row, so rows
-  // i..i+3 are processed as a skewed wavefront (row r delayed by r columns):
-  // each step advances four independent chains. Lanes run in decreasing
-  // order so lane r can take its row-above inputs from lane r-1's registers,
-  // which still hold the previous step's state: cg (value + gap_open*path,
-  // column j) and pv (value two steps ago = column j-1). Carrying the
-  // combined cg instead of value and path separately keeps the serial chain
-  // at one max + one select per cell: on a diagonal step cg = d + gap_open
-  // (identical to vc + gc with vc = d, gc = gap_open), otherwise cg = hv
-  // (identical because hv + gap_open*0.0 == hv: DP values are >= +0.0, so
-  // adding -0.0 never changes the bits). Lane 0 reads the previous block's
-  // last row through comb_[] (its cg values, stored by lane 3), matching
-  // val + gap_open*path bit-for-bit since gap_open*1.0 == gap_open. Cell
-  // arithmetic is otherwise untouched, so val_/path_ are bit-identical to
-  // the single-row order.
-  std::size_t row = 1;
-  if (ly_ >= 4 && lx_ >= 4) {
-    // comb_ of the boundary row: val = 0, path = 0 -> combined +0.0.
-    for (std::size_t j = 0; j <= ly_; ++j) comb_[j] = 0.0;
-    for (; row + 3 <= lx_; row += 4) {
-      const double* s0 = score_.data() + (row - 1) * ly_;
-      const double* s1 = s0 + ly_;
-      const double* s2 = s1 + ly_;
-      const double* s3 = s2 + ly_;
-      const double* vu0 = val_.data() + (row - 1) * w;
-      double* v0 = val_.data() + row * w;
-      double* v1 = v0 + w;
-      double* v2 = v1 + w;
-      double* v3 = v2 + w;
-      double* p0 = path_.data() + row * w;
-      double* p1 = p0 + w;
-      double* p2 = p1 + w;
-      double* p3 = p2 + w;
-      double* cb = comb_.data();
-
-      // Carried state: vc/cg/pv start at the column-0 boundary value.
-      double vc0 = 0.0, cg0 = 0.0, pv0 = 0.0;
-      double vc1 = 0.0, cg1 = 0.0, pv1 = 0.0;
-      double vc2 = 0.0, cg2 = 0.0, pv2 = 0.0;
-      double vc3 = 0.0, cg3 = 0.0;
-      double vu_prev = vu0[0];
-
-      const auto step0 = [&](std::size_t j) {
-        const double d = vu_prev + s0[j - 1];
-        const double h = cb[j];
-        const double hv = (cg0 >= h) ? cg0 : h;
-        const bool diag = d >= hv;
-        p0[j] = diag ? 1.0 : 0.0;
-        pv0 = vc0;
-        vc0 = diag ? d : hv;
-        v0[j] = vc0;
-        cg0 = diag ? d + gap_open : hv;
-        vu_prev = vu0[j];
-      };
-      const auto step1 = [&](std::size_t j) {
-        const double d = pv0 + s1[j - 1];
-        const double hv = (cg1 >= cg0) ? cg1 : cg0;
-        const bool diag = d >= hv;
-        p1[j] = diag ? 1.0 : 0.0;
-        pv1 = vc1;
-        vc1 = diag ? d : hv;
-        v1[j] = vc1;
-        cg1 = diag ? d + gap_open : hv;
-      };
-      const auto step2 = [&](std::size_t j) {
-        const double d = pv1 + s2[j - 1];
-        const double hv = (cg2 >= cg1) ? cg2 : cg1;
-        const bool diag = d >= hv;
-        p2[j] = diag ? 1.0 : 0.0;
-        pv2 = vc2;
-        vc2 = diag ? d : hv;
-        v2[j] = vc2;
-        cg2 = diag ? d + gap_open : hv;
-      };
-      const auto step3 = [&](std::size_t j) {
-        const double d = pv2 + s3[j - 1];
-        const double hv = (cg3 >= cg2) ? cg3 : cg2;
-        const bool diag = d >= hv;
-        p3[j] = diag ? 1.0 : 0.0;
-        vc3 = diag ? d : hv;
-        v3[j] = vc3;
-        cg3 = diag ? d + gap_open : hv;
-        cb[j] = cg3;
-      };
-
-      step0(1);
-      step1(1);
-      step0(2);
-      step2(1);
-      step1(2);
-      step0(3);
-      for (std::size_t t = 4; t <= ly_; ++t) {
-        step3(t - 3);
-        step2(t - 2);
-        step1(t - 1);
-        step0(t);
-      }
-      step3(ly_ - 2);
-      step2(ly_ - 1);
-      step1(ly_);
-      step3(ly_ - 1);
-      step2(ly_);
-      step3(ly_);
-    }
-  }
-  for (; row <= lx_; ++row) {
-    Lane l = make_lane(row);
-    for (std::size_t j = 1; j <= ly_; ++j) cell(l, j);
-  }
+  // Forward fill: the anti-diagonal wavefront kernel (see simd_kernels.hpp);
+  // bit-identical to the canonical single-row recurrence on every path.
+  kern::nw_fill(score_.data(), val_.data(), path_.data(), lx_, ly_, gap_open);
   if (stats != nullptr) stats->dp_cells += static_cast<std::uint64_t>(lx_) * ly_;
 
-  // Traceback (TM-align's tie-breaking: prefer vertical moves on ties).
-  y2x.assign(ly_, -1);
-  std::size_t i = lx_, j = ly_;
-  while (i > 0 && j > 0) {
-    if (path_[i * w + j] != 0.0) {
-      y2x[j - 1] = static_cast<int>(i - 1);
-      --i;
-      --j;
-    } else {
-      const double h = val_[(i - 1) * w + j] + gap_open * path_[(i - 1) * w + j];
-      const double v = val_[i * w + (j - 1)] + gap_open * path_[i * w + (j - 1)];
-      if (v >= h)
-        --j;
-      else
-        --i;
-    }
+  traceback_strided(val_.data(), path_.data(), /*estride=*/1, /*rstride=*/w,
+                    lx_, ly_, gap_open, y2x);
+}
+
+void NwBatch::resize(std::size_t len_x, std::size_t len_y) {
+  lx_ = len_x;
+  ly_ = len_y;
+  const std::size_t cells = lx_ * ly_ * kern::kBatchLanes;
+  const std::size_t dp = (lx_ + 1) * (ly_ + 1) * kern::kBatchLanes;
+  // Grow-only, and new storage is zero-initialized: ragged lanes must stay
+  // finite in their garbage region (see nw_batch_fill), and vector<double>
+  // growth guarantees that. Stale values from earlier batches are finite
+  // too, so reuse never needs clearing.
+  if (score_.size() < cells) score_.resize(cells);
+  if (val_.size() < dp) {
+    val_.resize(dp);
+    path_.resize(dp);
   }
+}
+
+double* NwBatch::lane_score_row(std::size_t lane, std::size_t i) noexcept {
+  return score_.data() + i * ly_ * kern::kBatchLanes + lane;
+}
+
+void NwBatch::solve(double gap_open) {
+  if (lx_ == 0 || ly_ == 0) throw CoreError("NwBatch::solve before resize");
+  const std::size_t w = ly_ + 1;
+  constexpr std::size_t L = kern::kBatchLanes;
+  // Boundaries for every lane: end gaps free across the full batch extent
+  // (a ragged lane's live region is a prefix of the shared one).
+  for (std::size_t i = 0; i <= lx_; ++i)
+    for (std::size_t k = 0; k < L; ++k) {
+      val_[i * w * L + k] = 0.0;
+      path_[i * w * L + k] = 0.0;
+    }
+  for (std::size_t j = 0; j <= ly_; ++j)
+    for (std::size_t k = 0; k < L; ++k) {
+      val_[j * L + k] = 0.0;
+      path_[j * L + k] = 0.0;
+    }
+  kern::nw_batch_fill(score_.data(), val_.data(), path_.data(), lx_, ly_,
+                      gap_open);
+}
+
+void NwBatch::traceback(std::size_t lane, std::size_t len_x, std::size_t len_y,
+                        double gap_open, Alignment& y2x) const {
+  // A lane's live DP region keeps the *shared* row stride ly_+1; its own
+  // dimensions only bound the walk.
+  assert(lane < kern::kBatchLanes && len_x <= lx_ && len_y <= ly_);
+  traceback_strided(val_.data() + lane, path_.data() + lane,
+                    /*estride=*/kern::kBatchLanes, /*rstride=*/ly_ + 1, len_x,
+                    len_y, gap_open, y2x);
 }
 
 }  // namespace rck::core

@@ -22,6 +22,14 @@ double sum_d2_avx2(bio::CoordsView xa, bio::CoordsView ya,
                    const bio::Transform& t) noexcept;
 void score_row_avx2(const bio::Vec3& tx, bio::CoordsView y, double dsq,
                     const double* bonus, double* out) noexcept;
+void score_row_strided_avx2(const bio::Vec3& tx, bio::CoordsView y, double dsq,
+                            const double* bonus, double* out,
+                            std::size_t stride) noexcept;
+void nw_fill_avx2(const double* score, double* val, double* path,
+                  std::size_t lx, std::size_t ly, double gap_open) noexcept;
+void nw_batch_fill_avx2(const double* score, double* val, double* path,
+                        std::size_t lx, std::size_t ly,
+                        double gap_open) noexcept;
 KabschSums kabsch_accumulate_avx2(bio::CoordsView from,
                                   bio::CoordsView to) noexcept;
 #endif
@@ -83,6 +91,31 @@ void score_row(const bio::Vec3& tx, bio::CoordsView y, double dsq,
   if (simd_enabled()) return score_row_avx2(tx, y, dsq, bonus, out);
 #endif
   return score_row_impl<V4Scalar>(tx, y, dsq, bonus, out);
+}
+
+void score_row_strided(const bio::Vec3& tx, bio::CoordsView y, double dsq,
+                       const double* bonus, double* out,
+                       std::size_t stride) noexcept {
+#if defined(RCK_SIMD_X86_AVX2)
+  if (simd_enabled()) return score_row_strided_avx2(tx, y, dsq, bonus, out, stride);
+#endif
+  return score_row_strided_impl<V4Scalar>(tx, y, dsq, bonus, out, stride);
+}
+
+void nw_fill(const double* score, double* val, double* path, std::size_t lx,
+             std::size_t ly, double gap_open) noexcept {
+#if defined(RCK_SIMD_X86_AVX2)
+  if (simd_enabled()) return nw_fill_avx2(score, val, path, lx, ly, gap_open);
+#endif
+  return nw_fill_impl<V4Scalar>(score, val, path, lx, ly, gap_open);
+}
+
+void nw_batch_fill(const double* score, double* val, double* path,
+                   std::size_t lx, std::size_t ly, double gap_open) noexcept {
+#if defined(RCK_SIMD_X86_AVX2)
+  if (simd_enabled()) return nw_batch_fill_avx2(score, val, path, lx, ly, gap_open);
+#endif
+  return nw_batch_fill_impl<V4Scalar>(score, val, path, lx, ly, gap_open);
 }
 
 KabschSums kabsch_accumulate(bio::CoordsView from, bio::CoordsView to) noexcept {

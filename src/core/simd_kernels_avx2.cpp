@@ -33,6 +33,23 @@ KabschSums kabsch_accumulate_avx2(bio::CoordsView from,
   return kabsch_accumulate_impl<V4Avx>(from, to);
 }
 
+void score_row_strided_avx2(const bio::Vec3& tx, bio::CoordsView y, double dsq,
+                            const double* bonus, double* out,
+                            std::size_t stride) noexcept {
+  return score_row_strided_impl<V4Avx>(tx, y, dsq, bonus, out, stride);
+}
+
+void nw_fill_avx2(const double* score, double* val, double* path,
+                  std::size_t lx, std::size_t ly, double gap_open) noexcept {
+  return nw_fill_impl<V4Avx>(score, val, path, lx, ly, gap_open);
+}
+
+void nw_batch_fill_avx2(const double* score, double* val, double* path,
+                        std::size_t lx, std::size_t ly,
+                        double gap_open) noexcept {
+  return nw_batch_fill_impl<V4Avx>(score, val, path, lx, ly, gap_open);
+}
+
 }  // namespace rck::core::kern
 
 #endif  // RCK_SIMD_HAVE_AVX2

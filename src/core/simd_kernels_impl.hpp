@@ -17,6 +17,9 @@
 
 namespace rck::core::kern {
 
+static_assert(kBatchLanes == kLanes,
+              "public batch lane count must mirror the private vector width");
+
 template <class V>
 double tm_sum_impl(bio::CoordsView xa, bio::CoordsView ya,
                    const bio::Transform& t, double d0sq,
@@ -126,6 +129,419 @@ void score_row_impl(const bio::Vec3& tx, bio::CoordsView y, double dsq,
     const double d2 = (dx * dx + dy * dy) + dz * dz;
     out[j] = dsq / (dsq + d2) + (bonus != nullptr ? bonus[j] : 0.0);
   }
+}
+
+template <class V>
+void score_row_strided_impl(const bio::Vec3& tx, bio::CoordsView y, double dsq,
+                            const double* bonus, double* out,
+                            std::size_t stride) noexcept {
+  // Identical arithmetic to score_row_impl — same vector expressions over
+  // the same j-blocks — with the stores scattered at `stride` doubles apart
+  // (the interleaved lane layout of the batch NW matrices). Bit-identity of
+  // batched vs solo fills follows from sharing these expressions.
+  const std::size_t n = y.n;
+  const std::size_t blocks = (n / kLanes) * kLanes;
+  const auto st = static_cast<std::ptrdiff_t>(stride);
+  const V vx = V::broadcast(tx.x), vy = V::broadcast(tx.y), vz = V::broadcast(tx.z);
+  const V vd = V::broadcast(dsq);
+
+  for (std::size_t j = 0; j < blocks; j += kLanes) {
+    const V dx = vx - V::load(y.x + j);
+    const V dy = vy - V::load(y.y + j);
+    const V dz = vz - V::load(y.z + j);
+    const V d2 = (dx * dx + dy * dy) + dz * dz;
+    V s = vd / (vd + d2);
+    if (bonus != nullptr) s = s + V::load(bonus + j);
+    s.scatter(out + j * stride, st);
+  }
+  for (std::size_t j = blocks; j < n; ++j) {
+    const double dx = tx.x - y.x[j];
+    const double dy = tx.y - y.y[j];
+    const double dz = tx.z - y.z[j];
+    const double d2 = (dx * dx + dy * dy) + dz * dz;
+    out[j * stride] = dsq / (dsq + d2) + (bonus != nullptr ? bonus[j] : 0.0);
+  }
+}
+
+// One 4-row anti-diagonal wave of the solo NW fill (see nw_fill_impl).
+// Rows row..row+3 advance as a skewed wavefront, row r delayed by r columns,
+// so each steady-state step advances four independent serial chains with one
+// vector op per recurrence term. The prologue/epilogue triangles (fewer than
+// 4 active lanes) run the same per-cell arithmetic in scalar form; pack()/
+// unpack() move the carried state between the two representations.
+template <class V>
+struct NwWave4 {
+  const double *s0, *s1, *s2, *s3;  // score rows
+  const double *vu0, *pu0;          // val/path of the row above the block
+  double *v0, *v1, *v2, *v3;        // val rows being written
+  double *p0, *p1, *p2, *p3;        // path rows being written
+  double gap;
+  // Carried per-lane state: vc = value of the cell to the left, cg = the
+  // combined value + gap_open*path of that cell, pv = value one more column
+  // back. All start at the column-0 boundary value.
+  double vc0 = 0.0, cg0 = 0.0, pv0 = 0.0;
+  double vc1 = 0.0, cg1 = 0.0, pv1 = 0.0;
+  double vc2 = 0.0, cg2 = 0.0, pv2 = 0.0;
+  double vc3 = 0.0, cg3 = 0.0;
+  double vu_prev;  // value above-left of lane 0's next cell
+  V VC, CG, PV, GAPV, ONE, ZERO;
+  std::ptrdiff_t sstride, vstride;
+
+  NwWave4(const double* score, double* val, double* path, std::size_t row,
+          std::size_t ly, std::size_t w, double gap_open) noexcept
+      : s0(score + (row - 1) * ly),
+        s1(s0 + ly),
+        s2(s1 + ly),
+        s3(s2 + ly),
+        vu0(val + (row - 1) * w),
+        pu0(path + (row - 1) * w),
+        v0(val + row * w),
+        v1(v0 + w),
+        v2(v1 + w),
+        v3(v2 + w),
+        p0(path + row * w),
+        p1(p0 + w),
+        p2(p1 + w),
+        p3(p2 + w),
+        gap(gap_open),
+        vu_prev(vu0[0]),
+        VC(V::broadcast(0.0)),
+        CG(V::broadcast(0.0)),
+        PV(V::broadcast(0.0)),
+        GAPV(V::broadcast(gap_open)),
+        ONE(V::broadcast(1.0)),
+        ZERO(V::broadcast(0.0)),
+        // Lane r addresses column t - r of row `row + r`; consecutive lanes
+        // are (ly - 1) apart in score and (w - 1) apart in val/path.
+        sstride(static_cast<std::ptrdiff_t>(ly - 1)),
+        vstride(static_cast<std::ptrdiff_t>(w - 1)) {}
+
+  // Scalar steps: the canonical per-cell recurrence with the combined-cg
+  // algebra (cg = d + gap on a diagonal step, identical to vc + gc; cg = hv
+  // otherwise, identical because hv + gap*0.0 == hv for DP values >= +0.0).
+  // Lane 0 recomputes its above-combined term directly as
+  // val + gap*path of the row above — bit-equal to the carried cg by the
+  // same identities (gap*1.0 == gap).
+  void step0(std::size_t j) noexcept {
+    const double d = vu_prev + s0[j - 1];
+    const double h = vu0[j] + gap * pu0[j];
+    const double hv = (cg0 >= h) ? cg0 : h;
+    const bool diag = d >= hv;
+    p0[j] = diag ? 1.0 : 0.0;
+    pv0 = vc0;
+    vc0 = diag ? d : hv;
+    v0[j] = vc0;
+    cg0 = diag ? d + gap : hv;
+    vu_prev = vu0[j];
+  }
+  void step1(std::size_t j) noexcept {
+    const double d = pv0 + s1[j - 1];
+    const double hv = (cg1 >= cg0) ? cg1 : cg0;
+    const bool diag = d >= hv;
+    p1[j] = diag ? 1.0 : 0.0;
+    pv1 = vc1;
+    vc1 = diag ? d : hv;
+    v1[j] = vc1;
+    cg1 = diag ? d + gap : hv;
+  }
+  void step2(std::size_t j) noexcept {
+    const double d = pv1 + s2[j - 1];
+    const double hv = (cg2 >= cg1) ? cg2 : cg1;
+    const bool diag = d >= hv;
+    p2[j] = diag ? 1.0 : 0.0;
+    pv2 = vc2;
+    vc2 = diag ? d : hv;
+    v2[j] = vc2;
+    cg2 = diag ? d + gap : hv;
+  }
+  void step3(std::size_t j) noexcept {
+    const double d = pv2 + s3[j - 1];
+    const double hv = (cg3 >= cg2) ? cg3 : cg2;
+    const bool diag = d >= hv;
+    p3[j] = diag ? 1.0 : 0.0;
+    vc3 = diag ? d : hv;
+    v3[j] = vc3;
+    cg3 = diag ? d + gap : hv;
+  }
+
+  /// Prologue triangle: wavefront steps t = 1..3 with 1..3 active lanes.
+  void prologue() noexcept {
+    step0(1);
+    step1(1);
+    step0(2);
+    step2(1);
+    step1(2);
+    step0(3);
+  }
+  void pack() noexcept {
+    VC = V::set(vc0, vc1, vc2, vc3);
+    CG = V::set(cg0, cg1, cg2, cg3);
+    PV = V::set(pv0, pv1, pv2, 0.0);  // pv of lane 3 is never read
+  }
+  /// One steady-state wavefront step: 4 active lanes, vectorized. Every
+  /// read is from *pre-step* state, matching the scalar
+  /// step3/step2/step1/step0 order (descending lanes read the neighbours'
+  /// previous-step registers, which a lane shift provides).
+  void vstep(std::size_t t) noexcept {
+    const V S = V::gather(s0 + (t - 1), sstride);
+    const double h0 = vu0[t] + gap * pu0[t];
+    const V D = V::shift_in(PV, vu_prev) + S;
+    const V H = V::shift_in(CG, h0);
+    const typename V::Mask vm = V::ge(CG, H);
+    const V HV = V::blend(vm, CG, H);
+    const typename V::Mask M = V::ge(D, HV);
+    const V P = V::blend(M, ONE, ZERO);
+    const V NV = V::blend(M, D, HV);
+    const V NCG = V::blend(M, D + GAPV, HV);
+    P.scatter(p0 + t, vstride);
+    NV.scatter(v0 + t, vstride);
+    PV = VC;
+    VC = NV;
+    CG = NCG;
+    vu_prev = vu0[t];
+  }
+  void unpack() noexcept {
+    vc0 = VC.lane(0);
+    vc1 = VC.lane(1);
+    vc2 = VC.lane(2);
+    vc3 = VC.lane(3);
+    cg0 = CG.lane(0);
+    cg1 = CG.lane(1);
+    cg2 = CG.lane(2);
+    cg3 = CG.lane(3);
+    pv0 = PV.lane(0);
+    pv1 = PV.lane(1);
+    pv2 = PV.lane(2);
+  }
+  /// Epilogue triangle: wavefront steps t = ly+1..ly+3.
+  void epilogue(std::size_t ly) noexcept {
+    step3(ly - 2);
+    step2(ly - 1);
+    step1(ly);
+    step3(ly - 1);
+    step2(ly);
+    step3(ly);
+  }
+};
+
+template <class V>
+void nw_fill_impl(const double* score, double* val, double* path,
+                  std::size_t lx, std::size_t ly, double gap_open) noexcept {
+  static_assert(kLanes == 4, "the wavefront packs 4 rows per vector");
+  const std::size_t w = ly + 1;
+
+  // Canonical per-cell recurrence (TM-align NW): the gap penalty applies
+  // only when the predecessor was reached diagonally (path == 1.0), and
+  // d >= max(h, v) reproduces the original (d >= h && d >= v) test and its
+  // tie-breaking exactly. Used verbatim for the remainder rows; the
+  // wavefront blocks are algebraically reduced from it without changing a
+  // single IEEE operation's operands, so val/path are bit-identical to the
+  // single-row order on every path.
+  const auto scalar_row = [&](std::size_t row) {
+    const double* s = score + (row - 1) * ly;
+    const double* vu = val + (row - 1) * w;
+    const double* pu = path + (row - 1) * w;
+    double* v = val + row * w;
+    double* p = path + row * w;
+    double vc = 0.0;  // value of the cell to the left (boundary: 0)
+    double gc = 0.0;  // gap_open * path of the cell to the left
+    for (std::size_t j = 1; j <= ly; ++j) {
+      const double d = vu[j - 1] + s[j - 1];
+      const double h = vu[j] + gap_open * pu[j];
+      const double vv = vc + gc;
+      const double hv = (vv >= h) ? vv : h;
+      const bool diag = d >= hv;
+      p[j] = diag ? 1.0 : 0.0;
+      vc = diag ? d : hv;
+      v[j] = vc;
+      gc = diag ? gap_open : 0.0;
+    }
+  };
+
+  std::size_t row = 1;
+  // 8-row blocks: two 4-row waves, the lower (b, rows row+4..row+7) trailing
+  // the upper (a) by 4 columns. The two vector steps per iteration are
+  // independent dependency chains, which is what hides the compare+select
+  // latency the single wave is bound by. b's "row above" is a's lane-3 row:
+  // by the time b reads column u of it (b.vstep(u) after a.vstep(u + 3), or
+  // a scalar prologue step after the a-step that produced it), a has already
+  // stored it — so any interleaving shown below computes every cell from
+  // exactly the values the sequential order would.
+  if (ly >= 7) {
+    for (; row + 7 <= lx; row += 8) {
+      NwWave4<V> a(score, val, path, row, ly, w, gap_open);
+      NwWave4<V> b(score, val, path, row + 4, ly, w, gap_open);
+      a.prologue();
+      a.pack();
+      a.vstep(4);
+      b.step0(1);
+      a.vstep(5);
+      b.step1(1);
+      b.step0(2);
+      a.vstep(6);
+      b.step2(1);
+      b.step1(2);
+      b.step0(3);
+      b.pack();
+      for (std::size_t t = 7; t <= ly; ++t) {
+        a.vstep(t);
+        b.vstep(t - 3);
+      }
+      a.unpack();
+      a.epilogue(ly);
+      for (std::size_t u = ly - 2; u <= ly; ++u) b.vstep(u);
+      b.unpack();
+      b.epilogue(ly);
+    }
+  }
+  if (ly >= 4) {
+    for (; row + 3 <= lx; row += 4) {
+      NwWave4<V> a(score, val, path, row, ly, w, gap_open);
+      a.prologue();
+      a.pack();
+      for (std::size_t t = 4; t <= ly; ++t) a.vstep(t);
+      a.unpack();
+      a.epilogue(ly);
+    }
+  }
+  for (; row <= lx; ++row) scalar_row(row);
+}
+
+template <class V>
+void nw_batch_fill_impl(const double* score, double* val, double* path,
+                        std::size_t lx, std::size_t ly,
+                        double gap_open) noexcept {
+  // Inter-pair lane batching: lane k holds pair k's DP matrices, interleaved
+  // as val[(i*(ly+1) + j)*kLanes + k] (score likewise with row length ly).
+  // Each lane's recurrence is the canonical per-cell chain — the same IEEE
+  // operations in the same order as the scalar cell — so every lane is
+  // bit-identical to a solo solve of its pair. There is no cross-lane data
+  // flow at all: the anti-diagonal skew is unnecessary here because the
+  // serial dependency chains of the four pairs are independent by
+  // construction. Ragged lanes (smaller lx/ly than the batch maximum)
+  // compute garbage in their out-of-range cells; those cells are finite
+  // (the grow-only buffers start zeroed), are never read by a live lane's
+  // recurrence (cell (i,j) reads only (i-1,j-1), (i-1,j), (i,j-1)), and the
+  // per-lane traceback never leaves the lane's own live region.
+  //
+  // Rows run two at a time, the lower staggered one column behind the
+  // upper: row i+1's inputs from row i (value at j-1, j-2 and path at j-1)
+  // are then exactly the registers row i produced one and two iterations
+  // earlier, so the lower row performs no loads from the row above at all
+  // and the two compare+select chains overlap.
+  const std::size_t w = ly + 1;
+  const V GAP = V::broadcast(gap_open);
+  const V ONE = V::broadcast(1.0);
+  const V ZERO = V::broadcast(0.0);
+
+  // Single row i, loading the row above from memory. Identical per-cell
+  // arithmetic to the staggered pair below.
+  const auto single_row = [&](std::size_t i) {
+    const double* srow = score + (i - 1) * ly * kLanes;
+    const double* vu = val + (i - 1) * w * kLanes;
+    const double* pu = path + (i - 1) * w * kLanes;
+    double* vr = val + i * w * kLanes;
+    double* pr = path + i * w * kLanes;
+    V VD = V::load(vu);  // value above-left (column j-1 of the row above)
+    V VC = V::load(vr);  // value to the left (column 0 boundary: zeros)
+    V GC = ZERO;         // gap_open * path of the cell to the left
+    for (std::size_t j = 1; j <= ly; ++j) {
+      const V S = V::load(srow + (j - 1) * kLanes);
+      const V VU = V::load(vu + j * kLanes);
+      const V PU = V::load(pu + j * kLanes);
+      const V D = VD + S;
+      const V H = VU + GAP * PU;
+      const V VV = VC + GC;
+      const typename V::Mask vm = V::ge(VV, H);
+      const V HV = V::blend(vm, VV, H);
+      const typename V::Mask M = V::ge(D, HV);
+      const V P = V::blend(M, ONE, ZERO);
+      const V NV = V::blend(M, D, HV);
+      P.store(pr + j * kLanes);
+      NV.store(vr + j * kLanes);
+      VD = VU;
+      VC = NV;
+      GC = V::blend(M, GAP, ZERO);
+    }
+  };
+
+  std::size_t i = 1;
+  for (; i + 1 <= lx; i += 2) {
+    const double* sa = score + (i - 1) * ly * kLanes;
+    const double* sb = sa + ly * kLanes;
+    const double* vu = val + (i - 1) * w * kLanes;
+    const double* pu = path + (i - 1) * w * kLanes;
+    double* va = val + i * w * kLanes;
+    double* pa = path + i * w * kLanes;
+    double* vb = va + w * kLanes;
+    double* pb = pa + w * kLanes;
+    // Row a carries (as in single_row).
+    V VDa = V::load(vu);
+    V VCa = V::load(va);
+    V GCa = ZERO;
+    // Row b carries; its row-above values come from row a's registers:
+    // NVa_p/Pa_p are row a's value/path at b's current column (produced one
+    // iteration earlier), VDb is row a's value one more column back.
+    V VDb = V::load(va);   // row a, column 0 (boundary zeros)
+    V VCb = V::load(vb);
+    V GCb = ZERO;
+    V NVa_p = V::load(va);  // row a value at column 0
+    V Pa_p = ZERO;          // row a path at column 0 (boundary)
+    for (std::size_t j = 1; j <= ly; ++j) {
+      // Row a, column j.
+      const V Sa = V::load(sa + (j - 1) * kLanes);
+      const V VUa = V::load(vu + j * kLanes);
+      const V PUa = V::load(pu + j * kLanes);
+      const V Da = VDa + Sa;
+      const V Ha = VUa + GAP * PUa;
+      const V VVa = VCa + GCa;
+      const typename V::Mask vma = V::ge(VVa, Ha);
+      const V HVa = V::blend(vma, VVa, Ha);
+      const typename V::Mask Ma = V::ge(Da, HVa);
+      const V PA = V::blend(Ma, ONE, ZERO);
+      const V NVa = V::blend(Ma, Da, HVa);
+      PA.store(pa + j * kLanes);
+      NVa.store(va + j * kLanes);
+      VDa = VUa;
+      VCa = NVa;
+      GCa = V::blend(Ma, GAP, ZERO);
+      if (j >= 2) {
+        // Row b, column j-1: row-above inputs are row a's delayed registers.
+        const std::size_t jb = j - 1;
+        const V Sb = V::load(sb + (jb - 1) * kLanes);
+        const V Db = VDb + Sb;
+        const V Hb = NVa_p + GAP * Pa_p;
+        const V VVb = VCb + GCb;
+        const typename V::Mask vmb = V::ge(VVb, Hb);
+        const V HVb = V::blend(vmb, VVb, Hb);
+        const typename V::Mask Mb = V::ge(Db, HVb);
+        const V PB = V::blend(Mb, ONE, ZERO);
+        const V NVb = V::blend(Mb, Db, HVb);
+        PB.store(pb + jb * kLanes);
+        NVb.store(vb + jb * kLanes);
+        VDb = NVa_p;
+        VCb = NVb;
+        GCb = V::blend(Mb, GAP, ZERO);
+      }
+      NVa_p = NVa;
+      Pa_p = PA;
+    }
+    {
+      // Row b, final column ly.
+      const V Sb = V::load(sb + (ly - 1) * kLanes);
+      const V Db = VDb + Sb;
+      const V Hb = NVa_p + GAP * Pa_p;
+      const V VVb = VCb + GCb;
+      const typename V::Mask vmb = V::ge(VVb, Hb);
+      const V HVb = V::blend(vmb, VVb, Hb);
+      const typename V::Mask Mb = V::ge(Db, HVb);
+      const V PB = V::blend(Mb, ONE, ZERO);
+      const V NVb = V::blend(Mb, Db, HVb);
+      PB.store(pb + ly * kLanes);
+      NVb.store(vb + ly * kLanes);
+    }
+  }
+  for (; i <= lx; ++i) single_row(i);
 }
 
 template <class V>

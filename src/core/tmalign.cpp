@@ -10,6 +10,7 @@
 #include "rck/core/kabsch.hpp"
 #include "rck/core/sec_struct.hpp"
 #include "rck/core/simd_kernels.hpp"
+#include "tmalign_detail.hpp"
 
 namespace rck::core {
 
@@ -19,25 +20,23 @@ using bio::SsType;
 using bio::Transform;
 using bio::Vec3;
 
-namespace {
+// Stage building blocks shared with the lane-batched driver (batch.cpp);
+// see tmalign_detail.hpp. One definition per stage is what guarantees the
+// batched path reproduces the solo path bit-for-bit.
+namespace detail {
 
-/// Move `src` into `dst`, recycling dst's alignment buffer (src's contents
-/// become unspecified; callers overwrite it before the next read).
 void take_candidate(TmAlignCandidate& dst, TmAlignCandidate& src) {
   std::swap(dst.y2x, src.y2x);
   dst.tm = src.tm;
   dst.transform = src.transform;
 }
 
-/// Copy `src` into `dst` (alignment buffer capacity reused).
 void copy_candidate(TmAlignCandidate& dst, const TmAlignCandidate& src) {
   dst.y2x = src.y2x;
   dst.tm = src.tm;
   dst.transform = src.transform;
 }
 
-/// Gather the coordinate pairs selected by an alignment into the workspace
-/// SoA buffers. Returns the number of aligned pairs.
 std::size_t gather_pairs(CoordsView x, CoordsView y, const Alignment& y2x,
                          TmAlignWorkspace& ws) {
   ws.xa.resize(y2x.size());
@@ -55,8 +54,6 @@ std::size_t gather_pairs(CoordsView x, CoordsView y, const Alignment& y2x,
   return m;
 }
 
-/// Score candidate `c`'s alignment with the reduced search, filling in its
-/// tm and transform.
 void evaluate(CoordsView x, CoordsView y, TmAlignCandidate& c, int lnorm,
               double d0, const TmSearchOptions& fast, TmAlignWorkspace& ws,
               AlignStats* stats) {
@@ -112,40 +109,19 @@ void initial_gapless(CoordsView x, CoordsView y, int lnorm, double d0,
     y2x[static_cast<std::size_t>(i + best_offset)] = i;
 }
 
-/// Initial alignment (b): NW over the secondary-structure strings
-/// (match = 1, mismatch = 0, gap open = -1), as in TM-align's get_initial_ss.
-/// Row i of the score matrix is exactly the precomputed per-class match
-/// table of ss1[i], so the fill is a row copy.
-void initial_ss(TmAlignWorkspace& ws, AlignStats* stats, Alignment& y2x) {
-  const std::size_t n1 = ws.ss1.size();
-  const std::size_t n2 = ws.ss2.size();
-  ws.nw.resize(n1, n2);
-  for (std::size_t i = 0; i < n1; ++i)
-    std::memcpy(ws.nw.score_row(i),
-                ws.ss_eq1[static_cast<std::size_t>(ws.ss1[i])].data(),
-                n2 * sizeof(double));
-  if (stats != nullptr)
-    stats->matrix_cells += static_cast<std::uint64_t>(n1) * n2;
-  ws.nw.solve(-1.0, y2x, stats);
-}
-
-/// Initial alignment (d): local fragment superposition (get_initial_local
-/// in later TM-align versions). Superpose short windows of x onto windows
-/// of y at a coarse stride, score each superposition over all residues, and
-/// DP on the best one's distance matrix. Catches pairs whose global SS/
-/// threading signals disagree but which share a well-packed local motif.
-/// Fragments and the gapless diagonals they induce are contiguous runs:
-/// all zero-copy subviews (the old per-fragment ox/oy copies are gone).
-void initial_local(CoordsView x, CoordsView y, double d_search, int lmin,
-                   double d0, TmAlignWorkspace& ws, AlignStats* stats,
-                   Alignment& y2x) {
+/// Fragment scan of initial alignment (d) (get_initial_local in later
+/// TM-align versions): superpose short windows of x onto windows of y at a
+/// coarse stride and keep the transform whose induced gapless diagonal
+/// scores best over all residues. Fragments and diagonals are contiguous
+/// runs: all zero-copy subviews.
+bool local_fragment_transform(CoordsView x, CoordsView y, int lmin, double d0,
+                              AlignStats* stats, Transform& best_t) {
   const int frag = std::max(8, std::min(20, lmin / 4));
   const int stride = std::max(4, frag / 2);
   const int n1 = static_cast<int>(x.size());
   const int n2 = static_cast<int>(y.size());
   const double d0sq = d0 * d0;
 
-  Transform best_t;
   double best_score = -1.0;
   for (int i = 0; i + frag <= n1; i += stride) {
     for (int j = 0; j + frag <= n2; j += stride) {
@@ -173,8 +149,132 @@ void initial_local(CoordsView x, CoordsView y, double d_search, int lmin,
       }
     }
   }
-  if (best_score < 0) {
-    y2x.assign(static_cast<std::size_t>(n2), -1);
+  return best_score >= 0;
+}
+
+LaneDims init_lane(const Protein& a, const Protein& b, TmAlignWorkspace& ws,
+                   const TmAlignOptions& opts) {
+  if (a.size() < 5 || b.size() < 5)
+    throw CoreError("tmalign: chains must have at least 5 residues");
+
+  ws.x.assign(a);
+  ws.y.assign(b);
+  LaneDims dims;
+  dims.x = ws.x.view();
+  dims.y = ws.y.view();
+  dims.n1 = static_cast<int>(dims.x.size());
+  dims.n2 = static_cast<int>(dims.y.size());
+  dims.lmin = std::min(dims.n1, dims.n2);
+  dims.d0 = opts.d0_override > 0 ? opts.d0_override : d0_of_length(dims.lmin);
+  dims.d_search = std::clamp(dims.d0, 4.5, 8.0);
+
+  TmAlignResult& out = ws.result;
+  out.tm_norm_a = 0.0;
+  out.tm_norm_b = 0.0;
+  out.rmsd = 0.0;
+  out.aligned_length = 0;
+  out.seq_identity = 0.0;
+  out.transform = Transform{};
+  out.y2x.clear();
+  out.stats = AlignStats{};
+
+  assign_secondary_structure(dims.x, ws.ss1);
+  assign_secondary_structure(dims.y, ws.ss2);
+  // SS assignment scans a 5-residue window per position: charge as matrix
+  // cells (6 distances each, small next to the O(L^2) terms).
+  out.stats.matrix_cells += dims.x.size() + dims.y.size();
+
+  // Per-class SS match/bonus tables over chain y (SsType values are 1..4).
+  for (std::size_t c = 1; c <= 4; ++c) {
+    ws.ss_eq1[c].assign(dims.y.size(), 0.0);
+    ws.ss_bonus[c].assign(dims.y.size(), 0.0);
+  }
+  for (std::size_t j = 0; j < ws.ss2.size(); ++j) {
+    const std::size_t c = static_cast<std::size_t>(ws.ss2[j]);
+    ws.ss_eq1[c][j] = 1.0;
+    ws.ss_bonus[c][j] = 0.5;
+  }
+  return dims;
+}
+
+void finalize_result(const Protein& a, const Protein& b, const LaneDims& dims,
+                     const TmAlignOptions& opts, TmAlignWorkspace& ws) {
+  TmAlignResult& out = ws.result;
+  AlignStats& stats = out.stats;
+  const TmAlignCandidate& best = ws.best;
+
+  const std::size_t m = gather_pairs(dims.x, dims.y, best.y2x, ws);
+  if (m < 3) {
+    // Pathological chains (e.g. every alignment degenerate); report empty.
+    out.y2x.assign(static_cast<std::size_t>(dims.n2), -1);
+    return;
+  }
+
+  const TmSearchResult fin = tmscore_search(ws.xa.view(), ws.ya.view(),
+                                            dims.lmin, dims.d0,
+                                            opts.final_search, ws.search, &stats);
+  out.transform = fin.transform;
+  out.y2x = best.y2x;
+  out.aligned_length = static_cast<int>(m);
+
+  const int la = opts.lnorm_override > 0 ? opts.lnorm_override : dims.n1;
+  const int lb = opts.lnorm_override > 0 ? opts.lnorm_override : dims.n2;
+  const double d0a = opts.d0_override > 0 ? opts.d0_override : d0_of_length(la);
+  const double d0b = opts.d0_override > 0 ? opts.d0_override : d0_of_length(lb);
+  out.tm_norm_a = kern::tm_sum(ws.xa.view(), ws.ya.view(), fin.transform,
+                               d0a * d0a) /
+                  static_cast<double>(la);
+  stats.scored_pairs += m;
+  out.tm_norm_b = kern::tm_sum(ws.xa.view(), ws.ya.view(), fin.transform,
+                               d0b * d0b) /
+                  static_cast<double>(lb);
+  stats.scored_pairs += m;
+
+  out.rmsd = std::sqrt(kern::sum_d2(ws.xa.view(), ws.ya.view(), fin.transform) /
+                       static_cast<double>(m));
+
+  int ident = 0;
+  for (std::size_t j = 0; j < best.y2x.size(); ++j)
+    if (best.y2x[j] >= 0 &&
+        a[static_cast<std::size_t>(best.y2x[j])].aa == b[j].aa)
+      ++ident;
+  out.seq_identity = static_cast<double>(ident) / static_cast<double>(m);
+}
+
+}  // namespace detail
+
+namespace {
+
+using detail::copy_candidate;
+using detail::evaluate;
+using detail::take_candidate;
+
+/// Initial alignment (b): NW over the secondary-structure strings
+/// (match = 1, mismatch = 0, gap open = -1), as in TM-align's get_initial_ss.
+/// Row i of the score matrix is exactly the precomputed per-class match
+/// table of ss1[i], so the fill is a row copy.
+void initial_ss(TmAlignWorkspace& ws, AlignStats* stats, Alignment& y2x) {
+  const std::size_t n1 = ws.ss1.size();
+  const std::size_t n2 = ws.ss2.size();
+  ws.nw.resize(n1, n2);
+  for (std::size_t i = 0; i < n1; ++i)
+    std::memcpy(ws.nw.score_row(i),
+                ws.ss_eq1[static_cast<std::size_t>(ws.ss1[i])].data(),
+                n2 * sizeof(double));
+  if (stats != nullptr)
+    stats->matrix_cells += static_cast<std::uint64_t>(n1) * n2;
+  ws.nw.solve(-1.0, y2x, stats);
+}
+
+/// Initial alignment (d): local fragment superposition. Catches pairs whose
+/// global SS/threading signals disagree but which share a well-packed local
+/// motif: DP on the distance matrix of the best fragment transform.
+void initial_local(CoordsView x, CoordsView y, double d_search, int lmin,
+                   double d0, TmAlignWorkspace& ws, AlignStats* stats,
+                   Alignment& y2x) {
+  Transform best_t;
+  if (!detail::local_fragment_transform(x, y, lmin, d0, stats, best_t)) {
+    y2x.assign(y.size(), -1);
     return;
   }
 
@@ -221,52 +321,20 @@ TmAlignResult tmalign(const Protein& a, const Protein& b, const TmAlignOptions& 
 
 const TmAlignResult& tmalign(const Protein& a, const Protein& b,
                              TmAlignWorkspace& ws, const TmAlignOptions& opts) {
-  if (a.size() < 5 || b.size() < 5)
-    throw CoreError("tmalign: chains must have at least 5 residues");
-
-  ws.x.assign(a);
-  ws.y.assign(b);
-  const CoordsView x = ws.x.view();
-  const CoordsView y = ws.y.view();
-  const int n1 = static_cast<int>(x.size());
-  const int n2 = static_cast<int>(y.size());
-  const int lmin = std::min(n1, n2);
-  const double d0 = opts.d0_override > 0 ? opts.d0_override : d0_of_length(lmin);
-  const double d_search = std::clamp(d0, 4.5, 8.0);
-
+  const detail::LaneDims dims = detail::init_lane(a, b, ws, opts);
+  const CoordsView x = dims.x;
+  const CoordsView y = dims.y;
+  const int lmin = dims.lmin;
+  const double d0 = dims.d0;
+  const double d_search = dims.d_search;
   TmAlignResult& out = ws.result;
-  out.tm_norm_a = 0.0;
-  out.tm_norm_b = 0.0;
-  out.rmsd = 0.0;
-  out.aligned_length = 0;
-  out.seq_identity = 0.0;
-  out.transform = Transform{};
-  out.y2x.clear();
-  out.stats = AlignStats{};
   AlignStats& stats = out.stats;
-
-  assign_secondary_structure(x, ws.ss1);
-  assign_secondary_structure(y, ws.ss2);
-  // SS assignment scans a 5-residue window per position: charge as matrix
-  // cells (6 distances each, small next to the O(L^2) terms).
-  stats.matrix_cells += x.size() + y.size();
-
-  // Per-class SS match/bonus tables over chain y (SsType values are 1..4).
-  for (std::size_t c = 1; c <= 4; ++c) {
-    ws.ss_eq1[c].assign(y.size(), 0.0);
-    ws.ss_bonus[c].assign(y.size(), 0.0);
-  }
-  for (std::size_t j = 0; j < ws.ss2.size(); ++j) {
-    const std::size_t c = static_cast<std::size_t>(ws.ss2[j]);
-    ws.ss_eq1[c][j] = 1.0;
-    ws.ss_bonus[c][j] = 0.5;
-  }
 
   // ---- Stage 1: initial alignments --------------------------------------
   TmAlignCandidate& best = ws.best;
   TmAlignCandidate& trial = ws.trial;
 
-  initial_gapless(x, y, lmin, d0, &stats, best.y2x);
+  detail::initial_gapless(x, y, lmin, d0, &stats, best.y2x);
   evaluate(x, y, best, lmin, d0, opts.fast_search, ws, &stats);
 
   initial_ss(ws, &stats, trial.y2x);
@@ -310,41 +378,7 @@ const TmAlignResult& tmalign(const Protein& a, const Protein& b,
   }
 
   // ---- Stage 3: final full-depth search and reporting --------------------
-  const std::size_t m = gather_pairs(x, y, best.y2x, ws);
-  if (m < 3) {
-    // Pathological chains (e.g. every alignment degenerate); report empty.
-    out.y2x.assign(static_cast<std::size_t>(n2), -1);
-    return out;
-  }
-
-  const TmSearchResult fin = tmscore_search(ws.xa.view(), ws.ya.view(), lmin,
-                                            d0, opts.final_search, ws.search, &stats);
-  out.transform = fin.transform;
-  out.y2x = best.y2x;
-  out.aligned_length = static_cast<int>(m);
-
-  const int la = opts.lnorm_override > 0 ? opts.lnorm_override : n1;
-  const int lb = opts.lnorm_override > 0 ? opts.lnorm_override : n2;
-  const double d0a = opts.d0_override > 0 ? opts.d0_override : d0_of_length(la);
-  const double d0b = opts.d0_override > 0 ? opts.d0_override : d0_of_length(lb);
-  out.tm_norm_a = kern::tm_sum(ws.xa.view(), ws.ya.view(), fin.transform,
-                               d0a * d0a) /
-                  static_cast<double>(la);
-  stats.scored_pairs += m;
-  out.tm_norm_b = kern::tm_sum(ws.xa.view(), ws.ya.view(), fin.transform,
-                               d0b * d0b) /
-                  static_cast<double>(lb);
-  stats.scored_pairs += m;
-
-  out.rmsd = std::sqrt(kern::sum_d2(ws.xa.view(), ws.ya.view(), fin.transform) /
-                       static_cast<double>(m));
-
-  int ident = 0;
-  for (std::size_t j = 0; j < best.y2x.size(); ++j)
-    if (best.y2x[j] >= 0 &&
-        a[static_cast<std::size_t>(best.y2x[j])].aa == b[j].aa)
-      ++ident;
-  out.seq_identity = static_cast<double>(ident) / static_cast<double>(m);
+  detail::finalize_result(a, b, dims, opts, ws);
   return out;
 }
 

@@ -1,0 +1,73 @@
+// Private building blocks of the TM-align driver, shared between the solo
+// driver (tmalign.cpp) and the inter-pair lane-batched driver (batch.cpp).
+//
+// The batched driver runs the exact same per-pair algorithm in lockstep
+// across kern::kBatchLanes pairs, routing only the NW fills/solves through
+// the lane-interleaved NwBatch. Everything here is per-pair code with no
+// batching awareness; keeping one definition of each stage is what makes
+// the batched results bit-identical to the solo ones by construction.
+//
+// Not installed: include only from src/core TUs.
+#pragma once
+
+#include <cstddef>
+
+#include "rck/bio/coords_soa.hpp"
+#include "rck/bio/protein.hpp"
+#include "rck/core/stats.hpp"
+#include "rck/core/tmalign.hpp"
+
+namespace rck::core::detail {
+
+/// Per-pair dimensions and TM-score scales derived by init_lane().
+struct LaneDims {
+  bio::CoordsView x, y;
+  int n1 = 0, n2 = 0, lmin = 0;
+  double d0 = 0.0;
+  double d_search = 0.0;  ///< clamp(d0, 4.5, 8.0): score-matrix distance scale
+};
+
+/// Move `src` into `dst`, recycling dst's alignment buffer (src's contents
+/// become unspecified; callers overwrite it before the next read).
+void take_candidate(TmAlignCandidate& dst, TmAlignCandidate& src);
+
+/// Copy `src` into `dst` (alignment buffer capacity reused).
+void copy_candidate(TmAlignCandidate& dst, const TmAlignCandidate& src);
+
+/// Gather the coordinate pairs selected by an alignment into the workspace
+/// SoA buffers. Returns the number of aligned pairs.
+std::size_t gather_pairs(bio::CoordsView x, bio::CoordsView y,
+                         const Alignment& y2x, TmAlignWorkspace& ws);
+
+/// Score candidate `c`'s alignment with the reduced search, filling in its
+/// tm and transform.
+void evaluate(bio::CoordsView x, bio::CoordsView y, TmAlignCandidate& c,
+              int lnorm, double d0, const TmSearchOptions& fast,
+              TmAlignWorkspace& ws, AlignStats* stats);
+
+/// Initial alignment (a): gapless threading (no NW involved).
+void initial_gapless(bio::CoordsView x, bio::CoordsView y, int lnorm,
+                     double d0, AlignStats* stats, Alignment& y2x);
+
+/// Fragment-superposition scan of initial alignment (d): finds the local
+/// motif transform that scores best over the induced gapless diagonal.
+/// Returns false (and leaves `best_t` untouched) when no fragment pair
+/// superposes within the rigid-motif RMSD bound — the caller then reports
+/// an all-gap alignment without running the NW stage.
+bool local_fragment_transform(bio::CoordsView x, bio::CoordsView y, int lmin,
+                              double d0, AlignStats* stats,
+                              bio::Transform& best_t);
+
+/// Per-pair setup: validates chain lengths, loads the SoA copies, resets
+/// ws.result, assigns secondary structure and builds the per-class SS
+/// match/bonus tables. Returns the derived dimensions/scales.
+LaneDims init_lane(const bio::Protein& a, const bio::Protein& b,
+                   TmAlignWorkspace& ws, const TmAlignOptions& opts);
+
+/// Stage 3: final full-depth search over ws.best and reporting into
+/// ws.result (including the pathological m < 3 empty-alignment case).
+void finalize_result(const bio::Protein& a, const bio::Protein& b,
+                     const LaneDims& dims, const TmAlignOptions& opts,
+                     TmAlignWorkspace& ws);
+
+}  // namespace rck::core::detail

@@ -63,6 +63,12 @@ struct RunConfig {
   rckalign::Method method = rckalign::Method::TmAlign;
   /// LPT (longest-first) job ordering; the paper used FIFO.
   bool lpt = false;
+  /// Farm grant size: jobs per master->slave round trip. K > 1 batches
+  /// grants and packs independent TM-align pairs across SIMD lanes on each
+  /// slave (kern::align_batch). Results and per-job cycle charges are
+  /// bit-identical to K = 1. Plain farm only — incompatible with
+  /// fault_tolerant / master_ft / a non-empty fault plan.
+  std::size_t batch = 1;
   /// Optional precomputed pair results (not owned; may be null).
   const rckalign::PairCache* cache = nullptr;
   /// Fault-tolerant farm (leases, retry, blacklist). Forced on whenever
@@ -99,6 +105,7 @@ struct RunConfig {
   RunConfig& with_slaves(int n) { slave_count = n; return *this; }
   RunConfig& with_method(rckalign::Method m) { method = m; return *this; }
   RunConfig& with_lpt(bool on = true) { lpt = on; return *this; }
+  RunConfig& with_batch(std::size_t k) { batch = k; return *this; }
   RunConfig& with_cache(const rckalign::PairCache* c) { cache = c; return *this; }
   RunConfig& with_fault_tolerance(bool on = true) { fault_tolerant = on; return *this; }
   RunConfig& with_ft(const rckskel::FaultTolerantFarmOptions& o) { ft = o; return *this; }

@@ -132,6 +132,15 @@ std::vector<ConfigIssue> RunConfig::validate() const {
     }
   }
 
+  if (batch == 0) {
+    bad("batch", "must be >= 1 (1 = classic per-job dispatch)");
+  } else if (batch > 1 && (fault_tolerant || master_ft || !faults.empty())) {
+    bad("batch",
+        "batched grants require the plain farm; the fault-tolerant farms "
+        "(and any non-empty fault plan, which upgrades to them) lease and "
+        "retry individual jobs");
+  }
+
   if (!obs.trace_path.empty() && obs.trace_path == obs.metrics_path) {
     bad("obs.metrics_path",
         "trace_path and metrics_path point at the same file; the second "
@@ -162,6 +171,7 @@ rckalign::RckAlignOptions RunConfig::to_options() const {
   opts.cache = cache;
   opts.method = method;
   opts.lpt = lpt;
+  opts.batch = batch;
   opts.fault_tolerant = fault_tolerant || !runtime.faults.empty();
   opts.ft = ft;
   opts.master_ft = master_ft;

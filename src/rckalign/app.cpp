@@ -32,6 +32,11 @@ RckAlignRun run_rckalign(const std::vector<bio::Protein>& dataset,
     throw AlignError("run_rckalign: slave_count out of range for chip");
   if (opts.cache != nullptr && opts.cache->chain_count() != dataset.size())
     throw AlignError("run_rckalign: cache built for a different dataset");
+  if (opts.batch == 0) throw AlignError("run_rckalign: batch must be >= 1");
+  if (opts.batch > 1 && (opts.fault_tolerant || opts.master_ft))
+    throw AlignError(
+        "run_rckalign: batched grants require the plain farm (the "
+        "fault-tolerant farms lease and retry individual jobs)");
 
   const PairCache* cache = opts.cache;
   RckAlignRun run;
@@ -139,6 +144,7 @@ RckAlignRun run_rckalign(const std::vector<bio::Protein>& dataset,
       } else {
         rckskel::FarmOptions fopts;
         fopts.lpt_order = opts.lpt;
+        fopts.batch = opts.batch;
         collected = rckskel::farm(comm, task, fopts);
       }
       decode_collected(collected, master_rows);
@@ -151,6 +157,17 @@ RckAlignRun run_rckalign(const std::vector<bio::Protein>& dataset,
         standby_rows.emplace();
         decode_collected(*collected, *standby_rows);
       }
+    } else if (opts.batch > 1) {
+      // Batch-pulling slave: whole grants go through the lane-batched
+      // TM-align driver (per-job results and cycle charges bit-identical
+      // to the solo path below; see execute_pair_batch).
+      core::BatchWorkspace batch_ws;  // per-slave, reused across grants
+      const rckskel::BatchWorker worker =
+          [cache, &batch_ws](rcce::Comm& c, std::span<const rckskel::Job> jobs,
+                             std::vector<bio::Bytes>& out) {
+            detail::execute_pair_batch(c, jobs, cache, batch_ws, out);
+          };
+      rckskel::farm_slave_batch(comm, kMaster, worker);
     } else {
       core::TmAlignWorkspace tm_ws;  // per-slave: reused across this core's jobs
       const rckskel::Worker worker = [cache, &tm_ws](rcce::Comm& c,

@@ -46,6 +46,8 @@ BlockedRun run_rckalign_blocked(const std::vector<bio::Protein>& dataset,
     throw AlignError("run_rckalign_blocked: slave_count out of range");
   if (opts.cache != nullptr && opts.cache->chain_count() != dataset.size())
     throw AlignError("run_rckalign_blocked: cache/dataset mismatch");
+  if (opts.batch == 0)
+    throw AlignError("run_rckalign_blocked: batch must be >= 1");
 
   const auto blocks = plan_blocks(dataset, opts.master_memory_bytes);
   std::vector<std::uint64_t> block_bytes(blocks.size(), 0);
@@ -115,6 +117,7 @@ BlockedRun run_rckalign_blocked(const std::vector<bio::Protein>& dataset,
 
           rckskel::FarmOptions fopts;
           fopts.lpt_order = opts.lpt;
+          fopts.batch = opts.batch;
           fopts.wait_ready = first_round;
           fopts.send_terminate = false;
           first_round = false;
@@ -128,6 +131,14 @@ BlockedRun run_rckalign_blocked(const std::vector<bio::Protein>& dataset,
         }
       }
       rckskel::terminate(comm, slaves);
+    } else if (opts.batch > 1) {
+      core::BatchWorkspace batch_ws;  // per-slave, reused across grants
+      rckskel::farm_slave_batch(
+          comm, kMaster,
+          [cache, &batch_ws](rcce::Comm& c, std::span<const rckskel::Job> jobs,
+                             std::vector<bio::Bytes>& out) {
+            detail::execute_pair_batch(c, jobs, cache, batch_ws, out);
+          });
     } else {
       core::TmAlignWorkspace tm_ws;  // per-slave: reused across this core's jobs
       rckskel::farm_slave(comm, kMaster,

@@ -41,6 +41,14 @@ struct RckAlignOptions {
   Method method = Method::TmAlign;
   /// LPT (longest-first) job ordering; the paper used FIFO.
   bool lpt = false;
+  /// Farm grant size: jobs handed to a slave per round trip. With K > 1 the
+  /// plain farm sends BATCH frames and slaves serve them with
+  /// farm_slave_batch + kern::align_batch, packing independent TM-align
+  /// pairs across SIMD lanes. Per-job results and cycle charges are
+  /// bit-identical to K = 1; only the dispatch schedule (and host wall
+  /// clock) changes. Requires the plain farm: incompatible with
+  /// fault_tolerant / master_ft, which lease and retry individual jobs.
+  std::size_t batch = 1;
   /// Use the fault-tolerant farm (leases, retry, blacklist) instead of the
   /// paper's plain FARM. Required whenever runtime.faults is non-empty, and
   /// harmless without faults (simulated makespan is within lease-bookkeeping

@@ -26,6 +26,10 @@ struct BlockedOptions {
   /// that any two blocks fit. 0 means "everything fits" (degenerates to
   /// one block = the plain algorithm).
   std::uint64_t master_memory_bytes = 0;
+  /// Farm grant size (see RckAlignOptions::batch): K > 1 batches grants and
+  /// packs TM-align pairs across SIMD lanes per slave. Bit-identical
+  /// per-job results/cycles; 0 is invalid.
+  std::size_t batch = 1;
 };
 
 struct BlockedRun {

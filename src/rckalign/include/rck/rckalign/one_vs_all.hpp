@@ -24,6 +24,10 @@ struct OneVsAllOptions {
   /// Methods to run per database entry (Algorithm 1's set M).
   std::vector<Method> methods{Method::TmAlign};
   bool lpt = false;
+  /// Farm grant size (see RckAlignOptions::batch): K > 1 batches grants and
+  /// packs TM-align query jobs across SIMD lanes per slave. Bit-identical
+  /// per-job results/cycles; 0 is invalid.
+  std::size_t batch = 1;
 };
 
 /// One database hit under one method.

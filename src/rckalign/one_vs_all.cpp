@@ -12,6 +12,8 @@
 #include "rck/rckalign/error.hpp"
 #include "rck/rckskel/skeletons.hpp"
 
+#include "pair_exec.hpp"
+
 namespace rck::rckalign {
 
 namespace {
@@ -78,6 +80,7 @@ OneVsAllRun run_one_vs_all(const bio::Protein& query,
   if (opts.slave_count < 1 ||
       opts.slave_count + 1 > opts.runtime.chip.core_count())
     throw AlignError("run_one_vs_all: slave_count out of range");
+  if (opts.batch == 0) throw AlignError("run_one_vs_all: batch must be >= 1");
 
   OneVsAllRun run;
   run.ranked.resize(opts.methods.size());
@@ -110,6 +113,7 @@ OneVsAllRun run_one_vs_all(const bio::Protein& query,
       std::iota(slaves.begin(), slaves.end(), 1);
       rckskel::FarmOptions fopts;
       fopts.lpt_order = opts.lpt;
+      fopts.batch = opts.batch;
       const rckskel::Task task = rckskel::Task::make_par(slaves, std::move(jobs));
       for (rckskel::JobResult& jr : rckskel::farm(comm, task, fopts)) {
         const PairOutcome o = decode_outcome(std::move(jr.payload));
@@ -122,6 +126,18 @@ OneVsAllRun run_one_vs_all(const bio::Protein& query,
           break;
         }
       }
+    } else if (opts.batch > 1) {
+      // Query jobs batch exactly like pair jobs: execute_pair_batch's
+      // per-field outcomes match execute_query_job (the query travels as
+      // chain a, the database index as i, j is always 0).
+      core::BatchWorkspace batch_ws;  // per-slave, reused across grants
+      rckskel::farm_slave_batch(
+          comm, kMaster,
+          [&batch_ws](rcce::Comm& c, std::span<const rckskel::Job> jobs,
+                      std::vector<bio::Bytes>& out) {
+            detail::execute_pair_batch(c, jobs, /*cache=*/nullptr, batch_ws,
+                                       out);
+          });
     } else {
       core::TmAlignWorkspace tm_ws;  // per-slave: reused across this core's jobs
       rckskel::farm_slave(comm, kMaster, [&tm_ws](rcce::Comm& c, const bio::Bytes& p) {

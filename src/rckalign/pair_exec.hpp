@@ -5,13 +5,19 @@
 // the public API (lives next to the sources, not under include/).
 #pragma once
 
+#include <array>
+#include <span>
+#include <vector>
+
 #include "rck/bio/seq_align.hpp"
+#include "rck/core/batch.hpp"
 #include "rck/core/ce_align.hpp"
 #include "rck/core/rmsd_method.hpp"
 #include "rck/core/tmalign.hpp"
 #include "rck/rcce/rcce.hpp"
 #include "rck/rckalign/codec.hpp"
 #include "rck/rckalign/cost_cache.hpp"
+#include "rck/rckskel/job.hpp"
 
 namespace rck::rckalign::detail {
 
@@ -98,6 +104,72 @@ inline bio::Bytes execute_pair_job(rcce::Comm& comm, const bio::Bytes& payload,
   }
   comm.charge_cycles(cycles);
   return encode_outcome(out);
+}
+
+/// Batched slave-side execution: run a whole farm grant, packing runs of
+/// uncached TM-align jobs across SIMD lanes via kern::align_batch (up to
+/// kBatchLanes pairs share one NW dynamic program). Everything observable —
+/// outcome payloads, per-job cycle charges, obs counters — is bit-identical
+/// to serving the grant job by job through execute_pair_job: align_batch
+/// guarantees per-lane results and AlignStats equal to solo tmalign().
+/// Cached or non-TM-align jobs fall back to the solo executor (replay and
+/// the other methods have no batched kernel), so mixed grants still work.
+///
+/// `bw` is the slave's reusable batch workspace (the batched counterpart of
+/// the tm_ws parameter above); `out` receives one encoded outcome per job,
+/// in grant order.
+inline void execute_pair_batch(rcce::Comm& comm,
+                               std::span<const rckskel::Job> jobs,
+                               const PairCache* cache, core::BatchWorkspace& bw,
+                               std::vector<bio::Bytes>& out) {
+  out.clear();
+  const scc::CoreTimingModel& model = comm.ctx().timing();
+  const obs::Handle h = comm.obs();
+  std::array<PairJobData, core::kern::kBatchLanes> data;
+  std::array<core::BatchItem, core::kern::kBatchLanes> items;
+  std::size_t base = 0;
+  while (base < jobs.size()) {
+    data[0] = decode_pair_job(jobs[base].payload);
+    if (cache != nullptr || data[0].method != Method::TmAlign) {
+      out.push_back(execute_pair_job(comm, jobs[base].payload, cache));
+      ++base;
+      continue;
+    }
+    // Lane group: consecutive uncached TM-align jobs, up to kBatchLanes.
+    std::size_t n = 1;
+    while (base + n < jobs.size() && n < core::kern::kBatchLanes) {
+      data[n] = decode_pair_job(jobs[base + n].payload);
+      if (data[n].method != Method::TmAlign) break;
+      ++n;
+    }
+    for (std::size_t k = 0; k < n; ++k)
+      items[k] = core::BatchItem{&data[k].a, &data[k].b};
+    core::kern::align_batch(items.data(), n, bw);
+    for (std::size_t k = 0; k < n; ++k) {
+      const core::TmAlignResult& r = bw.result(k);
+      PairOutcome o;
+      o.i = data[k].i;
+      o.j = data[k].j;
+      o.method = Method::TmAlign;
+      o.tm_norm_a = r.tm_norm_a;
+      o.tm_norm_b = r.tm_norm_b;
+      o.rmsd = r.rmsd;
+      o.seq_identity = r.seq_identity;
+      o.aligned_length = static_cast<std::uint32_t>(r.aligned_length);
+      const std::uint64_t footprint = scc::CoreTimingModel::alignment_footprint(
+          data[k].a.size(), data[k].b.size());
+      const std::uint64_t cycles = model.cycles(r.stats, footprint);
+      o.work_cycles = cycles;
+      if (h) {
+        h.add(h.ids().app_pairs);
+        h.add(h.ids().app_kernel_ps,
+              static_cast<std::uint64_t>(model.cycles_to_time(cycles)));
+      }
+      comm.charge_cycles(cycles);
+      out.push_back(encode_outcome(o));
+    }
+    base += n;
+  }
 }
 
 }  // namespace rck::rckalign::detail

@@ -52,6 +52,10 @@ TEST(LintRules, ScopingFollowsTheTree) {
   EXPECT_TRUE(rules_contain("src/bio/protein.cpp", "throw-taxonomy"));
   EXPECT_TRUE(rules_contain("src/core/kabsch.cpp", "hot-path-alloc"));
   EXPECT_FALSE(rules_contain("src/core/tmalign.cpp", "hot-path-alloc"));
+  // The round-2 batch kernel and the batch-pulling slave loop inherit the
+  // allocation-freedom contract.
+  EXPECT_TRUE(rules_contain("src/core/batch.cpp", "hot-path-alloc"));
+  EXPECT_TRUE(rules_contain("src/rckskel/batch_slave.cpp", "hot-path-alloc"));
   EXPECT_TRUE(rules_for("tests/chk/test_lint.cpp").empty());   // not covered
   EXPECT_TRUE(rules_for("src/scc/CMakeLists.txt").empty());    // not source
 }
@@ -111,6 +115,11 @@ TEST(LintErrorCodes, RegisteredCodesPassTyposFire) {
   EXPECT_FALSE(has_rule(
       lint_file("src/rckskel/x.hpp",
                 ": Error(\"rck.skel.checkpoint\", message) {}\n"),
+      "error-codes"));
+  // So is the batched-grant protocol family.
+  EXPECT_FALSE(has_rule(
+      lint_file("src/rckskel/x.hpp",
+                ": Error(\"rck.skel.batch\", message) {}\n"),
       "error-codes"));
   const auto typo = lint_file(
       "src/rckskel/x.hpp", ": Error(\"rck.skel.chekpoint\", message) {}\n");

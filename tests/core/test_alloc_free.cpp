@@ -14,6 +14,7 @@
 #include <new>
 
 #include "rck/bio/synthetic.hpp"
+#include "rck/core/batch.hpp"
 #include "rck/core/tmalign.hpp"
 
 namespace {
@@ -76,6 +77,41 @@ TEST(AllocFree, SteadyStateTmalignAllocatesNothing) {
 
   EXPECT_GT(sink, 0.0);
   EXPECT_EQ(during, 0u) << "steady-state tmalign() calls hit the heap";
+}
+
+TEST(AllocFree, SteadyStateAlignBatchAllocatesNothing) {
+  // Same contract for the lane-batched driver: once the BatchWorkspace has
+  // grown to the run's maximal chunk, batched calls — including ragged
+  // chunks and chunks smaller than earlier ones — never hit the heap.
+  bio::Rng rng(12);
+  const bio::Protein a = bio::make_protein("a", 130, rng);
+  const bio::Protein b = bio::perturb(a, "b", rng);
+  const bio::Protein c = bio::make_protein("c", 90, rng);
+  const bio::Protein d = bio::make_protein("d", 60, rng);
+
+  const BatchItem full[4] = {{&a, &b}, {&a, &c}, {&c, &b}, {&a, &d}};
+  const BatchItem ragged[3] = {{&d, &c}, {&b, &a}, {&c, &d}};
+
+  BatchWorkspace ws;
+  // Warm-up rounds, as above.
+  kern::align_batch(full, 4, ws);
+  kern::align_batch(ragged, 3, ws);
+  kern::align_batch(full, 4, ws);
+
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  double sink = 0.0;
+  for (int rep = 0; rep < 5; ++rep) {
+    kern::align_batch(full, 4, ws);
+    sink += ws.result(0).tm_norm_a;
+    kern::align_batch(ragged, 3, ws);  // ragged chunk: capacity reuse
+    sink += ws.result(2).tm_norm_a;
+    kern::align_batch(full, 1, ws);  // K=1 degenerate chunk
+    sink += ws.result(0).tm_norm_a;
+  }
+  const std::uint64_t during = g_allocations.load(std::memory_order_relaxed) - before;
+
+  EXPECT_GT(sink, 0.0);
+  EXPECT_EQ(during, 0u) << "steady-state align_batch() calls hit the heap";
 }
 
 TEST(AllocFree, CounterSeesOrdinaryAllocations) {

@@ -1,0 +1,187 @@
+// Property suite for inter-pair lane batching (kern::align_batch).
+//
+// The contract under test is strict bit-identity: for every job in a batch,
+// the alignment, transform, all four reported scores AND the AlignStats
+// work counters (which drive the simulator's cycle charges) must equal a
+// solo tmalign() of the same pair exactly — across ragged batches, K = 1,
+// batch sizes that do not divide the job count, and both kernel paths
+// (scalar fallback and AVX2 when available). Plain EXPECT_EQ on doubles is
+// deliberate: "close" would hide a broken determinism contract.
+#include "rck/core/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "rck/bio/synthetic.hpp"
+#include "rck/core/error.hpp"
+#include "rck/core/simd_kernels.hpp"
+#include "rck/core/tmalign.hpp"
+
+namespace rck::core {
+namespace {
+
+using bio::Protein;
+using bio::Rng;
+
+bool transforms_identical(const bio::Transform& a, const bio::Transform& b) {
+  return std::memcmp(&a, &b, sizeof(bio::Transform)) == 0;
+}
+
+void expect_identical(const TmAlignResult& got, const TmAlignResult& want,
+                      const char* what) {
+  EXPECT_EQ(got.tm_norm_a, want.tm_norm_a) << what;
+  EXPECT_EQ(got.tm_norm_b, want.tm_norm_b) << what;
+  EXPECT_EQ(got.rmsd, want.rmsd) << what;
+  EXPECT_EQ(got.aligned_length, want.aligned_length) << what;
+  EXPECT_EQ(got.seq_identity, want.seq_identity) << what;
+  EXPECT_TRUE(transforms_identical(got.transform, want.transform)) << what;
+  EXPECT_EQ(got.y2x, want.y2x) << what;
+  EXPECT_TRUE(got.stats == want.stats)
+      << what << ": AlignStats diverged (cycle charges would change)";
+}
+
+/// A job mix that exercises the lockstep masks: an identical pair (trivially
+/// converging refinement), a perturbed same-fold pair, an unrelated pair
+/// (hybrid/local participation differs), and strongly mixed lengths
+/// (ragged-lane garbage regions).
+std::vector<Protein> make_mixed_chains() {
+  Rng rng(101);
+  std::vector<Protein> out;
+  out.push_back(bio::make_protein("a", 150, rng));
+  out.push_back(bio::perturb(out[0], "b", rng));
+  out.push_back(bio::make_protein("c", 37, rng));
+  out.push_back(bio::make_protein("d", 96, rng));
+  out.push_back(out[0].transformed(bio::random_transform(rng)));
+  out.push_back(bio::make_protein("f", 201, rng));
+  out.push_back(bio::perturb(out[3], "g", rng));
+  return out;
+}
+
+std::vector<BatchItem> make_jobs(const std::vector<Protein>& chains) {
+  // All ordered pairs of distinct chains: 42 jobs, not divisible by 4.
+  std::vector<BatchItem> jobs;
+  for (std::size_t i = 0; i < chains.size(); ++i)
+    for (std::size_t j = 0; j < chains.size(); ++j)
+      if (i != j) jobs.push_back(BatchItem{&chains[i], &chains[j]});
+  return jobs;
+}
+
+void run_identity_sweep(const TmAlignOptions& opts) {
+  const std::vector<Protein> chains = make_mixed_chains();
+  const std::vector<BatchItem> jobs = make_jobs(chains);
+
+  // Solo references, one workspace reused like a slave would.
+  std::vector<TmAlignResult> ref;
+  ref.reserve(jobs.size());
+  TmAlignWorkspace solo;
+  for (const BatchItem& job : jobs) ref.push_back(tmalign(*job.a, *job.b, solo, opts));
+
+  // Batched, for every chunk size 1..kBatchLanes (none divide 42 except 1
+  // and 2, so the ragged final chunk is exercised too).
+  BatchWorkspace bw;
+  for (std::size_t chunk = 1; chunk <= kern::kBatchLanes; ++chunk) {
+    for (std::size_t base = 0; base < jobs.size(); base += chunk) {
+      const std::size_t n = std::min(chunk, jobs.size() - base);
+      kern::align_batch(jobs.data() + base, n, bw, opts);
+      for (std::size_t k = 0; k < n; ++k) {
+        SCOPED_TRACE(::testing::Message()
+                     << "chunk=" << chunk << " job=" << base + k);
+        expect_identical(bw.result(k), ref[base + k], "batched vs solo");
+      }
+    }
+  }
+}
+
+TEST(AlignBatch, BitIdenticalToSoloAcrossRaggedChunks) {
+  run_identity_sweep(TmAlignOptions{});
+}
+
+TEST(AlignBatch, BitIdenticalWithFastOptions) {
+  run_identity_sweep(fast_tmalign_options());
+}
+
+TEST(AlignBatch, BitIdenticalOnBothKernelPaths) {
+  // The scalar fallback and the AVX2 path must agree with each other (and
+  // with solo) job for job. On hosts without AVX2 the toggle is a no-op and
+  // this degenerates to running the sweep twice — still a valid identity.
+  const bool had = kern::simd_enabled();
+  const std::vector<Protein> chains = make_mixed_chains();
+  const std::vector<BatchItem> jobs = make_jobs(chains);
+
+  kern::set_simd_enabled(false);
+  std::vector<TmAlignResult> scalar_solo;
+  TmAlignWorkspace solo;
+  for (const BatchItem& job : jobs) scalar_solo.push_back(tmalign(*job.a, *job.b, solo));
+
+  BatchWorkspace bw;
+  for (const bool simd : {false, true}) {
+    kern::set_simd_enabled(simd);
+    for (std::size_t base = 0; base < jobs.size(); base += kern::kBatchLanes) {
+      const std::size_t n = std::min(kern::kBatchLanes, jobs.size() - base);
+      kern::align_batch(jobs.data() + base, n, bw);
+      for (std::size_t k = 0; k < n; ++k) {
+        SCOPED_TRACE(::testing::Message()
+                     << "simd=" << simd << " job=" << base + k);
+        expect_identical(bw.result(k), scalar_solo[base + k],
+                         "batched vs scalar solo");
+      }
+    }
+  }
+  kern::set_simd_enabled(had);
+}
+
+TEST(AlignBatch, SingleJobDegeneratesToSolo) {
+  Rng rng(7);
+  const Protein a = bio::make_protein("a", 80, rng);
+  const Protein b = bio::perturb(a, "b", rng);
+  const TmAlignResult ref = tmalign(a, b);
+  const BatchItem job{&a, &b};
+  BatchWorkspace bw;
+  kern::align_batch(&job, 1, bw);
+  expect_identical(bw.result(0), ref, "K=1");
+}
+
+TEST(AlignBatch, WorkspaceReuseAcrossShrinkingBatches) {
+  // A big batch followed by a smaller one: the grow-only buffers of the
+  // shared NW must not leak the larger batch's state into the smaller one.
+  Rng rng(9);
+  const Protein big = bio::make_protein("big", 220, rng);
+  const Protein big2 = bio::perturb(big, "big2", rng);
+  const Protein small1 = bio::make_protein("s1", 40, rng);
+  const Protein small2 = bio::perturb(small1, "s2", rng);
+
+  BatchWorkspace bw;
+  const BatchItem first[2] = {{&big, &big2}, {&big2, &big}};
+  kern::align_batch(first, 2, bw);
+
+  const TmAlignResult ref = tmalign(small1, small2);
+  const BatchItem second{&small1, &small2};
+  kern::align_batch(&second, 1, bw);
+  expect_identical(bw.result(0), ref, "after shrink");
+}
+
+TEST(AlignBatch, RejectsInvalidBatches) {
+  Rng rng(13);
+  const Protein a = bio::make_protein("a", 50, rng);
+  const Protein tiny = bio::make_protein("t", 4, rng);
+  BatchWorkspace bw;
+
+  std::vector<BatchItem> too_many(kern::kBatchLanes + 1, BatchItem{&a, &a});
+  EXPECT_THROW(kern::align_batch(too_many.data(), too_many.size(), bw),
+               CoreError);
+
+  const BatchItem short_chain{&a, &tiny};
+  EXPECT_THROW(kern::align_batch(&short_chain, 1, bw), CoreError);
+
+  const BatchItem null_item{&a, nullptr};
+  EXPECT_THROW(kern::align_batch(&null_item, 1, bw), CoreError);
+
+  // Zero jobs is a no-op, not an error (a slave may be granted an empty
+  // tail batch).
+  kern::align_batch(nullptr, 0, bw);
+}
+
+}  // namespace
+}  // namespace rck::core

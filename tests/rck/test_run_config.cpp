@@ -78,6 +78,32 @@ TEST(RunConfig, FaultPlanValidatesFtKnobsEvenWithoutExplicitFt) {
   EXPECT_TRUE(has_issue(cfg.validate(), "ft.max_attempts"));
 }
 
+TEST(RunConfig, RejectsBadBatch) {
+  RunConfig cfg;
+  cfg.with_batch(0);
+  EXPECT_TRUE(has_issue(cfg.validate(), "batch"));
+
+  // Batched grants need the plain farm: the FT farms (and any fault plan,
+  // which upgrades to them) lease and retry individual jobs.
+  cfg.with_batch(4);
+  EXPECT_TRUE(cfg.validate().empty());
+  cfg.with_fault_tolerance();
+  EXPECT_TRUE(has_issue(cfg.validate(), "batch"));
+
+  RunConfig faulty;
+  faulty.with_batch(4);
+  scc::FaultPlan plan;
+  plan.crashes.push_back({3, 1'000'000});
+  faulty.with_faults(plan);
+  EXPECT_TRUE(has_issue(faulty.validate(), "batch"));
+}
+
+TEST(RunConfig, ToOptionsCarriesBatch) {
+  RunConfig cfg;
+  cfg.with_batch(8);
+  EXPECT_EQ(cfg.to_options().batch, 8u);
+}
+
 TEST(RunConfig, RejectsTraceAndMetricsSharingAFile) {
   RunConfig cfg;
   cfg.with_trace("same.json").with_metrics("same.json");
