@@ -6,28 +6,35 @@
 //
 // Output mirrors the original TM-align program's summary: both TM-score
 // normalizations, aligned length, RMSD, sequence identity and the rotation
-// matrix mapping structure 1 onto structure 2.
+// matrix mapping structure 1 onto structure 2. The headline scores come
+// from a rck::Query::pair run through the validated run_query() path (the
+// same numbers every other entry point reports); the rotation matrix and
+// secondary-structure detail come from the core kernel directly, which the
+// Query result schema intentionally does not carry.
 #include <cstdio>
-#include <cstring>
 #include <filesystem>
+#include <string>
+#include <vector>
 
 #include "rck/bio/pdb_io.hpp"
 #include "rck/bio/synthetic.hpp"
 #include "rck/core/sec_struct.hpp"
 #include "rck/core/tmalign.hpp"
+#include "rck/harness/arg_parser.hpp"
+#include "rck/rck.hpp"
 
 namespace {
 
 using namespace rck;
 
 void print_result(const bio::Protein& a, const bio::Protein& b,
-                  const core::TmAlignResult& r) {
+                  const QueryHit& hit, const core::TmAlignResult& r) {
   std::printf("Structure 1: %-20s length %zu\n", a.name().c_str(), a.size());
   std::printf("Structure 2: %-20s length %zu\n", b.name().c_str(), b.size());
-  std::printf("Aligned length= %d, RMSD= %.2f, Seq_ID= %.3f\n", r.aligned_length,
-              r.rmsd, r.seq_identity);
-  std::printf("TM-score= %.5f (normalized by length of Structure 1)\n", r.tm_norm_a);
-  std::printf("TM-score= %.5f (normalized by length of Structure 2)\n", r.tm_norm_b);
+  std::printf("Aligned length= %u, RMSD= %.2f, Seq_ID= %.3f\n",
+              hit.aligned_length, hit.rmsd, hit.seq_identity);
+  std::printf("TM-score= %.5f (normalized by length of Structure 1)\n", hit.tm_query);
+  std::printf("TM-score= %.5f (normalized by length of Structure 2)\n", hit.tm_entry);
   std::printf("(TM-score > 0.5 generally indicates the same fold)\n\n");
 
   std::printf("Rotation matrix (structure 1 -> structure 2 frame):\n");
@@ -56,29 +63,65 @@ void print_result(const bio::Protein& a, const bio::Protein& b,
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc == 2 && std::strcmp(argv[1], "--demo") == 0) {
-    // Write two related demo structures as proper PDB files, then reload
-    // them through the parser — exercising the same path as user files.
-    bio::Rng rng(7);
-    const bio::Protein parent = bio::make_protein("demo1", 120, rng);
-    const bio::Protein variant = bio::perturb(parent, "demo2", rng);
-    const auto dir = std::filesystem::temp_directory_path() / "rck_pdb_demo";
-    bio::write_pdb_file(parent, dir / "demo1.pdb");
-    bio::write_pdb_file(variant, dir / "demo2.pdb");
-    std::printf("demo PDB files written under %s\n\n", dir.c_str());
-    const bio::Protein a = bio::parse_pdb_file(dir / "demo1.pdb");
-    const bio::Protein b = bio::parse_pdb_file(dir / "demo2.pdb");
-    print_result(a, b, core::tmalign(a, b));
-    return 0;
+  bool demo = false;
+  int slaves = 1;
+  harness::ArgParser parser(
+      "pdb_compare",
+      "TM-align two PDB files (positional: <a.pdb> <b.pdb>) through the "
+      "rck Query API");
+  parser.flag("demo", &demo,
+              "generate two related demo PDB files and align those");
+  parser.option("slaves", &slaves,
+                "slave cores for the simulated pair run (default 1)");
+
+  // Positional file paths first, flags through the registry.
+  std::vector<std::string> paths;
+  std::vector<std::string> flag_args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      flag_args.push_back(arg);
+      // A valued flag consumes the next token when it is not "--x=v" form.
+      if (arg.rfind('=') == std::string::npos && arg != "--demo" &&
+          arg != "--help" && i + 1 < argc) {
+        flag_args.emplace_back(argv[++i]);
+      }
+    } else {
+      paths.push_back(arg);
+    }
   }
-  if (argc != 3) {
-    std::fprintf(stderr, "usage: pdb_compare <a.pdb> <b.pdb>   (or --demo)\n");
-    return 2;
-  }
+
   try {
-    const bio::Protein a = bio::parse_pdb_file(argv[1]);
-    const bio::Protein b = bio::parse_pdb_file(argv[2]);
-    print_result(a, b, core::tmalign(a, b));
+    if (!parser.parse(flag_args)) return 0;
+
+    bio::Protein a, b;
+    if (demo) {
+      // Write two related demo structures as proper PDB files, then reload
+      // them through the parser — exercising the same path as user files.
+      bio::Rng rng(7);
+      const bio::Protein parent = bio::make_protein("demo1", 120, rng);
+      const bio::Protein variant = bio::perturb(parent, "demo2", rng);
+      const auto dir = std::filesystem::temp_directory_path() / "rck_pdb_demo";
+      bio::write_pdb_file(parent, dir / "demo1.pdb");
+      bio::write_pdb_file(variant, dir / "demo2.pdb");
+      std::printf("demo PDB files written under %s\n\n", dir.c_str());
+      a = bio::parse_pdb_file(dir / "demo1.pdb");
+      b = bio::parse_pdb_file(dir / "demo2.pdb");
+    } else {
+      if (paths.size() != 2) {
+        std::fprintf(stderr,
+                     "usage: pdb_compare <a.pdb> <b.pdb>   (or --demo; "
+                     "--help lists flags)\n");
+        return 2;
+      }
+      a = bio::parse_pdb_file(paths[0]);
+      b = bio::parse_pdb_file(paths[1]);
+    }
+
+    const core::TmAlignResult detail = core::tmalign(a, b);
+    const QueryResult res =
+        run_query({}, Query::pair(a, b), RunConfig{}.with_slaves(slaves));
+    print_result(a, b, res.hits.at(0), detail);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -9,10 +9,12 @@
 // CK34 family), search the 34-chain database on the simulated SCC under
 // two criteria at once (Algorithm 1 with |M| = 2), and print the ranked
 // hit lists. The query's true family should top the TM-align ranking.
+// This is the Query API's canonical one-vs-all: one rck::Query, one
+// RunConfig, one run_query() call.
 #include <cstdio>
 
 #include "rck/bio/dataset.hpp"
-#include "rck/rckalign/one_vs_all.hpp"
+#include "rck/rck.hpp"
 
 int main() {
   using namespace rck;
@@ -22,36 +24,43 @@ int main() {
   // A novel structure: perturb the globin founder with a fresh seed the
   // database builder never used.
   bio::Rng rng(0xBEEF);
-  const bio::Protein query = bio::perturb(database[0], "query/novel_globin", rng);
+  bio::Protein probe = bio::perturb(database[0], "query/novel_globin", rng);
 
   std::printf("query %s (%zu residues) vs %zu database chains, 2 methods\n",
-              query.name().c_str(), query.size(), database.size());
+              probe.name().c_str(), probe.size(), database.size());
 
-  rckalign::OneVsAllOptions opts;
-  opts.slave_count = 23;
-  opts.methods = {rckalign::Method::TmAlign, rckalign::Method::GaplessRmsd};
-  const rckalign::OneVsAllRun run = rckalign::run_one_vs_all(query, database, opts);
+  const RunConfig cfg =
+      RunConfig{}
+          .with_slaves(23)
+          .with_methods({rckalign::Method::TmAlign,
+                         rckalign::Method::GaplessRmsd});
+  const Query q = Query::one_vs_all(std::move(probe), /*top_k=*/8);
+  const QueryResult res = run_query(database, q, cfg);
 
   std::printf("simulated makespan on the SCC (%d slaves): %.1f s\n\n",
-              opts.slave_count, noc::to_seconds(run.makespan));
+              cfg.slave_count, noc::to_seconds(res.makespan));
 
+  // res.hits is method-major in configuration order, each group already
+  // ranked and truncated to top_k.
   std::printf("top 8 hits by TM-score (normalized by query length):\n");
-  for (std::size_t k = 0; k < 8 && k < run.ranked[0].size(); ++k) {
-    const rckalign::Hit& h = run.ranked[0][k];
-    std::printf("  %2zu. %-22s TM=%.3f rmsd=%5.2f aligned=%u\n", k + 1,
+  std::size_t rank = 0;
+  for (const QueryHit& h : res.hits) {
+    if (h.method != rckalign::Method::TmAlign) continue;
+    std::printf("  %2zu. %-22s TM=%.3f rmsd=%5.2f aligned=%u\n", ++rank,
                 database[h.entry].name().c_str(), h.tm_query, h.rmsd,
                 h.aligned_length);
   }
 
   std::printf("\ntop 8 hits by gapless best-offset RMSD (second criterion):\n");
-  for (std::size_t k = 0; k < 8 && k < run.ranked[1].size(); ++k) {
-    const rckalign::Hit& h = run.ranked[1][k];
-    std::printf("  %2zu. %-22s rmsd=%5.2f aligned=%u\n", k + 1,
+  rank = 0;
+  for (const QueryHit& h : res.hits) {
+    if (h.method != rckalign::Method::GaplessRmsd) continue;
+    std::printf("  %2zu. %-22s rmsd=%5.2f aligned=%u\n", ++rank,
                 database[h.entry].name().c_str(), h.rmsd, h.aligned_length);
   }
 
   // Sanity: the top TM hit should be a globin (the query's family).
-  const std::string& top = database[run.ranked[0][0].entry].name();
+  const std::string& top = database[res.hits.at(0).entry].name();
   std::printf("\nverdict: top hit is %s -> %s\n", top.c_str(),
               top.find("globin") != std::string::npos ? "correct family retrieved"
                                                       : "UNEXPECTED");

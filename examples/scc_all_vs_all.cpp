@@ -10,18 +10,23 @@
 //   scc_all_vs_all --dataset ck34 --slaves 47
 //   scc_all_vs_all --dataset ck34 --slaves 47 --distributed   # NFS baseline
 //   scc_all_vs_all --dataset ck34 --trace-out trace.json      # chrome://tracing
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <exception>
 #include <string>
+#include <vector>
 
 #include "rck/bio/dataset.hpp"
+#include "rck/bio/pdb_io.hpp"
 #include "rck/harness/arg_parser.hpp"
 #include "rck/harness/tables.hpp"
 #include "rck/noc/heatmap.hpp"
 #include "rck/rck.hpp"
 #include "rck/rckalign/distributed.hpp"
 #include "rck/scc/gantt.hpp"
+#include "rck/service/loadgen.hpp"
+#include "rck/service/service.hpp"
 
 using namespace rck;
 
@@ -39,6 +44,11 @@ int main(int argc, char** argv) {
   bool chk_on = false;
   int chk_seed = 0;
   std::string chk_report;
+  std::string query_pdb;
+  int k_vs_all = 0;
+  int top_k = 8;
+  int service_trace = 0;
+  double service_rate = 4.0;
 
   static constexpr std::string_view kDatasets[] = {"tiny", "ck34", "rs119"};
   harness::ArgParser cli(
@@ -66,7 +76,25 @@ int main(int argc, char** argv) {
               "perturb tied-clock scheduling with this seed (implies --chk)")
       .option("chk-report", &chk_report,
               "write the chk race-report JSON here (implies --chk)")
+      .option("query", &query_pdb,
+              "one-vs-all: align this PDB file against the dataset instead "
+              "of running all-vs-all (Query API)")
+      .option("k-vs-all", &k_vs_all,
+              "k-vs-all: derive N seeded probes from the dataset and align "
+              "each against all of it (Query API)")
+      .option("top-k", &top_k,
+              "hits kept per (method, probe) in the query modes")
+      .option("service-trace", &service_trace,
+              "serve N load-generator queries through the alignment service "
+              "and print throughput + latency percentiles")
+      .option("service-rate", &service_rate,
+              "offered load for --service-trace, queries per simulated second")
       .obs_flags(&obs_cfg);
+  // Pre-rename spellings stay alive as aliases for one release.
+  cli.alias("query-pdb", "query")
+      .alias("slave-count", "slaves")
+      .alias("host-parallel", "host-threads")
+      .alias("service-queries", "service-trace");
   try {
     if (!cli.parse(argc, argv)) return 0;
   } catch (const harness::ArgError& e) {
@@ -79,10 +107,98 @@ int main(int argc, char** argv) {
   else if (dataset_name == "ck34") spec = bio::ck34_spec();
   else spec = bio::rs119_spec();
 
+  const std::vector<bio::Protein> dataset = bio::build_dataset(spec);
+
+  // -- query / service modes (Query API; no all-vs-all cache needed) -----
+  if (!query_pdb.empty() || k_vs_all > 0 || service_trace > 0) {
+    RunConfig qcfg;
+    qcfg.with_slaves(slaves)
+        .with_lpt(lpt)
+        .with_batch(batch < 0 ? 0 : static_cast<std::size_t>(batch))
+        .with_host_threads(host_threads == 0
+                               ? scc::HostParallelism::hardware().threads
+                               : host_threads)
+        .with_obs(obs_cfg);
+    if (master_ft) qcfg.with_master_ft();
+    try {
+      if (service_trace > 0) {
+        service::TraceOptions topts;
+        topts.queries = static_cast<std::size_t>(service_trace);
+        topts.rate_qps = service_rate;
+        topts.top_k = static_cast<std::size_t>(top_k);
+        std::vector<Query> trace = service::generate_trace(dataset, topts);
+        service::Service svc(dataset, qcfg);
+        for (Query& q : trace) svc.submit(std::move(q));
+        const std::vector<QueryResult> results = svc.drain();
+
+        std::vector<std::uint64_t> lat;
+        for (const QueryResult& r : results)
+          if (!r.shed) lat.push_back(r.completion - r.arrival);
+        std::sort(lat.begin(), lat.end());
+        const auto pct = [&lat](std::size_t p) -> double {
+          if (lat.empty()) return 0.0;
+          return noc::to_seconds(lat[(lat.size() - 1) * p / 100]);
+        };
+        const service::Stats& st = svc.stats();
+        std::printf("service: %s database (%zu entries, %llu matrix jobs), "
+                    "%d slaves\n",
+                    spec.name.c_str(), svc.size(),
+                    static_cast<unsigned long long>(st.matrix_jobs), slaves);
+        std::printf("  served %llu / shed %llu of %llu queries in %llu "
+                    "rounds (%llu pair jobs)\n",
+                    static_cast<unsigned long long>(st.served),
+                    static_cast<unsigned long long>(st.shed),
+                    static_cast<unsigned long long>(st.submitted),
+                    static_cast<unsigned long long>(st.rounds),
+                    static_cast<unsigned long long>(st.query_jobs));
+        std::printf("  clock %.2f simulated s (busy %.2f s) -> %.2f "
+                    "queries/s\n",
+                    noc::to_seconds(st.clock), noc::to_seconds(st.busy),
+                    st.clock > 0 ? static_cast<double>(st.served) /
+                                       noc::to_seconds(st.clock)
+                                 : 0.0);
+        std::printf("  latency p50 %.3f s, p99 %.3f s\n", pct(50), pct(99));
+        svc.write_obs();
+        if (!obs_cfg.metrics_path.empty())
+          std::printf("service metrics written to %s\n",
+                      obs_cfg.metrics_path.c_str());
+        return 0;
+      }
+
+      Query q;
+      if (!query_pdb.empty()) {
+        q = Query::one_vs_all(bio::parse_pdb_file(query_pdb),
+                              static_cast<std::size_t>(top_k));
+      } else {
+        bio::Rng rng(0xC0FFEE);
+        std::vector<bio::Protein> probes;
+        probes.reserve(static_cast<std::size_t>(k_vs_all));
+        for (int k = 0; k < k_vs_all; ++k)
+          probes.push_back(
+              bio::perturb(dataset[rng() % dataset.size()],
+                           "probe/k" + std::to_string(k), rng));
+        q = Query::k_vs_all(std::move(probes), static_cast<std::size_t>(top_k));
+      }
+      const QueryResult res = run_query(dataset, q, qcfg);
+      std::printf("%s query vs %zu chains: %.2f simulated s, top %d per "
+                  "probe:\n",
+                  std::string(query_kind_name(res.kind)).c_str(),
+                  dataset.size(), noc::to_seconds(res.makespan), top_k);
+      for (const QueryHit& h : res.hits)
+        std::printf("  probe %u  %-22s TM=%.3f rmsd=%5.2f aligned=%u "
+                    "(worker %d)\n",
+                    h.probe, dataset[h.entry].name().c_str(), h.tm_query,
+                    h.rmsd, h.aligned_length, h.worker);
+      return 0;
+    } catch (const Error& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+  }
+
   std::printf("dataset %s: building %d chains and aligning %zu pairs...\n",
               spec.name.c_str(), spec.total_chains(),
               bio::all_vs_all_pairs(static_cast<std::size_t>(spec.total_chains())));
-  const std::vector<bio::Protein> dataset = bio::build_dataset(spec);
   const rckalign::PairCache cache = rckalign::PairCache::build(dataset);
 
   const scc::CoreTimingModel p54c = scc::CoreTimingModel::p54c_800();

@@ -63,9 +63,9 @@ constexpr std::string_view kKnownErrorCodes[] = {
     "rck.core.invalid",     "rck.harness.io",    "rck.harness.table",
     "rck.noc.invalid",      "rck.obs.io",        "rck.obs.misuse",
     "rck.rcce.invalid",     "rck.scc.deadlock",  "rck.scc.fault_stall",
-    "rck.scc.invalid",      "rck.scc.sim",       "rck.skel.batch",
-    "rck.skel.checkpoint",  "rck.skel.farm_failed",
-    "rck.skel.invalid",     "rck.skel.protocol",
+    "rck.scc.invalid",      "rck.scc.sim",       "rck.service.invalid",
+    "rck.service.overload", "rck.skel.batch",    "rck.skel.checkpoint",
+    "rck.skel.farm_failed", "rck.skel.invalid",  "rck.skel.protocol",
 };
 
 bool is_code_char(char c) noexcept {
@@ -323,7 +323,10 @@ void check_error_codes(std::string_view path, std::string_view raw,
 void check_includes(std::string_view path,
                     const std::vector<std::string_view>& raw_lines,
                     const Waivers& waivers, std::vector<Finding>& out) {
+  // src/service sits *above* the umbrella (it consumes rck::Query and
+  // RunConfig), so it owns the include the same way tools do.
   const bool is_umbrella_owner = starts_with(path, "src/rck/") ||
+                                 starts_with(path, "src/service/") ||
                                  starts_with(path, "tools/");
   for (std::size_t li = 0; li < raw_lines.size(); ++li) {
     const int ln = static_cast<int>(li) + 1;

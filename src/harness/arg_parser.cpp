@@ -66,6 +66,18 @@ ArgParser& ArgParser::choice(std::string_view name, std::string* out,
   return *this;
 }
 
+ArgParser& ArgParser::alias(std::string_view alias_name, std::string_view target) {
+  const std::string target_flag = "--" + std::string(target);
+  for (Spec& s : specs_) {
+    if (s.name == target_flag) {
+      s.aliases.push_back("--" + std::string(alias_name));
+      return *this;
+    }
+  }
+  throw ArgError("alias '--" + std::string(alias_name) +
+                 "' targets unregistered flag '" + target_flag + "'");
+}
+
 ArgParser& ArgParser::obs_flags(obs::Config* cfg) {
   option("trace-out", &cfg->trace_path,
          "write a Chrome trace_event JSON here (chrome://tracing, Perfetto)");
@@ -77,20 +89,27 @@ ArgParser& ArgParser::obs_flags(obs::Config* cfg) {
 }
 
 const ArgParser::Spec* ArgParser::find(std::string_view name) const {
-  for (const Spec& s : specs_)
+  for (const Spec& s : specs_) {
     if (s.name == name) return &s;
+    for (const std::string& a : s.aliases)
+      if (a == name) return &s;
+  }
   return nullptr;
 }
 
 std::string ArgParser::suggest(std::string_view arg) const {
   std::string best;
   std::size_t best_d = arg.size();  // a full rewrite is not a typo
-  for (const Spec& s : specs_) {
-    const std::size_t d = edit_distance(arg, s.name);
+  const auto consider = [&](const std::string& candidate) {
+    const std::size_t d = edit_distance(arg, candidate);
     if (d < best_d) {
       best_d = d;
-      best = s.name;
+      best = candidate;
     }
+  };
+  for (const Spec& s : specs_) {
+    consider(s.name);
+    for (const std::string& a : s.aliases) consider(a);
   }
   // Accept only near misses: a third of the name's length, at least 1.
   const std::size_t limit = std::max<std::size_t>(1, best.size() / 3);
@@ -216,7 +235,13 @@ std::string ArgParser::usage() const {
   }
   for (std::size_t k = 0; k < specs_.size(); ++k) {
     os << "  " << heads[k] << std::string(width - heads[k].size() + 2, ' ')
-       << specs_[k].help << "\n";
+       << specs_[k].help;
+    if (!specs_[k].aliases.empty()) {
+      os << " (alias:";
+      for (const std::string& a : specs_[k].aliases) os << " " << a;
+      os << ")";
+    }
+    os << "\n";
   }
   os << "  --help" << std::string(width > 6 ? width - 6 + 2 : 2, ' ')
      << "show this message\n";

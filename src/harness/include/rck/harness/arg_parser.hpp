@@ -45,6 +45,14 @@ class ArgParser {
                     std::span<const std::string_view> choices,
                     std::string_view help);
 
+  /// Register `alias_name` as an alternate spelling of the already
+  /// registered flag `target` (both without the leading "--"). Aliases
+  /// parse exactly like the target — `--alias V`, `--alias=V` — and feed
+  /// the typo suggester; usage() lists them on the target's line. Throws
+  /// ArgError when `target` is not registered yet. Intended for keeping
+  /// deprecated spellings alive across a rename.
+  ArgParser& alias(std::string_view alias_name, std::string_view target);
+
   /// Register the standard observability flags writing into `cfg`:
   ///   --trace-out FILE    Chrome trace_event JSON
   ///   --metrics-out FILE  merged metrics JSON
@@ -74,6 +82,7 @@ class ArgParser {
     void* out = nullptr;
     std::string help;
     std::vector<std::string> choices;
+    std::vector<std::string> aliases;  // alternate "--name" spellings
   };
 
   const Spec* find(std::string_view name) const;

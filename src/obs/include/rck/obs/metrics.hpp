@@ -43,6 +43,18 @@ class ObsIoError : public rck::Error {
 /// below noc in the dependency order, so it spells the type out).
 using Ts = std::uint64_t;
 
+/// Integer-safe JSON number formatting shared by every stable-bytes JSON
+/// emitter in the repo (obs metrics, rck::QueryResult, bench writers):
+/// doubles use %.17g (round-trips exactly, locale-independent for the
+/// values we emit), u64 avoids the double-precision integer cliff entirely.
+/// Equal values produce equal bytes, which is what the byte-identity
+/// contracts (serial vs host-parallel) are built on.
+void append_json_double(std::string& out, double v);
+void append_json_u64(std::string& out, std::uint64_t v);
+/// JSON string literal with the usual escapes (quotes, backslash, control
+/// characters as \u00XX), appended including the surrounding quotes.
+void append_json_escaped(std::string& out, std::string_view s);
+
 enum class Unit : std::uint8_t { None, Ps, Bytes, Cycles, Flits, Jobs };
 
 /// Short stable suffix used in metric JSON ("ps", "bytes", ...).

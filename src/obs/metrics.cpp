@@ -72,9 +72,7 @@ HistId Registry::histogram(std::string_view name, Unit unit) {
   return HistId{intern(histograms_, name, unit, "histogram")};
 }
 
-namespace {
-
-void append_escaped(std::string& out, std::string_view s) {
+void append_json_escaped(std::string& out, std::string_view s) {
   out.push_back('"');
   for (char c : s) {
     switch (c) {
@@ -103,7 +101,7 @@ void append_escaped(std::string& out, std::string_view s) {
   out.push_back('"');
 }
 
-void append_u64(std::string& out, std::uint64_t v) {
+void append_json_u64(std::string& out, std::uint64_t v) {
   char buf[24];
   std::snprintf(buf, sizeof buf, "%" PRIu64, v);
   out += buf;
@@ -111,11 +109,21 @@ void append_u64(std::string& out, std::uint64_t v) {
 
 // Gauges are the one double-valued metric; %.17g round-trips exactly and is
 // locale-independent for the values we emit, keeping the bytes stable.
-void append_double(std::string& out, double v) {
+void append_json_double(std::string& out, double v) {
   char buf[40];
   std::snprintf(buf, sizeof buf, "%.17g", v);
   out += buf;
 }
+
+namespace {
+
+// Local shorthands: the snapshot serializer below predates the public
+// append_json_* names and reads better with the short ones.
+void append_escaped(std::string& out, std::string_view s) {
+  append_json_escaped(out, s);
+}
+void append_u64(std::string& out, std::uint64_t v) { append_json_u64(out, v); }
+void append_double(std::string& out, double v) { append_json_double(out, v); }
 
 }  // namespace
 

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -26,8 +27,10 @@
 #include "rck/error.hpp"
 #include "rck/obs/obs.hpp"
 #include "rck/obs/sink.hpp"
+#include "rck/query.hpp"
 #include "rck/rckalign/app.hpp"
 #include "rck/rckalign/cost_cache.hpp"
+#include "rck/rckalign/pairs.hpp"
 #include "rck/rckskel/skeletons.hpp"
 #include "rck/scc/runtime.hpp"
 
@@ -54,13 +57,32 @@ class ConfigError : public Error {
   std::vector<ConfigIssue> issues_;
 };
 
+/// Admission-control limits for the alignment service (rck::service).
+/// Validated as part of RunConfig::validate() so service misconfiguration
+/// surfaces through the same ConfigError diagnostics as everything else.
+struct ServiceLimits {
+  /// Bounded admission queue: arrivals beyond this many waiting queries
+  /// are shed (loudly — counted, logged, and returned with shed = true).
+  std::size_t queue_capacity = 64;
+  /// Queries coalesced into one farm round, at most.
+  std::size_t max_queries_per_round = 8;
+  /// Escalate shedding from a per-query outcome to OverloadError
+  /// ("rck.service.overload").
+  bool fail_on_shed = false;
+
+  bool operator==(const ServiceLimits&) const = default;
+};
+
 /// The consolidated run configuration. Plain aggregate with chainable
 /// with_*() setters; every field may also be assigned directly.
 struct RunConfig {
   // -- application ------------------------------------------------------
   /// Slave cores (the paper sweeps 1..47); rank 0 is the master.
   int slave_count = 47;
-  rckalign::Method method = rckalign::Method::TmAlign;
+  /// Comparison methods, in ranking-slot order. The all-vs-all rck::run()
+  /// uses exactly one; run_query() and the service fan a query out across
+  /// all of them (Algorithm 1's set M). Must be non-empty.
+  std::vector<rckalign::Method> methods{rckalign::Method::TmAlign};
   /// LPT (longest-first) job ordering; the paper used FIFO.
   bool lpt = false;
   /// Farm grant size: jobs per master->slave round trip. K > 1 batches
@@ -85,6 +107,12 @@ struct RunConfig {
   /// overwritten by `ft` above during lowering).
   rckskel::MasterFtOptions mft{};
 
+  // -- service ----------------------------------------------------------
+  /// Admission control for rck::service::Service; ignored by rck::run()
+  /// and run_query(), but validated unconditionally so one validated
+  /// RunConfig can be handed to any entry point.
+  ServiceLimits service{};
+
   // -- simulation (chip, network, faults, host parallelism) -------------
   scc::RuntimeConfig runtime{};
 
@@ -103,7 +131,12 @@ struct RunConfig {
 
   // -- chainable setters ------------------------------------------------
   RunConfig& with_slaves(int n) { slave_count = n; return *this; }
-  RunConfig& with_method(rckalign::Method m) { method = m; return *this; }
+  RunConfig& with_method(rckalign::Method m) { methods = {m}; return *this; }
+  RunConfig& with_methods(std::vector<rckalign::Method> ms) { methods = std::move(ms); return *this; }
+  RunConfig& with_service(const ServiceLimits& s) { service = s; return *this; }
+  RunConfig& with_queue_capacity(std::size_t n) { service.queue_capacity = n; return *this; }
+  RunConfig& with_max_queries_per_round(std::size_t n) { service.max_queries_per_round = n; return *this; }
+  RunConfig& with_fail_on_shed(bool on = true) { service.fail_on_shed = on; return *this; }
   RunConfig& with_lpt(bool on = true) { lpt = on; return *this; }
   RunConfig& with_batch(std::size_t k) { batch = k; return *this; }
   RunConfig& with_cache(const rckalign::PairCache* c) { cache = c; return *this; }
@@ -132,8 +165,14 @@ struct RunConfig {
   const RunConfig& validated() const;
 
   /// Lower to the legacy options struct (fault_tolerant forced on when the
-  /// fault plan is non-empty; obs copied into runtime.obs).
+  /// fault plan is non-empty; obs copied into runtime.obs). Uses the first
+  /// method — rck::run() rejects multi-method configurations up front.
   rckalign::RckAlignOptions to_options() const;
+
+  /// Lower to the pair-set options consumed by rckalign::run_pairs() —
+  /// the execution layer under run_query() and the alignment service.
+  /// Same obs/chk propagation rules as to_options().
+  rckalign::PairsOptions to_pairs_options() const;
 };
 
 /// run_rckalign's outcome under the umbrella API (alias, not a wrapper: the
@@ -142,5 +181,26 @@ using RunResult = rckalign::RckAlignRun;
 
 /// Validate `cfg`, execute the all-vs-all task, flush configured obs sinks.
 RunResult run(const std::vector<bio::Protein>& dataset, const RunConfig& cfg);
+
+/// Query-shape checks in the RunConfig::validate() idiom: probe counts vs
+/// kind, non-empty probes, database presence for the *-vs-all kinds.
+/// Fields are dotted "query.*" paths. Shared by run_query() and the
+/// service's submit-time admission checks.
+std::vector<ConfigIssue> validate_query(const Query& q,
+                                        std::size_t database_size);
+
+/// Order `hits` method-major (the order of `methods`), probe-minor, each
+/// (method, probe) group ranked by rckalign::outranks and truncated to
+/// `top_k` (0 = unlimited). Shared by run_query() and the service.
+void rank_query_hits(std::vector<QueryHit>& hits,
+                     std::span<const rckalign::Method> methods,
+                     std::size_t top_k);
+
+/// Validate `cfg` and the query shape (throwing ConfigError listing every
+/// issue), execute the query's comparisons over the database through
+/// rckalign::run_pairs(), flush configured obs sinks, and return the
+/// ranked result. The database is untouched; probes ride inside `q`.
+QueryResult run_query(const std::vector<bio::Protein>& database,
+                      const Query& q, const RunConfig& cfg);
 
 }  // namespace rck

@@ -43,6 +43,19 @@ std::vector<ConfigIssue> RunConfig::validate() const {
                   std::to_string(cores) + " cores");
   }
 
+  if (methods.empty()) {
+    bad("methods", "at least one comparison method is required");
+  }
+
+  if (service.queue_capacity < 1) {
+    bad("service.queue_capacity",
+        "must be >= 1 (a zero-capacity queue sheds every query)");
+  }
+  if (service.max_queries_per_round < 1) {
+    bad("service.max_queries_per_round",
+        "must be >= 1 (a round must serve at least one query)");
+  }
+
   if (runtime.host.threads < 1) {
     bad("runtime.host.threads", "must be >= 1 (1 = serial scheduler)");
   }
@@ -169,7 +182,7 @@ rckalign::RckAlignOptions RunConfig::to_options() const {
   opts.runtime = runtime;
   opts.runtime.obs = obs;
   opts.cache = cache;
-  opts.method = method;
+  opts.method = methods.empty() ? rckalign::Method::TmAlign : methods.front();
   opts.lpt = lpt;
   opts.batch = batch;
   opts.fault_tolerant = fault_tolerant || !runtime.faults.empty();
@@ -180,8 +193,33 @@ rckalign::RckAlignOptions RunConfig::to_options() const {
   return opts;
 }
 
+rckalign::PairsOptions RunConfig::to_pairs_options() const {
+  rckalign::PairsOptions opts;
+  opts.slave_count = slave_count;
+  opts.runtime = runtime;
+  opts.runtime.obs = obs;
+  opts.runtime.chk = chk;
+  opts.lpt = lpt;
+  opts.batch = batch;
+  opts.fault_tolerant = fault_tolerant || !runtime.faults.empty();
+  opts.ft = ft;
+  opts.master_ft = master_ft;
+  opts.mft = mft;
+  return opts;
+}
+
 RunResult run(const std::vector<bio::Protein>& dataset, const RunConfig& cfg) {
   cfg.validated();
+  // The all-vs-all matrix is one method per run by construction (the cache,
+  // the CSV schema and the paper's tables are all single-method); a
+  // multi-method config is a query-surface feature, so reject it here with
+  // the same diagnostics shape instead of silently using methods.front().
+  if (cfg.methods.size() > 1) {
+    throw ConfigError({ConfigIssue{
+        "methods",
+        "rck::run() executes exactly one method; use run_query() or the "
+        "service for multi-method fan-out"}});
+  }
   RunResult out = rckalign::run_rckalign(dataset, cfg.to_options());
   obs::flush(out.obs);
   // The report document is written even when clean, so callers (and CI

@@ -28,6 +28,19 @@ bio::Bytes encode_pair_job(std::uint32_t i, std::uint32_t j, Method method,
   return w.take();
 }
 
+bio::Bytes encode_pair_job(std::uint32_t i, std::uint32_t j, Method method,
+                           const bio::Bytes& a_wire, const bio::Bytes& b_wire) {
+  bio::WireWriter w;
+  w.u32(i);
+  w.u32(j);
+  w.u8(static_cast<std::uint8_t>(method));
+  w.u32(static_cast<std::uint32_t>(a_wire.size()));
+  w.raw(a_wire);
+  w.u32(static_cast<std::uint32_t>(b_wire.size()));
+  w.raw(b_wire);
+  return w.take();
+}
+
 PairJobData decode_pair_job(bio::Bytes payload) {
   bio::WireReader r(std::move(payload));
   PairJobData d;

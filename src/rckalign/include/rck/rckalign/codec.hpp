@@ -35,6 +35,13 @@ struct PairJobData {
 
 bio::Bytes encode_pair_job(std::uint32_t i, std::uint32_t j, Method method,
                            const bio::Protein& a, const bio::Protein& b);
+/// Same encoding from pre-serialized structures: `a_wire` / `b_wire` must be
+/// bio::serialize() output for the chains. A long-running caller (the
+/// alignment service) serializes each database entry once at load and reuses
+/// the bytes across every job it appears in; the payload is byte-identical
+/// to the Protein overload.
+bio::Bytes encode_pair_job(std::uint32_t i, std::uint32_t j, Method method,
+                           const bio::Bytes& a_wire, const bio::Bytes& b_wire);
 PairJobData decode_pair_job(bio::Bytes payload);
 
 /// Decoded result payload (what a slave returns to the master).

@@ -18,6 +18,11 @@
 
 namespace rck::rckalign {
 
+/// DEPRECATED option bundle, kept as a thin compatibility surface for one
+/// release: run_one_vs_all() is now a shim over the generic run_pairs()
+/// layer (pairs.hpp). New code should build an rck::Query and go through
+/// rck::run_query() with a validated rck::RunConfig — one config path for
+/// pair, one-vs-all and service submission alike.
 struct OneVsAllOptions {
   int slave_count = 47;
   scc::RuntimeConfig runtime{};
@@ -51,8 +56,26 @@ struct OneVsAllRun {
   noc::NetworkStats network;
 };
 
+/// Ranking keys for one hit; `entry` is the deterministic tie-breaker.
+struct HitKey {
+  double tm_query = 0.0;
+  double seq_identity = 0.0;
+  double rmsd = 0.0;
+  std::uint32_t entry = 0;
+};
+
+/// The per-method ranking rule: does `x` outrank `y`? TM-align and CE rank
+/// by descending query-normalized TM-score, SeqNw by descending sequence
+/// identity, the gapless method by ascending RMSD; ties break by ascending
+/// entry index. Shared by the legacy shim and rck::run_query so both
+/// surfaces order hits identically.
+bool outranks(Method method, const HitKey& x, const HitKey& y) noexcept;
+
 /// Compare `query` against every chain of `database` under every method.
-/// Throws std::invalid_argument on empty inputs or bad slave counts.
+/// Throws AlignError on empty inputs or bad slave counts.
+///
+/// DEPRECATED shim over run_pairs(); prefer rck::run_query(). Kept for one
+/// release — results, ranking and the simulated schedule are unchanged.
 OneVsAllRun run_one_vs_all(const bio::Protein& query,
                            const std::vector<bio::Protein>& database,
                            const OneVsAllOptions& opts);

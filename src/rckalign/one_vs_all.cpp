@@ -1,73 +1,31 @@
 #include "rck/rckalign/one_vs_all.hpp"
 
 #include <algorithm>
-#include <numeric>
-#include <stdexcept>
 
-#include "rck/bio/seq_align.hpp"
-#include "rck/core/ce_align.hpp"
-#include "rck/core/rmsd_method.hpp"
-#include "rck/core/tmalign.hpp"
-#include "rck/rcce/rcce.hpp"
 #include "rck/rckalign/error.hpp"
-#include "rck/rckskel/skeletons.hpp"
-
-#include "pair_exec.hpp"
+#include "rck/rckalign/pairs.hpp"
 
 namespace rck::rckalign {
 
+bool outranks(Method method, const HitKey& x, const HitKey& y) noexcept {
+  if (method == Method::TmAlign || method == Method::CeAlign) {
+    if (x.tm_query != y.tm_query) return x.tm_query > y.tm_query;
+  } else if (method == Method::SeqNw) {
+    if (x.seq_identity != y.seq_identity)
+      return x.seq_identity > y.seq_identity;
+  } else {
+    if (x.rmsd != y.rmsd) return x.rmsd < y.rmsd;
+  }
+  return x.entry < y.entry;
+}
+
 namespace {
 
-/// Slave-side execution: the job's `a` is always the query, `b` the entry;
-/// `i` carries the database index. `tm_ws` is the slave's reusable TM-align
-/// workspace (one per simulated core).
-bio::Bytes execute_query_job(rcce::Comm& comm, const bio::Bytes& payload,
-                             core::TmAlignWorkspace& tm_ws) {
-  PairJobData job = decode_pair_job(payload);
-  const scc::CoreTimingModel& model = comm.ctx().timing();
-  PairOutcome out;
-  out.i = job.i;
-  out.j = 0;
-  out.method = job.method;
-  std::uint64_t cycles = 0;
-  const std::uint64_t footprint =
-      scc::CoreTimingModel::alignment_footprint(job.a.size(), job.b.size());
-  if (job.method == Method::TmAlign) {
-    const core::TmAlignResult& r = core::tmalign(job.a, job.b, tm_ws);
-    out.tm_norm_a = r.tm_norm_a;  // normalized by query: the ranking key
-    out.tm_norm_b = r.tm_norm_b;
-    out.rmsd = r.rmsd;
-    out.seq_identity = r.seq_identity;
-    out.aligned_length = static_cast<std::uint32_t>(r.aligned_length);
-    cycles = model.cycles(r.stats, footprint);
-  } else if (job.method == Method::CeAlign) {
-    const core::CeResult r = core::ce_align(job.a, job.b);
-    out.tm_norm_a = r.tm;
-    out.tm_norm_b = r.tm;
-    out.rmsd = r.rmsd;
-    out.aligned_length = static_cast<std::uint32_t>(r.aligned_length);
-    cycles = model.cycles(r.stats, footprint);
-  } else if (job.method == Method::SeqNw) {
-    const bio::SeqAlignResult r = bio::seq_align(job.a.sequence(), job.b.sequence());
-    out.seq_identity = r.identity();
-    out.aligned_length = static_cast<std::uint32_t>(r.aligned_length);
-    core::AlignStats stats;
-    stats.dp_cells = 3 * r.dp_cells;
-    cycles = model.cycles(stats, footprint);
-  } else {
-    const core::RmsdResult r = core::best_gapless_rmsd(job.a, job.b);
-    out.rmsd = r.rmsd;
-    out.aligned_length = static_cast<std::uint32_t>(r.aligned_length);
-    cycles = model.cycles(r.stats, footprint);
-  }
-  out.work_cycles = cycles;
-  if (const obs::Handle h = comm.obs(); h) {
-    h.add(h.ids().app_pairs);
-    h.add(h.ids().app_kernel_ps,
-          static_cast<std::uint64_t>(model.cycles_to_time(cycles)));
-  }
-  comm.charge_cycles(cycles);
-  return encode_outcome(out);
+void rank_hits_for(Method method, std::vector<Hit>& hits) {
+  std::sort(hits.begin(), hits.end(), [method](const Hit& a, const Hit& b) {
+    return outranks(method, HitKey{a.tm_query, a.seq_identity, a.rmsd, a.entry},
+                    HitKey{b.tm_query, b.seq_identity, b.rmsd, b.entry});
+  });
 }
 
 }  // namespace
@@ -82,95 +40,46 @@ OneVsAllRun run_one_vs_all(const bio::Protein& query,
     throw AlignError("run_one_vs_all: slave_count out of range");
   if (opts.batch == 0) throw AlignError("run_one_vs_all: batch must be >= 1");
 
+  // Structure table: the database in place, the query appended after it.
+  // Each spec aligns the query (chain a — TM-align is asymmetric, and
+  // tm_query must be normalized by query length) onto one entry, per
+  // method, in Algorithm 1's methods-major FIFO order.
+  std::vector<const bio::Protein*> structures;
+  structures.reserve(database.size() + 1);
+  for (const bio::Protein& p : database) structures.push_back(&p);
+  const auto query_index = static_cast<std::uint32_t>(structures.size());
+  structures.push_back(&query);
+
+  std::vector<PairSpec> specs;
+  specs.reserve(opts.methods.size() * database.size());
+  for (const Method method : opts.methods)
+    for (std::uint32_t e = 0; e < database.size(); ++e)
+      specs.push_back(PairSpec{query_index, e, method});
+
+  PairsOptions popts;
+  popts.slave_count = opts.slave_count;
+  popts.runtime = opts.runtime;
+  popts.lpt = opts.lpt;
+  popts.batch = opts.batch;
+  PairsRun pr = run_pairs(structures, specs, popts);
+
   OneVsAllRun run;
+  run.makespan = pr.makespan;
+  run.core_reports = std::move(pr.core_reports);
+  run.network = pr.network;
   run.ranked.resize(opts.methods.size());
-  scc::SpmdRuntime rt(opts.runtime);
-
-  const auto program = [&](scc::CoreCtx& ctx) {
-    rcce::Comm comm(ctx);
-    constexpr int kMaster = 0;
-    if (comm.ue() == kMaster) {
-      // Master loads the query plus the whole database once.
-      std::uint64_t bytes = query.wire_size();
-      for (const bio::Protein& p : database) bytes += p.wire_size();
-      comm.charge_dram_read(bytes);
-
-      // Algorithm 1: for k in M, for i in D -> job (i, query, k).
-      std::vector<rckskel::Job> jobs;
-      jobs.reserve(opts.methods.size() * database.size());
-      std::uint64_t id = 0;
-      for (const Method method : opts.methods) {
-        for (std::uint32_t e = 0; e < database.size(); ++e) {
-          rckskel::Job job;
-          job.id = id++;
-          job.payload = encode_pair_job(e, 0, method, query, database[e]);
-          job.cost_hint = query.size() * database[e].size();
-          jobs.push_back(std::move(job));
-        }
-      }
-
-      std::vector<int> slaves(static_cast<std::size_t>(opts.slave_count));
-      std::iota(slaves.begin(), slaves.end(), 1);
-      rckskel::FarmOptions fopts;
-      fopts.lpt_order = opts.lpt;
-      fopts.batch = opts.batch;
-      const rckskel::Task task = rckskel::Task::make_par(slaves, std::move(jobs));
-      for (rckskel::JobResult& jr : rckskel::farm(comm, task, fopts)) {
-        const PairOutcome o = decode_outcome(std::move(jr.payload));
-        // Locate the method's slot (methods may repeat; take the first).
-        for (std::size_t m = 0; m < opts.methods.size(); ++m) {
-          if (opts.methods[m] != o.method) continue;
-          run.ranked[m].push_back(Hit{o.i, o.method, o.tm_norm_a, o.tm_norm_b,
-                                      o.rmsd, o.seq_identity, o.aligned_length,
-                                      jr.worker});
-          break;
-        }
-      }
-    } else if (opts.batch > 1) {
-      // Query jobs batch exactly like pair jobs: execute_pair_batch's
-      // per-field outcomes match execute_query_job (the query travels as
-      // chain a, the database index as i, j is always 0).
-      core::BatchWorkspace batch_ws;  // per-slave, reused across grants
-      rckskel::farm_slave_batch(
-          comm, kMaster,
-          [&batch_ws](rcce::Comm& c, std::span<const rckskel::Job> jobs,
-                      std::vector<bio::Bytes>& out) {
-            detail::execute_pair_batch(c, jobs, /*cache=*/nullptr, batch_ws,
-                                       out);
-          });
-    } else {
-      core::TmAlignWorkspace tm_ws;  // per-slave: reused across this core's jobs
-      rckskel::farm_slave(comm, kMaster, [&tm_ws](rcce::Comm& c, const bio::Bytes& p) {
-        return execute_query_job(c, p, tm_ws);
-      });
-    }
-  };
-
-  run.makespan = rt.run(opts.slave_count + 1, program);
-  run.core_reports = rt.core_reports();
-  run.network = rt.network_stats();
-
-  // Rank: TM-align hits by descending query-normalized TM-score; the RMSD
-  // method by ascending RMSD. Ties break by database index for determinism.
-  for (std::size_t m = 0; m < opts.methods.size(); ++m) {
-    auto& hits = run.ranked[m];
-    if (opts.methods[m] == Method::TmAlign || opts.methods[m] == Method::CeAlign) {
-      std::sort(hits.begin(), hits.end(), [](const Hit& a, const Hit& b) {
-        if (a.tm_query != b.tm_query) return a.tm_query > b.tm_query;
-        return a.entry < b.entry;
-      });
-    } else if (opts.methods[m] == Method::SeqNw) {
-      std::sort(hits.begin(), hits.end(), [](const Hit& a, const Hit& b) {
-        if (a.seq_identity != b.seq_identity) return a.seq_identity > b.seq_identity;
-        return a.entry < b.entry;
-      });
-    } else {
-      std::sort(hits.begin(), hits.end(), [](const Hit& a, const Hit& b) {
-        if (a.rmsd != b.rmsd) return a.rmsd < b.rmsd;
-        return a.entry < b.entry;
-      });
+  for (const PairsRow& row : pr.rows) {
+    // Locate the method's slot (methods may repeat; take the first).
+    for (std::size_t m = 0; m < opts.methods.size(); ++m) {
+      if (opts.methods[m] != row.method) continue;
+      run.ranked[m].push_back(Hit{row.b, row.method, row.tm_norm_a,
+                                  row.tm_norm_b, row.rmsd, row.seq_identity,
+                                  row.aligned_length, row.worker});
+      break;
     }
   }
+  for (std::size_t m = 0; m < opts.methods.size(); ++m)
+    rank_hits_for(opts.methods[m], run.ranked[m]);
   return run;
 }
 

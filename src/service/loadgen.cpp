@@ -1,0 +1,89 @@
+#include "rck/service/loadgen.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "rck/bio/synthetic.hpp"
+#include "rck/noc/sim_time.hpp"
+#include "rck/service/service.hpp"
+
+namespace rck::service {
+
+namespace {
+
+/// Uniform double in [0, 1) from the top 53 bits of one engine draw — the
+/// repo-wide idiom for platform-independent random doubles.
+double u01(bio::Rng& rng) {
+  return static_cast<double>(rng() >> 11) * 0x1.0p-53;
+}
+
+bio::Protein make_probe(const std::vector<bio::Protein>& database,
+                        bio::Rng& rng, std::uint64_t qid, std::size_t p) {
+  const std::size_t base =
+      static_cast<std::size_t>(rng() % database.size());
+  // Each probe perturbs with its own child engine so probe geometry depends
+  // only on the draws consumed up to here, not on perturb's internal count.
+  bio::Rng child(rng());
+  return bio::perturb(database[base],
+                      "trace/q" + std::to_string(qid) + "p" +
+                          std::to_string(p),
+                      child);
+}
+
+}  // namespace
+
+std::vector<Query> generate_trace(const std::vector<bio::Protein>& database,
+                                  const TraceOptions& opts) {
+  if (database.empty())
+    throw ServiceError("generate_trace needs a non-empty database");
+  if (!(opts.rate_qps > 0.0))
+    throw ServiceError("generate_trace: rate_qps must be > 0");
+  if (opts.pair_weight < 0.0 || opts.one_vs_all_weight < 0.0 ||
+      opts.k_vs_all_weight < 0.0)
+    throw ServiceError("generate_trace: kind weights must be >= 0");
+  const double total_weight =
+      opts.pair_weight + opts.one_vs_all_weight + opts.k_vs_all_weight;
+  if (!(total_weight > 0.0))
+    throw ServiceError("generate_trace: at least one kind weight must be > 0");
+  if (!(opts.k_alpha > 0.0))
+    throw ServiceError("generate_trace: k_alpha must be > 0");
+  if (opts.k_max < 1)
+    throw ServiceError("generate_trace: k_max must be >= 1");
+
+  bio::Rng rng(opts.seed);
+  std::vector<Query> trace;
+  trace.reserve(opts.queries);
+  std::uint64_t arrival = 0;
+  for (std::uint64_t qid = 0; qid < opts.queries; ++qid) {
+    // Exponential interarrival gap at rate_qps (simulated seconds).
+    const double gap_s = -std::log1p(-u01(rng)) / opts.rate_qps;
+    arrival += static_cast<std::uint64_t>(
+        gap_s * static_cast<double>(noc::kPsPerSec));
+
+    const double pick = u01(rng) * total_weight;
+    Query q;
+    if (pick < opts.pair_weight) {
+      bio::Protein a = make_probe(database, rng, qid, 0);
+      bio::Protein b = make_probe(database, rng, qid, 1);
+      q = Query::pair(std::move(a), std::move(b));
+    } else if (pick < opts.pair_weight + opts.one_vs_all_weight) {
+      q = Query::one_vs_all(make_probe(database, rng, qid, 0), opts.top_k);
+    } else {
+      // Truncated Pareto probe count: heavy-tailed, mostly 1-2, rarely k_max.
+      const double draw =
+          1.0 / std::pow(1.0 - u01(rng), 1.0 / opts.k_alpha);
+      const auto k = static_cast<std::uint32_t>(std::min<double>(
+          static_cast<double>(opts.k_max), std::max(1.0, draw)));
+      std::vector<bio::Protein> probes;
+      probes.reserve(k);
+      for (std::uint32_t p = 0; p < k; ++p)
+        probes.push_back(make_probe(database, rng, qid, p));
+      q = Query::k_vs_all(std::move(probes), opts.top_k);
+    }
+    q.at(arrival);
+    trace.push_back(std::move(q));
+  }
+  return trace;
+}
+
+}  // namespace rck::service

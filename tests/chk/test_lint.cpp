@@ -168,9 +168,13 @@ TEST(LintIncludes, LayoutObligations) {
       "include-hygiene"));
   EXPECT_TRUE(has_rule(lint_file("src/scc/x.cpp", "#include \"rck/rck.hpp\"\n"),
                        "include-hygiene"));
-  // The umbrella's own implementation and tools may include it.
+  // The umbrella's own implementation, the service layer above it, and
+  // tools may include it.
   EXPECT_FALSE(has_rule(lint_file("src/rck/run.cpp", "#include \"rck/rck.hpp\"\n"),
                         "include-hygiene"));
+  EXPECT_FALSE(has_rule(
+      lint_file("src/service/service.cpp", "#include \"rck/rck.hpp\"\n"),
+      "include-hygiene"));
   EXPECT_FALSE(has_rule(lint_file("tools/rck_lint.cpp", "#include \"rck/rck.hpp\"\n"),
                         "include-hygiene"));
   // Public rck/... paths and same-directory private headers are fine; angle

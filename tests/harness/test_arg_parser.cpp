@@ -97,6 +97,42 @@ TEST(ArgParser, HelpReturnsFalseAndListsFlags) {
   EXPECT_NE(u.find("--help"), std::string::npos);
 }
 
+TEST(ArgParser, AliasResolvesToTargetInBothValueForms) {
+  int slaves = 0;
+  harness::ArgParser cli("t");
+  cli.option("slaves", &slaves, "slave cores").alias("slave-count", "slaves");
+  EXPECT_TRUE(cli.parse(args({"--slave-count", "7"})));
+  EXPECT_EQ(slaves, 7);
+  EXPECT_TRUE(cli.parse(args({"--slave-count=9"})));
+  EXPECT_EQ(slaves, 9);
+  // The canonical spelling keeps working.
+  EXPECT_TRUE(cli.parse(args({"--slaves", "3"})));
+  EXPECT_EQ(slaves, 3);
+}
+
+TEST(ArgParser, AliasFeedsTypoSuggestions) {
+  int slaves = 0;
+  harness::ArgParser cli("t");
+  cli.option("slaves", &slaves, "slave cores").alias("slave-count", "slaves");
+  try {
+    cli.parse(args({"--slave-cont", "3"}));
+    FAIL() << "expected ArgError";
+  } catch (const harness::ArgError& e) {
+    EXPECT_NE(std::string(e.what()).find("did you mean '--slave-count'"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ArgParser, AliasShowsUpInUsageAndRejectsUnknownTarget) {
+  int slaves = 0;
+  harness::ArgParser cli("t");
+  cli.option("slaves", &slaves, "slave cores").alias("slave-count", "slaves");
+  EXPECT_NE(cli.usage().find("(alias: --slave-count)"), std::string::npos)
+      << cli.usage();
+  EXPECT_THROW(cli.alias("nope", "missing"), harness::ArgError);
+}
+
 TEST(ArgParser, ObsFlagsRouteIntoConfig) {
   obs::Config cfg;
   harness::ArgParser cli("t");

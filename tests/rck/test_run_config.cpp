@@ -104,6 +104,51 @@ TEST(RunConfig, ToOptionsCarriesBatch) {
   EXPECT_EQ(cfg.to_options().batch, 8u);
 }
 
+TEST(RunConfig, RejectsEmptyMethodList) {
+  RunConfig cfg;
+  cfg.methods.clear();
+  EXPECT_TRUE(has_issue(cfg.validate(), "methods"));
+}
+
+TEST(RunConfig, MethodSettersCompose) {
+  RunConfig cfg;
+  cfg.with_method(rckalign::Method::GaplessRmsd);
+  ASSERT_EQ(cfg.methods.size(), 1u);
+  EXPECT_EQ(cfg.methods[0], rckalign::Method::GaplessRmsd);
+
+  cfg.with_methods({rckalign::Method::TmAlign, rckalign::Method::GaplessRmsd});
+  ASSERT_EQ(cfg.methods.size(), 2u);
+  EXPECT_EQ(cfg.methods[0], rckalign::Method::TmAlign);
+  EXPECT_TRUE(cfg.validate().empty());
+}
+
+TEST(RunConfig, RejectsBadServiceLimits) {
+  RunConfig cfg;
+  cfg.with_queue_capacity(0);
+  EXPECT_TRUE(has_issue(cfg.validate(), "service.queue_capacity"));
+
+  RunConfig cfg2;
+  cfg2.with_max_queries_per_round(0);
+  EXPECT_TRUE(has_issue(cfg2.validate(), "service.max_queries_per_round"));
+
+  RunConfig ok;
+  ok.with_queue_capacity(128).with_max_queries_per_round(16).with_fail_on_shed();
+  EXPECT_EQ(ok.service.queue_capacity, 128u);
+  EXPECT_EQ(ok.service.max_queries_per_round, 16u);
+  EXPECT_TRUE(ok.service.fail_on_shed);
+  EXPECT_TRUE(ok.validate().empty());
+}
+
+TEST(RunConfig, ToPairsOptionsCarriesTheKnobs) {
+  RunConfig cfg;
+  cfg.with_slaves(5).with_lpt().with_batch(4).with_host_threads(3);
+  const rckalign::PairsOptions opts = cfg.to_pairs_options();
+  EXPECT_EQ(opts.slave_count, 5);
+  EXPECT_TRUE(opts.lpt);
+  EXPECT_EQ(opts.batch, 4u);
+  EXPECT_EQ(opts.runtime.host.threads, 3);
+}
+
 TEST(RunConfig, RejectsTraceAndMetricsSharingAFile) {
   RunConfig cfg;
   cfg.with_trace("same.json").with_metrics("same.json");

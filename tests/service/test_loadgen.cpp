@@ -1,0 +1,108 @@
+// service::generate_trace — deterministic Poisson/heavy-tail load shape.
+#include "rck/service/loadgen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rck/bio/synthetic.hpp"
+#include "rck/service/service.hpp"
+
+namespace {
+
+using namespace rck;
+
+std::vector<bio::Protein> small_db() {
+  bio::Rng rng(0xDB);
+  std::vector<bio::Protein> db;
+  for (int i = 0; i < 3; ++i)
+    db.push_back(bio::make_protein("db" + std::to_string(i), 24 + 4 * i, rng));
+  return db;
+}
+
+TEST(LoadGen, SameSeedSameTrace) {
+  const auto db = small_db();
+  service::TraceOptions opts;
+  opts.queries = 12;
+  const std::vector<Query> a = service::generate_trace(db, opts);
+  const std::vector<Query> b = service::generate_trace(db, opts);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    EXPECT_EQ(a[k].kind, b[k].kind);
+    EXPECT_EQ(a[k].arrival, b[k].arrival);
+    ASSERT_EQ(a[k].probes.size(), b[k].probes.size());
+    for (std::size_t p = 0; p < a[k].probes.size(); ++p) {
+      EXPECT_EQ(a[k].probes[p].name(), b[k].probes[p].name());
+      EXPECT_EQ(a[k].probes[p].sequence(), b[k].probes[p].sequence());
+    }
+  }
+}
+
+TEST(LoadGen, DifferentSeedsDiverge) {
+  const auto db = small_db();
+  service::TraceOptions a_opts, b_opts;
+  a_opts.queries = b_opts.queries = 8;
+  b_opts.seed = a_opts.seed + 1;
+  const auto a = service::generate_trace(db, a_opts);
+  const auto b = service::generate_trace(db, b_opts);
+  bool any_diff = false;
+  for (std::size_t k = 0; k < a.size(); ++k)
+    any_diff = any_diff || a[k].arrival != b[k].arrival;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(LoadGen, ArrivalsAreNondecreasingAndRateScales) {
+  const auto db = small_db();
+  service::TraceOptions slow, fast;
+  slow.queries = fast.queries = 24;
+  slow.rate_qps = 1.0;
+  fast.rate_qps = 16.0;
+  const auto s = service::generate_trace(db, slow);
+  const auto f = service::generate_trace(db, fast);
+  for (std::size_t k = 1; k < s.size(); ++k)
+    EXPECT_GE(s[k].arrival, s[k - 1].arrival);
+  // 16x the rate compresses the span (same seed, same gap draws scaled).
+  EXPECT_LT(f.back().arrival, s.back().arrival);
+}
+
+TEST(LoadGen, KindWeightsSelectKinds) {
+  const auto db = small_db();
+  service::TraceOptions opts;
+  opts.queries = 16;
+  opts.pair_weight = 0.0;
+  opts.one_vs_all_weight = 1.0;
+  opts.k_vs_all_weight = 0.0;
+  for (const Query& q : service::generate_trace(db, opts)) {
+    EXPECT_EQ(q.kind, QueryKind::OneVsAll);
+    EXPECT_EQ(q.probes.size(), 1u);
+    EXPECT_EQ(q.top_k, opts.top_k);
+  }
+
+  opts.one_vs_all_weight = 0.0;
+  opts.k_vs_all_weight = 1.0;
+  opts.k_max = 3;
+  for (const Query& q : service::generate_trace(db, opts)) {
+    EXPECT_EQ(q.kind, QueryKind::KVsAll);
+    EXPECT_GE(q.probes.size(), 1u);
+    EXPECT_LE(q.probes.size(), 3u);
+  }
+}
+
+TEST(LoadGen, ValidatesInputs) {
+  const auto db = small_db();
+  EXPECT_THROW(service::generate_trace({}, {}), service::ServiceError);
+
+  service::TraceOptions bad_rate;
+  bad_rate.rate_qps = 0.0;
+  EXPECT_THROW(service::generate_trace(db, bad_rate), service::ServiceError);
+
+  service::TraceOptions zero_weights;
+  zero_weights.pair_weight = zero_weights.one_vs_all_weight =
+      zero_weights.k_vs_all_weight = 0.0;
+  EXPECT_THROW(service::generate_trace(db, zero_weights),
+               service::ServiceError);
+
+  service::TraceOptions bad_k;
+  bad_k.k_max = 0;
+  EXPECT_THROW(service::generate_trace(db, bad_k), service::ServiceError);
+}
+
+}  // namespace
