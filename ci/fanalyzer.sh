@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# GCC -fanalyzer leg with a checked-in baseline suppression list.
+#
+# Builds the library targets (src/) plus the tools with the GCC static
+# analyzer enabled and compares the findings — normalized to
+# "<repo-path> [-Wanalyzer-<check>]" pairs, line numbers dropped so
+# unrelated edits don't churn the list — against ci/fanalyzer-baseline.txt.
+# A finding absent from the baseline fails the leg; baseline entries that
+# no longer fire are reported so the list only ever shrinks outside the PR
+# that triages a new finding.
+#
+# Scope is deliberately src/ + tools/: the analyzer's interprocedural pass
+# is slow enough that the gtest-heavy test TUs (and the bench/example
+# drivers) would multiply the leg's wall clock several times over for code
+# that is exercised directly by the test matrix anyway. The long-lived
+# library code is what the baseline polices.
+#
+# Usage:
+#   ci/fanalyzer.sh [build-dir]                # default: build-fanalyzer
+#   ci/fanalyzer.sh [build-dir] --update-baseline
+#
+# The analyzer's C++ support is explicitly experimental (GCC >= 12), which
+# is exactly why the baseline exists: known false positives are pinned
+# there with this script instead of being waived in the source.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="build-fanalyzer"
+UPDATE=0
+for arg in "$@"; do
+  case "$arg" in
+    --update-baseline) UPDATE=1 ;;
+    *) BUILD_DIR="$arg" ;;
+  esac
+done
+BASELINE="$ROOT/ci/fanalyzer-baseline.txt"
+LOG="$BUILD_DIR/fanalyzer-build.log"
+
+cmake -B "$BUILD_DIR" -S "$ROOT" \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DRCK_WERROR=OFF \
+  -DCMAKE_CXX_FLAGS="-fanalyzer" > /dev/null
+
+# Every src/ library plus the tools — kept explicit so a new library
+# must be added here (and will then fail the leg until triaged) rather
+# than silently escaping analysis.
+TARGETS=(repro_bio repro_chk repro_core repro_harness repro_mc repro_noc
+         repro_obs repro_rcce repro_rck repro_rckalign repro_rckskel
+         repro_scc repro_service rck_lint rck_mc)
+
+# Clean compile so every TU is (re)analyzed — an incremental build would
+# hide findings in untouched files.
+cmake --build "$BUILD_DIR" --clean-first -j "$(nproc)" \
+  --target "${TARGETS[@]}" > "$LOG" 2>&1 || {
+  echo "fanalyzer: build failed; log tail:"
+  tail -40 "$LOG"
+  exit 1
+}
+
+observed="$BUILD_DIR/fanalyzer-observed.txt"
+grep -E 'warning: .*\[-Wanalyzer-' "$LOG" \
+  | sed -E "s|^$ROOT/||" \
+  | sed -E 's|^([^:]+):[0-9]+(:[0-9]+)?: warning: .*(\[-Wanalyzer-[a-z0-9-]+\])$|\1 \3|' \
+  | grep -E '^(src|tools)/' \
+  | sort -u > "$observed" || true
+
+if [ "$UPDATE" = 1 ]; then
+  cp "$observed" "$BASELINE"
+  echo "fanalyzer: baseline updated ($(wc -l < "$BASELINE") entries)"
+  exit 0
+fi
+
+touch "$BASELINE"
+new="$(comm -13 <(sort -u "$BASELINE") "$observed")"
+fixed="$(comm -23 <(sort -u "$BASELINE") "$observed")"
+
+if [ -n "$fixed" ]; then
+  echo "fanalyzer: baseline entries that no longer fire (prune them):"
+  echo "$fixed" | sed 's/^/  /'
+fi
+if [ -n "$new" ]; then
+  echo "fanalyzer: NEW findings not in ci/fanalyzer-baseline.txt:"
+  echo "$new" | sed 's/^/  /'
+  echo "fanalyzer: triage each one — fix it, or add the pair to the"
+  echo "fanalyzer: baseline in the same PR with a rationale in the PR text"
+  exit 1
+fi
+echo "fanalyzer: clean vs baseline ($(wc -l < "$observed") known finding-pairs)"

@@ -44,6 +44,10 @@ int main(int argc, char** argv) {
   bool chk_on = false;
   int chk_seed = 0;
   std::string chk_report;
+  bool mc_on = false;
+  int mc_bound = 4096;
+  std::string mc_replay_path;
+  std::string mc_witness_path;
   std::string query_pdb;
   int k_vs_all = 0;
   int top_k = 8;
@@ -76,6 +80,16 @@ int main(int argc, char** argv) {
               "perturb tied-clock scheduling with this seed (implies --chk)")
       .option("chk-report", &chk_report,
               "write the chk race-report JSON here (implies --chk)")
+      .flag("mc", &mc_on,
+            "bounded systematic exploration of same-instant schedule ties "
+            "with protocol-invariant checking (exit 3 on a violation)")
+      .option("mc-bound", &mc_bound,
+              "max schedules explored by --mc (0 = exhaustive)")
+      .option("mc-replay", &mc_replay_path,
+              "replay a saved rck-mc-witness-v1 JSON deterministically "
+              "instead of exploring (implies --mc)")
+      .option("mc-witness", &mc_witness_path,
+              "write the first violating schedule's witness here")
       .option("query", &query_pdb,
               "one-vs-all: align this PDB file against the dataset instead "
               "of running all-vs-all (Query API)")
@@ -241,6 +255,45 @@ int main(int argc, char** argv) {
   if (chk_on) cfg.with_chk();
   if (chk_seed != 0) cfg.with_chk_seed(static_cast<std::uint64_t>(chk_seed));
   if (!chk_report.empty()) cfg.with_chk_report(chk_report);
+
+  if (mc_on || !mc_replay_path.empty()) {
+    cfg.with_mc()
+        .with_mc_bound(mc_bound < 0 ? 0 : static_cast<std::uint64_t>(mc_bound))
+        .with_mc_witness(mc_witness_path)
+        .with_mc_replay(mc_replay_path)
+        .with_mc_label(dataset_name + "/" +
+                       (master_ft ? "master-ft"
+                                  : (batch > 1 ? "batch" : "plain-farm")));
+    McOutcome out;
+    try {
+      out = mc_replay_path.empty() ? mc_explore(dataset, cfg)
+                                   : mc_replay(dataset, cfg);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+    std::printf("mc: %s %llu schedule(s), max %zu decision points, "
+                "canonical matrix digest 0x%llx\n",
+                mc_replay_path.empty()
+                    ? (out.exhausted ? "explored all" : "explored")
+                    : "replayed",
+                static_cast<unsigned long long>(out.schedules),
+                out.max_decisions,
+                static_cast<unsigned long long>(out.canonical_digest));
+    if (out.violation) {
+      std::printf("mc: VIOLATION of %s at schedule %llu: %s\n",
+                  out.violation->invariant.c_str(),
+                  static_cast<unsigned long long>(out.witness.schedule),
+                  out.violation->detail.c_str());
+      if (!mc_witness_path.empty())
+        std::printf("mc: witness written to %s (re-run with --mc-replay)\n",
+                    mc_witness_path.c_str());
+      return 3;
+    }
+    std::printf("mc: every explored schedule satisfied the invariant suite "
+                "and reproduced the canonical matrix\n");
+    return 0;
+  }
 
   RunResult run;
   try {

@@ -6,7 +6,8 @@
 //
 //   determinism      no wall-clock / PRNG / iteration-order leaks inside the
 //                    simulation libraries (src/scc, src/noc, src/rcce,
-//                    src/rckskel, src/chk)
+//                    src/rckskel, src/chk, src/mc — replayable exploration
+//                    needs the same guarantee the simulator gives)
 //   throw-taxonomy   every `throw` in src/ + tools/ constructs an
 //                    *Error-suffixed class (the rck::Error taxonomy with
 //                    dotted codes) or is a bare rethrow
@@ -20,6 +21,11 @@
 //                    through the umbrella layout) or same-directory private
 //                    headers; no `../` paths; only src/rck may include the
 //                    rck/rck.hpp umbrella
+//   layering         the include DAG between src libraries: every direct
+//                    rck/... include edge must appear in the explicit
+//                    allowed-edges table (src/chk/lint.cpp, kLayerEdges) or
+//                    the registered-exception list — bio/core never see the
+//                    simulator, sim layers never reach the umbrella/service
 //
 // The engine works on a comment/string-stripped view of each file (a real
 // tokenizer pass, not raw grep), so banned names inside comments or string
@@ -55,5 +61,10 @@ std::vector<Finding> lint_file(std::string_view repo_rel_path,
 /// Blank comments and string/char-literal bodies (keeping the quote marks
 /// and all newlines) so line-based rules see code only. Exposed for tests.
 std::string strip(std::string_view content);
+
+/// Render findings as a stable JSON array of {rule, path, line, message}
+/// objects in lint_file order — the payload behind `rck_lint --json` and
+/// the machine-readable half of the CI analysis leg.
+std::string to_json(const std::vector<Finding>& findings);
 
 }  // namespace rck::chk::lint

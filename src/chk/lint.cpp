@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <map>
 #include <set>
 
@@ -61,11 +62,13 @@ constexpr std::string_view kKnownErrorCodes[] = {
     "rck.bio.wire",         "rck.chk.io",        "rck.chk.misuse",
     "rck.chk.race",         "rck.cli.args",      "rck.config.invalid",
     "rck.core.invalid",     "rck.harness.io",    "rck.harness.table",
-    "rck.noc.invalid",      "rck.obs.io",        "rck.obs.misuse",
-    "rck.rcce.invalid",     "rck.scc.deadlock",  "rck.scc.fault_stall",
-    "rck.scc.invalid",      "rck.scc.sim",       "rck.service.invalid",
-    "rck.service.overload", "rck.skel.batch",    "rck.skel.checkpoint",
-    "rck.skel.farm_failed", "rck.skel.invalid",  "rck.skel.protocol",
+    "rck.mc.io",            "rck.mc.misuse",     "rck.mc.replay",
+    "rck.mc.witness",       "rck.noc.invalid",   "rck.obs.io",
+    "rck.obs.misuse",       "rck.rcce.invalid",  "rck.scc.deadlock",
+    "rck.scc.fault_stall",  "rck.scc.invalid",   "rck.scc.sim",
+    "rck.service.invalid",  "rck.service.overload", "rck.skel.batch",
+    "rck.skel.checkpoint",  "rck.skel.farm_failed", "rck.skel.invalid",
+    "rck.skel.protocol",
 };
 
 bool is_code_char(char c) noexcept {
@@ -75,7 +78,7 @@ bool is_code_char(char c) noexcept {
 bool in_determinism_scope(std::string_view path) {
   return starts_with(path, "src/scc/") || starts_with(path, "src/noc/") ||
          starts_with(path, "src/rcce/") || starts_with(path, "src/rckskel/") ||
-         starts_with(path, "src/chk/");
+         starts_with(path, "src/chk/") || starts_with(path, "src/mc/");
 }
 
 bool is_hot_path(std::string_view path) {
@@ -360,6 +363,147 @@ void check_includes(std::string_view path,
   }
 }
 
+/// The library layering DAG: every *direct* rck/... include edge a src
+/// library is allowed to take. Edges not listed here are layering
+/// violations. Two edges are implicit and never listed: a library may
+/// include its own headers, and everyone may include src/common (the shared
+/// rck::Error taxonomy in rck/error.hpp). The intent (see DESIGN.md,
+/// "Layering"): bio/core are pure compute and must never see the simulator
+/// (scc/noc) or the skeletons; the simulation layers must never reach up
+/// into the rck umbrella or src/service; only the umbrella and service sit
+/// on top of everything.
+struct LayerEdge {
+  std::string_view from;
+  std::string_view to;
+};
+
+constexpr LayerEdge kLayerEdges[] = {
+    // Compute stack: kernels over protein data, nothing else.
+    {"core", "bio"},
+    // Simulator stack: NoC model over observability; SCC runtime over the
+    // NoC, the race checker, the model-checking hooks, and the compute data
+    // types it ships across the (simulated) wires.
+    {"noc", "obs"},
+    {"scc", "bio"},
+    {"scc", "chk"},
+    {"scc", "mc"},
+    {"scc", "noc"},
+    {"scc", "obs"},
+    // Programming layers over the simulator.
+    {"rcce", "bio"},
+    {"rcce", "scc"},
+    {"rckskel", "bio"},
+    {"rckskel", "noc"},
+    {"rckskel", "rcce"},
+    // The application: TM-align farmed over the skeletons.
+    {"rckalign", "bio"},
+    {"rckalign", "core"},
+    {"rckalign", "noc"},
+    {"rckalign", "rcce"},
+    {"rckalign", "rckskel"},
+    {"rckalign", "scc"},
+    // Bench/CLI support utilities sit above the application.
+    {"harness", "bio"},
+    {"harness", "obs"},
+    {"harness", "rckalign"},
+    // src/service consumes the public rck:: surface (Query, RunConfig) the
+    // same way tools do, so it owns the umbrella edge.
+    {"service", "bio"},
+    {"service", "core"},
+    {"service", "noc"},
+    {"service", "obs"},
+    {"service", "rck"},
+    // The umbrella re-exports (almost) everything below it.
+    {"rck", "bio"},
+    {"rck", "chk"},
+    {"rck", "core"},
+    {"rck", "mc"},
+    {"rck", "noc"},
+    {"rck", "obs"},
+    {"rck", "rckalign"},
+    {"rck", "rckskel"},
+    {"rck", "scc"},
+};
+
+/// Registered file-level exceptions: (file, include) pairs outside the DAG
+/// that are deliberate. Each entry carries its rationale here; adding one
+/// means defending it in the PR that adds it.
+struct LayerException {
+  std::string_view file;
+  std::string_view include;
+};
+
+constexpr LayerException kLayerExceptions[] = {
+    // scc's timing model reuses the running-stats accumulator from
+    // core — a leaf numeric helper, not the alignment kernels. The
+    // simulator takes no other core dependency.
+    {"src/scc/include/rck/scc/timing.hpp", "rck/core/stats.hpp"},
+};
+
+/// Library that owns `path`, e.g. "src/scc/runtime.cpp" -> "scc". Empty for
+/// anything outside src/.
+std::string_view src_lib(std::string_view path) {
+  if (!starts_with(path, "src/")) return {};
+  const std::string_view rest = path.substr(4);
+  const std::size_t slash = rest.find('/');
+  return slash == std::string_view::npos ? std::string_view{}
+                                         : rest.substr(0, slash);
+}
+
+/// Library a public include path resolves to. Top-level headers follow the
+/// umbrella layout: rck/error.hpp is src/common, everything else at the top
+/// level (rck.hpp, query.hpp) is the rck umbrella itself.
+std::string_view include_lib(std::string_view inc) {
+  if (!starts_with(inc, "rck/")) return {};
+  const std::string_view rest = inc.substr(4);
+  const std::size_t slash = rest.find('/');
+  if (slash == std::string_view::npos)
+    return rest == "error.hpp" ? std::string_view("common")
+                               : std::string_view("rck");
+  return rest.substr(0, slash);
+}
+
+bool layer_edge_allowed(std::string_view from, std::string_view to) {
+  if (to.empty() || to == from || to == "common") return true;
+  for (const LayerEdge& e : kLayerEdges)
+    if (e.from == from && e.to == to) return true;
+  return false;
+}
+
+bool layer_exception(std::string_view file, std::string_view inc) {
+  for (const LayerException& e : kLayerExceptions)
+    if (e.file == file && e.include == inc) return true;
+  return false;
+}
+
+void check_layering(std::string_view path,
+                    const std::vector<std::string_view>& raw_lines,
+                    const Waivers& waivers, std::vector<Finding>& out) {
+  const std::string_view from = src_lib(path);
+  if (from.empty()) return;
+  for (std::size_t li = 0; li < raw_lines.size(); ++li) {
+    const int ln = static_cast<int>(li) + 1;
+    const std::string_view line = raw_lines[li];
+    const std::size_t h = line.find("#include");
+    if (h == std::string_view::npos) continue;
+    const std::size_t q0 = line.find('"', h);
+    if (q0 == std::string_view::npos) continue;
+    const std::size_t q1 = line.find('"', q0 + 1);
+    if (q1 == std::string_view::npos) continue;
+    const std::string_view inc = line.substr(q0 + 1, q1 - q0 - 1);
+    const std::string_view to = include_lib(inc);
+    if (layer_edge_allowed(from, to)) continue;
+    if (layer_exception(path, inc)) continue;
+    if (waivers.allows(ln, "layering")) continue;
+    out.push_back({std::string(path), ln, "layering",
+                   "src/" + std::string(from) + " must not include \"" +
+                       std::string(inc) + "\": edge " + std::string(from) +
+                       " -> " + std::string(to) +
+                       " is not in the layering DAG (allowed-edges table in "
+                       "src/chk/lint.cpp; register an exception or restructure)"});
+  }
+}
+
 }  // namespace
 
 std::string strip(std::string_view content) {
@@ -469,6 +613,7 @@ std::vector<std::string> rules_for(std::string_view repo_rel_path) {
   rules.emplace_back("error-codes");
   if (is_hot_path(repo_rel_path)) rules.emplace_back("hot-path-alloc");
   rules.emplace_back("include-hygiene");
+  if (starts_with(repo_rel_path, "src/")) rules.emplace_back("layering");
   return rules;
 }
 
@@ -496,10 +641,52 @@ std::vector<Finding> lint_file(std::string_view repo_rel_path,
     check_hot_path(repo_rel_path, code_lines, waivers, out);
   if (has("include-hygiene"))
     check_includes(repo_rel_path, raw_lines, waivers, out);
+  if (has("layering"))
+    check_layering(repo_rel_path, raw_lines, waivers, out);
 
   std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
     return a.line != b.line ? a.line < b.line : a.rule < b.rule;
   });
+  return out;
+}
+
+namespace {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_json(const std::vector<Finding>& findings) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "  {\"rule\": \"" + json_escape(f.rule) + "\", \"path\": \"" +
+           json_escape(f.file) + "\", \"line\": " + std::to_string(f.line) +
+           ", \"message\": \"" + json_escape(f.message) + "\"}";
+  }
+  out += findings.empty() ? "]\n" : "\n]\n";
   return out;
 }
 

@@ -1,0 +1,79 @@
+// Replayable schedule witnesses, format "rck-mc-witness-v1".
+//
+// A witness pins down one explored schedule — the exact decision vector the
+// session took — together with the violation it produced, as a small JSON
+// document:
+//
+//   {
+//     "format": "rck-mc-witness-v1",
+//     "config": "master-ft",
+//     "schedule": 12,
+//     "invariant": "lease_safety",
+//     "detail": "job granted to ue 2 while ...",
+//     "decisions": [
+//       {"kind": "core", "n": 3, "chosen": 1},
+//       {"kind": "event", "n": 2, "chosen": 0}
+//     ]
+//   }
+//
+// Re-running the same configuration with a strict Session built from
+// `decisions` (see rck::mc_replay) reproduces the violating schedule
+// deterministically. The writer and the minimal recursive-descent parser
+// below are inverses: parse(to_json(w)) == w for every representable witness
+// (property-tested in tests/mc/test_mc_witness.cpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rck/error.hpp"
+#include "rck/mc/mc.hpp"
+
+namespace rck::mc {
+
+/// Malformed, truncated or wrong-format witness document.
+class WitnessError : public Error {
+ public:
+  explicit WitnessError(const std::string& message)
+      : Error("rck.mc.witness", message) {}
+};
+
+/// Witness file I/O failure (open/read/write).
+class WitnessIoError : public Error {
+ public:
+  explicit WitnessIoError(const std::string& message)
+      : Error("rck.mc.io", message) {}
+};
+
+struct Witness {
+  /// Free-form configuration label chosen by the driver ("plain-farm", ...).
+  std::string config;
+  /// Zero-based index of the violating schedule in exploration order.
+  std::uint64_t schedule = 0;
+  /// Violated invariant name and detail (see mc::Violation).
+  std::string invariant;
+  std::string detail;
+  /// The full decision vector of the violating schedule.
+  std::vector<Step> steps;
+
+  friend bool operator==(const Witness& a, const Witness& b) noexcept {
+    return a.config == b.config && a.schedule == b.schedule &&
+           a.invariant == b.invariant && a.detail == b.detail &&
+           a.steps == b.steps;
+  }
+};
+
+/// Serialize to the v1 JSON document (trailing newline included).
+std::string to_json(const Witness& witness);
+
+/// Parse a v1 JSON document. Throws WitnessError on malformed input or a
+/// format tag other than "rck-mc-witness-v1".
+Witness parse_witness(std::string_view json);
+
+/// File convenience wrappers; throw WitnessIoError on I/O failure.
+void save_witness(const Witness& witness, const std::string& path);
+Witness load_witness(const std::string& path);
+
+}  // namespace rck::mc

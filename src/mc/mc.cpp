@@ -1,0 +1,320 @@
+#include "rck/mc/mc.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rck::mc {
+
+const char* to_string(DecisionKind kind) noexcept {
+  switch (kind) {
+    case DecisionKind::CoreTie:
+      return "core";
+    case DecisionKind::EventTie:
+      return "event";
+  }
+  return "?";
+}
+
+const char* to_string(ProtoKind kind) noexcept {
+  switch (kind) {
+    case ProtoKind::Grant:
+      return "grant";
+    case ProtoKind::Exec:
+      return "exec";
+    case ProtoKind::ResultSent:
+      return "result_sent";
+    case ProtoKind::ResultAccept:
+      return "result_accept";
+    case ProtoKind::ResultDup:
+      return "result_dup";
+    case ProtoKind::Checkpoint:
+      return "checkpoint";
+    case ProtoKind::CheckpointRecv:
+      return "checkpoint_recv";
+    case ProtoKind::Takeover:
+      return "takeover";
+    case ProtoKind::Restore:
+      return "restore";
+    case ProtoKind::LeaseExpire:
+      return "lease_expire";
+  }
+  return "?";
+}
+
+std::uint64_t fnv1a(const void* data, std::size_t len,
+                    std::uint64_t seed) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// Session
+
+Session::Session(std::vector<std::uint32_t> prefix)
+    : prefix_(std::move(prefix)) {}
+
+Session::Session(std::vector<Step> script)
+    : script_(std::move(script)), strict_(true) {}
+
+std::uint32_t Session::choose(DecisionKind kind, std::uint32_t n) {
+  if (finished_) {
+    throw McError("decision requested after Session::finish()");
+  }
+  if (n < 2) {
+    throw McError("decision point with fewer than two alternatives");
+  }
+  const std::size_t index = decisions_.size();
+  if (index >= decision_limit) {
+    std::ostringstream os;
+    os << "decision count exceeded the runaway limit (" << decision_limit
+       << "); the configuration is too large for bounded exploration";
+    throw McError(os.str());
+  }
+  std::uint32_t chosen = 0;
+  if (strict_) {
+    if (index >= script_.size()) {
+      std::ostringstream os;
+      os << "replay diverged: run requested decision " << index
+         << " but the witness scripts only " << script_.size();
+      throw ReplayError(os.str());
+    }
+    const Step& want = script_[index];
+    if (want.kind != kind || want.n != n) {
+      std::ostringstream os;
+      os << "replay diverged at decision " << index << ": witness scripts "
+         << to_string(want.kind) << "/" << want.n << ", run reached "
+         << to_string(kind) << "/" << n;
+      throw ReplayError(os.str());
+    }
+    chosen = want.chosen;
+  } else if (index < prefix_.size()) {
+    chosen = prefix_[index];
+  }
+  if (chosen >= n) {
+    std::ostringstream os;
+    os << "decision " << index << " selects alternative " << chosen
+       << " of " << n;
+    if (strict_) {
+      throw ReplayError(os.str());
+    }
+    throw McError(os.str());
+  }
+  decisions_.push_back(Decision{Step{kind, n, chosen}, /*independent=*/false});
+  return chosen;
+}
+
+std::uint32_t Session::choose_core_tie(const std::vector<int>& ranks) {
+  const std::uint32_t chosen =
+      choose(DecisionKind::CoreTie, static_cast<std::uint32_t>(ranks.size()));
+  // Tentatively independent: the verdict flips to dependent as soon as any
+  // watched segment reports shared effects (segment() below).
+  decisions_.back().independent = true;
+  const std::size_t index = decisions_.size() - 1;
+  for (int rank : ranks) {
+    watches_[rank].push_back(index);
+  }
+  return chosen;
+}
+
+std::uint32_t Session::choose_event_tie(std::uint32_t n, bool independent) {
+  const std::uint32_t chosen = choose(DecisionKind::EventTie, n);
+  decisions_.back().independent = independent;
+  return chosen;
+}
+
+void Session::segment(int rank, bool local) {
+  auto it = watches_.find(rank);
+  if (it == watches_.end() || it->second.empty()) {
+    return;  // quantum not watched by any pending CoreTie node
+  }
+  const std::size_t index = it->second.front();
+  it->second.erase(it->second.begin());
+  if (!local) {
+    decisions_[index].independent = false;
+  }
+}
+
+void Session::proto(ProtoKind kind, int core, std::uint64_t a, std::uint64_t b,
+                    std::uint64_t ts) {
+  log_.push_back(ProtoEvent{kind, core, a, b, ts});
+}
+
+void Session::finish() {
+  // Unconsumed watches mean the core never ran another quantum after the
+  // tie (crashed or finished) — vacuously local, so leave the verdicts.
+  finished_ = true;
+  watches_.clear();
+}
+
+void Session::verify_replay_complete() const {
+  if (!strict_) {
+    throw McError("verify_replay_complete() on a non-replay session");
+  }
+  if (decisions_.size() != script_.size()) {
+    std::ostringstream os;
+    os << "replay diverged: run made " << decisions_.size()
+       << " decisions, witness scripts " << script_.size();
+    throw ReplayError(os.str());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Explorer
+
+bool Explorer::advance(const std::vector<Decision>& decisions) {
+  ++explored_;
+  // Deepest node with an untried sibling that is not pruned as independent.
+  std::size_t pivot = decisions.size();
+  for (std::size_t i = decisions.size(); i-- > 0;) {
+    const Decision& d = decisions[i];
+    if (!d.independent && d.step.chosen + 1 < d.step.n) {
+      pivot = i;
+      break;
+    }
+  }
+  if (pivot == decisions.size()) {
+    exhausted_ = true;
+    return false;
+  }
+  if (bound_ != 0 && explored_ >= bound_) {
+    return false;  // tree not exhausted; the bound stopped us
+  }
+  prefix_.resize(pivot + 1);
+  for (std::size_t i = 0; i < pivot; ++i) {
+    prefix_[i] = decisions[i].step.chosen;
+  }
+  prefix_[pivot] = decisions[pivot].step.chosen + 1;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Protocol invariants
+
+namespace {
+
+struct JobState {
+  /// Slave ue holding an open lease, or -1.
+  std::int64_t lease_holder = -1;
+  /// Core currently executing (Exec seen, ResultSent not yet), or -1.
+  int executor = -1;
+  /// Job completed from the master's point of view (accepted or restored).
+  bool done = false;
+};
+
+std::string describe(const ProtoEvent& ev) {
+  std::ostringstream os;
+  os << to_string(ev.kind) << "(a=" << ev.a << ", b=" << ev.b << ") on core "
+     << ev.core << " at t=" << ev.ts;
+  return os.str();
+}
+
+}  // namespace
+
+std::optional<Violation> check_protocol_log(
+    const std::vector<ProtoEvent>& log) {
+  std::map<std::uint64_t, JobState> jobs;
+  std::uint64_t last_checkpoint_seq = 0;
+  std::uint64_t max_received_seq = 0;
+  auto violation = [&](std::size_t i, const char* invariant,
+                       const std::string& why) {
+    return Violation{invariant, why + " [" + describe(log[i]) + "]", i};
+  };
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    const ProtoEvent& ev = log[i];
+    switch (ev.kind) {
+      case ProtoKind::Grant: {
+        JobState& j = jobs[ev.a];
+        if (j.done) {
+          return violation(i, "no_reexec",
+                           "job granted again after it completed");
+        }
+        if (j.lease_holder >= 0) {
+          std::ostringstream os;
+          os << "job granted to ue " << ev.b << " while ue " << j.lease_holder
+             << " still holds a live lease";
+          return violation(i, "lease_safety", os.str());
+        }
+        j.lease_holder = static_cast<std::int64_t>(ev.b);
+        break;
+      }
+      case ProtoKind::Exec: {
+        JobState& j = jobs[ev.a];
+        if (j.executor >= 0 && j.executor != ev.core) {
+          std::ostringstream os;
+          os << "core " << ev.core << " started executing while core "
+             << j.executor << " is still mid-execution of the same job";
+          return violation(i, "lease_safety", os.str());
+        }
+        j.executor = ev.core;
+        break;
+      }
+      case ProtoKind::ResultSent: {
+        JobState& j = jobs[ev.a];
+        if (j.executor == ev.core) {
+          j.executor = -1;
+        }
+        break;
+      }
+      case ProtoKind::ResultAccept: {
+        JobState& j = jobs[ev.a];
+        if (j.done) {
+          return violation(i, "no_reexec",
+                           "a second result accepted for a completed job");
+        }
+        j.done = true;
+        j.lease_holder = -1;
+        break;
+      }
+      case ProtoKind::ResultDup:
+        break;  // discarding a duplicate is the protocol working as intended
+      case ProtoKind::Checkpoint: {
+        if (ev.a <= last_checkpoint_seq) {
+          std::ostringstream os;
+          os << "checkpoint sequence " << ev.a
+             << " does not advance past " << last_checkpoint_seq;
+          return violation(i, "checkpoint_monotonic", os.str());
+        }
+        last_checkpoint_seq = ev.a;
+        break;
+      }
+      case ProtoKind::CheckpointRecv:
+        max_received_seq = std::max(max_received_seq, ev.a);
+        break;
+      case ProtoKind::Takeover: {
+        if (ev.a < max_received_seq) {
+          std::ostringstream os;
+          os << "takeover restored checkpoint sequence " << ev.a
+             << " although sequence " << max_received_seq
+             << " had been received";
+          return violation(i, "checkpoint_monotonic", os.str());
+        }
+        // The promoted master's view is the restored checkpoint: work that
+        // completed after it was taken may legitimately re-execute, and the
+        // dead master's leases are void. Reset; the Restore events that
+        // follow re-mark the checkpointed jobs as done.
+        jobs.clear();
+        last_checkpoint_seq = 0;
+        break;
+      }
+      case ProtoKind::Restore: {
+        JobState& j = jobs[ev.a];
+        j.done = true;
+        j.lease_holder = -1;
+        break;
+      }
+      case ProtoKind::LeaseExpire: {
+        JobState& j = jobs[ev.a];
+        j.lease_holder = -1;
+        break;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace rck::mc

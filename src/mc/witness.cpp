@@ -1,0 +1,321 @@
+#include "rck/mc/witness.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace rck::mc {
+
+namespace {
+
+constexpr std::string_view kFormat = "rck-mc-witness-v1";
+
+void append_escaped(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+// Minimal recursive-descent JSON reader, just enough for the witness
+// grammar: objects, arrays, strings with the escapes the writer emits,
+// and unsigned integers. The repo ships no JSON library on purpose
+// (DESIGN.md, "Dependencies"), and the grammar here is fixed.
+class Reader {
+ public:
+  explicit Reader(std::string_view text) : text_(text) {}
+
+  void expect(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string string() {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      fail("expected string");
+    }
+    ++pos_;
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) {
+        fail("unterminated string");
+      }
+      char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        fail("dangling escape");
+      }
+      char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            fail("truncated \\u escape");
+          }
+          unsigned value = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            value <<= 4;
+            if (h >= '0' && h <= '9') {
+              value |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              value |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              value |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad \\u escape");
+            }
+          }
+          if (value > 0x7f) {
+            fail("\\u escape beyond ASCII (the writer never emits these)");
+          }
+          out.push_back(static_cast<char>(value));
+          break;
+        }
+        default:
+          fail("unknown escape");
+      }
+    }
+  }
+
+  std::uint64_t integer() {
+    skip_ws();
+    if (pos_ >= text_.size() ||
+        !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      fail("expected integer");
+    }
+    std::uint64_t value = 0;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      const std::uint64_t digit =
+          static_cast<std::uint64_t>(text_[pos_] - '0');
+      if (value > (UINT64_MAX - digit) / 10) {
+        fail("integer overflow");
+      }
+      value = value * 10 + digit;
+      ++pos_;
+    }
+    return value;
+  }
+
+  void end() {
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing content after document");
+    }
+  }
+
+  [[noreturn]] void fail(const std::string& why) {
+    std::ostringstream os;
+    os << "witness parse error at offset " << pos_ << ": " << why;
+    throw WitnessError(os.str());
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+DecisionKind parse_kind(Reader& r, const std::string& name) {
+  if (name == "core") {
+    return DecisionKind::CoreTie;
+  }
+  if (name == "event") {
+    return DecisionKind::EventTie;
+  }
+  r.fail("decision kind must be \"core\" or \"event\"");
+}
+
+}  // namespace
+
+std::string to_json(const Witness& witness) {
+  std::string out;
+  out += "{\n  \"format\": ";
+  append_escaped(out, kFormat);
+  out += ",\n  \"config\": ";
+  append_escaped(out, witness.config);
+  out += ",\n  \"schedule\": " + std::to_string(witness.schedule);
+  out += ",\n  \"invariant\": ";
+  append_escaped(out, witness.invariant);
+  out += ",\n  \"detail\": ";
+  append_escaped(out, witness.detail);
+  out += ",\n  \"decisions\": [";
+  for (std::size_t i = 0; i < witness.steps.size(); ++i) {
+    const Step& s = witness.steps[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"kind\": \"";
+    out += to_string(s.kind);
+    out += "\", \"n\": " + std::to_string(s.n);
+    out += ", \"chosen\": " + std::to_string(s.chosen) + "}";
+  }
+  out += witness.steps.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+Witness parse_witness(std::string_view json) {
+  Reader r(json);
+  Witness w;
+  bool saw_format = false;
+  r.expect('{');
+  if (r.consume('}')) {
+    r.end();
+    throw WitnessError("witness document lacks a \"format\" tag");
+  }
+  while (true) {
+    const std::string key = r.string();
+    r.expect(':');
+    if (key == "format") {
+      const std::string fmt = r.string();
+      if (fmt != kFormat) {
+        throw WitnessError("unsupported witness format \"" + fmt + "\"");
+      }
+      saw_format = true;
+    } else if (key == "config") {
+      w.config = r.string();
+    } else if (key == "schedule") {
+      w.schedule = r.integer();
+    } else if (key == "invariant") {
+      w.invariant = r.string();
+    } else if (key == "detail") {
+      w.detail = r.string();
+    } else if (key == "decisions") {
+      r.expect('[');
+      if (!r.consume(']')) {
+        while (true) {
+          Step step;
+          r.expect('{');
+          while (true) {
+            const std::string field = r.string();
+            r.expect(':');
+            if (field == "kind") {
+              step.kind = parse_kind(r, r.string());
+            } else if (field == "n") {
+              step.n = static_cast<std::uint32_t>(r.integer());
+            } else if (field == "chosen") {
+              step.chosen = static_cast<std::uint32_t>(r.integer());
+            } else {
+              r.fail("unknown decision field \"" + field + "\"");
+            }
+            if (!r.consume(',')) {
+              break;
+            }
+          }
+          r.expect('}');
+          w.steps.push_back(step);
+          if (!r.consume(',')) {
+            break;
+          }
+        }
+        r.expect(']');
+      }
+    } else {
+      r.fail("unknown witness field \"" + key + "\"");
+    }
+    if (!r.consume(',')) {
+      break;
+    }
+  }
+  r.expect('}');
+  r.end();
+  if (!saw_format) {
+    throw WitnessError("witness document lacks a \"format\" tag");
+  }
+  return w;
+}
+
+void save_witness(const Witness& witness, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw WitnessIoError("cannot open witness file for writing: " + path);
+  }
+  out << to_json(witness);
+  out.flush();
+  if (!out) {
+    throw WitnessIoError("failed writing witness file: " + path);
+  }
+}
+
+Witness load_witness(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw WitnessIoError("cannot open witness file: " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) {
+    throw WitnessIoError("failed reading witness file: " + path);
+  }
+  return parse_witness(buf.str());
+}
+
+}  // namespace rck::mc

@@ -6,10 +6,11 @@
 
 namespace rck::noc {
 
-std::uint64_t EventQueue::schedule_at(SimTime t, Callback fn, int target) {
+std::uint64_t EventQueue::schedule_at(SimTime t, Callback fn, int target,
+                                      EventClass cls) {
   if (t < now_) throw NocError("EventQueue: scheduling into the past");
   const std::uint64_t seq = next_seq_++;
-  heap_.push(Event{t, seq, target, std::move(fn)});
+  events_.emplace(std::make_pair(t, seq), Stored{target, cls, std::move(fn)});
   if (target < 0) {
     untargeted_.insert(t);
   } else {
@@ -28,26 +29,54 @@ SimTime EventQueue::earliest_for(int id) const noexcept {
   return best;
 }
 
-void EventQueue::run_one() {
-  if (heap_.empty()) throw NocError("EventQueue: run_one on empty queue");
-  // priority_queue::top returns const&; move out via const_cast is UB-adjacent,
-  // so copy the callback handle (std::function copy) — events are small.
-  Event ev = heap_.top();
-  heap_.pop();
-  if (ev.target < 0) {
-    untargeted_.erase(untargeted_.find(ev.t));
-  } else {
-    const auto it = by_target_.find(ev.target);
-    it->second.erase(it->second.find(ev.t));
+std::size_t EventQueue::tie_count() const noexcept {
+  if (events_.empty()) return 0;
+  const SimTime head = events_.begin()->first.first;
+  std::size_t n = 0;
+  for (auto it = events_.begin();
+       it != events_.end() && it->first.first == head; ++it) {
+    ++n;
   }
-  now_ = ev.t;
+  return n;
+}
+
+void EventQueue::tied(std::vector<TieRef>& out) const {
+  out.clear();
+  if (events_.empty()) return;
+  const SimTime head = events_.begin()->first.first;
+  for (auto it = events_.begin();
+       it != events_.end() && it->first.first == head; ++it) {
+    out.push_back(TieRef{it->first.second, it->second.target, it->second.cls});
+  }
+}
+
+void EventQueue::run_nth(std::size_t k) {
+  if (events_.empty()) throw NocError("EventQueue: run_one on empty queue");
+  auto it = events_.begin();
+  const SimTime head = it->first.first;
+  for (std::size_t i = 0; i < k; ++i) {
+    ++it;
+    if (it == events_.end() || it->first.first != head) {
+      throw NocError("EventQueue: run_nth index beyond the head tie group");
+    }
+  }
+  auto node = events_.extract(it);
+  const SimTime t = node.key().first;
+  Stored& ev = node.mapped();
+  if (ev.target < 0) {
+    untargeted_.erase(untargeted_.find(t));
+  } else {
+    const auto bt = by_target_.find(ev.target);
+    bt->second.erase(bt->second.find(t));
+  }
+  now_ = t;
   ++fired_;
   ev.fn();
 }
 
 std::size_t EventQueue::run(SimTime until) {
   std::size_t n = 0;
-  while (!heap_.empty() && heap_.top().t <= until) {
+  while (!events_.empty() && events_.begin()->first.first <= until) {
     run_one();
     ++n;
   }

@@ -89,7 +89,7 @@ SimTime Network::send(int src, int dst, std::uint64_t bytes, SimTime depart,
   }
   queue_.schedule_at(
       arrival, [cb = std::move(on_delivered), arrival] { cb(arrival); },
-      delivery_target);
+      delivery_target, EventClass::Delivery);
   return arrival;
 }
 

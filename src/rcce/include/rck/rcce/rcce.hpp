@@ -120,6 +120,12 @@ class Comm {
     ctx_->chk_note(src, dst, site, id);
   }
 
+  /// Protocol-event probe for the model checker's invariant log (no-op when
+  /// the run has no mc session; never advances simulated time).
+  void mc_proto(mc::ProtoKind kind, std::uint64_t a, std::uint64_t b = 0) {
+    ctx_->mc_proto(kind, a, b);
+  }
+
   /// Access the underlying core context (timing model, chip geometry).
   scc::CoreCtx& ctx() noexcept { return *ctx_; }
   const scc::CoreCtx& ctx() const noexcept { return *ctx_; }

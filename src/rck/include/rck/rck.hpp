@@ -25,6 +25,8 @@
 
 #include "rck/chk/chk.hpp"
 #include "rck/error.hpp"
+#include "rck/mc/mc.hpp"
+#include "rck/mc/witness.hpp"
 #include "rck/obs/obs.hpp"
 #include "rck/obs/sink.hpp"
 #include "rck/query.hpp"
@@ -71,6 +73,26 @@ struct ServiceLimits {
   bool fail_on_shed = false;
 
   bool operator==(const ServiceLimits&) const = default;
+};
+
+/// Bounded systematic schedule exploration (rck::mc) switches, consumed by
+/// rck::mc_explore() / rck::mc_replay(). Like chk, an active mc session
+/// forces the serial scheduler, and the canonical (all-zeros) schedule is
+/// bit-identical to an mc-off run.
+struct McConfig {
+  /// Master switch for mc_explore(); rck::run() ignores it.
+  bool enable = false;
+  /// Maximum number of schedules explored (0 = no bound: run until the
+  /// pruned schedule tree is exhausted, however long that takes).
+  std::uint64_t bound = 4096;
+  /// Non-empty: replay this saved witness instead of exploring.
+  std::string replay_path;
+  /// Non-empty: save the first violating schedule's witness here.
+  std::string witness_path;
+  /// Free-form label stamped into witnesses ("plain-farm", "master-ft", ...).
+  std::string config_label;
+
+  bool operator==(const McConfig&) const = default;
 };
 
 /// The consolidated run configuration. Plain aggregate with chainable
@@ -129,6 +151,10 @@ struct RunConfig {
   /// alignments, obs bytes) to a chk-disabled one.
   chk::Config chk{};
 
+  /// Systematic schedule exploration (rck::mc) switches; used by
+  /// rck::mc_explore() / rck::mc_replay(), ignored by rck::run().
+  McConfig mc{};
+
   // -- chainable setters ------------------------------------------------
   RunConfig& with_slaves(int n) { slave_count = n; return *this; }
   RunConfig& with_method(rckalign::Method m) { methods = {m}; return *this; }
@@ -154,6 +180,12 @@ struct RunConfig {
   RunConfig& with_chk(bool on = true) { chk.enable = on; return *this; }
   RunConfig& with_chk_seed(std::uint64_t seed) { chk.schedule_seed = seed; return *this; }
   RunConfig& with_chk_report(std::string path) { chk.report_path = std::move(path); return *this; }
+  RunConfig& with_mc(bool on = true) { mc.enable = on; return *this; }
+  RunConfig& with_mc_bound(std::uint64_t n) { mc.bound = n; return *this; }
+  RunConfig& with_mc_replay(std::string path) { mc.replay_path = std::move(path); return *this; }
+  RunConfig& with_mc_witness(std::string path) { mc.witness_path = std::move(path); return *this; }
+  RunConfig& with_mc_label(std::string label) { mc.config_label = std::move(label); return *this; }
+  RunConfig& with_protocol_mutant(rckskel::ProtocolMutant m) { ft.mutant = m; return *this; }
 
   /// Check the whole configuration; empty result = valid. Dataset-dependent
   /// checks (cache/dataset match, >= 2 chains) stay in run_rckalign, which
@@ -181,6 +213,42 @@ using RunResult = rckalign::RckAlignRun;
 
 /// Validate `cfg`, execute the all-vs-all task, flush configured obs sinks.
 RunResult run(const std::vector<bio::Protein>& dataset, const RunConfig& cfg);
+
+/// Outcome of one bounded exploration (or replay) of `cfg`'s schedule tree.
+struct McOutcome {
+  /// Schedules actually run (1 for a replay).
+  std::uint64_t schedules = 0;
+  /// True when the pruned schedule tree was fully explored (the run was
+  /// exhaustive); false when cfg.mc.bound stopped it early.
+  bool exhausted = false;
+  /// Deepest decision vector seen across all runs.
+  std::size_t max_decisions = 0;
+  /// FNV-1a digest of the canonical (serial, all-zeros) schedule's result
+  /// matrix; every other schedule must reproduce it bit-identically.
+  std::uint64_t canonical_digest = 0;
+  /// First violation found, if any; empty = every explored schedule clean.
+  std::optional<mc::Violation> violation;
+  /// Replayable witness of the violating schedule (meaningful only when
+  /// `violation` is set; also saved to cfg.mc.witness_path when given).
+  mc::Witness witness;
+};
+
+/// Systematically explore same-instant scheduling choices of the simulated
+/// run: depth-first over CoreTie/EventTie decision points with sleep-set
+/// pruning of independent choices, at most cfg.mc.bound schedules. Every
+/// schedule's protocol-event log is checked against the invariant suite
+/// (lease safety, no re-execution, checkpoint monotonicity), the run must
+/// complete (deadlock freedom), and its result matrix must be bit-identical
+/// to the canonical schedule's. Requires cfg.mc.enable.
+McOutcome mc_explore(const std::vector<bio::Protein>& dataset,
+                     const RunConfig& cfg);
+
+/// Deterministically re-run one witnessed schedule (cfg.mc.replay_path) and
+/// re-derive its violation. Throws mc::ReplayError when the run diverges
+/// from the scripted decision vector — i.e. the witness does not belong to
+/// this configuration/dataset.
+McOutcome mc_replay(const std::vector<bio::Protein>& dataset,
+                    const RunConfig& cfg);
 
 /// Query-shape checks in the RunConfig::validate() idiom: probe counts vs
 /// kind, non-empty probes, database presence for the *-vs-all kinds.

@@ -167,6 +167,19 @@ std::vector<ConfigIssue> RunConfig::validate() const {
         "would clobber it");
   }
 
+  if (!mc.witness_path.empty() &&
+      (mc.witness_path == obs.trace_path || mc.witness_path == obs.metrics_path ||
+       mc.witness_path == chk.report_path)) {
+    bad("mc.witness_path",
+        "mc.witness_path collides with another output path; the witness "
+        "would clobber it");
+  }
+  if (!mc.replay_path.empty() && mc.replay_path == mc.witness_path) {
+    bad("mc.replay_path",
+        "replaying a witness onto itself (replay_path == witness_path) "
+        "would overwrite the document being replayed");
+  }
+
   return issues;
 }
 

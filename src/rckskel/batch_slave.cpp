@@ -54,12 +54,14 @@ void farm_slave_batch(rcce::Comm& comm, int master_ue,
         jobs[0].payload = std::move(msg.payload);
         jobs[0].cost_hint = 0;
         out.clear();
+        comm.mc_proto(mc::ProtoKind::Exec, jobs[0].id);
         worker(comm, jobs, out);
         if (out.size() != 1)
           throw SkelBatchError(
               "farm_slave_batch: worker returned " +
               std::to_string(out.size()) + " results for a 1-job grant");
         comm.send(master_ue, encode_result(jobs[0].id, out[0]));
+        comm.mc_proto(mc::ProtoKind::ResultSent, jobs[0].id);
         if (h) {
           const noc::SimTime t1 = comm.ctx().now();
           h.span(obs::Lane::Core, h.ids().n_job, t0, t1, jobs[0].id);
@@ -71,6 +73,7 @@ void farm_slave_batch(rcce::Comm& comm, int master_ue,
         const noc::SimTime t0 = comm.ctx().now();
         decode_batch_jobs(msg.payload, jobs);
         out.clear();
+        for (const Job& job : jobs) comm.mc_proto(mc::ProtoKind::Exec, job.id);
         worker(comm, jobs, out);
         if (out.size() != jobs.size())
           throw SkelBatchError(
@@ -78,6 +81,8 @@ void farm_slave_batch(rcce::Comm& comm, int master_ue,
               std::to_string(out.size()) + " results for a grant of " +
               std::to_string(jobs.size()));
         comm.send(master_ue, encode_batch_result(jobs, out));
+        for (const Job& job : jobs)
+          comm.mc_proto(mc::ProtoKind::ResultSent, job.id);
         if (h) {
           const noc::SimTime t1 = comm.ctx().now();
           for (const Job& job : jobs) {

@@ -200,6 +200,32 @@ void farm_slave_batch(rcce::Comm& comm, int master_ue,
 // loss and the implicated job re-sent. The farm completes all jobs as long
 // as at least one slave allowed to run them survives.
 
+/// Deliberately broken protocol variants for the model checker's mutant
+/// catalogue (see DESIGN.md "Systematic exploration" and tools/rck_mc).
+/// Each mutant re-introduces a realistic protocol bug that rck::mc must
+/// catch with a distinct invariant violation; production runs always use
+/// None. The mutants change *protocol decisions only* — message framing and
+/// job execution are untouched — so a mutant run that happens to complete
+/// still produces decodable results.
+enum class ProtocolMutant : std::uint8_t {
+  None = 0,
+  /// The master "forgets" to size the lease to the job — every lease covers
+  /// only a quarter of the estimated compute — and its retry path avoids
+  /// the slave whose lease just expired. Expired jobs therefore sit in the
+  /// retry queue while the original slave finishes them, and are granted
+  /// again after completion (a no_reexec violation; schedules where the
+  /// migrated copy starts first surface as a lease_safety executor overlap
+  /// instead).
+  DropLeaseRenewal = 1,
+  /// The master grants a job's first dispatch to two slaves at once (a
+  /// second Grant while the first lease is open — a lease_safety violation).
+  DoubleGrant = 2,
+  /// The standby keeps the *first* checkpoint it ever received instead of
+  /// the newest: a takeover restores a stale sequence (a
+  /// checkpoint_monotonic violation, and completed jobs may re-run).
+  StaleCheckpointTakeover = 3,
+};
+
 /// Options controlling farm_ft / farm_slave_ft.
 struct FaultTolerantFarmOptions {
   FarmOptions base{};
@@ -223,6 +249,8 @@ struct FaultTolerantFarmOptions {
   /// whose master dies switches to the standby (re-sending READY) instead of
   /// returning; the master-ft protocol replicates checkpoints to this UE.
   int standby_ue = -1;
+  /// Seeded protocol bug for model-checking validation; None in production.
+  ProtocolMutant mutant = ProtocolMutant::None;
 };
 
 /// Recovery bookkeeping returned by farm_ft. Deterministic: the same

@@ -219,6 +219,9 @@ std::vector<JobResult> farm(rcce::Comm& comm, const Task& task, const FarmOption
                         g.jobs.begin() + static_cast<std::ptrdiff_t>(g.next + n));
             comm.send(slaves[si], encode_batch(pack));
           }
+          for (std::size_t k = 0; k < n; ++k)
+            comm.mc_proto(mc::ProtoKind::Grant, g.jobs[g.next + k]->id,
+                          static_cast<std::uint64_t>(slaves[si]));
           if (h) {
             for (std::size_t k = 0; k < n; ++k) {
               const Job& job = *g.jobs[g.next + k];
@@ -264,6 +267,8 @@ std::vector<JobResult> farm(rcce::Comm& comm, const Task& task, const FarmOption
         h.async_end(obs::Lane::Farm, h.ids().n_job, now, msg.job_id);
         h.observe(h.ids().farm_job_latency_ps, now - dispatch_at[si]);
       }
+      comm.mc_proto(mc::ProtoKind::ResultAccept, msg.job_id,
+                    static_cast<std::uint64_t>(ue));
       results.push_back(JobResult{msg.job_id, ue, std::move(msg.payload)});
       ++g.completed;
       ++completed;
@@ -283,6 +288,8 @@ std::vector<JobResult> farm(rcce::Comm& comm, const Task& task, const FarmOption
           h.async_end(obs::Lane::Farm, h.ids().n_job, now, res.id);
           h.observe(h.ids().farm_job_latency_ps, now - dispatch_at[si]);
         }
+        comm.mc_proto(mc::ProtoKind::ResultAccept, res.id,
+                      static_cast<std::uint64_t>(ue));
         results.push_back(std::move(res));
       }
       g.completed += batch_res.size();
@@ -382,8 +389,10 @@ void farm_slave(rcce::Comm& comm, int master_ue, const Worker& worker,
     switch (msg.type) {
       case MsgType::Job: {
         const noc::SimTime t0 = comm.ctx().now();
+        comm.mc_proto(mc::ProtoKind::Exec, msg.job_id);
         bio::Bytes out = worker(comm, msg.payload);
         comm.send(master_ue, encode_result(msg.job_id, out));
+        comm.mc_proto(mc::ProtoKind::ResultSent, msg.job_id);
         if (h) {
           const noc::SimTime t1 = comm.ctx().now();
           h.span(obs::Lane::Core, h.ids().n_job, t0, t1, msg.job_id);
@@ -582,6 +591,7 @@ std::vector<JobResult> run_ft_engine(rcce::Comm& comm, const Task& task,
     pending[t.group].push_front(ti);  // retry before untouched work
   };
 
+  bool double_granted = false;  // the DoubleGrant mutant fires once
   const auto try_dispatch = [&]() {
     bool progress = true;
     while (progress) {
@@ -594,8 +604,19 @@ std::vector<JobResult> run_ft_engine(rcce::Comm& comm, const Task& task,
           if (g.seq && g.inflight) continue;
           if (!group_complete(groups, g.after)) continue;
           if (std::find(g.ues.begin(), g.ues.end(), slaves[si]) == g.ues.end()) continue;
-          const std::size_t ti = pending[gi].front();
-          pending[gi].pop_front();
+          std::size_t pi = 0;
+          if (opts.mutant == ProtocolMutant::DropLeaseRenewal) {
+            // Part of the seeded bug: the retry path shuns the slave whose
+            // lease just expired, so the expired job waits for a different
+            // slave — and overlaps the still-running original executor.
+            while (pi < pending[gi].size() &&
+                   tracked[pending[gi][pi]].slave == static_cast<int>(si))
+              ++pi;
+            if (pi == pending[gi].size()) continue;
+          }
+          const std::size_t ti = pending[gi][pi];
+          pending[gi].erase(pending[gi].begin() +
+                            static_cast<std::ptrdiff_t>(pi));
           Tracked& t = tracked[ti];
           ++t.attempts;
           ++rep.attempts;
@@ -615,13 +636,39 @@ std::vector<JobResult> run_ft_engine(rcce::Comm& comm, const Task& task,
             throw FarmFailedError("farm_ft: job " + std::to_string(t.job->id) +
                                      " exceeded max_attempts");
           comm.send(slaves[si], encode_job(*t.job));
+          comm.mc_proto(mc::ProtoKind::Grant, t.job->id,
+                        static_cast<std::uint64_t>(slaves[si]));
           t.slave = static_cast<int>(si);
           t.dispatched_at = comm.ctx().now();
           t.lease_deadline = t.dispatched_at + lease_for(t);
           if (!rehomed[si]) t.lease_deadline += opts.master_silence_timeout;
+          if (opts.mutant == ProtocolMutant::DropLeaseRenewal) {
+            // Seeded bug: the margin/slack/backoff renewal is dropped — the
+            // lease covers only a quarter of the estimated compute, so it
+            // expires while the slave is still mid-execution and the job is
+            // regranted behind a live executor's back.
+            t.lease_deadline =
+                t.dispatched_at +
+                std::max<noc::SimTime>(
+                    comm.ctx().timing().cycles_to_time(t.job->cost_hint) / 4,
+                    1);
+          }
           outstanding[si].push_back(t.job->id);
           slave_job[si] = static_cast<int>(ti);
           if (g.seq) g.inflight = true;
+          if (opts.mutant == ProtocolMutant::DoubleGrant && !double_granted) {
+            // Seeded bug: the same job is also sent to another free live
+            // slave, but the lease table is not updated — the master forgets
+            // the extra grant entirely.
+            for (std::size_t sj = 0; sj < slaves.size(); ++sj) {
+              if (sj == si || !alive[sj] || slave_job[sj] != -1) continue;
+              comm.send(slaves[sj], encode_job(*t.job));
+              comm.mc_proto(mc::ProtoKind::Grant, t.job->id,
+                            static_cast<std::uint64_t>(slaves[sj]));
+              double_granted = true;
+              break;
+            }
+          }
           if (h) {
             h.add(h.ids().farm_jobs);
             // One async lifecycle span per job id: opened by the first
@@ -663,6 +710,7 @@ std::vector<JobResult> run_ft_engine(rcce::Comm& comm, const Task& task,
       Tracked& t = tracked[it->second];
       if (t.done) continue;
       t.done = true;
+      comm.mc_proto(mc::ProtoKind::Restore, res.id);
       ++completed;
       ++groups[t.group].completed;
       results.push_back(res);
@@ -705,6 +753,7 @@ std::vector<JobResult> run_ft_engine(rcce::Comm& comm, const Task& task,
         ck.attempts.push_back(
             {t.job->id, static_cast<std::uint32_t>(t.attempts)});
     comm.send(standby, encode_checkpoint(encode_checkpoint_state(ck)));
+    comm.mc_proto(mc::ProtoKind::Checkpoint, ck.seq);
     if (h) {
       h.add(h.ids().farm_checkpoints);
       h.instant(obs::Lane::Farm, h.ids().n_checkpoint, comm.ctx().now(),
@@ -791,9 +840,13 @@ std::vector<JobResult> run_ft_engine(rcce::Comm& comm, const Task& task,
       Tracked& t = tracked[it->second];
       if (t.done) {
         ++rep.duplicate_results;  // a slow slave beaten by its replacement
+        comm.mc_proto(mc::ProtoKind::ResultDup, msg.job_id,
+                      static_cast<std::uint64_t>(ue));
         continue;
       }
       t.done = true;
+      comm.mc_proto(mc::ProtoKind::ResultAccept, msg.job_id,
+                    static_cast<std::uint64_t>(ue));
       ++completed;
       FlatGroup& g = groups[t.group];
       ++g.completed;
@@ -830,6 +883,8 @@ std::vector<JobResult> run_ft_engine(rcce::Comm& comm, const Task& task,
         ++rep.lease_expiries;
         rep.wasted += t_now - t.dispatched_at;
         comm.chk_note(slaves[si], comm.ue(), "farm_ft.lease_expiry", t.job->id);
+        comm.mc_proto(mc::ProtoKind::LeaseExpire, t.job->id,
+                      static_cast<std::uint64_t>(slaves[si]));
         if (h) {
           h.add(h.ids().farm_lease_expiries);
           h.instant(obs::Lane::Farm, h.ids().n_lease_expiry, t_now, t.job->id);
@@ -904,7 +959,15 @@ std::optional<std::vector<JobResult>> farm_standby(
     if (msg.type == MsgType::Checkpoint) {
       try {
         FarmCheckpoint ck = decode_checkpoint_state(msg.payload);
-        if (!have || ck.seq >= best.seq) {
+        comm.mc_proto(mc::ProtoKind::CheckpointRecv, ck.seq);
+        // StaleCheckpointTakeover is a seeded bug: only the very first
+        // snapshot is retained, so a takeover resumes from a checkpoint
+        // older than ones this standby demonstrably received.
+        const bool keep =
+            opts.ft.mutant == ProtocolMutant::StaleCheckpointTakeover
+                ? !have
+                : (!have || ck.seq >= best.seq);
+        if (keep) {
           best = std::move(ck);
           have = true;
         }
@@ -921,6 +984,7 @@ std::optional<std::vector<JobResult>> farm_standby(
   const noc::SimTime detected = comm.ctx().now();
   comm.chk_note(master_ue, comm.ue(), "farm_ft.failover",
                 have ? best.seq : 0);
+  comm.mc_proto(mc::ProtoKind::Takeover, have ? best.seq : 0);
   if (h)
     h.instant(obs::Lane::Farm, h.ids().n_failover, detected,
               static_cast<std::uint64_t>(master_ue));
@@ -966,8 +1030,10 @@ void farm_slave_ft(rcce::Comm& comm, int master_ue, const Worker& worker,
     switch (msg.type) {
       case MsgType::Job: {
         const noc::SimTime t0 = comm.ctx().now();
+        comm.mc_proto(mc::ProtoKind::Exec, msg.job_id);
         bio::Bytes out = worker(comm, msg.payload);
         comm.send(master, encode_result(msg.job_id, out));
+        comm.mc_proto(mc::ProtoKind::ResultSent, msg.job_id);
         if (h) {
           const noc::SimTime t1 = comm.ctx().now();
           h.span(obs::Lane::Core, h.ids().n_job, t0, t1, msg.job_id);

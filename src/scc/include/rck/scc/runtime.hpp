@@ -40,6 +40,7 @@
 #include "rck/bio/serialize.hpp"
 #include "rck/chk/chk.hpp"
 #include "rck/error.hpp"
+#include "rck/mc/mc.hpp"
 #include "rck/noc/event_queue.hpp"
 #include "rck/noc/network.hpp"
 #include "rck/obs/obs.hpp"
@@ -230,6 +231,14 @@ struct RuntimeConfig {
   /// windows would buy nothing; simulated results are identical either
   /// way). A clean chk run stays bit-identical to a chk-off run.
   chk::Config chk{};
+  /// Model-checking session (see DESIGN.md "Systematic exploration"). Null
+  /// by default. When set, the serial scheduler is forced (like chk) and
+  /// every same-instant scheduling tie — ready cores at equal virtual time,
+  /// events due at the same instant — becomes a decision the session
+  /// resolves and records. The all-zeros decision vector reproduces the
+  /// canonical serial schedule exactly, so a session that always picks 0
+  /// leaves every simulated result bit-identical to an mc-off run.
+  std::shared_ptr<mc::Session> mc{};
 };
 
 /// One recorded activity interval of a core (when tracing is enabled).
@@ -356,6 +365,12 @@ class CoreCtx {
   /// Record a protocol annotation (lease expiry, job reassignment) on flow
   /// (src -> dst); shows up in race reports' flag chains, creates no edge.
   void chk_note(int src, int dst, std::string_view site, std::uint64_t id = 0);
+
+  /// Append a protocol event to the model-checking session's invariant log
+  /// (no-op when RuntimeConfig::mc is null; never advances simulated time).
+  /// The emitting core and its current virtual time are recorded
+  /// automatically; `a`/`b` are the mc::ProtoKind-specific payloads.
+  void mc_proto(mc::ProtoKind kind, std::uint64_t a, std::uint64_t b = 0);
 
  private:
   friend class SpmdRuntime;

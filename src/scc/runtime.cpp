@@ -74,6 +74,12 @@ struct CoreState {
   bool timed_out = false;       // last blocking wait ended by its deadline
   std::uint64_t wait_epoch = 0; // bumped on every wake; invalidates stale timers
 
+  // Model checking: true once the current dispatch quantum touched shared
+  // simulation state (send, barrier, liveness read, timer arm, protocol
+  // probe). Reset by dispatch(); read back when the quantum yields to
+  // classify the segment for CoreTie commutation (see mc::Session::segment).
+  bool mc_shared = false;
+
   // --- Host-parallel grant state (all scheduler-lock protected) ---
   // `released` marks a core granted a host-pool slot rather than the serial
   // execution token; while set, the core may apply compute-class operations
@@ -209,6 +215,40 @@ struct SpmdRuntime::Impl {
                 wait_any_timeout = 0;
   } chk_sites;
   std::uint64_t chk_rng = 0;  // schedule-perturbation state; 0 = off
+
+  // Model checking (null unless cfg.mc is set; latched in run()). mc forces
+  // the serial scheduler like chk, so every session call happens with all
+  // other program threads parked. Scratch vectors live here to keep the
+  // scheduler hot path allocation-free across decisions.
+  mc::Session* mc = nullptr;
+  std::vector<CoreState*> mc_tied;
+  std::vector<int> mc_ranks;
+  std::vector<noc::EventQueue::TieRef> mc_ties;
+
+  /// The current quantum of `st` touched shared simulation state: its
+  /// CoreTie segment no longer commutes with anything.
+  void mc_mark_shared(CoreState& st) noexcept {
+    if (mc != nullptr) st.mc_shared = true;
+  }
+
+  /// Do all same-instant head events provably commute? True only when every
+  /// tied event is a Delivery or Timer, each names a distinct target core,
+  /// and no crash-at-event-K trigger is still pending (those key on the
+  /// firing *count*, which makes same-instant order observable).
+  bool mc_event_tie_independent() {
+    for (const PendingEventCrash& ec : event_crashes)
+      if (!ec.applied) return false;
+    queue.tied(mc_ties);
+    for (std::size_t i = 0; i < mc_ties.size(); ++i) {
+      const noc::EventQueue::TieRef& e = mc_ties[i];
+      if (e.target < 0) return false;
+      if (e.cls != noc::EventClass::Delivery && e.cls != noc::EventClass::Timer)
+        return false;
+      for (std::size_t j = 0; j < i; ++j)
+        if (mc_ties[j].target == e.target) return false;
+    }
+    return true;
+  }
 
   void record(int rank, TraceEvent::Kind kind, noc::SimTime start, noc::SimTime end) {
     if (cfg.enable_trace && end > start) trace.push_back({rank, kind, start, end});
@@ -369,6 +409,9 @@ struct SpmdRuntime::Impl {
   /// The event is a no-op unless the core is still parked in the same wait
   /// (epoch match) when the deadline arrives. Lock held.
   void arm_timer(CoreState& st, noc::SimTime deadline) {
+    // Arming inserts into the shared event queue; under mc the quantum stops
+    // counting as a pure-local segment.
+    mc_mark_shared(st);
     const std::uint64_t epoch = st.wait_epoch;
     queue.schedule_at(
         std::max(deadline, queue.now()),
@@ -379,7 +422,7 @@ struct SpmdRuntime::Impl {
             wake(st, deadline);
           }
         },
-        st.rank);
+        st.rank, noc::EventClass::Timer);
   }
 
   /// Kill a core at simulated time `t` (fires from the event queue; lock is
@@ -560,6 +603,7 @@ struct SpmdRuntime::Impl {
     std::unique_lock lock(m);
     OpGuard guard(st);
     serialize(st, lock);
+    mc_mark_shared(st);  // mutates link state and schedules a delivery
     const std::uint64_t bytes = payload.size() + kMsgHeaderBytes;
     CoreState* d = cores[static_cast<std::size_t>(dst)].get();
 
@@ -786,6 +830,18 @@ struct SpmdRuntime::Impl {
     chk->note(st.rank, src, dst, st.vtime, chk->site(site), id);
   }
 
+  /// Protocol-event probe for the model checker (see CoreCtx::mc_proto).
+  /// The invariant log is ordered by emission, so the emitting quantum is an
+  /// observation point: mark it shared so no CoreTie node that could permute
+  /// two emissions is ever pruned.
+  void op_mc_proto(CoreState& st, mc::ProtoKind kind, std::uint64_t a,
+                   std::uint64_t b) {
+    if (mc == nullptr) return;
+    std::unique_lock lock(m);
+    st.mc_shared = true;
+    mc->proto(kind, st.rank, a, b, st.vtime);
+  }
+
   bool op_peer_alive(CoreState& st, int rank) {
     check_rank(rank, "peer_alive");
     std::unique_lock lock(m);
@@ -794,6 +850,7 @@ struct SpmdRuntime::Impl {
     // point as in serial mode.
     OpGuard guard(st);
     serialize(st, lock);
+    mc_mark_shared(st);  // observes another core's crash state
     return !cores[static_cast<std::size_t>(rank)]->dead;
   }
 
@@ -801,6 +858,7 @@ struct SpmdRuntime::Impl {
     std::unique_lock lock(m);
     OpGuard guard(st);
     serialize(st, lock);
+    mc_mark_shared(st);  // touches the shared barrier rendezvous
     barrier_time = std::max(barrier_time, st.vtime);
     if (barrier_count + 1 < nranks) {
       ++barrier_count;
@@ -845,9 +903,13 @@ struct SpmdRuntime::Impl {
   /// Hand the (single) execution token to `st` and wait until it yields,
   /// blocks or finishes. Lock must be held.
   void dispatch(CoreState& st, std::unique_lock<std::mutex>& lock) {
+    if (mc != nullptr) st.mc_shared = false;
     st.status = CoreState::Status::Running;
     st.cv.notify_all();
     sched_cv.wait(lock, [&] { return st.status != CoreState::Status::Running; });
+    // The quantum is over (yielded, blocked or finished): report its
+    // classification so pending CoreTie watches on this rank resolve.
+    if (mc != nullptr) mc->segment(st.rank, !st.mc_shared);
   }
 
   // ---- Parallel grant machinery -------------------------------------------
@@ -1140,7 +1202,16 @@ struct SpmdRuntime::Impl {
 
       if (!queue.empty() && t_evt <= t_core) {
         flush_local_before(t_evt, -1);  // events outrank same-instant core ops
-        queue.run_one();  // deliveries may wake blocked cores, or kill one
+        if (mc != nullptr && queue.tie_count() > 1) {
+          // EventTie decision: several events due at the same instant. The
+          // session picks which member of the head group fires; choice 0 is
+          // the canonical schedule order.
+          const std::size_t n = queue.tie_count();
+          queue.run_nth(mc->choose_event_tie(static_cast<std::uint32_t>(n),
+                                             mc_event_tie_independent()));
+        } else {
+          queue.run_one();  // deliveries may wake blocked cores, or kill one
+        }
         apply_event_crashes();  // crash-at-event-K triggers ride the count
         reap_dead(lock);  // let just-crashed threads unwind to Done first
         continue;
@@ -1149,7 +1220,21 @@ struct SpmdRuntime::Impl {
         report_stall(lock, failure);
         return;
       }
-      if (chk_rng != 0) {
+      if (mc != nullptr) {
+        // CoreTie decision: ready cores tied at the minimum virtual time.
+        // Iteration is rank order, so choice 0 is the canonical lowest-rank
+        // pick. Every tied rank gets a dispatch-segment watch; the node is
+        // pruned as independent only if all watched segments stay local.
+        mc_tied.clear();
+        for (auto& c : cores)
+          if (c->status == CoreState::Status::Ready && c->vtime == pick->vtime)
+            mc_tied.push_back(c.get());
+        if (mc_tied.size() > 1) {
+          mc_ranks.clear();
+          for (CoreState* c : mc_tied) mc_ranks.push_back(c->rank);
+          pick = mc_tied[mc->choose_core_tie(mc_ranks)];
+        }
+      } else if (chk_rng != 0) {
         // Bounded schedule perturbation (chk.schedule_seed): among ready
         // cores tied at the minimum virtual time, dispatch one drawn from
         // the seeded stream instead of always the lowest rank. Only
@@ -1318,6 +1403,9 @@ void CoreCtx::chk_flag_test(int src, int dst, bool observed_set,
 void CoreCtx::chk_note(int src, int dst, std::string_view site, std::uint64_t id) {
   rt_->impl_->op_chk_note(*st_, src, dst, site, id);
 }
+void CoreCtx::mc_proto(mc::ProtoKind kind, std::uint64_t a, std::uint64_t b) {
+  rt_->impl_->op_mc_proto(*st_, kind, a, b);
+}
 
 // ---- SpmdRuntime -----------------------------------------------------------
 
@@ -1397,6 +1485,15 @@ noc::SimTime SpmdRuntime::run(int nranks, const Program& program) {
     im.chk_rng = im.cfg.chk.schedule_seed;
   }
 
+  if (im.cfg.mc) {
+    // Every scheduling tie is a decision point the session must see in
+    // serial order, so mc forces the serial scheduler exactly as chk does;
+    // a session that always answers 0 leaves every simulated result
+    // bit-identical to an mc-off run.
+    im.mc = im.cfg.mc.get();
+    im.parallel = false;
+  }
+
   if (im.cfg.obs.active()) {
     im.rec = std::make_shared<obs::Recorder>(im.cfg.obs, nranks);
     im.rec->seal();
@@ -1446,7 +1543,8 @@ noc::SimTime SpmdRuntime::run(int nranks, const Program& program) {
   for (const FaultPlan::Crash& c : im.cfg.faults.crashes) {
     CoreState& victim = *im.cores[static_cast<std::size_t>(c.rank)];
     im.queue.schedule_at(
-        c.at, [&im, &victim, at = c.at] { im.apply_crash(victim, at); }, c.rank);
+        c.at, [&im, &victim, at = c.at] { im.apply_crash(victim, at); }, c.rank,
+        noc::EventClass::Crash);
   }
   // Spawn a program thread for one core; each parks until the scheduler
   // admits it. Shared between the initial spawn loop and fault-plan restart
@@ -1522,7 +1620,7 @@ noc::SimTime SpmdRuntime::run(int nranks, const Program& program) {
           }
           spawn_thread(victim);  // fresh thread parks until dispatched
         },
-        rs.rank);
+        rs.rank, noc::EventClass::Restart);
   }
   for (int r = 0; r < nranks; ++r)
     spawn_thread(*im.cores[static_cast<std::size_t>(r)]);

@@ -186,6 +186,122 @@ TEST(LintIncludes, LayoutObligations) {
                   .empty());
 }
 
+TEST(LintWaivers, MultiRuleAllowCoversEveryNamedRule) {
+  // One marker may waive several rules: the include-hygiene hit on its own
+  // line and the determinism hit on the next are both named, so the file is
+  // clean.
+  const std::string multi =
+      "#include \"../rng.hpp\"  // rck-lint: allow(include-hygiene, "
+      "determinism, layering)\n"
+      "auto g = std::mt19937{7};\n";
+  EXPECT_TRUE(lint_file("src/scc/x.cpp", multi).empty());
+
+  // Spaces around the rule names are insignificant.
+  const std::string spaced =
+      "auto g = std::mt19937{7};  // rck-lint: allow( determinism , "
+      "error-codes )\n";
+  EXPECT_TRUE(lint_file("src/scc/x.cpp", spaced).empty());
+}
+
+TEST(LintWaivers, AllowWaivesOnlyTheNamedRules) {
+  // allow(determinism) does not silence the include-hygiene finding that
+  // shares the line.
+  const std::string partial =
+      "#include \"../rng.hpp\"  // rck-lint: allow(determinism)\n";
+  const auto fs = lint_file("src/scc/x.cpp", partial);
+  EXPECT_TRUE(has_rule(fs, "include-hygiene"));
+  EXPECT_FALSE(has_rule(fs, "determinism"));
+}
+
+TEST(LintWaivers, ScopeIsSameAndNextLineOnly) {
+  const std::string distant =
+      "// rck-lint: allow(determinism)\n"
+      "\n"
+      "auto g = std::mt19937{7};\n";
+  EXPECT_TRUE(has_rule(lint_file("src/scc/x.cpp", distant), "determinism"));
+}
+
+TEST(LintWaivers, AllowAllIsTheBlanketEscape) {
+  const std::string blanket =
+      "// rck-lint: allow(all)\n"
+      "#include \"../rng.hpp\"\n";
+  EXPECT_TRUE(lint_file("src/scc/x.cpp", blanket).empty());
+}
+
+TEST(LintLayering, EnforcesTheIncludeDag) {
+  // bio/core are pure compute: the simulator and the skeletons are
+  // invisible to them.
+  EXPECT_TRUE(has_rule(
+      lint_file("src/core/x.cpp", "#include \"rck/scc/runtime.hpp\"\n"),
+      "layering"));
+  EXPECT_TRUE(has_rule(
+      lint_file("src/bio/x.cpp", "#include \"rck/rckskel/skeletons.hpp\"\n"),
+      "layering"));
+  EXPECT_TRUE(has_rule(
+      lint_file("src/bio/x.cpp", "#include \"rck/noc/network.hpp\"\n"),
+      "layering"));
+  // Sim layers never reach up into the umbrella or the service layer.
+  EXPECT_TRUE(has_rule(
+      lint_file("src/scc/x.cpp", "#include \"rck/service/service.hpp\"\n"),
+      "layering"));
+  EXPECT_TRUE(has_rule(
+      lint_file("src/rckskel/x.cpp", "#include \"rck/query.hpp\"\n"),
+      "layering"));
+  // Listed edges pass; so does the shared error taxonomy from everywhere.
+  EXPECT_FALSE(has_rule(
+      lint_file("src/scc/x.cpp", "#include \"rck/mc/mc.hpp\"\n"), "layering"));
+  EXPECT_FALSE(has_rule(
+      lint_file("src/core/x.cpp", "#include \"rck/bio/protein.hpp\"\n"),
+      "layering"));
+  EXPECT_FALSE(has_rule(
+      lint_file("src/bio/x.cpp", "#include \"rck/error.hpp\"\n"), "layering"));
+  // Own headers and same-directory private headers carry no edge at all.
+  EXPECT_FALSE(has_rule(
+      lint_file("src/scc/x.cpp", "#include \"rck/scc/timing.hpp\"\n"),
+      "layering"));
+  EXPECT_FALSE(has_rule(lint_file("src/scc/x.cpp", "#include \"detail.hpp\"\n"),
+                        "layering"));
+}
+
+TEST(LintLayering, RegisteredExceptionIsFileScoped) {
+  // scc::timing's stats reuse is registered for exactly that header...
+  EXPECT_FALSE(has_rule(lint_file("src/scc/include/rck/scc/timing.hpp",
+                                  "#include \"rck/core/stats.hpp\"\n"),
+                        "layering"));
+  // ...and nowhere else in scc.
+  EXPECT_TRUE(has_rule(
+      lint_file("src/scc/runtime.cpp", "#include \"rck/core/stats.hpp\"\n"),
+      "layering"));
+}
+
+TEST(LintLayering, WaiversAndScopingApply) {
+  EXPECT_FALSE(has_rule(
+      lint_file("src/core/x.cpp",
+                "#include \"rck/scc/runtime.hpp\"  // rck-lint: allow(layering)\n"),
+      "layering"));
+  // tools/ sit above the whole stack: no layering obligations.
+  EXPECT_FALSE(rules_contain("tools/rck_mc.cpp", "layering"));
+  EXPECT_TRUE(rules_contain("src/mc/mc.cpp", "layering"));
+}
+
+TEST(LintJson, StableShapeAndEscaping) {
+  EXPECT_EQ(to_json({}), "[]\n");
+  const std::vector<Finding> fs{
+      {"src/scc/x.cpp", 3, "determinism", "banned \"clock\"\tuse"},
+      {"src/bio/y.cpp", 7, "error-codes", "unregistered"},
+  };
+  const std::string j = to_json(fs);
+  EXPECT_NE(j.find("\"rule\": \"determinism\""), std::string::npos);
+  EXPECT_NE(j.find("\"path\": \"src/scc/x.cpp\""), std::string::npos);
+  EXPECT_NE(j.find("\"line\": 3"), std::string::npos);
+  EXPECT_NE(j.find("\\\"clock\\\""), std::string::npos);  // quotes escaped
+  EXPECT_NE(j.find("\\t"), std::string::npos);            // control escaped
+  EXPECT_NE(j.find("\"line\": 7"), std::string::npos);
+  // Two objects, one array.
+  EXPECT_EQ(std::count(j.begin(), j.end(), '{'), 2);
+  EXPECT_EQ(j.front(), '[');
+}
+
 TEST(LintFindings, AreSortedByLineThenRule) {
   const std::string two =
       "#include \"../bad.hpp\"\n"

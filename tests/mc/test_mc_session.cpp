@@ -1,0 +1,330 @@
+// rck::mc unit surface: the Session decision recorder/scripter, the
+// Explorer's depth-first enumeration with independence pruning, and the
+// protocol invariant checker over hand-built event logs.
+#include "rck/mc/mc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rck::mc {
+namespace {
+
+ProtoEvent ev(ProtoKind kind, int core, std::uint64_t a, std::uint64_t b = 0,
+              std::uint64_t ts = 0) {
+  return ProtoEvent{kind, core, a, b, ts};
+}
+
+TEST(McSession, DefaultsToCanonicalChoiceZero) {
+  Session s;
+  EXPECT_EQ(s.choose_core_tie({1, 2, 3}), 0u);
+  EXPECT_EQ(s.choose_event_tie(2, /*independent=*/false), 0u);
+  s.finish();
+  ASSERT_EQ(s.decisions().size(), 2u);
+  EXPECT_EQ(s.decisions()[0].step.kind, DecisionKind::CoreTie);
+  EXPECT_EQ(s.decisions()[0].step.n, 3u);
+  EXPECT_EQ(s.decisions()[1].step.kind, DecisionKind::EventTie);
+}
+
+TEST(McSession, PrefixDrivesChoicesThenFallsBackToZero) {
+  Session s(std::vector<std::uint32_t>{2, 1});
+  EXPECT_EQ(s.choose_core_tie({1, 2, 3}), 2u);
+  EXPECT_EQ(s.choose_event_tie(2, false), 1u);
+  EXPECT_EQ(s.choose_core_tie({4, 5}), 0u);  // past the prefix
+  s.finish();
+}
+
+TEST(McSession, RejectsDegenerateAndOutOfRangeDecisions) {
+  Session s;
+  EXPECT_THROW(s.choose_event_tie(1, false), McError);
+  Session over(std::vector<std::uint32_t>{5});
+  EXPECT_THROW(over.choose_core_tie({1, 2}), McError);
+  Session done;
+  done.finish();
+  EXPECT_THROW(done.choose_core_tie({1, 2}), McError);
+}
+
+TEST(McSession, DecisionLimitGuardsRunaways) {
+  Session s;
+  s.decision_limit = 3;
+  for (int i = 0; i < 3; ++i) s.choose_event_tie(2, false);
+  EXPECT_THROW(s.choose_event_tie(2, false), McError);
+}
+
+TEST(McSession, CoreTieIndependenceFollowsSegmentLocality) {
+  // Both tied cores run purely local quanta -> the node commutes.
+  Session local;
+  local.choose_core_tie({1, 2});
+  local.segment(1, /*local=*/true);
+  local.segment(2, /*local=*/true);
+  local.finish();
+  EXPECT_TRUE(local.decisions()[0].independent);
+
+  // One tied core sends a message in its next quantum -> dependent.
+  Session shared;
+  shared.choose_core_tie({1, 2});
+  shared.segment(1, true);
+  shared.segment(2, /*local=*/false);
+  shared.finish();
+  EXPECT_FALSE(shared.decisions()[0].independent);
+
+  // A core that never runs again (crash/finish) is vacuously local.
+  Session vacuous;
+  vacuous.choose_core_tie({1, 2});
+  vacuous.segment(1, true);
+  vacuous.finish();
+  EXPECT_TRUE(vacuous.decisions()[0].independent);
+}
+
+TEST(McSession, SegmentWatchesAreFifoPerRank) {
+  // Two back-to-back ties watch rank 1; the first quantum after the ties
+  // classifies the first node only.
+  Session s;
+  s.choose_core_tie({1, 2});
+  s.choose_core_tie({1, 3});
+  s.segment(1, /*local=*/false);  // hits node 0
+  s.segment(1, /*local=*/true);   // hits node 1
+  s.segment(2, true);
+  s.segment(3, true);
+  s.finish();
+  EXPECT_FALSE(s.decisions()[0].independent);
+  EXPECT_TRUE(s.decisions()[1].independent);
+}
+
+TEST(McSession, EventTieIndependenceIsTheCallerVerdict) {
+  Session s;
+  s.choose_event_tie(2, true);
+  s.choose_event_tie(2, false);
+  s.finish();
+  EXPECT_TRUE(s.decisions()[0].independent);
+  EXPECT_FALSE(s.decisions()[1].independent);
+}
+
+TEST(McSession, StrictReplayFollowsScriptExactly) {
+  const std::vector<Step> script{{DecisionKind::CoreTie, 3, 2},
+                                 {DecisionKind::EventTie, 2, 1}};
+  Session s(script);
+  EXPECT_TRUE(s.strict());
+  EXPECT_EQ(s.choose_core_tie({1, 2, 3}), 2u);
+  EXPECT_EQ(s.choose_event_tie(2, false), 1u);
+  s.finish();
+  EXPECT_NO_THROW(s.verify_replay_complete());
+}
+
+TEST(McSession, StrictReplayDivergenceThrows) {
+  // Wrong kind at the scripted node.
+  Session kind(std::vector<Step>{{DecisionKind::EventTie, 2, 0}});
+  EXPECT_THROW(kind.choose_core_tie({1, 2}), ReplayError);
+
+  // Wrong arity.
+  Session arity(std::vector<Step>{{DecisionKind::CoreTie, 3, 0}});
+  EXPECT_THROW(arity.choose_core_tie({1, 2}), ReplayError);
+
+  // The run demands more decisions than the witness scripts.
+  Session exhausted(std::vector<Step>{});
+  EXPECT_THROW(exhausted.choose_event_tie(2, false), ReplayError);
+
+  // The run consumed fewer decisions than scripted.
+  Session partial(std::vector<Step>{{DecisionKind::CoreTie, 2, 0},
+                                    {DecisionKind::CoreTie, 2, 1}});
+  partial.choose_core_tie({1, 2});
+  partial.finish();
+  EXPECT_THROW(partial.verify_replay_complete(), ReplayError);
+
+  // verify_replay_complete is a replay-only operation.
+  Session explore;
+  EXPECT_THROW(explore.verify_replay_complete(), McError);
+}
+
+// Simulated run for Explorer tests: every schedule has the same decision
+// shape (arity, independence per node); choices follow the prefix then 0.
+std::vector<Decision> run_shape(
+    const std::vector<std::uint32_t>& prefix,
+    const std::vector<std::pair<std::uint32_t, bool>>& shape) {
+  std::vector<Decision> ds;
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    const std::uint32_t chosen = i < prefix.size() ? prefix[i] : 0;
+    ds.push_back(
+        Decision{Step{DecisionKind::CoreTie, shape[i].first, chosen},
+                 shape[i].second});
+  }
+  return ds;
+}
+
+TEST(McExplorer, EnumeratesTheFullTreeDepthFirst) {
+  const std::vector<std::pair<std::uint32_t, bool>> shape{{2, false},
+                                                          {2, false}};
+  Explorer ex;
+  std::vector<std::vector<std::uint32_t>> seen;
+  do {
+    seen.push_back(ex.prefix());
+  } while (ex.advance(run_shape(ex.prefix(), shape)));
+  EXPECT_TRUE(ex.exhausted());
+  EXPECT_EQ(ex.explored(), 4u);
+  // Schedule 0 is the empty prefix (all canonical); the rest walk the tree
+  // deepest-first.
+  ASSERT_EQ(seen.size(), 4u);
+  EXPECT_TRUE(seen[0].empty());
+  EXPECT_EQ(seen[1], (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(seen[2], (std::vector<std::uint32_t>{1}));
+  EXPECT_EQ(seen[3], (std::vector<std::uint32_t>{1, 1}));
+}
+
+TEST(McExplorer, IndependentNodesAreNeverExpanded) {
+  // A 3-way independent node contributes exactly one schedule; only the
+  // dependent binary node below it branches.
+  const std::vector<std::pair<std::uint32_t, bool>> shape{{3, true},
+                                                          {2, false}};
+  Explorer ex;
+  while (ex.advance(run_shape(ex.prefix(), shape))) {
+  }
+  EXPECT_TRUE(ex.exhausted());
+  EXPECT_EQ(ex.explored(), 2u);
+}
+
+TEST(McExplorer, BoundStopsEarlyWithoutClaimingExhaustion) {
+  const std::vector<std::pair<std::uint32_t, bool>> shape{{2, false},
+                                                          {2, false}};
+  Explorer ex(2);
+  while (ex.advance(run_shape(ex.prefix(), shape))) {
+  }
+  EXPECT_FALSE(ex.exhausted());
+  EXPECT_EQ(ex.explored(), 2u);
+}
+
+TEST(McProtocol, CleanFarmRoundTripHasNoViolation) {
+  const std::vector<ProtoEvent> log{
+      ev(ProtoKind::Grant, 0, /*job*/ 7, /*ue*/ 1),
+      ev(ProtoKind::Exec, 1, 7),
+      ev(ProtoKind::ResultSent, 1, 7),
+      ev(ProtoKind::ResultAccept, 0, 7, 1),
+      ev(ProtoKind::Grant, 0, 8, 1),
+      ev(ProtoKind::Exec, 1, 8),
+      ev(ProtoKind::ResultSent, 1, 8),
+      ev(ProtoKind::ResultAccept, 0, 8, 1),
+  };
+  EXPECT_FALSE(check_protocol_log(log).has_value());
+}
+
+TEST(McProtocol, GrantWhileLeaseOpenIsLeaseSafety) {
+  const std::vector<ProtoEvent> log{
+      ev(ProtoKind::Grant, 0, 7, 1),
+      ev(ProtoKind::Grant, 0, 7, 2),
+  };
+  const auto v = check_protocol_log(log);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->invariant, "lease_safety");
+  EXPECT_EQ(v->event_index, 1u);
+  EXPECT_NE(v->detail.find("grant(a=7, b=2)"), std::string::npos);
+}
+
+TEST(McProtocol, OverlappingExecutorsAreLeaseSafety) {
+  // The lease legitimately expired and the job migrated — but the original
+  // executor is still mid-flight when the second one starts.
+  const std::vector<ProtoEvent> log{
+      ev(ProtoKind::Grant, 0, 7, 1),
+      ev(ProtoKind::Exec, 1, 7),
+      ev(ProtoKind::LeaseExpire, 0, 7, 1),
+      ev(ProtoKind::Grant, 0, 7, 2),
+      ev(ProtoKind::Exec, 2, 7),
+  };
+  const auto v = check_protocol_log(log);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->invariant, "lease_safety");
+  EXPECT_EQ(v->event_index, 4u);
+}
+
+TEST(McProtocol, GrantAfterCompletionIsNoReexec) {
+  const std::vector<ProtoEvent> log{
+      ev(ProtoKind::Grant, 0, 7, 1),
+      ev(ProtoKind::Exec, 1, 7),
+      ev(ProtoKind::ResultSent, 1, 7),
+      ev(ProtoKind::ResultAccept, 0, 7, 1),
+      ev(ProtoKind::Grant, 0, 7, 2),
+  };
+  const auto v = check_protocol_log(log);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->invariant, "no_reexec");
+  EXPECT_EQ(v->event_index, 4u);
+}
+
+TEST(McProtocol, SecondAcceptIsNoReexecAndDupDiscardIsClean) {
+  const std::vector<ProtoEvent> dup_ok{
+      ev(ProtoKind::Grant, 0, 7, 1),
+      ev(ProtoKind::ResultAccept, 0, 7, 1),
+      ev(ProtoKind::ResultDup, 0, 7, 2),
+  };
+  EXPECT_FALSE(check_protocol_log(dup_ok).has_value());
+
+  const std::vector<ProtoEvent> twice{
+      ev(ProtoKind::Grant, 0, 7, 1),
+      ev(ProtoKind::ResultAccept, 0, 7, 1),
+      ev(ProtoKind::ResultAccept, 0, 7, 2),
+  };
+  const auto v = check_protocol_log(twice);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->invariant, "no_reexec");
+}
+
+TEST(McProtocol, CheckpointSequencesMustAdvance) {
+  const std::vector<ProtoEvent> log{
+      ev(ProtoKind::Checkpoint, 0, 1),
+      ev(ProtoKind::Checkpoint, 0, 2),
+      ev(ProtoKind::Checkpoint, 0, 2),
+  };
+  const auto v = check_protocol_log(log);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->invariant, "checkpoint_monotonic");
+  EXPECT_EQ(v->event_index, 2u);
+}
+
+TEST(McProtocol, StaleTakeoverIsCheckpointMonotonic) {
+  const std::vector<ProtoEvent> log{
+      ev(ProtoKind::CheckpointRecv, 13, 2),
+      ev(ProtoKind::CheckpointRecv, 13, 4),
+      ev(ProtoKind::Takeover, 13, 2),
+  };
+  const auto v = check_protocol_log(log);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->invariant, "checkpoint_monotonic");
+  EXPECT_NE(v->detail.find("sequence 4"), std::string::npos);
+}
+
+TEST(McProtocol, TakeoverResetsStateForLegitimateReexecution) {
+  // Job 8 completed after checkpoint 1 was taken; after failover the
+  // promoted master re-runs it from the restored frontier. That is the
+  // protocol working, not a violation — and the checkpoint sequence also
+  // restarts under the new master.
+  const std::vector<ProtoEvent> log{
+      ev(ProtoKind::Grant, 0, 7, 1),
+      ev(ProtoKind::ResultAccept, 0, 7, 1),
+      ev(ProtoKind::Checkpoint, 0, 1),
+      ev(ProtoKind::CheckpointRecv, 13, 1),
+      ev(ProtoKind::Grant, 0, 8, 1),
+      ev(ProtoKind::ResultAccept, 0, 8, 1),
+      ev(ProtoKind::Takeover, 13, 1),
+      ev(ProtoKind::Restore, 13, 7),
+      ev(ProtoKind::Grant, 13, 8, 2),
+      ev(ProtoKind::Exec, 2, 8),
+      ev(ProtoKind::ResultSent, 2, 8),
+      ev(ProtoKind::ResultAccept, 13, 8, 2),
+      ev(ProtoKind::Checkpoint, 13, 1),
+  };
+  EXPECT_FALSE(check_protocol_log(log).has_value());
+}
+
+TEST(McProtocol, RestoredJobsMustNotBeRegranted) {
+  const std::vector<ProtoEvent> log{
+      ev(ProtoKind::CheckpointRecv, 13, 1),
+      ev(ProtoKind::Takeover, 13, 1),
+      ev(ProtoKind::Restore, 13, 7),
+      ev(ProtoKind::Grant, 13, 7, 2),
+  };
+  const auto v = check_protocol_log(log);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->invariant, "no_reexec");
+  EXPECT_EQ(v->event_index, 3u);
+}
+
+}  // namespace
+}  // namespace rck::mc

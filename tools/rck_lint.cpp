@@ -7,7 +7,14 @@
 //
 // Usage:
 //   rck_lint [repo-root]          # default: current directory
+//   rck_lint [repo-root] --json   # also emit a JSON findings array on stdout
 //   rck_lint --list-rules <file>  # show which rules apply to a path
+//
+// --json prints the machine-readable findings (an array of
+// {rule, path, line, message} objects, see lint::to_json) to stdout while
+// the human-readable lines still go to stderr — CI archives the JSON and
+// feeds the stderr lines to the GitHub problem matcher
+// (.github/problem-matchers/rck-lint.json).
 //
 // Run locally from the build dir as `./tools/rck_lint ..`; CI runs it in the
 // `analysis` matrix leg. Suppress a line with
@@ -44,15 +51,20 @@ bool is_cpp_source(const fs::path& p) {
 int main(int argc, char** argv) {
   std::string root = ".";
   bool list_rules = false;
+  bool json = false;
   std::vector<std::string> list_targets;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
-      std::printf("usage: rck_lint [repo-root] | rck_lint --list-rules <file>...\n");
+      std::printf(
+          "usage: rck_lint [repo-root] [--json] | rck_lint --list-rules "
+          "<file>...\n");
       return 0;
     }
     if (arg == "--list-rules") {
       list_rules = true;
+    } else if (arg == "--json") {
+      json = true;
     } else if (list_rules) {
       list_targets.push_back(arg);
     } else {
@@ -87,7 +99,7 @@ int main(int argc, char** argv) {
   }
   std::sort(files.begin(), files.end());
 
-  std::size_t total = 0;
+  std::vector<rck::chk::lint::Finding> all;
   for (const fs::path& f : files) {
     const std::string rel =
         fs::relative(f, root_path).generic_string();
@@ -96,14 +108,17 @@ int main(int argc, char** argv) {
     for (const rck::chk::lint::Finding& fd : findings)
       std::fprintf(stderr, "%s:%d: [%s] %s\n", fd.file.c_str(), fd.line,
                    fd.rule.c_str(), fd.message.c_str());
-    total += findings.size();
+    all.insert(all.end(), findings.begin(), findings.end());
   }
 
-  if (total != 0) {
+  if (json) std::fputs(rck::chk::lint::to_json(all).c_str(), stdout);
+
+  if (!all.empty()) {
     std::fprintf(stderr, "rck_lint: %zu finding%s in %zu files scanned\n",
-                 total, total == 1 ? "" : "s", files.size());
+                 all.size(), all.size() == 1 ? "" : "s", files.size());
     return 1;
   }
-  std::printf("rck_lint: clean (%zu files scanned)\n", files.size());
+  if (!json)
+    std::printf("rck_lint: clean (%zu files scanned)\n", files.size());
   return 0;
 }
